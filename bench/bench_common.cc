@@ -1,0 +1,91 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+#include "util/strings.h"
+#include "util/timer.h"
+
+namespace tane {
+namespace bench {
+
+BenchOptions ParseBenchOptions(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--scale=quick") {
+      options.full_scale = false;
+    } else if (arg == "--scale=full") {
+      options.full_scale = true;
+    } else if (StartsWith(arg, "--seed=")) {
+      int64_t seed = 0;
+      if (!ParseInt64(arg.substr(7), &seed) || seed < 0) {
+        std::fprintf(stderr, "bad --seed value: %s\n", argv[i]);
+        std::exit(2);
+      }
+      options.seed = static_cast<uint64_t>(seed);
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag %s\nusage: %s [--scale=quick|full] "
+                   "[--seed=N]\n",
+                   argv[i], argv[0]);
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+Cell RunTane(const Relation& relation, const TaneConfig& config) {
+  Cell cell;
+  WallTimer timer;
+  StatusOr<DiscoveryResult> result = Tane::Discover(relation, config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "TANE failed: %s\n",
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  cell.seconds = timer.ElapsedSeconds();
+  cell.num_fds = result->num_fds();
+  cell.stats = result->stats;
+  return cell;
+}
+
+Cell RunFdep(const Relation& relation, int64_t max_rows) {
+  Cell cell;
+  if (relation.num_rows() > max_rows) return cell;  // skipped: "*"
+  WallTimer timer;
+  StatusOr<DiscoveryResult> result = Fdep::Discover(relation);
+  if (!result.ok()) {
+    std::fprintf(stderr, "FDEP failed: %s\n",
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  cell.seconds = timer.ElapsedSeconds();
+  cell.num_fds = result->num_fds();
+  cell.stats = result->stats;
+  return cell;
+}
+
+std::string FormatCell(const Cell& cell) {
+  if (!cell.seconds.has_value()) return "*";
+  return FormatSeconds(*cell.seconds);
+}
+
+std::string FormatPaperSeconds(double seconds) {
+  if (seconds < 0) return "-";
+  return FormatSeconds(seconds) + "+";  // "+" marks a 1998-hardware number
+}
+
+void PrintBanner(const std::string& experiment, const BenchOptions& options) {
+  std::printf("=== %s ===\n", experiment.c_str());
+  std::printf(
+      "scale=%s seed=%llu  (datasets are synthetic stand-ins for the UCI "
+      "originals;\n absolute numbers differ from the paper, shapes should "
+      "match — see EXPERIMENTS.md)\n\n",
+      options.full_scale ? "full" : "quick",
+      static_cast<unsigned long long>(options.seed));
+}
+
+}  // namespace bench
+}  // namespace tane

@@ -1,0 +1,55 @@
+#ifndef TANE_BENCH_BENCH_COMMON_H_
+#define TANE_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "baselines/fdep.h"
+#include "core/tane.h"
+#include "relation/relation.h"
+
+namespace tane {
+namespace bench {
+
+/// Command-line options shared by all paper-experiment harnesses.
+///
+///   --scale=quick   laptop-friendly sizes (default; minutes for the suite)
+///   --scale=full    the paper's dataset sizes (hours for the slow cells)
+///   --seed=N        generator seed (default 42)
+struct BenchOptions {
+  bool full_scale = false;
+  uint64_t seed = 42;
+};
+
+/// Parses argv; unknown flags abort with a usage message.
+BenchOptions ParseBenchOptions(int argc, char** argv);
+
+/// The outcome of one measured cell. An empty `seconds` means the cell was
+/// skipped (infeasible at this scale), printed as "*" like the paper.
+struct Cell {
+  int64_t num_fds = -1;
+  std::optional<double> seconds;
+  DiscoveryStats stats;
+};
+
+/// Runs TANE with `config` and wall-clocks it.
+Cell RunTane(const Relation& relation, const TaneConfig& config);
+
+/// Runs FDEP unless the relation exceeds `max_rows` (its Θ(|r|²) negative-
+/// cover pass makes large inputs infeasible, as in the paper's * entries).
+Cell RunFdep(const Relation& relation, int64_t max_rows);
+
+/// Formats a cell time like the paper's tables ("68.2", "*").
+std::string FormatCell(const Cell& cell);
+
+/// Formats a literature number, "-" when the paper reports none.
+std::string FormatPaperSeconds(double seconds);
+
+/// Prints the standard harness banner naming the experiment.
+void PrintBanner(const std::string& experiment, const BenchOptions& options);
+
+}  // namespace bench
+}  // namespace tane
+
+#endif  // TANE_BENCH_BENCH_COMMON_H_

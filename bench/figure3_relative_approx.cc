@@ -1,0 +1,76 @@
+// Reproduces Figure 3 of the TANE paper: for the Hepatitis, Wisconsin
+// breast cancer, and Chess datasets, plot (as text series) the number of
+// approximate dependencies and the discovery time relative to the exact
+// case — N(ε)/N(0) and Time(ε)/Time(0) — over a sweep of thresholds.
+//
+// Usage: figure3_relative_approx [--scale=quick|full] [--seed=N]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "datasets/paper_datasets.h"
+
+namespace tane {
+namespace bench {
+namespace {
+
+constexpr double kEpsilons[] = {0.0, 0.005, 0.01, 0.02, 0.05, 0.1, 0.25, 0.5};
+
+int Main(int argc, char** argv) {
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  PrintBanner(
+      "Figure 3: relative N and time for approximate dependencies "
+      "(TANE/MEM)",
+      options);
+
+  const std::vector<std::pair<std::string, PaperDataset>> datasets = {
+      {"Hepatitis", PaperDataset::kHepatitis},
+      {"W. breast cancer", PaperDataset::kWisconsinBreastCancer},
+      {"Chess", PaperDataset::kChess},
+  };
+
+  for (const auto& [label, dataset] : datasets) {
+    StatusOr<Relation> relation = MakePaperDataset(dataset, 0, options.seed);
+    if (!relation.ok()) {
+      std::fprintf(stderr, "%s\n", relation.status().ToString().c_str());
+      return 1;
+    }
+
+    std::printf("--- %s (%lld rows, %d cols) ---\n", label.c_str(),
+                static_cast<long long>(relation->num_rows()),
+                relation->num_columns());
+    std::printf("%8s %9s %10s %12s %14s\n", "eps", "N", "time(s)",
+                "N(eps)/N(0)", "T(eps)/T(0)");
+
+    double n0 = 0.0, t0 = 0.0;
+    for (double epsilon : kEpsilons) {
+      TaneConfig config;
+      config.epsilon = epsilon;
+      const Cell cell = RunTane(*relation, config);
+      const double seconds = cell.seconds.value_or(0.0);
+      if (epsilon == 0.0) {
+        n0 = static_cast<double>(cell.num_fds);
+        t0 = seconds;
+      }
+      std::printf("%8.3f %9lld %10.4f %12.3f %14.3f\n", epsilon,
+                  static_cast<long long>(cell.num_fds), seconds,
+                  n0 > 0 ? cell.num_fds / n0 : 0.0,
+                  t0 > 0 ? seconds / t0 : 0.0);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Expected shape (paper): Hepatitis-like data shows a sharp time drop\n"
+      "with growing ε; breast-cancer-like data is roughly flat then drops;\n"
+      "Chess-like data (a single key FD) grows slightly before dropping.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tane
+
+int main(int argc, char** argv) { return tane::bench::Main(argc, argv); }

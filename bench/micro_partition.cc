@@ -1,0 +1,138 @@
+// Microbenchmarks (google-benchmark) for the partition engine that TANE's
+// per-level costs are built from: single-attribute partition construction,
+// the linear-time partition product, the g3 error scan, the e-based g3
+// bound, serialization, and level generation.
+
+#include <benchmark/benchmark.h>
+
+#include "core/partition_store.h"
+#include "datasets/generators.h"
+#include "lattice/level.h"
+#include "partition/error.h"
+#include "partition/partition_builder.h"
+#include "partition/product.h"
+#include "util/logging.h"
+
+namespace tane {
+namespace {
+
+Relation MakeRelation(int64_t rows, int cols, int64_t cardinality) {
+  StatusOr<Relation> relation =
+      GenerateUniform(rows, cols, cardinality, /*seed=*/42);
+  TANE_CHECK(relation.ok()) << relation.status().ToString();
+  return std::move(relation).value();
+}
+
+void BM_BuildAttributePartition(benchmark::State& state) {
+  const Relation relation = MakeRelation(state.range(0), 2, 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PartitionBuilder::ForAttribute(relation, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BuildAttributePartition)->Range(1 << 10, 1 << 18);
+
+void BM_PartitionProduct(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  const Relation relation = MakeRelation(rows, 2, 16);
+  const StrippedPartition a = PartitionBuilder::ForAttribute(relation, 0);
+  const StrippedPartition b = PartitionBuilder::ForAttribute(relation, 1);
+  PartitionProduct product(rows);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(product.Multiply(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_PartitionProduct)->Range(1 << 10, 1 << 18);
+
+void BM_G3ErrorScan(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  const Relation relation = MakeRelation(rows, 2, 16);
+  const StrippedPartition lhs = PartitionBuilder::ForAttribute(relation, 0);
+  const StrippedPartition joint =
+      PartitionBuilder::ForAttributeSet(relation, AttributeSet::Of({0, 1}));
+  G3Calculator g3(rows);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g3.RemovalCount(lhs, joint));
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_G3ErrorScan)->Range(1 << 10, 1 << 18);
+
+void BM_G3Bound(benchmark::State& state) {
+  const Relation relation = MakeRelation(1 << 14, 2, 16);
+  const StrippedPartition lhs = PartitionBuilder::ForAttribute(relation, 0);
+  const StrippedPartition joint =
+      PartitionBuilder::ForAttributeSet(relation, AttributeSet::Of({0, 1}));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BoundG3RemovalCount(lhs, joint));
+  }
+}
+BENCHMARK(BM_G3Bound);
+
+void BM_SerializePartition(benchmark::State& state) {
+  const Relation relation = MakeRelation(state.range(0), 1, 16);
+  const StrippedPartition partition =
+      PartitionBuilder::ForAttribute(relation, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SerializePartition(partition));
+  }
+  state.SetBytesProcessed(state.iterations() * partition.EstimatedBytes());
+}
+BENCHMARK(BM_SerializePartition)->Range(1 << 12, 1 << 18);
+
+void BM_GenerateNextLevel(benchmark::State& state) {
+  // A full pair level over `n` attributes.
+  const int n = static_cast<int>(state.range(0));
+  std::vector<AttributeSet> level;
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      level.push_back(AttributeSet::Of({a, b}));
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GenerateNextLevel(level));
+  }
+}
+BENCHMARK(BM_GenerateNextLevel)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_StrippedVsUnstrippedProduct(benchmark::State& state) {
+  // Near-unique columns: stripping removes most classes, making products
+  // much cheaper than on full partitions.
+  const int64_t rows = 1 << 15;
+  const bool stripped = state.range(0) != 0;
+  const Relation relation = MakeRelation(rows, 2, rows / 2);
+  const StrippedPartition a =
+      PartitionBuilder::ForAttribute(relation, 0, stripped);
+  const StrippedPartition b =
+      PartitionBuilder::ForAttribute(relation, 1, stripped);
+  PartitionProduct product(rows);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(product.Multiply(a, b));
+  }
+}
+BENCHMARK(BM_StrippedVsUnstrippedProduct)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace tane
+
+// Custom main instead of BENCHMARK_MAIN so the harness-wide --scale/--seed
+// flags are accepted (and ignored — microbenchmark sizes are fixed).
+int main(int argc, char** argv) {
+  std::vector<char*> kept;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--scale=", 0) == 0 || arg.rfind("--seed=", 0) == 0) {
+      continue;
+    }
+    kept.push_back(argv[i]);
+  }
+  int kept_argc = static_cast<int>(kept.size());
+  benchmark::Initialize(&kept_argc, kept.data());
+  if (benchmark::ReportUnrecognizedArguments(kept_argc, kept.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

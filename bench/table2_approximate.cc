@@ -1,0 +1,89 @@
+// Reproduces Table 2 of the TANE paper: approximate-dependency discovery
+// with TANE/MEM for thresholds ε ∈ {0, 0.01, 0.05, 0.25, 0.5}, reporting
+// the number of minimal approximate dependencies N and the discovery time
+// for each dataset.
+//
+// Usage: table2_approximate [--scale=quick|full] [--seed=N]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "datasets/paper_datasets.h"
+#include "relation/transforms.h"
+
+namespace tane {
+namespace bench {
+namespace {
+
+constexpr double kEpsilons[] = {0.0, 0.01, 0.05, 0.25, 0.5};
+
+struct Row {
+  std::string label;
+  PaperDataset dataset;
+  int copies;
+  bool quick_scale_ok;
+};
+
+int Main(int argc, char** argv) {
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  PrintBanner("Table 2: approximate dependency discovery (TANE/MEM)",
+              options);
+
+  const std::vector<Row> rows = {
+      {"Lymphography", PaperDataset::kLymphography, 1, true},
+      {"Hepatitis", PaperDataset::kHepatitis, 1, true},
+      {"W. breast cancer", PaperDataset::kWisconsinBreastCancer, 1, true},
+      {"W. breast cancer x64", PaperDataset::kWisconsinBreastCancer, 64,
+       false},
+      {"Chess", PaperDataset::kChess, 1, true},
+  };
+
+  std::printf("%-22s", "Dataset");
+  for (double epsilon : kEpsilons) {
+    std::printf(" | eps=%-4.2f %9s %9s", epsilon, "N", "time(s)");
+  }
+  std::printf("\n");
+
+  for (const Row& row : rows) {
+    if (!options.full_scale && !row.quick_scale_ok) {
+      std::printf("%-22s   (run with --scale=full)\n", row.label.c_str());
+      continue;
+    }
+    StatusOr<Relation> base = MakePaperDataset(row.dataset, 0, options.seed);
+    if (!base.ok()) {
+      std::fprintf(stderr, "%s\n", base.status().ToString().c_str());
+      return 1;
+    }
+    Relation relation = std::move(base).value();
+    if (row.copies > 1) {
+      StatusOr<Relation> scaled = ConcatenateCopies(relation, row.copies);
+      if (!scaled.ok()) return 1;
+      relation = std::move(scaled).value();
+    }
+
+    std::printf("%-22s", row.label.c_str());
+    for (double epsilon : kEpsilons) {
+      TaneConfig config;
+      config.epsilon = epsilon;
+      const Cell cell = RunTane(relation, config);
+      std::printf(" |          %9lld %9s",
+                  static_cast<long long>(cell.num_fds),
+                  FormatCell(cell).c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nExpected shape (paper): N first grows with ε (more rules qualify),\n"
+      "then collapses at large ε as tiny left-hand sides subsume everything;\n"
+      "time drops sharply once aggressive pruning kicks in (ε >= 0.25).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tane
+
+int main(int argc, char** argv) { return tane::bench::Main(argc, argv); }

@@ -1,0 +1,69 @@
+// Association rules from equivalence classes — the generalization sketched
+// in the paper's concluding remarks: comparing individual equivalence
+// classes (value combinations) instead of whole partitions turns the FD
+// machinery into an association-rule miner. This example mines rules from a
+// census-like table and contrasts them with the functional dependencies of
+// the same relation.
+//
+// Run: ./build/examples/association_rules
+
+#include <cstdio>
+
+#include "core/tane.h"
+#include "datasets/paper_datasets.h"
+#include "rules/association.h"
+
+int main() {
+  tane::StatusOr<tane::Relation> relation =
+      tane::MakePaperDataset(tane::PaperDataset::kAdult, /*rows=*/5000);
+  if (!relation.ok()) {
+    std::fprintf(stderr, "%s\n", relation.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Census-like relation: %lld rows, %d columns\n\n",
+              static_cast<long long>(relation->num_rows()),
+              relation->num_columns());
+
+  tane::AssociationMiningOptions options;
+  options.min_support = 0.08;
+  options.min_confidence = 0.75;
+  options.max_itemset_size = 3;
+  tane::StatusOr<std::vector<tane::AssociationRule>> rules =
+      tane::MineAssociationRules(*relation, options);
+  if (!rules.ok()) {
+    std::fprintf(stderr, "%s\n", rules.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Top association rules (support >= %.2f, confidence >= %.2f):\n",
+              options.min_support, options.min_confidence);
+  int shown = 0;
+  for (const tane::AssociationRule& rule : *rules) {
+    if (shown++ >= 12) break;
+    std::printf("  %s\n", rule.ToString(*relation).c_str());
+  }
+  std::printf("  (%zu rules total)\n\n", rules->size());
+
+  // Contrast: functional dependencies speak about *all* value combinations
+  // at once; an FD X -> A is the statement that every X-equivalence class
+  // maps into one A-class — i.e. a 100%-confidence rule for every value.
+  tane::TaneConfig config;
+  config.max_lhs_size = 2;
+  tane::StatusOr<tane::DiscoveryResult> fds =
+      tane::Tane::Discover(*relation, config);
+  if (!fds.ok()) {
+    std::fprintf(stderr, "%s\n", fds.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Functional dependencies with |lhs| <= 2: %lld, e.g.\n",
+              static_cast<long long>(fds->num_fds()));
+  int listed = 0;
+  for (const tane::FunctionalDependency& fd : fds->fds) {
+    if (listed++ >= 5) break;
+    std::printf("  %s\n", fd.ToString(relation->schema()).c_str());
+  }
+  std::printf(
+      "\nAn FD is the degenerate association family whose every value-level\n"
+      "rule has confidence 1; approximate FDs relax exactly that.\n");
+  return 0;
+}

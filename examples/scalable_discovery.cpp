@@ -1,0 +1,62 @@
+// The scalable TANE configuration: run the same discovery with in-memory
+// partitions (TANE/MEM) and with disk-resident partitions (TANE) on a
+// dataset scaled with the paper's "×n" copy construction, and compare the
+// memory footprints — the trade-off behind Table 1's two TANE columns.
+//
+// Run: ./build/examples/scalable_discovery [copies]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/tane.h"
+#include "datasets/paper_datasets.h"
+#include "relation/transforms.h"
+
+int main(int argc, char** argv) {
+  const int copies = argc > 1 ? std::atoi(argv[1]) : 8;
+  if (copies < 1) {
+    std::fprintf(stderr, "copies must be >= 1\n");
+    return 1;
+  }
+
+  tane::StatusOr<tane::Relation> base =
+      tane::MakePaperDataset(tane::PaperDataset::kWisconsinBreastCancer);
+  if (!base.ok()) {
+    std::fprintf(stderr, "%s\n", base.status().ToString().c_str());
+    return 1;
+  }
+  tane::StatusOr<tane::Relation> scaled =
+      tane::ConcatenateCopies(*base, copies);
+  if (!scaled.ok()) {
+    std::fprintf(stderr, "%s\n", scaled.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Wisconsin-breast-cancer stand-in x%d: %lld rows, %d cols\n\n",
+              copies, static_cast<long long>(scaled->num_rows()),
+              scaled->num_columns());
+
+  for (tane::StorageMode mode :
+       {tane::StorageMode::kMemory, tane::StorageMode::kDisk}) {
+    tane::TaneConfig config;
+    config.storage = mode;
+    tane::StatusOr<tane::DiscoveryResult> result =
+        tane::Tane::Discover(*scaled, config);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    const tane::DiscoveryStats& stats = result->stats;
+    std::printf("%-9s N=%-5lld time=%7.3fs peak-partition-mem=%8.2f MB "
+                "spill-written=%8.2f MB\n",
+                mode == tane::StorageMode::kMemory ? "TANE/MEM" : "TANE",
+                static_cast<long long>(result->num_fds()),
+                stats.wall_seconds,
+                stats.peak_partition_bytes / 1048576.0,
+                stats.spill_bytes_written / 1048576.0);
+  }
+
+  std::printf("\nBoth configurations find the same dependency set; the disk\n"
+              "variant bounds resident partition memory at the cost of I/O,\n"
+              "matching the paper's TANE vs TANE/MEM comparison.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+#include "analysis/closure.h"
+
+#include <algorithm>
+
+namespace tane {
+
+AttributeSet Closure(AttributeSet attributes,
+                     const std::vector<FunctionalDependency>& fds) {
+  AttributeSet closure = attributes;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const FunctionalDependency& fd : fds) {
+      if (!closure.Contains(fd.rhs) && closure.ContainsAll(fd.lhs)) {
+        closure = closure.With(fd.rhs);
+        changed = true;
+      }
+    }
+  }
+  return closure;
+}
+
+bool Implies(const std::vector<FunctionalDependency>& fds, AttributeSet lhs,
+             int rhs) {
+  return Closure(lhs, fds).Contains(rhs);
+}
+
+std::vector<FunctionalDependency> MinimalCover(
+    std::vector<FunctionalDependency> fds) {
+  CanonicalizeFds(&fds);
+
+  // Left-reduce: drop extraneous attributes from each LHS.
+  for (FunctionalDependency& fd : fds) {
+    bool shrunk = true;
+    while (shrunk) {
+      shrunk = false;
+      for (int attribute : Members(fd.lhs)) {
+        const AttributeSet reduced = fd.lhs.Without(attribute);
+        if (Closure(reduced, fds).Contains(fd.rhs)) {
+          fd.lhs = reduced;
+          shrunk = true;
+          break;
+        }
+      }
+    }
+  }
+  CanonicalizeFds(&fds);
+
+  // Drop dependencies implied by the rest.
+  std::vector<FunctionalDependency> cover;
+  for (size_t i = 0; i < fds.size(); ++i) {
+    std::vector<FunctionalDependency> others;
+    others.reserve(fds.size() - 1 + cover.size());
+    others.insert(others.end(), cover.begin(), cover.end());
+    others.insert(others.end(), fds.begin() + i + 1, fds.end());
+    if (!Implies(others, fds[i].lhs, fds[i].rhs)) {
+      cover.push_back(fds[i]);
+    }
+  }
+  return cover;
+}
+
+}  // namespace tane

@@ -1,0 +1,28 @@
+#ifndef TANE_ANALYSIS_CLOSURE_H_
+#define TANE_ANALYSIS_CLOSURE_H_
+
+#include <vector>
+
+#include "core/fd.h"
+#include "lattice/attribute_set.h"
+
+namespace tane {
+
+/// The attribute closure X⁺ of `attributes` under `fds`: the largest set Y
+/// with X → Y derivable by Armstrong's axioms. Standard fixed-point
+/// iteration, O(|fds| · |R|) per pass.
+AttributeSet Closure(AttributeSet attributes,
+                     const std::vector<FunctionalDependency>& fds);
+
+/// True if X → A follows from `fds` (i.e., A ∈ X⁺).
+bool Implies(const std::vector<FunctionalDependency>& fds, AttributeSet lhs,
+             int rhs);
+
+/// Removes dependencies implied by the remaining ones and minimizes each
+/// left-hand side, yielding a canonical (minimal) cover.
+std::vector<FunctionalDependency> MinimalCover(
+    std::vector<FunctionalDependency> fds);
+
+}  // namespace tane
+
+#endif  // TANE_ANALYSIS_CLOSURE_H_

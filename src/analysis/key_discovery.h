@@ -1,0 +1,47 @@
+#ifndef TANE_ANALYSIS_KEY_DISCOVERY_H_
+#define TANE_ANALYSIS_KEY_DISCOVERY_H_
+
+#include <vector>
+
+#include "lattice/attribute_set.h"
+#include "relation/relation.h"
+#include "util/status.h"
+
+namespace tane {
+
+/// A discovered (approximate) key: `error` = e(X)/|r| is the fraction of
+/// rows whose removal makes X a superkey — the natural g3-style error of a
+/// key, computable in O(1) from the stripped partition of X.
+struct DiscoveredKey {
+  AttributeSet attributes;
+  double error = 0.0;
+
+  friend bool operator==(const DiscoveredKey& a, const DiscoveredKey& b) {
+    return a.attributes == b.attributes;
+  }
+  friend bool operator<(const DiscoveredKey& a, const DiscoveredKey& b) {
+    return a.attributes < b.attributes;
+  }
+};
+
+/// Options for key discovery.
+struct KeyDiscoveryOptions {
+  /// Keys with error e(X)/|r| ≤ epsilon qualify; 0 = exact keys.
+  double epsilon = 0.0;
+  /// Upper bound on key size; kMaxAttributes = unlimited.
+  int max_key_size = kMaxAttributes;
+};
+
+/// Finds all minimal (approximate) keys of `relation` with the same
+/// levelwise partition machinery as TANE: level partitions come from
+/// pairwise products (Lemma 3), and supersets of found keys are pruned. In
+/// exact mode this returns the identical key set TANE's key pruning
+/// collects as a by-product; the ε > 0 mode extends it to the
+/// approximate-key task, one of the natural partition applications the
+/// paper's conclusion points at.
+StatusOr<std::vector<DiscoveredKey>> DiscoverKeys(
+    const Relation& relation, const KeyDiscoveryOptions& options = {});
+
+}  // namespace tane
+
+#endif  // TANE_ANALYSIS_KEY_DISCOVERY_H_

@@ -1,0 +1,63 @@
+#include "analysis/keys.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "analysis/closure.h"
+
+namespace tane {
+
+bool IsSuperkeyUnder(AttributeSet attributes, int num_attributes,
+                     const std::vector<FunctionalDependency>& fds) {
+  return Closure(attributes, fds) == AttributeSet::FullSet(num_attributes);
+}
+
+std::vector<AttributeSet> CandidateKeys(
+    int num_attributes, const std::vector<FunctionalDependency>& fds,
+    int max_keys) {
+  const AttributeSet full = AttributeSet::FullSet(num_attributes);
+  if (num_attributes == 0) return {};
+
+  // Attributes never determined by anything else must be in every key.
+  AttributeSet core = full;
+  for (const FunctionalDependency& fd : fds) {
+    core = core.Without(fd.rhs);
+  }
+
+  std::vector<AttributeSet> keys;
+  if (Closure(core, fds) == full) {
+    keys.push_back(core);
+    return keys;
+  }
+
+  // BFS over core ∪ S for growing S, keeping only minimal hits.
+  std::deque<AttributeSet> frontier = {core};
+  std::unordered_set<AttributeSet, AttributeSetHash> visited = {core};
+  while (!frontier.empty() &&
+         static_cast<int>(keys.size()) < max_keys) {
+    const AttributeSet current = frontier.front();
+    frontier.pop_front();
+    for (int attribute : Members(full.Difference(current))) {
+      const AttributeSet extended = current.With(attribute);
+      if (!visited.insert(extended).second) continue;
+      bool has_key_subset = false;
+      for (AttributeSet key : keys) {
+        if (extended.ContainsAll(key)) {
+          has_key_subset = true;
+          break;
+        }
+      }
+      if (has_key_subset) continue;
+      if (Closure(extended, fds) == full) {
+        keys.push_back(extended);
+      } else {
+        frontier.push_back(extended);
+      }
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace tane

@@ -1,0 +1,26 @@
+#ifndef TANE_ANALYSIS_KEYS_H_
+#define TANE_ANALYSIS_KEYS_H_
+
+#include <vector>
+
+#include "core/fd.h"
+#include "lattice/attribute_set.h"
+
+namespace tane {
+
+/// Computes all candidate keys of a schema with `num_attributes` attributes
+/// under the dependency set `fds` (logical keys: X with X⁺ = R and no proper
+/// subset having that property). Breadth-first search seeded with the
+/// attributes that appear in no right-hand side, which must belong to every
+/// key. Worst-case exponential; `max_keys` bounds the output defensively.
+std::vector<AttributeSet> CandidateKeys(
+    int num_attributes, const std::vector<FunctionalDependency>& fds,
+    int max_keys = 1024);
+
+/// True if `attributes` is a superkey under `fds`.
+bool IsSuperkeyUnder(AttributeSet attributes, int num_attributes,
+                     const std::vector<FunctionalDependency>& fds);
+
+}  // namespace tane
+
+#endif  // TANE_ANALYSIS_KEYS_H_

@@ -1,0 +1,100 @@
+#include "analysis/normalization.h"
+
+#include <algorithm>
+
+#include "analysis/closure.h"
+
+namespace tane {
+namespace {
+
+// Projects `fds` onto `attributes`: keeps X → A with X ∪ {A} ⊆ attributes.
+// (A correct projection computes closures of subsets; for the simple
+// decomposition heuristic here, restriction of the discovered minimal FDs
+// is the conventional approximation and is what profiling tools report.)
+std::vector<FunctionalDependency> RestrictFds(
+    const std::vector<FunctionalDependency>& fds, AttributeSet attributes) {
+  std::vector<FunctionalDependency> restricted;
+  for (const FunctionalDependency& fd : fds) {
+    if (attributes.ContainsAll(fd.lhs) && attributes.Contains(fd.rhs)) {
+      restricted.push_back(fd);
+    }
+  }
+  return restricted;
+}
+
+// Finds one BCNF-violating fd within `attributes`, if any.
+const FunctionalDependency* FindViolationIn(
+    AttributeSet attributes, const std::vector<FunctionalDependency>& fds) {
+  for (const FunctionalDependency& fd : fds) {
+    if (fd.lhs.Contains(fd.rhs)) continue;
+    if (!Closure(fd.lhs, fds).ContainsAll(attributes)) {
+      return &fd;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::vector<BcnfViolation> FindBcnfViolations(
+    int num_attributes, const std::vector<FunctionalDependency>& fds) {
+  const AttributeSet full = AttributeSet::FullSet(num_attributes);
+  std::vector<BcnfViolation> violations;
+  for (const FunctionalDependency& fd : fds) {
+    if (fd.lhs.Contains(fd.rhs)) continue;
+    const AttributeSet closure = Closure(fd.lhs, fds);
+    if (closure != full) {
+      violations.push_back({fd, closure});
+    }
+  }
+  return violations;
+}
+
+std::vector<DecomposedRelation> DecomposeToBcnf(
+    int num_attributes, const std::vector<FunctionalDependency>& fds,
+    int max_fragments) {
+  // Classic recursive split, driven with an explicit worklist: a fragment
+  // with a violating X → … is replaced by (X⁺ ∩ fragment) and
+  // (fragment − X⁺) ∪ X, both of which are re-examined.
+  std::vector<DecomposedRelation> done;
+  std::vector<DecomposedRelation> worklist = {
+      {AttributeSet::FullSet(num_attributes), AttributeSet()}};
+
+  while (!worklist.empty()) {
+    DecomposedRelation fragment = worklist.back();
+    worklist.pop_back();
+    const std::vector<FunctionalDependency> local =
+        RestrictFds(fds, fragment.attributes);
+    const FunctionalDependency* violation =
+        static_cast<int>(done.size() + worklist.size()) + 2 <= max_fragments
+            ? FindViolationIn(fragment.attributes, local)
+            : nullptr;
+    if (violation == nullptr) {
+      done.push_back(fragment);
+      continue;
+    }
+    const AttributeSet closure =
+        Closure(violation->lhs, local).Intersect(fragment.attributes);
+    worklist.push_back({closure, violation->lhs});
+    worklist.push_back(
+        {fragment.attributes.Difference(closure).Union(violation->lhs),
+         fragment.anchor_lhs});
+  }
+  return done;
+}
+
+std::string DescribeDecomposition(
+    const Schema& schema, const std::vector<DecomposedRelation>& fragments) {
+  std::string out;
+  for (size_t i = 0; i < fragments.size(); ++i) {
+    out += "R" + std::to_string(i) + " = " +
+           fragments[i].attributes.ToString(schema);
+    if (!fragments[i].anchor_lhs.empty()) {
+      out += "  (key: " + fragments[i].anchor_lhs.ToString(schema) + ")";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace tane

@@ -1,0 +1,50 @@
+#ifndef TANE_ANALYSIS_NORMALIZATION_H_
+#define TANE_ANALYSIS_NORMALIZATION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/fd.h"
+#include "lattice/attribute_set.h"
+#include "relation/schema.h"
+
+namespace tane {
+
+/// Schema-quality analysis on top of discovered dependencies — the
+/// database-reverse-engineering application motivating the paper's
+/// introduction.
+
+/// A dependency whose left-hand side is not a superkey (a BCNF violation).
+struct BcnfViolation {
+  FunctionalDependency fd;
+  /// X⁺ under the dependency set; the attributes the violating lhs leaks.
+  AttributeSet closure;
+};
+
+/// All BCNF-violating dependencies among `fds` over a schema of
+/// `num_attributes` attributes. Trivial dependencies never violate.
+std::vector<BcnfViolation> FindBcnfViolations(
+    int num_attributes, const std::vector<FunctionalDependency>& fds);
+
+/// One relation of a proposed decomposition.
+struct DecomposedRelation {
+  AttributeSet attributes;
+  /// The violation that split this fragment off; size 0 for the residual.
+  AttributeSet anchor_lhs;
+};
+
+/// Standard lossless-join BCNF decomposition: repeatedly split R into
+/// (X ∪ {A}) and (R − A) for a violating X → A. Returns fragments in split
+/// order; the final fragment is the residual. Bounded by `max_fragments`
+/// as a defensive stop.
+std::vector<DecomposedRelation> DecomposeToBcnf(
+    int num_attributes, const std::vector<FunctionalDependency>& fds,
+    int max_fragments = 64);
+
+/// Renders a decomposition report for humans.
+std::string DescribeDecomposition(
+    const Schema& schema, const std::vector<DecomposedRelation>& fragments);
+
+}  // namespace tane
+
+#endif  // TANE_ANALYSIS_NORMALIZATION_H_

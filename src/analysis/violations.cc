@@ -1,0 +1,99 @@
+#include "analysis/violations.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "partition/error.h"
+#include "partition/partition_builder.h"
+
+namespace tane {
+namespace {
+
+Status ValidateFd(const Relation& relation, const FunctionalDependency& fd) {
+  if (fd.rhs < 0 || fd.rhs >= relation.num_columns()) {
+    return Status::OutOfRange("fd rhs out of range");
+  }
+  if (!AttributeSet::FullSet(relation.num_columns()).ContainsAll(fd.lhs)) {
+    return Status::OutOfRange("fd lhs references missing attributes");
+  }
+  if (fd.lhs.Contains(fd.rhs)) {
+    return Status::InvalidArgument("fd is trivial (rhs inside lhs)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<double> MeasureG3(const Relation& relation,
+                           const FunctionalDependency& fd) {
+  TANE_RETURN_IF_ERROR(ValidateFd(relation, fd));
+  const StrippedPartition lhs =
+      PartitionBuilder::ForAttributeSet(relation, fd.lhs);
+  const StrippedPartition joint =
+      PartitionBuilder::ForAttributeSet(relation, fd.lhs.With(fd.rhs));
+  G3Calculator g3(relation.num_rows());
+  return g3.Error(lhs, joint);
+}
+
+StatusOr<std::vector<int64_t>> ExceptionalRows(
+    const Relation& relation, const FunctionalDependency& fd) {
+  TANE_RETURN_IF_ERROR(ValidateFd(relation, fd));
+  const StrippedPartition lhs =
+      PartitionBuilder::ForAttributeSet(relation, fd.lhs);
+
+  std::vector<int64_t> exceptional;
+  // Within one lhs class, group rows by their rhs code; keep one largest
+  // group, report the rest.
+  std::unordered_map<int32_t, std::vector<int32_t>> by_rhs;
+  const std::vector<int32_t>& rhs_codes = relation.column(fd.rhs).codes;
+  for (int64_t cls = 0; cls < lhs.num_classes(); ++cls) {
+    by_rhs.clear();
+    for (int32_t i = lhs.class_begin(cls); i < lhs.class_end(cls); ++i) {
+      const int32_t row = lhs.row_ids()[i];
+      by_rhs[rhs_codes[row]].push_back(row);
+    }
+    if (by_rhs.size() <= 1) continue;
+    int32_t keep_code = -1;
+    size_t keep_size = 0;
+    for (const auto& [code, rows] : by_rhs) {
+      // Deterministic tie-break: prefer the smaller code.
+      if (rows.size() > keep_size ||
+          (rows.size() == keep_size && code < keep_code)) {
+        keep_code = code;
+        keep_size = rows.size();
+      }
+    }
+    for (const auto& [code, rows] : by_rhs) {
+      if (code == keep_code) continue;
+      exceptional.insert(exceptional.end(), rows.begin(), rows.end());
+    }
+  }
+  std::sort(exceptional.begin(), exceptional.end());
+  return exceptional;
+}
+
+StatusOr<std::vector<std::pair<int64_t, int64_t>>> ViolatingPairs(
+    const Relation& relation, const FunctionalDependency& fd, int64_t limit) {
+  TANE_RETURN_IF_ERROR(ValidateFd(relation, fd));
+  const StrippedPartition lhs =
+      PartitionBuilder::ForAttributeSet(relation, fd.lhs);
+  const std::vector<int32_t>& rhs_codes = relation.column(fd.rhs).codes;
+
+  std::vector<std::pair<int64_t, int64_t>> pairs;
+  for (int64_t cls = 0; cls < lhs.num_classes() && limit > 0; ++cls) {
+    for (int32_t i = lhs.class_begin(cls);
+         i < lhs.class_end(cls) && limit > 0; ++i) {
+      for (int32_t j = i + 1; j < lhs.class_end(cls) && limit > 0; ++j) {
+        const int32_t t = lhs.row_ids()[i];
+        const int32_t u = lhs.row_ids()[j];
+        if (rhs_codes[t] != rhs_codes[u]) {
+          pairs.emplace_back(std::min(t, u), std::max(t, u));
+          --limit;
+        }
+      }
+    }
+  }
+  return pairs;
+}
+
+}  // namespace tane

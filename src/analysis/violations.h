@@ -1,0 +1,37 @@
+#ifndef TANE_ANALYSIS_VIOLATIONS_H_
+#define TANE_ANALYSIS_VIOLATIONS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/fd.h"
+#include "relation/relation.h"
+#include "util/status.h"
+
+namespace tane {
+
+/// Tools for inspecting where an (approximate) dependency fails — the
+/// paper's motivation that with partitions "the erroneous or exceptional
+/// rows can be identified easily".
+
+/// The exact g3 error of `fd` measured on `relation` (partitions are built
+/// from scratch; O(|r|·|X|)).
+StatusOr<double> MeasureG3(const Relation& relation,
+                           const FunctionalDependency& fd);
+
+/// A minimum-cardinality set of row ids whose removal makes `fd` hold
+/// exactly — precisely the rows the g3 measure counts. Within every
+/// lhs-equivalence class, all rows outside one largest rhs-subclass are
+/// reported. Ascending row order.
+StatusOr<std::vector<int64_t>> ExceptionalRows(const Relation& relation,
+                                               const FunctionalDependency& fd);
+
+/// Up to `limit` pairs (t, u) witnessing violations: t and u agree on
+/// fd.lhs but differ on fd.rhs.
+StatusOr<std::vector<std::pair<int64_t, int64_t>>> ViolatingPairs(
+    const Relation& relation, const FunctionalDependency& fd, int64_t limit);
+
+}  // namespace tane
+
+#endif  // TANE_ANALYSIS_VIOLATIONS_H_

@@ -1,0 +1,123 @@
+#include "baselines/brute_force.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/fd.h"
+#include "lattice/attribute_set.h"
+#include "partition/error.h"
+#include "partition/partition_builder.h"
+#include "util/timer.h"
+
+namespace tane {
+namespace {
+
+// Enumerates all attribute subsets of {0..n-1} of the given size, ascending
+// by mask, via the standard next-bit-permutation trick.
+std::vector<AttributeSet> SubsetsOfSize(int n, int size) {
+  std::vector<AttributeSet> subsets;
+  if (size == 0) {
+    subsets.push_back(AttributeSet());
+    return subsets;
+  }
+  if (size > n) return subsets;
+  uint64_t mask = (uint64_t{1} << size) - 1;
+  const uint64_t limit = n >= 64 ? ~uint64_t{0} : (uint64_t{1} << n);
+  while (mask < limit) {
+    subsets.push_back(AttributeSet::FromMask(mask));
+    const uint64_t lowest = mask & (~mask + 1);
+    const uint64_t ripple = mask + lowest;
+    const uint64_t ones = mask ^ ripple;
+    mask = ripple | ((ones >> 2) / lowest);
+    if (ripple >= limit) break;
+  }
+  return subsets;
+}
+
+}  // namespace
+
+StatusOr<DiscoveryResult> BruteForce::Discover(const Relation& relation,
+                                               double epsilon,
+                                               int max_lhs_size,
+                                               ErrorMeasure measure) {
+  if (epsilon < 0.0 || epsilon > 1.0) {
+    return Status::InvalidArgument("epsilon must be in [0, 1]");
+  }
+  WallTimer timer;
+  const int n = relation.num_columns();
+  const int64_t rows = relation.num_rows();
+  G3Calculator g3(rows);
+  const auto measure_error = [&](const StrippedPartition& lhs,
+                                 const StrippedPartition& joint) {
+    switch (measure) {
+      case ErrorMeasure::kG2:
+        return g3.G2Error(lhs, joint);
+      case ErrorMeasure::kG1:
+        return g3.G1Error(lhs, joint);
+      case ErrorMeasure::kG3:
+        break;
+    }
+    return g3.Error(lhs, joint);
+  };
+
+  DiscoveryResult result;
+  // minimal_lhs[A] collects the LHSs already emitted for RHS A; a candidate
+  // is minimal iff it has no emitted proper subset.
+  std::vector<std::vector<AttributeSet>> minimal_lhs(n);
+
+  const int max_size = std::min(max_lhs_size, n - 1);
+  for (int size = 0; size <= max_size; ++size) {
+    for (AttributeSet lhs : SubsetsOfSize(n, size)) {
+      const StrippedPartition lhs_partition =
+          PartitionBuilder::ForAttributeSet(relation, lhs);
+      for (int rhs = 0; rhs < n; ++rhs) {
+        if (lhs.Contains(rhs)) continue;
+        bool minimal = true;
+        for (AttributeSet smaller : minimal_lhs[rhs]) {
+          if (smaller.IsProperSubsetOf(lhs) || smaller == lhs) {
+            minimal = false;
+            break;
+          }
+        }
+        if (!minimal) continue;
+
+        const StrippedPartition joint =
+            PartitionBuilder::ForAttributeSet(relation, lhs.With(rhs));
+        const double error = measure_error(lhs_partition, joint);
+        if (error <= epsilon + 1e-9) {
+          result.fds.push_back({lhs, rhs, error});
+          minimal_lhs[rhs].push_back(lhs);
+        }
+      }
+    }
+  }
+
+  // Keys: minimal sets on which no two rows agree.
+  std::vector<AttributeSet> keys;
+  if (rows > 0) {
+    for (int size = 1; size <= n; ++size) {
+      for (AttributeSet candidate : SubsetsOfSize(n, size)) {
+        bool has_key_subset = false;
+        for (AttributeSet key : keys) {
+          if (key.IsProperSubsetOf(candidate)) {
+            has_key_subset = true;
+            break;
+          }
+        }
+        if (has_key_subset) continue;
+        if (PartitionBuilder::ForAttributeSet(relation, candidate)
+                .IsSuperkey()) {
+          keys.push_back(candidate);
+        }
+      }
+    }
+  }
+  result.keys = std::move(keys);
+  std::sort(result.keys.begin(), result.keys.end());
+
+  CanonicalizeFds(&result.fds);
+  result.stats.wall_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace tane

@@ -1,0 +1,29 @@
+#ifndef TANE_BASELINES_BRUTE_FORCE_H_
+#define TANE_BASELINES_BRUTE_FORCE_H_
+
+#include "core/config.h"
+#include "core/result.h"
+#include "relation/relation.h"
+#include "util/status.h"
+
+namespace tane {
+
+/// Exhaustive reference miner: enumerates every candidate left-hand side in
+/// ascending size order, computes its partition from scratch, and keeps the
+/// minimal (approximate) dependencies. Exponential in the number of
+/// attributes and O(|r|·|X|) per candidate — usable only on small schemas,
+/// which is exactly its role: an independently simple oracle that the
+/// property tests compare TANE and FDEP against.
+class BruteForce {
+ public:
+  /// All minimal non-trivial dependencies with error ≤ epsilon (0 = exact)
+  /// under `measure`. `max_lhs_size` mirrors TaneConfig::max_lhs_size.
+  static StatusOr<DiscoveryResult> Discover(
+      const Relation& relation, double epsilon = 0.0,
+      int max_lhs_size = kMaxAttributes,
+      ErrorMeasure measure = ErrorMeasure::kG3);
+};
+
+}  // namespace tane
+
+#endif  // TANE_BASELINES_BRUTE_FORCE_H_

@@ -1,0 +1,129 @@
+#include "baselines/fdep.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/fd.h"
+#include "lattice/set_trie.h"
+#include "util/timer.h"
+
+namespace tane {
+namespace {
+
+struct MaskHash {
+  size_t operator()(uint64_t mask) const {
+    return AttributeSetHash()(AttributeSet::FromMask(mask));
+  }
+};
+
+}  // namespace
+
+std::vector<AttributeSet> Fdep::ComputeAgreeSets(const Relation& relation) {
+  const int64_t rows = relation.num_rows();
+  const int n = relation.num_columns();
+
+  // Row-major copy of the codes so the inner pair loop is cache-friendly.
+  std::vector<int32_t> matrix(static_cast<size_t>(rows) * n);
+  for (int c = 0; c < n; ++c) {
+    const std::vector<int32_t>& codes = relation.column(c).codes;
+    for (int64_t row = 0; row < rows; ++row) {
+      matrix[row * n + c] = codes[row];
+    }
+  }
+
+  std::unordered_set<uint64_t, MaskHash> distinct;
+  for (int64_t t = 0; t < rows; ++t) {
+    const int32_t* row_t = &matrix[t * n];
+    for (int64_t u = t + 1; u < rows; ++u) {
+      const int32_t* row_u = &matrix[u * n];
+      uint64_t agree = 0;
+      for (int c = 0; c < n; ++c) {
+        agree |= static_cast<uint64_t>(row_t[c] == row_u[c]) << c;
+      }
+      distinct.insert(agree);
+    }
+  }
+
+  std::vector<AttributeSet> agree_sets;
+  agree_sets.reserve(distinct.size());
+  for (uint64_t mask : distinct) {
+    agree_sets.push_back(AttributeSet::FromMask(mask));
+  }
+  std::sort(agree_sets.begin(), agree_sets.end());
+  return agree_sets;
+}
+
+std::vector<AttributeSet> Fdep::MaximalSets(std::vector<AttributeSet> sets) {
+  // Sort by descending size: once the larger sets are in the trie, a
+  // candidate is non-maximal exactly when a stored superset exists.
+  std::sort(sets.begin(), sets.end(), [](AttributeSet a, AttributeSet b) {
+    if (a.size() != b.size()) return a.size() > b.size();
+    return a < b;
+  });
+  SetTrie trie;
+  std::vector<AttributeSet> maximal;
+  for (AttributeSet candidate : sets) {
+    if (trie.ContainsSupersetOf(candidate)) continue;
+    trie.Insert(candidate);
+    maximal.push_back(candidate);
+  }
+  return maximal;
+}
+
+StatusOr<DiscoveryResult> Fdep::Discover(const Relation& relation,
+                                         int max_lhs_size) {
+  if (relation.num_columns() > kMaxAttributes) {
+    return Status::InvalidArgument("relation has too many attributes");
+  }
+  WallTimer timer;
+  const int n = relation.num_columns();
+  DiscoveryResult result;
+
+  const std::vector<AttributeSet> agree_sets = ComputeAgreeSets(relation);
+
+  for (int rhs = 0; rhs < n; ++rhs) {
+    // Negative cover for `rhs`: maximal agree-sets of pairs differing on it.
+    std::vector<AttributeSet> violations;
+    for (AttributeSet agree : agree_sets) {
+      if (!agree.Contains(rhs)) violations.push_back(agree);
+    }
+    violations = MaximalSets(std::move(violations));
+
+    // Positive cover induction: start from the most general dependency
+    // ∅ → rhs and specialize against every maximal invalid dependency. The
+    // cover lives in a set-trie (the FD-tree of the original FDEP), which
+    // keeps it minimal at all times: an insertion is skipped when a subset
+    // is already present, and evicts any stored supersets.
+    SetTrie cover;
+    cover.Insert(AttributeSet());
+    for (AttributeSet violation : violations) {
+      // X ⊆ V means X → rhs is refuted by this violation: specialize.
+      const std::vector<AttributeSet> broken =
+          cover.ExtractSubsetsOf(violation);
+      const AttributeSet extension_pool =
+          AttributeSet::FullSet(n).Difference(violation).Without(rhs);
+      for (AttributeSet lhs : broken) {
+        for (int attribute : Members(extension_pool)) {
+          const AttributeSet specialized = lhs.With(attribute);
+          if (cover.ContainsSubsetOf(specialized)) continue;
+          for (AttributeSet superset :
+               cover.ExtractSupersetsOf(specialized)) {
+            (void)superset;  // subsumed by the new, more general lhs
+          }
+          cover.Insert(specialized);
+        }
+      }
+    }
+
+    for (AttributeSet lhs : cover.Enumerate()) {
+      if (lhs.size() > max_lhs_size) continue;
+      result.fds.push_back({lhs, rhs, 0.0});
+    }
+  }
+
+  CanonicalizeFds(&result.fds);
+  result.stats.wall_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace tane

@@ -1,0 +1,16 @@
+#include "core/config.h"
+
+namespace tane {
+
+Status TaneConfig::Validate() const {
+  if (epsilon < 0.0 || epsilon > 1.0) {
+    return Status::InvalidArgument("epsilon must be in [0, 1], got " +
+                                   std::to_string(epsilon));
+  }
+  if (max_lhs_size < 0) {
+    return Status::InvalidArgument("max_lhs_size must be >= 0");
+  }
+  return Status::OK();
+}
+
+}  // namespace tane

@@ -1,0 +1,103 @@
+#ifndef TANE_CORE_CONFIG_H_
+#define TANE_CORE_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "relation/schema.h"
+#include "util/status.h"
+
+namespace tane {
+
+/// Which approximation error decides validity in approximate mode. All
+/// three measures of Kivinen & Mannila are computable from the same two
+/// partitions; g3 is the paper's choice and the only one with the O(1)
+/// e(·)-based bounds.
+enum class ErrorMeasure {
+  /// Minimum fraction of rows to remove (the paper's measure).
+  kG3,
+  /// Fraction of rows involved in at least one violating pair.
+  kG2,
+  /// Fraction of ordered row pairs that violate.
+  kG1,
+};
+
+/// Where level partitions live during the search.
+enum class StorageMode {
+  /// TANE/MEM: both the current and previous level's partitions stay in
+  /// main memory.
+  kMemory,
+  /// TANE (scalable version): partitions are written to a spill directory
+  /// and read back when needed, keeping only O(1) partitions resident.
+  kDisk,
+};
+
+/// Tuning knobs for a TANE run. The defaults reproduce the paper's TANE/MEM
+/// exact-FD configuration; every pruning rule can be toggled individually
+/// for the ablation benches.
+struct TaneConfig {
+  /// Error threshold ε. 0 discovers exact FDs; ε > 0 discovers all minimal
+  /// approximate dependencies with error ≤ ε (paper §5, "Approximate
+  /// dependencies") under the selected `measure`.
+  double epsilon = 0.0;
+
+  /// The error measure thresholded by `epsilon`. Defaults to the paper's
+  /// g3; g1 and g2 are the other measures of Kivinen & Mannila [5], equally
+  /// anti-monotone in the left-hand side, so the same levelwise search and
+  /// minimality logic apply.
+  ErrorMeasure measure = ErrorMeasure::kG3;
+
+  /// Upper limit on left-hand-side size (the |X| column of Table 3).
+  /// kMaxAttributes means unlimited.
+  int max_lhs_size = kMaxAttributes;
+
+  /// Apply line 8 of COMPUTE-DEPENDENCIES (the C⁺ strengthening from
+  /// Lemma 4.1). Without it the algorithm is still correct but prunes less —
+  /// this is exactly the paper's remark about removing line 8.
+  bool use_rhs_plus_pruning = true;
+
+  /// Apply the key-pruning rule of PRUNE (Lemma 4.2).
+  bool use_key_pruning = true;
+
+  /// Drop A from C⁺(X) when a discovered dependency lhs' → A with
+  /// lhs' ⊆ X and |lhs'| <= 1 is already known: any later dependency that
+  /// would rely on that candidate has lhs ⊇ X ⊇ lhs' and cannot be minimal.
+  /// This is what lets the approximate search collapse at large ε (the
+  /// paper's Table 2/Figure 3 time drops), where dependencies with empty or
+  /// singleton left-hand sides cover every attribute early.
+  bool use_covered_rhs_pruning = true;
+
+  /// Use the e(·)-based g3 bounds to skip exact error scans in approximate
+  /// mode (extended-version optimization).
+  bool use_g3_bounds = true;
+
+  /// When true (the default), every *emitted* dependency carries its exact
+  /// g3 error even if the bounds already proved validity; when false, a
+  /// dependency proven valid by the upper bound reports that bound instead,
+  /// saving the O(|r|) scan.
+  bool compute_exact_errors = true;
+
+  /// Use stripped partitions (singleton classes dropped). Turning this off
+  /// reproduces the "full partition" baseline of the extended version.
+  bool use_stripped_partitions = true;
+
+  /// Compute each level partition as the product of two previous-level
+  /// partitions (Lemma 3, the TANE way). When false, every partition is
+  /// folded from the single-attribute partitions instead — the paper's §6
+  /// characterization of Schlimmer's decision-tree approach, "slower by a
+  /// factor O(|R|)". Exposed for the ablation bench.
+  bool use_partition_products = true;
+
+  StorageMode storage = StorageMode::kMemory;
+
+  /// Spill directory for StorageMode::kDisk. Empty selects a fresh
+  /// directory under the system temp dir, removed when the run finishes.
+  std::string spill_directory;
+
+  /// Validates field ranges (ε ∈ [0,1], positive max_lhs_size, ...).
+  Status Validate() const;
+};
+
+}  // namespace tane
+
+#endif  // TANE_CORE_CONFIG_H_

@@ -1,0 +1,16 @@
+#include "core/fd.h"
+
+#include <algorithm>
+
+namespace tane {
+
+std::string FunctionalDependency::ToString(const Schema& schema) const {
+  return lhs.ToString(schema) + " -> " + schema.name(rhs);
+}
+
+void CanonicalizeFds(std::vector<FunctionalDependency>* fds) {
+  std::sort(fds->begin(), fds->end());
+  fds->erase(std::unique(fds->begin(), fds->end()), fds->end());
+}
+
+}  // namespace tane

@@ -1,0 +1,40 @@
+#ifndef TANE_CORE_FD_H_
+#define TANE_CORE_FD_H_
+
+#include <string>
+#include <vector>
+
+#include "lattice/attribute_set.h"
+#include "relation/schema.h"
+
+namespace tane {
+
+/// A discovered dependency X → A. `error` is the g3 error measured on the
+/// input relation: 0 for exact functional dependencies, in (0, ε] for
+/// approximate ones.
+struct FunctionalDependency {
+  AttributeSet lhs;
+  int rhs = -1;
+  double error = 0.0;
+
+  /// Renders as "{A,B} -> C" using schema names.
+  std::string ToString(const Schema& schema) const;
+
+  friend bool operator==(const FunctionalDependency& a,
+                         const FunctionalDependency& b) {
+    return a.lhs == b.lhs && a.rhs == b.rhs;
+  }
+  /// Canonical order: by right-hand side, then left-hand-side mask.
+  friend bool operator<(const FunctionalDependency& a,
+                        const FunctionalDependency& b) {
+    if (a.rhs != b.rhs) return a.rhs < b.rhs;
+    return a.lhs < b.lhs;
+  }
+};
+
+/// Sorts into canonical order and drops duplicates (same lhs and rhs).
+void CanonicalizeFds(std::vector<FunctionalDependency>* fds);
+
+}  // namespace tane
+
+#endif  // TANE_CORE_FD_H_

@@ -1,0 +1,268 @@
+#include "core/partition_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+
+#include "util/logging.h"
+
+namespace tane {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// MemoryPartitionStore
+
+StatusOr<int64_t> MemoryPartitionStore::Put(
+    const StrippedPartition& partition) {
+  const int64_t handle = next_handle_++;
+  resident_bytes_ += partition.EstimatedBytes();
+  partitions_.emplace(handle, partition);
+  return handle;
+}
+
+StatusOr<StrippedPartition> MemoryPartitionStore::Get(int64_t handle) {
+  auto it = partitions_.find(handle);
+  if (it == partitions_.end()) {
+    return Status::NotFound("no partition with handle " +
+                            std::to_string(handle));
+  }
+  return it->second;
+}
+
+const StrippedPartition* MemoryPartitionStore::Peek(int64_t handle) const {
+  auto it = partitions_.find(handle);
+  return it == partitions_.end() ? nullptr : &it->second;
+}
+
+Status MemoryPartitionStore::Release(int64_t handle) {
+  auto it = partitions_.find(handle);
+  if (it == partitions_.end()) {
+    return Status::NotFound("release of unknown handle " +
+                            std::to_string(handle));
+  }
+  resident_bytes_ -= it->second.EstimatedBytes();
+  partitions_.erase(it);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+
+namespace {
+
+constexpr uint32_t kPartitionMagic = 0x54414E45;  // "TANE"
+
+template <typename T>
+void AppendPod(std::string* out, T value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+bool ReadPod(std::string_view* in, T* value) {
+  if (in->size() < sizeof(T)) return false;
+  std::memcpy(value, in->data(), sizeof(T));
+  in->remove_prefix(sizeof(T));
+  return true;
+}
+
+}  // namespace
+
+std::string SerializePartition(const StrippedPartition& partition) {
+  std::string out;
+  const auto& rows = partition.row_ids();
+  const auto& offsets = partition.class_offsets();
+  out.reserve(32 + (rows.size() + offsets.size()) * sizeof(int32_t));
+  AppendPod(&out, kPartitionMagic);
+  AppendPod(&out, static_cast<uint8_t>(partition.stripped() ? 1 : 0));
+  AppendPod(&out, partition.num_rows());
+  AppendPod(&out, static_cast<int64_t>(rows.size()));
+  AppendPod(&out, static_cast<int64_t>(offsets.size()));
+  out.append(reinterpret_cast<const char*>(rows.data()),
+             rows.size() * sizeof(int32_t));
+  out.append(reinterpret_cast<const char*>(offsets.data()),
+             offsets.size() * sizeof(int32_t));
+  return out;
+}
+
+StatusOr<StrippedPartition> DeserializePartition(std::string_view bytes) {
+  uint32_t magic = 0;
+  uint8_t stripped = 0;
+  int64_t num_rows = 0, num_member_rows = 0, num_offsets = 0;
+  if (!ReadPod(&bytes, &magic) || magic != kPartitionMagic) {
+    return Status::InvalidArgument("bad partition magic");
+  }
+  if (!ReadPod(&bytes, &stripped) || !ReadPod(&bytes, &num_rows) ||
+      !ReadPod(&bytes, &num_member_rows) || !ReadPod(&bytes, &num_offsets)) {
+    return Status::InvalidArgument("truncated partition header");
+  }
+  if (num_rows < 0 || num_member_rows < 0 || num_offsets < 1) {
+    return Status::InvalidArgument("corrupt partition header");
+  }
+  const size_t payload =
+      (static_cast<size_t>(num_member_rows) + num_offsets) * sizeof(int32_t);
+  if (bytes.size() != payload) {
+    return Status::InvalidArgument("partition payload size mismatch");
+  }
+  std::vector<int32_t> row_ids(num_member_rows);
+  std::vector<int32_t> offsets(num_offsets);
+  std::memcpy(row_ids.data(), bytes.data(),
+              num_member_rows * sizeof(int32_t));
+  std::memcpy(offsets.data(), bytes.data() + num_member_rows * sizeof(int32_t),
+              num_offsets * sizeof(int32_t));
+  return StrippedPartition::Create(num_rows, std::move(row_ids),
+                                   std::move(offsets), stripped != 0);
+}
+
+// ---------------------------------------------------------------------------
+// DiskPartitionStore
+
+StatusOr<std::unique_ptr<DiskPartitionStore>> DiskPartitionStore::Open(
+    std::string directory) {
+  std::error_code ec;
+  bool owns = false;
+  if (directory.empty()) {
+    fs::path base = fs::temp_directory_path(ec);
+    if (ec) return Status::IoError("no temp directory: " + ec.message());
+    // Pick an unused name; PIDs and a counter keep concurrent runs apart.
+    static int counter = 0;
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+      fs::path candidate =
+          base / ("tane-spill-" + std::to_string(::getpid()) + "-" +
+                  std::to_string(counter++));
+      if (fs::create_directory(candidate, ec) && !ec) {
+        directory = candidate.string();
+        owns = true;
+        break;
+      }
+    }
+    if (directory.empty()) {
+      return Status::IoError("could not create a spill directory");
+    }
+  } else if (!fs::exists(directory, ec)) {
+    if (!fs::create_directories(directory, ec) || ec) {
+      return Status::IoError("cannot create spill directory " + directory +
+                             ": " + ec.message());
+    }
+    owns = true;
+  }
+  return std::unique_ptr<DiskPartitionStore>(
+      new DiskPartitionStore(std::move(directory), owns));
+}
+
+DiskPartitionStore::~DiskPartitionStore() {
+  std::error_code ec;
+  for (size_t segment = 0; segment < segments_.size(); ++segment) {
+    if (segments_[segment].fd >= 0) {
+      ::close(segments_[segment].fd);
+      fs::remove(SegmentPath(static_cast<int32_t>(segment)), ec);
+    }
+  }
+  if (owns_directory_) fs::remove_all(directory_, ec);
+}
+
+std::string DiskPartitionStore::SegmentPath(int32_t segment) const {
+  return (fs::path(directory_) / ("seg" + std::to_string(segment) + ".bin"))
+      .string();
+}
+
+Status DiskPartitionStore::OpenNewSegment() {
+  const int32_t id = static_cast<int32_t>(segments_.size());
+  const std::string path = SegmentPath(id);
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0600);
+  if (fd < 0) return Status::IoError("cannot create segment " + path);
+  segments_.push_back(Segment{fd, 0, 0, false});
+  return Status::OK();
+}
+
+void DiskPartitionStore::DropSegmentIfDead(int32_t segment_id) {
+  Segment& segment = segments_[segment_id];
+  if (segment.fd < 0 || !segment.sealed || segment.live_partitions > 0) {
+    return;
+  }
+  ::close(segment.fd);
+  segment.fd = -1;
+  std::error_code ec;
+  fs::remove(SegmentPath(segment_id), ec);
+}
+
+StatusOr<int64_t> DiskPartitionStore::Put(const StrippedPartition& partition) {
+  if (segments_.empty() || segments_.back().sealed) {
+    TANE_RETURN_IF_ERROR(OpenNewSegment());
+  }
+  const int32_t segment_id = static_cast<int32_t>(segments_.size()) - 1;
+  Segment& segment = segments_[segment_id];
+
+  const std::string bytes = SerializePartition(partition);
+  const int64_t offset = segment.bytes;
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n = ::pwrite(segment.fd, bytes.data() + written,
+                               bytes.size() - written, offset + written);
+    if (n < 0) return Status::IoError("segment write failed");
+    written += static_cast<size_t>(n);
+  }
+  segment.bytes += static_cast<int64_t>(bytes.size());
+  ++segment.live_partitions;
+  bytes_written_ += static_cast<int64_t>(bytes.size());
+
+  const int64_t handle = next_handle_++;
+  entries_[handle] =
+      Entry{segment_id, offset, static_cast<int64_t>(bytes.size())};
+  if (segment.bytes >= kSegmentBytes) segment.sealed = true;
+  return handle;
+}
+
+StatusOr<StrippedPartition> DiskPartitionStore::Get(int64_t handle) {
+  auto it = entries_.find(handle);
+  if (it == entries_.end()) {
+    return Status::NotFound("no partition with handle " +
+                            std::to_string(handle));
+  }
+  const Entry& entry = it->second;
+  const Segment& segment = segments_[entry.segment];
+  std::string bytes(entry.size, '\0');
+  size_t read = 0;
+  while (read < bytes.size()) {
+    const ssize_t n = ::pread(segment.fd, bytes.data() + read,
+                              bytes.size() - read, entry.offset + read);
+    if (n < 0) return Status::IoError("segment read failed");
+    if (n == 0) return Status::IoError("segment truncated");
+    read += static_cast<size_t>(n);
+  }
+  return DeserializePartition(bytes);
+}
+
+Status DiskPartitionStore::Release(int64_t handle) {
+  auto it = entries_.find(handle);
+  if (it == entries_.end()) {
+    return Status::NotFound("release of unknown handle " +
+                            std::to_string(handle));
+  }
+  const int32_t segment_id = it->second.segment;
+  entries_.erase(it);
+  --segments_[segment_id].live_partitions;
+  // The newest segment is sealed on release pressure too: once TANE starts
+  // releasing a level, the segments holding it should become reclaimable
+  // even if they never filled up.
+  if (segment_id == static_cast<int32_t>(segments_.size()) - 1 &&
+      segments_[segment_id].live_partitions == 0) {
+    segments_[segment_id].sealed = true;
+  }
+  DropSegmentIfDead(segment_id);
+  return Status::OK();
+}
+
+int64_t DiskPartitionStore::disk_bytes() const {
+  int64_t total = 0;
+  for (const Segment& segment : segments_) {
+    if (segment.fd >= 0) total += segment.bytes;
+  }
+  return total;
+}
+
+}  // namespace tane

@@ -1,0 +1,136 @@
+#ifndef TANE_CORE_PARTITION_STORE_H_
+#define TANE_CORE_PARTITION_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "partition/stripped_partition.h"
+#include "util/status.h"
+
+namespace tane {
+
+/// Storage abstraction for level partitions. TANE proper (the scalable
+/// version, §6) keeps partitions on disk and reads them back level by
+/// level; TANE/MEM keeps them in RAM. The driver is written against this
+/// interface so both variants share one code path.
+class PartitionStore {
+ public:
+  virtual ~PartitionStore() = default;
+
+  /// Stores a partition and returns its handle.
+  virtual StatusOr<int64_t> Put(const StrippedPartition& partition) = 0;
+
+  /// Retrieves a stored partition. The handle stays valid until Release.
+  virtual StatusOr<StrippedPartition> Get(int64_t handle) = 0;
+
+  /// Frees the resources behind `handle`. Releasing twice is an error.
+  virtual Status Release(int64_t handle) = 0;
+
+  /// Borrowing accessor: returns a pointer to the resident partition when
+  /// the store can serve one without I/O or copying, else nullptr (callers
+  /// then fall back to Get). The pointer is invalidated by Put/Release.
+  virtual const StrippedPartition* Peek(int64_t handle) const {
+    (void)handle;
+    return nullptr;
+  }
+
+  /// Bytes currently resident in main memory on behalf of the store.
+  virtual int64_t resident_bytes() const = 0;
+
+  /// Total bytes ever written to secondary storage (0 for memory stores).
+  virtual int64_t bytes_written() const = 0;
+};
+
+/// Keeps every partition in main memory (the TANE/MEM configuration).
+class MemoryPartitionStore : public PartitionStore {
+ public:
+  MemoryPartitionStore() = default;
+
+  StatusOr<int64_t> Put(const StrippedPartition& partition) override;
+  StatusOr<StrippedPartition> Get(int64_t handle) override;
+  Status Release(int64_t handle) override;
+  const StrippedPartition* Peek(int64_t handle) const override;
+  int64_t resident_bytes() const override { return resident_bytes_; }
+  int64_t bytes_written() const override { return 0; }
+
+ private:
+  std::unordered_map<int64_t, StrippedPartition> partitions_;
+  int64_t next_handle_ = 0;
+  int64_t resident_bytes_ = 0;
+};
+
+/// Spills partitions to append-only segment files under a directory (the
+/// scalable TANE configuration). Each Put is one sequential write of size
+/// O(|r|) and each Get one positioned read, matching the paper's cost model
+/// of O(s) disk accesses of size O(|r|). Segments whose partitions have all
+/// been released are unlinked, so — because TANE releases whole levels —
+/// disk usage tracks the two live levels (O(s_max·|r|)) rather than the
+/// total spill volume.
+class DiskPartitionStore : public PartitionStore {
+ public:
+  /// Opens a store rooted at `directory`; if empty, creates a fresh
+  /// directory under the system temp dir. A directory created by the store
+  /// (including a named one that did not yet exist) is deleted on
+  /// destruction together with any remaining segment files.
+  static StatusOr<std::unique_ptr<DiskPartitionStore>> Open(
+      std::string directory = "");
+
+  ~DiskPartitionStore() override;
+
+  DiskPartitionStore(const DiskPartitionStore&) = delete;
+  DiskPartitionStore& operator=(const DiskPartitionStore&) = delete;
+
+  StatusOr<int64_t> Put(const StrippedPartition& partition) override;
+  StatusOr<StrippedPartition> Get(int64_t handle) override;
+  Status Release(int64_t handle) override;
+  int64_t resident_bytes() const override { return 0; }
+  int64_t bytes_written() const override { return bytes_written_; }
+
+  const std::string& directory() const { return directory_; }
+
+  /// Bytes currently occupied by live (non-unlinked) segments.
+  int64_t disk_bytes() const;
+
+ private:
+  // A segment rotates once it exceeds this many bytes.
+  static constexpr int64_t kSegmentBytes = 32 << 20;
+
+  struct Entry {
+    int32_t segment = -1;
+    int64_t offset = 0;
+    int64_t size = 0;
+  };
+  struct Segment {
+    int fd = -1;
+    int64_t live_partitions = 0;
+    int64_t bytes = 0;
+    bool sealed = false;
+  };
+
+  DiskPartitionStore(std::string directory, bool owns_directory)
+      : directory_(std::move(directory)), owns_directory_(owns_directory) {}
+
+  std::string SegmentPath(int32_t segment) const;
+  Status OpenNewSegment();
+  void DropSegmentIfDead(int32_t segment);
+
+  std::string directory_;
+  bool owns_directory_ = false;
+  std::unordered_map<int64_t, Entry> entries_;
+  std::vector<Segment> segments_;
+  int64_t next_handle_ = 0;
+  int64_t bytes_written_ = 0;
+};
+
+/// Serializes `partition` into a compact binary image (used by the disk
+/// store and directly testable).
+std::string SerializePartition(const StrippedPartition& partition);
+
+/// Inverse of SerializePartition; validates the header and array sizes.
+StatusOr<StrippedPartition> DeserializePartition(std::string_view bytes);
+
+}  // namespace tane
+
+#endif  // TANE_CORE_PARTITION_STORE_H_

@@ -1,0 +1,4 @@
+#include "core/result.h"
+
+// DiscoveryResult is a plain aggregate; this file anchors the module in the
+// build and hosts future non-inline helpers.

@@ -1,0 +1,53 @@
+#ifndef TANE_CORE_RESULT_H_
+#define TANE_CORE_RESULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/fd.h"
+#include "lattice/attribute_set.h"
+
+namespace tane {
+
+/// Counters describing the work a discovery run performed; used by the
+/// bench harness and by the ablation studies.
+struct DiscoveryStats {
+  /// Levels of the lattice processed (largest ℓ with L_ℓ nonempty).
+  int levels_processed = 0;
+  /// Total attribute sets placed in levels (the paper's s).
+  int64_t sets_generated = 0;
+  /// Size of the largest level (the paper's s_max).
+  int64_t max_level_size = 0;
+  /// Validity tests performed (the paper's v).
+  int64_t validity_tests = 0;
+  /// Exact g3 scans executed in approximate mode.
+  int64_t g3_scans = 0;
+  /// g3 scans skipped because the e(·) bounds already decided validity.
+  int64_t g3_scans_skipped = 0;
+  /// Partition products computed.
+  int64_t partition_products = 0;
+  /// Keys found (sets removed by key pruning).
+  int64_t keys_found = 0;
+  /// Peak bytes of partitions resident in memory at once.
+  int64_t peak_partition_bytes = 0;
+  /// Total bytes written to the spill directory (disk mode only).
+  int64_t spill_bytes_written = 0;
+  /// Wall-clock seconds for the whole discovery.
+  double wall_seconds = 0.0;
+};
+
+/// The output of a discovery run: all minimal non-trivial dependencies with
+/// g3 ≤ ε, the minimal keys encountered by key pruning, and run statistics.
+struct DiscoveryResult {
+  std::vector<FunctionalDependency> fds;
+  std::vector<AttributeSet> keys;
+  DiscoveryStats stats;
+
+  /// Number of dependencies found (the N column in the paper's tables).
+  int64_t num_fds() const { return static_cast<int64_t>(fds.size()); }
+};
+
+}  // namespace tane
+
+#endif  // TANE_CORE_RESULT_H_

@@ -1,0 +1,551 @@
+#include "core/tane.h"
+
+#include <algorithm>
+#include <list>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/partition_store.h"
+#include "lattice/level.h"
+#include "partition/error.h"
+#include "partition/partition_builder.h"
+#include "partition/product.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace tane {
+namespace {
+
+// Margin for the floating-point comparison "removals <= ε·|r|".
+constexpr double kEpsilonSlack = 1e-9;
+
+// One attribute set of the current level, with its rhs⁺ candidates C⁺(X),
+// the partition error e(X), and the handle of π_X in the partition store.
+struct Node {
+  AttributeSet set;
+  AttributeSet cplus;
+  int64_t error = 0;
+  int64_t handle = -1;
+  bool deleted = false;
+};
+
+// Serves partitions by handle, borrowing from the store when it is
+// memory-backed and maintaining a small LRU of deserialized partitions when
+// it is disk-backed. Pointers stay valid for at least the `capacity - 1`
+// following Acquire calls, which suffices for the two-operand uses here.
+class PartitionAccessor {
+ public:
+  PartitionAccessor(PartitionStore* store, size_t capacity)
+      : store_(store), capacity_(capacity) {}
+
+  StatusOr<const StrippedPartition*> Acquire(int64_t handle) {
+    if (const StrippedPartition* borrowed = store_->Peek(handle)) {
+      return borrowed;
+    }
+    for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+      if (it->first == handle) {
+        cache_.splice(cache_.begin(), cache_, it);
+        return &cache_.front().second;
+      }
+    }
+    TANE_ASSIGN_OR_RETURN(StrippedPartition partition, store_->Get(handle));
+    cache_.emplace_front(handle, std::move(partition));
+    while (cache_.size() > capacity_) cache_.pop_back();
+    return &cache_.front().second;
+  }
+
+  // Drops cached copies (e.g. after their handles are released).
+  void Clear() { cache_.clear(); }
+
+  int64_t cache_bytes() const {
+    int64_t total = 0;
+    for (const auto& [handle, partition] : cache_) {
+      total += partition.EstimatedBytes();
+    }
+    return total;
+  }
+
+ private:
+  PartitionStore* store_;
+  size_t capacity_;
+  std::list<std::pair<int64_t, StrippedPartition>> cache_;
+};
+
+class TaneRun {
+ public:
+  TaneRun(const Relation& relation, const TaneConfig& config,
+          std::unique_ptr<PartitionStore> store)
+      : relation_(relation),
+        config_(config),
+        store_(std::move(store)),
+        accessor_(store_.get(), /*capacity=*/8),
+        num_rows_(relation.num_rows()),
+        eps_rows_(config.epsilon * static_cast<double>(relation.num_rows())),
+        g3_(relation.num_rows()),
+        product_(relation.num_rows()) {}
+
+  Status Run(DiscoveryResult* result);
+
+ private:
+  // COMPUTE-DEPENDENCIES(L_ℓ), paper §5.
+  Status ComputeDependencies(int level_number, std::vector<Node>* level,
+                             const std::vector<Node>* prev,
+                             const LevelIndex* prev_index,
+                             DiscoveryResult* result);
+
+  // PRUNE(L_ℓ), paper §5. Marks nodes deleted and emits key dependencies.
+  Status Prune(int level_number, std::vector<Node>* level,
+               DiscoveryResult* result);
+
+  // Tests X\{A} → A given e(X\{A}), handles for both partitions, and e(X).
+  // Sets *valid and *error (the g3 value to report when valid).
+  Status TestValidity(int64_t prev_error, int64_t prev_handle,
+                      const Node& node, bool* valid, double* error,
+                      bool* exact_holds);
+
+  Status ReleaseHandles(std::vector<Node>* nodes);
+  void SamplePeakMemory();
+
+  const StrippedPartition& EmptySetPartition();
+
+  // Records an emitted dependency for the definitional C⁺ fallback and the
+  // covered-rhs pruning masks below.
+  void RecordFd(DiscoveryResult* result, AttributeSet lhs, int rhs,
+                double error) {
+    result->fds.push_back({lhs, rhs, error});
+    found_lhs_by_rhs_[rhs].push_back(lhs);
+    if (lhs.empty()) {
+      covered_by_empty_ = covered_by_empty_.With(rhs);
+    } else if (lhs.size() == 1) {
+      covered_by_singleton_[rhs] =
+          covered_by_singleton_[rhs].Union(lhs);
+    }
+  }
+
+  // True when `lhs` → `rhs` is (approximately) valid, answered from the
+  // minimal dependencies discovered so far. Sound for dependencies whose
+  // left-hand side is smaller than the current level, because the levelwise
+  // sweep has already emitted every minimal dependency below that size.
+  bool HoldsByKnownFds(AttributeSet lhs, int rhs) const {
+    for (AttributeSet known : found_lhs_by_rhs_[rhs]) {
+      if (lhs.ContainsAll(known)) return true;
+    }
+    return false;
+  }
+
+  // Definitional membership test A ∈ C⁺(Y) (paper §4):
+  //   C⁺(Y) = {A ∈ R | for all B ∈ Y, Y\{A,B} → B does not hold}.
+  // Used when PRUNE needs C⁺ of a set that was never generated because a
+  // key beneath it was pruned away; the stored levels have no value for it,
+  // but the discovered-FD index answers the defining validity queries.
+  bool InDefinitionalCplus(AttributeSet y, int attribute) const {
+    for (int b : Members(y)) {
+      if (HoldsByKnownFds(y.Without(attribute).Without(b), b)) return false;
+    }
+    return true;
+  }
+
+  const Relation& relation_;
+  const TaneConfig& config_;
+  std::unique_ptr<PartitionStore> store_;
+  PartitionAccessor accessor_;
+  const int64_t num_rows_;
+  const double eps_rows_;
+  G3Calculator g3_;
+  PartitionProduct product_;
+  DiscoveryStats stats_;
+
+  // π_∅ and e(∅), needed when testing dependencies ∅ → A at level 1.
+  std::unique_ptr<StrippedPartition> empty_partition_;
+  int64_t empty_error_ = 0;
+
+  // found_lhs_by_rhs_[A] = left-hand sides of every dependency emitted so
+  // far with right-hand side A; backs the definitional C⁺ fallback.
+  std::vector<std::vector<AttributeSet>> found_lhs_by_rhs_;
+
+  // covered_by_empty_ holds the attributes A with ∅ → A already emitted;
+  // covered_by_singleton_[A] holds the B with {B} → A emitted. Both back
+  // the covered-rhs pruning (TaneConfig::use_covered_rhs_pruning).
+  AttributeSet covered_by_empty_;
+  std::vector<AttributeSet> covered_by_singleton_;
+
+  // Resident copies of the single-attribute partitions, kept only in the
+  // Schlimmer-style recomputation mode (use_partition_products == false).
+  std::vector<StrippedPartition> singleton_partitions_;
+};
+
+const StrippedPartition& TaneRun::EmptySetPartition() {
+  if (empty_partition_ == nullptr) {
+    empty_partition_ = std::make_unique<StrippedPartition>(
+        PartitionBuilder::ForAttributeSet(relation_, AttributeSet(),
+                                          config_.use_stripped_partitions));
+  }
+  return *empty_partition_;
+}
+
+void TaneRun::SamplePeakMemory() {
+  stats_.peak_partition_bytes =
+      std::max(stats_.peak_partition_bytes,
+               store_->resident_bytes() + accessor_.cache_bytes());
+}
+
+Status TaneRun::ReleaseHandles(std::vector<Node>* nodes) {
+  for (Node& node : *nodes) {
+    if (node.handle >= 0) {
+      TANE_RETURN_IF_ERROR(store_->Release(node.handle));
+      node.handle = -1;
+    }
+  }
+  accessor_.Clear();
+  return Status::OK();
+}
+
+Status TaneRun::TestValidity(int64_t prev_error, int64_t prev_handle,
+                             const Node& node, bool* valid, double* error,
+                             bool* exact_holds) {
+  ++stats_.validity_tests;
+  *exact_holds = (prev_error == node.error);
+  *error = 0.0;
+
+  if (config_.epsilon == 0.0) {
+    // Lemma 2: X→A holds iff |π_X| = |π_X∪A| iff e(X) = e(X∪A).
+    *valid = *exact_holds;
+    return Status::OK();
+  }
+
+  // Approximate mode: decide error(X\{A} → A) ≤ ε. For g3 the e(·)-based
+  // bounds run first (O(1)); the exact partition scan (O(|r|)) only when
+  // necessary. g1/g2 have no such bounds and always scan.
+  if (config_.measure == ErrorMeasure::kG3) {
+    const int64_t lower = std::max<int64_t>(0, prev_error - node.error);
+    const int64_t upper = prev_error;
+    if (config_.use_g3_bounds &&
+        static_cast<double>(lower) > eps_rows_ + kEpsilonSlack) {
+      ++stats_.g3_scans_skipped;
+      *valid = false;
+      return Status::OK();
+    }
+    if (config_.use_g3_bounds && !config_.compute_exact_errors &&
+        static_cast<double>(upper) <= eps_rows_ + kEpsilonSlack) {
+      ++stats_.g3_scans_skipped;
+      *valid = true;
+      *error = num_rows_ == 0 ? 0.0
+                              : static_cast<double>(upper) /
+                                    static_cast<double>(num_rows_);
+      return Status::OK();
+    }
+  }
+
+  const StrippedPartition* coarse = nullptr;
+  if (prev_handle >= 0) {
+    TANE_ASSIGN_OR_RETURN(coarse, accessor_.Acquire(prev_handle));
+  } else {
+    coarse = &EmptySetPartition();
+  }
+  TANE_ASSIGN_OR_RETURN(const StrippedPartition* fine,
+                        accessor_.Acquire(node.handle));
+  ++stats_.g3_scans;
+  switch (config_.measure) {
+    case ErrorMeasure::kG3: {
+      const int64_t removals = g3_.RemovalCount(*coarse, *fine);
+      *valid = static_cast<double>(removals) <= eps_rows_ + kEpsilonSlack;
+      *error = num_rows_ == 0 ? 0.0
+                              : static_cast<double>(removals) /
+                                    static_cast<double>(num_rows_);
+      break;
+    }
+    case ErrorMeasure::kG2: {
+      *error = g3_.G2Error(*coarse, *fine);
+      *valid = *error <= config_.epsilon + kEpsilonSlack;
+      break;
+    }
+    case ErrorMeasure::kG1: {
+      *error = g3_.G1Error(*coarse, *fine);
+      *valid = *error <= config_.epsilon + kEpsilonSlack;
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+Status TaneRun::ComputeDependencies(int level_number, std::vector<Node>* level,
+                                    const std::vector<Node>* prev,
+                                    const LevelIndex* prev_index,
+                                    DiscoveryResult* result) {
+  const AttributeSet full = AttributeSet::FullSet(relation_.num_columns());
+
+  // Line 2: C⁺(X) := ∩_{A∈X} C⁺(X\{A}).  At level 1, C⁺(∅) = R.
+  for (Node& node : *level) {
+    AttributeSet cplus = full;
+    if (level_number > 1) {
+      for (int attribute : Members(node.set)) {
+        const int prev_pos = prev_index->Find(node.set.Without(attribute));
+        TANE_CHECK(prev_pos >= 0)
+            << "level invariant broken: missing subset of "
+            << node.set.ToString();
+        cplus = cplus.Intersect((*prev)[prev_pos].cplus);
+        if (cplus.empty()) break;
+      }
+    }
+    // Covered-rhs pruning: a candidate A outside X is dead once some known
+    // dependency lhs' → A has lhs' ⊆ X — every dependency that could still
+    // use it would have a left-hand side ⊇ X ⊇ lhs' and thus not be
+    // minimal. Checking the ∅- and singleton-lhs dependencies costs O(|R|)
+    // per set and is what collapses the search at large ε.
+    if (config_.use_covered_rhs_pruning) {
+      for (int attribute : Members(cplus.Difference(node.set))) {
+        if (covered_by_empty_.Contains(attribute) ||
+            !covered_by_singleton_[attribute].Intersect(node.set).empty()) {
+          cplus = cplus.Without(attribute);
+        }
+      }
+    }
+    node.cplus = cplus;
+  }
+
+  // Lines 3-8: test X\{A} → A for A ∈ X ∩ C⁺(X).
+  for (Node& node : *level) {
+    const AttributeSet candidates = node.set.Intersect(node.cplus);
+    for (int attribute : Members(candidates)) {
+      const AttributeSet lhs = node.set.Without(attribute);
+      int64_t prev_error = empty_error_;
+      int64_t prev_handle = -1;
+      if (level_number > 1) {
+        const int prev_pos = prev_index->Find(lhs);
+        TANE_CHECK(prev_pos >= 0);
+        prev_error = (*prev)[prev_pos].error;
+        prev_handle = (*prev)[prev_pos].handle;
+      }
+
+      bool valid = false;
+      bool exact_holds = false;
+      double error = 0.0;
+      TANE_RETURN_IF_ERROR(TestValidity(prev_error, prev_handle, node, &valid,
+                                        &error, &exact_holds));
+      if (!valid) continue;
+
+      // Line 6: output the minimal dependency.
+      RecordFd(result, lhs, attribute, error);
+      // Line 7: A can no longer be a minimal rhs for any superset.
+      node.cplus = node.cplus.Without(attribute);
+      // Line 8 (exact) / 8' (approximate): Lemma 4.1 strengthening. In the
+      // approximate algorithm it applies only when the dependency holds
+      // exactly.
+      if (config_.use_rhs_plus_pruning &&
+          (config_.epsilon == 0.0 || exact_holds)) {
+        node.cplus = node.cplus.Intersect(node.set);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status TaneRun::Prune(int level_number, std::vector<Node>* level,
+                      DiscoveryResult* result) {
+  LevelIndex index;
+  {
+    std::vector<AttributeSet> sets;
+    sets.reserve(level->size());
+    for (const Node& node : *level) sets.push_back(node.set);
+    index = LevelIndex(sets);
+  }
+
+  for (Node& node : *level) {
+    // Rule 1: empty C⁺ means no superset can yield a minimal dependency.
+    if (node.cplus.empty()) {
+      node.deleted = true;
+      continue;
+    }
+    // Rule 2: key pruning (Lemma 4.2). A set reaching its level with
+    // e(X) = 0 is a key: superkeys that are not keys have a key as a proper
+    // subset and were therefore never generated.
+    if (config_.use_key_pruning && node.error == 0 && num_rows_ > 0) {
+      ++stats_.keys_found;
+      result->keys.push_back(node.set);
+      // Output X → A for rhs⁺ candidates outside X whose minimality is
+      // certified by the C⁺ sets of this level (paper PRUNE, lines 5-7).
+      if (level_number <= config_.max_lhs_size) {
+        for (int attribute : Members(node.cplus.Difference(node.set))) {
+          bool minimal = true;
+          for (int inside : Members(node.set)) {
+            const AttributeSet sibling =
+                node.set.With(attribute).Without(inside);
+            const int pos = index.Find(sibling);
+            if (pos >= 0) {
+              if (!(*level)[pos].cplus.Contains(attribute)) {
+                minimal = false;
+                break;
+              }
+            } else if (!InDefinitionalCplus(sibling, attribute)) {
+              // The sibling was never generated (a key beneath it was
+              // pruned); fall back to the definition of C⁺, answered from
+              // the dependencies discovered so far.
+              minimal = false;
+              break;
+            }
+          }
+          if (minimal) {
+            RecordFd(result, node.set, attribute, 0.0);
+          }
+        }
+      }
+      node.deleted = true;
+    }
+  }
+
+  // Partitions of deleted nodes are dead: nothing later reads them.
+  for (Node& node : *level) {
+    if (node.deleted && node.handle >= 0) {
+      TANE_RETURN_IF_ERROR(store_->Release(node.handle));
+      node.handle = -1;
+    }
+  }
+  accessor_.Clear();
+  return Status::OK();
+}
+
+Status TaneRun::Run(DiscoveryResult* result) {
+  WallTimer timer;
+  const int num_attributes = relation_.num_columns();
+  empty_error_ = num_rows_ > 0 ? num_rows_ - 1 : 0;
+  found_lhs_by_rhs_.assign(num_attributes, {});
+  covered_by_singleton_.assign(num_attributes, AttributeSet());
+
+  // L_1 := {{A} | A ∈ R}, with partitions computed from the database.
+  std::vector<Node> current;
+  current.reserve(num_attributes);
+  for (int attribute = 0; attribute < num_attributes; ++attribute) {
+    StrippedPartition partition = PartitionBuilder::ForAttribute(
+        relation_, attribute, config_.use_stripped_partitions);
+    Node node;
+    node.set = AttributeSet::Singleton(attribute);
+    node.error = partition.Error();
+    TANE_ASSIGN_OR_RETURN(node.handle, store_->Put(partition));
+    if (!config_.use_partition_products) {
+      singleton_partitions_.push_back(std::move(partition));
+    }
+    current.push_back(node);
+    ++stats_.sets_generated;
+  }
+  SamplePeakMemory();
+
+  std::vector<Node> prev;
+  LevelIndex prev_index;
+  // In exact mode validity tests read only the stored e(·) values, so a
+  // level's partitions can be dropped as soon as the next level's products
+  // are computed; the approximate mode still needs them for g3 scans.
+  const bool prev_partitions_needed_in_compute = config_.epsilon > 0.0;
+
+  int level_number = 1;
+  while (!current.empty()) {
+    stats_.levels_processed = level_number;
+    stats_.max_level_size = std::max(
+        stats_.max_level_size, static_cast<int64_t>(current.size()));
+
+    TANE_RETURN_IF_ERROR(ComputeDependencies(level_number, &current, &prev,
+                                             &prev_index, result));
+    TANE_RETURN_IF_ERROR(ReleaseHandles(&prev));
+    TANE_RETURN_IF_ERROR(Prune(level_number, &current, result));
+
+    std::vector<Node> survivors;
+    survivors.reserve(current.size());
+    for (Node& node : current) {
+      if (!node.deleted) survivors.push_back(std::move(node));
+    }
+    current.clear();
+
+    if (survivors.empty() || level_number >= config_.max_lhs_size + 1) {
+      TANE_RETURN_IF_ERROR(ReleaseHandles(&survivors));
+      break;
+    }
+
+    // GENERATE-NEXT-LEVEL with partitions as products of two parents
+    // (Lemma 3).
+    std::vector<AttributeSet> survivor_sets;
+    survivor_sets.reserve(survivors.size());
+    for (const Node& node : survivors) survivor_sets.push_back(node.set);
+    const std::vector<LevelCandidate> candidates =
+        GenerateNextLevel(survivor_sets);
+
+    std::vector<Node> next;
+    next.reserve(candidates.size());
+    for (const LevelCandidate& candidate : candidates) {
+      StrippedPartition product;
+      if (config_.use_partition_products) {
+        TANE_ASSIGN_OR_RETURN(
+            const StrippedPartition* a,
+            accessor_.Acquire(survivors[candidate.parent_a].handle));
+        TANE_ASSIGN_OR_RETURN(
+            const StrippedPartition* b,
+            accessor_.Acquire(survivors[candidate.parent_b].handle));
+        product = product_.Multiply(*a, *b);
+        ++stats_.partition_products;
+      } else {
+        // Schlimmer-style recomputation: fold the candidate set's singleton
+        // partitions, |X|−1 products instead of one.
+        const std::vector<int> members = candidate.set.ToIndices();
+        product = singleton_partitions_[members[0]];
+        for (size_t i = 1; i < members.size(); ++i) {
+          product =
+              product_.Multiply(product, singleton_partitions_[members[i]]);
+          ++stats_.partition_products;
+        }
+      }
+      Node node;
+      node.set = candidate.set;
+      node.error = product.Error();
+      TANE_ASSIGN_OR_RETURN(node.handle, store_->Put(product));
+      next.push_back(node);
+      ++stats_.sets_generated;
+      SamplePeakMemory();
+    }
+
+    if (!prev_partitions_needed_in_compute) {
+      TANE_RETURN_IF_ERROR(ReleaseHandles(&survivors));
+    }
+    prev = std::move(survivors);
+    {
+      std::vector<AttributeSet> prev_sets;
+      prev_sets.reserve(prev.size());
+      for (const Node& node : prev) prev_sets.push_back(node.set);
+      prev_index = LevelIndex(prev_sets);
+    }
+    current = std::move(next);
+    ++level_number;
+  }
+
+  TANE_RETURN_IF_ERROR(ReleaseHandles(&prev));
+  CanonicalizeFds(&result->fds);
+  std::sort(result->keys.begin(), result->keys.end());
+  stats_.spill_bytes_written = store_->bytes_written();
+  stats_.wall_seconds = timer.ElapsedSeconds();
+  result->stats = stats_;
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<DiscoveryResult> Tane::Discover(const Relation& relation,
+                                         const TaneConfig& config) {
+  TANE_RETURN_IF_ERROR(config.Validate());
+  if (relation.num_columns() > kMaxAttributes) {
+    return Status::InvalidArgument("relation has too many attributes");
+  }
+
+  std::unique_ptr<PartitionStore> store;
+  if (config.storage == StorageMode::kDisk) {
+    TANE_ASSIGN_OR_RETURN(auto disk_store,
+                          DiskPartitionStore::Open(config.spill_directory));
+    store = std::move(disk_store);
+  } else {
+    store = std::make_unique<MemoryPartitionStore>();
+  }
+
+  DiscoveryResult result;
+  TaneRun run(relation, config, std::move(store));
+  TANE_RETURN_IF_ERROR(run.Run(&result));
+  return result;
+}
+
+}  // namespace tane

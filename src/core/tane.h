@@ -1,0 +1,34 @@
+#ifndef TANE_CORE_TANE_H_
+#define TANE_CORE_TANE_H_
+
+#include "core/config.h"
+#include "core/result.h"
+#include "relation/relation.h"
+#include "util/status.h"
+
+namespace tane {
+
+/// The TANE algorithm (Huhtala, Kärkkäinen, Porkka, Toivonen, ICDE 1998):
+/// levelwise discovery of all minimal non-trivial functional dependencies —
+/// and, with ε > 0, all minimal approximate dependencies under the g3 error
+/// measure — using stripped partitions for validity testing.
+///
+/// Usage:
+///
+///   TaneConfig config;          // defaults = exact FDs, TANE/MEM
+///   config.epsilon = 0.05;      // or approximate discovery
+///   StatusOr<DiscoveryResult> result = Tane::Discover(relation, config);
+///
+/// The result lists each dependency with its measured g3 error, the minimal
+/// keys encountered during key pruning, and counters describing the run.
+class Tane {
+ public:
+  /// Runs the discovery. Fails only on invalid configuration or spill-I/O
+  /// errors (StorageMode::kDisk). Output FDs are in canonical order.
+  static StatusOr<DiscoveryResult> Discover(const Relation& relation,
+                                            const TaneConfig& config = {});
+};
+
+}  // namespace tane
+
+#endif  // TANE_CORE_TANE_H_

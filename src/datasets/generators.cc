@@ -1,0 +1,194 @@
+#include "datasets/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "relation/relation_builder.h"
+#include "util/random.h"
+
+namespace tane {
+namespace {
+
+// Mixes several column codes into one derived code deterministically.
+int32_t DeriveCode(const std::vector<int32_t>& row,
+                   const std::vector<int>& sources, int64_t cardinality,
+                   uint64_t salt) {
+  uint64_t h = salt;
+  for (int source : sources) {
+    h = SplitMix64(h ^ static_cast<uint64_t>(row[source]));
+  }
+  return static_cast<int32_t>(h % static_cast<uint64_t>(cardinality));
+}
+
+}  // namespace
+
+StatusOr<Relation> GenerateSynthetic(const SyntheticSpec& spec) {
+  if (spec.rows < 0) return Status::InvalidArgument("negative row count");
+  std::vector<std::string> names;
+  for (const ColumnSpec& column : spec.base) {
+    if (column.cardinality < 1) {
+      return Status::InvalidArgument("column " + column.name +
+                                     " has cardinality < 1");
+    }
+    names.push_back(column.name);
+  }
+  const int num_base = static_cast<int>(spec.base.size());
+  for (const DerivedColumnSpec& column : spec.derived) {
+    if (column.cardinality < 1) {
+      return Status::InvalidArgument("column " + column.name +
+                                     " has cardinality < 1");
+    }
+    if (column.noise < 0.0 || column.noise > 1.0) {
+      return Status::InvalidArgument("column " + column.name +
+                                     " has noise outside [0, 1]");
+    }
+    for (int source : column.sources) {
+      if (source < 0 || source >= num_base) {
+        return Status::OutOfRange("derived column " + column.name +
+                                  " references column " +
+                                  std::to_string(source));
+      }
+    }
+    if (column.threshold_fraction < 0.0 || column.threshold_fraction > 1.0) {
+      return Status::InvalidArgument("column " + column.name +
+                                     " has threshold outside [0, 1]");
+    }
+    if (column.threshold_fraction > 0.0 && column.sources.size() != 1) {
+      return Status::InvalidArgument(
+          "column " + column.name +
+          " uses a threshold but does not have exactly one source");
+    }
+    names.push_back(column.name);
+  }
+
+  if (spec.duplicate_fraction < 0.0 || spec.duplicate_fraction > 1.0) {
+    return Status::InvalidArgument("duplicate_fraction outside [0, 1]");
+  }
+
+  TANE_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(names)));
+  RelationBuilder builder(std::move(schema));
+  Rng rng(spec.seed);
+
+  std::vector<std::vector<int32_t>> produced;
+  std::vector<int32_t> row(spec.base.size() + spec.derived.size());
+  for (int64_t i = 0; i < spec.rows; ++i) {
+    if (spec.duplicate_fraction > 0.0 && !produced.empty() &&
+        rng.NextBernoulli(spec.duplicate_fraction)) {
+      const std::vector<int32_t>& copy =
+          produced[rng.NextBounded(produced.size())];
+      TANE_RETURN_IF_ERROR(builder.AddEncodedRow(copy));
+      continue;
+    }
+    for (size_t c = 0; c < spec.base.size(); ++c) {
+      const ColumnSpec& column = spec.base[c];
+      row[c] = static_cast<int32_t>(
+          column.zipf > 0.0
+              ? rng.NextZipf(column.cardinality, column.zipf)
+              : rng.NextBounded(column.cardinality));
+    }
+    for (size_t d = 0; d < spec.derived.size(); ++d) {
+      const DerivedColumnSpec& column = spec.derived[d];
+      int32_t code;
+      if (column.threshold_fraction > 0.0) {
+        const ColumnSpec& source = spec.base[column.sources[0]];
+        code = row[column.sources[0]] <
+                       column.threshold_fraction *
+                           static_cast<double>(source.cardinality)
+                   ? 1
+                   : 0;
+      } else {
+        code = DeriveCode(row, column.sources, column.cardinality,
+                          /*salt=*/spec.seed + 0x9e37 + d);
+      }
+      if (column.noise > 0.0 && rng.NextBernoulli(column.noise)) {
+        code = static_cast<int32_t>(rng.NextBounded(column.cardinality));
+      }
+      row[spec.base.size() + d] = code;
+    }
+    TANE_RETURN_IF_ERROR(builder.AddEncodedRow(row));
+    if (spec.duplicate_fraction > 0.0) produced.push_back(row);
+  }
+  return std::move(builder).Build();
+}
+
+StatusOr<Relation> GenerateUniform(int64_t rows, int cols,
+                                   int64_t cardinality, uint64_t seed) {
+  SyntheticSpec spec;
+  spec.rows = rows;
+  spec.seed = seed;
+  for (int c = 0; c < cols; ++c) {
+    spec.base.push_back({"col" + std::to_string(c), cardinality, 0.0});
+  }
+  return GenerateSynthetic(spec);
+}
+
+StatusOr<Relation> GenerateDistinctTuples(
+    int64_t rows, const std::vector<int64_t>& domain_sizes,
+    int64_t class_cardinality, uint64_t seed,
+    const std::vector<std::string>& names) {
+  if (domain_sizes.empty()) {
+    return Status::InvalidArgument("need at least one domain");
+  }
+  if (class_cardinality < 1) {
+    return Status::InvalidArgument("class cardinality must be >= 1");
+  }
+  // The product space must be large enough to host `rows` distinct tuples.
+  double log_space = 0.0;
+  for (int64_t size : domain_sizes) {
+    if (size < 1) return Status::InvalidArgument("domain size < 1");
+    log_space += std::log2(static_cast<double>(size));
+  }
+  if (log_space >= 63) {
+    return Status::InvalidArgument(
+        "product space must fit in 63 bits for distinct-tuple sampling");
+  }
+  if (static_cast<double>(rows) > std::exp2(log_space)) {
+    return Status::InvalidArgument("product space smaller than row count");
+  }
+
+  std::vector<std::string> column_names = names;
+  if (column_names.empty()) {
+    for (size_t c = 0; c < domain_sizes.size(); ++c) {
+      column_names.push_back("pos" + std::to_string(c));
+    }
+    column_names.push_back("class");
+  }
+  if (column_names.size() != domain_sizes.size() + 1) {
+    return Status::InvalidArgument("need one name per domain plus the class");
+  }
+  TANE_ASSIGN_OR_RETURN(Schema schema, Schema::Create(column_names));
+
+  Rng rng(seed);
+  // Sample distinct mixed-radix encodings of tuples, then decode. The
+  // rejection loop terminates fast because the benches keep rows well below
+  // the product-space size.
+  std::unordered_set<uint64_t> chosen;
+  chosen.reserve(rows * 2);
+  std::vector<uint64_t> encodings;
+  encodings.reserve(rows);
+  uint64_t space = 1;
+  for (int64_t size : domain_sizes) space *= static_cast<uint64_t>(size);
+  while (static_cast<int64_t>(encodings.size()) < rows) {
+    const uint64_t enc = rng.NextBounded(space);
+    if (chosen.insert(enc).second) encodings.push_back(enc);
+  }
+  std::sort(encodings.begin(), encodings.end());
+
+  RelationBuilder builder(std::move(schema));
+  std::vector<int32_t> row(domain_sizes.size() + 1);
+  for (uint64_t enc : encodings) {
+    uint64_t rest = enc;
+    for (size_t c = 0; c < domain_sizes.size(); ++c) {
+      row[c] = static_cast<int32_t>(rest % domain_sizes[c]);
+      rest /= domain_sizes[c];
+    }
+    // Class: a deterministic, seed-salted function of the tuple.
+    row[domain_sizes.size()] = static_cast<int32_t>(
+        SplitMix64(enc ^ seed) % static_cast<uint64_t>(class_cardinality));
+    TANE_RETURN_IF_ERROR(builder.AddEncodedRow(row));
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace tane

@@ -1,0 +1,77 @@
+#ifndef TANE_DATASETS_GENERATORS_H_
+#define TANE_DATASETS_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relation/relation.h"
+#include "util/status.h"
+
+namespace tane {
+
+/// An independently drawn categorical column.
+struct ColumnSpec {
+  std::string name;
+  /// Number of distinct values the column draws from.
+  int64_t cardinality = 2;
+  /// Zipf skew; 0 draws uniformly, larger values concentrate mass on few
+  /// codes (realistic for categorical survey data).
+  double zipf = 0.0;
+};
+
+/// A column functionally determined by `sources` up to noise: its value is
+/// a deterministic hash of the source codes reduced to `cardinality`, and
+/// each row's value is replaced by a uniform random one with probability
+/// `noise`. With noise = 0 this plants the exact FD sources → column; with
+/// small noise it plants an approximate dependency whose g3 error is close
+/// to the noise rate.
+struct DerivedColumnSpec {
+  std::string name;
+  std::vector<int> sources;  // indices into the base columns
+  int64_t cardinality = 2;
+  double noise = 0.0;
+  /// When positive (and there is exactly one source), the column is a
+  /// *threshold discretization* instead of a hash: value 1 iff the source
+  /// code is below `threshold_fraction` of its cardinality, else 0. This
+  /// produces skewed indicator flags (e.g. ~25% positives at 0.25), the
+  /// shape of real medical yes/no attributes.
+  double threshold_fraction = 0.0;
+};
+
+/// A full synthetic-relation recipe: base columns drawn independently,
+/// derived columns appended after them (derived columns may only reference
+/// base columns).
+struct SyntheticSpec {
+  int64_t rows = 0;
+  std::vector<ColumnSpec> base;
+  std::vector<DerivedColumnSpec> derived;
+  uint64_t seed = 1;
+  /// Fraction of rows that are verbatim copies of an earlier row (like the
+  /// duplicate records in the UCI Adult data). Any positive value destroys
+  /// all keys of the relation — duplicates agree on every attribute — while
+  /// leaving dependency validity untouched.
+  double duplicate_fraction = 0.0;
+};
+
+/// Materializes `spec` into a relation. Deterministic in `spec.seed`.
+StatusOr<Relation> GenerateSynthetic(const SyntheticSpec& spec);
+
+/// Uniform random categorical relation: `cols` columns of equal
+/// `cardinality`, rows drawn independently.
+StatusOr<Relation> GenerateUniform(int64_t rows, int cols,
+                                   int64_t cardinality, uint64_t seed);
+
+/// A relation whose rows are *distinct* tuples over per-column domains
+/// (sampled without replacement from the product space), plus one trailing
+/// "class" column that is a deterministic function of the tuple. This
+/// mirrors enumerated game databases such as the UCI chess endgame set: the
+/// position attributes form a key and determine the class exactly.
+StatusOr<Relation> GenerateDistinctTuples(
+    int64_t rows, const std::vector<int64_t>& domain_sizes,
+    int64_t class_cardinality, uint64_t seed,
+    const std::vector<std::string>& names = {});
+
+}  // namespace tane
+
+#endif  // TANE_DATASETS_GENERATORS_H_

@@ -1,0 +1,62 @@
+#ifndef TANE_DATASETS_PAPER_DATASETS_H_
+#define TANE_DATASETS_PAPER_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relation/relation.h"
+#include "util/status.h"
+
+namespace tane {
+
+/// The UCI datasets of the paper's evaluation (§7). The originals are not
+/// redistributable inside this repository, so each is replaced by a
+/// deterministic synthetic stand-in with the same row count, column count,
+/// and a comparable column-cardinality / correlation profile (see
+/// DESIGN.md, "Substitutions"). The FD *count* therefore differs from the
+/// UCI numbers, but the dataset shape — FD-dense small relations versus
+/// key-like wide columns versus enumerated game positions — is preserved.
+enum class PaperDataset {
+  kLymphography,
+  kHepatitis,
+  kWisconsinBreastCancer,
+  kChess,
+  kAdult,
+};
+
+/// Static facts about a paper dataset: its dimensions and the numbers the
+/// paper reports for it (used by the bench harness to print the
+/// paper-vs-measured comparison).
+struct PaperDatasetInfo {
+  PaperDataset dataset;
+  const char* name;
+  int64_t rows;
+  int columns;
+  /// The paper's N (minimal FDs found), Table 1. -1 when not reported.
+  int64_t paper_num_fds;
+  /// Paper wall times in seconds, Table 1. <0 when not reported/infeasible.
+  double paper_tane_seconds;
+  double paper_tane_mem_seconds;
+  double paper_fdep_seconds;
+};
+
+/// Facts for every PaperDataset, in enum order.
+const std::vector<PaperDatasetInfo>& AllPaperDatasets();
+
+/// Info for one dataset.
+const PaperDatasetInfo& GetPaperDatasetInfo(PaperDataset dataset);
+
+/// Materializes the synthetic stand-in, optionally scaled to a different
+/// row count (rows <= 0 keeps the paper's row count). Deterministic in
+/// `seed`.
+StatusOr<Relation> MakePaperDataset(PaperDataset dataset, int64_t rows = 0,
+                                    uint64_t seed = 42);
+
+/// Parses the dataset name used on bench command lines ("lymphography",
+/// "hepatitis", "wbc", "chess", "adult").
+StatusOr<PaperDataset> ParsePaperDatasetName(const std::string& name);
+
+}  // namespace tane
+
+#endif  // TANE_DATASETS_PAPER_DATASETS_H_

@@ -1,0 +1,29 @@
+#include "lattice/attribute_set.h"
+
+namespace tane {
+
+std::string AttributeSet::ToString(const Schema& schema) const {
+  std::string out = "{";
+  bool first = true;
+  for (int a : Members(*this)) {
+    if (!first) out += ",";
+    first = false;
+    out += schema.name(a);
+  }
+  out += "}";
+  return out;
+}
+
+std::string AttributeSet::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (int a : Members(*this)) {
+    if (!first) out += ",";
+    first = false;
+    out += std::to_string(a);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace tane

@@ -1,0 +1,201 @@
+#include "lattice/set_trie.h"
+
+#include <algorithm>
+
+namespace tane {
+
+SetTrie::Node* SetTrie::Node::Child(int attribute) const {
+  auto it = std::lower_bound(
+      children.begin(), children.end(), attribute,
+      [](const auto& entry, int value) { return entry.first < value; });
+  if (it == children.end() || it->first != attribute) return nullptr;
+  return it->second.get();
+}
+
+SetTrie::Node* SetTrie::Node::GetOrCreateChild(int attribute) {
+  auto it = std::lower_bound(
+      children.begin(), children.end(), attribute,
+      [](const auto& entry, int value) { return entry.first < value; });
+  if (it != children.end() && it->first == attribute) {
+    return it->second.get();
+  }
+  it = children.emplace(it, attribute, std::make_unique<Node>());
+  return it->second.get();
+}
+
+bool SetTrie::Insert(AttributeSet set) {
+  Node* node = root_.get();
+  for (int attribute : Members(set)) {
+    node = node->GetOrCreateChild(attribute);
+  }
+  if (node->terminal) return false;
+  node->terminal = true;
+  ++size_;
+  return true;
+}
+
+bool SetTrie::Contains(AttributeSet set) const {
+  const Node* node = root_.get();
+  for (int attribute : Members(set)) {
+    node = node->Child(attribute);
+    if (node == nullptr) return false;
+  }
+  return node->terminal;
+}
+
+bool SetTrie::ContainsSubsetOfImpl(const Node* node, uint64_t remaining) {
+  if (node->terminal) return true;
+  for (const auto& [attribute, child] : node->children) {
+    // A subset path may only use attributes of the query set; since paths
+    // ascend, only query bits above `attribute` remain usable deeper.
+    const uint64_t bit = uint64_t{1} << attribute;
+    if ((remaining & bit) == 0) continue;
+    if (ContainsSubsetOfImpl(child.get(), remaining & ~(bit | (bit - 1)))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SetTrie::ContainsSubsetOf(AttributeSet set) const {
+  return ContainsSubsetOfImpl(root_.get(), set.mask());
+}
+
+bool SetTrie::ContainsSupersetOfImpl(const Node* node, uint64_t required,
+                                     int min_attribute) {
+  if (required == 0) {
+    // All required attributes matched; any terminal below (or here) works.
+    if (node->terminal) return true;
+    for (const auto& [attribute, child] : node->children) {
+      (void)attribute;
+      if (ContainsSupersetOfImpl(child.get(), 0, 0)) return true;
+    }
+    return false;
+  }
+  const int next_required = std::countr_zero(required);
+  for (const auto& [attribute, child] : node->children) {
+    if (attribute < min_attribute) continue;
+    if (attribute > next_required) break;  // required attribute skipped
+    const uint64_t new_required =
+        attribute == next_required ? required & (required - 1) : required;
+    if (ContainsSupersetOfImpl(child.get(), new_required, attribute + 1)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SetTrie::ContainsSupersetOf(AttributeSet set) const {
+  return ContainsSupersetOfImpl(root_.get(), set.mask(), 0);
+}
+
+bool SetTrie::Erase(AttributeSet set) {
+  // Walk down, remembering the path so dead branches can be pruned.
+  std::vector<std::pair<Node*, int>> path;  // (parent, attribute taken)
+  Node* node = root_.get();
+  for (int attribute : Members(set)) {
+    Node* child = node->Child(attribute);
+    if (child == nullptr) return false;
+    path.emplace_back(node, attribute);
+    node = child;
+  }
+  if (!node->terminal) return false;
+  node->terminal = false;
+  --size_;
+  // Prune now-dead leaves bottom-up.
+  for (auto it = path.rbegin(); it != path.rend(); ++it) {
+    Node* parent = it->first;
+    const int attribute = it->second;
+    Node* child = parent->Child(attribute);
+    if (child == nullptr || !child->IsLeafDead()) break;
+    auto pos = std::lower_bound(
+        parent->children.begin(), parent->children.end(), attribute,
+        [](const auto& entry, int value) { return entry.first < value; });
+    parent->children.erase(pos);
+  }
+  return true;
+}
+
+void SetTrie::ExtractSupersetsImpl(Node* node, uint64_t required,
+                                   AttributeSet prefix,
+                                   std::vector<AttributeSet>* out) {
+  if (required == 0) {
+    if (node->terminal) {
+      node->terminal = false;
+      out->push_back(prefix);
+    }
+    for (auto& [attribute, child] : node->children) {
+      ExtractSupersetsImpl(child.get(), 0, prefix.With(attribute), out);
+    }
+  } else {
+    const int next_required = std::countr_zero(required);
+    for (auto& [attribute, child] : node->children) {
+      if (attribute > next_required) break;
+      const uint64_t new_required =
+          attribute == next_required ? required & (required - 1) : required;
+      ExtractSupersetsImpl(child.get(), new_required,
+                           prefix.With(attribute), out);
+    }
+  }
+  // Drop dead children.
+  node->children.erase(
+      std::remove_if(node->children.begin(), node->children.end(),
+                     [](const auto& entry) {
+                       return entry.second->IsLeafDead();
+                     }),
+      node->children.end());
+}
+
+std::vector<AttributeSet> SetTrie::ExtractSupersetsOf(AttributeSet set) {
+  std::vector<AttributeSet> removed;
+  ExtractSupersetsImpl(root_.get(), set.mask(), AttributeSet(), &removed);
+  size_ -= removed.size();
+  std::sort(removed.begin(), removed.end());
+  return removed;
+}
+
+void SetTrie::ExtractSubsetsImpl(Node* node, uint64_t remaining,
+                                 AttributeSet prefix,
+                                 std::vector<AttributeSet>* out) {
+  if (node->terminal) {
+    node->terminal = false;
+    out->push_back(prefix);
+  }
+  for (auto& [attribute, child] : node->children) {
+    const uint64_t bit = uint64_t{1} << attribute;
+    if ((remaining & bit) == 0) continue;
+    ExtractSubsetsImpl(child.get(), remaining & ~(bit | (bit - 1)),
+                       prefix.With(attribute), out);
+  }
+  node->children.erase(
+      std::remove_if(node->children.begin(), node->children.end(),
+                     [](const auto& entry) {
+                       return entry.second->IsLeafDead();
+                     }),
+      node->children.end());
+}
+
+std::vector<AttributeSet> SetTrie::ExtractSubsetsOf(AttributeSet set) {
+  std::vector<AttributeSet> removed;
+  ExtractSubsetsImpl(root_.get(), set.mask(), AttributeSet(), &removed);
+  size_ -= removed.size();
+  std::sort(removed.begin(), removed.end());
+  return removed;
+}
+
+void SetTrie::EnumerateImpl(const Node* node, AttributeSet prefix,
+                            std::vector<AttributeSet>* out) {
+  if (node->terminal) out->push_back(prefix);
+  for (const auto& [attribute, child] : node->children) {
+    EnumerateImpl(child.get(), prefix.With(attribute), out);
+  }
+}
+
+std::vector<AttributeSet> SetTrie::Enumerate() const {
+  std::vector<AttributeSet> out;
+  EnumerateImpl(root_.get(), AttributeSet(), &out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace tane

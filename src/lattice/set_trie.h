@@ -1,0 +1,85 @@
+#ifndef TANE_LATTICE_SET_TRIE_H_
+#define TANE_LATTICE_SET_TRIE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "lattice/attribute_set.h"
+
+namespace tane {
+
+/// A set-trie (prefix tree over ascending attribute indices) holding a
+/// family of attribute sets with fast subset/superset queries — the
+/// "FD-tree" of Savnik & Flach's FDEP, generalized. Complexities are
+/// output-sensitive: ContainsSubsetOf/ContainsSupersetOf visit only branches
+/// compatible with the query set, which in practice beats the linear scans
+/// they replace by orders of magnitude on large covers.
+class SetTrie {
+ public:
+  SetTrie() : root_(new Node()) {}
+
+  SetTrie(const SetTrie&) = delete;
+  SetTrie& operator=(const SetTrie&) = delete;
+  SetTrie(SetTrie&&) = default;
+  SetTrie& operator=(SetTrie&&) = default;
+
+  /// Inserts `set`. Duplicate inserts are no-ops. Returns true if new.
+  bool Insert(AttributeSet set);
+
+  /// True if exactly `set` is stored.
+  bool Contains(AttributeSet set) const;
+
+  /// True if some stored S satisfies S ⊆ set.
+  bool ContainsSubsetOf(AttributeSet set) const;
+
+  /// True if some stored S satisfies S ⊇ set.
+  bool ContainsSupersetOf(AttributeSet set) const;
+
+  /// Removes exactly `set` if stored; returns true if it was present.
+  bool Erase(AttributeSet set);
+
+  /// Removes every stored S with S ⊇ set (including `set` itself) and
+  /// returns the removed sets. Used for cover specialization.
+  std::vector<AttributeSet> ExtractSupersetsOf(AttributeSet set);
+
+  /// Removes every stored S with S ⊆ set (including `set` itself) and
+  /// returns the removed sets.
+  std::vector<AttributeSet> ExtractSubsetsOf(AttributeSet set);
+
+  /// All stored sets in ascending mask order.
+  std::vector<AttributeSet> Enumerate() const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  struct Node {
+    bool terminal = false;
+    // Children keyed by attribute index, kept sorted ascending.
+    std::vector<std::pair<int, std::unique_ptr<Node>>> children;
+
+    Node* Child(int attribute) const;
+    Node* GetOrCreateChild(int attribute);
+    bool IsLeafDead() const { return !terminal && children.empty(); }
+  };
+
+  static bool ContainsSubsetOfImpl(const Node* node, uint64_t remaining);
+  static bool ContainsSupersetOfImpl(const Node* node, uint64_t required,
+                                     int min_attribute);
+  static void ExtractSupersetsImpl(Node* node, uint64_t required,
+                                   AttributeSet prefix,
+                                   std::vector<AttributeSet>* out);
+  static void ExtractSubsetsImpl(Node* node, uint64_t remaining,
+                                 AttributeSet prefix,
+                                 std::vector<AttributeSet>* out);
+  static void EnumerateImpl(const Node* node, AttributeSet prefix,
+                            std::vector<AttributeSet>* out);
+
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace tane
+
+#endif  // TANE_LATTICE_SET_TRIE_H_

@@ -1,0 +1,161 @@
+#include "partition/error.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace tane {
+
+G3Bounds BoundG3RemovalCount(const StrippedPartition& lhs,
+                             const StrippedPartition& lhs_with_rhs) {
+  G3Bounds bounds;
+  bounds.upper = lhs.Error();
+  bounds.lower = std::max<int64_t>(0, lhs.Error() - lhs_with_rhs.Error());
+  return bounds;
+}
+
+G3Calculator::G3Calculator(int64_t num_rows)
+    : num_rows_(num_rows), probe_(num_rows, -1) {}
+
+int64_t G3Calculator::RemovalCount(const StrippedPartition& lhs,
+                                   const StrippedPartition& lhs_with_rhs) {
+  TANE_CHECK(lhs.num_rows() == num_rows_ &&
+             lhs_with_rhs.num_rows() == num_rows_);
+  if (counts_.size() < static_cast<size_t>(lhs_with_rhs.num_classes())) {
+    counts_.resize(lhs_with_rhs.num_classes(), 0);
+  }
+
+  // Label rows with their class in π_{X∪A}. Rows in no stored class are
+  // singletons there and keep label -1.
+  const std::vector<int32_t>& fine_rows = lhs_with_rhs.row_ids();
+  for (int64_t cls = 0; cls < lhs_with_rhs.num_classes(); ++cls) {
+    for (int32_t i = lhs_with_rhs.class_begin(cls);
+         i < lhs_with_rhs.class_end(cls); ++i) {
+      probe_[fine_rows[i]] = static_cast<int32_t>(cls);
+    }
+  }
+
+  int64_t removals = 0;
+  const std::vector<int32_t>& coarse_rows = lhs.row_ids();
+  for (int64_t cls = 0; cls < lhs.num_classes(); ++cls) {
+    // The largest subclass has size >= 1 even if every row of this class is
+    // a singleton in π_{X∪A}.
+    int32_t largest = 1;
+    touched_.clear();
+    for (int32_t i = lhs.class_begin(cls); i < lhs.class_end(cls); ++i) {
+      const int32_t fine_cls = probe_[coarse_rows[i]];
+      if (fine_cls < 0) continue;
+      if (counts_[fine_cls] == 0) touched_.push_back(fine_cls);
+      largest = std::max(largest, ++counts_[fine_cls]);
+    }
+    for (int32_t fine_cls : touched_) counts_[fine_cls] = 0;
+    removals += lhs.class_size(cls) - largest;
+  }
+
+  for (int32_t row : fine_rows) probe_[row] = -1;
+  return removals;
+}
+
+double G3Calculator::Error(const StrippedPartition& lhs,
+                           const StrippedPartition& lhs_with_rhs) {
+  if (num_rows_ == 0) return 0.0;
+  return static_cast<double>(RemovalCount(lhs, lhs_with_rhs)) /
+         static_cast<double>(num_rows_);
+}
+
+int64_t G3Calculator::ViolatingPairCount(
+    const StrippedPartition& lhs, const StrippedPartition& lhs_with_rhs) {
+  TANE_CHECK(lhs.num_rows() == num_rows_ &&
+             lhs_with_rhs.num_rows() == num_rows_);
+  if (counts_.size() < static_cast<size_t>(lhs_with_rhs.num_classes())) {
+    counts_.resize(lhs_with_rhs.num_classes(), 0);
+  }
+  const std::vector<int32_t>& fine_rows = lhs_with_rhs.row_ids();
+  for (int64_t cls = 0; cls < lhs_with_rhs.num_classes(); ++cls) {
+    for (int32_t i = lhs_with_rhs.class_begin(cls);
+         i < lhs_with_rhs.class_end(cls); ++i) {
+      probe_[fine_rows[i]] = static_cast<int32_t>(cls);
+    }
+  }
+
+  // Ordered agreeing pairs within a class c: |c|·(|c|−1). Of those, pairs
+  // also agreeing on A: Σ |c'|·(|c'|−1) over the subclasses c' ⊆ c. Rows
+  // that are singletons in π_{X∪A} form subclasses of size 1 contributing
+  // zero, so only stored subclasses need counting.
+  int64_t violating = 0;
+  const std::vector<int32_t>& coarse_rows = lhs.row_ids();
+  for (int64_t cls = 0; cls < lhs.num_classes(); ++cls) {
+    const int64_t size = lhs.class_size(cls);
+    violating += size * (size - 1);
+    touched_.clear();
+    for (int32_t i = lhs.class_begin(cls); i < lhs.class_end(cls); ++i) {
+      const int32_t fine_cls = probe_[coarse_rows[i]];
+      if (fine_cls < 0) continue;
+      if (counts_[fine_cls] == 0) touched_.push_back(fine_cls);
+      ++counts_[fine_cls];
+    }
+    for (int32_t fine_cls : touched_) {
+      const int64_t sub = counts_[fine_cls];
+      violating -= sub * (sub - 1);
+      counts_[fine_cls] = 0;
+    }
+  }
+
+  for (int32_t row : fine_rows) probe_[row] = -1;
+  return violating;
+}
+
+double G3Calculator::G1Error(const StrippedPartition& lhs,
+                             const StrippedPartition& lhs_with_rhs) {
+  if (num_rows_ == 0) return 0.0;
+  return static_cast<double>(ViolatingPairCount(lhs, lhs_with_rhs)) /
+         (static_cast<double>(num_rows_) * static_cast<double>(num_rows_));
+}
+
+int64_t G3Calculator::ViolatingRowCount(
+    const StrippedPartition& lhs, const StrippedPartition& lhs_with_rhs) {
+  TANE_CHECK(lhs.num_rows() == num_rows_ &&
+             lhs_with_rhs.num_rows() == num_rows_);
+  if (counts_.size() < static_cast<size_t>(lhs_with_rhs.num_classes())) {
+    counts_.resize(lhs_with_rhs.num_classes(), 0);
+  }
+  const std::vector<int32_t>& fine_rows = lhs_with_rhs.row_ids();
+  for (int64_t cls = 0; cls < lhs_with_rhs.num_classes(); ++cls) {
+    for (int32_t i = lhs_with_rhs.class_begin(cls);
+         i < lhs_with_rhs.class_end(cls); ++i) {
+      probe_[fine_rows[i]] = static_cast<int32_t>(cls);
+    }
+  }
+
+  // Every row of a π_X class that splits under π_{X∪A} is in violation
+  // with the rows of the other subclasses; classes that stay whole
+  // contribute nothing.
+  int64_t violating = 0;
+  const std::vector<int32_t>& coarse_rows = lhs.row_ids();
+  for (int64_t cls = 0; cls < lhs.num_classes(); ++cls) {
+    const int64_t size = lhs.class_size(cls);
+    // The class stays whole iff some subclass has the full class size.
+    bool whole = false;
+    touched_.clear();
+    for (int32_t i = lhs.class_begin(cls); i < lhs.class_end(cls); ++i) {
+      const int32_t fine_cls = probe_[coarse_rows[i]];
+      if (fine_cls < 0) continue;
+      if (counts_[fine_cls] == 0) touched_.push_back(fine_cls);
+      if (++counts_[fine_cls] == size) whole = true;
+    }
+    for (int32_t fine_cls : touched_) counts_[fine_cls] = 0;
+    if (!whole) violating += size;
+  }
+
+  for (int32_t row : fine_rows) probe_[row] = -1;
+  return violating;
+}
+
+double G3Calculator::G2Error(const StrippedPartition& lhs,
+                             const StrippedPartition& lhs_with_rhs) {
+  if (num_rows_ == 0) return 0.0;
+  return static_cast<double>(ViolatingRowCount(lhs, lhs_with_rhs)) /
+         static_cast<double>(num_rows_);
+}
+
+}  // namespace tane

@@ -1,0 +1,77 @@
+#ifndef TANE_PARTITION_ERROR_H_
+#define TANE_PARTITION_ERROR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/stripped_partition.h"
+
+namespace tane {
+
+/// Lower and upper bounds on the g3 removal count of X → A derived from the
+/// e(·) values alone (extended version [4], "a method to quickly bound the
+/// g3 error"):
+///
+///     e(X) − e(X∪A)  ≤  removal count  ≤  e(X).
+///
+/// TANE's approximate mode uses these to skip the O(|r|) exact scan whenever
+/// the bound already decides validity against the threshold ε.
+struct G3Bounds {
+  int64_t lower = 0;
+  int64_t upper = 0;
+};
+
+/// Computes the bounds above from the two partitions' e(·) values. O(1).
+G3Bounds BoundG3RemovalCount(const StrippedPartition& lhs,
+                             const StrippedPartition& lhs_with_rhs);
+
+/// Computes the exact g3 error of dependencies X → A from π_X and π_{X∪A}
+/// (paper §2): for every class c of π_X the rows outside the largest
+/// π_{X∪A}-subclass of c must be removed. The scratch arrays are reused
+/// across calls; construction takes the relation's row count.
+class G3Calculator {
+ public:
+  explicit G3Calculator(int64_t num_rows);
+
+  /// The minimum number of rows to remove so that X → A holds.
+  /// Both partitions may be stripped or unstripped.
+  int64_t RemovalCount(const StrippedPartition& lhs,
+                       const StrippedPartition& lhs_with_rhs);
+
+  /// g3(X → A) = RemovalCount / |r|, in [0, 1]. Returns 0 for empty
+  /// relations.
+  double Error(const StrippedPartition& lhs,
+               const StrippedPartition& lhs_with_rhs);
+
+  /// The g1 numerator (Kivinen & Mannila [5]): the number of *ordered* row
+  /// pairs (t, u), t ≠ u, that agree on X but differ on A. g1 itself is
+  /// this count divided by |r|².
+  int64_t ViolatingPairCount(const StrippedPartition& lhs,
+                             const StrippedPartition& lhs_with_rhs);
+
+  /// g1(X → A) = ViolatingPairCount / |r|².
+  double G1Error(const StrippedPartition& lhs,
+                 const StrippedPartition& lhs_with_rhs);
+
+  /// The g2 numerator: the number of rows involved in at least one
+  /// violating pair. A row t violates iff its π_X class contains a row
+  /// disagreeing on A, i.e. iff the class splits under π_{X∪A}.
+  int64_t ViolatingRowCount(const StrippedPartition& lhs,
+                            const StrippedPartition& lhs_with_rhs);
+
+  /// g2(X → A) = ViolatingRowCount / |r|.
+  double G2Error(const StrippedPartition& lhs,
+                 const StrippedPartition& lhs_with_rhs);
+
+ private:
+  int64_t num_rows_;
+  // probe_[row] = class index in π_{X∪A}, or -1. Reset after each call.
+  std::vector<int32_t> probe_;
+  // counts_[cls] = rows of the current π_X class seen in π_{X∪A} class cls.
+  std::vector<int32_t> counts_;
+  std::vector<int32_t> touched_;
+};
+
+}  // namespace tane
+
+#endif  // TANE_PARTITION_ERROR_H_

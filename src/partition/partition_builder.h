@@ -1,0 +1,36 @@
+#ifndef TANE_PARTITION_PARTITION_BUILDER_H_
+#define TANE_PARTITION_PARTITION_BUILDER_H_
+
+#include <vector>
+
+#include "lattice/attribute_set.h"
+#include "partition/stripped_partition.h"
+#include "relation/relation.h"
+
+namespace tane {
+
+/// Builds single-attribute partitions directly from the database, as in
+/// TANE's initialization: π_{A} for each A ∈ R is computed with one counting
+/// pass over the dictionary-encoded column, O(|r| + |dictionary|).
+class PartitionBuilder {
+ public:
+  /// π_{A} for one attribute. `stripped` selects the representation.
+  static StrippedPartition ForAttribute(const Relation& relation,
+                                        int attribute, bool stripped = true);
+
+  /// π_A for every attribute of the relation, indexed by attribute.
+  static std::vector<StrippedPartition> ForAllAttributes(
+      const Relation& relation, bool stripped = true);
+
+  /// π_X for an arbitrary attribute set, computed from scratch by hashing
+  /// row tuples. O(|r| · |X|). TANE itself never needs this (it uses
+  /// products); it exists as an independent reference implementation for
+  /// tests and for the Schlimmer-style "from singletons" ablation.
+  static StrippedPartition ForAttributeSet(const Relation& relation,
+                                           AttributeSet attributes,
+                                           bool stripped = true);
+};
+
+}  // namespace tane
+
+#endif  // TANE_PARTITION_PARTITION_BUILDER_H_

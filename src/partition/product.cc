@@ -1,0 +1,58 @@
+#include "partition/product.h"
+
+#include "util/logging.h"
+
+namespace tane {
+
+PartitionProduct::PartitionProduct(int64_t num_rows)
+    : num_rows_(num_rows), probe_(num_rows, -1) {}
+
+StrippedPartition PartitionProduct::Multiply(const StrippedPartition& a,
+                                             const StrippedPartition& b) {
+  TANE_CHECK(a.num_rows() == num_rows_ && b.num_rows() == num_rows_);
+  TANE_CHECK(a.stripped() == b.stripped());
+  const int32_t min_size = a.stripped() ? 2 : 1;
+
+  if (groups_.size() < static_cast<size_t>(a.num_classes())) {
+    groups_.resize(a.num_classes());
+  }
+
+  // Pass 1: label rows with their class index in `a`.
+  const std::vector<int32_t>& a_rows = a.row_ids();
+  for (int64_t cls = 0; cls < a.num_classes(); ++cls) {
+    for (int32_t i = a.class_begin(cls); i < a.class_end(cls); ++i) {
+      probe_[a_rows[i]] = static_cast<int32_t>(cls);
+    }
+  }
+
+  // Pass 2: for each class of `b`, bucket its rows by `a`-class; every
+  // bucket of size >= min_size is a class of the product.
+  StrippedPartition out(num_rows_, a.stripped());
+  out.row_ids_.reserve(std::min(a.row_ids().size(), b.row_ids().size()));
+  const std::vector<int32_t>& b_rows = b.row_ids();
+  for (int64_t cls = 0; cls < b.num_classes(); ++cls) {
+    touched_.clear();
+    for (int32_t i = b.class_begin(cls); i < b.class_end(cls); ++i) {
+      const int32_t row = b_rows[i];
+      const int32_t group = probe_[row];
+      if (group < 0) continue;  // singleton in `a` (stripped mode only)
+      if (groups_[group].empty()) touched_.push_back(group);
+      groups_[group].push_back(row);
+    }
+    for (int32_t group : touched_) {
+      std::vector<int32_t>& bucket = groups_[group];
+      if (static_cast<int32_t>(bucket.size()) >= min_size) {
+        out.row_ids_.insert(out.row_ids_.end(), bucket.begin(), bucket.end());
+        out.class_offsets_.push_back(
+            static_cast<int32_t>(out.row_ids_.size()));
+      }
+      bucket.clear();
+    }
+  }
+
+  // Reset the probe table for the next call.
+  for (int32_t row : a_rows) probe_[row] = -1;
+  return out;
+}
+
+}  // namespace tane

@@ -1,0 +1,41 @@
+#ifndef TANE_PARTITION_PRODUCT_H_
+#define TANE_PARTITION_PRODUCT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/stripped_partition.h"
+
+namespace tane {
+
+/// Computes partition products π' · π'' = π_{X∪Y} (Lemma 3) with the
+/// linear-time probe-table algorithm of the TANE paper. The scratch arrays
+/// (one O(|r|) probe table plus per-class accumulators) are owned by this
+/// object and reused across calls, which matters because TANE computes one
+/// product per lattice node.
+///
+/// Both operands must be over the same number of rows and use the same
+/// representation (stripped or unstripped); the result uses that
+/// representation as well.
+class PartitionProduct {
+ public:
+  explicit PartitionProduct(int64_t num_rows);
+
+  /// The least refined common refinement of `a` and `b`.
+  StrippedPartition Multiply(const StrippedPartition& a,
+                             const StrippedPartition& b);
+
+ private:
+  int64_t num_rows_;
+  // probe_[row] = class index within `a`, or -1 when `row` is in no stored
+  // class of `a`. Reset after every Multiply.
+  std::vector<int32_t> probe_;
+  // groups_[i] accumulates rows of the current `b` class that fall in `a`
+  // class i; cleared as classes are emitted.
+  std::vector<std::vector<int32_t>> groups_;
+  std::vector<int32_t> touched_;
+};
+
+}  // namespace tane
+
+#endif  // TANE_PARTITION_PRODUCT_H_

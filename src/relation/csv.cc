@@ -1,0 +1,170 @@
+#include "relation/csv.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "relation/relation_builder.h"
+#include "util/strings.h"
+
+namespace tane {
+namespace {
+
+// Pulls one CSV record (possibly spanning multiple physical lines inside
+// quotes) starting at *pos. Returns false at end of input. Fields are
+// appended to `fields`.
+bool NextRecord(std::string_view text, size_t* pos, char delimiter,
+                std::vector<std::string>* fields, Status* status) {
+  fields->clear();
+  if (*pos >= text.size()) return false;
+  std::string field;
+  bool in_quotes = false;
+  bool saw_any = false;
+  size_t i = *pos;
+  for (; i < text.size(); ++i) {
+    char ch = text[i];
+    saw_any = true;
+    if (in_quotes) {
+      if (ch == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(ch);
+      }
+      continue;
+    }
+    if (ch == '"') {
+      in_quotes = true;
+    } else if (ch == delimiter) {
+      fields->push_back(std::move(field));
+      field.clear();
+    } else if (ch == '\n' || ch == '\r') {
+      if (ch == '\r' && i + 1 < text.size() && text[i + 1] == '\n') ++i;
+      ++i;
+      break;
+    } else {
+      field.push_back(ch);
+    }
+  }
+  if (in_quotes) {
+    *status = Status::InvalidArgument("unterminated quoted field in CSV");
+    return false;
+  }
+  if (!saw_any) return false;
+  fields->push_back(std::move(field));
+  *pos = i;
+  return true;
+}
+
+void TrimFields(std::vector<std::string>* fields) {
+  for (std::string& f : *fields) {
+    std::string_view stripped = StripWhitespace(f);
+    if (stripped.size() != f.size()) f = std::string(stripped);
+  }
+}
+
+}  // namespace
+
+StatusOr<Relation> ReadCsvString(std::string_view text,
+                                 const CsvOptions& options) {
+  size_t pos = 0;
+  std::vector<std::string> fields;
+  Status parse_status = Status::OK();
+
+  // Establish the schema from the header (or the width of the first row).
+  if (!NextRecord(text, &pos, options.delimiter, &fields, &parse_status)) {
+    if (!parse_status.ok()) return parse_status;
+    return Status::InvalidArgument("empty CSV input");
+  }
+  if (options.trim_whitespace) TrimFields(&fields);
+
+  Schema schema;
+  size_t first_data_pos = pos;
+  if (options.has_header) {
+    TANE_ASSIGN_OR_RETURN(schema, Schema::Create(fields));
+  } else {
+    TANE_ASSIGN_OR_RETURN(schema,
+                          Schema::CreateUnnamed(static_cast<int>(fields.size())));
+    first_data_pos = 0;  // re-read the first record as data
+  }
+
+  RelationBuilder builder(std::move(schema));
+  pos = first_data_pos;
+  if (!options.has_header) pos = 0;
+  int64_t line = options.has_header ? 1 : 0;
+  while (NextRecord(text, &pos, options.delimiter, &fields, &parse_status)) {
+    ++line;
+    if (options.trim_whitespace) TrimFields(&fields);
+    Status row_status = builder.AddRow(fields);
+    if (!row_status.ok()) {
+      if (options.skip_malformed_rows) continue;
+      return Status::InvalidArgument("CSV record " + std::to_string(line) +
+                                     ": " + row_status.message());
+    }
+  }
+  if (!parse_status.ok()) return parse_status;
+  return std::move(builder).Build();
+}
+
+StatusOr<Relation> ReadCsvFile(const std::string& path,
+                               const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open file: " + path);
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  if (in.bad()) return Status::IoError("error reading file: " + path);
+  return ReadCsvString(contents.str(), options);
+}
+
+namespace {
+
+bool NeedsQuoting(const std::string& field, char delimiter) {
+  for (char ch : field) {
+    if (ch == delimiter || ch == '"' || ch == '\n' || ch == '\r') return true;
+  }
+  return false;
+}
+
+void WriteField(const std::string& field, char delimiter, std::ostream& out) {
+  if (!NeedsQuoting(field, delimiter)) {
+    out << field;
+    return;
+  }
+  out << '"';
+  for (char ch : field) {
+    if (ch == '"') out << '"';
+    out << ch;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void WriteCsv(const Relation& relation, std::ostream& out, char delimiter) {
+  const Schema& schema = relation.schema();
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    if (c > 0) out << delimiter;
+    WriteField(schema.name(c), delimiter, out);
+  }
+  out << '\n';
+  for (int64_t row = 0; row < relation.num_rows(); ++row) {
+    for (int c = 0; c < schema.num_columns(); ++c) {
+      if (c > 0) out << delimiter;
+      WriteField(relation.value(row, c), delimiter, out);
+    }
+    out << '\n';
+  }
+}
+
+std::string WriteCsvString(const Relation& relation, char delimiter) {
+  std::ostringstream out;
+  WriteCsv(relation, out, delimiter);
+  return out.str();
+}
+
+}  // namespace tane

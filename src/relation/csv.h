@@ -1,0 +1,45 @@
+#ifndef TANE_RELATION_CSV_H_
+#define TANE_RELATION_CSV_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "relation/relation.h"
+#include "util/status.h"
+
+namespace tane {
+
+/// Options for CSV parsing. The defaults parse RFC-4180-style files with a
+/// header row, which is how UCI-style datasets are normally distributed.
+struct CsvOptions {
+  char delimiter = ',';
+  bool has_header = true;
+  /// If true, leading/trailing whitespace around unquoted fields is removed.
+  bool trim_whitespace = false;
+  /// Rows with the wrong number of fields fail the parse when false,
+  /// otherwise they are skipped.
+  bool skip_malformed_rows = false;
+};
+
+/// Parses CSV text into a Relation. Supports quoted fields with embedded
+/// delimiters, escaped quotes (""), and embedded newlines, plus both \n and
+/// \r\n line endings.
+StatusOr<Relation> ReadCsvString(std::string_view text,
+                                 const CsvOptions& options = {});
+
+/// Reads and parses a CSV file from disk.
+StatusOr<Relation> ReadCsvFile(const std::string& path,
+                               const CsvOptions& options = {});
+
+/// Serializes a relation as CSV (with header) to `out`, quoting fields that
+/// need it. Round-trips through ReadCsvString.
+void WriteCsv(const Relation& relation, std::ostream& out,
+              char delimiter = ',');
+
+/// Convenience: serializes to a string.
+std::string WriteCsvString(const Relation& relation, char delimiter = ',');
+
+}  // namespace tane
+
+#endif  // TANE_RELATION_CSV_H_

@@ -1,0 +1,41 @@
+#include "relation/relation.h"
+
+namespace tane {
+
+StatusOr<Relation> Relation::Create(Schema schema, std::vector<Column> columns,
+                                    int64_t num_rows) {
+  if (static_cast<int>(columns.size()) != schema.num_columns()) {
+    return Status::InvalidArgument(
+        "column count does not match schema: " +
+        std::to_string(columns.size()) + " vs " +
+        std::to_string(schema.num_columns()));
+  }
+  for (size_t c = 0; c < columns.size(); ++c) {
+    const Column& col = columns[c];
+    if (static_cast<int64_t>(col.codes.size()) != num_rows) {
+      return Status::InvalidArgument("column " + schema.name(int(c)) +
+                                     " has wrong row count");
+    }
+    const int32_t card = static_cast<int32_t>(col.dictionary.size());
+    for (int32_t code : col.codes) {
+      if (code < 0 || code >= card) {
+        return Status::InvalidArgument("column " + schema.name(int(c)) +
+                                       " contains an out-of-range code");
+      }
+    }
+  }
+  return Relation(std::move(schema), std::move(columns), num_rows);
+}
+
+int64_t Relation::EstimatedBytes() const {
+  int64_t total = 0;
+  for (const Column& col : columns_) {
+    total += static_cast<int64_t>(col.codes.size()) * sizeof(int32_t);
+    for (const std::string& s : col.dictionary) {
+      total += static_cast<int64_t>(s.capacity()) + sizeof(std::string);
+    }
+  }
+  return total;
+}
+
+}  // namespace tane

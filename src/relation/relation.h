@@ -1,0 +1,78 @@
+#ifndef TANE_RELATION_RELATION_H_
+#define TANE_RELATION_RELATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relation/schema.h"
+#include "util/status.h"
+
+namespace tane {
+
+/// A single dictionary-encoded column: `codes[row]` indexes into
+/// `dictionary`, which maps each code to its original string value. Codes
+/// are dense in [0, dictionary.size()).
+struct Column {
+  std::vector<int32_t> codes;
+  std::vector<std::string> dictionary;
+
+  /// Number of distinct values in this column.
+  int64_t cardinality() const {
+    return static_cast<int64_t>(dictionary.size());
+  }
+};
+
+/// An immutable, columnar, dictionary-encoded relation instance.
+///
+/// All dependency-discovery algorithms in this library operate on integer
+/// codes only; the dictionaries exist to relate results back to the source
+/// data. Equal codes within a column correspond to equal source values, so
+/// the partition structure of the encoded relation is identical to that of
+/// the original relation — which is the only property TANE depends on.
+class Relation {
+ public:
+  Relation() = default;
+
+  /// Assembles a relation from already-encoded columns. All columns must
+  /// have `num_rows` codes in range; use RelationBuilder for the common
+  /// string-input path.
+  static StatusOr<Relation> Create(Schema schema, std::vector<Column> columns,
+                                   int64_t num_rows);
+
+  const Schema& schema() const { return schema_; }
+  int num_columns() const { return schema_.num_columns(); }
+  int64_t num_rows() const { return num_rows_; }
+
+  const Column& column(int c) const { return columns_[c]; }
+
+  /// The encoded value of `row` in column `c`.
+  int32_t code(int64_t row, int c) const { return columns_[c].codes[row]; }
+
+  /// The source string of `row` in column `c`.
+  const std::string& value(int64_t row, int c) const {
+    return columns_[c].dictionary[columns_[c].codes[row]];
+  }
+
+  /// True when rows `a` and `b` agree on column `c`.
+  bool Agrees(int64_t a, int64_t b, int c) const {
+    return code(a, c) == code(b, c);
+  }
+
+  /// Rough resident size, used by memory-budget accounting in benches.
+  int64_t EstimatedBytes() const;
+
+ private:
+  Relation(Schema schema, std::vector<Column> columns, int64_t num_rows)
+      : schema_(std::move(schema)),
+        columns_(std::move(columns)),
+        num_rows_(num_rows) {}
+
+  Schema schema_;
+  std::vector<Column> columns_;
+  int64_t num_rows_ = 0;
+};
+
+}  // namespace tane
+
+#endif  // TANE_RELATION_RELATION_H_

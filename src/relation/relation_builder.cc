@@ -1,0 +1,66 @@
+#include "relation/relation_builder.h"
+
+#include <utility>
+
+namespace tane {
+
+RelationBuilder::RelationBuilder(Schema schema) : schema_(std::move(schema)) {
+  columns_.resize(schema_.num_columns());
+  dictionaries_.resize(schema_.num_columns());
+}
+
+int32_t RelationBuilder::Encode(int column, std::string_view value) {
+  auto& dict = dictionaries_[column];
+  auto it = dict.find(std::string(value));
+  if (it != dict.end()) return it->second;
+  int32_t code = static_cast<int32_t>(columns_[column].dictionary.size());
+  columns_[column].dictionary.emplace_back(value);
+  dict.emplace(std::string(value), code);
+  return code;
+}
+
+Status RelationBuilder::AddRow(const std::vector<std::string>& fields) {
+  std::vector<std::string_view> views(fields.begin(), fields.end());
+  return AddRow(views);
+}
+
+Status RelationBuilder::AddRow(const std::vector<std::string_view>& fields) {
+  if (static_cast<int>(fields.size()) != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(fields.size()) + " fields, expected " +
+        std::to_string(schema_.num_columns()));
+  }
+  for (int c = 0; c < schema_.num_columns(); ++c) {
+    columns_[c].codes.push_back(Encode(c, fields[c]));
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+Status RelationBuilder::AddEncodedRow(const std::vector<int32_t>& codes) {
+  if (static_cast<int>(codes.size()) != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(codes.size()) + " codes, expected " +
+        std::to_string(schema_.num_columns()));
+  }
+  for (int32_t code : codes) {
+    if (code < 0) return Status::InvalidArgument("negative code");
+  }
+  for (int c = 0; c < schema_.num_columns(); ++c) {
+    Column& col = columns_[c];
+    // Extend the dictionary densely up to the new code.
+    while (static_cast<int32_t>(col.dictionary.size()) <= codes[c]) {
+      col.dictionary.push_back(
+          "v" + std::to_string(col.dictionary.size()));
+    }
+    col.codes.push_back(codes[c]);
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+StatusOr<Relation> RelationBuilder::Build() && {
+  return Relation::Create(std::move(schema_), std::move(columns_), num_rows_);
+}
+
+}  // namespace tane

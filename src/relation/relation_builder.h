@@ -1,0 +1,50 @@
+#ifndef TANE_RELATION_RELATION_BUILDER_H_
+#define TANE_RELATION_RELATION_BUILDER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "relation/relation.h"
+#include "relation/schema.h"
+#include "util/status.h"
+
+namespace tane {
+
+/// Incrementally builds a dictionary-encoded Relation from string rows.
+///
+///   RelationBuilder builder(schema);
+///   builder.AddRow({"1", "a", "$", "Flower"});
+///   ...
+///   StatusOr<Relation> rel = std::move(builder).Build();
+class RelationBuilder {
+ public:
+  explicit RelationBuilder(Schema schema);
+
+  /// Appends a row. The number of fields must equal the schema width.
+  Status AddRow(const std::vector<std::string>& fields);
+  Status AddRow(const std::vector<std::string_view>& fields);
+
+  /// Appends a row of already-encoded codes; new codes extend the dictionary
+  /// with synthesized strings "v<code>". Useful for generators that work in
+  /// code space directly.
+  Status AddEncodedRow(const std::vector<int32_t>& codes);
+
+  int64_t num_rows() const { return num_rows_; }
+
+  /// Finalizes the relation. The builder is left empty.
+  StatusOr<Relation> Build() &&;
+
+ private:
+  int32_t Encode(int column, std::string_view value);
+
+  Schema schema_;
+  std::vector<Column> columns_;
+  std::vector<std::unordered_map<std::string, int32_t>> dictionaries_;
+  int64_t num_rows_ = 0;
+};
+
+}  // namespace tane
+
+#endif  // TANE_RELATION_RELATION_BUILDER_H_

@@ -1,0 +1,41 @@
+#include "relation/schema.h"
+
+#include <unordered_set>
+
+namespace tane {
+
+StatusOr<Schema> Schema::Create(std::vector<std::string> column_names) {
+  if (column_names.size() > static_cast<size_t>(kMaxAttributes)) {
+    return Status::InvalidArgument(
+        "schema has " + std::to_string(column_names.size()) +
+        " columns; at most " + std::to_string(kMaxAttributes) +
+        " are supported");
+  }
+  std::unordered_set<std::string_view> seen;
+  for (const std::string& name : column_names) {
+    if (name.empty()) {
+      return Status::InvalidArgument("schema contains an empty column name");
+    }
+    if (!seen.insert(name).second) {
+      return Status::InvalidArgument("duplicate column name: " + name);
+    }
+  }
+  return Schema(std::move(column_names));
+}
+
+StatusOr<Schema> Schema::CreateUnnamed(int n) {
+  if (n < 0) return Status::InvalidArgument("negative column count");
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (int i = 0; i < n; ++i) names.push_back("col" + std::to_string(i));
+  return Create(std::move(names));
+}
+
+int Schema::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace tane

@@ -1,0 +1,48 @@
+#ifndef TANE_RELATION_SCHEMA_H_
+#define TANE_RELATION_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tane {
+
+/// Maximum number of attributes a relation may have. Attribute sets are
+/// represented as 64-bit masks (see lattice/attribute_set.h); the largest
+/// schema in the paper's evaluation has 60 attributes.
+inline constexpr int kMaxAttributes = 64;
+
+/// An ordered list of uniquely named attributes (columns).
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Builds a schema from column names. Fails if there are more than
+  /// kMaxAttributes columns, duplicate names, or empty names.
+  static StatusOr<Schema> Create(std::vector<std::string> column_names);
+
+  /// Builds a schema with `n` generated names "col0".."col{n-1}".
+  static StatusOr<Schema> CreateUnnamed(int n);
+
+  int num_columns() const { return static_cast<int>(names_.size()); }
+  const std::string& name(int column) const { return names_[column]; }
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Index of the column called `name`, or -1 if absent.
+  int IndexOf(std::string_view name) const;
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.names_ == b.names_;
+  }
+
+ private:
+  explicit Schema(std::vector<std::string> names) : names_(std::move(names)) {}
+
+  std::vector<std::string> names_;
+};
+
+}  // namespace tane
+
+#endif  // TANE_RELATION_SCHEMA_H_

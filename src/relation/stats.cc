@@ -1,0 +1,81 @@
+#include "relation/stats.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tane {
+
+std::vector<int> RelationStats::constant_columns() const {
+  std::vector<int> out;
+  for (const ColumnStats& column : columns) {
+    if (column.is_constant) out.push_back(column.column);
+  }
+  return out;
+}
+
+std::vector<int> RelationStats::unique_columns() const {
+  std::vector<int> out;
+  for (const ColumnStats& column : columns) {
+    if (column.is_unique) out.push_back(column.column);
+  }
+  return out;
+}
+
+RelationStats ComputeStats(const Relation& relation) {
+  RelationStats stats;
+  stats.rows = relation.num_rows();
+  stats.columns.reserve(relation.num_columns());
+
+  for (int c = 0; c < relation.num_columns(); ++c) {
+    const Column& column = relation.column(c);
+    ColumnStats out;
+    out.column = c;
+    out.name = relation.schema().name(c);
+
+    std::vector<int64_t> counts(column.cardinality(), 0);
+    for (int32_t code : column.codes) ++counts[code];
+
+    int32_t top_code = -1;
+    for (size_t code = 0; code < counts.size(); ++code) {
+      if (counts[code] == 0) continue;
+      ++out.distinct;
+      if (counts[code] > out.top_count) {
+        out.top_count = counts[code];
+        top_code = static_cast<int32_t>(code);
+      }
+      const double p = static_cast<double>(counts[code]) /
+                       static_cast<double>(stats.rows);
+      out.entropy_bits -= p * std::log2(p);
+    }
+    if (top_code >= 0) out.top_value = column.dictionary[top_code];
+    out.is_constant = stats.rows > 0 && out.distinct == 1;
+    out.is_unique = out.distinct == stats.rows && stats.rows > 0;
+    if (stats.rows == 0) out.entropy_bits = 0.0;
+    stats.columns.push_back(std::move(out));
+  }
+  return stats;
+}
+
+std::string FormatStats(const RelationStats& stats) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-20s %10s %10s %8s %-16s %8s\n",
+                "column", "distinct", "top-count", "entropy", "top-value",
+                "flags");
+  out += line;
+  for (const ColumnStats& column : stats.columns) {
+    std::string flags;
+    if (column.is_constant) flags += "constant ";
+    if (column.is_unique) flags += "unique";
+    std::string top = column.top_value.substr(0, 16);
+    std::snprintf(line, sizeof(line), "%-20s %10lld %10lld %8.2f %-16s %8s\n",
+                  column.name.substr(0, 20).c_str(),
+                  static_cast<long long>(column.distinct),
+                  static_cast<long long>(column.top_count),
+                  column.entropy_bits, top.c_str(), flags.c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace tane

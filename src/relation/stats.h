@@ -1,0 +1,49 @@
+#ifndef TANE_RELATION_STATS_H_
+#define TANE_RELATION_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relation/relation.h"
+
+namespace tane {
+
+/// Summary statistics of one column, computed in a single pass over its
+/// codes. The profiling front door of the library: the numbers a user looks
+/// at before (and after) running dependency discovery.
+struct ColumnStats {
+  int column = 0;
+  std::string name;
+  /// Distinct values actually occurring (≤ dictionary size).
+  int64_t distinct = 0;
+  /// True when every row carries the same value (a ∅ → A dependency).
+  bool is_constant = false;
+  /// True when no value repeats (the column is a unary key).
+  bool is_unique = false;
+  /// The most frequent value and its count.
+  std::string top_value;
+  int64_t top_count = 0;
+  /// Shannon entropy of the value distribution, in bits.
+  double entropy_bits = 0.0;
+};
+
+/// Relation-level profile.
+struct RelationStats {
+  int64_t rows = 0;
+  std::vector<ColumnStats> columns;
+
+  /// Indices of constant / unique columns, ascending.
+  std::vector<int> constant_columns() const;
+  std::vector<int> unique_columns() const;
+};
+
+/// Profiles every column of `relation`. O(|r|·|R|).
+RelationStats ComputeStats(const Relation& relation);
+
+/// Renders a fixed-width table of the profile for terminal display.
+std::string FormatStats(const RelationStats& stats);
+
+}  // namespace tane
+
+#endif  // TANE_RELATION_STATS_H_

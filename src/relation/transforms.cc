@@ -1,0 +1,119 @@
+#include "relation/transforms.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/logging.h"
+
+namespace tane {
+
+StatusOr<Relation> ConcatenateCopies(const Relation& relation, int copies) {
+  if (copies < 1) return Status::InvalidArgument("copies must be >= 1");
+  const int num_cols = relation.num_columns();
+  const int64_t rows = relation.num_rows();
+
+  std::vector<Column> columns(num_cols);
+  for (int c = 0; c < num_cols; ++c) {
+    const Column& src = relation.column(c);
+    const int64_t card = src.cardinality();
+    Column& dst = columns[c];
+    dst.codes.reserve(rows * copies);
+    dst.dictionary.reserve(card * copies);
+    // Copy k gets the code block [k*card, (k+1)*card) and dictionary entries
+    // suffixed "#k", so values from distinct copies never collide.
+    for (int k = 0; k < copies; ++k) {
+      const int32_t offset = static_cast<int32_t>(card) * k;
+      for (int64_t row = 0; row < rows; ++row) {
+        dst.codes.push_back(src.codes[row] + offset);
+      }
+      const std::string suffix = "#" + std::to_string(k);
+      for (const std::string& value : src.dictionary) {
+        dst.dictionary.push_back(value + suffix);
+      }
+    }
+  }
+  return Relation::Create(relation.schema(), std::move(columns),
+                          rows * copies);
+}
+
+StatusOr<Relation> ProjectColumns(const Relation& relation,
+                                  const std::vector<int>& columns) {
+  std::vector<std::string> names;
+  std::vector<Column> data;
+  names.reserve(columns.size());
+  data.reserve(columns.size());
+  for (int c : columns) {
+    if (c < 0 || c >= relation.num_columns()) {
+      return Status::OutOfRange("column index " + std::to_string(c) +
+                                " out of range");
+    }
+    names.push_back(relation.schema().name(c));
+    data.push_back(relation.column(c));
+  }
+  TANE_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(names)));
+  return Relation::Create(std::move(schema), std::move(data),
+                          relation.num_rows());
+}
+
+namespace {
+
+StatusOr<Relation> KeepRows(const Relation& relation,
+                            const std::vector<int64_t>& rows) {
+  std::vector<Column> columns(relation.num_columns());
+  for (int c = 0; c < relation.num_columns(); ++c) {
+    const Column& src = relation.column(c);
+    Column& dst = columns[c];
+    dst.dictionary = src.dictionary;
+    dst.codes.reserve(rows.size());
+    for (int64_t row : rows) dst.codes.push_back(src.codes[row]);
+  }
+  return Relation::Create(relation.schema(), std::move(columns),
+                          static_cast<int64_t>(rows.size()));
+}
+
+}  // namespace
+
+StatusOr<Relation> HeadRows(const Relation& relation, int64_t n) {
+  if (n < 0) return Status::InvalidArgument("row count must be >= 0");
+  const int64_t keep = std::min(n, relation.num_rows());
+  std::vector<int64_t> rows(keep);
+  for (int64_t i = 0; i < keep; ++i) rows[i] = i;
+  return KeepRows(relation, rows);
+}
+
+StatusOr<Relation> SampleRows(const Relation& relation, int64_t n, Rng& rng) {
+  if (n < 0) return Status::InvalidArgument("sample size must be >= 0");
+  const int64_t total = relation.num_rows();
+  const int64_t keep = std::min(n, total);
+  // Floyd's algorithm would avoid materializing all ids, but at these sizes
+  // a shuffle-prefix is simpler and still O(|r|).
+  std::vector<int64_t> ids(total);
+  for (int64_t i = 0; i < total; ++i) ids[i] = i;
+  rng.Shuffle(ids);
+  ids.resize(keep);
+  std::sort(ids.begin(), ids.end());
+  return KeepRows(relation, ids);
+}
+
+Relation CompactDictionaries(const Relation& relation) {
+  std::vector<Column> columns(relation.num_columns());
+  for (int c = 0; c < relation.num_columns(); ++c) {
+    const Column& src = relation.column(c);
+    Column& dst = columns[c];
+    std::vector<int32_t> remap(src.dictionary.size(), -1);
+    dst.codes.reserve(src.codes.size());
+    for (int32_t code : src.codes) {
+      if (remap[code] < 0) {
+        remap[code] = static_cast<int32_t>(dst.dictionary.size());
+        dst.dictionary.push_back(src.dictionary[code]);
+      }
+      dst.codes.push_back(remap[code]);
+    }
+  }
+  StatusOr<Relation> result = Relation::Create(
+      relation.schema(), std::move(columns), relation.num_rows());
+  TANE_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+}  // namespace tane

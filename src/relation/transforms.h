@@ -1,0 +1,39 @@
+#ifndef TANE_RELATION_TRANSFORMS_H_
+#define TANE_RELATION_TRANSFORMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "relation/relation.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace tane {
+
+/// Builds the paper's "×n" scaled dataset: `copies` concatenated copies of
+/// `relation`, with every value in copy k suffixed by a copy-unique string
+/// ("#k"). Rows from different copies therefore never agree on any
+/// attribute, so the set of functional dependencies (and each dependency's
+/// g3 error) is exactly that of the original relation while the row count
+/// grows by the factor `copies`.
+StatusOr<Relation> ConcatenateCopies(const Relation& relation, int copies);
+
+/// Restricts `relation` to the given column indices, in the given order.
+StatusOr<Relation> ProjectColumns(const Relation& relation,
+                                  const std::vector<int>& columns);
+
+/// Keeps the first `n` rows (or all rows if the relation is shorter).
+StatusOr<Relation> HeadRows(const Relation& relation, int64_t n);
+
+/// Uniform row sample without replacement of size min(n, num_rows), in the
+/// original row order. Deterministic given `rng`.
+StatusOr<Relation> SampleRows(const Relation& relation, int64_t n, Rng& rng);
+
+/// Re-encodes every column so that dictionary codes are assigned in first-
+/// occurrence order and unused dictionary entries are dropped. The partition
+/// structure is unchanged; useful after projection or sampling.
+Relation CompactDictionaries(const Relation& relation);
+
+}  // namespace tane
+
+#endif  // TANE_RELATION_TRANSFORMS_H_

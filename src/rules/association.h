@@ -1,0 +1,68 @@
+#ifndef TANE_RULES_ASSOCIATION_H_
+#define TANE_RULES_ASSOCIATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relation/relation.h"
+#include "util/status.h"
+
+namespace tane {
+
+/// Association-rule mining over attribute-value pairs, the generalization
+/// sketched in the paper's concluding remarks: "An equivalence class
+/// corresponds then to a particular value combination of the attribute set.
+/// By comparing equivalence classes instead of full partitions, we can find
+/// association rules." An itemset's supporting row set *is* one equivalence
+/// class of the partition of its attributes; rules compare a class with the
+/// classes refining it.
+
+/// One attribute-value item, e.g. (city = "Paris") as (column, code).
+struct Item {
+  int attribute = 0;
+  int32_t code = 0;
+
+  friend bool operator==(const Item& a, const Item& b) {
+    return a.attribute == b.attribute && a.code == b.code;
+  }
+  friend bool operator<(const Item& a, const Item& b) {
+    if (a.attribute != b.attribute) return a.attribute < b.attribute;
+    return a.code < b.code;
+  }
+};
+
+/// A rule antecedent ⇒ consequent between attribute-value pairs over
+/// distinct attributes.
+struct AssociationRule {
+  std::vector<Item> antecedent;  // sorted by attribute
+  Item consequent;
+  int64_t support_count = 0;  // rows matching antecedent ∪ {consequent}
+  double support = 0.0;       // support_count / |r|
+  double confidence = 0.0;    // support_count / |class(antecedent)|
+
+  /// Renders as "city=Paris, lang=fr => country=France  (sup=0.12 conf=0.96)".
+  std::string ToString(const Relation& relation) const;
+};
+
+struct AssociationMiningOptions {
+  /// Minimum fraction of rows an itemset's equivalence class must hold.
+  double min_support = 0.1;
+  /// Minimum rule confidence.
+  double min_confidence = 0.8;
+  /// Largest itemset size explored (antecedent size + 1).
+  int max_itemset_size = 4;
+  /// Safety cap on the number of frequent itemsets materialized.
+  int64_t max_itemsets = 1000000;
+};
+
+/// Mines all association rules meeting the thresholds with a levelwise
+/// (Apriori-style) search whose candidate row sets are intersections of
+/// equivalence classes. Rules are returned sorted by descending confidence,
+/// then support.
+StatusOr<std::vector<AssociationRule>> MineAssociationRules(
+    const Relation& relation, const AssociationMiningOptions& options = {});
+
+}  // namespace tane
+
+#endif  // TANE_RULES_ASSOCIATION_H_

@@ -1,0 +1,35 @@
+#ifndef TANE_TANE_LIBRARY_H_
+#define TANE_TANE_LIBRARY_H_
+
+/// Umbrella header: the full public API of the TANE library.
+///
+///   #include "tane_library.h"
+///
+/// Pulls in relation construction and I/O, the TANE discovery engine, the
+/// baselines, the dataset generators, and the analysis helpers. Individual
+/// headers remain includable on their own for smaller builds.
+
+#include "analysis/closure.h"         // IWYU pragma: export
+#include "analysis/key_discovery.h"   // IWYU pragma: export
+#include "analysis/keys.h"            // IWYU pragma: export
+#include "analysis/normalization.h"   // IWYU pragma: export
+#include "analysis/violations.h"      // IWYU pragma: export
+#include "baselines/brute_force.h"    // IWYU pragma: export
+#include "baselines/fdep.h"           // IWYU pragma: export
+#include "core/config.h"              // IWYU pragma: export
+#include "core/fd.h"                  // IWYU pragma: export
+#include "core/result.h"              // IWYU pragma: export
+#include "core/tane.h"                // IWYU pragma: export
+#include "datasets/generators.h"      // IWYU pragma: export
+#include "datasets/paper_datasets.h"  // IWYU pragma: export
+#include "lattice/attribute_set.h"    // IWYU pragma: export
+#include "relation/csv.h"             // IWYU pragma: export
+#include "relation/relation.h"        // IWYU pragma: export
+#include "relation/relation_builder.h"  // IWYU pragma: export
+#include "relation/schema.h"          // IWYU pragma: export
+#include "relation/stats.h"           // IWYU pragma: export
+#include "relation/transforms.h"      // IWYU pragma: export
+#include "rules/association.h"        // IWYU pragma: export
+#include "util/status.h"              // IWYU pragma: export
+
+#endif  // TANE_TANE_LIBRARY_H_

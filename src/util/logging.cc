@@ -1,0 +1,47 @@
+#include "util/logging.h"
+
+#include <cstdio>
+
+namespace tane {
+namespace internal_logging {
+namespace {
+
+const char* SeverityTag(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kInfo:
+      return "I";
+    case LogSeverity::kWarning:
+      return "W";
+    case LogSeverity::kError:
+      return "E";
+    case LogSeverity::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+LogSeverity g_min_severity = LogSeverity::kWarning;
+
+}  // namespace
+
+void SetMinLogSeverity(LogSeverity severity) { g_min_severity = severity; }
+LogSeverity GetMinLogSeverity() { return g_min_severity; }
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
+    : severity_(severity) {
+  stream_ << "[" << SeverityTag(severity) << " " << file << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (severity_ >= g_min_severity || severity_ == LogSeverity::kFatal) {
+    std::string line = stream_.str();
+    line += '\n';
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
+  }
+  if (severity_ == LogSeverity::kFatal) std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace tane

@@ -1,0 +1,59 @@
+#ifndef TANE_UTIL_LOGGING_H_
+#define TANE_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace tane {
+namespace internal_logging {
+
+enum class LogSeverity { kInfo, kWarning, kError, kFatal };
+
+// Accumulates one log line and emits it (to stderr) on destruction.
+// LogSeverity::kFatal aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+/// Sets the minimum severity that is actually written. Defaults to kWarning
+/// so library users are not spammed; benches/tests can lower it.
+void SetMinLogSeverity(LogSeverity severity);
+LogSeverity GetMinLogSeverity();
+
+}  // namespace internal_logging
+}  // namespace tane
+
+#define TANE_LOG(severity)                                               \
+  ::tane::internal_logging::LogMessage(                                  \
+      ::tane::internal_logging::LogSeverity::k##severity, __FILE__, __LINE__) \
+      .stream()
+
+// Always-on invariant check; aborts with a message when violated. Used for
+// programmer errors that must never occur in a correct build.
+#define TANE_CHECK(condition)                                         \
+  while (!(condition))                                                \
+  ::tane::internal_logging::LogMessage(                               \
+      ::tane::internal_logging::LogSeverity::kFatal, __FILE__, __LINE__) \
+          .stream()                                                   \
+      << "Check failed: " #condition " "
+
+#ifdef NDEBUG
+#define TANE_DCHECK(condition) \
+  while (false) TANE_CHECK(condition)
+#else
+#define TANE_DCHECK(condition) TANE_CHECK(condition)
+#endif
+
+#endif  // TANE_UTIL_LOGGING_H_

@@ -1,0 +1,92 @@
+#include "util/random.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace tane {
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  for (uint64_t& word : state_) {
+    s = SplitMix64(s);
+    word = s;
+  }
+  // xoshiro must not be seeded with the all-zero state.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  TANE_DCHECK(bound > 0);
+  // Lemire's method: multiply-shift with rejection of the biased low range.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  TANE_DCHECK(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits give a uniform double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+uint64_t Rng::NextZipf(uint64_t n, double s) {
+  TANE_DCHECK(n > 0);
+  if (n == 1) return 0;
+  if (s <= 0.0) return NextBounded(n);
+  // Cumulative-scan inversion. O(n) per draw; acceptable at generator scale.
+  double norm = 0.0;
+  for (uint64_t k = 1; k <= n; ++k) norm += 1.0 / std::pow(double(k), s);
+  double u = NextDouble() * norm;
+  double acc = 0.0;
+  for (uint64_t k = 1; k <= n; ++k) {
+    acc += 1.0 / std::pow(double(k), s);
+    if (u <= acc) return k - 1;
+  }
+  return n - 1;
+}
+
+}  // namespace tane

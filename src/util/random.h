@@ -1,0 +1,58 @@
+#ifndef TANE_UTIL_RANDOM_H_
+#define TANE_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace tane {
+
+/// Deterministic 64-bit PRNG (xoshiro256**), seeded via splitmix64.
+/// Used everywhere randomness is needed so that datasets, tests, and benches
+/// are reproducible from a single integer seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be positive. Uses Lemire's
+  /// nearly-divisionless rejection method, so results are unbiased.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability `p` (clamped to [0, 1]).
+  bool NextBernoulli(double p);
+
+  /// Zipf-distributed integer in [0, n) with exponent `s` (s >= 0; s == 0 is
+  /// uniform). Linear-time setup per call set via a cached CDF would be
+  /// overkill here; this uses the rejection-inversion-free cumulative scan,
+  /// which is fine for the dataset-generation sizes used in this repo.
+  uint64_t NextZipf(uint64_t n, double s);
+
+  /// Fisher-Yates shuffles `values` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& values) {
+    for (size_t i = values.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i));
+      std::swap(values[i - 1], values[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+/// The splitmix64 mixing function; exposed for hashing utilities.
+uint64_t SplitMix64(uint64_t x);
+
+}  // namespace tane
+
+#endif  // TANE_UTIL_RANDOM_H_

@@ -1,0 +1,134 @@
+#ifndef TANE_UTIL_STATUS_H_
+#define TANE_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace tane {
+
+// Error categories for fallible operations. The library does not use C++
+// exceptions; every operation that can fail returns a Status or StatusOr<T>.
+enum class StatusCode : int32_t {
+  kOk = 0,
+  kInvalidArgument = 1,   // caller passed something malformed
+  kNotFound = 2,          // a named entity (file, column) does not exist
+  kOutOfRange = 3,        // an index or threshold is outside its domain
+  kFailedPrecondition = 4,  // object state does not admit the operation
+  kIoError = 5,           // the filesystem or OS reported an error
+  kResourceExhausted = 6,  // a configured memory/size budget was exceeded
+  kUnimplemented = 7,     // the feature is declared but not available
+  kInternal = 8,          // invariant violation; indicates a library bug
+};
+
+/// Returns a stable human-readable name for `code`, e.g. "InvalidArgument".
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error value. `Status::OK()` is cheap to copy;
+/// error statuses carry a code and a message.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status IoError(std::string message) {
+    return Status(StatusCode::kIoError, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status Unimplemented(std::string message) {
+    return Status(StatusCode::kUnimplemented, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Mirrors absl::StatusOr in
+/// spirit: check `ok()` before calling `value()`.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit so `return MakeThing();` and `return status;`
+  // both work at call sites, matching the absl::StatusOr idiom.
+  StatusOr(const T& value) : value_(value) {}              // NOLINT
+  StatusOr(T&& value) : value_(std::move(value)) {}        // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok() && value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace tane
+
+// Propagates a non-OK Status from an expression to the caller.
+#define TANE_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::tane::Status tane_status_macro_tmp = (expr); \
+    if (!tane_status_macro_tmp.ok()) return tane_status_macro_tmp; \
+  } while (false)
+
+// Evaluates a StatusOr expression, propagating errors, else binds the value.
+#define TANE_ASSIGN_OR_RETURN(lhs, expr)                        \
+  TANE_ASSIGN_OR_RETURN_IMPL_(                                  \
+      TANE_STATUS_MACRO_CONCAT_(tane_statusor_, __LINE__), lhs, expr)
+#define TANE_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+#define TANE_STATUS_MACRO_CONCAT_INNER_(x, y) x##y
+#define TANE_STATUS_MACRO_CONCAT_(x, y) TANE_STATUS_MACRO_CONCAT_INNER_(x, y)
+
+#endif  // TANE_UTIL_STATUS_H_

@@ -1,0 +1,102 @@
+#include "util/strings.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace tane {
+
+std::vector<std::string_view> SplitString(std::string_view text, char sep) {
+  std::vector<std::string_view> parts;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      parts.push_back(text.substr(start));
+      return parts;
+    }
+    parts.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view StripWhitespace(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  size_t end = text.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+bool ParseInt64(std::string_view text, int64_t* value) {
+  text = StripWhitespace(text);
+  if (text.empty() || text.size() > 20) return false;
+  char buf[32];
+  std::memcpy(buf, text.data(), text.size());
+  buf[text.size()] = '\0';
+  errno = 0;
+  char* end = nullptr;
+  long long parsed = std::strtoll(buf, &end, 10);
+  if (errno != 0 || end != buf + text.size()) return false;
+  *value = parsed;
+  return true;
+}
+
+bool ParseDouble(std::string_view text, double* value) {
+  text = StripWhitespace(text);
+  if (text.empty() || text.size() > 48) return false;
+  char buf[64];
+  std::memcpy(buf, text.data(), text.size());
+  buf[text.size()] = '\0';
+  errno = 0;
+  char* end = nullptr;
+  double parsed = std::strtod(buf, &end);
+  if (errno != 0 || end != buf + text.size()) return false;
+  *value = parsed;
+  return true;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[64];
+  if (seconds < 0.01) {
+    std::snprintf(buf, sizeof(buf), "%.4f", seconds);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3f", seconds);
+  } else if (seconds < 100.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f", seconds);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", seconds);
+  }
+  return buf;
+}
+
+std::string FormatCount(int64_t n) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(n));
+  return buf;
+}
+
+}  // namespace tane

@@ -1,0 +1,39 @@
+#ifndef TANE_UTIL_STRINGS_H_
+#define TANE_UTIL_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tane {
+
+/// Splits `text` on `sep`, keeping empty fields ("a,,b" -> {"a", "", "b"}).
+std::vector<std::string_view> SplitString(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// Parses a signed 64-bit decimal integer; rejects trailing garbage.
+bool ParseInt64(std::string_view text, int64_t* value);
+
+/// Parses a double; rejects trailing garbage.
+bool ParseDouble(std::string_view text, double* value);
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Formats `seconds` the way the paper's tables do: two or three significant
+/// digits, e.g. "0.76", "68.2", "1451", "17521".
+std::string FormatSeconds(double seconds);
+
+/// Formats a count with no decoration, e.g. "2730".
+std::string FormatCount(int64_t n);
+
+}  // namespace tane
+
+#endif  // TANE_UTIL_STRINGS_H_

@@ -1,0 +1,4 @@
+#include "util/timer.h"
+
+// WallTimer is header-only; this translation unit exists so the build file
+// can list every module uniformly and future non-inline helpers have a home.

@@ -1,0 +1,32 @@
+#ifndef TANE_UTIL_TIMER_H_
+#define TANE_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace tane {
+
+/// Wall-clock stopwatch. The paper reports "real times elapsed" rather than
+/// CPU times, so the bench harness measures wall clock as well.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tane
+
+#endif  // TANE_UTIL_TIMER_H_

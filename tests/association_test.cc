@@ -1,0 +1,218 @@
+#include "rules/association.h"
+
+#include <cmath>
+
+#include "datasets/generators.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace tane {
+namespace {
+
+using testing_util::MakeRelation;
+
+// Six rows where city=paris strongly implies country=fr (3 of 3), and
+// city=berlin implies country=de (2 of 2).
+Relation CityRelation() {
+  return MakeRelation(
+      {
+          {"paris", "fr"},
+          {"paris", "fr"},
+          {"paris", "fr"},
+          {"berlin", "de"},
+          {"berlin", "de"},
+          {"rome", "it"},
+      },
+      2);
+}
+
+const AssociationRule* FindRule(const std::vector<AssociationRule>& rules,
+                                const Relation& relation,
+                                const std::string& text_prefix) {
+  for (const AssociationRule& rule : rules) {
+    if (rule.ToString(relation).rfind(text_prefix, 0) == 0) return &rule;
+  }
+  return nullptr;
+}
+
+TEST(AssociationTest, FindsObviousRules) {
+  Relation relation = CityRelation();
+  AssociationMiningOptions options;
+  options.min_support = 0.4;
+  options.min_confidence = 0.9;
+  StatusOr<std::vector<AssociationRule>> rules =
+      MineAssociationRules(relation, options);
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+
+  const AssociationRule* paris =
+      FindRule(*rules, relation, "col0=paris => col1=fr");
+  ASSERT_NE(paris, nullptr);
+  EXPECT_EQ(paris->support_count, 3);
+  EXPECT_DOUBLE_EQ(paris->support, 0.5);
+  EXPECT_DOUBLE_EQ(paris->confidence, 1.0);
+
+  // berlin rows (2 of 6 = 0.33) fall below min_support=0.4.
+  EXPECT_EQ(FindRule(*rules, relation, "col0=berlin"), nullptr);
+}
+
+TEST(AssociationTest, ConfidenceThresholdFilters) {
+  // value "x" maps to "1" twice and "2" once: confidence 2/3.
+  Relation relation = MakeRelation(
+      {{"x", "1"}, {"x", "1"}, {"x", "2"}, {"y", "3"}}, 2);
+  AssociationMiningOptions options;
+  options.min_support = 0.25;
+  options.min_confidence = 0.7;
+  StatusOr<std::vector<AssociationRule>> strict =
+      MineAssociationRules(relation, options);
+  ASSERT_TRUE(strict.ok());
+  EXPECT_EQ(FindRule(*strict, relation, "col0=x => col1=1"), nullptr);
+
+  options.min_confidence = 0.6;
+  StatusOr<std::vector<AssociationRule>> loose =
+      MineAssociationRules(relation, options);
+  ASSERT_TRUE(loose.ok());
+  const AssociationRule* rule =
+      FindRule(*loose, relation, "col0=x => col1=1");
+  ASSERT_NE(rule, nullptr);
+  EXPECT_NEAR(rule->confidence, 2.0 / 3.0, 1e-12);
+}
+
+TEST(AssociationTest, ThreeItemRules) {
+  // (a=1, b=1) => c=1 in 3 of 3 matching rows.
+  Relation relation = MakeRelation(
+      {
+          {"1", "1", "1"},
+          {"1", "1", "1"},
+          {"1", "1", "1"},
+          {"1", "2", "2"},
+          {"2", "1", "2"},
+          {"2", "2", "2"},
+      },
+      3);
+  AssociationMiningOptions options;
+  options.min_support = 0.4;
+  options.min_confidence = 0.95;
+  StatusOr<std::vector<AssociationRule>> rules =
+      MineAssociationRules(relation, options);
+  ASSERT_TRUE(rules.ok());
+  const AssociationRule* rule =
+      FindRule(*rules, relation, "col0=1, col1=1 => col2=1");
+  ASSERT_NE(rule, nullptr);
+  EXPECT_DOUBLE_EQ(rule->confidence, 1.0);
+  EXPECT_DOUBLE_EQ(rule->support, 0.5);
+}
+
+TEST(AssociationTest, SortedByConfidenceThenSupport) {
+  Relation relation = CityRelation();
+  AssociationMiningOptions options;
+  options.min_support = 0.15;
+  options.min_confidence = 0.5;
+  StatusOr<std::vector<AssociationRule>> rules =
+      MineAssociationRules(relation, options);
+  ASSERT_TRUE(rules.ok());
+  for (size_t i = 1; i < rules->size(); ++i) {
+    const AssociationRule& prev = (*rules)[i - 1];
+    const AssociationRule& cur = (*rules)[i];
+    EXPECT_TRUE(prev.confidence > cur.confidence ||
+                (prev.confidence == cur.confidence &&
+                 prev.support >= cur.support));
+  }
+}
+
+TEST(AssociationTest, ValidatesOptions) {
+  Relation relation = CityRelation();
+  AssociationMiningOptions bad;
+  bad.min_support = -0.1;
+  EXPECT_FALSE(MineAssociationRules(relation, bad).ok());
+  bad.min_support = 0.5;
+  bad.min_confidence = 1.5;
+  EXPECT_FALSE(MineAssociationRules(relation, bad).ok());
+  bad.min_confidence = 0.5;
+  bad.max_itemset_size = 1;
+  EXPECT_FALSE(MineAssociationRules(relation, bad).ok());
+}
+
+TEST(AssociationTest, EmptyRelationYieldsNoRules) {
+  Relation relation = MakeRelation({}, 2);
+  StatusOr<std::vector<AssociationRule>> rules =
+      MineAssociationRules(relation);
+  ASSERT_TRUE(rules.ok());
+  EXPECT_TRUE(rules->empty());
+}
+
+TEST(AssociationTest, ItemsetCapTriggersCleanError) {
+  StatusOr<Relation> relation = GenerateUniform(200, 6, 2, /*seed=*/4);
+  ASSERT_TRUE(relation.ok());
+  AssociationMiningOptions options;
+  options.min_support = 0.0;
+  options.min_confidence = 0.0;
+  options.max_itemsets = 10;
+  StatusOr<std::vector<AssociationRule>> rules =
+      MineAssociationRules(*relation, options);
+  EXPECT_FALSE(rules.ok());
+  EXPECT_EQ(rules.status().code(), StatusCode::kResourceExhausted);
+}
+
+// Property check against a direct counting reference.
+class AssociationPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AssociationPropertyTest, SupportAndConfidenceAreExact) {
+  Rng rng(GetParam() * 7907 + 2);
+  std::vector<std::vector<std::string>> data;
+  const int64_t rows = 40 + static_cast<int64_t>(rng.NextBounded(60));
+  for (int64_t i = 0; i < rows; ++i) {
+    data.push_back({std::to_string(rng.NextBounded(3)),
+                    std::to_string(rng.NextBounded(3)),
+                    std::to_string(rng.NextBounded(2))});
+  }
+  Relation relation = MakeRelation(data, 3);
+  AssociationMiningOptions options;
+  options.min_support = 0.05;
+  options.min_confidence = 0.3;
+  StatusOr<std::vector<AssociationRule>> rules =
+      MineAssociationRules(relation, options);
+  ASSERT_TRUE(rules.ok());
+  ASSERT_FALSE(rules->empty());
+
+  for (const AssociationRule& rule : *rules) {
+    int64_t antecedent_count = 0;
+    int64_t full_count = 0;
+    for (int64_t row = 0; row < relation.num_rows(); ++row) {
+      bool matches = true;
+      for (const Item& item : rule.antecedent) {
+        if (relation.code(row, item.attribute) != item.code) {
+          matches = false;
+          break;
+        }
+      }
+      if (!matches) continue;
+      ++antecedent_count;
+      if (relation.code(row, rule.consequent.attribute) ==
+          rule.consequent.code) {
+        ++full_count;
+      }
+    }
+    EXPECT_EQ(rule.support_count, full_count);
+    EXPECT_NEAR(rule.confidence,
+                static_cast<double>(full_count) /
+                    static_cast<double>(antecedent_count),
+                1e-12);
+    EXPECT_GE(rule.support + 1e-9, options.min_support);
+    EXPECT_GE(rule.confidence + 1e-9, options.min_confidence);
+    // Antecedent attributes are distinct and exclude the consequent's.
+    for (size_t i = 0; i < rule.antecedent.size(); ++i) {
+      EXPECT_NE(rule.antecedent[i].attribute, rule.consequent.attribute);
+      if (i > 0) {
+        EXPECT_LT(rule.antecedent[i - 1].attribute,
+                  rule.antecedent[i].attribute);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AssociationPropertyTest,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace tane

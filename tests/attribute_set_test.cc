@@ -1,0 +1,120 @@
+#include "lattice/attribute_set.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace tane {
+namespace {
+
+TEST(AttributeSetTest, EmptySet) {
+  AttributeSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.size(), 0);
+  EXPECT_EQ(set.mask(), 0u);
+  EXPECT_FALSE(set.Contains(0));
+}
+
+TEST(AttributeSetTest, Singleton) {
+  AttributeSet set = AttributeSet::Singleton(5);
+  EXPECT_EQ(set.size(), 1);
+  EXPECT_TRUE(set.Contains(5));
+  EXPECT_FALSE(set.Contains(4));
+  EXPECT_EQ(set.First(), 5);
+}
+
+TEST(AttributeSetTest, FullSet) {
+  EXPECT_EQ(AttributeSet::FullSet(0).size(), 0);
+  EXPECT_EQ(AttributeSet::FullSet(7).size(), 7);
+  EXPECT_EQ(AttributeSet::FullSet(64).size(), 64);
+  EXPECT_TRUE(AttributeSet::FullSet(64).Contains(63));
+}
+
+TEST(AttributeSetTest, OfInitializerList) {
+  AttributeSet set = AttributeSet::Of({0, 2, 5});
+  EXPECT_EQ(set.size(), 3);
+  EXPECT_TRUE(set.Contains(0));
+  EXPECT_FALSE(set.Contains(1));
+  EXPECT_TRUE(set.Contains(2));
+  EXPECT_TRUE(set.Contains(5));
+}
+
+TEST(AttributeSetTest, WithAndWithout) {
+  AttributeSet set = AttributeSet::Of({1, 3});
+  EXPECT_EQ(set.With(2), AttributeSet::Of({1, 2, 3}));
+  EXPECT_EQ(set.Without(3), AttributeSet::Singleton(1));
+  EXPECT_EQ(set.With(1), set);      // idempotent
+  EXPECT_EQ(set.Without(2), set);   // removing a non-member is a no-op
+}
+
+TEST(AttributeSetTest, SetAlgebra) {
+  AttributeSet a = AttributeSet::Of({0, 1, 2});
+  AttributeSet b = AttributeSet::Of({2, 3});
+  EXPECT_EQ(a.Union(b), AttributeSet::Of({0, 1, 2, 3}));
+  EXPECT_EQ(a.Intersect(b), AttributeSet::Singleton(2));
+  EXPECT_EQ(a.Difference(b), AttributeSet::Of({0, 1}));
+  EXPECT_EQ(b.Difference(a), AttributeSet::Singleton(3));
+}
+
+TEST(AttributeSetTest, ContainsAllAndProperSubset) {
+  AttributeSet super = AttributeSet::Of({0, 1, 2});
+  AttributeSet sub = AttributeSet::Of({0, 2});
+  EXPECT_TRUE(super.ContainsAll(sub));
+  EXPECT_FALSE(sub.ContainsAll(super));
+  EXPECT_TRUE(super.ContainsAll(super));
+  EXPECT_TRUE(sub.IsProperSubsetOf(super));
+  EXPECT_FALSE(super.IsProperSubsetOf(super));
+  EXPECT_FALSE(super.IsProperSubsetOf(sub));
+  EXPECT_TRUE(AttributeSet().IsProperSubsetOf(sub));
+}
+
+TEST(AttributeSetTest, ToIndices) {
+  EXPECT_EQ(AttributeSet::Of({4, 1, 6}).ToIndices(),
+            (std::vector<int>{1, 4, 6}));
+  EXPECT_TRUE(AttributeSet().ToIndices().empty());
+}
+
+TEST(AttributeSetTest, MembersIteration) {
+  std::vector<int> seen;
+  for (int a : Members(AttributeSet::Of({0, 3, 63}))) seen.push_back(a);
+  EXPECT_EQ(seen, (std::vector<int>{0, 3, 63}));
+}
+
+TEST(AttributeSetTest, MembersOfEmptySet) {
+  for (int a : Members(AttributeSet())) {
+    FAIL() << "unexpected member " << a;
+  }
+}
+
+TEST(AttributeSetTest, ToStringRawIndices) {
+  EXPECT_EQ(AttributeSet::Of({0, 2}).ToString(), "{0,2}");
+  EXPECT_EQ(AttributeSet().ToString(), "{}");
+}
+
+TEST(AttributeSetTest, ToStringWithSchema) {
+  StatusOr<Schema> schema = Schema::Create({"A", "B", "C", "D"});
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(AttributeSet::Of({1, 2}).ToString(schema.value()), "{B,C}");
+}
+
+TEST(AttributeSetTest, OrderingByMask) {
+  EXPECT_LT(AttributeSet::Singleton(0), AttributeSet::Singleton(1));
+  EXPECT_LT(AttributeSet::Singleton(1), AttributeSet::Of({0, 1}));
+}
+
+TEST(AttributeSetTest, HashSpreadsValues) {
+  AttributeSetHash hash;
+  EXPECT_NE(hash(AttributeSet::Singleton(0)), hash(AttributeSet::Singleton(1)));
+  EXPECT_NE(hash(AttributeSet::Of({0, 1})), hash(AttributeSet::Of({0, 2})));
+}
+
+TEST(AttributeSetTest, Bit63Roundtrip) {
+  AttributeSet set = AttributeSet::Singleton(63);
+  EXPECT_TRUE(set.Contains(63));
+  EXPECT_EQ(set.size(), 1);
+  EXPECT_EQ(set.ToIndices(), std::vector<int>{63});
+  EXPECT_EQ(set.Without(63), AttributeSet());
+}
+
+}  // namespace
+}  // namespace tane

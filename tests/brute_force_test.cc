@@ -1,0 +1,78 @@
+#include "baselines/brute_force.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace tane {
+namespace {
+
+using testing_util::ContainsFd;
+using testing_util::MakeRelation;
+using testing_util::PaperFigure1Relation;
+
+TEST(BruteForceTest, PaperFigure1GroundTruth) {
+  StatusOr<DiscoveryResult> result =
+      BruteForce::Discover(PaperFigure1Relation());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_fds(), 6);
+  EXPECT_TRUE(ContainsFd(result->fds, AttributeSet::Of({1, 2}), 0));
+  EXPECT_TRUE(ContainsFd(result->fds, AttributeSet::Of({1, 3}), 0));
+  EXPECT_TRUE(ContainsFd(result->fds, AttributeSet::Of({0, 2}), 1));
+  EXPECT_TRUE(ContainsFd(result->fds, AttributeSet::Of({0, 3}), 1));
+  EXPECT_TRUE(ContainsFd(result->fds, AttributeSet::Of({0, 3}), 2));
+  EXPECT_TRUE(ContainsFd(result->fds, AttributeSet::Of({1, 3}), 2));
+}
+
+TEST(BruteForceTest, PaperFigure1Keys) {
+  StatusOr<DiscoveryResult> result =
+      BruteForce::Discover(PaperFigure1Relation());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->keys.size(), 2u);
+  EXPECT_EQ(result->keys[0], AttributeSet::Of({0, 3}));
+  EXPECT_EQ(result->keys[1], AttributeSet::Of({1, 3}));
+}
+
+TEST(BruteForceTest, ApproximateErrorsWithinThreshold) {
+  StatusOr<DiscoveryResult> result =
+      BruteForce::Discover(PaperFigure1Relation(), 0.375);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(ContainsFd(result->fds, AttributeSet::Of({0}), 1));
+  for (const FunctionalDependency& fd : result->fds) {
+    EXPECT_LE(fd.error, 0.375 + 1e-12);
+  }
+}
+
+TEST(BruteForceTest, MaxLhsLimit) {
+  StatusOr<DiscoveryResult> limited =
+      BruteForce::Discover(PaperFigure1Relation(), 0.0, /*max_lhs_size=*/1);
+  ASSERT_TRUE(limited.ok());
+  EXPECT_EQ(limited->num_fds(), 0);  // Figure 1 FDs all have |lhs| = 2
+}
+
+TEST(BruteForceTest, RejectsBadEpsilon) {
+  EXPECT_FALSE(BruteForce::Discover(PaperFigure1Relation(), -0.1).ok());
+  EXPECT_FALSE(BruteForce::Discover(PaperFigure1Relation(), 1.1).ok());
+}
+
+TEST(BruteForceTest, EmptyRelation) {
+  Relation relation = MakeRelation({}, 2);
+  StatusOr<DiscoveryResult> result = BruteForce::Discover(relation);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_fds(), 2);  // {} -> each attribute, vacuously
+  EXPECT_TRUE(result->keys.empty());
+}
+
+TEST(BruteForceTest, OutputIsMinimal) {
+  StatusOr<DiscoveryResult> result =
+      BruteForce::Discover(PaperFigure1Relation(), 0.2);
+  ASSERT_TRUE(result.ok());
+  for (const FunctionalDependency& a : result->fds) {
+    for (const FunctionalDependency& b : result->fds) {
+      if (a.rhs != b.rhs || a.lhs == b.lhs) continue;
+      EXPECT_FALSE(a.lhs.IsProperSubsetOf(b.lhs));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tane

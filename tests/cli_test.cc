@@ -1,0 +1,235 @@
+#include "tools/cli.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace tane {
+namespace cli {
+namespace {
+
+// Writes the Figure 1 relation to a temp CSV and returns the path.
+std::string WriteFigure1Csv() {
+  const std::string path = ::testing::TempDir() + "/tane_cli_fig1.csv";
+  std::ofstream out(path);
+  out << "A,B,C,D\n1,a,$,Flower\n1,x,L,Tulip\n2,x,$,Daffodil\n"
+         "2,x,$,Flower\n2,b,L,Lily\n3,b,$,Orchid\n3,c,L,Flower\n3,c,#,Rose\n";
+  return path;
+}
+
+struct CliResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliResult RunCli(const std::vector<std::string>& args) {
+  std::ostringstream out, err;
+  const int code = Run(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+TEST(CliParseFdTest, ParsesNamedDependency) {
+  Schema schema = Schema::Create({"city", "zip", "state"}).value();
+  StatusOr<FunctionalDependency> fd = ParseFd("city,zip->state", schema);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(fd->lhs, AttributeSet::Of({0, 1}));
+  EXPECT_EQ(fd->rhs, 2);
+}
+
+TEST(CliParseFdTest, ParsesEmptyLhsAndWhitespace) {
+  Schema schema = Schema::Create({"a", "b"}).value();
+  StatusOr<FunctionalDependency> fd = ParseFd(" -> b", schema);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_TRUE(fd->lhs.empty());
+  EXPECT_EQ(fd->rhs, 1);
+  StatusOr<FunctionalDependency> spaced = ParseFd(" a -> b ", schema);
+  ASSERT_TRUE(spaced.ok());
+  EXPECT_EQ(spaced->lhs, AttributeSet::Singleton(0));
+}
+
+TEST(CliParseFdTest, RejectsBadInput) {
+  Schema schema = Schema::Create({"a", "b"}).value();
+  EXPECT_FALSE(ParseFd("a,b", schema).ok());          // no arrow
+  EXPECT_FALSE(ParseFd("zzz->b", schema).ok());       // unknown lhs
+  EXPECT_FALSE(ParseFd("a->zzz", schema).ok());       // unknown rhs
+  EXPECT_FALSE(ParseFd("a,b->b", schema).ok());       // trivial
+}
+
+TEST(CliJsonTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(JsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+}
+
+TEST(CliTest, HelpPrintsUsage) {
+  CliResult result = RunCli({"help"});
+  EXPECT_EQ(result.code, 0);
+  EXPECT_NE(result.out.find("usage: tane"), std::string::npos);
+}
+
+TEST(CliTest, UnknownCommandFails) {
+  CliResult result = RunCli({"frobnicate"});
+  EXPECT_EQ(result.code, 2);
+  EXPECT_NE(result.err.find("unknown command"), std::string::npos);
+}
+
+TEST(CliTest, MissingCommandFails) {
+  CliResult result = RunCli({});
+  EXPECT_EQ(result.code, 2);
+}
+
+TEST(CliTest, DiscoverTextOutput) {
+  const std::string path = WriteFigure1Csv();
+  CliResult result = RunCli({"discover", path});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("6 minimal dependencies"), std::string::npos)
+      << result.out;
+  EXPECT_NE(result.out.find("{B,C} -> A"), std::string::npos);
+  EXPECT_NE(result.out.find("key: {A,D}"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, DiscoverJsonOutput) {
+  const std::string path = WriteFigure1Csv();
+  CliResult result = RunCli({"discover", path, "--format=json"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("\"num_fds\": 6"), std::string::npos);
+  EXPECT_NE(result.out.find("\"rhs\": \"A\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, DiscoverCsvOutputAndStats) {
+  const std::string path = WriteFigure1Csv();
+  CliResult result = RunCli({"discover", path, "--format=csv", "--stats"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("lhs,rhs,g3_error"), std::string::npos);
+  EXPECT_NE(result.out.find("\"B;C\",A,0"), std::string::npos);
+  EXPECT_NE(result.out.find("# levels="), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, DiscoverWithEpsilonAndMaxLhs) {
+  const std::string path = WriteFigure1Csv();
+  CliResult limited = RunCli({"discover", path, "--max-lhs=1"});
+  EXPECT_EQ(limited.code, 0);
+  EXPECT_NE(limited.out.find("0 minimal dependencies"), std::string::npos);
+  CliResult approx = RunCli({"discover", path, "--epsilon=0.375"});
+  EXPECT_EQ(approx.code, 0);
+  EXPECT_NE(approx.out.find("(g3="), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, DiscoverDiskMode) {
+  const std::string path = WriteFigure1Csv();
+  CliResult result = RunCli({"discover", path, "--disk"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("6 minimal dependencies"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, DiscoverRejectsBadFlags) {
+  const std::string path = WriteFigure1Csv();
+  EXPECT_EQ(RunCli({"discover", path, "--epsilon=banana"}).code, 1);
+  EXPECT_EQ(RunCli({"discover", path, "--format=xml"}).code, 1);
+  EXPECT_EQ(RunCli({"discover", path, "--delimiter=ab"}).code, 1);
+  EXPECT_EQ(RunCli({"discover", "/does/not/exist.csv"}).code, 1);
+  EXPECT_EQ(RunCli({"discover"}).code, 1);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, KeysCommand) {
+  const std::string path = WriteFigure1Csv();
+  CliResult result = RunCli({"keys", path});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("2 minimal keys"), std::string::npos);
+  EXPECT_NE(result.out.find("{A,D}"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, CheckCommand) {
+  const std::string path = WriteFigure1Csv();
+  CliResult exact = RunCli({"check", path, "--fd=B,C->A"});
+  EXPECT_EQ(exact.code, 0) << exact.err;
+  EXPECT_NE(exact.out.find("holds exactly"), std::string::npos);
+  CliResult approx = RunCli({"check", path, "--fd=A->B"});
+  EXPECT_EQ(approx.code, 0);
+  EXPECT_NE(approx.out.find("0.375"), std::string::npos);
+  EXPECT_EQ(RunCli({"check", path}).code, 1);  // missing --fd
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, ViolationsCommand) {
+  const std::string path = WriteFigure1Csv();
+  CliResult result = RunCli({"violations", path, "--fd=A->B", "--limit=2"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("3 exceptional rows"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, NormalizeCommand) {
+  const std::string path = WriteFigure1Csv();
+  CliResult result = RunCli({"normalize", path});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("# minimal cover"), std::string::npos);
+  EXPECT_NE(result.out.find("# candidate keys"), std::string::npos);
+  EXPECT_NE(result.out.find("# proposed decomposition"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, ProfileCommand) {
+  const std::string path = WriteFigure1Csv();
+  CliResult result = RunCli({"profile", path});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("8 rows, 4 columns"), std::string::npos);
+  EXPECT_NE(result.out.find("distinct"), std::string::npos);
+  EXPECT_NE(result.out.find("entropy"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, RulesCommand) {
+  const std::string path = ::testing::TempDir() + "/tane_cli_rules.csv";
+  {
+    std::ofstream out(path);
+    out << "city,country\nparis,fr\nparis,fr\nparis,fr\nberlin,de\n"
+           "berlin,de\nrome,it\n";
+  }
+  CliResult result = RunCli({"rules", path, "--min-support=0.4",
+                             "--min-confidence=0.9"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("city=paris => country=fr"), std::string::npos)
+      << result.out;
+  EXPECT_EQ(RunCli({"rules", path, "--min-support=2"}).code, 1);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, GenerateCommand) {
+  CliResult result =
+      RunCli({"generate", "wbc", "--rows=50", "--seed=7", "--copies=2"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  // Header plus 100 data rows.
+  int lines = 0;
+  for (char ch : result.out) lines += ch == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 101);
+  EXPECT_NE(result.out.find("id,score0"), std::string::npos);
+  EXPECT_EQ(RunCli({"generate", "nope"}).code, 1);
+  EXPECT_EQ(RunCli({"generate"}).code, 1);
+}
+
+TEST(CliTest, NoHeaderOption) {
+  const std::string path = ::testing::TempDir() + "/tane_cli_nohdr.csv";
+  {
+    std::ofstream out(path);
+    out << "1,x\n2,y\n1,x\n";
+  }
+  CliResult result = RunCli({"discover", path, "--no-header"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("col0"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cli
+}  // namespace tane

@@ -1,0 +1,84 @@
+#include "analysis/closure.h"
+
+#include "gtest/gtest.h"
+
+namespace tane {
+namespace {
+
+std::vector<FunctionalDependency> ChainFds() {
+  // 0 -> 1, 1 -> 2, {2,3} -> 4.
+  return {{AttributeSet::Of({0}), 1, 0.0},
+          {AttributeSet::Of({1}), 2, 0.0},
+          {AttributeSet::Of({2, 3}), 4, 0.0}};
+}
+
+TEST(ClosureTest, TransitiveChain) {
+  EXPECT_EQ(Closure(AttributeSet::Of({0}), ChainFds()),
+            AttributeSet::Of({0, 1, 2}));
+  EXPECT_EQ(Closure(AttributeSet::Of({0, 3}), ChainFds()),
+            AttributeSet::Of({0, 1, 2, 3, 4}));
+  EXPECT_EQ(Closure(AttributeSet::Of({3}), ChainFds()),
+            AttributeSet::Of({3}));
+}
+
+TEST(ClosureTest, EmptyFdsFixedPoint) {
+  EXPECT_EQ(Closure(AttributeSet::Of({1, 2}), {}), AttributeSet::Of({1, 2}));
+  EXPECT_EQ(Closure(AttributeSet(), ChainFds()), AttributeSet());
+}
+
+TEST(ClosureTest, EmptyLhsFdAlwaysFires) {
+  std::vector<FunctionalDependency> fds = {{AttributeSet(), 2, 0.0}};
+  EXPECT_EQ(Closure(AttributeSet(), fds), AttributeSet::Of({2}));
+}
+
+TEST(ImpliesTest, DirectAndDerived) {
+  EXPECT_TRUE(Implies(ChainFds(), AttributeSet::Of({0}), 2));
+  EXPECT_FALSE(Implies(ChainFds(), AttributeSet::Of({0}), 4));
+  EXPECT_TRUE(Implies(ChainFds(), AttributeSet::Of({0, 3}), 4));
+}
+
+TEST(MinimalCoverTest, RemovesImpliedDependency) {
+  // 0 -> 1, 1 -> 2, 0 -> 2 (implied by transitivity).
+  std::vector<FunctionalDependency> fds = {
+      {AttributeSet::Of({0}), 1, 0.0},
+      {AttributeSet::Of({1}), 2, 0.0},
+      {AttributeSet::Of({0}), 2, 0.0}};
+  std::vector<FunctionalDependency> cover = MinimalCover(fds);
+  EXPECT_EQ(cover.size(), 2u);
+  for (const FunctionalDependency& fd : cover) {
+    EXPECT_FALSE(fd.lhs == AttributeSet::Of({0}) && fd.rhs == 2);
+  }
+}
+
+TEST(MinimalCoverTest, LeftReducesExtraneousAttributes) {
+  // {0,3} -> 1 where 0 -> 1 already: the 3 is extraneous.
+  std::vector<FunctionalDependency> fds = {
+      {AttributeSet::Of({0}), 1, 0.0},
+      {AttributeSet::Of({0, 3}), 1, 0.0}};
+  std::vector<FunctionalDependency> cover = MinimalCover(fds);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0].lhs, AttributeSet::Of({0}));
+  EXPECT_EQ(cover[0].rhs, 1);
+}
+
+TEST(MinimalCoverTest, CoverStillImpliesEverything) {
+  std::vector<FunctionalDependency> fds = {
+      {AttributeSet::Of({0}), 1, 0.0},
+      {AttributeSet::Of({1}), 2, 0.0},
+      {AttributeSet::Of({0}), 2, 0.0},
+      {AttributeSet::Of({0, 2}), 3, 0.0}};
+  std::vector<FunctionalDependency> cover = MinimalCover(fds);
+  for (const FunctionalDependency& fd : fds) {
+    EXPECT_TRUE(Implies(cover, fd.lhs, fd.rhs))
+        << fd.lhs.ToString() << " -> " << fd.rhs;
+  }
+}
+
+TEST(MinimalCoverTest, DeduplicatesIdenticalFds) {
+  std::vector<FunctionalDependency> fds = {
+      {AttributeSet::Of({0}), 1, 0.0}, {AttributeSet::Of({0}), 1, 0.0}};
+  EXPECT_EQ(MinimalCover(fds).size(), 1u);
+}
+
+}  // namespace
+}  // namespace tane

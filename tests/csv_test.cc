@@ -1,0 +1,147 @@
+#include "relation/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace tane {
+namespace {
+
+TEST(CsvReadTest, SimpleWithHeader) {
+  StatusOr<Relation> relation =
+      ReadCsvString("a,b\n1,x\n2,y\n1,x\n");
+  ASSERT_TRUE(relation.ok()) << relation.status().ToString();
+  EXPECT_EQ(relation->num_rows(), 3);
+  EXPECT_EQ(relation->num_columns(), 2);
+  EXPECT_EQ(relation->schema().name(0), "a");
+  EXPECT_EQ(relation->value(1, 1), "y");
+  EXPECT_TRUE(relation->Agrees(0, 2, 0));
+}
+
+TEST(CsvReadTest, NoHeaderGeneratesNames) {
+  CsvOptions options;
+  options.has_header = false;
+  StatusOr<Relation> relation = ReadCsvString("1,x\n2,y\n", options);
+  ASSERT_TRUE(relation.ok());
+  EXPECT_EQ(relation->num_rows(), 2);
+  EXPECT_EQ(relation->schema().name(0), "col0");
+  EXPECT_EQ(relation->value(0, 0), "1");
+}
+
+TEST(CsvReadTest, QuotedFieldsWithDelimiters) {
+  StatusOr<Relation> relation =
+      ReadCsvString("a,b\n\"x,y\",plain\n");
+  ASSERT_TRUE(relation.ok());
+  EXPECT_EQ(relation->value(0, 0), "x,y");
+  EXPECT_EQ(relation->value(0, 1), "plain");
+}
+
+TEST(CsvReadTest, EscapedQuotes) {
+  StatusOr<Relation> relation = ReadCsvString("a\n\"he said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(relation.ok());
+  EXPECT_EQ(relation->value(0, 0), "he said \"hi\"");
+}
+
+TEST(CsvReadTest, EmbeddedNewlineInsideQuotes) {
+  StatusOr<Relation> relation = ReadCsvString("a,b\n\"line1\nline2\",z\n");
+  ASSERT_TRUE(relation.ok());
+  EXPECT_EQ(relation->num_rows(), 1);
+  EXPECT_EQ(relation->value(0, 0), "line1\nline2");
+}
+
+TEST(CsvReadTest, CrLfLineEndings) {
+  StatusOr<Relation> relation = ReadCsvString("a,b\r\n1,2\r\n3,4\r\n");
+  ASSERT_TRUE(relation.ok());
+  EXPECT_EQ(relation->num_rows(), 2);
+  EXPECT_EQ(relation->value(1, 1), "4");
+}
+
+TEST(CsvReadTest, EmptyFieldsPreserved) {
+  StatusOr<Relation> relation = ReadCsvString("a,b,c\n1,,3\n");
+  ASSERT_TRUE(relation.ok());
+  EXPECT_EQ(relation->value(0, 1), "");
+}
+
+TEST(CsvReadTest, SemicolonDelimiter) {
+  CsvOptions options;
+  options.delimiter = ';';
+  StatusOr<Relation> relation = ReadCsvString("a;b\n1;2\n", options);
+  ASSERT_TRUE(relation.ok());
+  EXPECT_EQ(relation->value(0, 1), "2");
+}
+
+TEST(CsvReadTest, TrimWhitespaceOption) {
+  CsvOptions options;
+  options.trim_whitespace = true;
+  StatusOr<Relation> relation = ReadCsvString("a, b\n 1 , 2 \n", options);
+  ASSERT_TRUE(relation.ok());
+  EXPECT_EQ(relation->schema().name(1), "b");
+  EXPECT_EQ(relation->value(0, 0), "1");
+}
+
+TEST(CsvReadTest, MalformedRowFailsByDefault) {
+  StatusOr<Relation> relation = ReadCsvString("a,b\n1\n");
+  EXPECT_FALSE(relation.ok());
+}
+
+TEST(CsvReadTest, MalformedRowSkippedOnRequest) {
+  CsvOptions options;
+  options.skip_malformed_rows = true;
+  StatusOr<Relation> relation = ReadCsvString("a,b\n1\n2,3\n", options);
+  ASSERT_TRUE(relation.ok());
+  EXPECT_EQ(relation->num_rows(), 1);
+  EXPECT_EQ(relation->value(0, 0), "2");
+}
+
+TEST(CsvReadTest, UnterminatedQuoteFails) {
+  EXPECT_FALSE(ReadCsvString("a\n\"oops\n").ok());
+}
+
+TEST(CsvReadTest, EmptyInputFails) {
+  EXPECT_FALSE(ReadCsvString("").ok());
+}
+
+TEST(CsvReadTest, HeaderOnlyGivesZeroRows) {
+  StatusOr<Relation> relation = ReadCsvString("a,b\n");
+  ASSERT_TRUE(relation.ok());
+  EXPECT_EQ(relation->num_rows(), 0);
+}
+
+TEST(CsvReadTest, MissingFileFails) {
+  StatusOr<Relation> relation = ReadCsvFile("/nonexistent/file.csv");
+  EXPECT_FALSE(relation.ok());
+  EXPECT_EQ(relation.status().code(), StatusCode::kIoError);
+}
+
+TEST(CsvWriteTest, RoundTrip) {
+  Relation original = testing_util::MakeRelation(
+      {{"plain", "with,comma"}, {"with\"quote", "multi\nline"}}, 2);
+  const std::string text = WriteCsvString(original);
+  StatusOr<Relation> reparsed = ReadCsvString(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  ASSERT_EQ(reparsed->num_rows(), original.num_rows());
+  for (int64_t row = 0; row < original.num_rows(); ++row) {
+    for (int c = 0; c < original.num_columns(); ++c) {
+      EXPECT_EQ(reparsed->value(row, c), original.value(row, c));
+    }
+  }
+}
+
+TEST(CsvFileTest, WriteAndReadBackFile) {
+  Relation original = testing_util::MakeRelation({{"1", "a"}, {"2", "b"}}, 2);
+  const std::string path = ::testing::TempDir() + "/tane_csv_test.csv";
+  {
+    std::ofstream out(path);
+    WriteCsv(original, out);
+  }
+  StatusOr<Relation> reparsed = ReadCsvFile(path);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->num_rows(), 2);
+  EXPECT_EQ(reparsed->value(1, 1), "b");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tane

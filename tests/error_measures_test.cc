@@ -1,0 +1,135 @@
+// Tests for the g1 and g2 error measures (Kivinen & Mannila), implemented
+// on partitions alongside the g3 measure TANE uses.
+
+#include "gtest/gtest.h"
+#include "partition/error.h"
+#include "partition/partition_builder.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace tane {
+namespace {
+
+using testing_util::MakeRelation;
+using testing_util::PaperFigure1Relation;
+
+struct Measures {
+  int64_t g1_pairs;
+  int64_t g2_rows;
+  int64_t g3_removals;
+};
+
+Measures Compute(const Relation& relation, AttributeSet lhs, int rhs) {
+  G3Calculator calc(relation.num_rows());
+  StrippedPartition pl = PartitionBuilder::ForAttributeSet(relation, lhs);
+  StrippedPartition pj =
+      PartitionBuilder::ForAttributeSet(relation, lhs.With(rhs));
+  return {calc.ViolatingPairCount(pl, pj), calc.ViolatingRowCount(pl, pj),
+          calc.RemovalCount(pl, pj)};
+}
+
+// Direct O(|r|²) reference implementation from the definitions.
+Measures BruteMeasures(const Relation& relation, AttributeSet lhs, int rhs) {
+  const int64_t rows = relation.num_rows();
+  int64_t pairs = 0;
+  std::vector<bool> violating(rows, false);
+  for (int64_t t = 0; t < rows; ++t) {
+    for (int64_t u = 0; u < rows; ++u) {
+      if (t == u) continue;
+      bool agree = true;
+      for (int a : Members(lhs)) {
+        if (!relation.Agrees(t, u, a)) {
+          agree = false;
+          break;
+        }
+      }
+      if (agree && !relation.Agrees(t, u, rhs)) {
+        ++pairs;
+        violating[t] = true;
+      }
+    }
+  }
+  int64_t row_count = 0;
+  for (bool v : violating) row_count += v ? 1 : 0;
+  return {pairs, row_count, 0};
+}
+
+TEST(ErrorMeasuresTest, PaperExampleG1G2) {
+  // {A} -> B in Figure 1: classes {1,2}, {3,4,5}, {6,7,8} all split, so
+  // every member row is in violation: g2 rows = 8. Ordered violating
+  // pairs: {1,2}: 2; {3,4,5}: subclasses {3,4},{5} -> 3*2-2*1 = 4;
+  // {6,7,8}: {6},{7,8} -> 6-2 = 4. Total 10.
+  Relation relation = PaperFigure1Relation();
+  Measures m = Compute(relation, AttributeSet::Of({0}), 1);
+  EXPECT_EQ(m.g1_pairs, 10);
+  EXPECT_EQ(m.g2_rows, 8);
+  EXPECT_EQ(m.g3_removals, 3);
+}
+
+TEST(ErrorMeasuresTest, ExactFdAllZero) {
+  Relation relation = PaperFigure1Relation();
+  Measures m = Compute(relation, AttributeSet::Of({1, 2}), 0);
+  EXPECT_EQ(m.g1_pairs, 0);
+  EXPECT_EQ(m.g2_rows, 0);
+  EXPECT_EQ(m.g3_removals, 0);
+}
+
+TEST(ErrorMeasuresTest, ErrorsNormalized) {
+  Relation relation = PaperFigure1Relation();
+  G3Calculator calc(relation.num_rows());
+  StrippedPartition pa = PartitionBuilder::ForAttribute(relation, 0);
+  StrippedPartition pab =
+      PartitionBuilder::ForAttributeSet(relation, AttributeSet::Of({0, 1}));
+  EXPECT_DOUBLE_EQ(calc.G1Error(pa, pab), 10.0 / 64.0);
+  EXPECT_DOUBLE_EQ(calc.G2Error(pa, pab), 1.0);
+  EXPECT_DOUBLE_EQ(calc.Error(pa, pab), 3.0 / 8.0);
+}
+
+TEST(ErrorMeasuresTest, KnownOrderingHolds) {
+  // For any dependency: g3 <= g2 and g1 <= g2 (violating pairs involve
+  // only violating rows).
+  Relation relation = PaperFigure1Relation();
+  G3Calculator calc(relation.num_rows());
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      if (a == b) continue;
+      StrippedPartition pl = PartitionBuilder::ForAttribute(relation, a);
+      StrippedPartition pj = PartitionBuilder::ForAttributeSet(
+          relation, AttributeSet::Of({a, b}));
+      EXPECT_LE(calc.Error(pl, pj), calc.G2Error(pl, pj) + 1e-12);
+      EXPECT_LE(calc.G1Error(pl, pj), calc.G2Error(pl, pj) + 1e-12);
+    }
+  }
+}
+
+class ErrorMeasuresPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ErrorMeasuresPropertyTest, MatchesPairwiseDefinition) {
+  Rng rng(GetParam() * 31337 + 5);
+  const int64_t rows = 8 + static_cast<int64_t>(rng.NextBounded(40));
+  std::vector<std::vector<std::string>> data;
+  for (int64_t i = 0; i < rows; ++i) {
+    data.push_back({std::to_string(rng.NextBounded(3)),
+                    std::to_string(rng.NextBounded(4)),
+                    std::to_string(rng.NextBounded(2))});
+  }
+  Relation relation = MakeRelation(data, 3);
+  for (uint64_t lhs_mask = 0; lhs_mask < 8; ++lhs_mask) {
+    AttributeSet lhs = AttributeSet::FromMask(lhs_mask);
+    for (int rhs = 0; rhs < 3; ++rhs) {
+      if (lhs.Contains(rhs)) continue;
+      Measures fast = Compute(relation, lhs, rhs);
+      Measures brute = BruteMeasures(relation, lhs, rhs);
+      EXPECT_EQ(fast.g1_pairs, brute.g1_pairs)
+          << lhs.ToString() << " -> " << rhs;
+      EXPECT_EQ(fast.g2_rows, brute.g2_rows)
+          << lhs.ToString() << " -> " << rhs;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ErrorMeasuresPropertyTest,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace tane

@@ -1,0 +1,147 @@
+#include "partition/error.h"
+
+#include "gtest/gtest.h"
+#include "partition/partition_builder.h"
+#include "partition/product.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace tane {
+namespace {
+
+using testing_util::MakeRelation;
+using testing_util::PaperFigure1Relation;
+
+TEST(G3Test, ExactDependencyHasZeroError) {
+  // {B,C} -> A holds in the paper's example (Example 2).
+  Relation relation = PaperFigure1Relation();
+  G3Calculator g3(relation.num_rows());
+  StrippedPartition bc =
+      PartitionBuilder::ForAttributeSet(relation, AttributeSet::Of({1, 2}));
+  StrippedPartition bca =
+      PartitionBuilder::ForAttributeSet(relation, AttributeSet::Of({0, 1, 2}));
+  EXPECT_EQ(g3.RemovalCount(bc, bca), 0);
+  EXPECT_DOUBLE_EQ(g3.Error(bc, bca), 0.0);
+}
+
+TEST(G3Test, InvalidDependencyPaperExample) {
+  // {A} -> B does not hold: class {3,4,5} of π_A splits into {3,4} and {5}
+  // under π_{A,B}, and class {6,7,8} splits into {6} and {7,8}; class {1,2}
+  // splits into {1} and {2}. Removals = 1 + 1 + 1 = 3, g3 = 3/8.
+  Relation relation = PaperFigure1Relation();
+  G3Calculator g3(relation.num_rows());
+  StrippedPartition a = PartitionBuilder::ForAttribute(relation, 0);
+  StrippedPartition ab =
+      PartitionBuilder::ForAttributeSet(relation, AttributeSet::Of({0, 1}));
+  EXPECT_EQ(g3.RemovalCount(a, ab), 3);
+  EXPECT_DOUBLE_EQ(g3.Error(a, ab), 3.0 / 8.0);
+}
+
+TEST(G3Test, ConstantToUniqueWorstCase) {
+  // lhs constant, rhs unique: keep one row per relation.
+  Relation relation = MakeRelation({{"k", "1"}, {"k", "2"}, {"k", "3"}}, 2);
+  G3Calculator g3(relation.num_rows());
+  StrippedPartition lhs = PartitionBuilder::ForAttribute(relation, 0);
+  StrippedPartition joint =
+      PartitionBuilder::ForAttributeSet(relation, AttributeSet::Of({0, 1}));
+  EXPECT_EQ(g3.RemovalCount(lhs, joint), 2);
+  EXPECT_DOUBLE_EQ(g3.Error(lhs, joint), 2.0 / 3.0);
+}
+
+TEST(G3Test, SingleExceptionRow) {
+  Relation relation = MakeRelation(
+      {{"x", "1"}, {"x", "1"}, {"x", "1"}, {"x", "2"}}, 2);
+  G3Calculator g3(relation.num_rows());
+  StrippedPartition lhs = PartitionBuilder::ForAttribute(relation, 0);
+  StrippedPartition joint =
+      PartitionBuilder::ForAttributeSet(relation, AttributeSet::Of({0, 1}));
+  EXPECT_EQ(g3.RemovalCount(lhs, joint), 1);
+  EXPECT_DOUBLE_EQ(g3.Error(lhs, joint), 0.25);
+}
+
+TEST(G3Test, WorksOnUnstrippedPartitions) {
+  Relation relation = PaperFigure1Relation();
+  G3Calculator g3(relation.num_rows());
+  StrippedPartition a =
+      PartitionBuilder::ForAttribute(relation, 0, /*stripped=*/false);
+  StrippedPartition ab = PartitionBuilder::ForAttributeSet(
+      relation, AttributeSet::Of({0, 1}), /*stripped=*/false);
+  EXPECT_EQ(g3.RemovalCount(a, ab), 3);
+}
+
+TEST(G3Test, MixedRepresentationsAgree) {
+  Relation relation = PaperFigure1Relation();
+  G3Calculator g3(relation.num_rows());
+  StrippedPartition a_stripped = PartitionBuilder::ForAttribute(relation, 0);
+  StrippedPartition ab_unstripped = PartitionBuilder::ForAttributeSet(
+      relation, AttributeSet::Of({0, 1}), /*stripped=*/false);
+  EXPECT_EQ(g3.RemovalCount(a_stripped, ab_unstripped), 3);
+}
+
+TEST(G3Test, ReusableAcrossCalls) {
+  Relation relation = PaperFigure1Relation();
+  G3Calculator g3(relation.num_rows());
+  StrippedPartition a = PartitionBuilder::ForAttribute(relation, 0);
+  StrippedPartition ab =
+      PartitionBuilder::ForAttributeSet(relation, AttributeSet::Of({0, 1}));
+  const int64_t first = g3.RemovalCount(a, ab);
+  const int64_t second = g3.RemovalCount(a, ab);
+  EXPECT_EQ(first, second);
+}
+
+TEST(G3BoundsTest, BoundsBracketExactValueOnPaperExample) {
+  Relation relation = PaperFigure1Relation();
+  G3Calculator g3(relation.num_rows());
+  for (int lhs_attr = 0; lhs_attr < 4; ++lhs_attr) {
+    for (int rhs = 0; rhs < 4; ++rhs) {
+      if (rhs == lhs_attr) continue;
+      StrippedPartition lhs =
+          PartitionBuilder::ForAttribute(relation, lhs_attr);
+      StrippedPartition joint = PartitionBuilder::ForAttributeSet(
+          relation, AttributeSet::Of({lhs_attr, rhs}));
+      const G3Bounds bounds = BoundG3RemovalCount(lhs, joint);
+      const int64_t exact = g3.RemovalCount(lhs, joint);
+      EXPECT_LE(bounds.lower, exact);
+      EXPECT_GE(bounds.upper, exact);
+      EXPECT_GE(bounds.lower, 0);
+    }
+  }
+}
+
+// Property: bounds bracket the exact removal count on random relations, and
+// g3 is 0 exactly when e-values match (Lemma 2 consistency).
+class G3PropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(G3PropertyTest, BoundsAndLemma2Consistency) {
+  Rng rng(GetParam() * 977 + 1);
+  const int64_t rows = 10 + static_cast<int64_t>(rng.NextBounded(80));
+  const int cols = 3;
+  std::vector<std::vector<std::string>> data;
+  for (int64_t i = 0; i < rows; ++i) {
+    data.push_back({std::to_string(rng.NextBounded(3)),
+                    std::to_string(rng.NextBounded(4)),
+                    std::to_string(rng.NextBounded(2))});
+  }
+  Relation relation = MakeRelation(data, cols);
+  G3Calculator g3(rows);
+
+  for (int a = 0; a < cols; ++a) {
+    for (int b = 0; b < cols; ++b) {
+      if (a == b) continue;
+      StrippedPartition lhs = PartitionBuilder::ForAttribute(relation, a);
+      StrippedPartition joint = PartitionBuilder::ForAttributeSet(
+          relation, AttributeSet::Of({a, b}));
+      const int64_t exact = g3.RemovalCount(lhs, joint);
+      const G3Bounds bounds = BoundG3RemovalCount(lhs, joint);
+      EXPECT_LE(bounds.lower, exact);
+      EXPECT_GE(bounds.upper, exact);
+      // Lemma 2: exact == 0 iff e(X) == e(X∪A).
+      EXPECT_EQ(exact == 0, lhs.Error() == joint.Error());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, G3PropertyTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace tane

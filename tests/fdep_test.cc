@@ -1,0 +1,98 @@
+#include "baselines/fdep.h"
+
+#include <algorithm>
+
+#include "baselines/brute_force.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace tane {
+namespace {
+
+using testing_util::ContainsFd;
+using testing_util::FdStrings;
+using testing_util::MakeRelation;
+using testing_util::PaperFigure1Relation;
+
+TEST(FdepAgreeSetsTest, PairwiseAgreementOnSmallRelation) {
+  // rows: (a,1) (a,2) (b,1) — agree sets: {0} for rows 0-1, {1} for rows
+  // 0-2, {} for rows 1-2.
+  Relation relation = MakeRelation({{"a", "1"}, {"a", "2"}, {"b", "1"}}, 2);
+  std::vector<AttributeSet> agree = Fdep::ComputeAgreeSets(relation);
+  ASSERT_EQ(agree.size(), 3u);
+  EXPECT_EQ(agree[0], AttributeSet());
+  EXPECT_EQ(agree[1], AttributeSet::Of({0}));
+  EXPECT_EQ(agree[2], AttributeSet::Of({1}));
+}
+
+TEST(FdepAgreeSetsTest, DuplicateRowsAgreeEverywhere) {
+  Relation relation = MakeRelation({{"a", "1"}, {"a", "1"}}, 2);
+  std::vector<AttributeSet> agree = Fdep::ComputeAgreeSets(relation);
+  ASSERT_EQ(agree.size(), 1u);
+  EXPECT_EQ(agree[0], AttributeSet::Of({0, 1}));
+}
+
+TEST(FdepAgreeSetsTest, DeduplicatesAcrossPairs) {
+  Relation relation = MakeRelation({{"a"}, {"a"}, {"a"}}, 1);
+  // Three pairs, all with the same agree set {0}.
+  EXPECT_EQ(Fdep::ComputeAgreeSets(relation).size(), 1u);
+}
+
+TEST(FdepMaximalSetsTest, KeepsOnlyMaximal) {
+  std::vector<AttributeSet> maximal = Fdep::MaximalSets(
+      {AttributeSet::Of({0}), AttributeSet::Of({0, 1}), AttributeSet::Of({2}),
+       AttributeSet::Of({0, 1})});
+  ASSERT_EQ(maximal.size(), 2u);
+  EXPECT_TRUE(std::count(maximal.begin(), maximal.end(),
+                         AttributeSet::Of({0, 1})) == 1);
+  EXPECT_TRUE(std::count(maximal.begin(), maximal.end(),
+                         AttributeSet::Of({2})) == 1);
+}
+
+TEST(FdepTest, PaperFigure1MatchesGroundTruth) {
+  StatusOr<DiscoveryResult> fdep = Fdep::Discover(PaperFigure1Relation());
+  ASSERT_TRUE(fdep.ok());
+  StatusOr<DiscoveryResult> oracle =
+      BruteForce::Discover(PaperFigure1Relation());
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_EQ(FdStrings(fdep->fds), FdStrings(oracle->fds));
+}
+
+TEST(FdepTest, ConstantAndUniqueColumns) {
+  Relation relation = MakeRelation(
+      {{"k", "1", "x"}, {"k", "2", "x"}, {"k", "3", "y"}}, 3);
+  StatusOr<DiscoveryResult> result = Fdep::Discover(relation);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(ContainsFd(result->fds, AttributeSet(), 0));       // constant
+  EXPECT_TRUE(ContainsFd(result->fds, AttributeSet::Of({1}), 2));  // unique
+}
+
+TEST(FdepTest, EmptyAndSingleRowRelations) {
+  StatusOr<DiscoveryResult> empty = Fdep::Discover(MakeRelation({}, 2));
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->num_fds(), 2);
+
+  StatusOr<DiscoveryResult> single =
+      Fdep::Discover(MakeRelation({{"a", "b"}}, 2));
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(single->num_fds(), 2);
+}
+
+TEST(FdepTest, MaxLhsLimitDropsWideDependencies) {
+  StatusOr<DiscoveryResult> limited =
+      Fdep::Discover(PaperFigure1Relation(), /*max_lhs_size=*/1);
+  ASSERT_TRUE(limited.ok());
+  EXPECT_EQ(limited->num_fds(), 0);
+}
+
+TEST(FdepTest, DuplicateRowsDoNotBreakInduction) {
+  Relation relation = MakeRelation(
+      {{"1", "x"}, {"1", "x"}, {"2", "y"}, {"2", "y"}}, 2);
+  StatusOr<DiscoveryResult> result = Fdep::Discover(relation);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(ContainsFd(result->fds, AttributeSet::Of({0}), 1));
+  EXPECT_TRUE(ContainsFd(result->fds, AttributeSet::Of({1}), 0));
+}
+
+}  // namespace
+}  // namespace tane

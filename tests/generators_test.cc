@@ -1,0 +1,160 @@
+#include "datasets/generators.h"
+
+#include <set>
+
+#include "analysis/violations.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace tane {
+namespace {
+
+TEST(GenerateUniformTest, ShapeAndDeterminism) {
+  StatusOr<Relation> a = GenerateUniform(100, 4, 5, /*seed=*/3);
+  StatusOr<Relation> b = GenerateUniform(100, 4, 5, /*seed=*/3);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->num_rows(), 100);
+  EXPECT_EQ(a->num_columns(), 4);
+  for (int64_t row = 0; row < 100; ++row) {
+    for (int c = 0; c < 4; ++c) {
+      EXPECT_EQ(a->code(row, c), b->code(row, c));
+    }
+  }
+}
+
+TEST(GenerateUniformTest, DifferentSeedsDiffer) {
+  StatusOr<Relation> a = GenerateUniform(50, 3, 8, 1);
+  StatusOr<Relation> b = GenerateUniform(50, 3, 8, 2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  int differing = 0;
+  for (int64_t row = 0; row < 50; ++row) {
+    for (int c = 0; c < 3; ++c) {
+      if (a->code(row, c) != b->code(row, c)) ++differing;
+    }
+  }
+  EXPECT_GT(differing, 50);
+}
+
+TEST(GenerateUniformTest, CardinalityBounded) {
+  StatusOr<Relation> relation = GenerateUniform(200, 2, 4, 9);
+  ASSERT_TRUE(relation.ok());
+  EXPECT_LE(relation->column(0).cardinality(), 4);
+  EXPECT_GE(relation->column(0).cardinality(), 2);  // 200 draws from 4 values
+}
+
+TEST(GenerateSyntheticTest, DerivedColumnIsExactFdWithoutNoise) {
+  SyntheticSpec spec;
+  spec.rows = 300;
+  spec.seed = 5;
+  spec.base = {{"a", 6, 0.0}, {"b", 5, 0.0}, {"c", 4, 0.0}};
+  spec.derived = {{"d", {0, 1}, 3, 0.0}};
+  StatusOr<Relation> relation = GenerateSynthetic(spec);
+  ASSERT_TRUE(relation.ok());
+  StatusOr<double> error =
+      MeasureG3(*relation, {AttributeSet::Of({0, 1}), 3, 0.0});
+  ASSERT_TRUE(error.ok());
+  EXPECT_DOUBLE_EQ(*error, 0.0);
+}
+
+TEST(GenerateSyntheticTest, NoisyDerivedColumnHasPositiveBoundedError) {
+  SyntheticSpec spec;
+  spec.rows = 2000;
+  spec.seed = 6;
+  spec.base = {{"a", 6, 0.0}, {"b", 5, 0.0}};
+  spec.derived = {{"d", {0, 1}, 4, 0.1}};
+  StatusOr<Relation> relation = GenerateSynthetic(spec);
+  ASSERT_TRUE(relation.ok());
+  StatusOr<double> error =
+      MeasureG3(*relation, {AttributeSet::Of({0, 1}), 2, 0.0});
+  ASSERT_TRUE(error.ok());
+  // ~10% noise, some of which accidentally lands on the correct value;
+  // the g3 error lands near but below the noise rate.
+  EXPECT_GT(*error, 0.02);
+  EXPECT_LT(*error, 0.15);
+}
+
+TEST(GenerateSyntheticTest, ValidatesSpec) {
+  SyntheticSpec bad_cardinality;
+  bad_cardinality.rows = 10;
+  bad_cardinality.base = {{"a", 0, 0.0}};
+  EXPECT_FALSE(GenerateSynthetic(bad_cardinality).ok());
+
+  SyntheticSpec bad_source;
+  bad_source.rows = 10;
+  bad_source.base = {{"a", 2, 0.0}};
+  bad_source.derived = {{"d", {5}, 2, 0.0}};
+  EXPECT_FALSE(GenerateSynthetic(bad_source).ok());
+
+  SyntheticSpec bad_noise;
+  bad_noise.rows = 10;
+  bad_noise.base = {{"a", 2, 0.0}};
+  bad_noise.derived = {{"d", {0}, 2, 1.5}};
+  EXPECT_FALSE(GenerateSynthetic(bad_noise).ok());
+
+  SyntheticSpec negative_rows;
+  negative_rows.rows = -5;
+  EXPECT_FALSE(GenerateSynthetic(negative_rows).ok());
+}
+
+TEST(GenerateSyntheticTest, ZipfColumnsAreSkewed) {
+  SyntheticSpec spec;
+  spec.rows = 5000;
+  spec.seed = 8;
+  spec.base = {{"skewed", 50, 2.0}, {"uniform", 50, 0.0}};
+  StatusOr<Relation> relation = GenerateSynthetic(spec);
+  ASSERT_TRUE(relation.ok());
+  auto top_share = [&](int col) {
+    std::vector<int64_t> counts(relation->column(col).cardinality(), 0);
+    for (int32_t code : relation->column(col).codes) ++counts[code];
+    int64_t top = 0;
+    for (int64_t count : counts) top = std::max(top, count);
+    return static_cast<double>(top) / relation->num_rows();
+  };
+  EXPECT_GT(top_share(0), 0.3);
+  EXPECT_LT(top_share(1), 0.1);
+}
+
+TEST(GenerateDistinctTuplesTest, RowsAreDistinctOnTupleAttributes) {
+  StatusOr<Relation> relation =
+      GenerateDistinctTuples(500, {8, 8, 8}, 4, /*seed=*/7);
+  ASSERT_TRUE(relation.ok());
+  EXPECT_EQ(relation->num_rows(), 500);
+  EXPECT_EQ(relation->num_columns(), 4);
+  std::set<std::tuple<int32_t, int32_t, int32_t>> seen;
+  for (int64_t row = 0; row < 500; ++row) {
+    EXPECT_TRUE(seen.insert({relation->code(row, 0), relation->code(row, 1),
+                             relation->code(row, 2)})
+                    .second)
+        << "duplicate tuple at row " << row;
+  }
+}
+
+TEST(GenerateDistinctTuplesTest, ClassIsFunctionOfTuple) {
+  StatusOr<Relation> relation =
+      GenerateDistinctTuples(300, {8, 8, 8}, 5, /*seed=*/9);
+  ASSERT_TRUE(relation.ok());
+  StatusOr<double> error =
+      MeasureG3(*relation, {AttributeSet::Of({0, 1, 2}), 3, 0.0});
+  ASSERT_TRUE(error.ok());
+  EXPECT_DOUBLE_EQ(*error, 0.0);
+}
+
+TEST(GenerateDistinctTuplesTest, CustomNames) {
+  StatusOr<Relation> relation = GenerateDistinctTuples(
+      10, {4, 4}, 2, 1, {"f", "r", "win"});
+  ASSERT_TRUE(relation.ok());
+  EXPECT_EQ(relation->schema().name(2), "win");
+}
+
+TEST(GenerateDistinctTuplesTest, ValidatesSpace) {
+  // 3*2 = 6 < 10 rows requested.
+  EXPECT_FALSE(GenerateDistinctTuples(10, {3, 2}, 2, 1).ok());
+  EXPECT_FALSE(GenerateDistinctTuples(10, {}, 2, 1).ok());
+  EXPECT_FALSE(GenerateDistinctTuples(10, {0, 5}, 2, 1).ok());
+  EXPECT_FALSE(GenerateDistinctTuples(4, {4, 4}, 0, 1).ok());
+  // Name count mismatch.
+  EXPECT_FALSE(GenerateDistinctTuples(4, {4, 4}, 2, 1, {"only-one"}).ok());
+}
+
+}  // namespace
+}  // namespace tane

@@ -1,0 +1,127 @@
+#include "analysis/key_discovery.h"
+
+#include "baselines/brute_force.h"
+#include "core/tane.h"
+#include "datasets/generators.h"
+#include "gtest/gtest.h"
+#include "partition/partition_builder.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace tane {
+namespace {
+
+using testing_util::MakeRelation;
+using testing_util::PaperFigure1Relation;
+
+TEST(KeyDiscoveryTest, PaperFigure1ExactKeys) {
+  StatusOr<std::vector<DiscoveredKey>> keys =
+      DiscoverKeys(PaperFigure1Relation());
+  ASSERT_TRUE(keys.ok());
+  ASSERT_EQ(keys->size(), 2u);
+  EXPECT_EQ((*keys)[0].attributes, AttributeSet::Of({0, 3}));
+  EXPECT_EQ((*keys)[1].attributes, AttributeSet::Of({1, 3}));
+  EXPECT_DOUBLE_EQ((*keys)[0].error, 0.0);
+}
+
+TEST(KeyDiscoveryTest, MatchesTaneByProduct) {
+  // Exact mode must agree with the keys TANE's key pruning collects.
+  for (int seed = 0; seed < 6; ++seed) {
+    StatusOr<Relation> relation = GenerateUniform(60, 5, 3, seed);
+    ASSERT_TRUE(relation.ok());
+    StatusOr<std::vector<DiscoveredKey>> keys = DiscoverKeys(*relation);
+    ASSERT_TRUE(keys.ok());
+    StatusOr<DiscoveryResult> tane_result = Tane::Discover(*relation);
+    ASSERT_TRUE(tane_result.ok());
+    std::vector<AttributeSet> key_sets;
+    for (const DiscoveredKey& key : *keys) key_sets.push_back(key.attributes);
+    EXPECT_EQ(key_sets, tane_result->keys) << "seed=" << seed;
+  }
+}
+
+TEST(KeyDiscoveryTest, UniqueColumnIsTheOnlyKey) {
+  Relation relation = MakeRelation({{"1", "x"}, {"2", "x"}, {"3", "y"}}, 2);
+  StatusOr<std::vector<DiscoveredKey>> keys = DiscoverKeys(relation);
+  ASSERT_TRUE(keys.ok());
+  ASSERT_EQ(keys->size(), 1u);
+  EXPECT_EQ((*keys)[0].attributes, AttributeSet::Singleton(0));
+}
+
+TEST(KeyDiscoveryTest, DuplicateRowsLeaveNoExactKeys) {
+  Relation relation = MakeRelation({{"1", "x"}, {"1", "x"}, {"2", "y"}}, 2);
+  StatusOr<std::vector<DiscoveredKey>> exact = DiscoverKeys(relation);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_TRUE(exact->empty());
+
+  // One duplicated row out of three: removing it (1/3 of rows) makes col0 a
+  // key, so at ε = 1/3 an approximate key appears.
+  KeyDiscoveryOptions options;
+  options.epsilon = 0.34;
+  StatusOr<std::vector<DiscoveredKey>> approx =
+      DiscoverKeys(relation, options);
+  ASSERT_TRUE(approx.ok());
+  ASSERT_FALSE(approx->empty());
+  EXPECT_EQ((*approx)[0].attributes, AttributeSet::Singleton(0));
+  EXPECT_NEAR((*approx)[0].error, 1.0 / 3.0, 1e-12);
+}
+
+TEST(KeyDiscoveryTest, ApproximateKeysAreMinimalAndValid) {
+  Rng rng(99);
+  std::vector<std::vector<std::string>> data;
+  for (int i = 0; i < 80; ++i) {
+    data.push_back({std::to_string(rng.NextBounded(10)),
+                    std::to_string(rng.NextBounded(8)),
+                    std::to_string(rng.NextBounded(4))});
+  }
+  Relation relation = MakeRelation(data, 3);
+  KeyDiscoveryOptions options;
+  options.epsilon = 0.1;
+  StatusOr<std::vector<DiscoveredKey>> keys = DiscoverKeys(relation, options);
+  ASSERT_TRUE(keys.ok());
+  for (const DiscoveredKey& key : *keys) {
+    // Valid: measured error within threshold and matching the partition.
+    StrippedPartition partition =
+        PartitionBuilder::ForAttributeSet(relation, key.attributes);
+    EXPECT_NEAR(key.error,
+                static_cast<double>(partition.Error()) / relation.num_rows(),
+                1e-12);
+    EXPECT_LE(key.error, 0.1 + 1e-9);
+    // Minimal: every proper subset misses the threshold.
+    for (int attribute : Members(key.attributes)) {
+      StrippedPartition smaller = PartitionBuilder::ForAttributeSet(
+          relation, key.attributes.Without(attribute));
+      EXPECT_GT(static_cast<double>(smaller.Error()) / relation.num_rows(),
+                0.1)
+          << key.attributes.ToString();
+    }
+  }
+}
+
+TEST(KeyDiscoveryTest, MaxKeySizeBounds) {
+  Relation relation = PaperFigure1Relation();
+  KeyDiscoveryOptions options;
+  options.max_key_size = 1;
+  StatusOr<std::vector<DiscoveredKey>> keys = DiscoverKeys(relation, options);
+  ASSERT_TRUE(keys.ok());
+  EXPECT_TRUE(keys->empty());  // Figure 1 keys have size 2
+}
+
+TEST(KeyDiscoveryTest, ValidatesOptions) {
+  Relation relation = PaperFigure1Relation();
+  KeyDiscoveryOptions bad;
+  bad.epsilon = -1;
+  EXPECT_FALSE(DiscoverKeys(relation, bad).ok());
+  bad.epsilon = 0.5;
+  bad.max_key_size = -1;
+  EXPECT_FALSE(DiscoverKeys(relation, bad).ok());
+}
+
+TEST(KeyDiscoveryTest, EmptyRelationHasNoKeys) {
+  Relation relation = MakeRelation({}, 2);
+  StatusOr<std::vector<DiscoveredKey>> keys = DiscoverKeys(relation);
+  ASSERT_TRUE(keys.ok());
+  EXPECT_TRUE(keys->empty());
+}
+
+}  // namespace
+}  // namespace tane

@@ -1,0 +1,69 @@
+#include "analysis/keys.h"
+
+#include "core/tane.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace tane {
+namespace {
+
+TEST(CandidateKeysTest, SimpleKeyFromChain) {
+  // 0 -> 1, 0 -> 2 over R = {0,1,2}: the only key is {0}.
+  std::vector<FunctionalDependency> fds = {
+      {AttributeSet::Of({0}), 1, 0.0}, {AttributeSet::Of({0}), 2, 0.0}};
+  std::vector<AttributeSet> keys = CandidateKeys(3, fds);
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], AttributeSet::Of({0}));
+}
+
+TEST(CandidateKeysTest, NoFdsMeansFullSetIsKey) {
+  std::vector<AttributeSet> keys = CandidateKeys(3, {});
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], AttributeSet::FullSet(3));
+}
+
+TEST(CandidateKeysTest, MultipleKeysCyclicFds) {
+  // 0 -> 1 and 1 -> 0, plus both determine 2: keys {0} and {1}.
+  std::vector<FunctionalDependency> fds = {
+      {AttributeSet::Of({0}), 1, 0.0},
+      {AttributeSet::Of({1}), 0, 0.0},
+      {AttributeSet::Of({0}), 2, 0.0}};
+  std::vector<AttributeSet> keys = CandidateKeys(3, fds);
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], AttributeSet::Of({0}));
+  EXPECT_EQ(keys[1], AttributeSet::Of({1}));
+}
+
+TEST(CandidateKeysTest, CompositeKeys) {
+  // {0,1} -> 2 over {0,1,2}: key is {0,1}.
+  std::vector<FunctionalDependency> fds = {{AttributeSet::Of({0, 1}), 2, 0.0}};
+  std::vector<AttributeSet> keys = CandidateKeys(3, fds);
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], AttributeSet::Of({0, 1}));
+}
+
+TEST(CandidateKeysTest, MatchesTaneKeysOnFigure1) {
+  // The logical keys derived from TANE's discovered FDs must coincide with
+  // the instance keys TANE found via key pruning.
+  StatusOr<DiscoveryResult> result =
+      Tane::Discover(testing_util::PaperFigure1Relation());
+  ASSERT_TRUE(result.ok());
+  std::vector<AttributeSet> logical_keys = CandidateKeys(4, result->fds);
+  EXPECT_EQ(logical_keys, result->keys);
+}
+
+TEST(CandidateKeysTest, ZeroAttributes) {
+  EXPECT_TRUE(CandidateKeys(0, {}).empty());
+}
+
+TEST(IsSuperkeyUnderTest, Basics) {
+  std::vector<FunctionalDependency> fds = {
+      {AttributeSet::Of({0}), 1, 0.0}, {AttributeSet::Of({1}), 2, 0.0}};
+  EXPECT_TRUE(IsSuperkeyUnder(AttributeSet::Of({0}), 3, fds));
+  EXPECT_TRUE(IsSuperkeyUnder(AttributeSet::Of({0, 2}), 3, fds));
+  EXPECT_FALSE(IsSuperkeyUnder(AttributeSet::Of({1}), 3, fds));
+  EXPECT_FALSE(IsSuperkeyUnder(AttributeSet::Of({2}), 3, fds));
+}
+
+}  // namespace
+}  // namespace tane

@@ -1,0 +1,120 @@
+#include "lattice/level.h"
+
+#include <algorithm>
+
+#include "gtest/gtest.h"
+
+namespace tane {
+namespace {
+
+std::vector<AttributeSet> Sets(std::initializer_list<AttributeSet> sets) {
+  return std::vector<AttributeSet>(sets);
+}
+
+TEST(LevelIndexTest, FindAndContains) {
+  std::vector<AttributeSet> sets = {AttributeSet::Of({0}),
+                                    AttributeSet::Of({2})};
+  LevelIndex index(sets);
+  EXPECT_EQ(index.Find(AttributeSet::Of({0})), 0);
+  EXPECT_EQ(index.Find(AttributeSet::Of({2})), 1);
+  EXPECT_EQ(index.Find(AttributeSet::Of({1})), -1);
+  EXPECT_TRUE(index.Contains(AttributeSet::Of({2})));
+  EXPECT_FALSE(index.Contains(AttributeSet::Of({0, 2})));
+  EXPECT_EQ(index.size(), 2u);
+}
+
+TEST(GenerateNextLevelTest, SingletonsToAllPairs) {
+  std::vector<AttributeSet> level = {
+      AttributeSet::Singleton(0), AttributeSet::Singleton(1),
+      AttributeSet::Singleton(2)};
+  std::vector<LevelCandidate> candidates = GenerateNextLevel(level);
+  ASSERT_EQ(candidates.size(), 3u);
+  EXPECT_EQ(candidates[0].set, AttributeSet::Of({0, 1}));
+  EXPECT_EQ(candidates[1].set, AttributeSet::Of({0, 2}));
+  EXPECT_EQ(candidates[2].set, AttributeSet::Of({1, 2}));
+}
+
+TEST(GenerateNextLevelTest, ParentsAreTheJoinedSubsets) {
+  std::vector<AttributeSet> level = {AttributeSet::Singleton(3),
+                                     AttributeSet::Singleton(1)};
+  std::vector<LevelCandidate> candidates = GenerateNextLevel(level);
+  ASSERT_EQ(candidates.size(), 1u);
+  const LevelCandidate& candidate = candidates[0];
+  EXPECT_EQ(candidate.set, AttributeSet::Of({1, 3}));
+  const AttributeSet parent_union =
+      level[candidate.parent_a].Union(level[candidate.parent_b]);
+  EXPECT_EQ(parent_union, candidate.set);
+  EXPECT_NE(candidate.parent_a, candidate.parent_b);
+}
+
+TEST(GenerateNextLevelTest, RequiresAllSubsets) {
+  // {0,1},{0,2} join to {0,1,2}, but {1,2} is missing from the level, so
+  // the candidate must be suppressed.
+  std::vector<AttributeSet> level = {AttributeSet::Of({0, 1}),
+                                     AttributeSet::Of({0, 2})};
+  EXPECT_TRUE(GenerateNextLevel(level).empty());
+}
+
+TEST(GenerateNextLevelTest, CompletePairLevelGivesTriples) {
+  std::vector<AttributeSet> level = {
+      AttributeSet::Of({0, 1}), AttributeSet::Of({0, 2}),
+      AttributeSet::Of({1, 2}), AttributeSet::Of({1, 3}),
+      AttributeSet::Of({2, 3}), AttributeSet::Of({0, 3})};
+  std::vector<LevelCandidate> candidates = GenerateNextLevel(level);
+  ASSERT_EQ(candidates.size(), 4u);
+  EXPECT_EQ(candidates[0].set, AttributeSet::Of({0, 1, 2}));
+  EXPECT_EQ(candidates[1].set, AttributeSet::Of({0, 1, 3}));
+  EXPECT_EQ(candidates[2].set, AttributeSet::Of({0, 2, 3}));
+  EXPECT_EQ(candidates[3].set, AttributeSet::Of({1, 2, 3}));
+}
+
+TEST(GenerateNextLevelTest, PartiallyPrunedPairLevel) {
+  // Missing {1,2}: only {0,1,3} (from {0,1},{0,3},{1,3}) and {0,2,3}
+  // survive the subset check.
+  std::vector<AttributeSet> level = {
+      AttributeSet::Of({0, 1}), AttributeSet::Of({0, 2}),
+      AttributeSet::Of({1, 3}), AttributeSet::Of({2, 3}),
+      AttributeSet::Of({0, 3})};
+  std::vector<LevelCandidate> candidates = GenerateNextLevel(level);
+  ASSERT_EQ(candidates.size(), 2u);
+  EXPECT_EQ(candidates[0].set, AttributeSet::Of({0, 1, 3}));
+  EXPECT_EQ(candidates[1].set, AttributeSet::Of({0, 2, 3}));
+}
+
+TEST(GenerateNextLevelTest, EmptyAndSingletonLevels) {
+  EXPECT_TRUE(GenerateNextLevel({}).empty());
+  EXPECT_TRUE(GenerateNextLevel(Sets({AttributeSet::Of({0, 1})})).empty());
+}
+
+TEST(GenerateNextLevelTest, TopOfLatticeFromFullPairSet) {
+  // All 2-subsets of {0,1,2} generate exactly the full set at level 3, and
+  // from a single 3-set nothing follows.
+  std::vector<AttributeSet> level = {AttributeSet::Of({0, 1}),
+                                     AttributeSet::Of({0, 2}),
+                                     AttributeSet::Of({1, 2})};
+  std::vector<LevelCandidate> triples = GenerateNextLevel(level);
+  ASSERT_EQ(triples.size(), 1u);
+  EXPECT_EQ(triples[0].set, AttributeSet::Of({0, 1, 2}));
+  EXPECT_TRUE(GenerateNextLevel(Sets({triples[0].set})).empty());
+}
+
+TEST(GenerateNextLevelTest, DeterministicOrder) {
+  std::vector<AttributeSet> level = {
+      AttributeSet::Singleton(2), AttributeSet::Singleton(0),
+      AttributeSet::Singleton(1)};
+  std::vector<LevelCandidate> a = GenerateNextLevel(level);
+  std::vector<LevelCandidate> b = GenerateNextLevel(level);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].set, b[i].set);
+    EXPECT_EQ(a[i].parent_a, b[i].parent_a);
+    EXPECT_EQ(a[i].parent_b, b[i].parent_b);
+  }
+  EXPECT_TRUE(std::is_sorted(
+      a.begin(), a.end(), [](const LevelCandidate& x, const LevelCandidate& y) {
+        return x.set < y.set;
+      }));
+}
+
+}  // namespace
+}  // namespace tane

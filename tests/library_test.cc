@@ -1,0 +1,83 @@
+// Uses the umbrella header only — verifies the advertised single-include
+// surface compiles and exposes the full API — plus cross-cutting
+// determinism and logging checks.
+
+#include "tane_library.h"
+
+#include "gtest/gtest.h"
+#include "util/logging.h"
+
+namespace tane {
+namespace {
+
+TEST(LibraryTest, UmbrellaHeaderEndToEnd) {
+  // Everything below resolves through tane_library.h alone.
+  StatusOr<Relation> relation = ReadCsvString("a,b\n1,x\n1,x\n2,y\n");
+  ASSERT_TRUE(relation.ok());
+
+  StatusOr<DiscoveryResult> fds = Tane::Discover(*relation);
+  ASSERT_TRUE(fds.ok());
+  EXPECT_GT(fds->num_fds(), 0);
+
+  StatusOr<std::vector<DiscoveredKey>> keys = DiscoverKeys(*relation);
+  ASSERT_TRUE(keys.ok());
+
+  StatusOr<std::vector<AssociationRule>> rules =
+      MineAssociationRules(*relation);
+  ASSERT_TRUE(rules.ok());
+
+  RelationStats stats = ComputeStats(*relation);
+  EXPECT_EQ(stats.rows, 3);
+
+  StatusOr<DiscoveryResult> oracle = BruteForce::Discover(*relation);
+  ASSERT_TRUE(oracle.ok());
+  StatusOr<DiscoveryResult> fdep = Fdep::Discover(*relation);
+  ASSERT_TRUE(fdep.ok());
+  EXPECT_EQ(fds->num_fds(), oracle->num_fds());
+  EXPECT_EQ(fds->num_fds(), fdep->num_fds());
+}
+
+TEST(LibraryTest, EndToEndDeterminism) {
+  // Two complete pipelines from the same seed produce identical output,
+  // byte for byte — the property every bench and regression test rests on.
+  auto run = [] {
+    StatusOr<Relation> relation =
+        MakePaperDataset(PaperDataset::kWisconsinBreastCancer, 200, 9);
+    EXPECT_TRUE(relation.ok());
+    TaneConfig config;
+    config.epsilon = 0.05;
+    StatusOr<DiscoveryResult> result = Tane::Discover(*relation, config);
+    EXPECT_TRUE(result.ok());
+    std::string rendered;
+    for (const FunctionalDependency& fd : result->fds) {
+      rendered += fd.ToString(relation->schema());
+      rendered += "=" + std::to_string(fd.error) + ";";
+    }
+    for (AttributeSet key : result->keys) rendered += key.ToString() + "|";
+    return rendered;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(LoggingTest, SeverityGateRoundTrips) {
+  using internal_logging::GetMinLogSeverity;
+  using internal_logging::LogSeverity;
+  using internal_logging::SetMinLogSeverity;
+  const LogSeverity original = GetMinLogSeverity();
+  SetMinLogSeverity(LogSeverity::kError);
+  EXPECT_EQ(GetMinLogSeverity(), LogSeverity::kError);
+  SetMinLogSeverity(original);
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ TANE_CHECK(1 == 2) << "impossible arithmetic"; },
+               "Check failed: 1 == 2");
+}
+
+TEST(LoggingDeathTest, CheckSuccessIsSilent) {
+  TANE_CHECK(true) << "never evaluated";
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace tane

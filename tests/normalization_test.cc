@@ -1,0 +1,94 @@
+#include "analysis/normalization.h"
+
+#include "analysis/closure.h"
+#include "core/tane.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace tane {
+namespace {
+
+std::vector<FunctionalDependency> EmployeeFds() {
+  // R = {emp(0), dept(1), mgr(2), proj(3)}: emp -> dept, dept -> mgr.
+  return {{AttributeSet::Of({0}), 1, 0.0}, {AttributeSet::Of({1}), 2, 0.0}};
+}
+
+TEST(BcnfViolationsTest, DetectsNonSuperkeyLhs) {
+  std::vector<BcnfViolation> violations = FindBcnfViolations(4, EmployeeFds());
+  // Both FDs violate BCNF: neither {emp} nor {dept} determines proj.
+  ASSERT_EQ(violations.size(), 2u);
+  EXPECT_EQ(violations[0].fd.lhs, AttributeSet::Of({0}));
+  EXPECT_EQ(violations[0].closure, AttributeSet::Of({0, 1, 2}));
+}
+
+TEST(BcnfViolationsTest, SuperkeyLhsDoesNotViolate) {
+  // 0 -> 1, 0 -> 2 over R={0,1,2}: {0} is a key, no violations.
+  std::vector<FunctionalDependency> fds = {
+      {AttributeSet::Of({0}), 1, 0.0}, {AttributeSet::Of({0}), 2, 0.0}};
+  EXPECT_TRUE(FindBcnfViolations(3, fds).empty());
+}
+
+TEST(DecomposeToBcnfTest, EmployeeExample) {
+  std::vector<DecomposedRelation> fragments =
+      DecomposeToBcnf(4, EmployeeFds());
+  ASSERT_GE(fragments.size(), 2u);
+  // Every attribute is covered by some fragment.
+  AttributeSet covered;
+  for (const DecomposedRelation& fragment : fragments) {
+    covered = covered.Union(fragment.attributes);
+  }
+  EXPECT_EQ(covered, AttributeSet::FullSet(4));
+  // No fragment still contains a BCNF violation of the restricted FDs.
+  for (const DecomposedRelation& fragment : fragments) {
+    for (const FunctionalDependency& fd : EmployeeFds()) {
+      if (!fragment.attributes.ContainsAll(fd.lhs) ||
+          !fragment.attributes.Contains(fd.rhs)) {
+        continue;
+      }
+      // lhs must be a superkey of the fragment.
+      AttributeSet closure = Closure(fd.lhs, EmployeeFds());
+      EXPECT_TRUE(closure.ContainsAll(fragment.attributes))
+          << fd.lhs.ToString() << " violates fragment "
+          << fragment.attributes.ToString();
+    }
+  }
+}
+
+TEST(DecomposeToBcnfTest, AlreadyNormalizedStaysWhole) {
+  std::vector<FunctionalDependency> fds = {
+      {AttributeSet::Of({0}), 1, 0.0}, {AttributeSet::Of({0}), 2, 0.0}};
+  std::vector<DecomposedRelation> fragments = DecomposeToBcnf(3, fds);
+  ASSERT_EQ(fragments.size(), 1u);
+  EXPECT_EQ(fragments[0].attributes, AttributeSet::FullSet(3));
+}
+
+TEST(DecomposeToBcnfTest, NoFdsStaysWhole) {
+  std::vector<DecomposedRelation> fragments = DecomposeToBcnf(3, {});
+  ASSERT_EQ(fragments.size(), 1u);
+  EXPECT_EQ(fragments[0].attributes, AttributeSet::FullSet(3));
+}
+
+TEST(DecomposeToBcnfTest, WorksOnDiscoveredFigure1Fds) {
+  StatusOr<DiscoveryResult> result =
+      Tane::Discover(testing_util::PaperFigure1Relation());
+  ASSERT_TRUE(result.ok());
+  std::vector<DecomposedRelation> fragments =
+      DecomposeToBcnf(4, result->fds);
+  AttributeSet covered;
+  for (const DecomposedRelation& fragment : fragments) {
+    covered = covered.Union(fragment.attributes);
+  }
+  EXPECT_EQ(covered, AttributeSet::FullSet(4));
+}
+
+TEST(DescribeDecompositionTest, HumanReadable) {
+  Schema schema = Schema::Create({"emp", "dept", "mgr", "proj"}).value();
+  std::vector<DecomposedRelation> fragments =
+      DecomposeToBcnf(4, EmployeeFds());
+  const std::string description = DescribeDecomposition(schema, fragments);
+  EXPECT_NE(description.find("R0"), std::string::npos);
+  EXPECT_NE(description.find("emp"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tane

@@ -1,0 +1,103 @@
+#include "datasets/paper_datasets.h"
+
+#include "analysis/violations.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace tane {
+namespace {
+
+TEST(PaperDatasetInfoTest, TableOneFactsArePresent) {
+  const std::vector<PaperDatasetInfo>& infos = AllPaperDatasets();
+  ASSERT_EQ(infos.size(), 5u);
+  const PaperDatasetInfo& wbc =
+      GetPaperDatasetInfo(PaperDataset::kWisconsinBreastCancer);
+  EXPECT_EQ(wbc.rows, 699);
+  EXPECT_EQ(wbc.columns, 11);
+  EXPECT_EQ(wbc.paper_num_fds, 46);
+  EXPECT_DOUBLE_EQ(wbc.paper_tane_seconds, 0.76);
+  const PaperDatasetInfo& lympho =
+      GetPaperDatasetInfo(PaperDataset::kLymphography);
+  EXPECT_EQ(lympho.rows, 148);
+  EXPECT_EQ(lympho.columns, 19);
+  EXPECT_EQ(lympho.paper_num_fds, 2730);
+}
+
+TEST(PaperDatasetTest, DimensionsMatchThePaper) {
+  for (const PaperDatasetInfo& info : AllPaperDatasets()) {
+    StatusOr<Relation> relation = MakePaperDataset(info.dataset);
+    ASSERT_TRUE(relation.ok())
+        << info.name << ": " << relation.status().ToString();
+    EXPECT_EQ(relation->num_rows(), info.rows) << info.name;
+    EXPECT_EQ(relation->num_columns(), info.columns) << info.name;
+  }
+}
+
+TEST(PaperDatasetTest, Deterministic) {
+  StatusOr<Relation> a =
+      MakePaperDataset(PaperDataset::kWisconsinBreastCancer);
+  StatusOr<Relation> b =
+      MakePaperDataset(PaperDataset::kWisconsinBreastCancer);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (int64_t row = 0; row < a->num_rows(); row += 13) {
+    for (int c = 0; c < a->num_columns(); ++c) {
+      ASSERT_EQ(a->code(row, c), b->code(row, c));
+    }
+  }
+}
+
+TEST(PaperDatasetTest, RowOverrideScales) {
+  StatusOr<Relation> small =
+      MakePaperDataset(PaperDataset::kHepatitis, /*rows=*/40);
+  ASSERT_TRUE(small.ok());
+  EXPECT_EQ(small->num_rows(), 40);
+  EXPECT_EQ(small->num_columns(), 20);
+}
+
+TEST(PaperDatasetTest, ChessPositionsFormAKeyAndDetermineClass) {
+  StatusOr<Relation> chess =
+      MakePaperDataset(PaperDataset::kChess, /*rows=*/2000);
+  ASSERT_TRUE(chess.ok());
+  StatusOr<double> error = MeasureG3(
+      *chess, {AttributeSet::Of({0, 1, 2, 3, 4, 5}), 6, 0.0});
+  ASSERT_TRUE(error.ok());
+  EXPECT_DOUBLE_EQ(*error, 0.0);
+}
+
+TEST(PaperDatasetTest, WisconsinClassRoughlyDependsOnScores) {
+  StatusOr<Relation> wbc =
+      MakePaperDataset(PaperDataset::kWisconsinBreastCancer);
+  ASSERT_TRUE(wbc.ok());
+  // The class column (10) is derived from scores 1-4 with 3% noise.
+  StatusOr<double> error =
+      MeasureG3(*wbc, {AttributeSet::Of({1, 2, 3, 4}), 10, 0.0});
+  ASSERT_TRUE(error.ok());
+  EXPECT_LT(*error, 0.05);
+}
+
+TEST(PaperDatasetTest, AdultEducationNumPlantedFd) {
+  StatusOr<Relation> adult =
+      MakePaperDataset(PaperDataset::kAdult, /*rows=*/3000);
+  ASSERT_TRUE(adult.ok());
+  const int education = adult->schema().IndexOf("education");
+  const int education_num = adult->schema().IndexOf("education_num");
+  ASSERT_GE(education, 0);
+  ASSERT_GE(education_num, 0);
+  StatusOr<double> error = MeasureG3(
+      *adult, {AttributeSet::Singleton(education), education_num, 0.0});
+  ASSERT_TRUE(error.ok());
+  EXPECT_DOUBLE_EQ(*error, 0.0);
+}
+
+TEST(ParsePaperDatasetNameTest, KnownAndUnknownNames) {
+  EXPECT_TRUE(ParsePaperDatasetName("lymphography").ok());
+  EXPECT_TRUE(ParsePaperDatasetName("hepatitis").ok());
+  EXPECT_TRUE(ParsePaperDatasetName("wbc").ok());
+  EXPECT_TRUE(ParsePaperDatasetName("breast-cancer").ok());
+  EXPECT_TRUE(ParsePaperDatasetName("chess").ok());
+  EXPECT_TRUE(ParsePaperDatasetName("adult").ok());
+  EXPECT_FALSE(ParsePaperDatasetName("mnist").ok());
+}
+
+}  // namespace
+}  // namespace tane

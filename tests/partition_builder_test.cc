@@ -1,0 +1,125 @@
+#include "partition/partition_builder.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace tane {
+namespace {
+
+using testing_util::MakeRelation;
+using testing_util::PaperFigure1Relation;
+
+TEST(PartitionBuilderTest, PaperExample1PartitionOfA) {
+  // π_{A} = {{1,2},{3,4,5},{6,7,8}} in the paper's 1-based numbering.
+  Relation relation = PaperFigure1Relation();
+  StrippedPartition partition =
+      PartitionBuilder::ForAttribute(relation, 0).Canonicalized();
+  EXPECT_EQ(partition.num_classes(), 3);
+  EXPECT_EQ(partition.row_ids(),
+            (std::vector<int32_t>{0, 1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_EQ(partition.class_offsets(), (std::vector<int32_t>{0, 2, 5, 8}));
+}
+
+TEST(PartitionBuilderTest, PaperExample1PartitionOfBC) {
+  // π_{B,C} = {{1},{2},{3,4},{5},{6},{7},{8}}; stripped keeps only {3,4}.
+  Relation relation = PaperFigure1Relation();
+  StrippedPartition partition =
+      PartitionBuilder::ForAttributeSet(relation, AttributeSet::Of({1, 2}))
+          .Canonicalized();
+  EXPECT_EQ(partition.num_classes(), 1);
+  EXPECT_EQ(partition.row_ids(), (std::vector<int32_t>{2, 3}));
+  EXPECT_EQ(partition.FullRank(), 7);
+}
+
+TEST(PartitionBuilderTest, PaperExample1PartitionOfB) {
+  // π_{B} = {{1},{2,3,4},{5,6},{7,8}}.
+  Relation relation = PaperFigure1Relation();
+  StrippedPartition partition =
+      PartitionBuilder::ForAttribute(relation, 1).Canonicalized();
+  EXPECT_EQ(partition.num_classes(), 3);
+  EXPECT_EQ(partition.FullRank(), 4);
+  EXPECT_EQ(partition.Error(), 4);
+}
+
+TEST(PartitionBuilderTest, UnstrippedKeepsSingletons) {
+  Relation relation = PaperFigure1Relation();
+  StrippedPartition partition = PartitionBuilder::ForAttribute(
+      relation, 1, /*stripped=*/false);
+  EXPECT_FALSE(partition.stripped());
+  EXPECT_EQ(partition.num_classes(), 4);
+  EXPECT_EQ(partition.num_member_rows(), 8);
+  // Error agrees with the stripped representation.
+  EXPECT_EQ(partition.Error(),
+            PartitionBuilder::ForAttribute(relation, 1).Error());
+}
+
+TEST(PartitionBuilderTest, ConstantColumnIsOneClass) {
+  Relation relation = MakeRelation({{"k"}, {"k"}, {"k"}}, 1);
+  StrippedPartition partition = PartitionBuilder::ForAttribute(relation, 0);
+  EXPECT_EQ(partition.num_classes(), 1);
+  EXPECT_EQ(partition.Error(), 2);
+  EXPECT_EQ(partition.FullRank(), 1);
+}
+
+TEST(PartitionBuilderTest, UniqueColumnIsSuperkey) {
+  Relation relation = MakeRelation({{"a"}, {"b"}, {"c"}}, 1);
+  StrippedPartition partition = PartitionBuilder::ForAttribute(relation, 0);
+  EXPECT_EQ(partition.num_classes(), 0);
+  EXPECT_TRUE(partition.IsSuperkey());
+}
+
+TEST(PartitionBuilderTest, EmptyRelation) {
+  Relation relation = MakeRelation({}, 2);
+  StrippedPartition partition = PartitionBuilder::ForAttribute(relation, 0);
+  EXPECT_EQ(partition.num_rows(), 0);
+  EXPECT_EQ(partition.num_classes(), 0);
+  EXPECT_TRUE(partition.IsSuperkey());
+}
+
+TEST(PartitionBuilderTest, ForAllAttributesMatchesPerAttribute) {
+  Relation relation = PaperFigure1Relation();
+  std::vector<StrippedPartition> all =
+      PartitionBuilder::ForAllAttributes(relation);
+  ASSERT_EQ(all.size(), 4u);
+  for (int a = 0; a < 4; ++a) {
+    EXPECT_EQ(all[a].Canonicalized(),
+              PartitionBuilder::ForAttribute(relation, a).Canonicalized());
+  }
+}
+
+TEST(PartitionBuilderTest, EmptyAttributeSetIsOneBigClass) {
+  Relation relation = MakeRelation({{"a"}, {"b"}, {"c"}}, 1);
+  StrippedPartition partition =
+      PartitionBuilder::ForAttributeSet(relation, AttributeSet());
+  EXPECT_EQ(partition.num_classes(), 1);
+  EXPECT_EQ(partition.num_member_rows(), 3);
+  EXPECT_EQ(partition.Error(), 2);
+}
+
+TEST(PartitionBuilderTest, EmptyAttributeSetSingleRowIsStrippedAway) {
+  Relation relation = MakeRelation({{"a"}}, 1);
+  StrippedPartition partition =
+      PartitionBuilder::ForAttributeSet(relation, AttributeSet());
+  EXPECT_EQ(partition.num_classes(), 0);
+  EXPECT_EQ(partition.Error(), 0);
+}
+
+TEST(PartitionBuilderTest, SetPartitionMatchesSingletonForSingleAttribute) {
+  Relation relation = PaperFigure1Relation();
+  for (int a = 0; a < relation.num_columns(); ++a) {
+    EXPECT_EQ(PartitionBuilder::ForAttributeSet(relation,
+                                                AttributeSet::Singleton(a))
+                  .Canonicalized(),
+              PartitionBuilder::ForAttribute(relation, a).Canonicalized());
+  }
+}
+
+TEST(PartitionBuilderTest, FullSetOnDistinctRowsIsSuperkey) {
+  Relation relation = PaperFigure1Relation();
+  StrippedPartition partition = PartitionBuilder::ForAttributeSet(
+      relation, AttributeSet::FullSet(relation.num_columns()));
+  EXPECT_TRUE(partition.IsSuperkey());
+}
+
+}  // namespace
+}  // namespace tane

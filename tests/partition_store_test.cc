@@ -1,0 +1,154 @@
+#include "core/partition_store.h"
+
+#include <filesystem>
+
+#include "gtest/gtest.h"
+#include "partition/partition_builder.h"
+#include "tests/test_util.h"
+
+namespace tane {
+namespace {
+
+StrippedPartition SamplePartition() {
+  return StrippedPartition::Create(8, {0, 1, 2, 3, 4}, {0, 2, 5}, true)
+      .value();
+}
+
+TEST(SerializationTest, RoundTrip) {
+  StrippedPartition original = SamplePartition();
+  StatusOr<StrippedPartition> decoded =
+      DeserializePartition(SerializePartition(original));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(*decoded, original);
+}
+
+TEST(SerializationTest, RoundTripUnstripped) {
+  StrippedPartition original = SamplePartition().Unstripped();
+  StatusOr<StrippedPartition> decoded =
+      DeserializePartition(SerializePartition(original));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, original);
+  EXPECT_FALSE(decoded->stripped());
+}
+
+TEST(SerializationTest, RoundTripEmpty) {
+  StrippedPartition original(3);
+  StatusOr<StrippedPartition> decoded =
+      DeserializePartition(SerializePartition(original));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, original);
+}
+
+TEST(SerializationTest, RejectsCorruptInput) {
+  EXPECT_FALSE(DeserializePartition("").ok());
+  EXPECT_FALSE(DeserializePartition("garbage").ok());
+  std::string bytes = SerializePartition(SamplePartition());
+  bytes[0] ^= 0xFF;  // break the magic
+  EXPECT_FALSE(DeserializePartition(bytes).ok());
+  std::string truncated =
+      SerializePartition(SamplePartition()).substr(0, 20);
+  EXPECT_FALSE(DeserializePartition(truncated).ok());
+}
+
+template <typename StoreFactory>
+void ExercisePutGetRelease(StoreFactory make_store) {
+  auto store = make_store();
+  StrippedPartition partition = SamplePartition();
+  StatusOr<int64_t> handle = store->Put(partition);
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+  StatusOr<StrippedPartition> loaded = store->Get(*handle);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, partition);
+  TANE_ASSERT_OK(store->Release(*handle));
+  EXPECT_FALSE(store->Get(*handle).ok());
+  EXPECT_FALSE(store->Release(*handle).ok());
+}
+
+TEST(MemoryPartitionStoreTest, PutGetRelease) {
+  ExercisePutGetRelease([] { return std::make_unique<MemoryPartitionStore>(); });
+}
+
+TEST(MemoryPartitionStoreTest, PeekBorrowsWithoutCopy) {
+  MemoryPartitionStore store;
+  StatusOr<int64_t> handle = store.Put(SamplePartition());
+  ASSERT_TRUE(handle.ok());
+  const StrippedPartition* borrowed = store.Peek(*handle);
+  ASSERT_NE(borrowed, nullptr);
+  EXPECT_EQ(*borrowed, SamplePartition());
+  TANE_ASSERT_OK(store.Release(*handle));
+  EXPECT_EQ(store.Peek(*handle), nullptr);
+}
+
+TEST(MemoryPartitionStoreTest, TracksResidentBytes) {
+  MemoryPartitionStore store;
+  EXPECT_EQ(store.resident_bytes(), 0);
+  StatusOr<int64_t> handle = store.Put(SamplePartition());
+  ASSERT_TRUE(handle.ok());
+  EXPECT_GT(store.resident_bytes(), 0);
+  TANE_ASSERT_OK(store.Release(*handle));
+  EXPECT_EQ(store.resident_bytes(), 0);
+  EXPECT_EQ(store.bytes_written(), 0);
+}
+
+TEST(DiskPartitionStoreTest, PutGetRelease) {
+  ExercisePutGetRelease([] {
+    StatusOr<std::unique_ptr<DiskPartitionStore>> store =
+        DiskPartitionStore::Open();
+    EXPECT_TRUE(store.ok()) << store.status().ToString();
+    return std::move(store).value();
+  });
+}
+
+TEST(DiskPartitionStoreTest, WritesBytesAndCleansUpDirectory) {
+  std::string directory;
+  {
+    StatusOr<std::unique_ptr<DiskPartitionStore>> store =
+        DiskPartitionStore::Open();
+    ASSERT_TRUE(store.ok());
+    directory = (*store)->directory();
+    StatusOr<int64_t> handle = (*store)->Put(SamplePartition());
+    ASSERT_TRUE(handle.ok());
+    EXPECT_GT((*store)->bytes_written(), 0);
+    EXPECT_TRUE(std::filesystem::exists(directory));
+    // Peek never serves from disk.
+    EXPECT_EQ((*store)->Peek(*handle), nullptr);
+  }
+  EXPECT_FALSE(std::filesystem::exists(directory));
+}
+
+TEST(DiskPartitionStoreTest, NamedDirectoryIsCreated) {
+  const std::string directory =
+      ::testing::TempDir() + "/tane_store_test_dir";
+  std::filesystem::remove_all(directory);
+  {
+    StatusOr<std::unique_ptr<DiskPartitionStore>> store =
+        DiskPartitionStore::Open(directory);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    EXPECT_TRUE(std::filesystem::exists(directory));
+    StatusOr<int64_t> handle = (*store)->Put(SamplePartition());
+    ASSERT_TRUE(handle.ok());
+  }
+  // The store created the directory, so it owns and removes it.
+  EXPECT_FALSE(std::filesystem::exists(directory));
+}
+
+TEST(DiskPartitionStoreTest, ManyPartitions) {
+  StatusOr<std::unique_ptr<DiskPartitionStore>> store =
+      DiskPartitionStore::Open();
+  ASSERT_TRUE(store.ok());
+  std::vector<int64_t> handles;
+  for (int i = 0; i < 20; ++i) {
+    StatusOr<int64_t> handle = (*store)->Put(SamplePartition());
+    ASSERT_TRUE(handle.ok());
+    handles.push_back(*handle);
+  }
+  for (int64_t handle : handles) {
+    StatusOr<StrippedPartition> loaded = (*store)->Get(handle);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(*loaded, SamplePartition());
+    TANE_ASSERT_OK((*store)->Release(handle));
+  }
+}
+
+}  // namespace
+}  // namespace tane

@@ -1,0 +1,150 @@
+#include "partition/product.h"
+
+#include "gtest/gtest.h"
+#include "partition/partition_builder.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace tane {
+namespace {
+
+using testing_util::MakeRelation;
+using testing_util::PaperFigure1Relation;
+
+TEST(PartitionProductTest, Lemma3OnPaperExample) {
+  // π_{B} · π_{C} must equal π_{B,C} (Lemma 3).
+  Relation relation = PaperFigure1Relation();
+  PartitionProduct product(relation.num_rows());
+  StrippedPartition result =
+      product
+          .Multiply(PartitionBuilder::ForAttribute(relation, 1),
+                    PartitionBuilder::ForAttribute(relation, 2))
+          .Canonicalized();
+  StrippedPartition expected =
+      PartitionBuilder::ForAttributeSet(relation, AttributeSet::Of({1, 2}))
+          .Canonicalized();
+  EXPECT_EQ(result, expected);
+}
+
+TEST(PartitionProductTest, CommutesOnPaperExample) {
+  Relation relation = PaperFigure1Relation();
+  PartitionProduct product(relation.num_rows());
+  StrippedPartition ab =
+      product
+          .Multiply(PartitionBuilder::ForAttribute(relation, 0),
+                    PartitionBuilder::ForAttribute(relation, 1))
+          .Canonicalized();
+  StrippedPartition ba =
+      product
+          .Multiply(PartitionBuilder::ForAttribute(relation, 1),
+                    PartitionBuilder::ForAttribute(relation, 0))
+          .Canonicalized();
+  EXPECT_EQ(ab, ba);
+}
+
+TEST(PartitionProductTest, ProductWithSelfIsIdentity) {
+  Relation relation = PaperFigure1Relation();
+  PartitionProduct product(relation.num_rows());
+  StrippedPartition pi = PartitionBuilder::ForAttribute(relation, 0);
+  EXPECT_EQ(product.Multiply(pi, pi).Canonicalized(), pi.Canonicalized());
+}
+
+TEST(PartitionProductTest, ProductWithAllSingletonsIsAllSingletons) {
+  Relation relation = PaperFigure1Relation();
+  PartitionProduct product(relation.num_rows());
+  StrippedPartition superkey(relation.num_rows());  // empty stripped
+  StrippedPartition result = product.Multiply(
+      PartitionBuilder::ForAttribute(relation, 0), superkey);
+  EXPECT_EQ(result.num_classes(), 0);
+  EXPECT_TRUE(result.IsSuperkey());
+}
+
+TEST(PartitionProductTest, UnstrippedProductKeepsAllRows) {
+  Relation relation = PaperFigure1Relation();
+  PartitionProduct product(relation.num_rows());
+  StrippedPartition a =
+      PartitionBuilder::ForAttribute(relation, 1, /*stripped=*/false);
+  StrippedPartition b =
+      PartitionBuilder::ForAttribute(relation, 2, /*stripped=*/false);
+  StrippedPartition result = product.Multiply(a, b);
+  EXPECT_FALSE(result.stripped());
+  EXPECT_EQ(result.num_member_rows(), relation.num_rows());
+  EXPECT_EQ(result.FullRank(), 7);  // |π_{B,C}| from Example 1
+  // Stripping afterwards matches the stripped product.
+  StrippedPartition stripped_product = product.Multiply(
+      PartitionBuilder::ForAttribute(relation, 1),
+      PartitionBuilder::ForAttribute(relation, 2));
+  EXPECT_EQ(result.Stripped().Canonicalized(),
+            stripped_product.Canonicalized());
+}
+
+TEST(PartitionProductTest, ReusableAcrossCalls) {
+  Relation relation = PaperFigure1Relation();
+  PartitionProduct product(relation.num_rows());
+  StrippedPartition first = product.Multiply(
+      PartitionBuilder::ForAttribute(relation, 0),
+      PartitionBuilder::ForAttribute(relation, 1));
+  StrippedPartition second = product.Multiply(
+      PartitionBuilder::ForAttribute(relation, 2),
+      PartitionBuilder::ForAttribute(relation, 3));
+  // Same object, different operands: results must match from-scratch ones.
+  EXPECT_EQ(first.Canonicalized(),
+            PartitionBuilder::ForAttributeSet(relation, AttributeSet::Of({0, 1}))
+                .Canonicalized());
+  EXPECT_EQ(second.Canonicalized(),
+            PartitionBuilder::ForAttributeSet(relation, AttributeSet::Of({2, 3}))
+                .Canonicalized());
+}
+
+// Property sweep: on random relations, the product of singleton partitions
+// equals the from-scratch partition of the pair (Lemma 3), and products are
+// commutative and associative.
+class ProductPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProductPropertyTest, Lemma3OnRandomRelations) {
+  const int seed = GetParam();
+  Rng rng(seed);
+  const int64_t rows = 20 + static_cast<int64_t>(rng.NextBounded(60));
+  const int cols = 3 + static_cast<int>(rng.NextBounded(3));
+  std::vector<std::vector<std::string>> data;
+  for (int64_t i = 0; i < rows; ++i) {
+    std::vector<std::string> row;
+    for (int c = 0; c < cols; ++c) {
+      row.push_back(std::to_string(rng.NextBounded(2 + c)));
+    }
+    data.push_back(row);
+  }
+  Relation relation = MakeRelation(data, cols);
+  PartitionProduct product(rows);
+
+  for (int a = 0; a < cols; ++a) {
+    for (int b = a + 1; b < cols; ++b) {
+      StrippedPartition pa = PartitionBuilder::ForAttribute(relation, a);
+      StrippedPartition pb = PartitionBuilder::ForAttribute(relation, b);
+      StrippedPartition expected =
+          PartitionBuilder::ForAttributeSet(relation, AttributeSet::Of({a, b}))
+              .Canonicalized();
+      EXPECT_EQ(product.Multiply(pa, pb).Canonicalized(), expected);
+      EXPECT_EQ(product.Multiply(pb, pa).Canonicalized(), expected);
+    }
+  }
+
+  // Associativity on the first three columns.
+  StrippedPartition p0 = PartitionBuilder::ForAttribute(relation, 0);
+  StrippedPartition p1 = PartitionBuilder::ForAttribute(relation, 1);
+  StrippedPartition p2 = PartitionBuilder::ForAttribute(relation, 2);
+  StrippedPartition left =
+      product.Multiply(product.Multiply(p0, p1), p2).Canonicalized();
+  StrippedPartition right =
+      product.Multiply(p0, product.Multiply(p1, p2)).Canonicalized();
+  EXPECT_EQ(left, right);
+  EXPECT_EQ(left, PartitionBuilder::ForAttributeSet(relation,
+                                                    AttributeSet::Of({0, 1, 2}))
+                      .Canonicalized());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProductPropertyTest,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace tane

@@ -1,0 +1,273 @@
+// Cross-validation property tests: TANE (all configurations), FDEP, and the
+// brute-force oracle must agree on randomly generated relations, and the
+// outputs must satisfy the defining invariants of minimal-FD discovery.
+
+#include <string>
+#include <vector>
+
+#include "baselines/brute_force.h"
+#include "baselines/fdep.h"
+#include "core/tane.h"
+#include "datasets/generators.h"
+#include "gtest/gtest.h"
+#include "partition/error.h"
+#include "partition/partition_builder.h"
+#include "relation/transforms.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace tane {
+namespace {
+
+using testing_util::FdStrings;
+
+// A deterministic family of small random relations with varied shape:
+// different column counts, cardinalities, and skew, including derived
+// (FD-planted) columns on odd seeds.
+Relation RandomRelation(int seed) {
+  Rng rng(seed * 7919 + 13);
+  SyntheticSpec spec;
+  spec.seed = seed + 1000;
+  spec.rows = 10 + static_cast<int64_t>(rng.NextBounded(70));
+  const int cols = 3 + static_cast<int>(rng.NextBounded(4));  // 3..6
+  for (int c = 0; c < cols; ++c) {
+    spec.base.push_back({"b" + std::to_string(c),
+                         1 + static_cast<int64_t>(rng.NextBounded(6)),
+                         rng.NextBernoulli(0.3) ? 1.0 : 0.0});
+  }
+  if (seed % 2 == 1) {
+    spec.derived.push_back(
+        {"d0",
+         {0, 1},
+         2 + static_cast<int64_t>(rng.NextBounded(3)),
+         rng.NextBernoulli(0.5) ? 0.1 : 0.0});
+  }
+  StatusOr<Relation> relation = GenerateSynthetic(spec);
+  EXPECT_TRUE(relation.ok()) << relation.status().ToString();
+  return std::move(relation).value();
+}
+
+void ExpectValidMinimalComplete(const Relation& relation,
+                                const DiscoveryResult& result,
+                                double epsilon) {
+  G3Calculator g3(relation.num_rows());
+  // Validity: every output dependency has g3 <= epsilon, with the reported
+  // error value.
+  for (const FunctionalDependency& fd : result.fds) {
+    StrippedPartition lhs = PartitionBuilder::ForAttributeSet(relation, fd.lhs);
+    StrippedPartition joint =
+        PartitionBuilder::ForAttributeSet(relation, fd.lhs.With(fd.rhs));
+    const double error = g3.Error(lhs, joint);
+    EXPECT_LE(error, epsilon + 1e-9)
+        << fd.lhs.ToString() << " -> " << fd.rhs;
+    EXPECT_NEAR(error, fd.error, 1e-12);
+    EXPECT_FALSE(fd.lhs.Contains(fd.rhs)) << "trivial dependency emitted";
+  }
+  // Minimality: no output lhs contains another output lhs for the same rhs.
+  for (const FunctionalDependency& a : result.fds) {
+    for (const FunctionalDependency& b : result.fds) {
+      if (a.rhs != b.rhs || a.lhs == b.lhs) continue;
+      EXPECT_FALSE(a.lhs.IsProperSubsetOf(b.lhs));
+    }
+  }
+}
+
+class TaneVsOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TaneVsOracleTest, ExactFdsMatchBruteForceAndFdep) {
+  const Relation relation = RandomRelation(GetParam());
+  StatusOr<DiscoveryResult> oracle = BruteForce::Discover(relation);
+  ASSERT_TRUE(oracle.ok());
+  StatusOr<DiscoveryResult> tane_result = Tane::Discover(relation);
+  ASSERT_TRUE(tane_result.ok());
+  StatusOr<DiscoveryResult> fdep_result = Fdep::Discover(relation);
+  ASSERT_TRUE(fdep_result.ok());
+
+  EXPECT_EQ(FdStrings(tane_result->fds), FdStrings(oracle->fds));
+  EXPECT_EQ(FdStrings(fdep_result->fds), FdStrings(oracle->fds));
+  ExpectValidMinimalComplete(relation, *tane_result, 0.0);
+  // Keys agree with the oracle's independent key search.
+  EXPECT_EQ(tane_result->keys, oracle->keys);
+}
+
+TEST_P(TaneVsOracleTest, AllPruningConfigurationsAgree) {
+  const Relation relation = RandomRelation(GetParam());
+  StatusOr<DiscoveryResult> baseline = Tane::Discover(relation);
+  ASSERT_TRUE(baseline.ok());
+  for (bool rhs_plus : {false, true}) {
+    for (bool key_pruning : {false, true}) {
+      for (bool stripped : {false, true}) {
+        TaneConfig config;
+        config.use_rhs_plus_pruning = rhs_plus;
+        config.use_key_pruning = key_pruning;
+        config.use_stripped_partitions = stripped;
+        StatusOr<DiscoveryResult> result = Tane::Discover(relation, config);
+        ASSERT_TRUE(result.ok());
+        EXPECT_EQ(FdStrings(result->fds), FdStrings(baseline->fds))
+            << "rhs_plus=" << rhs_plus << " key=" << key_pruning
+            << " stripped=" << stripped;
+      }
+    }
+  }
+  // The covered-rhs pruning and the Schlimmer-style partition
+  // recomputation must not change results either.
+  for (bool covered : {false, true}) {
+    for (bool products : {false, true}) {
+      TaneConfig config;
+      config.use_covered_rhs_pruning = covered;
+      config.use_partition_products = products;
+      StatusOr<DiscoveryResult> result = Tane::Discover(relation, config);
+      ASSERT_TRUE(result.ok());
+      EXPECT_EQ(FdStrings(result->fds), FdStrings(baseline->fds))
+          << "covered=" << covered << " products=" << products;
+    }
+  }
+}
+
+TEST_P(TaneVsOracleTest, ApproximateFdsMatchBruteForce) {
+  const Relation relation = RandomRelation(GetParam());
+  for (double epsilon : {0.02, 0.1, 0.3}) {
+    StatusOr<DiscoveryResult> oracle =
+        BruteForce::Discover(relation, epsilon);
+    ASSERT_TRUE(oracle.ok());
+    TaneConfig config;
+    config.epsilon = epsilon;
+    StatusOr<DiscoveryResult> result = Tane::Discover(relation, config);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(FdStrings(result->fds), FdStrings(oracle->fds))
+        << "eps=" << epsilon << " seed=" << GetParam();
+    ExpectValidMinimalComplete(relation, *result, epsilon);
+  }
+}
+
+TEST_P(TaneVsOracleTest, AlternativeMeasuresMatchBruteForce) {
+  const Relation relation = RandomRelation(GetParam());
+  for (ErrorMeasure measure : {ErrorMeasure::kG2, ErrorMeasure::kG1}) {
+    const double epsilon = measure == ErrorMeasure::kG1 ? 0.02 : 0.15;
+    StatusOr<DiscoveryResult> oracle = BruteForce::Discover(
+        relation, epsilon, kMaxAttributes, measure);
+    ASSERT_TRUE(oracle.ok());
+    TaneConfig config;
+    config.epsilon = epsilon;
+    config.measure = measure;
+    StatusOr<DiscoveryResult> result = Tane::Discover(relation, config);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(FdStrings(result->fds), FdStrings(oracle->fds))
+        << "measure=" << static_cast<int>(measure) << " seed=" << GetParam();
+  }
+}
+
+TEST_P(TaneVsOracleTest, ApproximateWithoutBoundsMatches) {
+  const Relation relation = RandomRelation(GetParam());
+  TaneConfig with_bounds;
+  with_bounds.epsilon = 0.15;
+  TaneConfig without_bounds;
+  without_bounds.epsilon = 0.15;
+  without_bounds.use_g3_bounds = false;
+  StatusOr<DiscoveryResult> a = Tane::Discover(relation, with_bounds);
+  StatusOr<DiscoveryResult> b = Tane::Discover(relation, without_bounds);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(FdStrings(a->fds), FdStrings(b->fds));
+}
+
+TEST_P(TaneVsOracleTest, MaxLhsTruncationConsistent) {
+  const Relation relation = RandomRelation(GetParam());
+  for (int limit : {1, 2, 3}) {
+    TaneConfig config;
+    config.max_lhs_size = limit;
+    StatusOr<DiscoveryResult> limited = Tane::Discover(relation, config);
+    ASSERT_TRUE(limited.ok());
+    StatusOr<DiscoveryResult> oracle =
+        BruteForce::Discover(relation, 0.0, limit);
+    ASSERT_TRUE(oracle.ok());
+    EXPECT_EQ(FdStrings(limited->fds), FdStrings(oracle->fds))
+        << "limit=" << limit << " seed=" << GetParam();
+  }
+}
+
+TEST_P(TaneVsOracleTest, ScaledCopiesPreserveFdSet) {
+  // The paper's ×n construction: rows from different copies never agree on
+  // any attribute, so every dependency with a non-empty left-hand side is
+  // preserved exactly. (Dependencies ∅ → A — constant columns — are the one
+  // exception: the per-copy value suffix destroys them. The paper's UCI
+  // datasets have no constant columns, hence its "the set of dependencies
+  // is the same" claim.)
+  const Relation relation = RandomRelation(GetParam());
+  StatusOr<Relation> scaled = ConcatenateCopies(relation, 3);
+  ASSERT_TRUE(scaled.ok());
+  StatusOr<DiscoveryResult> base_fds = Tane::Discover(relation);
+  StatusOr<DiscoveryResult> scaled_fds = Tane::Discover(*scaled);
+  ASSERT_TRUE(base_fds.ok() && scaled_fds.ok());
+
+  const bool base_has_constant_column =
+      std::any_of(base_fds->fds.begin(), base_fds->fds.end(),
+                  [](const FunctionalDependency& fd) {
+                    return fd.lhs.empty();
+                  });
+  if (!base_has_constant_column) {
+    EXPECT_EQ(FdStrings(base_fds->fds), FdStrings(scaled_fds->fds));
+    return;
+  }
+  // With constant columns, the non-empty-lhs dependencies still transfer in
+  // both directions.
+  auto nonempty = [](const std::vector<FunctionalDependency>& fds) {
+    std::vector<std::string> out;
+    for (const FunctionalDependency& fd : fds) {
+      if (!fd.lhs.empty()) {
+        out.push_back(fd.lhs.ToString() + " -> " + std::to_string(fd.rhs));
+      }
+    }
+    return out;
+  };
+  for (const FunctionalDependency& fd : base_fds->fds) {
+    if (fd.lhs.empty()) continue;
+    // Still valid in the scaled relation (possibly no longer minimal only
+    // if a previously-constant column's new FDs subsume it — they cannot,
+    // since new minimal lhs only appear for previously-constant rhs).
+    StrippedPartition lhs =
+        PartitionBuilder::ForAttributeSet(*scaled, fd.lhs);
+    StrippedPartition joint =
+        PartitionBuilder::ForAttributeSet(*scaled, fd.lhs.With(fd.rhs));
+    EXPECT_EQ(lhs.Error(), joint.Error())
+        << fd.lhs.ToString() << " -> " << fd.rhs;
+  }
+  (void)nonempty;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TaneVsOracleTest, ::testing::Range(0, 20));
+
+// Lemma 1: X -> A holds iff π_X refines π_{A}. Checked against the direct
+// pairwise definition of FD validity.
+class RefinementLemmaTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RefinementLemmaTest, RefinesIffFdHolds) {
+  const Relation relation = RandomRelation(GetParam());
+  const int cols = relation.num_columns();
+  for (int a = 0; a < cols; ++a) {
+    for (int b = 0; b < cols; ++b) {
+      if (a == b) continue;
+      StrippedPartition pa = PartitionBuilder::ForAttribute(relation, a);
+      StrippedPartition pb = PartitionBuilder::ForAttribute(relation, b);
+      // Direct definition: all pairs agreeing on a also agree on b.
+      bool holds = true;
+      for (int64_t t = 0; t < relation.num_rows() && holds; ++t) {
+        for (int64_t u = t + 1; u < relation.num_rows(); ++u) {
+          if (relation.Agrees(t, u, a) && !relation.Agrees(t, u, b)) {
+            holds = false;
+            break;
+          }
+        }
+      }
+      EXPECT_EQ(pa.Refines(pb), holds) << "attrs " << a << " " << b;
+      // Lemma 2 agrees as well.
+      StrippedPartition joint = PartitionBuilder::ForAttributeSet(
+          relation, AttributeSet::Of({a, b}));
+      EXPECT_EQ(pa.Error() == joint.Error(), holds);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RefinementLemmaTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace tane

@@ -1,0 +1,98 @@
+#include "relation/relation.h"
+
+#include "gtest/gtest.h"
+#include "relation/relation_builder.h"
+#include "tests/test_util.h"
+
+namespace tane {
+namespace {
+
+using testing_util::MakeRelation;
+
+TEST(RelationBuilderTest, EncodesStringsToDenseCodes) {
+  Relation relation = MakeRelation(
+      {{"x", "1"}, {"y", "1"}, {"x", "2"}}, 2);
+  EXPECT_EQ(relation.num_rows(), 3);
+  EXPECT_EQ(relation.num_columns(), 2);
+  // First occurrence order: "x" -> 0, "y" -> 1.
+  EXPECT_EQ(relation.code(0, 0), 0);
+  EXPECT_EQ(relation.code(1, 0), 1);
+  EXPECT_EQ(relation.code(2, 0), 0);
+  EXPECT_EQ(relation.column(0).cardinality(), 2);
+  EXPECT_EQ(relation.column(1).cardinality(), 2);
+}
+
+TEST(RelationBuilderTest, ValueRoundTrips) {
+  Relation relation = MakeRelation({{"hello", "1"}, {"world", "2"}}, 2);
+  EXPECT_EQ(relation.value(0, 0), "hello");
+  EXPECT_EQ(relation.value(1, 0), "world");
+  EXPECT_EQ(relation.value(1, 1), "2");
+}
+
+TEST(RelationBuilderTest, AgreesMatchesValueEquality) {
+  Relation relation = MakeRelation({{"a"}, {"a"}, {"b"}}, 1);
+  EXPECT_TRUE(relation.Agrees(0, 1, 0));
+  EXPECT_FALSE(relation.Agrees(0, 2, 0));
+}
+
+TEST(RelationBuilderTest, RejectsWrongArity) {
+  RelationBuilder builder(Schema::CreateUnnamed(2).value());
+  EXPECT_FALSE(builder.AddRow(std::vector<std::string>{"only-one"}).ok());
+  EXPECT_TRUE(builder.AddRow(std::vector<std::string>{"a", "b"}).ok());
+}
+
+TEST(RelationBuilderTest, AddEncodedRowExtendsDictionary) {
+  RelationBuilder builder(Schema::CreateUnnamed(2).value());
+  ASSERT_TRUE(builder.AddEncodedRow({3, 0}).ok());
+  ASSERT_TRUE(builder.AddEncodedRow({1, 1}).ok());
+  StatusOr<Relation> relation = std::move(builder).Build();
+  ASSERT_TRUE(relation.ok());
+  EXPECT_EQ(relation->column(0).cardinality(), 4);  // codes 0..3 synthesized
+  EXPECT_EQ(relation->code(0, 0), 3);
+  EXPECT_EQ(relation->value(0, 0), "v3");
+}
+
+TEST(RelationBuilderTest, RejectsNegativeCode) {
+  RelationBuilder builder(Schema::CreateUnnamed(1).value());
+  EXPECT_FALSE(builder.AddEncodedRow({-1}).ok());
+}
+
+TEST(RelationCreateTest, ValidatesColumnCount) {
+  Schema schema = Schema::CreateUnnamed(2).value();
+  std::vector<Column> columns(1);
+  EXPECT_FALSE(Relation::Create(schema, columns, 0).ok());
+}
+
+TEST(RelationCreateTest, ValidatesRowCount) {
+  Schema schema = Schema::CreateUnnamed(1).value();
+  Column column;
+  column.codes = {0, 0};
+  column.dictionary = {"a"};
+  EXPECT_FALSE(Relation::Create(schema, {column}, 3).ok());
+  EXPECT_TRUE(Relation::Create(schema, {column}, 2).ok());
+}
+
+TEST(RelationCreateTest, ValidatesCodeRange) {
+  Schema schema = Schema::CreateUnnamed(1).value();
+  Column column;
+  column.codes = {0, 5};
+  column.dictionary = {"a"};
+  EXPECT_FALSE(Relation::Create(schema, {column}, 2).ok());
+}
+
+TEST(RelationTest, EmptyRelation) {
+  Relation relation = MakeRelation({}, 3);
+  EXPECT_EQ(relation.num_rows(), 0);
+  EXPECT_EQ(relation.num_columns(), 3);
+  EXPECT_EQ(relation.column(0).cardinality(), 0);
+}
+
+TEST(RelationTest, EstimatedBytesGrowsWithData) {
+  Relation small = MakeRelation({{"a"}}, 1);
+  Relation large = MakeRelation(
+      {{"aaaaaaaaaaaaaaaa"}, {"bbbbbbbbbbbbbbbb"}, {"cccccccccccccccc"}}, 1);
+  EXPECT_GT(large.EstimatedBytes(), small.EstimatedBytes());
+}
+
+}  // namespace
+}  // namespace tane

@@ -1,0 +1,63 @@
+#include "relation/schema.h"
+
+#include "gtest/gtest.h"
+
+namespace tane {
+namespace {
+
+TEST(SchemaTest, CreateFromNames) {
+  StatusOr<Schema> schema = Schema::Create({"id", "name", "city"});
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->num_columns(), 3);
+  EXPECT_EQ(schema->name(0), "id");
+  EXPECT_EQ(schema->name(2), "city");
+}
+
+TEST(SchemaTest, IndexOf) {
+  StatusOr<Schema> schema = Schema::Create({"a", "b"});
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->IndexOf("a"), 0);
+  EXPECT_EQ(schema->IndexOf("b"), 1);
+  EXPECT_EQ(schema->IndexOf("missing"), -1);
+}
+
+TEST(SchemaTest, RejectsDuplicateNames) {
+  StatusOr<Schema> schema = Schema::Create({"a", "b", "a"});
+  EXPECT_FALSE(schema.ok());
+  EXPECT_EQ(schema.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, RejectsEmptyName) {
+  EXPECT_FALSE(Schema::Create({"a", ""}).ok());
+}
+
+TEST(SchemaTest, RejectsTooManyColumns) {
+  std::vector<std::string> names;
+  for (int i = 0; i < kMaxAttributes + 1; ++i) {
+    names.push_back("c" + std::to_string(i));
+  }
+  EXPECT_FALSE(Schema::Create(names).ok());
+  names.pop_back();
+  EXPECT_TRUE(Schema::Create(names).ok());
+}
+
+TEST(SchemaTest, CreateUnnamed) {
+  StatusOr<Schema> schema = Schema::CreateUnnamed(3);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->num_columns(), 3);
+  EXPECT_EQ(schema->name(0), "col0");
+  EXPECT_EQ(schema->name(2), "col2");
+  EXPECT_FALSE(Schema::CreateUnnamed(-1).ok());
+  EXPECT_TRUE(Schema::CreateUnnamed(0).ok());
+}
+
+TEST(SchemaTest, Equality) {
+  Schema a = Schema::Create({"x", "y"}).value();
+  Schema b = Schema::Create({"x", "y"}).value();
+  Schema c = Schema::Create({"x", "z"}).value();
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace tane

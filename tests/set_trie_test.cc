@@ -1,0 +1,183 @@
+#include "lattice/set_trie.h"
+
+#include <algorithm>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace tane {
+namespace {
+
+TEST(SetTrieTest, InsertAndContains) {
+  SetTrie trie;
+  EXPECT_TRUE(trie.empty());
+  EXPECT_TRUE(trie.Insert(AttributeSet::Of({1, 3})));
+  EXPECT_FALSE(trie.Insert(AttributeSet::Of({1, 3})));  // duplicate
+  EXPECT_TRUE(trie.Insert(AttributeSet::Of({1})));
+  EXPECT_TRUE(trie.Insert(AttributeSet()));
+  EXPECT_EQ(trie.size(), 3u);
+  EXPECT_TRUE(trie.Contains(AttributeSet::Of({1, 3})));
+  EXPECT_TRUE(trie.Contains(AttributeSet()));
+  EXPECT_FALSE(trie.Contains(AttributeSet::Of({3})));
+  EXPECT_FALSE(trie.Contains(AttributeSet::Of({1, 2, 3})));
+}
+
+TEST(SetTrieTest, SubsetQueries) {
+  SetTrie trie;
+  trie.Insert(AttributeSet::Of({1, 3}));
+  trie.Insert(AttributeSet::Of({0, 2, 4}));
+  EXPECT_TRUE(trie.ContainsSubsetOf(AttributeSet::Of({1, 3, 5})));
+  EXPECT_TRUE(trie.ContainsSubsetOf(AttributeSet::Of({1, 3})));
+  EXPECT_FALSE(trie.ContainsSubsetOf(AttributeSet::Of({1, 2})));
+  EXPECT_FALSE(trie.ContainsSubsetOf(AttributeSet::Of({3})));
+  EXPECT_FALSE(trie.ContainsSubsetOf(AttributeSet()));
+  trie.Insert(AttributeSet());
+  EXPECT_TRUE(trie.ContainsSubsetOf(AttributeSet()));
+}
+
+TEST(SetTrieTest, SupersetQueries) {
+  SetTrie trie;
+  trie.Insert(AttributeSet::Of({1, 3}));
+  trie.Insert(AttributeSet::Of({0, 2, 4}));
+  EXPECT_TRUE(trie.ContainsSupersetOf(AttributeSet::Of({1})));
+  EXPECT_TRUE(trie.ContainsSupersetOf(AttributeSet::Of({3})));
+  EXPECT_TRUE(trie.ContainsSupersetOf(AttributeSet::Of({0, 4})));
+  EXPECT_TRUE(trie.ContainsSupersetOf(AttributeSet()));
+  EXPECT_FALSE(trie.ContainsSupersetOf(AttributeSet::Of({1, 2})));
+  EXPECT_FALSE(trie.ContainsSupersetOf(AttributeSet::Of({5})));
+}
+
+TEST(SetTrieTest, EraseAndPrune) {
+  SetTrie trie;
+  trie.Insert(AttributeSet::Of({1, 3}));
+  trie.Insert(AttributeSet::Of({1}));
+  EXPECT_TRUE(trie.Erase(AttributeSet::Of({1, 3})));
+  EXPECT_FALSE(trie.Erase(AttributeSet::Of({1, 3})));
+  EXPECT_TRUE(trie.Contains(AttributeSet::Of({1})));
+  EXPECT_FALSE(trie.ContainsSupersetOf(AttributeSet::Of({3})));
+  EXPECT_EQ(trie.size(), 1u);
+}
+
+TEST(SetTrieTest, ExtractSupersets) {
+  SetTrie trie;
+  trie.Insert(AttributeSet::Of({1}));
+  trie.Insert(AttributeSet::Of({1, 2}));
+  trie.Insert(AttributeSet::Of({1, 2, 3}));
+  trie.Insert(AttributeSet::Of({2, 3}));
+  std::vector<AttributeSet> removed =
+      trie.ExtractSupersetsOf(AttributeSet::Of({1, 2}));
+  ASSERT_EQ(removed.size(), 2u);
+  EXPECT_EQ(removed[0], AttributeSet::Of({1, 2}));
+  EXPECT_EQ(removed[1], AttributeSet::Of({1, 2, 3}));
+  EXPECT_EQ(trie.size(), 2u);
+  EXPECT_TRUE(trie.Contains(AttributeSet::Of({1})));
+  EXPECT_TRUE(trie.Contains(AttributeSet::Of({2, 3})));
+}
+
+TEST(SetTrieTest, ExtractSubsets) {
+  SetTrie trie;
+  trie.Insert(AttributeSet());
+  trie.Insert(AttributeSet::Of({1}));
+  trie.Insert(AttributeSet::Of({1, 2}));
+  trie.Insert(AttributeSet::Of({3}));
+  std::vector<AttributeSet> removed =
+      trie.ExtractSubsetsOf(AttributeSet::Of({1, 2}));
+  ASSERT_EQ(removed.size(), 3u);
+  EXPECT_EQ(removed[0], AttributeSet());
+  EXPECT_EQ(removed[1], AttributeSet::Of({1}));
+  EXPECT_EQ(removed[2], AttributeSet::Of({1, 2}));
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_TRUE(trie.Contains(AttributeSet::Of({3})));
+}
+
+TEST(SetTrieTest, EnumerateSorted) {
+  SetTrie trie;
+  trie.Insert(AttributeSet::Of({2}));
+  trie.Insert(AttributeSet::Of({0, 1}));
+  trie.Insert(AttributeSet());
+  std::vector<AttributeSet> all = trie.Enumerate();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(all.begin(), all.end()));
+}
+
+TEST(SetTrieTest, HighAttributeIndices) {
+  SetTrie trie;
+  trie.Insert(AttributeSet::Of({60, 63}));
+  EXPECT_TRUE(trie.ContainsSupersetOf(AttributeSet::Of({63})));
+  EXPECT_TRUE(trie.ContainsSubsetOf(AttributeSet::Of({59, 60, 63})));
+  EXPECT_FALSE(trie.ContainsSubsetOf(AttributeSet::Of({60, 62})));
+}
+
+// Property sweep against a straightforward std::set-based reference.
+class SetTriePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SetTriePropertyTest, MatchesReferenceImplementation) {
+  Rng rng(GetParam() * 131 + 7);
+  SetTrie trie;
+  std::set<uint64_t> reference;
+  const int universe = 10;
+
+  for (int step = 0; step < 400; ++step) {
+    const uint64_t mask = rng.NextBounded(uint64_t{1} << universe);
+    const AttributeSet set = AttributeSet::FromMask(mask);
+    const int op = static_cast<int>(rng.NextBounded(6));
+    switch (op) {
+      case 0: {
+        EXPECT_EQ(trie.Insert(set), reference.insert(mask).second);
+        break;
+      }
+      case 1: {
+        EXPECT_EQ(trie.Erase(set), reference.erase(mask) > 0);
+        break;
+      }
+      case 2: {
+        bool expected = false;
+        for (uint64_t stored : reference) {
+          if ((stored & mask) == stored) expected = true;
+        }
+        EXPECT_EQ(trie.ContainsSubsetOf(set), expected) << set.ToString();
+        break;
+      }
+      case 3: {
+        bool expected = false;
+        for (uint64_t stored : reference) {
+          if ((stored & mask) == mask) expected = true;
+        }
+        EXPECT_EQ(trie.ContainsSupersetOf(set), expected) << set.ToString();
+        break;
+      }
+      case 4: {
+        std::vector<AttributeSet> removed = trie.ExtractSupersetsOf(set);
+        std::vector<uint64_t> expected;
+        for (auto it = reference.begin(); it != reference.end();) {
+          if ((*it & mask) == mask) {
+            expected.push_back(*it);
+            it = reference.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        ASSERT_EQ(removed.size(), expected.size());
+        break;
+      }
+      default: {
+        EXPECT_EQ(trie.Contains(set), reference.count(mask) > 0);
+        break;
+      }
+    }
+    ASSERT_EQ(trie.size(), reference.size());
+  }
+  // Final full comparison.
+  std::vector<AttributeSet> all = trie.Enumerate();
+  ASSERT_EQ(all.size(), reference.size());
+  size_t i = 0;
+  for (uint64_t mask : reference) {
+    EXPECT_EQ(all[i++].mask(), mask);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SetTriePropertyTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace tane

@@ -1,0 +1,85 @@
+#include "relation/stats.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "relation/transforms.h"
+#include "tests/test_util.h"
+
+namespace tane {
+namespace {
+
+using testing_util::MakeRelation;
+
+TEST(ComputeStatsTest, BasicCountsAndFlags) {
+  Relation relation = MakeRelation(
+      {{"k", "1", "x"}, {"k", "2", "x"}, {"k", "3", "y"}}, 3);
+  RelationStats stats = ComputeStats(relation);
+  EXPECT_EQ(stats.rows, 3);
+  ASSERT_EQ(stats.columns.size(), 3u);
+
+  const ColumnStats& constant = stats.columns[0];
+  EXPECT_TRUE(constant.is_constant);
+  EXPECT_FALSE(constant.is_unique);
+  EXPECT_EQ(constant.distinct, 1);
+  EXPECT_EQ(constant.top_value, "k");
+  EXPECT_EQ(constant.top_count, 3);
+  EXPECT_DOUBLE_EQ(constant.entropy_bits, 0.0);
+
+  const ColumnStats& unique = stats.columns[1];
+  EXPECT_TRUE(unique.is_unique);
+  EXPECT_FALSE(unique.is_constant);
+  EXPECT_EQ(unique.distinct, 3);
+  EXPECT_NEAR(unique.entropy_bits, std::log2(3.0), 1e-12);
+
+  const ColumnStats& mixed = stats.columns[2];
+  EXPECT_FALSE(mixed.is_unique);
+  EXPECT_FALSE(mixed.is_constant);
+  EXPECT_EQ(mixed.distinct, 2);
+  EXPECT_EQ(mixed.top_value, "x");
+  EXPECT_EQ(mixed.top_count, 2);
+  // H(2/3, 1/3).
+  EXPECT_NEAR(mixed.entropy_bits,
+              -(2.0 / 3) * std::log2(2.0 / 3) -
+                  (1.0 / 3) * std::log2(1.0 / 3),
+              1e-12);
+}
+
+TEST(ComputeStatsTest, HelperIndexLists) {
+  Relation relation = MakeRelation(
+      {{"k", "1", "x"}, {"k", "2", "x"}, {"k", "3", "y"}}, 3);
+  RelationStats stats = ComputeStats(relation);
+  EXPECT_EQ(stats.constant_columns(), std::vector<int>{0});
+  EXPECT_EQ(stats.unique_columns(), std::vector<int>{1});
+}
+
+TEST(ComputeStatsTest, EmptyRelation) {
+  Relation relation = MakeRelation({}, 2);
+  RelationStats stats = ComputeStats(relation);
+  EXPECT_EQ(stats.rows, 0);
+  for (const ColumnStats& column : stats.columns) {
+    EXPECT_EQ(column.distinct, 0);
+    EXPECT_FALSE(column.is_constant);
+    EXPECT_FALSE(column.is_unique);
+  }
+}
+
+TEST(ComputeStatsTest, StaleDictionaryEntriesIgnored) {
+  // distinct counts occurrences, not dictionary size.
+  Relation base = MakeRelation({{"a"}, {"b"}, {"a"}, {"c"}}, 1);
+  StatusOr<Relation> head = HeadRows(base, 3);  // "c" unused but in dict
+  ASSERT_TRUE(head.ok());
+  RelationStats stats = ComputeStats(*head);
+  EXPECT_EQ(stats.columns[0].distinct, 2);
+}
+
+TEST(FormatStatsTest, RendersTable) {
+  Relation relation = MakeRelation({{"k", "1"}, {"k", "2"}}, 2);
+  const std::string table = FormatStats(ComputeStats(relation));
+  EXPECT_NE(table.find("col0"), std::string::npos);
+  EXPECT_NE(table.find("constant"), std::string::npos);
+  EXPECT_NE(table.find("unique"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tane

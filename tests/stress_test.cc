@@ -1,0 +1,213 @@
+// Edge-of-envelope tests: the widest supported schemas, degenerate
+// configurations, and the disk store's segment lifecycle.
+
+#include <filesystem>
+
+#include "core/partition_store.h"
+#include "core/tane.h"
+#include "datasets/generators.h"
+#include "datasets/paper_datasets.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace tane {
+namespace {
+
+using testing_util::ContainsFd;
+using testing_util::FdStrings;
+
+TEST(StressTest, SixtyFourAttributeRelation) {
+  // The widest supported schema: 64 columns. Keep rows tiny so the lattice
+  // collapses fast (most pairs are keys).
+  StatusOr<Relation> relation = GenerateUniform(
+      /*rows=*/30, /*cols=*/kMaxAttributes, /*cardinality=*/30, /*seed=*/3);
+  ASSERT_TRUE(relation.ok());
+  StatusOr<DiscoveryResult> result = Tane::Discover(*relation);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // With cardinality ~rows, most single columns are near-keys; sanity-check
+  // structural invariants rather than exact counts.
+  for (const FunctionalDependency& fd : result->fds) {
+    EXPECT_FALSE(fd.lhs.Contains(fd.rhs));
+    EXPECT_LT(fd.rhs, kMaxAttributes);
+  }
+  EXPECT_GT(result->num_fds(), 0);
+}
+
+TEST(StressTest, SixtyFiveColumnsRejected) {
+  std::vector<std::string> names;
+  for (int i = 0; i < 65; ++i) names.push_back("c" + std::to_string(i));
+  EXPECT_FALSE(Schema::Create(names).ok());
+}
+
+TEST(StressTest, MaxLhsZeroFindsOnlyConstantColumns) {
+  Relation relation = testing_util::MakeRelation(
+      {{"k", "1"}, {"k", "2"}, {"k", "3"}}, 2);
+  TaneConfig config;
+  config.max_lhs_size = 0;
+  StatusOr<DiscoveryResult> result = Tane::Discover(relation, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_fds(), 1);
+  EXPECT_TRUE(ContainsFd(result->fds, AttributeSet(), 0));
+}
+
+TEST(StressTest, AllColumnsIdentical) {
+  Relation relation = testing_util::MakeRelation(
+      {{"a", "a", "a"}, {"b", "b", "b"}, {"a", "a", "a"}}, 3);
+  StatusOr<DiscoveryResult> result = Tane::Discover(relation);
+  ASSERT_TRUE(result.ok());
+  // Every column determines every other: 6 singleton FDs.
+  EXPECT_EQ(result->num_fds(), 6);
+  for (const FunctionalDependency& fd : result->fds) {
+    EXPECT_EQ(fd.lhs.size(), 1);
+  }
+}
+
+TEST(StressTest, AllRowsIdentical) {
+  Relation relation = testing_util::MakeRelation(
+      {{"x", "y"}, {"x", "y"}, {"x", "y"}}, 2);
+  StatusOr<DiscoveryResult> result = Tane::Discover(relation);
+  ASSERT_TRUE(result.ok());
+  // Both columns are constant.
+  EXPECT_EQ(result->num_fds(), 2);
+  EXPECT_TRUE(ContainsFd(result->fds, AttributeSet(), 0));
+  EXPECT_TRUE(ContainsFd(result->fds, AttributeSet(), 1));
+  EXPECT_TRUE(result->keys.empty());  // duplicates leave no key
+}
+
+TEST(StressTest, WideRelationAgreesAcrossAllConfigs) {
+  StatusOr<Relation> relation = GenerateUniform(
+      /*rows=*/40, /*cols=*/24, /*cardinality=*/6, /*seed=*/8);
+  ASSERT_TRUE(relation.ok());
+  StatusOr<DiscoveryResult> baseline = Tane::Discover(*relation);
+  ASSERT_TRUE(baseline.ok());
+  TaneConfig disk;
+  disk.storage = StorageMode::kDisk;
+  StatusOr<DiscoveryResult> disk_result = Tane::Discover(*relation, disk);
+  ASSERT_TRUE(disk_result.ok());
+  EXPECT_EQ(FdStrings(disk_result->fds), FdStrings(baseline->fds));
+  TaneConfig singletons;
+  singletons.use_partition_products = false;
+  StatusOr<DiscoveryResult> singleton_result =
+      Tane::Discover(*relation, singletons);
+  ASSERT_TRUE(singleton_result.ok());
+  EXPECT_EQ(FdStrings(singleton_result->fds), FdStrings(baseline->fds));
+}
+
+TEST(StressTest, SchlimmerModeDoesMoreProducts) {
+  StatusOr<Relation> relation = GenerateUniform(60, 8, 3, /*seed=*/21);
+  ASSERT_TRUE(relation.ok());
+  StatusOr<DiscoveryResult> products = Tane::Discover(*relation);
+  TaneConfig config;
+  config.use_partition_products = false;
+  StatusOr<DiscoveryResult> singletons = Tane::Discover(*relation, config);
+  ASSERT_TRUE(products.ok() && singletons.ok());
+  EXPECT_EQ(FdStrings(products->fds), FdStrings(singletons->fds));
+  EXPECT_GT(singletons->stats.partition_products,
+            products->stats.partition_products);
+}
+
+TEST(DiskSegmentTest, SegmentsRotateAndAreReclaimed) {
+  StatusOr<std::unique_ptr<DiskPartitionStore>> store =
+      DiskPartitionStore::Open();
+  ASSERT_TRUE(store.ok());
+
+  // ~2 MB per partition; enough Puts forces several 32 MB segments.
+  const int64_t rows = 500000;
+  std::vector<int32_t> row_ids(rows);
+  std::vector<int32_t> offsets = {0, static_cast<int32_t>(rows)};
+  for (int64_t i = 0; i < rows; ++i) row_ids[i] = static_cast<int32_t>(i);
+  StrippedPartition big =
+      StrippedPartition::Create(rows, row_ids, offsets, true).value();
+
+  std::vector<int64_t> handles;
+  for (int i = 0; i < 40; ++i) {
+    StatusOr<int64_t> handle = (*store)->Put(big);
+    ASSERT_TRUE(handle.ok());
+    handles.push_back(*handle);
+  }
+  const int64_t peak_disk = (*store)->disk_bytes();
+  EXPECT_GT(peak_disk, 64 << 20);  // several segments live
+
+  // Everything reads back correctly.
+  StatusOr<StrippedPartition> loaded = (*store)->Get(handles[17]);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, big);
+
+  // Releasing the first half reclaims their (sealed) segments.
+  for (size_t i = 0; i < handles.size() / 2; ++i) {
+    TANE_ASSERT_OK((*store)->Release(handles[i]));
+  }
+  EXPECT_LT((*store)->disk_bytes(), peak_disk);
+
+  // The rest remain readable after reclamation.
+  loaded = (*store)->Get(handles.back());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, big);
+  for (size_t i = handles.size() / 2; i < handles.size(); ++i) {
+    TANE_ASSERT_OK((*store)->Release(handles[i]));
+  }
+  EXPECT_EQ((*store)->disk_bytes(), 0);
+}
+
+TEST(DiskSegmentTest, InterleavedPutGetRelease) {
+  StatusOr<std::unique_ptr<DiskPartitionStore>> store =
+      DiskPartitionStore::Open();
+  ASSERT_TRUE(store.ok());
+  std::vector<std::pair<int64_t, StrippedPartition>> live;
+  Rng rng(77);
+  for (int step = 0; step < 200; ++step) {
+    if (live.empty() || rng.NextBernoulli(0.6)) {
+      // Put a small random partition.
+      const int64_t rows = 10 + static_cast<int64_t>(rng.NextBounded(20));
+      std::vector<int32_t> ids;
+      for (int64_t i = 0; i < rows; ++i) {
+        ids.push_back(static_cast<int32_t>(i));
+      }
+      StrippedPartition partition =
+          StrippedPartition::Create(
+              rows, ids, {0, static_cast<int32_t>(rows)}, true)
+              .value();
+      StatusOr<int64_t> handle = (*store)->Put(partition);
+      ASSERT_TRUE(handle.ok());
+      live.emplace_back(*handle, std::move(partition));
+    } else {
+      const size_t pick = rng.NextBounded(live.size());
+      StatusOr<StrippedPartition> loaded = (*store)->Get(live[pick].first);
+      ASSERT_TRUE(loaded.ok());
+      EXPECT_EQ(*loaded, live[pick].second);
+      TANE_ASSERT_OK((*store)->Release(live[pick].first));
+      live.erase(live.begin() + pick);
+    }
+  }
+  for (auto& [handle, partition] : live) {
+    TANE_ASSERT_OK((*store)->Release(handle));
+  }
+  EXPECT_EQ((*store)->disk_bytes(), 0);
+}
+
+TEST(RegressionTest, PaperDatasetFdCountsPinned) {
+  // Pin the default-seed stand-in N values so accidental generator changes
+  // are caught. (These are the numbers EXPERIMENTS.md reports.)
+  struct Expected {
+    PaperDataset dataset;
+    int64_t n;
+  };
+  const Expected expected[] = {
+      {PaperDataset::kLymphography, 2550},
+      {PaperDataset::kHepatitis, 6317},
+      {PaperDataset::kWisconsinBreastCancer, 414},
+      {PaperDataset::kChess, 1},
+  };
+  for (const Expected& e : expected) {
+    StatusOr<Relation> relation = MakePaperDataset(e.dataset);
+    ASSERT_TRUE(relation.ok());
+    StatusOr<DiscoveryResult> result = Tane::Discover(*relation);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->num_fds(), e.n)
+        << GetPaperDatasetInfo(e.dataset).name;
+  }
+}
+
+}  // namespace
+}  // namespace tane

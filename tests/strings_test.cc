@@ -1,0 +1,102 @@
+#include "util/strings.h"
+
+#include "gtest/gtest.h"
+
+namespace tane {
+namespace {
+
+TEST(SplitStringTest, BasicSplit) {
+  auto parts = SplitString("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitStringTest, KeepsEmptyFields) {
+  auto parts = SplitString("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(SplitStringTest, NoSeparator) {
+  auto parts = SplitString("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(SplitStringTest, EmptyInputGivesOneEmptyField) {
+  auto parts = SplitString("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(StripWhitespaceTest, StripsBothEnds) {
+  EXPECT_EQ(StripWhitespace("  x y  "), "x y");
+  EXPECT_EQ(StripWhitespace("\t\nx\r "), "x");
+  EXPECT_EQ(StripWhitespace("x"), "x");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+}
+
+TEST(JoinStringsTest, JoinsWithSeparator) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({"solo"}, ","), "solo");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+}
+
+TEST(ParseInt64Test, ParsesValidIntegers) {
+  int64_t value = 0;
+  EXPECT_TRUE(ParseInt64("42", &value));
+  EXPECT_EQ(value, 42);
+  EXPECT_TRUE(ParseInt64("-7", &value));
+  EXPECT_EQ(value, -7);
+  EXPECT_TRUE(ParseInt64("  13  ", &value));
+  EXPECT_EQ(value, 13);
+}
+
+TEST(ParseInt64Test, RejectsGarbage) {
+  int64_t value = 0;
+  EXPECT_FALSE(ParseInt64("", &value));
+  EXPECT_FALSE(ParseInt64("12x", &value));
+  EXPECT_FALSE(ParseInt64("x12", &value));
+  EXPECT_FALSE(ParseInt64("1.5", &value));
+  EXPECT_FALSE(ParseInt64("99999999999999999999999", &value));
+}
+
+TEST(ParseDoubleTest, ParsesValidDoubles) {
+  double value = 0;
+  EXPECT_TRUE(ParseDouble("0.25", &value));
+  EXPECT_DOUBLE_EQ(value, 0.25);
+  EXPECT_TRUE(ParseDouble("-3e2", &value));
+  EXPECT_DOUBLE_EQ(value, -300.0);
+}
+
+TEST(ParseDoubleTest, RejectsGarbage) {
+  double value = 0;
+  EXPECT_FALSE(ParseDouble("", &value));
+  EXPECT_FALSE(ParseDouble("1.5abc", &value));
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("--scale=full", "--scale="));
+  EXPECT_FALSE(StartsWith("-s", "--scale="));
+  EXPECT_TRUE(StartsWith("x", ""));
+}
+
+TEST(FormatSecondsTest, MatchesPaperStyle) {
+  EXPECT_EQ(FormatSeconds(0.76), "0.760");
+  EXPECT_EQ(FormatSeconds(68.2), "68.20");
+  EXPECT_EQ(FormatSeconds(1451.0), "1451");
+  EXPECT_EQ(FormatSeconds(0.001), "0.0010");
+}
+
+TEST(FormatCountTest, PlainIntegers) {
+  EXPECT_EQ(FormatCount(2730), "2730");
+  EXPECT_EQ(FormatCount(0), "0");
+  EXPECT_EQ(FormatCount(-3), "-3");
+}
+
+}  // namespace
+}  // namespace tane

@@ -1,0 +1,94 @@
+#include <filesystem>
+
+#include "core/tane.h"
+#include "datasets/generators.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace tane {
+namespace {
+
+using testing_util::FdStrings;
+using testing_util::PaperFigure1Relation;
+
+TEST(TaneDiskTest, DiskModeMatchesMemoryModeOnPaperExample) {
+  TaneConfig disk;
+  disk.storage = StorageMode::kDisk;
+  StatusOr<DiscoveryResult> disk_result =
+      Tane::Discover(PaperFigure1Relation(), disk);
+  ASSERT_TRUE(disk_result.ok()) << disk_result.status().ToString();
+  StatusOr<DiscoveryResult> mem_result =
+      Tane::Discover(PaperFigure1Relation());
+  ASSERT_TRUE(mem_result.ok());
+  EXPECT_EQ(FdStrings(disk_result->fds), FdStrings(mem_result->fds));
+  EXPECT_EQ(disk_result->keys, mem_result->keys);
+}
+
+TEST(TaneDiskTest, DiskModeWritesSpillBytes) {
+  TaneConfig disk;
+  disk.storage = StorageMode::kDisk;
+  StatusOr<DiscoveryResult> result =
+      Tane::Discover(PaperFigure1Relation(), disk);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->stats.spill_bytes_written, 0);
+}
+
+TEST(TaneDiskTest, NamedSpillDirectoryIsCleanedUp) {
+  const std::string directory = ::testing::TempDir() + "/tane_disk_test_spill";
+  std::filesystem::remove_all(directory);
+  TaneConfig disk;
+  disk.storage = StorageMode::kDisk;
+  disk.spill_directory = directory;
+  StatusOr<DiscoveryResult> result =
+      Tane::Discover(PaperFigure1Relation(), disk);
+  ASSERT_TRUE(result.ok());
+  // The store created (and therefore owns and removed) the directory.
+  EXPECT_FALSE(std::filesystem::exists(directory));
+}
+
+TEST(TaneDiskTest, DiskModeMatchesMemoryOnSyntheticData) {
+  StatusOr<Relation> relation = GenerateUniform(
+      /*rows=*/200, /*cols=*/6, /*cardinality=*/4, /*seed=*/11);
+  ASSERT_TRUE(relation.ok());
+  TaneConfig disk;
+  disk.storage = StorageMode::kDisk;
+  StatusOr<DiscoveryResult> disk_result = Tane::Discover(*relation, disk);
+  StatusOr<DiscoveryResult> mem_result = Tane::Discover(*relation);
+  ASSERT_TRUE(disk_result.ok() && mem_result.ok());
+  EXPECT_EQ(FdStrings(disk_result->fds), FdStrings(mem_result->fds));
+}
+
+TEST(TaneDiskTest, DiskModeApproximateMatchesMemory) {
+  StatusOr<Relation> relation = GenerateUniform(
+      /*rows=*/120, /*cols=*/5, /*cardinality=*/3, /*seed=*/5);
+  ASSERT_TRUE(relation.ok());
+  for (double epsilon : {0.05, 0.2}) {
+    TaneConfig disk;
+    disk.storage = StorageMode::kDisk;
+    disk.epsilon = epsilon;
+    TaneConfig mem;
+    mem.epsilon = epsilon;
+    StatusOr<DiscoveryResult> disk_result = Tane::Discover(*relation, disk);
+    StatusOr<DiscoveryResult> mem_result = Tane::Discover(*relation, mem);
+    ASSERT_TRUE(disk_result.ok() && mem_result.ok());
+    EXPECT_EQ(FdStrings(disk_result->fds), FdStrings(mem_result->fds))
+        << "eps=" << epsilon;
+  }
+}
+
+TEST(TaneDiskTest, MemoryModeResidencyExceedsDiskMode) {
+  StatusOr<Relation> relation = GenerateUniform(
+      /*rows=*/300, /*cols=*/7, /*cardinality=*/3, /*seed=*/17);
+  ASSERT_TRUE(relation.ok());
+  TaneConfig disk;
+  disk.storage = StorageMode::kDisk;
+  StatusOr<DiscoveryResult> disk_result = Tane::Discover(*relation, disk);
+  StatusOr<DiscoveryResult> mem_result = Tane::Discover(*relation);
+  ASSERT_TRUE(disk_result.ok() && mem_result.ok());
+  // The disk variant keeps only an O(1) cache resident.
+  EXPECT_LT(disk_result->stats.peak_partition_bytes,
+            mem_result->stats.peak_partition_bytes);
+}
+
+}  // namespace
+}  // namespace tane

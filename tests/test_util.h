@@ -1,0 +1,86 @@
+#ifndef TANE_TESTS_TEST_UTIL_H_
+#define TANE_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/fd.h"
+#include "gtest/gtest.h"
+#include "relation/relation.h"
+#include "relation/relation_builder.h"
+#include "util/status.h"
+
+namespace tane {
+namespace testing_util {
+
+// Builds a relation from rows of string fields with generated column names
+// col0..colN-1. Aborts the test on failure.
+inline Relation MakeRelation(
+    const std::vector<std::vector<std::string>>& rows, int num_columns) {
+  StatusOr<Schema> schema = Schema::CreateUnnamed(num_columns);
+  EXPECT_TRUE(schema.ok()) << schema.status().ToString();
+  RelationBuilder builder(std::move(schema).value());
+  for (const auto& row : rows) {
+    Status status = builder.AddRow(row);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  }
+  StatusOr<Relation> relation = std::move(builder).Build();
+  EXPECT_TRUE(relation.ok()) << relation.status().ToString();
+  return std::move(relation).value();
+}
+
+// The example relation of the paper's Figure 1 (columns A, B, C, D).
+inline Relation PaperFigure1Relation() {
+  return MakeRelation(
+      {
+          {"1", "a", "$", "Flower"},
+          {"1", "A", "L", "Tulip"},
+          {"2", "A", "$", "Daffodil"},
+          {"2", "A", "$", "Flower"},
+          {"2", "b", "L", "Lily"},
+          {"3", "b", "$", "Orchid"},
+          {"3", "c", "L", "Flower"},
+          {"3", "c", "#", "Rose"},
+      },
+      4);
+}
+
+// Renders FDs as "{0,1} -> 2" strings (raw indices) for diffable asserts.
+inline std::vector<std::string> FdStrings(
+    const std::vector<FunctionalDependency>& fds) {
+  std::vector<std::string> out;
+  out.reserve(fds.size());
+  for (const FunctionalDependency& fd : fds) {
+    out.push_back(fd.lhs.ToString() + " -> " + std::to_string(fd.rhs));
+  }
+  return out;
+}
+
+// True when `fds` contains lhs -> rhs.
+inline bool ContainsFd(const std::vector<FunctionalDependency>& fds,
+                       AttributeSet lhs, int rhs) {
+  for (const FunctionalDependency& fd : fds) {
+    if (fd.lhs == lhs && fd.rhs == rhs) return true;
+  }
+  return false;
+}
+
+}  // namespace testing_util
+}  // namespace tane
+
+#define TANE_ASSERT_OK(expr)                                 \
+  do {                                                       \
+    const ::tane::Status tane_test_status = (expr);          \
+    ASSERT_TRUE(tane_test_status.ok()) << tane_test_status.ToString(); \
+  } while (false)
+
+#define TANE_ASSERT_OK_AND_ASSIGN(lhs, expr)        \
+  auto TANE_STATUS_MACRO_CONCAT_(tane_test_sor_,    \
+                                 __LINE__) = (expr);                    \
+  ASSERT_TRUE(TANE_STATUS_MACRO_CONCAT_(tane_test_sor_, __LINE__).ok()) \
+      << TANE_STATUS_MACRO_CONCAT_(tane_test_sor_, __LINE__)            \
+             .status()                                                  \
+             .ToString();                                               \
+  lhs = std::move(TANE_STATUS_MACRO_CONCAT_(tane_test_sor_, __LINE__)).value()
+
+#endif  // TANE_TESTS_TEST_UTIL_H_

@@ -1,0 +1,137 @@
+#include "relation/transforms.h"
+
+#include <set>
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace tane {
+namespace {
+
+using testing_util::MakeRelation;
+
+TEST(ConcatenateCopiesTest, RowCountScales) {
+  Relation base = MakeRelation({{"a", "1"}, {"b", "2"}}, 2);
+  StatusOr<Relation> scaled = ConcatenateCopies(base, 3);
+  ASSERT_TRUE(scaled.ok());
+  EXPECT_EQ(scaled->num_rows(), 6);
+  EXPECT_EQ(scaled->num_columns(), 2);
+}
+
+TEST(ConcatenateCopiesTest, CopiesNeverAgreeAcrossCopies) {
+  Relation base = MakeRelation({{"a"}, {"a"}, {"b"}}, 1);
+  StatusOr<Relation> scaled = ConcatenateCopies(base, 2);
+  ASSERT_TRUE(scaled.ok());
+  // Within a copy, original agreement is preserved.
+  EXPECT_TRUE(scaled->Agrees(0, 1, 0));
+  EXPECT_TRUE(scaled->Agrees(3, 4, 0));
+  // Across copies, the per-copy suffix breaks every agreement.
+  for (int64_t t = 0; t < 3; ++t) {
+    for (int64_t u = 3; u < 6; ++u) {
+      EXPECT_FALSE(scaled->Agrees(t, u, 0))
+          << "rows " << t << " and " << u << " should not agree";
+    }
+  }
+}
+
+TEST(ConcatenateCopiesTest, ValuesCarryCopySuffix) {
+  Relation base = MakeRelation({{"x"}}, 1);
+  StatusOr<Relation> scaled = ConcatenateCopies(base, 2);
+  ASSERT_TRUE(scaled.ok());
+  EXPECT_EQ(scaled->value(0, 0), "x#0");
+  EXPECT_EQ(scaled->value(1, 0), "x#1");
+}
+
+TEST(ConcatenateCopiesTest, OneCopyPreservesPartitionStructure) {
+  Relation base = MakeRelation({{"a"}, {"b"}, {"a"}}, 1);
+  StatusOr<Relation> scaled = ConcatenateCopies(base, 1);
+  ASSERT_TRUE(scaled.ok());
+  EXPECT_EQ(scaled->num_rows(), 3);
+  EXPECT_TRUE(scaled->Agrees(0, 2, 0));
+  EXPECT_FALSE(scaled->Agrees(0, 1, 0));
+}
+
+TEST(ConcatenateCopiesTest, RejectsZeroCopies) {
+  Relation base = MakeRelation({{"a"}}, 1);
+  EXPECT_FALSE(ConcatenateCopies(base, 0).ok());
+}
+
+TEST(ProjectColumnsTest, SelectsAndReorders) {
+  Relation base = MakeRelation({{"1", "x", "p"}, {"2", "y", "q"}}, 3);
+  StatusOr<Relation> projected = ProjectColumns(base, {2, 0});
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ(projected->num_columns(), 2);
+  EXPECT_EQ(projected->schema().name(0), "col2");
+  EXPECT_EQ(projected->value(0, 0), "p");
+  EXPECT_EQ(projected->value(1, 1), "2");
+}
+
+TEST(ProjectColumnsTest, RejectsBadIndex) {
+  Relation base = MakeRelation({{"1"}}, 1);
+  EXPECT_FALSE(ProjectColumns(base, {1}).ok());
+  EXPECT_FALSE(ProjectColumns(base, {-1}).ok());
+}
+
+TEST(HeadRowsTest, KeepsPrefix) {
+  Relation base = MakeRelation({{"1"}, {"2"}, {"3"}}, 1);
+  StatusOr<Relation> head = HeadRows(base, 2);
+  ASSERT_TRUE(head.ok());
+  EXPECT_EQ(head->num_rows(), 2);
+  EXPECT_EQ(head->value(1, 0), "2");
+}
+
+TEST(HeadRowsTest, ClampsToAvailableRows) {
+  Relation base = MakeRelation({{"1"}}, 1);
+  StatusOr<Relation> head = HeadRows(base, 10);
+  ASSERT_TRUE(head.ok());
+  EXPECT_EQ(head->num_rows(), 1);
+  EXPECT_FALSE(HeadRows(base, -1).ok());
+}
+
+TEST(SampleRowsTest, SampleSizeAndOrderPreserved) {
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 100; ++i) rows.push_back({std::to_string(i)});
+  Relation base = MakeRelation(rows, 1);
+  Rng rng(7);
+  StatusOr<Relation> sample = SampleRows(base, 10, rng);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample->num_rows(), 10);
+  // Sampled rows appear in original order and are distinct.
+  std::set<std::string> seen;
+  int64_t prev = -1;
+  for (int64_t row = 0; row < sample->num_rows(); ++row) {
+    int64_t id = std::stoll(sample->value(row, 0));
+    EXPECT_GT(id, prev);
+    prev = id;
+    EXPECT_TRUE(seen.insert(sample->value(row, 0)).second);
+  }
+}
+
+TEST(SampleRowsTest, DeterministicInSeed) {
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 50; ++i) rows.push_back({std::to_string(i)});
+  Relation base = MakeRelation(rows, 1);
+  Rng rng_a(3), rng_b(3);
+  StatusOr<Relation> a = SampleRows(base, 5, rng_a);
+  StatusOr<Relation> b = SampleRows(base, 5, rng_b);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (int64_t row = 0; row < 5; ++row) {
+    EXPECT_EQ(a->value(row, 0), b->value(row, 0));
+  }
+}
+
+TEST(CompactDictionariesTest, DropsUnusedEntriesKeepsStructure) {
+  Relation base = MakeRelation({{"a"}, {"b"}, {"a"}, {"c"}}, 1);
+  StatusOr<Relation> head = HeadRows(base, 3);  // value "c" now unused
+  ASSERT_TRUE(head.ok());
+  EXPECT_EQ(head->column(0).cardinality(), 3);  // stale dictionary
+  Relation compacted = CompactDictionaries(head.value());
+  EXPECT_EQ(compacted.column(0).cardinality(), 2);
+  EXPECT_EQ(compacted.value(0, 0), "a");
+  EXPECT_EQ(compacted.value(1, 0), "b");
+  EXPECT_TRUE(compacted.Agrees(0, 2, 0));
+  EXPECT_FALSE(compacted.Agrees(0, 1, 0));
+}
+
+}  // namespace
+}  // namespace tane

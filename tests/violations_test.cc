@@ -1,0 +1,110 @@
+#include "analysis/violations.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace tane {
+namespace {
+
+using testing_util::MakeRelation;
+using testing_util::PaperFigure1Relation;
+
+TEST(MeasureG3Test, MatchesHandComputedValues) {
+  // From the paper's example: g3({A} -> B) = 3/8, g3({B,C} -> A) = 0.
+  Relation relation = PaperFigure1Relation();
+  StatusOr<double> ab = MeasureG3(relation, {AttributeSet::Of({0}), 1, 0.0});
+  ASSERT_TRUE(ab.ok());
+  EXPECT_DOUBLE_EQ(*ab, 3.0 / 8.0);
+  StatusOr<double> bca =
+      MeasureG3(relation, {AttributeSet::Of({1, 2}), 0, 0.0});
+  ASSERT_TRUE(bca.ok());
+  EXPECT_DOUBLE_EQ(*bca, 0.0);
+}
+
+TEST(MeasureG3Test, ValidatesFd) {
+  Relation relation = PaperFigure1Relation();
+  EXPECT_FALSE(MeasureG3(relation, {AttributeSet::Of({0}), 9, 0.0}).ok());
+  EXPECT_FALSE(MeasureG3(relation, {AttributeSet::Of({0}), 0, 0.0}).ok());
+  EXPECT_FALSE(
+      MeasureG3(relation, {AttributeSet::Of({0, 60}), 1, 0.0}).ok());
+}
+
+TEST(ExceptionalRowsTest, RemovalMakesFdExact) {
+  Relation relation = MakeRelation(
+      {{"x", "1"}, {"x", "1"}, {"x", "2"}, {"y", "3"}, {"y", "3"},
+       {"y", "4"}, {"y", "4"}, {"y", "4"}},
+      2);
+  const FunctionalDependency fd{AttributeSet::Of({0}), 1, 0.0};
+  StatusOr<std::vector<int64_t>> rows = ExceptionalRows(relation, fd);
+  ASSERT_TRUE(rows.ok());
+  StatusOr<double> error = MeasureG3(relation, fd);
+  ASSERT_TRUE(error.ok());
+  // |exceptional rows| equals the g3 removal count...
+  EXPECT_EQ(static_cast<double>(rows->size()) / relation.num_rows(), *error);
+  EXPECT_EQ(rows->size(), 3u);  // one from the x-class, two from the y-class
+
+  // ...and removing them makes the dependency hold exactly.
+  std::vector<std::vector<std::string>> kept;
+  size_t next_removed = 0;
+  for (int64_t row = 0; row < relation.num_rows(); ++row) {
+    if (next_removed < rows->size() && (*rows)[next_removed] == row) {
+      ++next_removed;
+      continue;
+    }
+    kept.push_back({relation.value(row, 0), relation.value(row, 1)});
+  }
+  Relation cleaned = MakeRelation(kept, 2);
+  StatusOr<double> cleaned_error = MeasureG3(cleaned, fd);
+  ASSERT_TRUE(cleaned_error.ok());
+  EXPECT_DOUBLE_EQ(*cleaned_error, 0.0);
+}
+
+TEST(ExceptionalRowsTest, ExactFdHasNoExceptions) {
+  Relation relation = PaperFigure1Relation();
+  StatusOr<std::vector<int64_t>> rows =
+      ExceptionalRows(relation, {AttributeSet::Of({1, 2}), 0, 0.0});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST(ExceptionalRowsTest, DeterministicTieBreak) {
+  // Two equally large rhs-groups: the one with the smaller code is kept.
+  Relation relation = MakeRelation({{"x", "1"}, {"x", "2"}}, 2);
+  StatusOr<std::vector<int64_t>> rows =
+      ExceptionalRows(relation, {AttributeSet::Of({0}), 1, 0.0});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0], 1);  // "1" was encoded first, so row 1 is removed
+}
+
+TEST(ViolatingPairsTest, FindsWitnesses) {
+  Relation relation = PaperFigure1Relation();
+  // {A} -> B is violated e.g. by rows (0,1): equal A, different B.
+  StatusOr<std::vector<std::pair<int64_t, int64_t>>> pairs =
+      ViolatingPairs(relation, {AttributeSet::Of({0}), 1, 0.0}, 100);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_FALSE(pairs->empty());
+  for (const auto& [t, u] : *pairs) {
+    EXPECT_TRUE(relation.Agrees(t, u, 0));
+    EXPECT_FALSE(relation.Agrees(t, u, 1));
+  }
+}
+
+TEST(ViolatingPairsTest, LimitRespected) {
+  Relation relation = PaperFigure1Relation();
+  StatusOr<std::vector<std::pair<int64_t, int64_t>>> pairs =
+      ViolatingPairs(relation, {AttributeSet::Of({0}), 1, 0.0}, 2);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_EQ(pairs->size(), 2u);
+}
+
+TEST(ViolatingPairsTest, NoneForExactFd) {
+  Relation relation = PaperFigure1Relation();
+  StatusOr<std::vector<std::pair<int64_t, int64_t>>> pairs =
+      ViolatingPairs(relation, {AttributeSet::Of({1, 2}), 0, 0.0}, 100);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_TRUE(pairs->empty());
+}
+
+}  // namespace
+}  // namespace tane

@@ -1,0 +1,455 @@
+#include "tools/cli.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "analysis/closure.h"
+#include "analysis/key_discovery.h"
+#include "analysis/keys.h"
+#include "analysis/normalization.h"
+#include "analysis/violations.h"
+#include "core/tane.h"
+#include "datasets/paper_datasets.h"
+#include "relation/csv.h"
+#include "relation/stats.h"
+#include "relation/transforms.h"
+#include "rules/association.h"
+#include "util/strings.h"
+
+namespace tane {
+namespace cli {
+namespace {
+
+constexpr const char* kUsage = R"(tane — functional dependency profiler
+
+usage: tane <command> [options]
+
+commands:
+  discover <file.csv>   mine all minimal (approximate) dependencies
+      --epsilon=E       g3 threshold in [0,1] (default 0 = exact FDs)
+      --max-lhs=N       bound on left-hand-side size
+      --disk            keep partitions on disk (the scalable TANE)
+      --format=F        text (default), json, or csv
+      --stats           print search statistics
+  keys <file.csv>       mine all minimal (approximate) keys
+      --epsilon=E       key error threshold (default 0)
+  check <file.csv> --fd=LHS->RHS
+                        measure one dependency: g1, g2, g3, violations
+  violations <file.csv> --fd=LHS->RHS [--limit=N]
+                        list the exceptional rows behind a dependency
+  normalize <file.csv>  minimal cover, candidate keys, BCNF decomposition
+  profile <file.csv>    per-column statistics (cardinality, entropy, flags)
+  rules <file.csv>      association rules between attribute-value pairs
+      --min-support=S   itemset support threshold (default 0.1)
+      --min-confidence=C rule confidence threshold (default 0.8)
+      --limit=N         print at most N rules (default 50)
+  generate <dataset>    write a synthetic stand-in dataset as CSV to stdout
+      dataset           lymphography|hepatitis|wbc|chess|adult
+      --rows=N          override the row count
+      --copies=K        concatenate K suffixed copies (the paper's "xK")
+      --seed=S          generator seed (default 42)
+  help                  show this message
+
+shared CSV options: --no-header, --delimiter=C
+)";
+
+struct ParsedArgs {
+  std::string command;
+  std::vector<std::string> positional;
+  // Flag name -> value ("" for bare flags).
+  std::vector<std::pair<std::string, std::string>> flags;
+
+  const std::string* Flag(const std::string& name) const {
+    for (const auto& [key, value] : flags) {
+      if (key == name) return &value;
+    }
+    return nullptr;
+  }
+};
+
+StatusOr<ParsedArgs> ParseArgs(const std::vector<std::string>& args) {
+  ParsedArgs parsed;
+  if (args.empty()) return Status::InvalidArgument("missing command");
+  parsed.command = args[0];
+  for (size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (StartsWith(arg, "--")) {
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        parsed.flags.emplace_back(arg.substr(2), "");
+      } else {
+        parsed.flags.emplace_back(arg.substr(2, eq - 2), arg.substr(eq + 1));
+      }
+    } else {
+      parsed.positional.push_back(arg);
+    }
+  }
+  return parsed;
+}
+
+StatusOr<double> FlagAsDouble(const ParsedArgs& args, const std::string& name,
+                              double fallback) {
+  const std::string* raw = args.Flag(name);
+  if (raw == nullptr) return fallback;
+  double value = 0;
+  if (!ParseDouble(*raw, &value)) {
+    return Status::InvalidArgument("bad --" + name + " value: " + *raw);
+  }
+  return value;
+}
+
+StatusOr<int64_t> FlagAsInt(const ParsedArgs& args, const std::string& name,
+                            int64_t fallback) {
+  const std::string* raw = args.Flag(name);
+  if (raw == nullptr) return fallback;
+  int64_t value = 0;
+  if (!ParseInt64(*raw, &value)) {
+    return Status::InvalidArgument("bad --" + name + " value: " + *raw);
+  }
+  return value;
+}
+
+StatusOr<Relation> LoadCsv(const ParsedArgs& args) {
+  if (args.positional.empty()) {
+    return Status::InvalidArgument("missing input file");
+  }
+  CsvOptions options;
+  options.has_header = args.Flag("no-header") == nullptr;
+  if (const std::string* delim = args.Flag("delimiter")) {
+    if (delim->size() != 1) {
+      return Status::InvalidArgument("--delimiter must be one character");
+    }
+    options.delimiter = (*delim)[0];
+  }
+  return ReadCsvFile(args.positional[0], options);
+}
+
+Status RunDiscover(const ParsedArgs& args, std::ostream& out) {
+  TANE_ASSIGN_OR_RETURN(Relation relation, LoadCsv(args));
+  TaneConfig config;
+  TANE_ASSIGN_OR_RETURN(config.epsilon, FlagAsDouble(args, "epsilon", 0.0));
+  TANE_ASSIGN_OR_RETURN(int64_t max_lhs,
+                        FlagAsInt(args, "max-lhs", kMaxAttributes));
+  config.max_lhs_size = static_cast<int>(max_lhs);
+  if (args.Flag("disk") != nullptr) config.storage = StorageMode::kDisk;
+
+  TANE_ASSIGN_OR_RETURN(DiscoveryResult result,
+                        Tane::Discover(relation, config));
+  const Schema& schema = relation.schema();
+
+  const std::string* format = args.Flag("format");
+  const std::string format_name = format == nullptr ? "text" : *format;
+  if (format_name == "json") {
+    out << "{\n  \"num_fds\": " << result.num_fds() << ",\n  \"fds\": [\n";
+    for (size_t i = 0; i < result.fds.size(); ++i) {
+      out << "    " << FdToJson(result.fds[i], schema)
+          << (i + 1 < result.fds.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"keys\": [\n";
+    for (size_t i = 0; i < result.keys.size(); ++i) {
+      out << "    \"" << JsonEscape(result.keys[i].ToString(schema)) << "\""
+          << (i + 1 < result.keys.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+  } else if (format_name == "csv") {
+    out << "lhs,rhs,g3_error\n";
+    for (const FunctionalDependency& fd : result.fds) {
+      std::vector<std::string> names;
+      for (int a : Members(fd.lhs)) names.push_back(schema.name(a));
+      out << "\"" << JoinStrings(names, ";") << "\"," << schema.name(fd.rhs)
+          << "," << fd.error << "\n";
+    }
+  } else if (format_name == "text") {
+    out << "# " << result.num_fds() << " minimal dependencies, "
+        << result.keys.size() << " minimal keys\n";
+    for (const FunctionalDependency& fd : result.fds) {
+      out << fd.ToString(schema);
+      if (fd.error > 0) out << "   (g3=" << fd.error << ")";
+      out << "\n";
+    }
+    for (AttributeSet key : result.keys) {
+      out << "key: " << key.ToString(schema) << "\n";
+    }
+  } else {
+    return Status::InvalidArgument("unknown --format: " + format_name);
+  }
+
+  if (args.Flag("stats") != nullptr) {
+    const DiscoveryStats& stats = result.stats;
+    out << "# levels=" << stats.levels_processed
+        << " sets=" << stats.sets_generated
+        << " validity_tests=" << stats.validity_tests
+        << " products=" << stats.partition_products
+        << " g3_scans=" << stats.g3_scans
+        << " g3_scans_skipped=" << stats.g3_scans_skipped
+        << " peak_partition_bytes=" << stats.peak_partition_bytes
+        << " spill_bytes=" << stats.spill_bytes_written
+        << " seconds=" << stats.wall_seconds << "\n";
+  }
+  return Status::OK();
+}
+
+Status RunKeys(const ParsedArgs& args, std::ostream& out) {
+  TANE_ASSIGN_OR_RETURN(Relation relation, LoadCsv(args));
+  KeyDiscoveryOptions options;
+  TANE_ASSIGN_OR_RETURN(options.epsilon, FlagAsDouble(args, "epsilon", 0.0));
+  TANE_ASSIGN_OR_RETURN(std::vector<DiscoveredKey> keys,
+                        DiscoverKeys(relation, options));
+  out << "# " << keys.size() << " minimal keys (epsilon=" << options.epsilon
+      << ")\n";
+  for (const DiscoveredKey& key : keys) {
+    out << key.attributes.ToString(relation.schema());
+    if (key.error > 0) out << "   (error=" << key.error << ")";
+    out << "\n";
+  }
+  return Status::OK();
+}
+
+StatusOr<FunctionalDependency> FdFromArgs(const ParsedArgs& args,
+                                          const Schema& schema) {
+  const std::string* fd_text = args.Flag("fd");
+  if (fd_text == nullptr) {
+    return Status::InvalidArgument("missing --fd=LHS->RHS");
+  }
+  return ParseFd(*fd_text, schema);
+}
+
+Status RunCheck(const ParsedArgs& args, std::ostream& out) {
+  TANE_ASSIGN_OR_RETURN(Relation relation, LoadCsv(args));
+  TANE_ASSIGN_OR_RETURN(FunctionalDependency fd,
+                        FdFromArgs(args, relation.schema()));
+  TANE_ASSIGN_OR_RETURN(double g3, MeasureG3(relation, fd));
+  TANE_ASSIGN_OR_RETURN(std::vector<int64_t> exceptional,
+                        ExceptionalRows(relation, fd));
+  out << fd.ToString(relation.schema()) << "\n";
+  out << "g3 error:         " << g3 << (g3 == 0 ? "  (holds exactly)" : "")
+      << "\n";
+  out << "exceptional rows: " << exceptional.size() << " of "
+      << relation.num_rows() << "\n";
+  return Status::OK();
+}
+
+Status RunViolations(const ParsedArgs& args, std::ostream& out) {
+  TANE_ASSIGN_OR_RETURN(Relation relation, LoadCsv(args));
+  TANE_ASSIGN_OR_RETURN(FunctionalDependency fd,
+                        FdFromArgs(args, relation.schema()));
+  TANE_ASSIGN_OR_RETURN(int64_t limit, FlagAsInt(args, "limit", 20));
+  TANE_ASSIGN_OR_RETURN(std::vector<int64_t> rows,
+                        ExceptionalRows(relation, fd));
+  out << "# " << rows.size() << " exceptional rows for "
+      << fd.ToString(relation.schema()) << "\n";
+  const Schema& schema = relation.schema();
+  for (size_t i = 0; i < rows.size() && static_cast<int64_t>(i) < limit;
+       ++i) {
+    out << "row " << rows[i] << ":";
+    for (int a : Members(fd.lhs.With(fd.rhs))) {
+      out << " " << schema.name(a) << "=" << relation.value(rows[i], a);
+    }
+    out << "\n";
+  }
+  return Status::OK();
+}
+
+Status RunNormalize(const ParsedArgs& args, std::ostream& out) {
+  TANE_ASSIGN_OR_RETURN(Relation relation, LoadCsv(args));
+  TANE_ASSIGN_OR_RETURN(DiscoveryResult result, Tane::Discover(relation));
+  const Schema& schema = relation.schema();
+  const int n = relation.num_columns();
+
+  std::vector<FunctionalDependency> cover = MinimalCover(result.fds);
+  out << "# minimal cover (" << cover.size() << " rules)\n";
+  for (const FunctionalDependency& fd : cover) {
+    out << fd.ToString(schema) << "\n";
+  }
+
+  std::vector<AttributeSet> keys = CandidateKeys(n, result.fds);
+  out << "# candidate keys (" << keys.size() << ")\n";
+  for (AttributeSet key : keys) out << key.ToString(schema) << "\n";
+
+  const std::vector<BcnfViolation> violations =
+      FindBcnfViolations(n, result.fds);
+  out << "# bcnf violations: " << violations.size() << "\n";
+  out << "# proposed decomposition\n"
+      << DescribeDecomposition(schema, DecomposeToBcnf(n, result.fds));
+  return Status::OK();
+}
+
+Status RunProfile(const ParsedArgs& args, std::ostream& out) {
+  TANE_ASSIGN_OR_RETURN(Relation relation, LoadCsv(args));
+  const RelationStats stats = ComputeStats(relation);
+  out << "# " << stats.rows << " rows, " << relation.num_columns()
+      << " columns\n";
+  out << FormatStats(stats);
+  const std::vector<int> constants = stats.constant_columns();
+  const std::vector<int> uniques = stats.unique_columns();
+  if (!constants.empty()) {
+    out << "# constant columns imply {} -> column dependencies\n";
+  }
+  if (!uniques.empty()) {
+    out << "# unique columns are unary keys and determine every column\n";
+  }
+  return Status::OK();
+}
+
+Status RunRules(const ParsedArgs& args, std::ostream& out) {
+  TANE_ASSIGN_OR_RETURN(Relation relation, LoadCsv(args));
+  AssociationMiningOptions options;
+  TANE_ASSIGN_OR_RETURN(options.min_support,
+                        FlagAsDouble(args, "min-support", 0.1));
+  TANE_ASSIGN_OR_RETURN(options.min_confidence,
+                        FlagAsDouble(args, "min-confidence", 0.8));
+  TANE_ASSIGN_OR_RETURN(int64_t limit, FlagAsInt(args, "limit", 50));
+  TANE_ASSIGN_OR_RETURN(std::vector<AssociationRule> rules,
+                        MineAssociationRules(relation, options));
+  out << "# " << rules.size() << " rules (min_support=" << options.min_support
+      << ", min_confidence=" << options.min_confidence << ")\n";
+  for (size_t i = 0; i < rules.size() && static_cast<int64_t>(i) < limit;
+       ++i) {
+    out << rules[i].ToString(relation) << "\n";
+  }
+  return Status::OK();
+}
+
+Status RunGenerate(const ParsedArgs& args, std::ostream& out) {
+  if (args.positional.empty()) {
+    return Status::InvalidArgument("missing dataset name");
+  }
+  TANE_ASSIGN_OR_RETURN(PaperDataset dataset,
+                        ParsePaperDatasetName(args.positional[0]));
+  TANE_ASSIGN_OR_RETURN(int64_t rows, FlagAsInt(args, "rows", 0));
+  TANE_ASSIGN_OR_RETURN(int64_t seed, FlagAsInt(args, "seed", 42));
+  TANE_ASSIGN_OR_RETURN(int64_t copies, FlagAsInt(args, "copies", 1));
+  TANE_ASSIGN_OR_RETURN(
+      Relation relation,
+      MakePaperDataset(dataset, rows, static_cast<uint64_t>(seed)));
+  if (copies > 1) {
+    TANE_ASSIGN_OR_RETURN(relation, ConcatenateCopies(
+                                        relation, static_cast<int>(copies)));
+  }
+  WriteCsv(relation, out);
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<FunctionalDependency> ParseFd(const std::string& text,
+                                       const Schema& schema) {
+  const size_t arrow = text.find("->");
+  if (arrow == std::string::npos) {
+    return Status::InvalidArgument("dependency must contain '->': " + text);
+  }
+  FunctionalDependency fd;
+  const std::string_view rhs_name =
+      StripWhitespace(std::string_view(text).substr(arrow + 2));
+  fd.rhs = schema.IndexOf(rhs_name);
+  if (fd.rhs < 0) {
+    return Status::NotFound("unknown attribute: " + std::string(rhs_name));
+  }
+  const std::string_view lhs_text = std::string_view(text).substr(0, arrow);
+  if (!StripWhitespace(lhs_text).empty()) {
+    for (std::string_view part : SplitString(lhs_text, ',')) {
+      part = StripWhitespace(part);
+      const int attribute = schema.IndexOf(part);
+      if (attribute < 0) {
+        return Status::NotFound("unknown attribute: " + std::string(part));
+      }
+      fd.lhs = fd.lhs.With(attribute);
+    }
+  }
+  if (fd.lhs.Contains(fd.rhs)) {
+    return Status::InvalidArgument("dependency is trivial: " + text);
+  }
+  return fd;
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char ch : text) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string FdToJson(const FunctionalDependency& fd, const Schema& schema) {
+  std::ostringstream out;
+  out << "{\"lhs\": [";
+  bool first = true;
+  for (int a : Members(fd.lhs)) {
+    if (!first) out << ", ";
+    first = false;
+    out << "\"" << JsonEscape(schema.name(a)) << "\"";
+  }
+  out << "], \"rhs\": \"" << JsonEscape(schema.name(fd.rhs))
+      << "\", \"g3_error\": " << fd.error << "}";
+  return out.str();
+}
+
+int Run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err) {
+  StatusOr<ParsedArgs> parsed = ParseArgs(args);
+  if (!parsed.ok()) {
+    err << "error: " << parsed.status().ToString() << "\n" << kUsage;
+    return 2;
+  }
+
+  Status status = Status::OK();
+  const std::string& command = parsed->command;
+  if (command == "discover") {
+    status = RunDiscover(*parsed, out);
+  } else if (command == "keys") {
+    status = RunKeys(*parsed, out);
+  } else if (command == "check") {
+    status = RunCheck(*parsed, out);
+  } else if (command == "violations") {
+    status = RunViolations(*parsed, out);
+  } else if (command == "normalize") {
+    status = RunNormalize(*parsed, out);
+  } else if (command == "profile") {
+    status = RunProfile(*parsed, out);
+  } else if (command == "rules") {
+    status = RunRules(*parsed, out);
+  } else if (command == "generate") {
+    status = RunGenerate(*parsed, out);
+  } else if (command == "help" || command == "--help") {
+    out << kUsage;
+    return 0;
+  } else {
+    err << "error: unknown command '" << command << "'\n" << kUsage;
+    return 2;
+  }
+
+  if (!status.ok()) {
+    err << "error: " << status.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace cli
+}  // namespace tane

@@ -1,0 +1,45 @@
+#ifndef TANE_TOOLS_CLI_H_
+#define TANE_TOOLS_CLI_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/fd.h"
+#include "relation/schema.h"
+#include "util/status.h"
+
+namespace tane {
+namespace cli {
+
+/// Entry point of the `tane` command-line tool, factored out of main() so
+/// the whole surface is unit-testable. `args` excludes the program name.
+/// Returns the process exit code; normal output goes to `out`, diagnostics
+/// to `err`.
+///
+/// Commands:
+///   discover <file.csv>    mine minimal (approximate) dependencies
+///   keys <file.csv>        mine minimal (approximate) keys
+///   check <file.csv>       measure one dependency (g1/g2/g3, violations)
+///   violations <file.csv>  list the exceptional rows of one dependency
+///   normalize <file.csv>   minimal cover, candidate keys, BCNF proposal
+///   generate <dataset>     write a synthetic paper dataset as CSV
+///   help                   print usage
+int Run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err);
+
+/// Parses a dependency written with schema names, e.g. "city,zip->state"
+/// (left side may be empty: "->state" is the constancy dependency).
+StatusOr<FunctionalDependency> ParseFd(const std::string& text,
+                                       const Schema& schema);
+
+/// Renders one dependency as JSON (used by --format=json).
+std::string FdToJson(const FunctionalDependency& fd, const Schema& schema);
+
+/// Escapes a string for embedding in JSON output.
+std::string JsonEscape(const std::string& text);
+
+}  // namespace cli
+}  // namespace tane
+
+#endif  // TANE_TOOLS_CLI_H_

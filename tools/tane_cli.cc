@@ -1,0 +1,13 @@
+// The `tane` command-line tool. See tools/cli.h for the command set, or run
+// `tane help`.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return tane::cli::Run(args, std::cout, std::cerr);
+}
