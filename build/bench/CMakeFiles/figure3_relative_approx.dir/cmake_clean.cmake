@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure3_relative_approx.dir/figure3_relative_approx.cc.o"
+  "CMakeFiles/figure3_relative_approx.dir/figure3_relative_approx.cc.o.d"
+  "figure3_relative_approx"
+  "figure3_relative_approx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure3_relative_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

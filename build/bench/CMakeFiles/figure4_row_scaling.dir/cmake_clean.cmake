@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure4_row_scaling.dir/figure4_row_scaling.cc.o"
+  "CMakeFiles/figure4_row_scaling.dir/figure4_row_scaling.cc.o.d"
+  "figure4_row_scaling"
+  "figure4_row_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure4_row_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_fd_discovery.dir/table1_fd_discovery.cc.o"
+  "CMakeFiles/table1_fd_discovery.dir/table1_fd_discovery.cc.o.d"
+  "table1_fd_discovery"
+  "table1_fd_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_fd_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

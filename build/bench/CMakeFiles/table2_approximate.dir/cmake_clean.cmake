@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_approximate.dir/table2_approximate.cc.o"
+  "CMakeFiles/table2_approximate.dir/table2_approximate.cc.o.d"
+  "table2_approximate"
+  "table2_approximate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_approximate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approximate_profiling.dir/approximate_profiling.cpp.o"
+  "CMakeFiles/approximate_profiling.dir/approximate_profiling.cpp.o.d"
+  "approximate_profiling"
+  "approximate_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approximate_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

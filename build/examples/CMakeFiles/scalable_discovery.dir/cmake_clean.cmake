@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalable_discovery.dir/scalable_discovery.cpp.o"
+  "CMakeFiles/scalable_discovery.dir/scalable_discovery.cpp.o.d"
+  "scalable_discovery"
+  "scalable_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalable_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

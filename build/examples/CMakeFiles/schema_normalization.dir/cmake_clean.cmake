@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_normalization.dir/schema_normalization.cpp.o"
+  "CMakeFiles/schema_normalization.dir/schema_normalization.cpp.o.d"
+  "schema_normalization"
+  "schema_normalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_normalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/closure.cc" "src/CMakeFiles/tane.dir/analysis/closure.cc.o" "gcc" "src/CMakeFiles/tane.dir/analysis/closure.cc.o.d"
+  "/root/repo/src/analysis/key_discovery.cc" "src/CMakeFiles/tane.dir/analysis/key_discovery.cc.o" "gcc" "src/CMakeFiles/tane.dir/analysis/key_discovery.cc.o.d"
+  "/root/repo/src/analysis/keys.cc" "src/CMakeFiles/tane.dir/analysis/keys.cc.o" "gcc" "src/CMakeFiles/tane.dir/analysis/keys.cc.o.d"
+  "/root/repo/src/analysis/normalization.cc" "src/CMakeFiles/tane.dir/analysis/normalization.cc.o" "gcc" "src/CMakeFiles/tane.dir/analysis/normalization.cc.o.d"
+  "/root/repo/src/analysis/violations.cc" "src/CMakeFiles/tane.dir/analysis/violations.cc.o" "gcc" "src/CMakeFiles/tane.dir/analysis/violations.cc.o.d"
+  "/root/repo/src/baselines/brute_force.cc" "src/CMakeFiles/tane.dir/baselines/brute_force.cc.o" "gcc" "src/CMakeFiles/tane.dir/baselines/brute_force.cc.o.d"
+  "/root/repo/src/baselines/fdep.cc" "src/CMakeFiles/tane.dir/baselines/fdep.cc.o" "gcc" "src/CMakeFiles/tane.dir/baselines/fdep.cc.o.d"
+  "/root/repo/src/core/config.cc" "src/CMakeFiles/tane.dir/core/config.cc.o" "gcc" "src/CMakeFiles/tane.dir/core/config.cc.o.d"
+  "/root/repo/src/core/fd.cc" "src/CMakeFiles/tane.dir/core/fd.cc.o" "gcc" "src/CMakeFiles/tane.dir/core/fd.cc.o.d"
+  "/root/repo/src/core/partition_store.cc" "src/CMakeFiles/tane.dir/core/partition_store.cc.o" "gcc" "src/CMakeFiles/tane.dir/core/partition_store.cc.o.d"
+  "/root/repo/src/core/result.cc" "src/CMakeFiles/tane.dir/core/result.cc.o" "gcc" "src/CMakeFiles/tane.dir/core/result.cc.o.d"
+  "/root/repo/src/core/tane.cc" "src/CMakeFiles/tane.dir/core/tane.cc.o" "gcc" "src/CMakeFiles/tane.dir/core/tane.cc.o.d"
+  "/root/repo/src/datasets/generators.cc" "src/CMakeFiles/tane.dir/datasets/generators.cc.o" "gcc" "src/CMakeFiles/tane.dir/datasets/generators.cc.o.d"
+  "/root/repo/src/datasets/paper_datasets.cc" "src/CMakeFiles/tane.dir/datasets/paper_datasets.cc.o" "gcc" "src/CMakeFiles/tane.dir/datasets/paper_datasets.cc.o.d"
+  "/root/repo/src/lattice/attribute_set.cc" "src/CMakeFiles/tane.dir/lattice/attribute_set.cc.o" "gcc" "src/CMakeFiles/tane.dir/lattice/attribute_set.cc.o.d"
+  "/root/repo/src/lattice/level.cc" "src/CMakeFiles/tane.dir/lattice/level.cc.o" "gcc" "src/CMakeFiles/tane.dir/lattice/level.cc.o.d"
+  "/root/repo/src/lattice/set_trie.cc" "src/CMakeFiles/tane.dir/lattice/set_trie.cc.o" "gcc" "src/CMakeFiles/tane.dir/lattice/set_trie.cc.o.d"
+  "/root/repo/src/partition/error.cc" "src/CMakeFiles/tane.dir/partition/error.cc.o" "gcc" "src/CMakeFiles/tane.dir/partition/error.cc.o.d"
+  "/root/repo/src/partition/partition_builder.cc" "src/CMakeFiles/tane.dir/partition/partition_builder.cc.o" "gcc" "src/CMakeFiles/tane.dir/partition/partition_builder.cc.o.d"
+  "/root/repo/src/partition/product.cc" "src/CMakeFiles/tane.dir/partition/product.cc.o" "gcc" "src/CMakeFiles/tane.dir/partition/product.cc.o.d"
+  "/root/repo/src/partition/stripped_partition.cc" "src/CMakeFiles/tane.dir/partition/stripped_partition.cc.o" "gcc" "src/CMakeFiles/tane.dir/partition/stripped_partition.cc.o.d"
+  "/root/repo/src/relation/csv.cc" "src/CMakeFiles/tane.dir/relation/csv.cc.o" "gcc" "src/CMakeFiles/tane.dir/relation/csv.cc.o.d"
+  "/root/repo/src/relation/relation.cc" "src/CMakeFiles/tane.dir/relation/relation.cc.o" "gcc" "src/CMakeFiles/tane.dir/relation/relation.cc.o.d"
+  "/root/repo/src/relation/relation_builder.cc" "src/CMakeFiles/tane.dir/relation/relation_builder.cc.o" "gcc" "src/CMakeFiles/tane.dir/relation/relation_builder.cc.o.d"
+  "/root/repo/src/relation/schema.cc" "src/CMakeFiles/tane.dir/relation/schema.cc.o" "gcc" "src/CMakeFiles/tane.dir/relation/schema.cc.o.d"
+  "/root/repo/src/relation/stats.cc" "src/CMakeFiles/tane.dir/relation/stats.cc.o" "gcc" "src/CMakeFiles/tane.dir/relation/stats.cc.o.d"
+  "/root/repo/src/relation/transforms.cc" "src/CMakeFiles/tane.dir/relation/transforms.cc.o" "gcc" "src/CMakeFiles/tane.dir/relation/transforms.cc.o.d"
+  "/root/repo/src/rules/association.cc" "src/CMakeFiles/tane.dir/rules/association.cc.o" "gcc" "src/CMakeFiles/tane.dir/rules/association.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/tane.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/tane.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/tane.dir/util/random.cc.o" "gcc" "src/CMakeFiles/tane.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/tane.dir/util/status.cc.o" "gcc" "src/CMakeFiles/tane.dir/util/status.cc.o.d"
+  "/root/repo/src/util/strings.cc" "src/CMakeFiles/tane.dir/util/strings.cc.o" "gcc" "src/CMakeFiles/tane.dir/util/strings.cc.o.d"
+  "/root/repo/src/util/timer.cc" "src/CMakeFiles/tane.dir/util/timer.cc.o" "gcc" "src/CMakeFiles/tane.dir/util/timer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

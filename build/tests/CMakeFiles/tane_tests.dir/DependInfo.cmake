@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/association_test.cc" "tests/CMakeFiles/tane_tests.dir/association_test.cc.o" "gcc" "tests/CMakeFiles/tane_tests.dir/association_test.cc.o.d"
+  "/root/repo/tests/attribute_set_test.cc" "tests/CMakeFiles/tane_tests.dir/attribute_set_test.cc.o" "gcc" "tests/CMakeFiles/tane_tests.dir/attribute_set_test.cc.o.d"
+  "/root/repo/tests/brute_force_test.cc" "tests/CMakeFiles/tane_tests.dir/brute_force_test.cc.o" "gcc" "tests/CMakeFiles/tane_tests.dir/brute_force_test.cc.o.d"
+  "/root/repo/tests/cli_test.cc" "tests/CMakeFiles/tane_tests.dir/cli_test.cc.o" "gcc" "tests/CMakeFiles/tane_tests.dir/cli_test.cc.o.d"
+  "/root/repo/tests/closure_test.cc" "tests/CMakeFiles/tane_tests.dir/closure_test.cc.o" "gcc" "tests/CMakeFiles/tane_tests.dir/closure_test.cc.o.d"
+  "/root/repo/tests/csv_fuzz_test.cc" "tests/CMakeFiles/tane_tests.dir/csv_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/tane_tests.dir/csv_fuzz_test.cc.o.d"
+  "/root/repo/tests/csv_test.cc" "tests/CMakeFiles/tane_tests.dir/csv_test.cc.o" "gcc" "tests/CMakeFiles/tane_tests.dir/csv_test.cc.o.d"
+  "/root/repo/tests/error_measures_test.cc" "tests/CMakeFiles/tane_tests.dir/error_measures_test.cc.o" "gcc" "tests/CMakeFiles/tane_tests.dir/error_measures_test.cc.o.d"
+  "/root/repo/tests/error_test.cc" "tests/CMakeFiles/tane_tests.dir/error_test.cc.o" "gcc" "tests/CMakeFiles/tane_tests.dir/error_test.cc.o.d"
+  "/root/repo/tests/fdep_test.cc" "tests/CMakeFiles/tane_tests.dir/fdep_test.cc.o" "gcc" "tests/CMakeFiles/tane_tests.dir/fdep_test.cc.o.d"
+  "/root/repo/tests/generators_test.cc" "tests/CMakeFiles/tane_tests.dir/generators_test.cc.o" "gcc" "tests/CMakeFiles/tane_tests.dir/generators_test.cc.o.d"
+  "/root/repo/tests/key_discovery_test.cc" "tests/CMakeFiles/tane_tests.dir/key_discovery_test.cc.o" "gcc" "tests/CMakeFiles/tane_tests.dir/key_discovery_test.cc.o.d"
+  "/root/repo/tests/keys_test.cc" "tests/CMakeFiles/tane_tests.dir/keys_test.cc.o" "gcc" "tests/CMakeFiles/tane_tests.dir/keys_test.cc.o.d"
+  "/root/repo/tests/level_test.cc" "tests/CMakeFiles/tane_tests.dir/level_test.cc.o" "gcc" "tests/CMakeFiles/tane_tests.dir/level_test.cc.o.d"
+  "/root/repo/tests/library_test.cc" "tests/CMakeFiles/tane_tests.dir/library_test.cc.o" "gcc" "tests/CMakeFiles/tane_tests.dir/library_test.cc.o.d"
+  "/root/repo/tests/normalization_test.cc" "tests/CMakeFiles/tane_tests.dir/normalization_test.cc.o" "gcc" "tests/CMakeFiles/tane_tests.dir/normalization_test.cc.o.d"
+  "/root/repo/tests/paper_datasets_test.cc" "tests/CMakeFiles/tane_tests.dir/paper_datasets_test.cc.o" "gcc" "tests/CMakeFiles/tane_tests.dir/paper_datasets_test.cc.o.d"
+  "/root/repo/tests/partition_builder_test.cc" "tests/CMakeFiles/tane_tests.dir/partition_builder_test.cc.o" "gcc" "tests/CMakeFiles/tane_tests.dir/partition_builder_test.cc.o.d"
+  "/root/repo/tests/partition_store_test.cc" "tests/CMakeFiles/tane_tests.dir/partition_store_test.cc.o" "gcc" "tests/CMakeFiles/tane_tests.dir/partition_store_test.cc.o.d"
+  "/root/repo/tests/product_test.cc" "tests/CMakeFiles/tane_tests.dir/product_test.cc.o" "gcc" "tests/CMakeFiles/tane_tests.dir/product_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/tane_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/tane_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/random_test.cc" "tests/CMakeFiles/tane_tests.dir/random_test.cc.o" "gcc" "tests/CMakeFiles/tane_tests.dir/random_test.cc.o.d"
+  "/root/repo/tests/relation_test.cc" "tests/CMakeFiles/tane_tests.dir/relation_test.cc.o" "gcc" "tests/CMakeFiles/tane_tests.dir/relation_test.cc.o.d"
+  "/root/repo/tests/schema_test.cc" "tests/CMakeFiles/tane_tests.dir/schema_test.cc.o" "gcc" "tests/CMakeFiles/tane_tests.dir/schema_test.cc.o.d"
+  "/root/repo/tests/set_trie_test.cc" "tests/CMakeFiles/tane_tests.dir/set_trie_test.cc.o" "gcc" "tests/CMakeFiles/tane_tests.dir/set_trie_test.cc.o.d"
+  "/root/repo/tests/stats_test.cc" "tests/CMakeFiles/tane_tests.dir/stats_test.cc.o" "gcc" "tests/CMakeFiles/tane_tests.dir/stats_test.cc.o.d"
+  "/root/repo/tests/status_test.cc" "tests/CMakeFiles/tane_tests.dir/status_test.cc.o" "gcc" "tests/CMakeFiles/tane_tests.dir/status_test.cc.o.d"
+  "/root/repo/tests/stress_test.cc" "tests/CMakeFiles/tane_tests.dir/stress_test.cc.o" "gcc" "tests/CMakeFiles/tane_tests.dir/stress_test.cc.o.d"
+  "/root/repo/tests/strings_test.cc" "tests/CMakeFiles/tane_tests.dir/strings_test.cc.o" "gcc" "tests/CMakeFiles/tane_tests.dir/strings_test.cc.o.d"
+  "/root/repo/tests/stripped_partition_test.cc" "tests/CMakeFiles/tane_tests.dir/stripped_partition_test.cc.o" "gcc" "tests/CMakeFiles/tane_tests.dir/stripped_partition_test.cc.o.d"
+  "/root/repo/tests/tane_approximate_test.cc" "tests/CMakeFiles/tane_tests.dir/tane_approximate_test.cc.o" "gcc" "tests/CMakeFiles/tane_tests.dir/tane_approximate_test.cc.o.d"
+  "/root/repo/tests/tane_disk_test.cc" "tests/CMakeFiles/tane_tests.dir/tane_disk_test.cc.o" "gcc" "tests/CMakeFiles/tane_tests.dir/tane_disk_test.cc.o.d"
+  "/root/repo/tests/tane_test.cc" "tests/CMakeFiles/tane_tests.dir/tane_test.cc.o" "gcc" "tests/CMakeFiles/tane_tests.dir/tane_test.cc.o.d"
+  "/root/repo/tests/transforms_test.cc" "tests/CMakeFiles/tane_tests.dir/transforms_test.cc.o" "gcc" "tests/CMakeFiles/tane_tests.dir/transforms_test.cc.o.d"
+  "/root/repo/tests/violations_test.cc" "tests/CMakeFiles/tane_tests.dir/violations_test.cc.o" "gcc" "tests/CMakeFiles/tane_tests.dir/violations_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tane.dir/DependInfo.cmake"
+  "/root/repo/build/tools/CMakeFiles/tane_cli_lib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

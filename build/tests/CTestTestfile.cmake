@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tane_tests[1]_include.cmake")
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;48;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_approximate_profiling "/root/repo/build/examples/approximate_profiling")
+set_tests_properties(example_approximate_profiling PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;49;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_schema_normalization "/root/repo/build/examples/schema_normalization")
+set_tests_properties(example_schema_normalization PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;50;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_scalable_discovery "/root/repo/build/examples/scalable_discovery" "4")
+set_tests_properties(example_scalable_discovery PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;51;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_association_rules "/root/repo/build/examples/association_rules")
+set_tests_properties(example_association_rules PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;52;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_help "/root/repo/build/tools/tane" "help")
+set_tests_properties(cli_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;53;add_test;/root/repo/tests/CMakeLists.txt;0;")

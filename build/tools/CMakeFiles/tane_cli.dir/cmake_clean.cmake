@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tane_cli.dir/tane_cli.cc.o"
+  "CMakeFiles/tane_cli.dir/tane_cli.cc.o.d"
+  "tane"
+  "tane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tane_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

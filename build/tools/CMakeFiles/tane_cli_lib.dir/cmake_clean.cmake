@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tane_cli_lib.dir/cli.cc.o"
+  "CMakeFiles/tane_cli_lib.dir/cli.cc.o.d"
+  "libtane_cli_lib.a"
+  "libtane_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tane_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

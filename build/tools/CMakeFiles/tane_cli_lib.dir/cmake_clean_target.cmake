@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtane_cli_lib.a"
+)
