@@ -1,0 +1,130 @@
+// Microbenchmarks (google-benchmark) for the resilient storage layer: disk
+// spill write/read throughput with CRC32 framing, the checksum itself, the
+// AutoPartitionStore memory->disk migration, and the overhead the stop-poll
+// and budget checks add to an end-to-end discovery run.
+
+#include <benchmark/benchmark.h>
+
+#include "core/partition_store.h"
+#include "core/tane.h"
+#include "datasets/generators.h"
+#include "partition/partition_builder.h"
+#include "util/crc32.h"
+#include "util/logging.h"
+#include "util/run_control.h"
+
+namespace tane {
+namespace {
+
+Relation MakeRelation(int64_t rows, int cols, int64_t cardinality) {
+  StatusOr<Relation> relation =
+      GenerateUniform(rows, cols, cardinality, /*seed=*/42);
+  TANE_CHECK(relation.ok()) << relation.status().ToString();
+  return std::move(relation).value();
+}
+
+StrippedPartition MakePartition(int64_t rows) {
+  const Relation relation = MakeRelation(rows, 1, 16);
+  return PartitionBuilder::ForAttribute(relation, 0);
+}
+
+void BM_Crc32(benchmark::State& state) {
+  const std::string payload =
+      SerializePartition(MakePartition(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32(payload));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(payload.size()));
+}
+BENCHMARK(BM_Crc32)->Range(1 << 12, 1 << 18);
+
+void BM_DiskStorePut(benchmark::State& state) {
+  const StrippedPartition partition = MakePartition(state.range(0));
+  StatusOr<std::unique_ptr<DiskPartitionStore>> store =
+      DiskPartitionStore::Open();
+  TANE_CHECK(store.ok()) << store.status().ToString();
+  for (auto _ : state) {
+    StatusOr<int64_t> handle = (*store)->Put(partition);
+    TANE_CHECK(handle.ok());
+    TANE_CHECK((*store)->Release(*handle).ok());
+  }
+  state.SetBytesProcessed(state.iterations() * partition.EstimatedBytes());
+}
+BENCHMARK(BM_DiskStorePut)->Range(1 << 12, 1 << 16);
+
+void BM_DiskStoreGet(benchmark::State& state) {
+  const StrippedPartition partition = MakePartition(state.range(0));
+  StatusOr<std::unique_ptr<DiskPartitionStore>> store =
+      DiskPartitionStore::Open();
+  TANE_CHECK(store.ok());
+  StatusOr<int64_t> handle = (*store)->Put(partition);
+  TANE_CHECK(handle.ok());
+  for (auto _ : state) {
+    StatusOr<StrippedPartition> loaded = (*store)->Get(*handle);
+    TANE_CHECK(loaded.ok());
+    benchmark::DoNotOptimize(loaded);
+  }
+  state.SetBytesProcessed(state.iterations() * partition.EstimatedBytes());
+}
+BENCHMARK(BM_DiskStoreGet)->Range(1 << 12, 1 << 16);
+
+void BM_AutoStoreMigration(benchmark::State& state) {
+  // Cost of the one-time memory->disk migration of `n` live partitions.
+  const int n = static_cast<int>(state.range(0));
+  const StrippedPartition partition = MakePartition(1 << 12);
+  const int64_t budget = partition.EstimatedBytes() * n;
+  for (auto _ : state) {
+    AutoPartitionStore store(budget, "");
+    for (int i = 0; i < n; ++i) {
+      TANE_CHECK(store.Put(partition).ok());
+    }
+    TANE_CHECK(!store.spilled());
+    // This Put crosses the budget and migrates everything above.
+    TANE_CHECK(store.Put(partition).ok());
+    TANE_CHECK(store.spilled());
+  }
+  state.SetItemsProcessed(state.iterations() * (n + 1));
+}
+BENCHMARK(BM_AutoStoreMigration)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_DiscoverWithController(benchmark::State& state) {
+  // End-to-end discovery with and without a RunController attached; the
+  // difference is the cost of the stop polls (never-expiring deadline).
+  const bool with_controller = state.range(0) != 0;
+  const Relation relation = MakeRelation(1 << 12, 6, 8);
+  for (auto _ : state) {
+    RunController controller;
+    controller.SetDeadlineAfter(std::chrono::hours(24));
+    TaneConfig config;
+    if (with_controller) config.run_controller = &controller;
+    StatusOr<DiscoveryResult> result = Tane::Discover(relation, config);
+    TANE_CHECK(result.ok());
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_DiscoverWithController)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace tane
+
+// Custom main instead of BENCHMARK_MAIN so the harness-wide --scale/--seed
+// flags are accepted (and ignored — microbenchmark sizes are fixed).
+int main(int argc, char** argv) {
+  std::vector<char*> kept;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--scale=", 0) == 0 || arg.rfind("--seed=", 0) == 0) {
+      continue;
+    }
+    kept.push_back(argv[i]);
+  }
+  int kept_argc = static_cast<int>(kept.size());
+  benchmark::Initialize(&kept_argc, kept.data());
+  if (benchmark::ReportUnrecognizedArguments(kept_argc, kept.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

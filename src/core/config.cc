@@ -10,6 +10,9 @@ Status TaneConfig::Validate() const {
   if (max_lhs_size < 0) {
     return Status::InvalidArgument("max_lhs_size must be >= 0");
   }
+  if (run_controller != nullptr && run_controller->memory_budget_bytes() < 0) {
+    return Status::InvalidArgument("memory budget must be >= 0 bytes");
+  }
   return Status::OK();
 }
 

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "relation/schema.h"
+#include "util/run_control.h"
 #include "util/status.h"
 
 namespace tane {
@@ -25,11 +26,18 @@ enum class ErrorMeasure {
 /// Where level partitions live during the search.
 enum class StorageMode {
   /// TANE/MEM: both the current and previous level's partitions stay in
-  /// main memory.
+  /// main memory. With a RunController memory budget, a breach aborts the
+  /// run with kResourceExhausted.
   kMemory,
   /// TANE (scalable version): partitions are written to a spill directory
   /// and read back when needed, keeping only O(1) partitions resident.
   kDisk,
+  /// Graceful degradation: starts as kMemory and, when the resident
+  /// partition bytes exceed the RunController memory budget, transparently
+  /// migrates every live partition to a DiskPartitionStore and continues as
+  /// kDisk. A TANE/MEM run that outgrows RAM becomes a TANE run instead of
+  /// dying. Without a budget, behaves exactly like kMemory.
+  kAuto,
 };
 
 /// Tuning knobs for a TANE run. The defaults reproduce the paper's TANE/MEM
@@ -90,9 +98,17 @@ struct TaneConfig {
 
   StorageMode storage = StorageMode::kMemory;
 
-  /// Spill directory for StorageMode::kDisk. Empty selects a fresh
-  /// directory under the system temp dir, removed when the run finishes.
+  /// Spill directory for StorageMode::kDisk and the kAuto fallback. Empty
+  /// selects a fresh directory under the system temp dir, removed when the
+  /// run finishes.
   std::string spill_directory;
+
+  /// Optional resource governor (deadline, cancellation token, memory
+  /// budget); see util/run_control.h. Not owned; must outlive the run.
+  /// When the deadline expires or cancellation is requested, Discover
+  /// returns a *partial* DiscoveryResult (completion != kComplete) with
+  /// every dependency already proven, instead of an error.
+  RunController* run_controller = nullptr;
 
   /// Validates field ranges (ε ∈ [0,1], positive max_lhs_size, ...).
   Status Validate() const;

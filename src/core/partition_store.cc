@@ -3,11 +3,14 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iterator>
 
+#include "util/crc32.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 
 namespace tane {
@@ -82,10 +85,16 @@ std::string SerializePartition(const StrippedPartition& partition) {
   AppendPod(&out, partition.num_rows());
   AppendPod(&out, static_cast<int64_t>(rows.size()));
   AppendPod(&out, static_cast<int64_t>(offsets.size()));
-  out.append(reinterpret_cast<const char*>(rows.data()),
-             rows.size() * sizeof(int32_t));
-  out.append(reinterpret_cast<const char*>(offsets.data()),
-             offsets.size() * sizeof(int32_t));
+  // Empty vectors may have a null data(); append/memcpy forbid that even
+  // for zero sizes.
+  if (!rows.empty()) {
+    out.append(reinterpret_cast<const char*>(rows.data()),
+               rows.size() * sizeof(int32_t));
+  }
+  if (!offsets.empty()) {
+    out.append(reinterpret_cast<const char*>(offsets.data()),
+               offsets.size() * sizeof(int32_t));
+  }
   return out;
 }
 
@@ -110,8 +119,10 @@ StatusOr<StrippedPartition> DeserializePartition(std::string_view bytes) {
   }
   std::vector<int32_t> row_ids(num_member_rows);
   std::vector<int32_t> offsets(num_offsets);
-  std::memcpy(row_ids.data(), bytes.data(),
-              num_member_rows * sizeof(int32_t));
+  if (num_member_rows > 0) {
+    std::memcpy(row_ids.data(), bytes.data(),
+                num_member_rows * sizeof(int32_t));
+  }
   std::memcpy(offsets.data(), bytes.data() + num_member_rows * sizeof(int32_t),
               num_offsets * sizeof(int32_t));
   return StrippedPartition::Create(num_rows, std::move(row_ids),
@@ -173,10 +184,67 @@ std::string DiskPartitionStore::SegmentPath(int32_t segment) const {
 Status DiskPartitionStore::OpenNewSegment() {
   const int32_t id = static_cast<int32_t>(segments_.size());
   const std::string path = SegmentPath(id);
+  TANE_INJECT_FAILPOINT("disk_store.open_segment");
   const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0600);
-  if (fd < 0) return Status::IoError("cannot create segment " + path);
+  if (fd < 0) {
+    const int err = errno;
+    // O_CREAT can leave an empty file behind on some failures; don't.
+    std::error_code ec;
+    fs::remove(path, ec);
+    return Status::IoError("cannot create segment " + path + ": " +
+                           std::strerror(err));
+  }
   segments_.push_back(Segment{fd, 0, 0, false});
   return Status::OK();
+}
+
+Status DiskPartitionStore::WriteRecordOnce(int fd, std::string_view record,
+                                           int64_t offset) {
+  TANE_INJECT_FAILPOINT("disk_store.put");
+  size_t written = 0;
+  while (written < record.size()) {
+    const ssize_t n =
+        ::pwrite(fd, record.data() + written, record.size() - written,
+                 offset + static_cast<int64_t>(written));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("pwrite: ") + std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status DiskPartitionStore::ReadRecordOnce(int fd, char* buffer, int64_t size,
+                                          int64_t offset) {
+  TANE_INJECT_FAILPOINT("disk_store.get");
+  int64_t read = 0;
+  while (read < size) {
+    const ssize_t n = ::pread(fd, buffer + read, size - read, offset + read);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("pread: ") + std::strerror(errno));
+    }
+    if (n == 0) return Status::IoError("segment truncated");
+    read += n;
+  }
+  return Status::OK();
+}
+
+void DiskPartitionStore::CleanupFailedWrite(int32_t segment_id) {
+  Segment& segment = segments_[segment_id];
+  if (segment.fd < 0) return;
+  if (segment.live_partitions == 0) {
+    // Nothing durable lives here: drop the whole torn segment file.
+    ::close(segment.fd);
+    segment.fd = -1;
+    segment.sealed = true;
+    std::error_code ec;
+    fs::remove(SegmentPath(segment_id), ec);
+    return;
+  }
+  // Earlier records are still live; just cut the partial record off.
+  (void)::ftruncate(segment.fd, segment.bytes);
 }
 
 void DiskPartitionStore::DropSegmentIfDead(int32_t segment_id) {
@@ -197,22 +265,31 @@ StatusOr<int64_t> DiskPartitionStore::Put(const StrippedPartition& partition) {
   const int32_t segment_id = static_cast<int32_t>(segments_.size()) - 1;
   Segment& segment = segments_[segment_id];
 
-  const std::string bytes = SerializePartition(partition);
-  const int64_t offset = segment.bytes;
-  size_t written = 0;
-  while (written < bytes.size()) {
-    const ssize_t n = ::pwrite(segment.fd, bytes.data() + written,
-                               bytes.size() - written, offset + written);
-    if (n < 0) return Status::IoError("segment write failed");
-    written += static_cast<size_t>(n);
+  // Record layout: CRC32 of the payload, then the serialized partition.
+  std::string record;
+  {
+    const std::string payload = SerializePartition(partition);
+    record.reserve(sizeof(uint32_t) + payload.size());
+    AppendPod(&record, Crc32(payload));
+    record += payload;
   }
-  segment.bytes += static_cast<int64_t>(bytes.size());
+
+  const int64_t offset = segment.bytes;
+  const Status status = RetryWithBackoff(retry_policy_, [&] {
+    return WriteRecordOnce(segment.fd, record, offset);
+  });
+  if (!status.ok()) {
+    CleanupFailedWrite(segment_id);
+    return Status(status.code(), "spill write to " + SegmentPath(segment_id) +
+                                     " failed: " + status.message());
+  }
+  segment.bytes += static_cast<int64_t>(record.size());
   ++segment.live_partitions;
-  bytes_written_ += static_cast<int64_t>(bytes.size());
+  bytes_written_ += static_cast<int64_t>(record.size());
 
   const int64_t handle = next_handle_++;
   entries_[handle] =
-      Entry{segment_id, offset, static_cast<int64_t>(bytes.size())};
+      Entry{segment_id, offset, static_cast<int64_t>(record.size())};
   if (segment.bytes >= kSegmentBytes) segment.sealed = true;
   return handle;
 }
@@ -225,16 +302,28 @@ StatusOr<StrippedPartition> DiskPartitionStore::Get(int64_t handle) {
   }
   const Entry& entry = it->second;
   const Segment& segment = segments_[entry.segment];
-  std::string bytes(entry.size, '\0');
-  size_t read = 0;
-  while (read < bytes.size()) {
-    const ssize_t n = ::pread(segment.fd, bytes.data() + read,
-                              bytes.size() - read, entry.offset + read);
-    if (n < 0) return Status::IoError("segment read failed");
-    if (n == 0) return Status::IoError("segment truncated");
-    read += static_cast<size_t>(n);
+  std::string record(entry.size, '\0');
+  const Status status = RetryWithBackoff(retry_policy_, [&] {
+    return ReadRecordOnce(segment.fd, record.data(), entry.size, entry.offset);
+  });
+  if (!status.ok()) {
+    return Status(status.code(), "spill read from " +
+                                     SegmentPath(entry.segment) +
+                                     " failed: " + status.message());
   }
-  return DeserializePartition(bytes);
+
+  std::string_view view(record);
+  uint32_t stored_crc = 0;
+  if (!ReadPod(&view, &stored_crc)) {
+    return Status::IoError("spill record in " + SegmentPath(entry.segment) +
+                           " too short for its checksum");
+  }
+  if (Crc32(view) != stored_crc) {
+    return Status::IoError("spill segment " + SegmentPath(entry.segment) +
+                           " corrupt: checksum mismatch for handle " +
+                           std::to_string(handle));
+  }
+  return DeserializePartition(view);
 }
 
 Status DiskPartitionStore::Release(int64_t handle) {
@@ -263,6 +352,62 @@ int64_t DiskPartitionStore::disk_bytes() const {
     if (segment.fd >= 0) total += segment.bytes;
   }
   return total;
+}
+
+// ---------------------------------------------------------------------------
+// AutoPartitionStore
+
+StatusOr<int64_t> AutoPartitionStore::Put(const StrippedPartition& partition) {
+  int64_t inner = 0;
+  if (disk_ == nullptr) {
+    TANE_ASSIGN_OR_RETURN(inner, memory_.Put(partition));
+  } else {
+    TANE_ASSIGN_OR_RETURN(inner, disk_->Put(partition));
+  }
+  const int64_t handle = next_handle_++;
+  inner_handles_[handle] = inner;
+  if (disk_ == nullptr && budget_bytes_ > 0 &&
+      memory_.resident_bytes() > budget_bytes_) {
+    TANE_RETURN_IF_ERROR(SpillToDisk());
+  }
+  return handle;
+}
+
+Status AutoPartitionStore::SpillToDisk() {
+  TANE_ASSIGN_OR_RETURN(disk_, DiskPartitionStore::Open(spill_directory_));
+  for (auto& [handle, inner] : inner_handles_) {
+    TANE_ASSIGN_OR_RETURN(StrippedPartition partition, memory_.Get(inner));
+    TANE_ASSIGN_OR_RETURN(const int64_t disk_handle, disk_->Put(partition));
+    TANE_RETURN_IF_ERROR(memory_.Release(inner));
+    inner = disk_handle;
+  }
+  return Status::OK();
+}
+
+StatusOr<StrippedPartition> AutoPartitionStore::Get(int64_t handle) {
+  auto it = inner_handles_.find(handle);
+  if (it == inner_handles_.end()) {
+    return Status::NotFound("no partition with handle " +
+                            std::to_string(handle));
+  }
+  return disk_ == nullptr ? memory_.Get(it->second) : disk_->Get(it->second);
+}
+
+Status AutoPartitionStore::Release(int64_t handle) {
+  auto it = inner_handles_.find(handle);
+  if (it == inner_handles_.end()) {
+    return Status::NotFound("release of unknown handle " +
+                            std::to_string(handle));
+  }
+  const int64_t inner = it->second;
+  inner_handles_.erase(it);
+  return disk_ == nullptr ? memory_.Release(inner) : disk_->Release(inner);
+}
+
+const StrippedPartition* AutoPartitionStore::Peek(int64_t handle) const {
+  if (disk_ != nullptr) return nullptr;
+  auto it = inner_handles_.find(handle);
+  return it == inner_handles_.end() ? nullptr : memory_.Peek(it->second);
 }
 
 }  // namespace tane

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "partition/stripped_partition.h"
+#include "util/retry.h"
 #include "util/status.h"
 
 namespace tane {
@@ -68,6 +69,17 @@ class MemoryPartitionStore : public PartitionStore {
 /// been released are unlinked, so — because TANE releases whole levels —
 /// disk usage tracks the two live levels (O(s_max·|r|)) rather than the
 /// total spill volume.
+///
+/// Spill I/O is hardened: every record carries a CRC32 of its payload,
+/// validated on read before deserialization; writes and reads loop over
+/// short transfers and EINTR; transient kIoError failures are retried with
+/// capped exponential backoff (see util/retry.h) before surfacing, and
+/// surfaced errors name the segment path. A write that fails permanently
+/// unlinks the segment when it holds no other live partitions, or truncates
+/// the partial record away otherwise, so failed runs leave no torn segment
+/// files behind. Put/Get are instrumented with the "disk_store.put",
+/// "disk_store.get", and "disk_store.open_segment" failpoints
+/// (util/failpoint.h) for fault-injection tests.
 class DiskPartitionStore : public PartitionStore {
  public:
   /// Opens a store rooted at `directory`; if empty, creates a fresh
@@ -93,6 +105,12 @@ class DiskPartitionStore : public PartitionStore {
   /// Bytes currently occupied by live (non-unlinked) segments.
   int64_t disk_bytes() const;
 
+  /// Overrides the backoff policy used for transient spill-I/O retries
+  /// (tests install a counting sleep hook; production keeps the default).
+  void set_retry_policy(RetryPolicy policy) {
+    retry_policy_ = std::move(policy);
+  }
+
  private:
   // A segment rotates once it exceeds this many bytes.
   static constexpr int64_t kSegmentBytes = 32 << 20;
@@ -115,6 +133,14 @@ class DiskPartitionStore : public PartitionStore {
   std::string SegmentPath(int32_t segment) const;
   Status OpenNewSegment();
   void DropSegmentIfDead(int32_t segment);
+  // One write/read attempt of a whole record at a fixed offset, looping
+  // over short transfers and EINTR; retried by Put/Get on transient errors.
+  Status WriteRecordOnce(int fd, std::string_view record, int64_t offset);
+  Status ReadRecordOnce(int fd, char* buffer, int64_t size, int64_t offset);
+  // Removes the partial record a permanently failed write left behind:
+  // unlinks the segment when nothing else lives in it, else truncates it
+  // back to its last durable byte.
+  void CleanupFailedWrite(int32_t segment);
 
   std::string directory_;
   bool owns_directory_ = false;
@@ -122,6 +148,46 @@ class DiskPartitionStore : public PartitionStore {
   std::vector<Segment> segments_;
   int64_t next_handle_ = 0;
   int64_t bytes_written_ = 0;
+  RetryPolicy retry_policy_;
+};
+
+/// Starts in memory (TANE/MEM speed) and, the first time resident bytes
+/// exceed `budget_bytes`, transparently migrates every live partition into
+/// a DiskPartitionStore and serves all later traffic from disk — the
+/// StorageMode::kAuto graceful-degradation policy. Handles issued before
+/// the migration remain valid throughout. With budget_bytes <= 0 the store
+/// never spills and is equivalent to MemoryPartitionStore.
+class AutoPartitionStore : public PartitionStore {
+ public:
+  AutoPartitionStore(int64_t budget_bytes, std::string spill_directory)
+      : budget_bytes_(budget_bytes),
+        spill_directory_(std::move(spill_directory)) {}
+
+  StatusOr<int64_t> Put(const StrippedPartition& partition) override;
+  StatusOr<StrippedPartition> Get(int64_t handle) override;
+  Status Release(int64_t handle) override;
+  const StrippedPartition* Peek(int64_t handle) const override;
+  int64_t resident_bytes() const override {
+    return disk_ == nullptr ? memory_.resident_bytes() : 0;
+  }
+  int64_t bytes_written() const override {
+    return disk_ == nullptr ? 0 : disk_->bytes_written();
+  }
+
+  /// True once the memory budget was breached and the store moved to disk.
+  bool spilled() const { return disk_ != nullptr; }
+
+ private:
+  Status SpillToDisk();
+
+  int64_t budget_bytes_;
+  std::string spill_directory_;
+  MemoryPartitionStore memory_;
+  std::unique_ptr<DiskPartitionStore> disk_;
+  // This store's handle -> the active inner store's handle; every entry is
+  // rewritten in place when the store migrates to disk.
+  std::unordered_map<int64_t, int64_t> inner_handles_;
+  int64_t next_handle_ = 0;
 };
 
 /// Serializes `partition` into a compact binary image (used by the disk

@@ -1,4 +1,17 @@
 #include "core/result.h"
 
-// DiscoveryResult is a plain aggregate; this file anchors the module in the
-// build and hosts future non-inline helpers.
+namespace tane {
+
+std::string_view CompletionToString(Completion completion) {
+  switch (completion) {
+    case Completion::kComplete:
+      return "complete";
+    case Completion::kDeadlineExpired:
+      return "deadline_expired";
+    case Completion::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+}  // namespace tane

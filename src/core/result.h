@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/fd.h"
@@ -33,9 +34,25 @@ struct DiscoveryStats {
   int64_t peak_partition_bytes = 0;
   /// Total bytes written to the spill directory (disk mode only).
   int64_t spill_bytes_written = 0;
+  /// True when a kAuto run breached its memory budget and migrated the
+  /// partition store to disk mid-run.
+  bool degraded_to_disk = false;
   /// Wall-clock seconds for the whole discovery.
   double wall_seconds = 0.0;
 };
+
+/// Whether a discovery run finished the full levelwise search or was ended
+/// early by its RunController. A partial result is *prefix-correct*: every
+/// dependency and key it lists is genuinely minimal and also appears in the
+/// complete run's output — the search just did not get to the rest.
+enum class Completion : int32_t {
+  kComplete = 0,
+  kDeadlineExpired = 1,
+  kCancelled = 2,
+};
+
+/// Returns "complete", "deadline_expired", or "cancelled".
+std::string_view CompletionToString(Completion completion);
 
 /// The output of a discovery run: all minimal non-trivial dependencies with
 /// g3 ≤ ε, the minimal keys encountered by key pruning, and run statistics.
@@ -44,8 +61,19 @@ struct DiscoveryResult {
   std::vector<AttributeSet> keys;
   DiscoveryStats stats;
 
+  /// kComplete for a full run; otherwise why the run ended early. Partial
+  /// results still satisfy the prefix-correctness guarantee above.
+  Completion completion = Completion::kComplete;
+
+  /// Number of lattice levels fully processed (dependencies computed and
+  /// pruning applied). Equals stats.levels_processed on a complete run.
+  int completed_levels = 0;
+
   /// Number of dependencies found (the N column in the paper's tables).
   int64_t num_fds() const { return static_cast<int64_t>(fds.size()); }
+
+  /// Convenience: did the run finish the whole search?
+  bool complete() const { return completion == Completion::kComplete; }
 };
 
 }  // namespace tane

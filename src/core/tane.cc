@@ -78,6 +78,7 @@ class TaneRun {
           std::unique_ptr<PartitionStore> store)
       : relation_(relation),
         config_(config),
+        controller_(config.run_controller),
         store_(std::move(store)),
         accessor_(store_.get(), /*capacity=*/8),
         num_rows_(relation.num_rows()),
@@ -106,6 +107,45 @@ class TaneRun {
 
   Status ReleaseHandles(std::vector<Node>* nodes);
   void SamplePeakMemory();
+
+  // Consults the RunController; once it trips, the stop is latched and the
+  // run winds down to a partial result. Cheap enough for level boundaries;
+  // inner loops go through PollStopStrided to amortize the clock read.
+  bool PollStop() {
+    if (stopped_) return true;
+    if (controller_ != nullptr && controller_->ShouldStop()) {
+      stopped_ = true;
+      completion_ = controller_->stop_reason() == StopReason::kCancelled
+                        ? Completion::kCancelled
+                        : Completion::kDeadlineExpired;
+    }
+    return stopped_;
+  }
+
+  // The "every N partition products / validity tests" check.
+  bool PollStopStrided() {
+    if (stopped_) return true;
+    if (controller_ == nullptr) return false;
+    if (++stop_poll_tick_ % kStopPollStride != 0) return false;
+    return PollStop();
+  }
+
+  // Under StorageMode::kMemory a configured budget is a hard limit: the
+  // run aborts rather than thrash. kAuto spills instead (in the store) and
+  // kDisk is already O(1)-resident.
+  Status CheckMemoryBudget() {
+    if (config_.storage != StorageMode::kMemory || controller_ == nullptr) {
+      return Status::OK();
+    }
+    const int64_t budget = controller_->memory_budget_bytes();
+    if (budget <= 0) return Status::OK();
+    const int64_t resident = store_->resident_bytes() + accessor_.cache_bytes();
+    if (resident <= budget) return Status::OK();
+    return Status::ResourceExhausted(
+        "resident partitions (" + std::to_string(resident) +
+        " bytes) exceed the memory budget (" + std::to_string(budget) +
+        " bytes); use StorageMode::kAuto to degrade to disk instead");
+  }
 
   const StrippedPartition& EmptySetPartition();
 
@@ -146,8 +186,12 @@ class TaneRun {
     return true;
   }
 
+  // Stop polling cadence for the inner validity-test / product loops.
+  static constexpr int64_t kStopPollStride = 64;
+
   const Relation& relation_;
   const TaneConfig& config_;
+  RunController* const controller_;
   std::unique_ptr<PartitionStore> store_;
   PartitionAccessor accessor_;
   const int64_t num_rows_;
@@ -155,6 +199,11 @@ class TaneRun {
   G3Calculator g3_;
   PartitionProduct product_;
   DiscoveryStats stats_;
+
+  // Early-stop state latched by PollStop.
+  bool stopped_ = false;
+  Completion completion_ = Completion::kComplete;
+  int64_t stop_poll_tick_ = 0;
 
   // π_∅ and e(∅), needed when testing dependencies ∅ → A at level 1.
   std::unique_ptr<StrippedPartition> empty_partition_;
@@ -304,8 +353,12 @@ Status TaneRun::ComputeDependencies(int level_number, std::vector<Node>* level,
     node.cplus = cplus;
   }
 
-  // Lines 3-8: test X\{A} → A for A ∈ X ∩ C⁺(X).
+  // Lines 3-8: test X\{A} → A for A ∈ X ∩ C⁺(X). Aborting between nodes
+  // keeps the result prefix-correct: each emitted dependency passed its own
+  // validity test and its minimality rests only on fully completed lower
+  // levels, so it also appears in the complete run's output.
   for (Node& node : *level) {
+    if (PollStopStrided()) return Status::OK();
     const AttributeSet candidates = node.set.Intersect(node.cplus);
     for (int attribute : Members(candidates)) {
       const AttributeSet lhs = node.set.Without(attribute);
@@ -429,6 +482,7 @@ Status TaneRun::Run(DiscoveryResult* result) {
     ++stats_.sets_generated;
   }
   SamplePeakMemory();
+  TANE_RETURN_IF_ERROR(CheckMemoryBudget());
 
   std::vector<Node> prev;
   LevelIndex prev_index;
@@ -446,7 +500,15 @@ Status TaneRun::Run(DiscoveryResult* result) {
     TANE_RETURN_IF_ERROR(ComputeDependencies(level_number, &current, &prev,
                                              &prev_index, result));
     TANE_RETURN_IF_ERROR(ReleaseHandles(&prev));
+    if (stopped_) {
+      // Stopped mid-level: the dependencies already emitted stand on their
+      // own, but PRUNE must not run against half-updated C⁺ sets (it could
+      // certify a non-minimal key dependency). Wind down here.
+      TANE_RETURN_IF_ERROR(ReleaseHandles(&current));
+      break;
+    }
     TANE_RETURN_IF_ERROR(Prune(level_number, &current, result));
+    result->completed_levels = level_number;
 
     std::vector<Node> survivors;
     survivors.reserve(current.size());
@@ -456,6 +518,13 @@ Status TaneRun::Run(DiscoveryResult* result) {
     current.clear();
 
     if (survivors.empty() || level_number >= config_.max_lhs_size + 1) {
+      TANE_RETURN_IF_ERROR(ReleaseHandles(&survivors));
+      break;
+    }
+
+    // Level boundary: the controller is always consulted between a fully
+    // processed level and the generation of the next one.
+    if (PollStop()) {
       TANE_RETURN_IF_ERROR(ReleaseHandles(&survivors));
       break;
     }
@@ -471,6 +540,7 @@ Status TaneRun::Run(DiscoveryResult* result) {
     std::vector<Node> next;
     next.reserve(candidates.size());
     for (const LevelCandidate& candidate : candidates) {
+      if (PollStopStrided()) break;
       StrippedPartition product;
       if (config_.use_partition_products) {
         TANE_ASSIGN_OR_RETURN(
@@ -499,6 +569,14 @@ Status TaneRun::Run(DiscoveryResult* result) {
       next.push_back(node);
       ++stats_.sets_generated;
       SamplePeakMemory();
+      TANE_RETURN_IF_ERROR(CheckMemoryBudget());
+    }
+    if (stopped_) {
+      // Stopped while generating the next level: its partial contents were
+      // never tested, so they contribute nothing — drop them.
+      TANE_RETURN_IF_ERROR(ReleaseHandles(&next));
+      TANE_RETURN_IF_ERROR(ReleaseHandles(&survivors));
+      break;
     }
 
     if (!prev_partitions_needed_in_compute) {
@@ -518,6 +596,7 @@ Status TaneRun::Run(DiscoveryResult* result) {
   TANE_RETURN_IF_ERROR(ReleaseHandles(&prev));
   CanonicalizeFds(&result->fds);
   std::sort(result->keys.begin(), result->keys.end());
+  result->completion = completion_;
   stats_.spill_bytes_written = store_->bytes_written();
   stats_.wall_seconds = timer.ElapsedSeconds();
   result->stats = stats_;
@@ -534,10 +613,19 @@ StatusOr<DiscoveryResult> Tane::Discover(const Relation& relation,
   }
 
   std::unique_ptr<PartitionStore> store;
+  AutoPartitionStore* auto_store = nullptr;
   if (config.storage == StorageMode::kDisk) {
     TANE_ASSIGN_OR_RETURN(auto disk_store,
                           DiskPartitionStore::Open(config.spill_directory));
     store = std::move(disk_store);
+  } else if (config.storage == StorageMode::kAuto) {
+    const int64_t budget = config.run_controller != nullptr
+                               ? config.run_controller->memory_budget_bytes()
+                               : 0;
+    auto owned = std::make_unique<AutoPartitionStore>(budget,
+                                                      config.spill_directory);
+    auto_store = owned.get();
+    store = std::move(owned);
   } else {
     store = std::make_unique<MemoryPartitionStore>();
   }
@@ -545,6 +633,9 @@ StatusOr<DiscoveryResult> Tane::Discover(const Relation& relation,
   DiscoveryResult result;
   TaneRun run(relation, config, std::move(store));
   TANE_RETURN_IF_ERROR(run.Run(&result));
+  if (auto_store != nullptr) {
+    result.stats.degraded_to_disk = auto_store->spilled();
+  }
   return result;
 }
 

@@ -21,10 +21,19 @@ namespace tane {
 ///
 /// The result lists each dependency with its measured g3 error, the minimal
 /// keys encountered during key pruning, and counters describing the run.
+///
+/// Resource limits: wiring a RunController into the config time-boxes and
+/// memory-bounds the run. The controller is polled at level boundaries and
+/// every few dozen validity tests / partition products; when its deadline
+/// expires or it is cancelled, Discover returns OK with a *partial* result
+/// (DiscoveryResult::completion != kComplete) holding every dependency
+/// already proven. Under StorageMode::kAuto a breached memory budget
+/// migrates the partition store to disk mid-run instead of failing.
 class Tane {
  public:
-  /// Runs the discovery. Fails only on invalid configuration or spill-I/O
-  /// errors (StorageMode::kDisk). Output FDs are in canonical order.
+  /// Runs the discovery. Fails only on invalid configuration, spill-I/O
+  /// errors (StorageMode::kDisk/kAuto), or a breached memory budget under
+  /// StorageMode::kMemory. Output FDs are in canonical order.
   static StatusOr<DiscoveryResult> Discover(const Relation& relation,
                                             const TaneConfig& config = {});
 };

@@ -1,0 +1,33 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace tane {
+namespace {
+
+constexpr uint32_t kPolynomial = 0xEDB88320u;
+
+std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPolynomial : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data, uint32_t seed) {
+  static const std::array<uint32_t, 256> table = MakeTable();
+  uint32_t crc = ~seed;
+  for (char ch : data) {
+    crc = (crc >> 8) ^ table[(crc ^ static_cast<uint8_t>(ch)) & 0xFFu];
+  }
+  return ~crc;
+}
+
+}  // namespace tane

@@ -1,0 +1,75 @@
+#include "util/failpoint.h"
+
+#include <atomic>
+#include <mutex>
+#include <unordered_map>
+
+namespace tane {
+namespace failpoint {
+namespace {
+
+struct ArmedPoint {
+  FailSpec spec;
+  int64_t hits = 0;
+};
+
+// Fast path: sites are only consulted while at least one point is armed.
+std::atomic<int64_t> g_armed_count{0};
+
+std::mutex& Mutex() {
+  static std::mutex* mutex = new std::mutex;
+  return *mutex;
+}
+
+std::unordered_map<std::string, ArmedPoint>& Registry() {
+  static auto* registry = new std::unordered_map<std::string, ArmedPoint>;
+  return *registry;
+}
+
+}  // namespace
+
+void Arm(const std::string& name, FailSpec spec) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto [it, inserted] = Registry().insert_or_assign(
+      name, ArmedPoint{std::move(spec), /*hits=*/0});
+  (void)it;
+  if (inserted) g_armed_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  if (Registry().erase(name) > 0) {
+    g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void ClearAll() {
+  std::lock_guard<std::mutex> lock(Mutex());
+  g_armed_count.fetch_sub(static_cast<int64_t>(Registry().size()),
+                          std::memory_order_relaxed);
+  Registry().clear();
+}
+
+int64_t HitCount(const std::string& name) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Registry().find(name);
+  return it == Registry().end() ? 0 : it->second.hits;
+}
+
+Status Check(const char* name) {
+  if (g_armed_count.load(std::memory_order_relaxed) == 0) return Status::OK();
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Registry().find(name);
+  if (it == Registry().end()) return Status::OK();
+  ArmedPoint& point = it->second;
+  const int64_t hit = point.hits++;
+  if (hit < point.spec.skip ||
+      hit >= point.spec.skip + point.spec.fail_times) {
+    return Status::OK();
+  }
+  return Status(point.spec.code,
+                point.spec.message + " (failpoint " + name + ")");
+}
+
+}  // namespace failpoint
+}  // namespace tane

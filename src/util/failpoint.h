@@ -1,0 +1,74 @@
+#ifndef TANE_UTIL_FAILPOINT_H_
+#define TANE_UTIL_FAILPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace tane {
+namespace failpoint {
+
+/// Fault-injection hooks for hardening tests. Code under test names its
+/// fallible sites with TANE_INJECT_FAILPOINT("site"); tests arm a site with
+/// a FailSpec to make the k-th execution return an error. The macro expands
+/// to nothing unless the build defines TANE_ENABLE_FAILPOINTS (the
+/// TANE_FAILPOINTS CMake option), so release builds pay zero cost; even when
+/// compiled in, an unarmed check is one relaxed atomic load.
+///
+///   failpoint::Arm("disk_store.put", {.skip = 2, .fail_times = 1});
+///   ... third Put write fails with kIoError, later ones succeed ...
+///   failpoint::ClearAll();
+
+/// True when the hooks are compiled into this build.
+#if defined(TANE_ENABLE_FAILPOINTS)
+inline constexpr bool kCompiledIn = true;
+#else
+inline constexpr bool kCompiledIn = false;
+#endif
+
+struct FailSpec {
+  /// Executions of the site that pass before injection starts.
+  int64_t skip = 0;
+  /// Number of consecutive executions that fail once injection starts;
+  /// executions after that pass again (a transient fault). Use a large
+  /// value to model a persistent fault.
+  int64_t fail_times = 1;
+  /// Status returned by the failing executions.
+  StatusCode code = StatusCode::kIoError;
+  std::string message = "injected fault";
+};
+
+/// Arms (or re-arms) the named site. Thread-safe.
+void Arm(const std::string& name, FailSpec spec);
+
+/// Disarms one site; unknown names are a no-op.
+void Disarm(const std::string& name);
+
+/// Disarms every site and resets all hit counters.
+void ClearAll();
+
+/// Number of times the named site has been evaluated since it was armed.
+int64_t HitCount(const std::string& name);
+
+/// Evaluates the named site: OK when unarmed or outside the failure window,
+/// else the armed error. Called via TANE_INJECT_FAILPOINT, not directly.
+Status Check(const char* name);
+
+}  // namespace failpoint
+}  // namespace tane
+
+#if defined(TANE_ENABLE_FAILPOINTS)
+#define TANE_INJECT_FAILPOINT(name)                           \
+  do {                                                        \
+    ::tane::Status tane_failpoint_status =                    \
+        ::tane::failpoint::Check(name);                       \
+    if (!tane_failpoint_status.ok()) return tane_failpoint_status; \
+  } while (0)
+#else
+#define TANE_INJECT_FAILPOINT(name) \
+  do {                              \
+  } while (0)
+#endif
+
+#endif  // TANE_UTIL_FAILPOINT_H_

@@ -1,0 +1,34 @@
+#include "util/retry.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace tane {
+
+bool IsTransientIoError(const Status& status) {
+  return status.code() == StatusCode::kIoError;
+}
+
+Status RetryWithBackoff(const RetryPolicy& policy,
+                        const std::function<Status()>& fn) {
+  const auto retriable =
+      policy.retriable ? policy.retriable : IsTransientIoError;
+  const auto sleep =
+      policy.sleep
+          ? policy.sleep
+          : [](std::chrono::milliseconds d) { std::this_thread::sleep_for(d); };
+  const int attempts = std::max(1, policy.max_attempts);
+
+  std::chrono::milliseconds backoff = policy.initial_backoff;
+  Status status = Status::OK();
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    status = fn();
+    if (status.ok() || !retriable(status) || attempt == attempts) break;
+    if (backoff.count() > 0) sleep(std::min(backoff, policy.max_backoff));
+    backoff = std::chrono::milliseconds(static_cast<int64_t>(
+        static_cast<double>(backoff.count()) * policy.multiplier));
+  }
+  return status;
+}
+
+}  // namespace tane

@@ -1,0 +1,42 @@
+#ifndef TANE_UTIL_RETRY_H_
+#define TANE_UTIL_RETRY_H_
+
+#include <chrono>
+#include <functional>
+
+#include "util/status.h"
+
+namespace tane {
+
+/// Policy for RetryWithBackoff: up to `max_attempts` tries, sleeping
+/// `initial_backoff * multiplier^k` between them, capped at `max_backoff`.
+/// Only statuses accepted by `retriable` are retried; everything else
+/// (including corruption detected by a checksum) surfaces immediately.
+struct RetryPolicy {
+  int max_attempts = 4;
+  std::chrono::milliseconds initial_backoff{1};
+  std::chrono::milliseconds max_backoff{16};
+  double multiplier = 2.0;
+
+  /// Which errors are worth retrying. Defaults to transient I/O errors.
+  std::function<bool(const Status&)> retriable;
+
+  /// Sleep hook, overridable in tests to avoid real delays. Defaults to
+  /// std::this_thread::sleep_for.
+  std::function<void(std::chrono::milliseconds)> sleep;
+};
+
+/// The default `retriable` predicate: kIoError only. Checksum mismatches and
+/// argument errors are deterministic and must not be retried, so callers
+/// that can distinguish them should use a different code (kInvalidArgument).
+bool IsTransientIoError(const Status& status);
+
+/// Runs `fn` until it returns OK, a non-retriable error, or the policy's
+/// attempt budget is exhausted; returns the last status. `fn` must be safe
+/// to re-run after a failure (writes at a fixed offset, idempotent reads).
+Status RetryWithBackoff(const RetryPolicy& policy,
+                        const std::function<Status()>& fn);
+
+}  // namespace tane
+
+#endif  // TANE_UTIL_RETRY_H_

@@ -1,0 +1,30 @@
+#include "util/run_control.h"
+
+namespace tane {
+
+std::string_view StopReasonToString(StopReason reason) {
+  switch (reason) {
+    case StopReason::kNone:
+      return "none";
+    case StopReason::kDeadline:
+      return "deadline";
+    case StopReason::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+bool RunController::ShouldStop() {
+  if (stop_reason_ != StopReason::kNone) return true;
+  if (cancel_requested()) {
+    stop_reason_ = StopReason::kCancelled;
+    return true;
+  }
+  if (has_deadline_ && Clock::now() >= deadline_) {
+    stop_reason_ = StopReason::kDeadline;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace tane

@@ -90,9 +90,15 @@ class StatusOr {
  public:
   // Intentionally implicit so `return MakeThing();` and `return status;`
   // both work at call sites, matching the absl::StatusOr idiom.
-  StatusOr(const T& value) : value_(value) {}              // NOLINT
-  StatusOr(T&& value) : value_(std::move(value)) {}        // NOLINT
-  StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT
+  StatusOr(const T& value) : value_(value) {}        // NOLINT
+  StatusOr(T&& value) : value_(std::move(value)) {}  // NOLINT
+  // An OK status carries no value, which would leave ok() and status().ok()
+  // disagreeing; normalize it to an error so both report failure.
+  StatusOr(Status status)  // NOLINT
+      : status_(status.ok()
+                    ? Status::Internal(
+                          "StatusOr constructed from an OK status with no value")
+                    : std::move(status)) {}
 
   bool ok() const { return status_.ok() && value_.has_value(); }
   const Status& status() const { return status_; }

@@ -132,11 +132,71 @@ TEST(CliTest, DiscoverDiskMode) {
 
 TEST(CliTest, DiscoverRejectsBadFlags) {
   const std::string path = WriteFigure1Csv();
-  EXPECT_EQ(RunCli({"discover", path, "--epsilon=banana"}).code, 1);
-  EXPECT_EQ(RunCli({"discover", path, "--format=xml"}).code, 1);
-  EXPECT_EQ(RunCli({"discover", path, "--delimiter=ab"}).code, 1);
-  EXPECT_EQ(RunCli({"discover", "/does/not/exist.csv"}).code, 1);
-  EXPECT_EQ(RunCli({"discover"}).code, 1);
+  EXPECT_EQ(RunCli({"discover", path, "--epsilon=banana"}).code, 2);
+  EXPECT_EQ(RunCli({"discover", path, "--format=xml"}).code, 2);
+  EXPECT_EQ(RunCli({"discover", path, "--delimiter=ab"}).code, 2);
+  EXPECT_EQ(RunCli({"discover", path, "--storage=floppy"}).code, 2);
+  EXPECT_EQ(RunCli({"discover", path, "--deadline-ms=-1"}).code, 2);
+  EXPECT_EQ(RunCli({"discover", path, "--memory-budget-mb=-1"}).code, 2);
+  // Typo'd flags must fail loudly, not silently run without the limit.
+  EXPECT_EQ(RunCli({"discover", path, "--memory-budget-md=64"}).code, 2);
+  EXPECT_NE(RunCli({"discover", path, "--no-such-flag"})
+                .err.find("unknown flag --no-such-flag"),
+            std::string::npos);
+  EXPECT_EQ(RunCli({"discover", "/does/not/exist.csv"}).code, 5);
+  EXPECT_EQ(RunCli({"discover"}).code, 2);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, ExitCodesAreDistinctPerStatusCode) {
+  EXPECT_EQ(ExitCodeForStatus(Status::OK()), 0);
+  EXPECT_EQ(ExitCodeForStatus(Status::InvalidArgument("x")), 2);
+  EXPECT_EQ(ExitCodeForStatus(Status::NotFound("x")), 3);
+  EXPECT_EQ(ExitCodeForStatus(Status::OutOfRange("x")), 4);
+  EXPECT_EQ(ExitCodeForStatus(Status::IoError("x")), 5);
+  EXPECT_EQ(ExitCodeForStatus(Status::FailedPrecondition("x")), 6);
+  EXPECT_EQ(ExitCodeForStatus(Status::ResourceExhausted("x")), 7);
+  EXPECT_EQ(ExitCodeForStatus(Status::Unimplemented("x")), 8);
+  EXPECT_EQ(ExitCodeForStatus(Status::Internal("x")), 9);
+}
+
+TEST(CliTest, ErrorsGoToStderrNotStdout) {
+  CliResult result = RunCli({"discover", "/does/not/exist.csv"});
+  EXPECT_EQ(result.code, 5);
+  EXPECT_TRUE(result.out.empty()) << result.out;
+  EXPECT_NE(result.err.find("error:"), std::string::npos);
+  EXPECT_NE(result.err.find("cannot open file"), std::string::npos);
+}
+
+TEST(CliTest, DiscoverStorageAutoAndBudget) {
+  const std::string path = WriteFigure1Csv();
+  CliResult explicit_auto = RunCli({"discover", path, "--storage=auto"});
+  EXPECT_EQ(explicit_auto.code, 0) << explicit_auto.err;
+  EXPECT_NE(explicit_auto.out.find("6 minimal dependencies"),
+            std::string::npos);
+  // A budget alone selects auto storage; a tiny dataset stays below any
+  // whole-megabyte budget, so the run completes without spilling.
+  CliResult budgeted =
+      RunCli({"discover", path, "--memory-budget-mb=64", "--stats"});
+  EXPECT_EQ(budgeted.code, 0) << budgeted.err;
+  EXPECT_NE(budgeted.out.find("6 minimal dependencies"), std::string::npos);
+  EXPECT_NE(budgeted.out.find("degraded_to_disk=0"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, DiscoverDeadlineExpiredPrintsPartialResult) {
+  const std::string path = WriteFigure1Csv();
+  // An already-expired deadline still completes level 1 before the first
+  // boundary check, so the run reports a partial (not failed) result.
+  CliResult result =
+      RunCli({"discover", path, "--deadline-ms=1", "--format=json"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("\"completion\": "), std::string::npos);
+  CliResult text = RunCli({"discover", path, "--deadline-ms=1"});
+  EXPECT_EQ(text.code, 0);
+  if (text.err.find("partial result") != std::string::npos) {
+    EXPECT_NE(text.out.find("# partial result:"), std::string::npos);
+  }
   std::remove(path.c_str());
 }
 
@@ -157,7 +217,7 @@ TEST(CliTest, CheckCommand) {
   CliResult approx = RunCli({"check", path, "--fd=A->B"});
   EXPECT_EQ(approx.code, 0);
   EXPECT_NE(approx.out.find("0.375"), std::string::npos);
-  EXPECT_EQ(RunCli({"check", path}).code, 1);  // missing --fd
+  EXPECT_EQ(RunCli({"check", path}).code, 2);  // missing --fd
   std::remove(path.c_str());
 }
 
@@ -201,7 +261,7 @@ TEST(CliTest, RulesCommand) {
   EXPECT_EQ(result.code, 0) << result.err;
   EXPECT_NE(result.out.find("city=paris => country=fr"), std::string::npos)
       << result.out;
-  EXPECT_EQ(RunCli({"rules", path, "--min-support=2"}).code, 1);
+  EXPECT_EQ(RunCli({"rules", path, "--min-support=2"}).code, 2);
   std::remove(path.c_str());
 }
 
@@ -214,8 +274,8 @@ TEST(CliTest, GenerateCommand) {
   for (char ch : result.out) lines += ch == '\n' ? 1 : 0;
   EXPECT_EQ(lines, 101);
   EXPECT_NE(result.out.find("id,score0"), std::string::npos);
-  EXPECT_EQ(RunCli({"generate", "nope"}).code, 1);
-  EXPECT_EQ(RunCli({"generate"}).code, 1);
+  EXPECT_EQ(RunCli({"generate", "nope"}).code, 3);
+  EXPECT_EQ(RunCli({"generate"}).code, 2);
 }
 
 TEST(CliTest, NoHeaderOption) {

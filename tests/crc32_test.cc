@@ -1,0 +1,41 @@
+#include "util/crc32.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace tane {
+namespace {
+
+TEST(Crc32Test, MatchesKnownVectors) {
+  // Standard CRC-32 (IEEE) check values.
+  EXPECT_EQ(Crc32(""), 0x00000000u);
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32("The quick brown fox jumps over the lazy dog"),
+            0x414FA339u);
+}
+
+TEST(Crc32Test, DetectsSingleBitFlips) {
+  std::string data(256, '\0');
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<char>(i);
+  const uint32_t clean = Crc32(data);
+  for (size_t byte : {size_t{0}, data.size() / 2, data.size() - 1}) {
+    std::string corrupt = data;
+    corrupt[byte] ^= 0x01;
+    EXPECT_NE(Crc32(corrupt), clean) << "flip at byte " << byte;
+  }
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string data = "partition payload bytes";
+  const uint32_t whole = Crc32(data);
+  const uint32_t split = Crc32(data.substr(8), Crc32(data.substr(0, 8)));
+  EXPECT_EQ(split, whole);
+}
+
+TEST(Crc32Test, SeedChangesResult) {
+  EXPECT_NE(Crc32("abc", 0), Crc32("abc", 1));
+}
+
+}  // namespace
+}  // namespace tane

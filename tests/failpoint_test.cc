@@ -1,0 +1,68 @@
+#include "util/failpoint.h"
+
+#include "gtest/gtest.h"
+
+namespace tane {
+namespace {
+
+class FailPointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { failpoint::ClearAll(); }
+};
+
+TEST_F(FailPointTest, UnarmedSitePasses) {
+  EXPECT_TRUE(failpoint::Check("nothing.armed").ok());
+  EXPECT_EQ(failpoint::HitCount("nothing.armed"), 0);
+}
+
+TEST_F(FailPointTest, ArmedSiteFailsInItsWindowThenRecovers) {
+  failpoint::Arm("site", {.skip = 1, .fail_times = 2});
+  EXPECT_TRUE(failpoint::Check("site").ok());   // hit 0: skipped
+  EXPECT_FALSE(failpoint::Check("site").ok());  // hits 1-2: failing
+  EXPECT_FALSE(failpoint::Check("site").ok());
+  EXPECT_TRUE(failpoint::Check("site").ok());  // transient fault over
+  EXPECT_EQ(failpoint::HitCount("site"), 4);
+}
+
+TEST_F(FailPointTest, InjectedStatusCarriesCodeMessageAndSiteName) {
+  failpoint::Arm("spill.write",
+                 {.skip = 0,
+                  .fail_times = 1,
+                  .code = StatusCode::kResourceExhausted,
+                  .message = "disk full"});
+  const Status status = failpoint::Check("spill.write");
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(status.message().find("disk full"), std::string::npos);
+  EXPECT_NE(status.message().find("spill.write"), std::string::npos);
+}
+
+TEST_F(FailPointTest, DisarmAndClearAllReset) {
+  failpoint::Arm("a", {.skip = 0, .fail_times = 100});
+  failpoint::Arm("b", {.skip = 0, .fail_times = 100});
+  EXPECT_FALSE(failpoint::Check("a").ok());
+  failpoint::Disarm("a");
+  EXPECT_TRUE(failpoint::Check("a").ok());
+  EXPECT_FALSE(failpoint::Check("b").ok());
+  failpoint::ClearAll();
+  EXPECT_TRUE(failpoint::Check("b").ok());
+  EXPECT_EQ(failpoint::HitCount("b"), 0);
+}
+
+TEST_F(FailPointTest, RearmingResetsTheHitCounter) {
+  failpoint::Arm("site", {.skip = 0, .fail_times = 1});
+  EXPECT_FALSE(failpoint::Check("site").ok());
+  EXPECT_TRUE(failpoint::Check("site").ok());
+  failpoint::Arm("site", {.skip = 0, .fail_times = 1});
+  EXPECT_FALSE(failpoint::Check("site").ok());  // counts restarted
+}
+
+TEST_F(FailPointTest, MacroCompilesInPerBuildConfiguration) {
+  // The TANE_INJECT_FAILPOINT macro is exercised end-to-end through the
+  // disk-store fault tests; here just pin the build-time switch's value so
+  // a configuration mismatch is visible in test logs.
+  SUCCEED() << "failpoints compiled in: "
+            << (failpoint::kCompiledIn ? "yes" : "no");
+}
+
+}  // namespace
+}  // namespace tane

@@ -1,10 +1,14 @@
 #include "core/partition_store.h"
 
 #include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "gtest/gtest.h"
 #include "partition/partition_builder.h"
 #include "tests/test_util.h"
+#include "util/failpoint.h"
 
 namespace tane {
 namespace {
@@ -148,6 +152,200 @@ TEST(DiskPartitionStoreTest, ManyPartitions) {
     EXPECT_EQ(*loaded, SamplePartition());
     TANE_ASSERT_OK((*store)->Release(handle));
   }
+}
+
+// A retry policy that records backoff waits instead of sleeping, keeping
+// the persistent-failure tests fast.
+RetryPolicy NoSleepPolicy(int* sleep_count = nullptr) {
+  RetryPolicy policy;
+  policy.sleep = [sleep_count](std::chrono::milliseconds) {
+    if (sleep_count != nullptr) ++*sleep_count;
+  };
+  return policy;
+}
+
+int CountDirectoryEntries(const std::string& directory) {
+  int count = 0;
+  for ([[maybe_unused]] const auto& entry :
+       std::filesystem::directory_iterator(directory)) {
+    ++count;
+  }
+  return count;
+}
+
+class DiskStoreFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!failpoint::kCompiledIn) {
+      GTEST_SKIP() << "built without TANE_ENABLE_FAILPOINTS";
+    }
+  }
+  void TearDown() override { failpoint::ClearAll(); }
+};
+
+TEST_F(DiskStoreFaultTest, CorruptedSegmentByteIsCaughtByChecksum) {
+  StatusOr<std::unique_ptr<DiskPartitionStore>> store =
+      DiskPartitionStore::Open();
+  ASSERT_TRUE(store.ok());
+  StatusOr<int64_t> handle = (*store)->Put(SamplePartition());
+  ASSERT_TRUE(handle.ok());
+
+  // Flip one payload byte on disk, past the 4-byte checksum header.
+  const std::string segment =
+      (std::filesystem::path((*store)->directory()) / "seg0.bin").string();
+  ASSERT_TRUE(std::filesystem::exists(segment));
+  {
+    std::fstream file(segment,
+                      std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.good());
+    file.seekg(10);
+    char byte = 0;
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    file.seekp(10);
+    file.write(&byte, 1);
+  }
+
+  // Retries must not mask corruption: every attempt re-reads the same bad
+  // bytes, so the checksum failure has to surface as a non-retried error.
+  (*store)->set_retry_policy(NoSleepPolicy());
+  StatusOr<StrippedPartition> loaded = (*store)->Get(*handle);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+  EXPECT_NE(loaded.status().message().find("checksum mismatch"),
+            std::string::npos)
+      << loaded.status().ToString();
+  EXPECT_NE(loaded.status().message().find("seg0.bin"), std::string::npos);
+}
+
+TEST_F(DiskStoreFaultTest, TransientWriteErrorIsRetriedWithBackoff) {
+  StatusOr<std::unique_ptr<DiskPartitionStore>> store =
+      DiskPartitionStore::Open();
+  ASSERT_TRUE(store.ok());
+  int sleeps = 0;
+  (*store)->set_retry_policy(NoSleepPolicy(&sleeps));
+  failpoint::Arm("disk_store.put", {.skip = 0, .fail_times = 2});
+  StatusOr<int64_t> handle = (*store)->Put(SamplePartition());
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+  EXPECT_EQ(sleeps, 2);
+  StatusOr<StrippedPartition> loaded = (*store)->Get(*handle);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, SamplePartition());
+}
+
+TEST_F(DiskStoreFaultTest, FailedPutLeavesNoStraySegmentFiles) {
+  const std::string directory =
+      ::testing::TempDir() + "/tane_store_fault_dir";
+  std::filesystem::remove_all(directory);
+  StatusOr<std::unique_ptr<DiskPartitionStore>> store =
+      DiskPartitionStore::Open(directory);
+  ASSERT_TRUE(store.ok());
+  (*store)->set_retry_policy(NoSleepPolicy());
+
+  failpoint::Arm("disk_store.put",
+                 {.skip = 0, .fail_times = 1'000'000'000});
+  StatusOr<int64_t> handle = (*store)->Put(SamplePartition());
+  ASSERT_FALSE(handle.ok());
+  EXPECT_EQ(handle.status().code(), StatusCode::kIoError);
+  EXPECT_NE(handle.status().message().find(directory), std::string::npos);
+  // The torn segment was unlinked: the spill directory is empty again.
+  EXPECT_EQ(CountDirectoryEntries(directory), 0);
+
+  // The store stays usable once the fault clears.
+  failpoint::ClearAll();
+  StatusOr<int64_t> recovered = (*store)->Put(SamplePartition());
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  StatusOr<StrippedPartition> loaded = (*store)->Get(*recovered);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, SamplePartition());
+}
+
+TEST_F(DiskStoreFaultTest, FailedWriteTruncatesButKeepsLiveRecords) {
+  StatusOr<std::unique_ptr<DiskPartitionStore>> store =
+      DiskPartitionStore::Open();
+  ASSERT_TRUE(store.ok());
+  (*store)->set_retry_policy(NoSleepPolicy());
+  StatusOr<int64_t> first = (*store)->Put(SamplePartition());
+  ASSERT_TRUE(first.ok());
+  const int64_t durable_bytes = (*store)->disk_bytes();
+
+  failpoint::Arm("disk_store.put",
+                 {.skip = 0, .fail_times = 1'000'000'000});
+  ASSERT_FALSE((*store)->Put(SamplePartition()).ok());
+  failpoint::ClearAll();
+
+  // The earlier record survived the neighbouring failure intact.
+  EXPECT_EQ((*store)->disk_bytes(), durable_bytes);
+  StatusOr<StrippedPartition> loaded = (*store)->Get(*first);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, SamplePartition());
+}
+
+TEST_F(DiskStoreFaultTest, FailedSegmentCreationLeavesNoFile) {
+  const std::string directory =
+      ::testing::TempDir() + "/tane_store_fault_open_dir";
+  std::filesystem::remove_all(directory);
+  StatusOr<std::unique_ptr<DiskPartitionStore>> store =
+      DiskPartitionStore::Open(directory);
+  ASSERT_TRUE(store.ok());
+  failpoint::Arm("disk_store.open_segment", {.skip = 0, .fail_times = 1});
+  ASSERT_FALSE((*store)->Put(SamplePartition()).ok());
+  EXPECT_EQ(CountDirectoryEntries(directory), 0);
+}
+
+TEST(AutoPartitionStoreTest, StaysInMemoryUnderBudget) {
+  AutoPartitionStore store(/*budget_bytes=*/1 << 20, "");
+  StatusOr<int64_t> handle = store.Put(SamplePartition());
+  ASSERT_TRUE(handle.ok());
+  EXPECT_FALSE(store.spilled());
+  EXPECT_GT(store.resident_bytes(), 0);
+  EXPECT_EQ(store.bytes_written(), 0);
+  // Peek serves straight from the in-memory inner store.
+  EXPECT_NE(store.Peek(*handle), nullptr);
+  StatusOr<StrippedPartition> loaded = store.Get(*handle);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, SamplePartition());
+  TANE_ASSERT_OK(store.Release(*handle));
+}
+
+TEST(AutoPartitionStoreTest, SpillsOnceBudgetExceededAndHandlesSurvive) {
+  AutoPartitionStore store(/*budget_bytes=*/1, "");
+  std::vector<int64_t> handles;
+  for (int i = 0; i < 5; ++i) {
+    StatusOr<int64_t> handle = store.Put(SamplePartition());
+    ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+    handles.push_back(*handle);
+  }
+  EXPECT_TRUE(store.spilled());
+  EXPECT_EQ(store.resident_bytes(), 0);
+  EXPECT_GT(store.bytes_written(), 0);
+  // Handles issued before the migration still resolve to their partitions.
+  for (int64_t handle : handles) {
+    StatusOr<StrippedPartition> loaded = store.Get(handle);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(*loaded, SamplePartition());
+  }
+  for (int64_t handle : handles) {
+    TANE_ASSERT_OK(store.Release(handle));
+  }
+  EXPECT_FALSE(store.Get(handles[0]).ok());
+}
+
+TEST(AutoPartitionStoreTest, ZeroBudgetMeansUnlimited) {
+  AutoPartitionStore store(/*budget_bytes=*/0, "");
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(store.Put(SamplePartition()).ok());
+  }
+  EXPECT_FALSE(store.spilled());
+  EXPECT_EQ(store.bytes_written(), 0);
+}
+
+TEST(AutoPartitionStoreTest, PutGetRelease) {
+  ExercisePutGetRelease(
+      [] { return std::make_unique<AutoPartitionStore>(1 << 20, ""); });
+  // And the same contract after degradation to disk.
+  ExercisePutGetRelease(
+      [] { return std::make_unique<AutoPartitionStore>(1, ""); });
 }
 
 }  // namespace

@@ -1,0 +1,106 @@
+#include "util/retry.h"
+
+#include <chrono>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace tane {
+namespace {
+
+// Policy whose sleeps are recorded instead of slept.
+RetryPolicy CountingPolicy(std::vector<std::chrono::milliseconds>* sleeps) {
+  RetryPolicy policy;
+  policy.sleep = [sleeps](std::chrono::milliseconds d) {
+    sleeps->push_back(d);
+  };
+  return policy;
+}
+
+TEST(RetryTest, SucceedsFirstTryWithoutSleeping) {
+  std::vector<std::chrono::milliseconds> sleeps;
+  int calls = 0;
+  const Status status = RetryWithBackoff(CountingPolicy(&sleeps), [&] {
+    ++calls;
+    return Status::OK();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(sleeps.empty());
+}
+
+TEST(RetryTest, RetriesTransientErrorUntilSuccess) {
+  std::vector<std::chrono::milliseconds> sleeps;
+  int calls = 0;
+  const Status status = RetryWithBackoff(CountingPolicy(&sleeps), [&] {
+    return ++calls < 3 ? Status::IoError("flaky") : Status::OK();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(sleeps.size(), 2u);
+}
+
+TEST(RetryTest, BackoffGrowsExponentiallyAndIsCapped) {
+  std::vector<std::chrono::milliseconds> sleeps;
+  RetryPolicy policy = CountingPolicy(&sleeps);
+  policy.max_attempts = 6;
+  policy.initial_backoff = std::chrono::milliseconds(1);
+  policy.max_backoff = std::chrono::milliseconds(4);
+  const Status status = RetryWithBackoff(
+      policy, [] { return Status::IoError("always"); });
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  ASSERT_EQ(sleeps.size(), 5u);  // attempts - 1
+  EXPECT_EQ(sleeps[0], std::chrono::milliseconds(1));
+  EXPECT_EQ(sleeps[1], std::chrono::milliseconds(2));
+  EXPECT_EQ(sleeps[2], std::chrono::milliseconds(4));
+  EXPECT_EQ(sleeps[3], std::chrono::milliseconds(4));  // capped
+  EXPECT_EQ(sleeps[4], std::chrono::milliseconds(4));
+}
+
+TEST(RetryTest, ExhaustsAttemptsAndReturnsLastError) {
+  std::vector<std::chrono::milliseconds> sleeps;
+  int calls = 0;
+  const Status status = RetryWithBackoff(CountingPolicy(&sleeps), [&] {
+    ++calls;
+    return Status::IoError("persistent #" + std::to_string(calls));
+  });
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_EQ(calls, 4);  // default max_attempts
+  EXPECT_NE(status.message().find("#4"), std::string::npos);
+}
+
+TEST(RetryTest, NonRetriableErrorSurfacesImmediately) {
+  std::vector<std::chrono::milliseconds> sleeps;
+  int calls = 0;
+  const Status status = RetryWithBackoff(CountingPolicy(&sleeps), [&] {
+    ++calls;
+    return Status::InvalidArgument("deterministic");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(sleeps.empty());
+}
+
+TEST(RetryTest, CustomRetriablePredicate) {
+  std::vector<std::chrono::milliseconds> sleeps;
+  RetryPolicy policy = CountingPolicy(&sleeps);
+  policy.retriable = [](const Status& status) {
+    return status.code() == StatusCode::kResourceExhausted;
+  };
+  int calls = 0;
+  const Status status = RetryWithBackoff(policy, [&] {
+    ++calls;
+    return Status::ResourceExhausted("busy");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(calls, 4);
+}
+
+TEST(RetryTest, DefaultPredicateRetriesOnlyIoErrors) {
+  EXPECT_TRUE(IsTransientIoError(Status::IoError("x")));
+  EXPECT_FALSE(IsTransientIoError(Status::InvalidArgument("x")));
+  EXPECT_FALSE(IsTransientIoError(Status::OK()));
+}
+
+}  // namespace
+}  // namespace tane

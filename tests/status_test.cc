@@ -58,6 +58,17 @@ TEST(StatusOrTest, HoldsError) {
   EXPECT_EQ(error.status().code(), StatusCode::kNotFound);
 }
 
+TEST(StatusOrTest, OkStatusWithoutValueNormalizesToInternalError) {
+  // Regression: a StatusOr built from an OK status has no value, so ok()
+  // reported false while status().ok() reported true — callers branching on
+  // status() misread it as success. It must read as an error on both paths.
+  StatusOr<int> broken = Status::OK();
+  EXPECT_FALSE(broken.ok());
+  EXPECT_FALSE(broken.status().ok());
+  EXPECT_EQ(broken.status().code(), StatusCode::kInternal);
+  EXPECT_NE(broken.status().message().find("OK status"), std::string::npos);
+}
+
 TEST(StatusOrTest, MoveOutValue) {
   StatusOr<std::string> value = std::string("payload");
   ASSERT_TRUE(value.ok());

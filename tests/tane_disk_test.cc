@@ -1,9 +1,11 @@
 #include <filesystem>
+#include <string>
 
 #include "core/tane.h"
 #include "datasets/generators.h"
 #include "gtest/gtest.h"
 #include "tests/test_util.h"
+#include "util/failpoint.h"
 
 namespace tane {
 namespace {
@@ -74,6 +76,80 @@ TEST(TaneDiskTest, DiskModeApproximateMatchesMemory) {
     EXPECT_EQ(FdStrings(disk_result->fds), FdStrings(mem_result->fds))
         << "eps=" << epsilon;
   }
+}
+
+// Fault injection into the spill path of a full discovery run. These tests
+// arm failpoints inside DiskPartitionStore (see util/failpoint.h); they are
+// skipped when the build compiled the injection sites out.
+class TaneSpillFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!failpoint::kCompiledIn) {
+      GTEST_SKIP() << "built without TANE_ENABLE_FAILPOINTS";
+    }
+  }
+  void TearDown() override { failpoint::ClearAll(); }
+};
+
+TEST_F(TaneSpillFaultTest, TransientSpillWriteErrorsAreRetriedToSuccess) {
+  // Two failures is below the default four attempts, so the first spill
+  // write recovers via backoff and the run must succeed end to end.
+  failpoint::Arm("disk_store.put", {.skip = 0, .fail_times = 2});
+  TaneConfig disk;
+  disk.storage = StorageMode::kDisk;
+  StatusOr<DiscoveryResult> result =
+      Tane::Discover(PaperFigure1Relation(), disk);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(failpoint::HitCount("disk_store.put"), 3);
+
+  StatusOr<DiscoveryResult> mem = Tane::Discover(PaperFigure1Relation());
+  ASSERT_TRUE(mem.ok());
+  EXPECT_EQ(FdStrings(result->fds), FdStrings(mem->fds));
+}
+
+TEST_F(TaneSpillFaultTest, TransientSpillReadErrorsAreRetriedToSuccess) {
+  failpoint::Arm("disk_store.get", {.skip = 0, .fail_times = 2});
+  TaneConfig disk;
+  disk.storage = StorageMode::kDisk;
+  StatusOr<DiscoveryResult> result =
+      Tane::Discover(PaperFigure1Relation(), disk);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  StatusOr<DiscoveryResult> mem = Tane::Discover(PaperFigure1Relation());
+  ASSERT_TRUE(mem.ok());
+  EXPECT_EQ(FdStrings(result->fds), FdStrings(mem->fds));
+}
+
+TEST_F(TaneSpillFaultTest, PersistentWriteFailureSurfacesIoErrorWithPath) {
+  const std::string directory =
+      ::testing::TempDir() + "/tane_spill_fault_dir";
+  std::filesystem::remove_all(directory);
+  failpoint::Arm("disk_store.put",
+                 {.skip = 0, .fail_times = 1'000'000'000});
+  TaneConfig disk;
+  disk.storage = StorageMode::kDisk;
+  disk.spill_directory = directory;
+  StatusOr<DiscoveryResult> result =
+      Tane::Discover(PaperFigure1Relation(), disk);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  // The error names the spill path so operators can find the bad device.
+  EXPECT_NE(result.status().message().find(directory), std::string::npos)
+      << result.status().ToString();
+  // Retries were actually attempted before giving up.
+  EXPECT_GE(failpoint::HitCount("disk_store.put"), 4);
+  // The failed run tore down its spill directory behind itself.
+  EXPECT_FALSE(std::filesystem::exists(directory));
+}
+
+TEST_F(TaneSpillFaultTest, PersistentSegmentCreationFailureSurfaces) {
+  failpoint::Arm("disk_store.open_segment",
+                 {.skip = 0, .fail_times = 1'000'000'000});
+  TaneConfig disk;
+  disk.storage = StorageMode::kDisk;
+  StatusOr<DiscoveryResult> result =
+      Tane::Discover(PaperFigure1Relation(), disk);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
 }
 
 TEST(TaneDiskTest, MemoryModeResidencyExceedsDiskMode) {

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Builds and tests every supported configuration: the default RelWithDebInfo
+# preset and the asan-ubsan preset (AddressSanitizer + UBSan), running the
+# full ctest suite under each. Usage: tools/check.sh [preset ...]; with no
+# arguments both presets run.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+  presets=(default asan-ubsan)
+fi
+
+jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+
+for preset in "${presets[@]}"; do
+  echo "==> configure: ${preset}"
+  cmake --preset "${preset}"
+  echo "==> build: ${preset}"
+  cmake --build --preset "${preset}" -j "${jobs}"
+  echo "==> test: ${preset}"
+  ctest --preset "${preset}" -j "${jobs}"
+done
+
+echo "All presets green: ${presets[*]}"

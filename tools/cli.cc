@@ -30,6 +30,14 @@ commands:
       --epsilon=E       g3 threshold in [0,1] (default 0 = exact FDs)
       --max-lhs=N       bound on left-hand-side size
       --disk            keep partitions on disk (the scalable TANE)
+      --storage=S       memory (default), disk, or auto (spill to disk when
+                        the memory budget is breached)
+      --deadline-ms=T   time-box the run; on expiry a partial result with
+                        every dependency proven so far is printed
+      --memory-budget-mb=M
+                        partition-memory budget; with --storage=auto (the
+                        default when only a budget is given) the run spills
+                        to disk instead of failing
       --format=F        text (default), json, or csv
       --stats           print search statistics
   keys <file.csv>       mine all minimal (approximate) keys
@@ -52,6 +60,10 @@ commands:
   help                  show this message
 
 shared CSV options: --no-header, --delimiter=C
+
+exit codes: 0 ok (including partial results), 2 invalid argument,
+  3 not found, 4 out of range, 5 I/O error, 6 failed precondition,
+  7 resource exhausted, 8 unimplemented, 9 internal error
 )";
 
 struct ParsedArgs {
@@ -86,6 +98,27 @@ StatusOr<ParsedArgs> ParseArgs(const std::vector<std::string>& args) {
     }
   }
   return parsed;
+}
+
+// Rejects flags no command handler would read; a silently dropped typo
+// (--memory-budget-md) would otherwise run without the limit the user
+// asked for.
+Status CheckKnownFlags(const ParsedArgs& args,
+                       std::initializer_list<const char*> known) {
+  for (const auto& [name, value] : args.flags) {
+    bool found = false;
+    for (const char* candidate : known) {
+      if (name == candidate) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument("unknown flag --" + name + " for '" +
+                                     args.command + "' (see 'tane help')");
+    }
+  }
+  return Status::OK();
 }
 
 StatusOr<double> FlagAsDouble(const ParsedArgs& args, const std::string& name,
@@ -125,23 +158,65 @@ StatusOr<Relation> LoadCsv(const ParsedArgs& args) {
   return ReadCsvFile(args.positional[0], options);
 }
 
-Status RunDiscover(const ParsedArgs& args, std::ostream& out) {
+Status RunDiscover(const ParsedArgs& args, std::ostream& out,
+                   std::ostream& err) {
   TANE_ASSIGN_OR_RETURN(Relation relation, LoadCsv(args));
   TaneConfig config;
   TANE_ASSIGN_OR_RETURN(config.epsilon, FlagAsDouble(args, "epsilon", 0.0));
   TANE_ASSIGN_OR_RETURN(int64_t max_lhs,
                         FlagAsInt(args, "max-lhs", kMaxAttributes));
   config.max_lhs_size = static_cast<int>(max_lhs);
+  TANE_ASSIGN_OR_RETURN(int64_t deadline_ms,
+                        FlagAsInt(args, "deadline-ms", 0));
+  TANE_ASSIGN_OR_RETURN(int64_t budget_mb,
+                        FlagAsInt(args, "memory-budget-mb", 0));
+  if (deadline_ms < 0) {
+    return Status::InvalidArgument("--deadline-ms must be >= 0");
+  }
+  if (budget_mb < 0) {
+    return Status::InvalidArgument("--memory-budget-mb must be >= 0");
+  }
+
   if (args.Flag("disk") != nullptr) config.storage = StorageMode::kDisk;
+  if (const std::string* storage = args.Flag("storage")) {
+    if (*storage == "memory") {
+      config.storage = StorageMode::kMemory;
+    } else if (*storage == "disk") {
+      config.storage = StorageMode::kDisk;
+    } else if (*storage == "auto") {
+      config.storage = StorageMode::kAuto;
+    } else {
+      return Status::InvalidArgument("unknown --storage: " + *storage);
+    }
+  } else if (budget_mb > 0 && args.Flag("disk") == nullptr) {
+    // A budget without an explicit storage choice means "stay fast, but
+    // degrade to disk rather than die".
+    config.storage = StorageMode::kAuto;
+  }
+
+  RunController controller;
+  if (deadline_ms > 0) {
+    controller.SetDeadlineAfter(std::chrono::milliseconds(deadline_ms));
+  }
+  if (budget_mb > 0) controller.set_memory_budget_bytes(budget_mb << 20);
+  if (deadline_ms > 0 || budget_mb > 0) config.run_controller = &controller;
 
   TANE_ASSIGN_OR_RETURN(DiscoveryResult result,
                         Tane::Discover(relation, config));
+  if (!result.complete()) {
+    err << "warning: partial result ("
+        << CompletionToString(result.completion) << ") after "
+        << result.completed_levels << " completed levels\n";
+  }
   const Schema& schema = relation.schema();
 
   const std::string* format = args.Flag("format");
   const std::string format_name = format == nullptr ? "text" : *format;
   if (format_name == "json") {
-    out << "{\n  \"num_fds\": " << result.num_fds() << ",\n  \"fds\": [\n";
+    out << "{\n  \"num_fds\": " << result.num_fds() << ",\n  \"completion\": \""
+        << CompletionToString(result.completion)
+        << "\",\n  \"completed_levels\": " << result.completed_levels
+        << ",\n  \"fds\": [\n";
     for (size_t i = 0; i < result.fds.size(); ++i) {
       out << "    " << FdToJson(result.fds[i], schema)
           << (i + 1 < result.fds.size() ? "," : "") << "\n";
@@ -163,6 +238,10 @@ Status RunDiscover(const ParsedArgs& args, std::ostream& out) {
   } else if (format_name == "text") {
     out << "# " << result.num_fds() << " minimal dependencies, "
         << result.keys.size() << " minimal keys\n";
+    if (!result.complete()) {
+      out << "# partial result: " << CompletionToString(result.completion)
+          << " after " << result.completed_levels << " completed levels\n";
+    }
     for (const FunctionalDependency& fd : result.fds) {
       out << fd.ToString(schema);
       if (fd.error > 0) out << "   (g3=" << fd.error << ")";
@@ -185,6 +264,7 @@ Status RunDiscover(const ParsedArgs& args, std::ostream& out) {
         << " g3_scans_skipped=" << stats.g3_scans_skipped
         << " peak_partition_bytes=" << stats.peak_partition_bytes
         << " spill_bytes=" << stats.spill_bytes_written
+        << " degraded_to_disk=" << (stats.degraded_to_disk ? 1 : 0)
         << " seconds=" << stats.wall_seconds << "\n";
   }
   return Status::OK();
@@ -410,32 +490,69 @@ std::string FdToJson(const FunctionalDependency& fd, const Schema& schema) {
   return out.str();
 }
 
+int ExitCodeForStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kInvalidArgument:
+      return 2;
+    case StatusCode::kNotFound:
+      return 3;
+    case StatusCode::kOutOfRange:
+      return 4;
+    case StatusCode::kIoError:
+      return 5;
+    case StatusCode::kFailedPrecondition:
+      return 6;
+    case StatusCode::kResourceExhausted:
+      return 7;
+    case StatusCode::kUnimplemented:
+      return 8;
+    case StatusCode::kInternal:
+      return 9;
+  }
+  return 1;
+}
+
 int Run(const std::vector<std::string>& args, std::ostream& out,
         std::ostream& err) {
   StatusOr<ParsedArgs> parsed = ParseArgs(args);
   if (!parsed.ok()) {
     err << "error: " << parsed.status().ToString() << "\n" << kUsage;
-    return 2;
+    return ExitCodeForStatus(parsed.status());
   }
 
   Status status = Status::OK();
   const std::string& command = parsed->command;
   if (command == "discover") {
-    status = RunDiscover(*parsed, out);
+    status = CheckKnownFlags(
+        *parsed, {"epsilon", "max-lhs", "deadline-ms", "memory-budget-mb",
+                  "disk", "storage", "format", "stats", "no-header",
+                  "delimiter"});
+    if (status.ok()) status = RunDiscover(*parsed, out, err);
   } else if (command == "keys") {
-    status = RunKeys(*parsed, out);
+    status = CheckKnownFlags(*parsed, {"epsilon", "no-header", "delimiter"});
+    if (status.ok()) status = RunKeys(*parsed, out);
   } else if (command == "check") {
-    status = RunCheck(*parsed, out);
+    status = CheckKnownFlags(*parsed, {"fd", "no-header", "delimiter"});
+    if (status.ok()) status = RunCheck(*parsed, out);
   } else if (command == "violations") {
-    status = RunViolations(*parsed, out);
+    status =
+        CheckKnownFlags(*parsed, {"fd", "limit", "no-header", "delimiter"});
+    if (status.ok()) status = RunViolations(*parsed, out);
   } else if (command == "normalize") {
-    status = RunNormalize(*parsed, out);
+    status = CheckKnownFlags(*parsed, {"no-header", "delimiter"});
+    if (status.ok()) status = RunNormalize(*parsed, out);
   } else if (command == "profile") {
-    status = RunProfile(*parsed, out);
+    status = CheckKnownFlags(*parsed, {"no-header", "delimiter"});
+    if (status.ok()) status = RunProfile(*parsed, out);
   } else if (command == "rules") {
-    status = RunRules(*parsed, out);
+    status = CheckKnownFlags(*parsed, {"min-support", "min-confidence",
+                                       "limit", "no-header", "delimiter"});
+    if (status.ok()) status = RunRules(*parsed, out);
   } else if (command == "generate") {
-    status = RunGenerate(*parsed, out);
+    status = CheckKnownFlags(*parsed, {"rows", "seed", "copies"});
+    if (status.ok()) status = RunGenerate(*parsed, out);
   } else if (command == "help" || command == "--help") {
     out << kUsage;
     return 0;
@@ -446,7 +563,7 @@ int Run(const std::vector<std::string>& args, std::ostream& out,
 
   if (!status.ok()) {
     err << "error: " << status.ToString() << "\n";
-    return 1;
+    return ExitCodeForStatus(status);
   }
   return 0;
 }

@@ -25,8 +25,17 @@ namespace cli {
 ///   normalize <file.csv>   minimal cover, candidate keys, BCNF proposal
 ///   generate <dataset>     write a synthetic paper dataset as CSV
 ///   help                   print usage
+///
+/// Exit codes are stable and distinct per failure class: 0 success
+/// (including deadline-expired partial results, which print a warning to
+/// `err`), 2 invalid argument, 3 not found, 4 out of range, 5 I/O error,
+/// 6 failed precondition, 7 resource exhausted, 8 unimplemented,
+/// 9 internal error. Diagnostics always go to `err`, never `out`.
 int Run(const std::vector<std::string>& args, std::ostream& out,
         std::ostream& err);
+
+/// Maps a Status to the CLI's documented process exit code.
+int ExitCodeForStatus(const Status& status);
 
 /// Parses a dependency written with schema names, e.g. "city,zip->state"
 /// (left side may be empty: "->state" is the constancy dependency).
