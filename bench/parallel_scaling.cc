@@ -1,0 +1,101 @@
+// Thread-scaling harness for the parallel level executor: runs the same
+// discovery at 1, 2, 4, and 8 worker threads and reports wall time,
+// speedup over the serial run, and the per-level parallel efficiency the
+// run observed. The dependency count is printed for every thread count —
+// the executor guarantees identical output, so a mismatch is a bug.
+//
+// Usage: parallel_scaling [--scale=quick|full] [--seed=N]
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "datasets/generators.h"
+
+namespace tane {
+namespace bench {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 4, 8};
+
+// A 15-attribute relation with planted structure: an id-like wide column,
+// correlated categoricals, and derived columns that create exact and
+// approximate dependencies across several lattice levels — enough nodes
+// per level to keep every worker busy.
+StatusOr<Relation> MakeScalingRelation(int64_t rows, uint64_t seed) {
+  SyntheticSpec spec;
+  spec.rows = rows;
+  spec.seed = seed;
+  spec.base = {
+      {"c0", 64, 0.0},  {"c1", 16, 0.5}, {"c2", 16, 0.5}, {"c3", 8, 0.0},
+      {"c4", 8, 1.0},   {"c5", 4, 0.0},  {"c6", 4, 0.5},  {"c7", 3, 0.0},
+      {"c8", 3, 0.0},   {"c9", 2, 0.0},
+  };
+  spec.derived = {
+      {"d0", {0, 1}, 32, 0.0, 0.0},
+      {"d1", {2, 3}, 16, 0.0, 0.0},
+      {"d2", {4, 5}, 8, 0.02, 0.0},
+      {"d3", {1, 6}, 8, 0.05, 0.0},
+      {"d4", {7}, 2, 0.0, 0.4},
+  };
+  return GenerateSynthetic(spec);
+}
+
+void RunSweep(const Relation& relation, double epsilon) {
+  std::printf("epsilon=%.2f\n", epsilon);
+  std::printf("  %-8s %10s %10s %8s %16s\n", "threads", "N", "time(s)",
+              "speedup", "level speedups");
+  double serial_seconds = 0.0;
+  int64_t serial_fds = -1;
+  for (int threads : kThreadCounts) {
+    TaneConfig config;
+    config.epsilon = epsilon;
+    config.num_threads = threads;
+    const Cell cell = RunTane(relation, config);
+    const double seconds = cell.seconds.value_or(0.0);
+    if (threads == 1) {
+      serial_seconds = seconds;
+      serial_fds = cell.num_fds;
+    }
+    std::printf("  %-8d %10lld %10.3f %7.2fx  ", threads,
+                static_cast<long long>(cell.num_fds), seconds,
+                seconds > 0.0 ? serial_seconds / seconds : 1.0);
+    for (const LevelParallelStats& level : cell.stats.level_parallel) {
+      std::printf(" L%d=%.2f", level.level, level.speedup());
+    }
+    std::printf("\n");
+    if (cell.num_fds != serial_fds) {
+      std::printf("  ** MISMATCH: %lld dependencies at %d threads vs %lld "
+                  "serial — determinism bug **\n",
+                  static_cast<long long>(cell.num_fds), threads,
+                  static_cast<long long>(serial_fds));
+    }
+  }
+}
+
+int Main(int argc, char** argv) {
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  PrintBanner("Parallel level execution: thread scaling sweep", options);
+
+  const int64_t rows = options.full_scale ? 200000 : 20000;
+  StatusOr<Relation> relation = MakeScalingRelation(rows, options.seed);
+  if (!relation.ok()) {
+    std::fprintf(stderr, "generator failed: %s\n",
+                 relation.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("relation: %lld rows x %d attributes\n\n",
+              static_cast<long long>(relation->num_rows()),
+              relation->num_columns());
+
+  RunSweep(*relation, 0.0);
+  std::printf("\n");
+  RunSweep(*relation, 0.1);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tane
+
+int main(int argc, char** argv) { return tane::bench::Main(argc, argv); }

@@ -55,9 +55,9 @@ StatusOr<std::vector<DiscoveredKey>> DiscoverKeys(
     // exactly the minimality condition for a key found at this level.
     std::vector<Node> next;
     for (const LevelCandidate& candidate : GenerateNextLevel(sets)) {
-      StrippedPartition partition = product.Multiply(
-          level[candidate.parent_a].partition,
-          level[candidate.parent_b].partition);
+      TANE_ASSIGN_OR_RETURN(StrippedPartition partition,
+                            product.Multiply(level[candidate.parent_a].partition,
+                                             level[candidate.parent_b].partition));
       if (is_key(partition)) {
         keys.push_back({candidate.set,
                         static_cast<double>(partition.Error()) /

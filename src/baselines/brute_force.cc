@@ -48,7 +48,8 @@ StatusOr<DiscoveryResult> BruteForce::Discover(const Relation& relation,
   const int64_t rows = relation.num_rows();
   G3Calculator g3(rows);
   const auto measure_error = [&](const StrippedPartition& lhs,
-                                 const StrippedPartition& joint) {
+                                 const StrippedPartition& joint)
+      -> StatusOr<double> {
     switch (measure) {
       case ErrorMeasure::kG2:
         return g3.G2Error(lhs, joint);
@@ -83,7 +84,8 @@ StatusOr<DiscoveryResult> BruteForce::Discover(const Relation& relation,
 
         const StrippedPartition joint =
             PartitionBuilder::ForAttributeSet(relation, lhs.With(rhs));
-        const double error = measure_error(lhs_partition, joint);
+        TANE_ASSIGN_OR_RETURN(const double error,
+                              measure_error(lhs_partition, joint));
         if (error <= epsilon + 1e-9) {
           result.fds.push_back({lhs, rhs, error});
           minimal_lhs[rhs].push_back(lhs);

@@ -10,6 +10,11 @@ Status TaneConfig::Validate() const {
   if (max_lhs_size < 0) {
     return Status::InvalidArgument("max_lhs_size must be >= 0");
   }
+  if (num_threads < 1 || num_threads > kMaxNumThreads) {
+    return Status::InvalidArgument(
+        "num_threads must be in [1, " + std::to_string(kMaxNumThreads) +
+        "], got " + std::to_string(num_threads));
+  }
   if (run_controller != nullptr && run_controller->memory_budget_bytes() < 0) {
     return Status::InvalidArgument("memory budget must be >= 0 bytes");
   }

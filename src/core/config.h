@@ -96,6 +96,19 @@ struct TaneConfig {
   /// factor O(|R|)". Exposed for the ablation bench.
   bool use_partition_products = true;
 
+  /// Worker threads for per-level node processing (validity tests and
+  /// partition products). 1 (the default) runs fully serial with no thread
+  /// ever spawned; N > 1 shards each level's independent nodes across N
+  /// workers, each with its own probe-table scratch. Output is identical
+  /// for every thread count: per-worker emissions are merged in node order
+  /// before pruning, so every rhs⁺ update and key decision is
+  /// deterministic. Must be in [1, kMaxNumThreads].
+  int num_threads = 1;
+
+  /// Upper bound on num_threads — generous for real hardware while keeping
+  /// a typo like --threads=1000000 from exhausting the process.
+  static constexpr int kMaxNumThreads = 256;
+
   StorageMode storage = StorageMode::kMemory;
 
   /// Spill directory for StorageMode::kDisk and the kAuto fallback. Empty

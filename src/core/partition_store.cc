@@ -8,6 +8,8 @@
 #include <filesystem>
 #include <fstream>
 #include <iterator>
+#include <mutex>
+#include <shared_mutex>
 
 #include "util/crc32.h"
 #include "util/failpoint.h"
@@ -22,6 +24,7 @@ namespace fs = std::filesystem;
 
 StatusOr<int64_t> MemoryPartitionStore::Put(
     const StrippedPartition& partition) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   const int64_t handle = next_handle_++;
   resident_bytes_ += partition.EstimatedBytes();
   partitions_.emplace(handle, partition);
@@ -29,6 +32,7 @@ StatusOr<int64_t> MemoryPartitionStore::Put(
 }
 
 StatusOr<StrippedPartition> MemoryPartitionStore::Get(int64_t handle) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = partitions_.find(handle);
   if (it == partitions_.end()) {
     return Status::NotFound("no partition with handle " +
@@ -38,11 +42,16 @@ StatusOr<StrippedPartition> MemoryPartitionStore::Get(int64_t handle) {
 }
 
 const StrippedPartition* MemoryPartitionStore::Peek(int64_t handle) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = partitions_.find(handle);
+  // The pointer outlives the lock: elements of an unordered_map are stable
+  // until erased, and Peek's contract already forbids holding the pointer
+  // across a Put/Release.
   return it == partitions_.end() ? nullptr : &it->second;
 }
 
 Status MemoryPartitionStore::Release(int64_t handle) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = partitions_.find(handle);
   if (it == partitions_.end()) {
     return Status::NotFound("release of unknown handle " +
@@ -259,6 +268,7 @@ void DiskPartitionStore::DropSegmentIfDead(int32_t segment_id) {
 }
 
 StatusOr<int64_t> DiskPartitionStore::Put(const StrippedPartition& partition) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (segments_.empty() || segments_.back().sealed) {
     TANE_RETURN_IF_ERROR(OpenNewSegment());
   }
@@ -295,6 +305,10 @@ StatusOr<int64_t> DiskPartitionStore::Put(const StrippedPartition& partition) {
 }
 
 StatusOr<StrippedPartition> DiskPartitionStore::Get(int64_t handle) {
+  // Reads share the lock: concurrent preads at distinct offsets are safe,
+  // and the segment behind a live handle cannot be unlinked while readers
+  // hold the shared lock (Release takes it exclusively).
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = entries_.find(handle);
   if (it == entries_.end()) {
     return Status::NotFound("no partition with handle " +
@@ -327,6 +341,7 @@ StatusOr<StrippedPartition> DiskPartitionStore::Get(int64_t handle) {
 }
 
 Status DiskPartitionStore::Release(int64_t handle) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = entries_.find(handle);
   if (it == entries_.end()) {
     return Status::NotFound("release of unknown handle " +
@@ -347,6 +362,7 @@ Status DiskPartitionStore::Release(int64_t handle) {
 }
 
 int64_t DiskPartitionStore::disk_bytes() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   int64_t total = 0;
   for (const Segment& segment : segments_) {
     if (segment.fd >= 0) total += segment.bytes;
@@ -358,6 +374,7 @@ int64_t DiskPartitionStore::disk_bytes() const {
 // AutoPartitionStore
 
 StatusOr<int64_t> AutoPartitionStore::Put(const StrippedPartition& partition) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   int64_t inner = 0;
   if (disk_ == nullptr) {
     TANE_ASSIGN_OR_RETURN(inner, memory_.Put(partition));
@@ -385,6 +402,7 @@ Status AutoPartitionStore::SpillToDisk() {
 }
 
 StatusOr<StrippedPartition> AutoPartitionStore::Get(int64_t handle) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = inner_handles_.find(handle);
   if (it == inner_handles_.end()) {
     return Status::NotFound("no partition with handle " +
@@ -394,6 +412,7 @@ StatusOr<StrippedPartition> AutoPartitionStore::Get(int64_t handle) {
 }
 
 Status AutoPartitionStore::Release(int64_t handle) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = inner_handles_.find(handle);
   if (it == inner_handles_.end()) {
     return Status::NotFound("release of unknown handle " +
@@ -405,6 +424,7 @@ Status AutoPartitionStore::Release(int64_t handle) {
 }
 
 const StrippedPartition* AutoPartitionStore::Peek(int64_t handle) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   if (disk_ != nullptr) return nullptr;
   auto it = inner_handles_.find(handle);
   return it == inner_handles_.end() ? nullptr : memory_.Peek(it->second);

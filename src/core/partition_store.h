@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 
@@ -16,6 +17,13 @@ namespace tane {
 /// version, §6) keeps partitions on disk and reads them back level by
 /// level; TANE/MEM keeps them in RAM. The driver is written against this
 /// interface so both variants share one code path.
+///
+/// Thread-safety: every implementation below guards its state with a
+/// reader-writer lock, so the read path (Get/Peek, the parallel level
+/// executor's Acquire traffic) proceeds concurrently across workers while
+/// Put/Release serialize. Pointers returned by Peek are still invalidated
+/// by a subsequent Put or Release; the driver only calls those between
+/// parallel regions.
 class PartitionStore {
  public:
   virtual ~PartitionStore() = default;
@@ -53,10 +61,14 @@ class MemoryPartitionStore : public PartitionStore {
   StatusOr<StrippedPartition> Get(int64_t handle) override;
   Status Release(int64_t handle) override;
   const StrippedPartition* Peek(int64_t handle) const override;
-  int64_t resident_bytes() const override { return resident_bytes_; }
+  int64_t resident_bytes() const override {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return resident_bytes_;
+  }
   int64_t bytes_written() const override { return 0; }
 
  private:
+  mutable std::shared_mutex mu_;
   std::unordered_map<int64_t, StrippedPartition> partitions_;
   int64_t next_handle_ = 0;
   int64_t resident_bytes_ = 0;
@@ -98,7 +110,10 @@ class DiskPartitionStore : public PartitionStore {
   StatusOr<StrippedPartition> Get(int64_t handle) override;
   Status Release(int64_t handle) override;
   int64_t resident_bytes() const override { return 0; }
-  int64_t bytes_written() const override { return bytes_written_; }
+  int64_t bytes_written() const override {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return bytes_written_;
+  }
 
   const std::string& directory() const { return directory_; }
 
@@ -142,6 +157,7 @@ class DiskPartitionStore : public PartitionStore {
   // back to its last durable byte.
   void CleanupFailedWrite(int32_t segment);
 
+  mutable std::shared_mutex mu_;
   std::string directory_;
   bool owns_directory_ = false;
   std::unordered_map<int64_t, Entry> entries_;
@@ -168,18 +184,24 @@ class AutoPartitionStore : public PartitionStore {
   Status Release(int64_t handle) override;
   const StrippedPartition* Peek(int64_t handle) const override;
   int64_t resident_bytes() const override {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     return disk_ == nullptr ? memory_.resident_bytes() : 0;
   }
   int64_t bytes_written() const override {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     return disk_ == nullptr ? 0 : disk_->bytes_written();
   }
 
   /// True once the memory budget was breached and the store moved to disk.
-  bool spilled() const { return disk_ != nullptr; }
+  bool spilled() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return disk_ != nullptr;
+  }
 
  private:
   Status SpillToDisk();
 
+  mutable std::shared_mutex mu_;
   int64_t budget_bytes_;
   std::string spill_directory_;
   MemoryPartitionStore memory_;

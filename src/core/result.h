@@ -11,6 +11,22 @@
 
 namespace tane {
 
+/// Wall-clock and summed worker-busy time of one level's parallelized
+/// phases (validity testing and next-level partition products). With N
+/// threads, speedup() approaches N when the level has enough independent
+/// nodes to keep every worker fed.
+struct LevelParallelStats {
+  int level = 0;
+  double wall_seconds = 0.0;
+  /// Busy time summed across all participating workers.
+  double worker_seconds = 0.0;
+  /// Achieved parallel speedup of this level: worker CPU time per unit of
+  /// wall time. 1.0 for a serial run.
+  double speedup() const {
+    return wall_seconds > 0.0 ? worker_seconds / wall_seconds : 1.0;
+  }
+};
+
 /// Counters describing the work a discovery run performed; used by the
 /// bench harness and by the ablation studies.
 struct DiscoveryStats {
@@ -39,6 +55,10 @@ struct DiscoveryStats {
   bool degraded_to_disk = false;
   /// Wall-clock seconds for the whole discovery.
   double wall_seconds = 0.0;
+  /// Worker threads the run executed with (TaneConfig::num_threads).
+  int num_threads = 1;
+  /// Per-level timing of the parallelized phases, in level order.
+  std::vector<LevelParallelStats> level_parallel;
 };
 
 /// Whether a discovery run finished the full levelwise search or was ended

@@ -1,8 +1,12 @@
 #include "core/tane.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <limits>
 #include <list>
 #include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -12,13 +16,25 @@
 #include "partition/partition_builder.h"
 #include "partition/product.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace tane {
 namespace {
 
-// Margin for the floating-point comparison "removals <= ε·|r|".
-constexpr double kEpsilonSlack = 1e-9;
+// The integer validity threshold ⌊ε·scale⌋: a dependency is valid iff its
+// violation count (g3 removals, g2 rows, or g1 pairs) is <= this value.
+// Computing the threshold once and comparing raw counts against it keeps
+// every validity decision in exact integer arithmetic — the old absolute
+// slack (1e-9) misclassified borderline dependencies once ε·scale grew past
+// the point where a double's ulp exceeds the slack.
+int64_t IntegerThreshold(double epsilon, double scale) {
+  const double product = epsilon * scale;
+  if (product >= static_cast<double>(std::numeric_limits<int64_t>::max())) {
+    return std::numeric_limits<int64_t>::max();
+  }
+  return std::max<int64_t>(0, static_cast<int64_t>(std::floor(product)));
+}
 
 // One attribute set of the current level, with its rhs⁺ candidates C⁺(X),
 // the partition error e(X), and the handle of π_X in the partition store.
@@ -34,6 +50,7 @@ struct Node {
 // memory-backed and maintaining a small LRU of deserialized partitions when
 // it is disk-backed. Pointers stay valid for at least the `capacity - 1`
 // following Acquire calls, which suffices for the two-operand uses here.
+// Not thread-safe; the parallel executor keeps one accessor per worker.
 class PartitionAccessor {
  public:
   PartitionAccessor(PartitionStore* store, size_t capacity)
@@ -72,6 +89,45 @@ class PartitionAccessor {
   std::list<std::pair<int64_t, StrippedPartition>> cache_;
 };
 
+// Scratch state owned by one worker thread. The G3Calculator and
+// PartitionProduct probe tables are O(|r|) and mutated on every call, so
+// they can never be shared between workers; the accessor keeps per-worker
+// LRU copies when the store is disk-backed. Stat counters accumulate here
+// and are merged into the run's totals at each region barrier, keeping the
+// hot loops free of shared atomics.
+struct WorkerState {
+  WorkerState(PartitionStore* store, int64_t num_rows)
+      : accessor(store, /*capacity=*/8), g3(num_rows), product(num_rows) {}
+
+  PartitionAccessor accessor;
+  G3Calculator g3;
+  PartitionProduct product;
+
+  int64_t validity_tests = 0;
+  int64_t g3_scans = 0;
+  int64_t g3_scans_skipped = 0;
+  int64_t partition_products = 0;
+  int64_t stop_poll_tick = 0;
+};
+
+// A dependency discovered while testing one node: X\{attribute} → attribute
+// with the given error. Recorded per node and merged in node order so the
+// output is identical for every thread count.
+struct Emission {
+  int attribute = -1;
+  double error = 0.0;
+};
+
+// Everything a worker produced for one node of the level.
+struct NodeOutcome {
+  Status status = Status::OK();
+  AttributeSet cplus_after;
+  std::vector<Emission> emissions;
+  // False when a cooperative stop fired before the node was picked up; such
+  // nodes contribute nothing to the (prefix-correct) partial result.
+  bool processed = false;
+};
+
 class TaneRun {
  public:
   TaneRun(const Relation& relation, const TaneConfig& config,
@@ -80,54 +136,125 @@ class TaneRun {
         config_(config),
         controller_(config.run_controller),
         store_(std::move(store)),
-        accessor_(store_.get(), /*capacity=*/8),
         num_rows_(relation.num_rows()),
-        eps_rows_(config.epsilon * static_cast<double>(relation.num_rows())),
-        g3_(relation.num_rows()),
-        product_(relation.num_rows()) {}
+        max_removals_(IntegerThreshold(
+            config.epsilon, static_cast<double>(relation.num_rows()))),
+        max_pairs_(IntegerThreshold(
+            config.epsilon, static_cast<double>(relation.num_rows()) *
+                                static_cast<double>(relation.num_rows()))),
+        pool_(config.num_threads) {
+    workers_.reserve(config.num_threads);
+    for (int worker = 0; worker < config.num_threads; ++worker) {
+      workers_.push_back(
+          std::make_unique<WorkerState>(store_.get(), num_rows_));
+    }
+  }
 
   Status Run(DiscoveryResult* result);
 
  private:
-  // COMPUTE-DEPENDENCIES(L_ℓ), paper §5.
+  // COMPUTE-DEPENDENCIES(L_ℓ), paper §5. Nodes are tested in parallel;
+  // emissions are merged in node order afterwards.
   Status ComputeDependencies(int level_number, std::vector<Node>* level,
                              const std::vector<Node>* prev,
                              const LevelIndex* prev_index,
-                             DiscoveryResult* result);
+                             DiscoveryResult* result, LevelParallelStats* lp);
+
+  // The per-node half of COMPUTE-DEPENDENCIES (lines 3-8): runs every
+  // validity test of `node` and collects emissions plus the final C⁺ into
+  // `out` without touching shared state. Safe to call concurrently for
+  // distinct nodes. The C⁺ updates of lines 7-8 commute (set differences
+  // and intersections), so applying them against a snapshot here and
+  // merging later reproduces the serial result exactly.
+  Status ProcessNode(int level_number, const Node& node,
+                     const std::vector<Node>* prev,
+                     const LevelIndex* prev_index, WorkerState* w,
+                     NodeOutcome* out);
 
   // PRUNE(L_ℓ), paper §5. Marks nodes deleted and emits key dependencies.
   Status Prune(int level_number, std::vector<Node>* level,
                DiscoveryResult* result);
 
+  // GENERATE-NEXT-LEVEL partition computation for one candidate.
+  StatusOr<StrippedPartition> BuildCandidatePartition(
+      WorkerState* w, const LevelCandidate& candidate,
+      const std::vector<Node>& survivors);
+
   // Tests X\{A} → A given e(X\{A}), handles for both partitions, and e(X).
-  // Sets *valid and *error (the g3 value to report when valid).
-  Status TestValidity(int64_t prev_error, int64_t prev_handle,
+  // Sets *valid and *error (the error value to report when valid).
+  Status TestValidity(WorkerState* w, int64_t prev_error, int64_t prev_handle,
                       const Node& node, bool* valid, double* error,
                       bool* exact_holds);
 
   Status ReleaseHandles(std::vector<Node>* nodes);
   void SamplePeakMemory();
 
-  // Consults the RunController; once it trips, the stop is latched and the
-  // run winds down to a partial result. Cheap enough for level boundaries;
-  // inner loops go through PollStopStrided to amortize the clock read.
-  bool PollStop() {
-    if (stopped_) return true;
-    if (controller_ != nullptr && controller_->ShouldStop()) {
-      stopped_ = true;
-      completion_ = controller_->stop_reason() == StopReason::kCancelled
-                        ? Completion::kCancelled
-                        : Completion::kDeadlineExpired;
-    }
-    return stopped_;
+  int64_t AccessorCacheBytes() const {
+    int64_t total = 0;
+    for (const auto& worker : workers_) total += worker->accessor.cache_bytes();
+    return total;
   }
 
-  // The "every N partition products / validity tests" check.
-  bool PollStopStrided() {
-    if (stopped_) return true;
+  void ClearAccessors() {
+    for (const auto& worker : workers_) worker->accessor.Clear();
+  }
+
+  // Folds the per-worker stat counters into the run totals. Called at
+  // region barriers only, so the totals are identical for every thread
+  // count (integer sums commute).
+  void MergeWorkerStats() {
+    for (const auto& worker : workers_) {
+      stats_.validity_tests += worker->validity_tests;
+      stats_.g3_scans += worker->g3_scans;
+      stats_.g3_scans_skipped += worker->g3_scans_skipped;
+      stats_.partition_products += worker->partition_products;
+      worker->validity_tests = 0;
+      worker->g3_scans = 0;
+      worker->g3_scans_skipped = 0;
+      worker->partition_products = 0;
+    }
+  }
+
+  bool stopped() const { return stop_flag_.load(std::memory_order_relaxed); }
+
+  // Records why the run stopped, once, after the controller latched a
+  // reason. A no-op while the controller has not tripped. Coordinator-only.
+  void LatchCompletion() {
+    if (completion_ != Completion::kComplete || controller_ == nullptr) return;
+    const StopReason reason = controller_->stop_reason();
+    if (reason == StopReason::kNone) return;
+    completion_ = reason == StopReason::kCancelled
+                      ? Completion::kCancelled
+                      : Completion::kDeadlineExpired;
+  }
+
+  // Consults the RunController; once it trips, the stop is latched and the
+  // run winds down to a partial result. Coordinator-only (between parallel
+  // regions and at level boundaries).
+  bool PollStop() {
+    if (stopped()) {
+      LatchCompletion();
+      return true;
+    }
+    if (controller_ != nullptr && controller_->ShouldStop()) {
+      stop_flag_.store(true, std::memory_order_relaxed);
+      LatchCompletion();
+      return true;
+    }
+    return false;
+  }
+
+  // The workers' cooperative stop check: the shared flag is cheap to read
+  // every node; the controller's clock is consulted every kStopPollStride
+  // polls. Any worker observing the controller trip publishes the flag so
+  // its peers wind down too.
+  bool WorkerShouldStop(WorkerState* w) {
+    if (stop_flag_.load(std::memory_order_relaxed)) return true;
     if (controller_ == nullptr) return false;
-    if (++stop_poll_tick_ % kStopPollStride != 0) return false;
-    return PollStop();
+    if (++w->stop_poll_tick % kStopPollStride != 0) return false;
+    if (!controller_->ShouldStop()) return false;
+    stop_flag_.store(true, std::memory_order_relaxed);
+    return true;
   }
 
   // Under StorageMode::kMemory a configured budget is a hard limit: the
@@ -139,7 +266,7 @@ class TaneRun {
     }
     const int64_t budget = controller_->memory_budget_bytes();
     if (budget <= 0) return Status::OK();
-    const int64_t resident = store_->resident_bytes() + accessor_.cache_bytes();
+    const int64_t resident = store_->resident_bytes() + AccessorCacheBytes();
     if (resident <= budget) return Status::OK();
     return Status::ResourceExhausted(
         "resident partitions (" + std::to_string(resident) +
@@ -150,7 +277,8 @@ class TaneRun {
   const StrippedPartition& EmptySetPartition();
 
   // Records an emitted dependency for the definitional C⁺ fallback and the
-  // covered-rhs pruning masks below.
+  // covered-rhs pruning masks below. Coordinator-only: workers buffer
+  // emissions in NodeOutcome and the merge loop calls this in node order.
   void RecordFd(DiscoveryResult* result, AttributeSet lhs, int rhs,
                 double error) {
     result->fds.push_back({lhs, rhs, error});
@@ -193,19 +321,23 @@ class TaneRun {
   const TaneConfig& config_;
   RunController* const controller_;
   std::unique_ptr<PartitionStore> store_;
-  PartitionAccessor accessor_;
   const int64_t num_rows_;
-  const double eps_rows_;
-  G3Calculator g3_;
-  PartitionProduct product_;
+  // ⌊ε·|r|⌋: validity threshold for g3 removal and g2 row counts.
+  const int64_t max_removals_;
+  // ⌊ε·|r|²⌋: validity threshold for g1 ordered-pair counts.
+  const int64_t max_pairs_;
+  ThreadPool pool_;
+  std::vector<std::unique_ptr<WorkerState>> workers_;
   DiscoveryStats stats_;
 
-  // Early-stop state latched by PollStop.
-  bool stopped_ = false;
+  // Cooperative stop state: the flag is written by any worker or the
+  // coordinator (mirroring the controller's latched reason); completion_ is
+  // coordinator-only.
+  std::atomic<bool> stop_flag_{false};
   Completion completion_ = Completion::kComplete;
-  int64_t stop_poll_tick_ = 0;
 
-  // π_∅ and e(∅), needed when testing dependencies ∅ → A at level 1.
+  // π_∅ and e(∅), needed when testing dependencies ∅ → A at level 1. Built
+  // eagerly before the first parallel region (workers only read it).
   std::unique_ptr<StrippedPartition> empty_partition_;
   int64_t empty_error_ = 0;
 
@@ -221,6 +353,7 @@ class TaneRun {
 
   // Resident copies of the single-attribute partitions, kept only in the
   // Schlimmer-style recomputation mode (use_partition_products == false).
+  // Read-only once built, so workers share them without locking.
   std::vector<StrippedPartition> singleton_partitions_;
 };
 
@@ -236,7 +369,7 @@ const StrippedPartition& TaneRun::EmptySetPartition() {
 void TaneRun::SamplePeakMemory() {
   stats_.peak_partition_bytes =
       std::max(stats_.peak_partition_bytes,
-               store_->resident_bytes() + accessor_.cache_bytes());
+               store_->resident_bytes() + AccessorCacheBytes());
 }
 
 Status TaneRun::ReleaseHandles(std::vector<Node>* nodes) {
@@ -246,14 +379,14 @@ Status TaneRun::ReleaseHandles(std::vector<Node>* nodes) {
       node.handle = -1;
     }
   }
-  accessor_.Clear();
+  ClearAccessors();
   return Status::OK();
 }
 
-Status TaneRun::TestValidity(int64_t prev_error, int64_t prev_handle,
-                             const Node& node, bool* valid, double* error,
-                             bool* exact_holds) {
-  ++stats_.validity_tests;
+Status TaneRun::TestValidity(WorkerState* w, int64_t prev_error,
+                             int64_t prev_handle, const Node& node,
+                             bool* valid, double* error, bool* exact_holds) {
+  ++w->validity_tests;
   *exact_holds = (prev_error == node.error);
   *error = 0.0;
 
@@ -263,21 +396,21 @@ Status TaneRun::TestValidity(int64_t prev_error, int64_t prev_handle,
     return Status::OK();
   }
 
-  // Approximate mode: decide error(X\{A} → A) ≤ ε. For g3 the e(·)-based
-  // bounds run first (O(1)); the exact partition scan (O(|r|)) only when
-  // necessary. g1/g2 have no such bounds and always scan.
+  // Approximate mode: decide error(X\{A} → A) ≤ ε with the violation count
+  // compared against the precomputed integer threshold. For g3 the
+  // e(·)-based bounds run first (O(1)); the exact partition scan (O(|r|))
+  // only when necessary. g1/g2 have no such bounds and always scan.
   if (config_.measure == ErrorMeasure::kG3) {
     const int64_t lower = std::max<int64_t>(0, prev_error - node.error);
     const int64_t upper = prev_error;
-    if (config_.use_g3_bounds &&
-        static_cast<double>(lower) > eps_rows_ + kEpsilonSlack) {
-      ++stats_.g3_scans_skipped;
+    if (config_.use_g3_bounds && lower > max_removals_) {
+      ++w->g3_scans_skipped;
       *valid = false;
       return Status::OK();
     }
     if (config_.use_g3_bounds && !config_.compute_exact_errors &&
-        static_cast<double>(upper) <= eps_rows_ + kEpsilonSlack) {
-      ++stats_.g3_scans_skipped;
+        upper <= max_removals_) {
+      ++w->g3_scans_skipped;
       *valid = true;
       *error = num_rows_ == 0 ? 0.0
                               : static_cast<double>(upper) /
@@ -288,40 +421,96 @@ Status TaneRun::TestValidity(int64_t prev_error, int64_t prev_handle,
 
   const StrippedPartition* coarse = nullptr;
   if (prev_handle >= 0) {
-    TANE_ASSIGN_OR_RETURN(coarse, accessor_.Acquire(prev_handle));
+    TANE_ASSIGN_OR_RETURN(coarse, w->accessor.Acquire(prev_handle));
   } else {
-    coarse = &EmptySetPartition();
+    coarse = empty_partition_.get();
+    TANE_CHECK(coarse != nullptr) << "empty-set partition not prebuilt";
   }
   TANE_ASSIGN_OR_RETURN(const StrippedPartition* fine,
-                        accessor_.Acquire(node.handle));
-  ++stats_.g3_scans;
+                        w->accessor.Acquire(node.handle));
+  ++w->g3_scans;
   switch (config_.measure) {
     case ErrorMeasure::kG3: {
-      const int64_t removals = g3_.RemovalCount(*coarse, *fine);
-      *valid = static_cast<double>(removals) <= eps_rows_ + kEpsilonSlack;
+      TANE_ASSIGN_OR_RETURN(const int64_t removals,
+                            w->g3.RemovalCount(*coarse, *fine));
+      *valid = removals <= max_removals_;
       *error = num_rows_ == 0 ? 0.0
                               : static_cast<double>(removals) /
                                     static_cast<double>(num_rows_);
       break;
     }
     case ErrorMeasure::kG2: {
-      *error = g3_.G2Error(*coarse, *fine);
-      *valid = *error <= config_.epsilon + kEpsilonSlack;
+      TANE_ASSIGN_OR_RETURN(const int64_t violating_rows,
+                            w->g3.ViolatingRowCount(*coarse, *fine));
+      *valid = violating_rows <= max_removals_;
+      *error = num_rows_ == 0 ? 0.0
+                              : static_cast<double>(violating_rows) /
+                                    static_cast<double>(num_rows_);
       break;
     }
     case ErrorMeasure::kG1: {
-      *error = g3_.G1Error(*coarse, *fine);
-      *valid = *error <= config_.epsilon + kEpsilonSlack;
+      TANE_ASSIGN_OR_RETURN(const int64_t violating_pairs,
+                            w->g3.ViolatingPairCount(*coarse, *fine));
+      *valid = violating_pairs <= max_pairs_;
+      *error = num_rows_ == 0 ? 0.0
+                              : static_cast<double>(violating_pairs) /
+                                    (static_cast<double>(num_rows_) *
+                                     static_cast<double>(num_rows_));
       break;
     }
   }
   return Status::OK();
 }
 
+Status TaneRun::ProcessNode(int level_number, const Node& node,
+                            const std::vector<Node>* prev,
+                            const LevelIndex* prev_index, WorkerState* w,
+                            NodeOutcome* out) {
+  // Lines 3-8 for one node: test X\{A} → A for A ∈ X ∩ C⁺(X). The
+  // candidate set is snapshot before any test, exactly like the serial
+  // loop, so C⁺ updates from this node's own emissions never affect which
+  // tests run.
+  AttributeSet cplus = node.cplus;
+  const AttributeSet candidates = node.set.Intersect(node.cplus);
+  for (int attribute : Members(candidates)) {
+    const AttributeSet lhs = node.set.Without(attribute);
+    int64_t prev_error = empty_error_;
+    int64_t prev_handle = -1;
+    if (level_number > 1) {
+      const int prev_pos = prev_index->Find(lhs);
+      TANE_CHECK(prev_pos >= 0);
+      prev_error = (*prev)[prev_pos].error;
+      prev_handle = (*prev)[prev_pos].handle;
+    }
+
+    bool valid = false;
+    bool exact_holds = false;
+    double error = 0.0;
+    TANE_RETURN_IF_ERROR(TestValidity(w, prev_error, prev_handle, node,
+                                      &valid, &error, &exact_holds));
+    if (!valid) continue;
+
+    // Line 6: the minimal dependency, buffered for the in-order merge.
+    out->emissions.push_back({attribute, error});
+    // Line 7: A can no longer be a minimal rhs for any superset.
+    cplus = cplus.Without(attribute);
+    // Line 8 (exact) / 8' (approximate): Lemma 4.1 strengthening. In the
+    // approximate algorithm it applies only when the dependency holds
+    // exactly.
+    if (config_.use_rhs_plus_pruning &&
+        (config_.epsilon == 0.0 || exact_holds)) {
+      cplus = cplus.Intersect(node.set);
+    }
+  }
+  out->cplus_after = cplus;
+  return Status::OK();
+}
+
 Status TaneRun::ComputeDependencies(int level_number, std::vector<Node>* level,
                                     const std::vector<Node>* prev,
                                     const LevelIndex* prev_index,
-                                    DiscoveryResult* result) {
+                                    DiscoveryResult* result,
+                                    LevelParallelStats* lp) {
   const AttributeSet full = AttributeSet::FullSet(relation_.num_columns());
 
   // Line 2: C⁺(X) := ∩_{A∈X} C⁺(X\{A}).  At level 1, C⁺(∅) = R.
@@ -353,43 +542,43 @@ Status TaneRun::ComputeDependencies(int level_number, std::vector<Node>* level,
     node.cplus = cplus;
   }
 
-  // Lines 3-8: test X\{A} → A for A ∈ X ∩ C⁺(X). Aborting between nodes
-  // keeps the result prefix-correct: each emitted dependency passed its own
+  // Lines 3-8, sharded across workers: every node's tests read only the
+  // previous level and the node itself, so nodes are independent. Workers
+  // buffer their findings per node; nothing shared is written until the
+  // merge below.
+  std::vector<NodeOutcome> outcomes(level->size());
+  const ParallelForStats region = pool_.ParallelFor(
+      static_cast<int64_t>(level->size()), [&](int worker, int64_t i) {
+        WorkerState* w = workers_[worker].get();
+        if (WorkerShouldStop(w)) return;
+        NodeOutcome& out = outcomes[i];
+        out.status =
+            ProcessNode(level_number, (*level)[i], prev, prev_index, w, &out);
+        out.processed = true;
+      });
+  lp->wall_seconds += region.wall_seconds;
+  lp->worker_seconds += region.busy_seconds;
+  MergeWorkerStats();
+  // Deliberately no controller poll here: like the serial strided loop, a
+  // stop that no worker observed mid-level is only acted on at the level
+  // boundary, after PRUNE has run against the fully merged C⁺ sets.
+
+  // Merge in node order: the emissions and C⁺ updates land exactly as the
+  // serial loop would have applied them, so pruning decisions downstream
+  // are deterministic for every thread count. Aborting between nodes keeps
+  // the result prefix-correct: each emitted dependency passed its own
   // validity test and its minimality rests only on fully completed lower
   // levels, so it also appears in the complete run's output.
-  for (Node& node : *level) {
-    if (PollStopStrided()) return Status::OK();
-    const AttributeSet candidates = node.set.Intersect(node.cplus);
-    for (int attribute : Members(candidates)) {
-      const AttributeSet lhs = node.set.Without(attribute);
-      int64_t prev_error = empty_error_;
-      int64_t prev_handle = -1;
-      if (level_number > 1) {
-        const int prev_pos = prev_index->Find(lhs);
-        TANE_CHECK(prev_pos >= 0);
-        prev_error = (*prev)[prev_pos].error;
-        prev_handle = (*prev)[prev_pos].handle;
-      }
-
-      bool valid = false;
-      bool exact_holds = false;
-      double error = 0.0;
-      TANE_RETURN_IF_ERROR(TestValidity(prev_error, prev_handle, node, &valid,
-                                        &error, &exact_holds));
-      if (!valid) continue;
-
-      // Line 6: output the minimal dependency.
-      RecordFd(result, lhs, attribute, error);
-      // Line 7: A can no longer be a minimal rhs for any superset.
-      node.cplus = node.cplus.Without(attribute);
-      // Line 8 (exact) / 8' (approximate): Lemma 4.1 strengthening. In the
-      // approximate algorithm it applies only when the dependency holds
-      // exactly.
-      if (config_.use_rhs_plus_pruning &&
-          (config_.epsilon == 0.0 || exact_holds)) {
-        node.cplus = node.cplus.Intersect(node.set);
-      }
+  for (size_t i = 0; i < level->size(); ++i) {
+    NodeOutcome& out = outcomes[i];
+    if (!out.processed) continue;  // a stop fired before this node ran
+    TANE_RETURN_IF_ERROR(out.status);
+    Node& node = (*level)[i];
+    for (const Emission& emission : out.emissions) {
+      RecordFd(result, node.set.Without(emission.attribute),
+               emission.attribute, emission.error);
     }
+    node.cplus = out.cplus_after;
   }
   return Status::OK();
 }
@@ -454,8 +643,33 @@ Status TaneRun::Prune(int level_number, std::vector<Node>* level,
       node.handle = -1;
     }
   }
-  accessor_.Clear();
+  ClearAccessors();
   return Status::OK();
+}
+
+StatusOr<StrippedPartition> TaneRun::BuildCandidatePartition(
+    WorkerState* w, const LevelCandidate& candidate,
+    const std::vector<Node>& survivors) {
+  if (config_.use_partition_products) {
+    TANE_ASSIGN_OR_RETURN(
+        const StrippedPartition* a,
+        w->accessor.Acquire(survivors[candidate.parent_a].handle));
+    TANE_ASSIGN_OR_RETURN(
+        const StrippedPartition* b,
+        w->accessor.Acquire(survivors[candidate.parent_b].handle));
+    ++w->partition_products;
+    return w->product.Multiply(*a, *b);
+  }
+  // Schlimmer-style recomputation: fold the candidate set's singleton
+  // partitions, |X|−1 products instead of one.
+  const std::vector<int> members = candidate.set.ToIndices();
+  StrippedPartition product = singleton_partitions_[members[0]];
+  for (size_t i = 1; i < members.size(); ++i) {
+    TANE_ASSIGN_OR_RETURN(
+        product, w->product.Multiply(product, singleton_partitions_[members[i]]));
+    ++w->partition_products;
+  }
+  return product;
 }
 
 Status TaneRun::Run(DiscoveryResult* result) {
@@ -464,6 +678,12 @@ Status TaneRun::Run(DiscoveryResult* result) {
   empty_error_ = num_rows_ > 0 ? num_rows_ - 1 : 0;
   found_lhs_by_rhs_.assign(num_attributes, {});
   covered_by_singleton_.assign(num_attributes, AttributeSet());
+  stats_.num_threads = config_.num_threads;
+  if (config_.epsilon > 0.0) {
+    // π_∅ backs the level-1 tests ∅ → A; build it before workers can race
+    // to create it lazily.
+    (void)EmptySetPartition();
+  }
 
   // L_1 := {{A} | A ∈ R}, with partitions computed from the database.
   std::vector<Node> current;
@@ -496,14 +716,18 @@ Status TaneRun::Run(DiscoveryResult* result) {
     stats_.levels_processed = level_number;
     stats_.max_level_size = std::max(
         stats_.max_level_size, static_cast<int64_t>(current.size()));
+    LevelParallelStats level_stats;
+    level_stats.level = level_number;
 
     TANE_RETURN_IF_ERROR(ComputeDependencies(level_number, &current, &prev,
-                                             &prev_index, result));
+                                             &prev_index, result,
+                                             &level_stats));
     TANE_RETURN_IF_ERROR(ReleaseHandles(&prev));
-    if (stopped_) {
+    if (stopped()) {
       // Stopped mid-level: the dependencies already emitted stand on their
       // own, but PRUNE must not run against half-updated C⁺ sets (it could
       // certify a non-minimal key dependency). Wind down here.
+      stats_.level_parallel.push_back(level_stats);
       TANE_RETURN_IF_ERROR(ReleaseHandles(&current));
       break;
     }
@@ -518,6 +742,7 @@ Status TaneRun::Run(DiscoveryResult* result) {
     current.clear();
 
     if (survivors.empty() || level_number >= config_.max_lhs_size + 1) {
+      stats_.level_parallel.push_back(level_stats);
       TANE_RETURN_IF_ERROR(ReleaseHandles(&survivors));
       break;
     }
@@ -525,12 +750,17 @@ Status TaneRun::Run(DiscoveryResult* result) {
     // Level boundary: the controller is always consulted between a fully
     // processed level and the generation of the next one.
     if (PollStop()) {
+      stats_.level_parallel.push_back(level_stats);
       TANE_RETURN_IF_ERROR(ReleaseHandles(&survivors));
       break;
     }
 
     // GENERATE-NEXT-LEVEL with partitions as products of two parents
-    // (Lemma 3).
+    // (Lemma 3). Products are computed in parallel batches — candidates
+    // are independent given the survivor partitions — and stored serially
+    // in candidate order, so handles and e(·) values are deterministic.
+    // Batching bounds the partitions resident outside the store to
+    // O(threads) instead of O(level size).
     std::vector<AttributeSet> survivor_sets;
     survivor_sets.reserve(survivors.size());
     for (const Node& node : survivors) survivor_sets.push_back(node.set);
@@ -539,39 +769,54 @@ Status TaneRun::Run(DiscoveryResult* result) {
 
     std::vector<Node> next;
     next.reserve(candidates.size());
-    for (const LevelCandidate& candidate : candidates) {
-      if (PollStopStrided()) break;
-      StrippedPartition product;
-      if (config_.use_partition_products) {
-        TANE_ASSIGN_OR_RETURN(
-            const StrippedPartition* a,
-            accessor_.Acquire(survivors[candidate.parent_a].handle));
-        TANE_ASSIGN_OR_RETURN(
-            const StrippedPartition* b,
-            accessor_.Acquire(survivors[candidate.parent_b].handle));
-        product = product_.Multiply(*a, *b);
-        ++stats_.partition_products;
-      } else {
-        // Schlimmer-style recomputation: fold the candidate set's singleton
-        // partitions, |X|−1 products instead of one.
-        const std::vector<int> members = candidate.set.ToIndices();
-        product = singleton_partitions_[members[0]];
-        for (size_t i = 1; i < members.size(); ++i) {
-          product =
-              product_.Multiply(product, singleton_partitions_[members[i]]);
-          ++stats_.partition_products;
+    const size_t batch_size =
+        static_cast<size_t>(pool_.num_threads()) * 8;
+    Status generate_status = Status::OK();
+    for (size_t begin = 0; begin < candidates.size() && !stopped();
+         begin += batch_size) {
+      const size_t end = std::min(candidates.size(), begin + batch_size);
+      std::vector<std::optional<StatusOr<StrippedPartition>>> products(
+          end - begin);
+      const ParallelForStats region = pool_.ParallelFor(
+          static_cast<int64_t>(end - begin), [&](int worker, int64_t j) {
+            WorkerState* w = workers_[worker].get();
+            if (WorkerShouldStop(w)) return;
+            products[j] =
+                BuildCandidatePartition(w, candidates[begin + j], survivors);
+          });
+      level_stats.wall_seconds += region.wall_seconds;
+      level_stats.worker_seconds += region.busy_seconds;
+      MergeWorkerStats();
+      PollStop();
+
+      for (size_t j = 0; j < products.size(); ++j) {
+        if (!products[j].has_value()) break;  // skipped by a stop
+        if (!products[j]->ok()) {
+          generate_status = products[j]->status();
+          break;
         }
+        StrippedPartition product = std::move(*products[j]).value();
+        Node node;
+        node.set = candidates[begin + j].set;
+        node.error = product.Error();
+        TANE_ASSIGN_OR_RETURN(node.handle, store_->Put(product));
+        next.push_back(node);
+        ++stats_.sets_generated;
+        SamplePeakMemory();
+        generate_status = CheckMemoryBudget();
+        if (!generate_status.ok()) break;
       }
-      Node node;
-      node.set = candidate.set;
-      node.error = product.Error();
-      TANE_ASSIGN_OR_RETURN(node.handle, store_->Put(product));
-      next.push_back(node);
-      ++stats_.sets_generated;
-      SamplePeakMemory();
-      TANE_RETURN_IF_ERROR(CheckMemoryBudget());
+      if (!generate_status.ok()) break;
     }
-    if (stopped_) {
+    stats_.level_parallel.push_back(level_stats);
+    if (!generate_status.ok()) {
+      // Hard error (store I/O, budget breach): release everything before
+      // surfacing it.
+      (void)ReleaseHandles(&next);
+      (void)ReleaseHandles(&survivors);
+      return generate_status;
+    }
+    if (stopped()) {
       // Stopped while generating the next level: its partial contents were
       // never tested, so they contribute nothing — drop them.
       TANE_RETURN_IF_ERROR(ReleaseHandles(&next));
@@ -596,6 +841,7 @@ Status TaneRun::Run(DiscoveryResult* result) {
   TANE_RETURN_IF_ERROR(ReleaseHandles(&prev));
   CanonicalizeFds(&result->fds);
   std::sort(result->keys.begin(), result->keys.end());
+  LatchCompletion();
   result->completion = completion_;
   stats_.spill_bytes_written = store_->bytes_written();
   stats_.wall_seconds = timer.ElapsedSeconds();

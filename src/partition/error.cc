@@ -1,8 +1,7 @@
 #include "partition/error.h"
 
 #include <algorithm>
-
-#include "util/logging.h"
+#include <string>
 
 namespace tane {
 
@@ -17,10 +16,26 @@ G3Bounds BoundG3RemovalCount(const StrippedPartition& lhs,
 G3Calculator::G3Calculator(int64_t num_rows)
     : num_rows_(num_rows), probe_(num_rows, -1) {}
 
-int64_t G3Calculator::RemovalCount(const StrippedPartition& lhs,
-                                   const StrippedPartition& lhs_with_rhs) {
-  TANE_CHECK(lhs.num_rows() == num_rows_ &&
-             lhs_with_rhs.num_rows() == num_rows_);
+Status G3Calculator::Prepare(const StrippedPartition& lhs,
+                             const StrippedPartition& lhs_with_rhs) {
+  if (lhs.num_rows() != lhs_with_rhs.num_rows()) {
+    return Status::InvalidArgument(
+        "error-measure operands disagree on row count: " +
+        std::to_string(lhs.num_rows()) + " vs " +
+        std::to_string(lhs_with_rhs.num_rows()));
+  }
+  if (lhs.num_rows() > num_rows_) {
+    // Partitions over more rows than the constructed scratch size: grow to
+    // fit rather than corrupt memory or abort.
+    num_rows_ = lhs.num_rows();
+    probe_.assign(num_rows_, -1);
+  }
+  return Status::OK();
+}
+
+StatusOr<int64_t> G3Calculator::RemovalCount(
+    const StrippedPartition& lhs, const StrippedPartition& lhs_with_rhs) {
+  TANE_RETURN_IF_ERROR(Prepare(lhs, lhs_with_rhs));
   if (counts_.size() < static_cast<size_t>(lhs_with_rhs.num_classes())) {
     counts_.resize(lhs_with_rhs.num_classes(), 0);
   }
@@ -56,17 +71,18 @@ int64_t G3Calculator::RemovalCount(const StrippedPartition& lhs,
   return removals;
 }
 
-double G3Calculator::Error(const StrippedPartition& lhs,
-                           const StrippedPartition& lhs_with_rhs) {
-  if (num_rows_ == 0) return 0.0;
-  return static_cast<double>(RemovalCount(lhs, lhs_with_rhs)) /
-         static_cast<double>(num_rows_);
+StatusOr<double> G3Calculator::Error(const StrippedPartition& lhs,
+                                     const StrippedPartition& lhs_with_rhs) {
+  if (lhs.num_rows() == 0) return 0.0;
+  TANE_ASSIGN_OR_RETURN(const int64_t removals,
+                        RemovalCount(lhs, lhs_with_rhs));
+  return static_cast<double>(removals) /
+         static_cast<double>(lhs.num_rows());
 }
 
-int64_t G3Calculator::ViolatingPairCount(
+StatusOr<int64_t> G3Calculator::ViolatingPairCount(
     const StrippedPartition& lhs, const StrippedPartition& lhs_with_rhs) {
-  TANE_CHECK(lhs.num_rows() == num_rows_ &&
-             lhs_with_rhs.num_rows() == num_rows_);
+  TANE_RETURN_IF_ERROR(Prepare(lhs, lhs_with_rhs));
   if (counts_.size() < static_cast<size_t>(lhs_with_rhs.num_classes())) {
     counts_.resize(lhs_with_rhs.num_classes(), 0);
   }
@@ -105,17 +121,19 @@ int64_t G3Calculator::ViolatingPairCount(
   return violating;
 }
 
-double G3Calculator::G1Error(const StrippedPartition& lhs,
-                             const StrippedPartition& lhs_with_rhs) {
-  if (num_rows_ == 0) return 0.0;
-  return static_cast<double>(ViolatingPairCount(lhs, lhs_with_rhs)) /
-         (static_cast<double>(num_rows_) * static_cast<double>(num_rows_));
+StatusOr<double> G3Calculator::G1Error(const StrippedPartition& lhs,
+                                       const StrippedPartition& lhs_with_rhs) {
+  if (lhs.num_rows() == 0) return 0.0;
+  TANE_ASSIGN_OR_RETURN(const int64_t pairs,
+                        ViolatingPairCount(lhs, lhs_with_rhs));
+  return static_cast<double>(pairs) /
+         (static_cast<double>(lhs.num_rows()) *
+          static_cast<double>(lhs.num_rows()));
 }
 
-int64_t G3Calculator::ViolatingRowCount(
+StatusOr<int64_t> G3Calculator::ViolatingRowCount(
     const StrippedPartition& lhs, const StrippedPartition& lhs_with_rhs) {
-  TANE_CHECK(lhs.num_rows() == num_rows_ &&
-             lhs_with_rhs.num_rows() == num_rows_);
+  TANE_RETURN_IF_ERROR(Prepare(lhs, lhs_with_rhs));
   if (counts_.size() < static_cast<size_t>(lhs_with_rhs.num_classes())) {
     counts_.resize(lhs_with_rhs.num_classes(), 0);
   }
@@ -151,11 +169,12 @@ int64_t G3Calculator::ViolatingRowCount(
   return violating;
 }
 
-double G3Calculator::G2Error(const StrippedPartition& lhs,
-                             const StrippedPartition& lhs_with_rhs) {
-  if (num_rows_ == 0) return 0.0;
-  return static_cast<double>(ViolatingRowCount(lhs, lhs_with_rhs)) /
-         static_cast<double>(num_rows_);
+StatusOr<double> G3Calculator::G2Error(const StrippedPartition& lhs,
+                                       const StrippedPartition& lhs_with_rhs) {
+  if (lhs.num_rows() == 0) return 0.0;
+  TANE_ASSIGN_OR_RETURN(const int64_t rows,
+                        ViolatingRowCount(lhs, lhs_with_rhs));
+  return static_cast<double>(rows) / static_cast<double>(lhs.num_rows());
 }
 
 }  // namespace tane

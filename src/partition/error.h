@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "partition/stripped_partition.h"
+#include "util/status.h"
 
 namespace tane {
 
@@ -28,42 +29,52 @@ G3Bounds BoundG3RemovalCount(const StrippedPartition& lhs,
 /// Computes the exact g3 error of dependencies X → A from π_X and π_{X∪A}
 /// (paper §2): for every class c of π_X the rows outside the largest
 /// π_{X∪A}-subclass of c must be removed. The scratch arrays are reused
-/// across calls; construction takes the relation's row count.
+/// across calls; construction takes the relation's row count, but
+/// partitions over more rows simply grow the scratch. Instances are not
+/// thread-safe; parallel callers keep one G3Calculator per worker.
+///
+/// Every method fails with kInvalidArgument when the two partitions
+/// disagree on their row count.
 class G3Calculator {
  public:
   explicit G3Calculator(int64_t num_rows);
 
   /// The minimum number of rows to remove so that X → A holds.
   /// Both partitions may be stripped or unstripped.
-  int64_t RemovalCount(const StrippedPartition& lhs,
-                       const StrippedPartition& lhs_with_rhs);
+  StatusOr<int64_t> RemovalCount(const StrippedPartition& lhs,
+                                 const StrippedPartition& lhs_with_rhs);
 
   /// g3(X → A) = RemovalCount / |r|, in [0, 1]. Returns 0 for empty
   /// relations.
-  double Error(const StrippedPartition& lhs,
-               const StrippedPartition& lhs_with_rhs);
+  StatusOr<double> Error(const StrippedPartition& lhs,
+                         const StrippedPartition& lhs_with_rhs);
 
   /// The g1 numerator (Kivinen & Mannila [5]): the number of *ordered* row
   /// pairs (t, u), t ≠ u, that agree on X but differ on A. g1 itself is
   /// this count divided by |r|².
-  int64_t ViolatingPairCount(const StrippedPartition& lhs,
-                             const StrippedPartition& lhs_with_rhs);
+  StatusOr<int64_t> ViolatingPairCount(const StrippedPartition& lhs,
+                                       const StrippedPartition& lhs_with_rhs);
 
   /// g1(X → A) = ViolatingPairCount / |r|².
-  double G1Error(const StrippedPartition& lhs,
-                 const StrippedPartition& lhs_with_rhs);
+  StatusOr<double> G1Error(const StrippedPartition& lhs,
+                           const StrippedPartition& lhs_with_rhs);
 
   /// The g2 numerator: the number of rows involved in at least one
   /// violating pair. A row t violates iff its π_X class contains a row
   /// disagreeing on A, i.e. iff the class splits under π_{X∪A}.
-  int64_t ViolatingRowCount(const StrippedPartition& lhs,
-                            const StrippedPartition& lhs_with_rhs);
+  StatusOr<int64_t> ViolatingRowCount(const StrippedPartition& lhs,
+                                      const StrippedPartition& lhs_with_rhs);
 
   /// g2(X → A) = ViolatingRowCount / |r|.
-  double G2Error(const StrippedPartition& lhs,
-                 const StrippedPartition& lhs_with_rhs);
+  StatusOr<double> G2Error(const StrippedPartition& lhs,
+                           const StrippedPartition& lhs_with_rhs);
 
  private:
+  // Validates that the operands agree and grows probe_ when they cover
+  // more rows than the constructed size.
+  Status Prepare(const StrippedPartition& lhs,
+                 const StrippedPartition& lhs_with_rhs);
+
   int64_t num_rows_;
   // probe_[row] = class index in π_{X∪A}, or -1. Reset after each call.
   std::vector<int32_t> probe_;

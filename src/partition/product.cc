@@ -1,16 +1,31 @@
 #include "partition/product.h"
 
-#include "util/logging.h"
+#include <algorithm>
+#include <string>
 
 namespace tane {
 
 PartitionProduct::PartitionProduct(int64_t num_rows)
     : num_rows_(num_rows), probe_(num_rows, -1) {}
 
-StrippedPartition PartitionProduct::Multiply(const StrippedPartition& a,
-                                             const StrippedPartition& b) {
-  TANE_CHECK(a.num_rows() == num_rows_ && b.num_rows() == num_rows_);
-  TANE_CHECK(a.stripped() == b.stripped());
+StatusOr<StrippedPartition> PartitionProduct::Multiply(
+    const StrippedPartition& a, const StrippedPartition& b) {
+  if (a.num_rows() != b.num_rows()) {
+    return Status::InvalidArgument(
+        "partition product operands disagree on row count: " +
+        std::to_string(a.num_rows()) + " vs " + std::to_string(b.num_rows()));
+  }
+  if (a.stripped() != b.stripped()) {
+    return Status::InvalidArgument(
+        "partition product operands mix stripped and unstripped "
+        "representations");
+  }
+  if (a.num_rows() > num_rows_) {
+    // A partition over more rows than the constructed scratch size: grow to
+    // fit rather than corrupt memory or abort.
+    num_rows_ = a.num_rows();
+    probe_.assign(num_rows_, -1);
+  }
   const int32_t min_size = a.stripped() ? 2 : 1;
 
   if (groups_.size() < static_cast<size_t>(a.num_classes())) {
@@ -27,7 +42,7 @@ StrippedPartition PartitionProduct::Multiply(const StrippedPartition& a,
 
   // Pass 2: for each class of `b`, bucket its rows by `a`-class; every
   // bucket of size >= min_size is a class of the product.
-  StrippedPartition out(num_rows_, a.stripped());
+  StrippedPartition out(a.num_rows(), a.stripped());
   out.row_ids_.reserve(std::min(a.row_ids().size(), b.row_ids().size()));
   const std::vector<int32_t>& b_rows = b.row_ids();
   for (int64_t cls = 0; cls < b.num_classes(); ++cls) {

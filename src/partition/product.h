@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "partition/stripped_partition.h"
+#include "util/status.h"
 
 namespace tane {
 
@@ -12,18 +13,23 @@ namespace tane {
 /// linear-time probe-table algorithm of the TANE paper. The scratch arrays
 /// (one O(|r|) probe table plus per-class accumulators) are owned by this
 /// object and reused across calls, which matters because TANE computes one
-/// product per lattice node.
+/// product per lattice node. Instances are not thread-safe; parallel
+/// callers keep one PartitionProduct per worker (see core/tane.cc).
 ///
 /// Both operands must be over the same number of rows and use the same
 /// representation (stripped or unstripped); the result uses that
-/// representation as well.
+/// representation as well. Operands over more rows than the constructed
+/// size are fine — the probe table grows to fit — but operands that
+/// disagree with each other are rejected with kInvalidArgument.
 class PartitionProduct {
  public:
   explicit PartitionProduct(int64_t num_rows);
 
-  /// The least refined common refinement of `a` and `b`.
-  StrippedPartition Multiply(const StrippedPartition& a,
-                             const StrippedPartition& b);
+  /// The least refined common refinement of `a` and `b`. Fails with
+  /// kInvalidArgument when the operands disagree on row count or
+  /// representation.
+  StatusOr<StrippedPartition> Multiply(const StrippedPartition& a,
+                                       const StrippedPartition& b);
 
  private:
   int64_t num_rows_;

@@ -15,16 +15,22 @@ std::string_view StopReasonToString(StopReason reason) {
 }
 
 bool RunController::ShouldStop() {
-  if (stop_reason_ != StopReason::kNone) return true;
+  if (stop_reason_.load(std::memory_order_acquire) != StopReason::kNone) {
+    return true;
+  }
+  StopReason reason = StopReason::kNone;
   if (cancel_requested()) {
-    stop_reason_ = StopReason::kCancelled;
-    return true;
+    reason = StopReason::kCancelled;
+  } else if (has_deadline_ && Clock::now() >= deadline_) {
+    reason = StopReason::kDeadline;
   }
-  if (has_deadline_ && Clock::now() >= deadline_) {
-    stop_reason_ = StopReason::kDeadline;
-    return true;
-  }
-  return false;
+  if (reason == StopReason::kNone) return false;
+  // Latch the first reason observed; concurrent pollers race benignly and
+  // the loser keeps reporting the winner's reason.
+  StopReason expected = StopReason::kNone;
+  stop_reason_.compare_exchange_strong(expected, reason,
+                                       std::memory_order_acq_rel);
+  return true;
 }
 
 }  // namespace tane

@@ -23,7 +23,9 @@ std::string_view StopReasonToString(StopReason reason);
 ///
 ///  * a wall-clock **deadline** (SetDeadline / SetDeadlineAfter);
 ///  * a **cancellation token** — RequestCancel() may be called from any
-///    thread while the run polls ShouldStop() from its own;
+///    thread while the run polls ShouldStop(), itself callable from any
+///    number of worker threads concurrently (the parallel level executor
+///    polls it from every worker);
 ///  * a **memory budget** in bytes, consulted by the driver: under
 ///    StorageMode::kMemory a breach aborts with kResourceExhausted, under
 ///    StorageMode::kAuto it triggers transparent migration of the partition
@@ -34,6 +36,10 @@ std::string_view StopReasonToString(StopReason reason);
 /// proven, with DiscoveryResult::completion describing why it is partial.
 /// The first stop reason observed is latched and later polls keep
 /// reporting it, so a run stops for exactly one reason.
+///
+/// Thread-safety: ShouldStop(), RequestCancel(), and stop_reason() are safe
+/// to call concurrently. The setters (deadline, memory budget) must be
+/// called before the run starts polling.
 class RunController {
  public:
   RunController() = default;
@@ -71,10 +77,13 @@ class RunController {
   /// Polls the deadline and the cancellation token. Returns true when the
   /// run should stop; the reason is latched and readable via stop_reason().
   /// Cancellation wins over the deadline when both trip in the same poll.
+  /// Safe to call from multiple threads; the first reason latched wins.
   bool ShouldStop();
 
   /// The latched reason from the first ShouldStop() that returned true.
-  StopReason stop_reason() const { return stop_reason_; }
+  StopReason stop_reason() const {
+    return stop_reason_.load(std::memory_order_acquire);
+  }
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -83,7 +92,7 @@ class RunController {
   Clock::time_point deadline_{};
   std::atomic<bool> cancel_requested_{false};
   int64_t memory_budget_bytes_ = 0;
-  StopReason stop_reason_ = StopReason::kNone;
+  std::atomic<StopReason> stop_reason_{StopReason::kNone};
 };
 
 }  // namespace tane

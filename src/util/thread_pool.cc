@@ -1,0 +1,94 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace tane {
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(num_threads_ - 1);
+  for (int worker = 1; worker < num_threads_; ++worker) {
+    workers_.emplace_back([this, worker] { WorkerLoop(worker); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+double ThreadPool::Drain(int worker) {
+  WallTimer timer;
+  const int64_t count = count_;
+  const std::function<void(int, int64_t)>& fn = *fn_;
+  for (int64_t index = next_.fetch_add(1, std::memory_order_relaxed);
+       index < count;
+       index = next_.fetch_add(1, std::memory_order_relaxed)) {
+    fn(worker, index);
+  }
+  return timer.ElapsedSeconds();
+}
+
+void ThreadPool::WorkerLoop(int worker) {
+  uint64_t seen_epoch = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+    }
+    const double busy = Drain(worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      busy_seconds_ += busy;
+      if (--running_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+ParallelForStats ThreadPool::ParallelFor(
+    int64_t count, const std::function<void(int, int64_t)>& fn) {
+  ParallelForStats stats;
+  if (count <= 0) return stats;
+  WallTimer wall;
+
+  if (num_threads_ == 1) {
+    // Serial fast path: no locks, no atomics visible to the caller.
+    for (int64_t index = 0; index < count; ++index) fn(0, index);
+    stats.wall_seconds = wall.ElapsedSeconds();
+    stats.busy_seconds = stats.wall_seconds;
+    return stats;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    TANE_CHECK(running_ == 0) << "reentrant ParallelFor";
+    fn_ = &fn;
+    count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    busy_seconds_ = 0.0;
+    running_ = num_threads_ - 1;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+
+  // The caller participates as worker 0.
+  const double own_busy = Drain(0);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return running_ == 0; });
+  fn_ = nullptr;
+  stats.wall_seconds = wall.ElapsedSeconds();
+  stats.busy_seconds = busy_seconds_ + own_busy;
+  return stats;
+}
+
+}  // namespace tane

@@ -1,0 +1,78 @@
+#ifndef TANE_UTIL_THREAD_POOL_H_
+#define TANE_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tane {
+
+/// Timing of one ParallelFor call: the coordinator's wall-clock time and the
+/// summed busy time of every participating worker. busy / wall estimates the
+/// parallel speedup actually achieved by the call.
+struct ParallelForStats {
+  double wall_seconds = 0.0;
+  double busy_seconds = 0.0;
+};
+
+/// A fixed-size pool of worker threads for data-parallel loops. Built for
+/// TANE's level execution: every node of a lattice level is independent, so
+/// ParallelFor shards the node indices across workers with dynamic
+/// (work-stealing-by-counter) scheduling.
+///
+/// `num_threads` counts the calling thread: a pool of size N spawns N-1
+/// background workers and the ParallelFor caller participates as worker 0.
+/// With num_threads == 1 no threads are ever created and ParallelFor
+/// degenerates to a plain serial loop — the zero-overhead default.
+///
+/// The pool itself imposes no ordering on `fn` invocations; callers that
+/// need deterministic output must write results into per-index slots and
+/// merge them in index order afterwards (see core/tane.cc).
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Invokes fn(worker, index) exactly once for every index in [0, count),
+  /// sharded across the pool, and blocks until all invocations return. The
+  /// worker argument is in [0, num_threads) and is stable for the duration
+  /// of one invocation — use it to select per-worker scratch state. `fn`
+  /// must not throw and must not call ParallelFor reentrantly. Cooperative
+  /// cancellation is the callback's job: a cancelled fn should return
+  /// immediately, it cannot be interrupted.
+  ParallelForStats ParallelFor(int64_t count,
+                               const std::function<void(int, int64_t)>& fn);
+
+ private:
+  void WorkerLoop(int worker);
+  // Drains indices from next_ until the current job is exhausted; returns
+  // this participant's busy seconds.
+  double Drain(int worker);
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers: a new job epoch
+  std::condition_variable done_cv_;   // signals the caller: workers drained
+  const std::function<void(int, int64_t)>* fn_ = nullptr;  // current job
+  int64_t count_ = 0;
+  std::atomic<int64_t> next_{0};
+  uint64_t epoch_ = 0;      // bumped per job so workers see exactly one wake
+  int running_ = 0;         // background workers still draining this job
+  double busy_seconds_ = 0.0;  // accumulated by background workers
+  bool shutdown_ = false;
+};
+
+}  // namespace tane
+
+#endif  // TANE_UTIL_THREAD_POOL_H_

@@ -24,8 +24,9 @@ Measures Compute(const Relation& relation, AttributeSet lhs, int rhs) {
   StrippedPartition pl = PartitionBuilder::ForAttributeSet(relation, lhs);
   StrippedPartition pj =
       PartitionBuilder::ForAttributeSet(relation, lhs.With(rhs));
-  return {calc.ViolatingPairCount(pl, pj), calc.ViolatingRowCount(pl, pj),
-          calc.RemovalCount(pl, pj)};
+  return {calc.ViolatingPairCount(pl, pj).value(),
+          calc.ViolatingRowCount(pl, pj).value(),
+          calc.RemovalCount(pl, pj).value()};
 }
 
 // Direct O(|r|²) reference implementation from the definitions.
@@ -80,9 +81,9 @@ TEST(ErrorMeasuresTest, ErrorsNormalized) {
   StrippedPartition pa = PartitionBuilder::ForAttribute(relation, 0);
   StrippedPartition pab =
       PartitionBuilder::ForAttributeSet(relation, AttributeSet::Of({0, 1}));
-  EXPECT_DOUBLE_EQ(calc.G1Error(pa, pab), 10.0 / 64.0);
-  EXPECT_DOUBLE_EQ(calc.G2Error(pa, pab), 1.0);
-  EXPECT_DOUBLE_EQ(calc.Error(pa, pab), 3.0 / 8.0);
+  EXPECT_DOUBLE_EQ(calc.G1Error(pa, pab).value(), 10.0 / 64.0);
+  EXPECT_DOUBLE_EQ(calc.G2Error(pa, pab).value(), 1.0);
+  EXPECT_DOUBLE_EQ(calc.Error(pa, pab).value(), 3.0 / 8.0);
 }
 
 TEST(ErrorMeasuresTest, KnownOrderingHolds) {
@@ -96,8 +97,8 @@ TEST(ErrorMeasuresTest, KnownOrderingHolds) {
       StrippedPartition pl = PartitionBuilder::ForAttribute(relation, a);
       StrippedPartition pj = PartitionBuilder::ForAttributeSet(
           relation, AttributeSet::Of({a, b}));
-      EXPECT_LE(calc.Error(pl, pj), calc.G2Error(pl, pj) + 1e-12);
-      EXPECT_LE(calc.G1Error(pl, pj), calc.G2Error(pl, pj) + 1e-12);
+      EXPECT_LE(calc.Error(pl, pj).value(), calc.G2Error(pl, pj).value() + 1e-12);
+      EXPECT_LE(calc.G1Error(pl, pj).value(), calc.G2Error(pl, pj).value() + 1e-12);
     }
   }
 }

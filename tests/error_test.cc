@@ -20,8 +20,8 @@ TEST(G3Test, ExactDependencyHasZeroError) {
       PartitionBuilder::ForAttributeSet(relation, AttributeSet::Of({1, 2}));
   StrippedPartition bca =
       PartitionBuilder::ForAttributeSet(relation, AttributeSet::Of({0, 1, 2}));
-  EXPECT_EQ(g3.RemovalCount(bc, bca), 0);
-  EXPECT_DOUBLE_EQ(g3.Error(bc, bca), 0.0);
+  EXPECT_EQ(g3.RemovalCount(bc, bca).value(), 0);
+  EXPECT_DOUBLE_EQ(g3.Error(bc, bca).value(), 0.0);
 }
 
 TEST(G3Test, InvalidDependencyPaperExample) {
@@ -33,8 +33,8 @@ TEST(G3Test, InvalidDependencyPaperExample) {
   StrippedPartition a = PartitionBuilder::ForAttribute(relation, 0);
   StrippedPartition ab =
       PartitionBuilder::ForAttributeSet(relation, AttributeSet::Of({0, 1}));
-  EXPECT_EQ(g3.RemovalCount(a, ab), 3);
-  EXPECT_DOUBLE_EQ(g3.Error(a, ab), 3.0 / 8.0);
+  EXPECT_EQ(g3.RemovalCount(a, ab).value(), 3);
+  EXPECT_DOUBLE_EQ(g3.Error(a, ab).value(), 3.0 / 8.0);
 }
 
 TEST(G3Test, ConstantToUniqueWorstCase) {
@@ -44,8 +44,8 @@ TEST(G3Test, ConstantToUniqueWorstCase) {
   StrippedPartition lhs = PartitionBuilder::ForAttribute(relation, 0);
   StrippedPartition joint =
       PartitionBuilder::ForAttributeSet(relation, AttributeSet::Of({0, 1}));
-  EXPECT_EQ(g3.RemovalCount(lhs, joint), 2);
-  EXPECT_DOUBLE_EQ(g3.Error(lhs, joint), 2.0 / 3.0);
+  EXPECT_EQ(g3.RemovalCount(lhs, joint).value(), 2);
+  EXPECT_DOUBLE_EQ(g3.Error(lhs, joint).value(), 2.0 / 3.0);
 }
 
 TEST(G3Test, SingleExceptionRow) {
@@ -55,8 +55,8 @@ TEST(G3Test, SingleExceptionRow) {
   StrippedPartition lhs = PartitionBuilder::ForAttribute(relation, 0);
   StrippedPartition joint =
       PartitionBuilder::ForAttributeSet(relation, AttributeSet::Of({0, 1}));
-  EXPECT_EQ(g3.RemovalCount(lhs, joint), 1);
-  EXPECT_DOUBLE_EQ(g3.Error(lhs, joint), 0.25);
+  EXPECT_EQ(g3.RemovalCount(lhs, joint).value(), 1);
+  EXPECT_DOUBLE_EQ(g3.Error(lhs, joint).value(), 0.25);
 }
 
 TEST(G3Test, WorksOnUnstrippedPartitions) {
@@ -66,7 +66,7 @@ TEST(G3Test, WorksOnUnstrippedPartitions) {
       PartitionBuilder::ForAttribute(relation, 0, /*stripped=*/false);
   StrippedPartition ab = PartitionBuilder::ForAttributeSet(
       relation, AttributeSet::Of({0, 1}), /*stripped=*/false);
-  EXPECT_EQ(g3.RemovalCount(a, ab), 3);
+  EXPECT_EQ(g3.RemovalCount(a, ab).value(), 3);
 }
 
 TEST(G3Test, MixedRepresentationsAgree) {
@@ -75,7 +75,7 @@ TEST(G3Test, MixedRepresentationsAgree) {
   StrippedPartition a_stripped = PartitionBuilder::ForAttribute(relation, 0);
   StrippedPartition ab_unstripped = PartitionBuilder::ForAttributeSet(
       relation, AttributeSet::Of({0, 1}), /*stripped=*/false);
-  EXPECT_EQ(g3.RemovalCount(a_stripped, ab_unstripped), 3);
+  EXPECT_EQ(g3.RemovalCount(a_stripped, ab_unstripped).value(), 3);
 }
 
 TEST(G3Test, ReusableAcrossCalls) {
@@ -84,8 +84,8 @@ TEST(G3Test, ReusableAcrossCalls) {
   StrippedPartition a = PartitionBuilder::ForAttribute(relation, 0);
   StrippedPartition ab =
       PartitionBuilder::ForAttributeSet(relation, AttributeSet::Of({0, 1}));
-  const int64_t first = g3.RemovalCount(a, ab);
-  const int64_t second = g3.RemovalCount(a, ab);
+  const int64_t first = g3.RemovalCount(a, ab).value();
+  const int64_t second = g3.RemovalCount(a, ab).value();
   EXPECT_EQ(first, second);
 }
 
@@ -100,7 +100,7 @@ TEST(G3BoundsTest, BoundsBracketExactValueOnPaperExample) {
       StrippedPartition joint = PartitionBuilder::ForAttributeSet(
           relation, AttributeSet::Of({lhs_attr, rhs}));
       const G3Bounds bounds = BoundG3RemovalCount(lhs, joint);
-      const int64_t exact = g3.RemovalCount(lhs, joint);
+      const int64_t exact = g3.RemovalCount(lhs, joint).value();
       EXPECT_LE(bounds.lower, exact);
       EXPECT_GE(bounds.upper, exact);
       EXPECT_GE(bounds.lower, 0);
@@ -131,7 +131,7 @@ TEST_P(G3PropertyTest, BoundsAndLemma2Consistency) {
       StrippedPartition lhs = PartitionBuilder::ForAttribute(relation, a);
       StrippedPartition joint = PartitionBuilder::ForAttributeSet(
           relation, AttributeSet::Of({a, b}));
-      const int64_t exact = g3.RemovalCount(lhs, joint);
+      const int64_t exact = g3.RemovalCount(lhs, joint).value();
       const G3Bounds bounds = BoundG3RemovalCount(lhs, joint);
       EXPECT_LE(bounds.lower, exact);
       EXPECT_GE(bounds.upper, exact);
@@ -142,6 +142,28 @@ TEST_P(G3PropertyTest, BoundsAndLemma2Consistency) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, G3PropertyTest, ::testing::Range(0, 10));
+
+TEST(G3Test, MismatchedRowCountsFail) {
+  Relation small = MakeRelation({{"a", "x"}, {"b", "y"}}, 2);
+  Relation big = PaperFigure1Relation();
+  G3Calculator g3(big.num_rows());
+  StatusOr<int64_t> removals =
+      g3.RemovalCount(PartitionBuilder::ForAttribute(small, 0),
+                      PartitionBuilder::ForAttribute(big, 0));
+  ASSERT_FALSE(removals.ok());
+  EXPECT_EQ(removals.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(G3Test, GrowsBeyondConstructedSize) {
+  // A calculator sized for 1 row fed 8-row partitions must grow its probe
+  // table and return the exact count rather than abort.
+  Relation relation = PaperFigure1Relation();
+  G3Calculator g3(1);
+  StrippedPartition a = PartitionBuilder::ForAttribute(relation, 0);
+  StrippedPartition ab =
+      PartitionBuilder::ForAttributeSet(relation, AttributeSet::Of({0, 1}));
+  EXPECT_EQ(g3.RemovalCount(a, ab).value(), 3);
+}
 
 }  // namespace
 }  // namespace tane

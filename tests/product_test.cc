@@ -18,7 +18,7 @@ TEST(PartitionProductTest, Lemma3OnPaperExample) {
   StrippedPartition result =
       product
           .Multiply(PartitionBuilder::ForAttribute(relation, 1),
-                    PartitionBuilder::ForAttribute(relation, 2))
+                    PartitionBuilder::ForAttribute(relation, 2)).value()
           .Canonicalized();
   StrippedPartition expected =
       PartitionBuilder::ForAttributeSet(relation, AttributeSet::Of({1, 2}))
@@ -32,12 +32,12 @@ TEST(PartitionProductTest, CommutesOnPaperExample) {
   StrippedPartition ab =
       product
           .Multiply(PartitionBuilder::ForAttribute(relation, 0),
-                    PartitionBuilder::ForAttribute(relation, 1))
+                    PartitionBuilder::ForAttribute(relation, 1)).value()
           .Canonicalized();
   StrippedPartition ba =
       product
           .Multiply(PartitionBuilder::ForAttribute(relation, 1),
-                    PartitionBuilder::ForAttribute(relation, 0))
+                    PartitionBuilder::ForAttribute(relation, 0)).value()
           .Canonicalized();
   EXPECT_EQ(ab, ba);
 }
@@ -46,7 +46,7 @@ TEST(PartitionProductTest, ProductWithSelfIsIdentity) {
   Relation relation = PaperFigure1Relation();
   PartitionProduct product(relation.num_rows());
   StrippedPartition pi = PartitionBuilder::ForAttribute(relation, 0);
-  EXPECT_EQ(product.Multiply(pi, pi).Canonicalized(), pi.Canonicalized());
+  EXPECT_EQ(product.Multiply(pi, pi).value().Canonicalized(), pi.Canonicalized());
 }
 
 TEST(PartitionProductTest, ProductWithAllSingletonsIsAllSingletons) {
@@ -54,7 +54,7 @@ TEST(PartitionProductTest, ProductWithAllSingletonsIsAllSingletons) {
   PartitionProduct product(relation.num_rows());
   StrippedPartition superkey(relation.num_rows());  // empty stripped
   StrippedPartition result = product.Multiply(
-      PartitionBuilder::ForAttribute(relation, 0), superkey);
+      PartitionBuilder::ForAttribute(relation, 0), superkey).value();
   EXPECT_EQ(result.num_classes(), 0);
   EXPECT_TRUE(result.IsSuperkey());
 }
@@ -66,14 +66,14 @@ TEST(PartitionProductTest, UnstrippedProductKeepsAllRows) {
       PartitionBuilder::ForAttribute(relation, 1, /*stripped=*/false);
   StrippedPartition b =
       PartitionBuilder::ForAttribute(relation, 2, /*stripped=*/false);
-  StrippedPartition result = product.Multiply(a, b);
+  StrippedPartition result = product.Multiply(a, b).value();
   EXPECT_FALSE(result.stripped());
   EXPECT_EQ(result.num_member_rows(), relation.num_rows());
   EXPECT_EQ(result.FullRank(), 7);  // |π_{B,C}| from Example 1
   // Stripping afterwards matches the stripped product.
   StrippedPartition stripped_product = product.Multiply(
       PartitionBuilder::ForAttribute(relation, 1),
-      PartitionBuilder::ForAttribute(relation, 2));
+      PartitionBuilder::ForAttribute(relation, 2)).value();
   EXPECT_EQ(result.Stripped().Canonicalized(),
             stripped_product.Canonicalized());
 }
@@ -83,10 +83,10 @@ TEST(PartitionProductTest, ReusableAcrossCalls) {
   PartitionProduct product(relation.num_rows());
   StrippedPartition first = product.Multiply(
       PartitionBuilder::ForAttribute(relation, 0),
-      PartitionBuilder::ForAttribute(relation, 1));
+      PartitionBuilder::ForAttribute(relation, 1)).value();
   StrippedPartition second = product.Multiply(
       PartitionBuilder::ForAttribute(relation, 2),
-      PartitionBuilder::ForAttribute(relation, 3));
+      PartitionBuilder::ForAttribute(relation, 3)).value();
   // Same object, different operands: results must match from-scratch ones.
   EXPECT_EQ(first.Canonicalized(),
             PartitionBuilder::ForAttributeSet(relation, AttributeSet::Of({0, 1}))
@@ -124,8 +124,8 @@ TEST_P(ProductPropertyTest, Lemma3OnRandomRelations) {
       StrippedPartition expected =
           PartitionBuilder::ForAttributeSet(relation, AttributeSet::Of({a, b}))
               .Canonicalized();
-      EXPECT_EQ(product.Multiply(pa, pb).Canonicalized(), expected);
-      EXPECT_EQ(product.Multiply(pb, pa).Canonicalized(), expected);
+      EXPECT_EQ(product.Multiply(pa, pb).value().Canonicalized(), expected);
+      EXPECT_EQ(product.Multiply(pb, pa).value().Canonicalized(), expected);
     }
   }
 
@@ -134,9 +134,13 @@ TEST_P(ProductPropertyTest, Lemma3OnRandomRelations) {
   StrippedPartition p1 = PartitionBuilder::ForAttribute(relation, 1);
   StrippedPartition p2 = PartitionBuilder::ForAttribute(relation, 2);
   StrippedPartition left =
-      product.Multiply(product.Multiply(p0, p1), p2).Canonicalized();
+      product.Multiply(product.Multiply(p0, p1).value(), p2)
+          .value()
+          .Canonicalized();
   StrippedPartition right =
-      product.Multiply(p0, product.Multiply(p1, p2)).Canonicalized();
+      product.Multiply(p0, product.Multiply(p1, p2).value())
+          .value()
+          .Canonicalized();
   EXPECT_EQ(left, right);
   EXPECT_EQ(left, PartitionBuilder::ForAttributeSet(relation,
                                                     AttributeSet::Of({0, 1, 2}))
@@ -145,6 +149,42 @@ TEST_P(ProductPropertyTest, Lemma3OnRandomRelations) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ProductPropertyTest,
                          ::testing::Range(0, 12));
+
+TEST(PartitionProductTest, MismatchedRowCountsFail) {
+  Relation small = MakeRelation({{"a", "x"}, {"b", "y"}}, 2);
+  Relation big = PaperFigure1Relation();
+  PartitionProduct product(big.num_rows());
+  StatusOr<StrippedPartition> result =
+      product.Multiply(PartitionBuilder::ForAttribute(small, 0),
+                       PartitionBuilder::ForAttribute(big, 0));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PartitionProductTest, MixedRepresentationsFail) {
+  Relation relation = PaperFigure1Relation();
+  PartitionProduct product(relation.num_rows());
+  StatusOr<StrippedPartition> result = product.Multiply(
+      PartitionBuilder::ForAttribute(relation, 0, /*stripped=*/true),
+      PartitionBuilder::ForAttribute(relation, 1, /*stripped=*/false));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PartitionProductTest, GrowsBeyondConstructedSize) {
+  // A product sized for 2 rows fed 8-row partitions must grow its scratch
+  // and produce the correct result rather than abort.
+  Relation relation = PaperFigure1Relation();
+  PartitionProduct product(2);
+  StrippedPartition result =
+      product
+          .Multiply(PartitionBuilder::ForAttribute(relation, 1),
+                    PartitionBuilder::ForAttribute(relation, 2))
+          .value();
+  EXPECT_EQ(result.Canonicalized(),
+            PartitionBuilder::ForAttributeSet(relation, AttributeSet::Of({1, 2}))
+                .Canonicalized());
+}
 
 }  // namespace
 }  // namespace tane

@@ -57,7 +57,7 @@ void ExpectValidMinimalComplete(const Relation& relation,
     StrippedPartition lhs = PartitionBuilder::ForAttributeSet(relation, fd.lhs);
     StrippedPartition joint =
         PartitionBuilder::ForAttributeSet(relation, fd.lhs.With(fd.rhs));
-    const double error = g3.Error(lhs, joint);
+    const double error = g3.Error(lhs, joint).value();
     EXPECT_LE(error, epsilon + 1e-9)
         << fd.lhs.ToString() << " -> " << fd.rhs;
     EXPECT_NEAR(error, fd.error, 1e-12);

@@ -203,6 +203,62 @@ TEST(TaneApproximateTest, AllMeasuresAgreeAtEpsilonZero) {
   }
 }
 
+// Validity is the exact integer comparison removals <= ⌊ε·|r|⌋. The two
+// tests below pin both sides of that boundary; the old float comparison
+// with an absolute 1e-9 slack could flip either one.
+TEST(TaneApproximateTest, ValidAtExactlyFloorEpsilonNRemovals) {
+  // col0 constant; col1 = 7×"a" plus 3 distinct values over 10 rows, so
+  // g3 removals of {} -> col1 is exactly 3. With ε = 0.35, ⌊ε·10⌋ = 3 and
+  // the dependency must be valid with error 3/10.
+  Relation relation = MakeRelation(
+      {{"k", "a"}, {"k", "a"}, {"k", "a"}, {"k", "a"}, {"k", "a"},
+       {"k", "a"}, {"k", "a"}, {"k", "b"}, {"k", "c"}, {"k", "d"}},
+      2);
+  StatusOr<DiscoveryResult> result = DiscoverApprox(relation, 0.35);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(ContainsFd(result->fds, AttributeSet(), 1));
+  for (const FunctionalDependency& fd : result->fds) {
+    if (fd.lhs.empty() && fd.rhs == 1) {
+      EXPECT_DOUBLE_EQ(fd.error, 0.3);
+    }
+  }
+}
+
+TEST(TaneApproximateTest, InvalidAtFloorEpsilonNPlusOneRemovals) {
+  // col1 = 6×"a" plus 4 distinct values: removals = 4 = ⌊0.35·10⌋ + 1, so
+  // {} -> col1 must NOT hold at ε = 0.35 (and must hold at ε = 0.4, where
+  // the threshold reaches 4).
+  Relation relation = MakeRelation(
+      {{"k", "a"}, {"k", "a"}, {"k", "a"}, {"k", "a"}, {"k", "a"},
+       {"k", "a"}, {"k", "b"}, {"k", "c"}, {"k", "d"}, {"k", "e"}},
+      2);
+  StatusOr<DiscoveryResult> strict = DiscoverApprox(relation, 0.35);
+  ASSERT_TRUE(strict.ok());
+  EXPECT_FALSE(ContainsFd(strict->fds, AttributeSet(), 1));
+
+  StatusOr<DiscoveryResult> loose = DiscoverApprox(relation, 0.4);
+  ASSERT_TRUE(loose.ok());
+  EXPECT_TRUE(ContainsFd(loose->fds, AttributeSet(), 1));
+}
+
+TEST(TaneApproximateTest, BoundaryExactUnderAllMeasures) {
+  // g2's numerator is the violating-row count: the 4 rows of the split
+  // class {a:3, b:1} violate, so {} -> col1 holds iff ⌊ε·4⌋ >= 4, i.e.
+  // only at ε = 1. g3 removals = 1, so g3 accepts from ε = 0.25.
+  Relation relation =
+      MakeRelation({{"k", "a"}, {"k", "a"}, {"k", "a"}, {"k", "b"}}, 2);
+  TaneConfig g2;
+  g2.epsilon = 0.25;
+  g2.measure = ErrorMeasure::kG2;
+  StatusOr<DiscoveryResult> g2_result = Tane::Discover(relation, g2);
+  ASSERT_TRUE(g2_result.ok());
+  EXPECT_FALSE(ContainsFd(g2_result->fds, AttributeSet(), 1));
+
+  StatusOr<DiscoveryResult> g3_result = DiscoverApprox(relation, 0.25);
+  ASSERT_TRUE(g3_result.ok());
+  EXPECT_TRUE(ContainsFd(g3_result->fds, AttributeSet(), 1));
+}
+
 TEST(TaneApproximateTest, ApproximateKeysStillExactKeys) {
   // Keys reported in approximate mode are exact keys regardless of ε.
   StatusOr<DiscoveryResult> result =

@@ -1,0 +1,183 @@
+// Tests for the parallel level executor: discovery output must be
+// bit-identical for every thread count, and cooperative stops under many
+// threads must still yield prefix-correct partial results.
+
+#include <chrono>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/tane.h"
+#include "datasets/paper_datasets.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+#include "util/run_control.h"
+
+namespace tane {
+namespace {
+
+Relation Dataset(PaperDataset dataset, int64_t rows) {
+  StatusOr<Relation> relation = MakePaperDataset(dataset, rows, /*seed=*/42);
+  EXPECT_TRUE(relation.ok()) << relation.status().ToString();
+  return std::move(relation).value();
+}
+
+DiscoveryResult Discover(const Relation& relation, double epsilon,
+                         int num_threads) {
+  TaneConfig config;
+  config.epsilon = epsilon;
+  config.num_threads = num_threads;
+  StatusOr<DiscoveryResult> result = Tane::Discover(relation, config);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+// Dependencies (with exact g3 values) and keys must match element for
+// element — the canonical order is part of the contract, so no sorting
+// here.
+void ExpectIdenticalResults(const DiscoveryResult& expected,
+                            const DiscoveryResult& actual, int num_threads) {
+  ASSERT_EQ(expected.fds.size(), actual.fds.size()) << num_threads;
+  for (size_t i = 0; i < expected.fds.size(); ++i) {
+    EXPECT_EQ(expected.fds[i].lhs, actual.fds[i].lhs) << num_threads;
+    EXPECT_EQ(expected.fds[i].rhs, actual.fds[i].rhs) << num_threads;
+    // Bit-identical errors: every worker computes the same integer counts
+    // and the same single division.
+    EXPECT_EQ(expected.fds[i].error, actual.fds[i].error) << num_threads;
+  }
+  EXPECT_EQ(expected.keys, actual.keys) << num_threads;
+  EXPECT_EQ(expected.completion, actual.completion) << num_threads;
+  // The parallel executor must not change how much work the search does,
+  // only who does it.
+  EXPECT_EQ(expected.stats.validity_tests, actual.stats.validity_tests);
+  EXPECT_EQ(expected.stats.g3_scans, actual.stats.g3_scans);
+  EXPECT_EQ(expected.stats.partition_products,
+            actual.stats.partition_products);
+  EXPECT_EQ(expected.stats.sets_generated, actual.stats.sets_generated);
+}
+
+struct DatasetCase {
+  const char* name;
+  PaperDataset dataset;
+  int64_t rows;
+};
+
+class TaneParallelDeterminismTest
+    : public ::testing::TestWithParam<DatasetCase> {};
+
+TEST_P(TaneParallelDeterminismTest, ExactFdsIdenticalAcrossThreadCounts) {
+  const Relation relation = Dataset(GetParam().dataset, GetParam().rows);
+  const DiscoveryResult serial = Discover(relation, 0.0, 1);
+  EXPECT_EQ(serial.stats.num_threads, 1);
+  for (int threads : {2, 8}) {
+    const DiscoveryResult parallel = Discover(relation, 0.0, threads);
+    EXPECT_EQ(parallel.stats.num_threads, threads);
+    ExpectIdenticalResults(serial, parallel, threads);
+  }
+}
+
+TEST_P(TaneParallelDeterminismTest, ApproximateIdenticalAcrossThreadCounts) {
+  const Relation relation = Dataset(GetParam().dataset, GetParam().rows);
+  for (double epsilon : {0.05, 0.3}) {
+    const DiscoveryResult serial = Discover(relation, epsilon, 1);
+    for (int threads : {2, 8}) {
+      ExpectIdenticalResults(serial, Discover(relation, epsilon, threads),
+                             threads);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperDatasets, TaneParallelDeterminismTest,
+    ::testing::Values(
+        DatasetCase{"lymphography", PaperDataset::kLymphography, 80},
+        DatasetCase{"hepatitis", PaperDataset::kHepatitis, 80},
+        DatasetCase{"wbc", PaperDataset::kWisconsinBreastCancer, 150}),
+    [](const ::testing::TestParamInfo<DatasetCase>& info) {
+      return std::string(info.param.name);
+    });
+
+// Every dependency and key of a partial result must appear, with the same
+// error, in the complete run's output (prefix-correctness).
+void ExpectPrefixOf(const DiscoveryResult& partial,
+                    const DiscoveryResult& full) {
+  std::set<std::pair<std::string, double>> full_fds;
+  for (const FunctionalDependency& fd : full.fds) {
+    full_fds.insert(
+        {fd.lhs.ToString() + "->" + std::to_string(fd.rhs), fd.error});
+  }
+  for (const FunctionalDependency& fd : partial.fds) {
+    EXPECT_TRUE(full_fds.count(
+        {fd.lhs.ToString() + "->" + std::to_string(fd.rhs), fd.error}))
+        << fd.lhs.ToString() << " -> " << fd.rhs;
+  }
+  std::set<std::string> full_keys;
+  for (AttributeSet key : full.keys) full_keys.insert(key.ToString());
+  for (AttributeSet key : partial.keys) {
+    EXPECT_TRUE(full_keys.count(key.ToString())) << key.ToString();
+  }
+}
+
+TEST(TaneParallelCancelTest, PreCancelledEightThreadRunIsPrefixCorrect) {
+  const Relation relation = Dataset(PaperDataset::kWisconsinBreastCancer, 300);
+  const DiscoveryResult full = Discover(relation, 0.0, 8);
+
+  RunController controller;
+  controller.RequestCancel();
+  TaneConfig config;
+  config.num_threads = 8;
+  config.run_controller = &controller;
+  StatusOr<DiscoveryResult> partial = Tane::Discover(relation, config);
+  ASSERT_TRUE(partial.ok()) << partial.status().ToString();
+  EXPECT_EQ(partial->completion, Completion::kCancelled);
+  EXPECT_LT(partial->num_fds(), full.num_fds());
+  ExpectPrefixOf(*partial, full);
+}
+
+TEST(TaneParallelCancelTest, MidRunCancelUnderEightThreadsIsPrefixCorrect) {
+  const Relation relation = Dataset(PaperDataset::kWisconsinBreastCancer, 400);
+  const DiscoveryResult full = Discover(relation, 0.0, 8);
+
+  // Cancel from another thread while eight workers are mid-search. The
+  // exact stop point is timing-dependent, so assert only the guarantees
+  // that must hold for *any* stop point: the result is prefix-correct and
+  // the completion reason is either cancelled or (if the run won the race)
+  // complete.
+  RunController controller;
+  TaneConfig config;
+  config.num_threads = 8;
+  config.run_controller = &controller;
+  std::thread canceller([&controller] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    controller.RequestCancel();
+  });
+  StatusOr<DiscoveryResult> result = Tane::Discover(relation, config);
+  canceller.join();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->completion == Completion::kCancelled ||
+              result->completion == Completion::kComplete);
+  ExpectPrefixOf(*result, full);
+  if (result->complete()) {
+    EXPECT_EQ(result->num_fds(), full.num_fds());
+  }
+}
+
+TEST(TaneParallelStatsTest, LevelParallelStatsCoverEveryLevel) {
+  const Relation relation = Dataset(PaperDataset::kHepatitis, 80);
+  const DiscoveryResult result = Discover(relation, 0.0, 2);
+  ASSERT_FALSE(result.stats.level_parallel.empty());
+  EXPECT_EQ(static_cast<int>(result.stats.level_parallel.size()),
+            result.stats.levels_processed);
+  int expected_level = 1;
+  for (const LevelParallelStats& level : result.stats.level_parallel) {
+    EXPECT_EQ(level.level, expected_level++);
+    EXPECT_GE(level.wall_seconds, 0.0);
+    EXPECT_GE(level.worker_seconds, 0.0);
+    EXPECT_GT(level.speedup(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace tane

@@ -1,0 +1,90 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace tane {
+namespace {
+
+TEST(ThreadPoolTest, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int64_t kCount = 1000;
+  std::vector<std::atomic<int>> visits(kCount);
+  pool.ParallelFor(kCount, [&](int, int64_t index) {
+    visits[index].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (int64_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, WorkerIdsStayInRange) {
+  ThreadPool pool(3);
+  std::atomic<bool> out_of_range{false};
+  pool.ParallelFor(500, [&](int worker, int64_t) {
+    if (worker < 0 || worker >= 3) out_of_range.store(true);
+  });
+  EXPECT_FALSE(out_of_range.load());
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsEverythingOnCaller) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  bool wrong_worker = false;
+  int64_t sum = 0;
+  pool.ParallelFor(100, [&](int worker, int64_t index) {
+    // Safe without synchronization: the serial fast path runs inline.
+    if (worker != 0) wrong_worker = true;
+    sum += index;
+  });
+  EXPECT_FALSE(wrong_worker);
+  EXPECT_EQ(sum, 99 * 100 / 2);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossCalls) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<int64_t> sum{0};
+    pool.ParallelFor(64, [&](int, int64_t index) {
+      sum.fetch_add(index, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 63 * 64 / 2) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, ZeroAndNegativeCountsAreNoops) {
+  ThreadPool pool(2);
+  int calls = 0;
+  const ParallelForStats zero =
+      pool.ParallelFor(0, [&](int, int64_t) { ++calls; });
+  const ParallelForStats negative =
+      pool.ParallelFor(-5, [&](int, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(zero.wall_seconds, 0.0);
+  EXPECT_EQ(negative.busy_seconds, 0.0);
+}
+
+TEST(ThreadPoolTest, StatsAreNonNegativeAndBusyCoversWork) {
+  ThreadPool pool(2);
+  std::atomic<int64_t> sink{0};
+  const ParallelForStats stats = pool.ParallelFor(2000, [&](int, int64_t i) {
+    sink.fetch_add(i % 7, std::memory_order_relaxed);
+  });
+  EXPECT_GE(stats.wall_seconds, 0.0);
+  EXPECT_GE(stats.busy_seconds, 0.0);
+}
+
+TEST(ThreadPoolTest, MoreThreadsThanWork) {
+  ThreadPool pool(8);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(3, [&](int, int64_t) {
+    calls.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(calls.load(), 3);
+}
+
+}  // namespace
+}  // namespace tane

@@ -1,15 +1,16 @@
 #!/usr/bin/env bash
 # Builds and tests every supported configuration: the default RelWithDebInfo
-# preset and the asan-ubsan preset (AddressSanitizer + UBSan), running the
-# full ctest suite under each. Usage: tools/check.sh [preset ...]; with no
-# arguments both presets run.
+# preset, the asan-ubsan preset (AddressSanitizer + UBSan), and the tsan
+# preset (ThreadSanitizer, which races the parallel level executor), running
+# the full ctest suite under each. Usage: tools/check.sh [preset ...]; with
+# no arguments all three presets run.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 presets=("$@")
 if [ ${#presets[@]} -eq 0 ]; then
-  presets=(default asan-ubsan)
+  presets=(default asan-ubsan tsan)
 fi
 
 jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)

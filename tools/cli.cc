@@ -38,6 +38,8 @@ commands:
                         partition-memory budget; with --storage=auto (the
                         default when only a budget is given) the run spills
                         to disk instead of failing
+      --threads=N       worker threads for per-level parallel execution
+                        (default 1; output is identical for any N)
       --format=F        text (default), json, or csv
       --stats           print search statistics
   keys <file.csv>       mine all minimal (approximate) keys
@@ -170,6 +172,8 @@ Status RunDiscover(const ParsedArgs& args, std::ostream& out,
                         FlagAsInt(args, "deadline-ms", 0));
   TANE_ASSIGN_OR_RETURN(int64_t budget_mb,
                         FlagAsInt(args, "memory-budget-mb", 0));
+  TANE_ASSIGN_OR_RETURN(int64_t threads, FlagAsInt(args, "threads", 1));
+  config.num_threads = static_cast<int>(threads);
   if (deadline_ms < 0) {
     return Status::InvalidArgument("--deadline-ms must be >= 0");
   }
@@ -265,7 +269,12 @@ Status RunDiscover(const ParsedArgs& args, std::ostream& out,
         << " peak_partition_bytes=" << stats.peak_partition_bytes
         << " spill_bytes=" << stats.spill_bytes_written
         << " degraded_to_disk=" << (stats.degraded_to_disk ? 1 : 0)
+        << " threads=" << stats.num_threads
         << " seconds=" << stats.wall_seconds << "\n";
+    for (const LevelParallelStats& level : stats.level_parallel) {
+      out << "# level " << level.level << ": parallel_wall="
+          << level.wall_seconds << "s speedup=" << level.speedup() << "\n";
+    }
   }
   return Status::OK();
 }
@@ -527,8 +536,8 @@ int Run(const std::vector<std::string>& args, std::ostream& out,
   if (command == "discover") {
     status = CheckKnownFlags(
         *parsed, {"epsilon", "max-lhs", "deadline-ms", "memory-budget-mb",
-                  "disk", "storage", "format", "stats", "no-header",
-                  "delimiter"});
+                  "threads", "disk", "storage", "format", "stats",
+                  "no-header", "delimiter"});
     if (status.ok()) status = RunDiscover(*parsed, out, err);
   } else if (command == "keys") {
     status = CheckKnownFlags(*parsed, {"epsilon", "no-header", "delimiter"});
