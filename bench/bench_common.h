@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "baselines/fdep.h"
 #include "core/tane.h"
@@ -17,9 +19,48 @@ namespace bench {
 ///   --scale=quick   laptop-friendly sizes (default; minutes for the suite)
 ///   --scale=full    the paper's dataset sizes (hours for the slow cells)
 ///   --seed=N        generator seed (default 42)
+///   --json=PATH     also write a machine-readable BENCH_*.json artifact
 struct BenchOptions {
   bool full_scale = false;
   uint64_t seed = 42;
+  std::string json_path;
+};
+
+/// A minimal streaming JSON writer for the BENCH_*.json artifacts every
+/// harness emits. Call order mirrors the document structure; the writer
+/// inserts commas and escapes strings. No validation beyond comma handling —
+/// harness code is trusted to produce balanced containers.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  JsonWriter& Key(std::string_view key);
+  JsonWriter& Value(std::string_view value);
+  JsonWriter& Value(const char* value) {
+    return Value(std::string_view(value));
+  }
+  JsonWriter& Value(double value);
+  JsonWriter& Value(int64_t value);
+  JsonWriter& Value(int value) { return Value(static_cast<int64_t>(value)); }
+  JsonWriter& Value(bool value);
+
+  const std::string& str() const { return out_; }
+
+  /// Writes str() plus a trailing newline to `path`. Returns false (after
+  /// printing to stderr) when the file cannot be written.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  // Emits the separating comma (unless this value completes a key) and
+  // marks the enclosing container non-empty.
+  void Prefix();
+  void Escaped(std::string_view text);
+
+  std::string out_;
+  std::vector<bool> has_elements_;
+  bool pending_key_ = false;
 };
 
 /// Parses argv; unknown flags abort with a usage message.

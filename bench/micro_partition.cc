@@ -5,13 +5,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.h"
 #include "core/partition_store.h"
 #include "datasets/generators.h"
+#include "datasets/paper_datasets.h"
 #include "lattice/level.h"
+#include "partition/buffer_pool.h"
 #include "partition/error.h"
 #include "partition/partition_builder.h"
 #include "partition/product.h"
 #include "util/logging.h"
+#include "util/timer.h"
 
 namespace tane {
 namespace {
@@ -113,16 +117,110 @@ void BM_StrippedVsUnstrippedProduct(benchmark::State& state) {
 }
 BENCHMARK(BM_StrippedVsUnstrippedProduct)->Arg(0)->Arg(1);
 
+// Product-throughput measurement over the paper's dataset stand-ins,
+// written as BENCH_micro_partition.json when --json=PATH is given. Every
+// attribute pair's product is computed with a pooled PartitionProduct —
+// exactly the steady-state configuration of a discovery run — and the
+// allocations-per-product counter in the artifact certifies the
+// zero-allocation claim.
+int WriteMicroJson(const std::string& path) {
+  constexpr PaperDataset kDatasets[] = {
+      PaperDataset::kLymphography,
+      PaperDataset::kHepatitis,
+      PaperDataset::kWisconsinBreastCancer,
+  };
+  constexpr int64_t kRows = 5000;
+  constexpr int kRepeats = 50;
+
+  bench::JsonWriter json;
+  json.BeginObject();
+  json.Key("benchmark").Value("micro_partition");
+  json.Key("rows_per_dataset").Value(kRows);
+  json.Key("datasets").BeginArray();
+  for (PaperDataset dataset : kDatasets) {
+    const PaperDatasetInfo& info = GetPaperDatasetInfo(dataset);
+    StatusOr<Relation> relation = MakePaperDataset(dataset, kRows);
+    TANE_CHECK(relation.ok()) << relation.status().ToString();
+
+    std::vector<StrippedPartition> partitions;
+    for (int attribute = 0; attribute < relation->num_columns(); ++attribute) {
+      partitions.push_back(
+          PartitionBuilder::ForAttribute(*relation, attribute));
+    }
+
+    PartitionBufferPool pool(/*num_slots=*/1);
+    PartitionProduct product(relation->num_rows());
+    product.set_buffer_pool(&pool, 0);
+    // One sweep of every attribute pair; results recycle into the pool so
+    // later products reuse their buffers, as discovery runs do via the
+    // partition store.
+    const auto sweep = [&]() -> int64_t {
+      int64_t products = 0;
+      for (size_t i = 0; i < partitions.size(); ++i) {
+        for (size_t j = i + 1; j < partitions.size(); ++j) {
+          StatusOr<StrippedPartition> result =
+              product.Multiply(partitions[i], partitions[j]);
+          TANE_CHECK(result.ok()) << result.status().ToString();
+          pool.Recycle(std::move(result).value());
+          ++products;
+        }
+      }
+      return products;
+    };
+
+    // Warm the pool and scratch until capacities converge (pooled buffer
+    // capacities only grow, so a sweep with zero allocations stays at zero).
+    for (int attempt = 0; attempt < 5; ++attempt) {
+      sweep();
+      if (product.TakeAllocations() == 0) break;
+    }
+
+    WallTimer timer;
+    int64_t products = 0;
+    for (int repeat = 0; repeat < kRepeats; ++repeat) products += sweep();
+    const double seconds = timer.ElapsedSeconds();
+    const int64_t allocations = product.TakeAllocations();
+    const double rows_scanned =
+        static_cast<double>(products) * static_cast<double>(kRows);
+
+    json.BeginObject();
+    json.Key("name").Value(info.name);
+    json.Key("rows").Value(kRows);
+    json.Key("columns").Value(info.columns);
+    json.Key("products").Value(products);
+    json.Key("seconds").Value(seconds);
+    json.Key("products_per_sec")
+        .Value(seconds > 0 ? static_cast<double>(products) / seconds : 0.0);
+    json.Key("rows_per_sec").Value(seconds > 0 ? rows_scanned / seconds : 0.0);
+    json.Key("steady_state_allocations").Value(allocations);
+    json.Key("allocations_per_product")
+        .Value(products > 0
+                   ? static_cast<double>(allocations) /
+                         static_cast<double>(products)
+                   : 0.0);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.WriteFile(path) ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace tane
 
-// Custom main instead of BENCHMARK_MAIN so the harness-wide --scale/--seed
-// flags are accepted (and ignored — microbenchmark sizes are fixed).
+// Custom main instead of BENCHMARK_MAIN so the harness-wide
+// --scale/--seed/--json flags are accepted (sizes are fixed; --json selects
+// the machine-readable product-throughput measurement).
 int main(int argc, char** argv) {
+  std::string json_path;
   std::vector<char*> kept;
   for (int i = 0; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg.rfind("--scale=", 0) == 0 || arg.rfind("--seed=", 0) == 0) {
+      continue;
+    }
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = std::string(arg.substr(7));
       continue;
     }
     kept.push_back(argv[i]);
@@ -134,5 +232,6 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (!json_path.empty()) return tane::WriteMicroJson(json_path);
   return 0;
 }

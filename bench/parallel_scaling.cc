@@ -41,10 +41,15 @@ StatusOr<Relation> MakeScalingRelation(int64_t rows, uint64_t seed) {
   return GenerateSynthetic(spec);
 }
 
-void RunSweep(const Relation& relation, double epsilon) {
+void RunSweep(const Relation& relation, double epsilon, JsonWriter* json) {
   std::printf("epsilon=%.2f\n", epsilon);
   std::printf("  %-8s %10s %10s %8s %16s\n", "threads", "N", "time(s)",
               "speedup", "level speedups");
+  if (json != nullptr) {
+    json->BeginObject();
+    json->Key("epsilon").Value(epsilon);
+    json->Key("runs").BeginArray();
+  }
   double serial_seconds = 0.0;
   int64_t serial_fds = -1;
   for (int threads : kThreadCounts) {
@@ -70,6 +75,28 @@ void RunSweep(const Relation& relation, double epsilon) {
                   static_cast<long long>(cell.num_fds), threads,
                   static_cast<long long>(serial_fds));
     }
+    if (json != nullptr) {
+      json->BeginObject();
+      json->Key("threads").Value(threads);
+      json->Key("seconds").Value(seconds);
+      json->Key("speedup").Value(seconds > 0.0 ? serial_seconds / seconds
+                                               : 1.0);
+      json->Key("num_fds").Value(cell.num_fds);
+      json->Key("partition_products").Value(cell.stats.partition_products);
+      json->Key("products_per_sec")
+          .Value(seconds > 0.0 ? static_cast<double>(
+                                     cell.stats.partition_products) /
+                                     seconds
+                               : 0.0);
+      json->Key("product_allocations").Value(cell.stats.product_allocations);
+      json->Key("pli_cache_hits").Value(cell.stats.pli_cache_hits);
+      json->Key("matches_serial_output").Value(cell.num_fds == serial_fds);
+      json->EndObject();
+    }
+  }
+  if (json != nullptr) {
+    json->EndArray();
+    json->EndObject();
   }
 }
 
@@ -88,9 +115,23 @@ int Main(int argc, char** argv) {
               static_cast<long long>(relation->num_rows()),
               relation->num_columns());
 
-  RunSweep(*relation, 0.0);
+  JsonWriter json;
+  JsonWriter* json_out = options.json_path.empty() ? nullptr : &json;
+  if (json_out != nullptr) {
+    json.BeginObject();
+    json.Key("benchmark").Value("parallel_scaling");
+    json.Key("rows").Value(rows);
+    json.Key("columns").Value(relation->num_columns());
+    json.Key("sweeps").BeginArray();
+  }
+  RunSweep(*relation, 0.0, json_out);
   std::printf("\n");
-  RunSweep(*relation, 0.1);
+  RunSweep(*relation, 0.1, json_out);
+  if (json_out != nullptr) {
+    json.EndArray();
+    json.EndObject();
+    if (!json.WriteFile(options.json_path)) return 1;
+  }
   return 0;
 }
 

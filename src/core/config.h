@@ -109,6 +109,15 @@ struct TaneConfig {
   /// a typo like --threads=1000000 from exhausting the process.
   static constexpr int kMaxNumThreads = 256;
 
+  /// Intern structurally identical partitions behind shared storage (the
+  /// PLI cache). Duplicate PLIs — common above the key level, where every
+  /// product is the empty stripped partition — cost a refcount instead of a
+  /// copy. Deduplication confirms candidates with a full structural compare
+  /// (never hash-only) and runs on the coordinator thread in node order, so
+  /// results stay byte-identical across thread counts. Counters appear in
+  /// DiscoveryStats (pli_cache_*).
+  bool use_pli_cache = true;
+
   StorageMode storage = StorageMode::kMemory;
 
   /// Spill directory for StorageMode::kDisk and the kAuto fallback. Empty

@@ -10,6 +10,7 @@
 #include <iterator>
 #include <mutex>
 #include <shared_mutex>
+#include <utility>
 
 #include "util/crc32.h"
 #include "util/failpoint.h"
@@ -22,12 +23,11 @@ namespace fs = std::filesystem;
 // ---------------------------------------------------------------------------
 // MemoryPartitionStore
 
-StatusOr<int64_t> MemoryPartitionStore::Put(
-    const StrippedPartition& partition) {
+StatusOr<int64_t> MemoryPartitionStore::Put(StrippedPartition partition) {
   std::unique_lock<std::shared_mutex> lock(mu_);
   const int64_t handle = next_handle_++;
   resident_bytes_ += partition.EstimatedBytes();
-  partitions_.emplace(handle, partition);
+  partitions_.emplace(handle, std::move(partition));
   return handle;
 }
 
@@ -58,6 +58,7 @@ Status MemoryPartitionStore::Release(int64_t handle) {
                             std::to_string(handle));
   }
   resident_bytes_ -= it->second.EstimatedBytes();
+  if (pool_ != nullptr) pool_->Recycle(std::move(it->second));
   partitions_.erase(it);
   return Status::OK();
 }
@@ -267,7 +268,7 @@ void DiskPartitionStore::DropSegmentIfDead(int32_t segment_id) {
   fs::remove(SegmentPath(segment_id), ec);
 }
 
-StatusOr<int64_t> DiskPartitionStore::Put(const StrippedPartition& partition) {
+StatusOr<int64_t> DiskPartitionStore::Put(StrippedPartition partition) {
   std::unique_lock<std::shared_mutex> lock(mu_);
   if (segments_.empty() || segments_.back().sealed) {
     TANE_RETURN_IF_ERROR(OpenNewSegment());
@@ -296,6 +297,9 @@ StatusOr<int64_t> DiskPartitionStore::Put(const StrippedPartition& partition) {
   segment.bytes += static_cast<int64_t>(record.size());
   ++segment.live_partitions;
   bytes_written_ += static_cast<int64_t>(record.size());
+  // The partition now lives on disk; its in-memory buffers are free for
+  // reuse by the next product.
+  if (pool_ != nullptr) pool_->Recycle(std::move(partition));
 
   const int64_t handle = next_handle_++;
   entries_[handle] =
@@ -373,13 +377,13 @@ int64_t DiskPartitionStore::disk_bytes() const {
 // ---------------------------------------------------------------------------
 // AutoPartitionStore
 
-StatusOr<int64_t> AutoPartitionStore::Put(const StrippedPartition& partition) {
+StatusOr<int64_t> AutoPartitionStore::Put(StrippedPartition partition) {
   std::unique_lock<std::shared_mutex> lock(mu_);
   int64_t inner = 0;
   if (disk_ == nullptr) {
-    TANE_ASSIGN_OR_RETURN(inner, memory_.Put(partition));
+    TANE_ASSIGN_OR_RETURN(inner, memory_.Put(std::move(partition)));
   } else {
-    TANE_ASSIGN_OR_RETURN(inner, disk_->Put(partition));
+    TANE_ASSIGN_OR_RETURN(inner, disk_->Put(std::move(partition)));
   }
   const int64_t handle = next_handle_++;
   inner_handles_[handle] = inner;
@@ -392,9 +396,11 @@ StatusOr<int64_t> AutoPartitionStore::Put(const StrippedPartition& partition) {
 
 Status AutoPartitionStore::SpillToDisk() {
   TANE_ASSIGN_OR_RETURN(disk_, DiskPartitionStore::Open(spill_directory_));
+  if (pool_ != nullptr) disk_->set_buffer_pool(pool_);
   for (auto& [handle, inner] : inner_handles_) {
     TANE_ASSIGN_OR_RETURN(StrippedPartition partition, memory_.Get(inner));
-    TANE_ASSIGN_OR_RETURN(const int64_t disk_handle, disk_->Put(partition));
+    TANE_ASSIGN_OR_RETURN(const int64_t disk_handle,
+                          disk_->Put(std::move(partition)));
     TANE_RETURN_IF_ERROR(memory_.Release(inner));
     inner = disk_handle;
   }

@@ -7,6 +7,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "partition/buffer_pool.h"
 #include "partition/stripped_partition.h"
 #include "util/retry.h"
 #include "util/status.h"
@@ -28,14 +29,22 @@ class PartitionStore {
  public:
   virtual ~PartitionStore() = default;
 
-  /// Stores a partition and returns its handle.
-  virtual StatusOr<int64_t> Put(const StrippedPartition& partition) = 0;
+  /// Stores a partition and returns its handle. Takes the partition by
+  /// value so hot callers can move products straight into the store without
+  /// a copy.
+  virtual StatusOr<int64_t> Put(StrippedPartition partition) = 0;
 
   /// Retrieves a stored partition. The handle stays valid until Release.
   virtual StatusOr<StrippedPartition> Get(int64_t handle) = 0;
 
   /// Frees the resources behind `handle`. Releasing twice is an error.
   virtual Status Release(int64_t handle) = 0;
+
+  /// Attaches a buffer pool: stores that hold partition buffers recycle
+  /// them into `pool` on Release (and on any Put that discards its
+  /// argument), closing the allocation loop with PartitionProduct. The pool
+  /// must outlive the store; nullptr detaches. Default: no recycling.
+  virtual void set_buffer_pool(PartitionBufferPool* pool) { (void)pool; }
 
   /// Borrowing accessor: returns a pointer to the resident partition when
   /// the store can serve one without I/O or copying, else nullptr (callers
@@ -57,7 +66,7 @@ class MemoryPartitionStore : public PartitionStore {
  public:
   MemoryPartitionStore() = default;
 
-  StatusOr<int64_t> Put(const StrippedPartition& partition) override;
+  StatusOr<int64_t> Put(StrippedPartition partition) override;
   StatusOr<StrippedPartition> Get(int64_t handle) override;
   Status Release(int64_t handle) override;
   const StrippedPartition* Peek(int64_t handle) const override;
@@ -66,10 +75,15 @@ class MemoryPartitionStore : public PartitionStore {
     return resident_bytes_;
   }
   int64_t bytes_written() const override { return 0; }
+  void set_buffer_pool(PartitionBufferPool* pool) override {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    pool_ = pool;
+  }
 
  private:
   mutable std::shared_mutex mu_;
   std::unordered_map<int64_t, StrippedPartition> partitions_;
+  PartitionBufferPool* pool_ = nullptr;
   int64_t next_handle_ = 0;
   int64_t resident_bytes_ = 0;
 };
@@ -106,9 +120,13 @@ class DiskPartitionStore : public PartitionStore {
   DiskPartitionStore(const DiskPartitionStore&) = delete;
   DiskPartitionStore& operator=(const DiskPartitionStore&) = delete;
 
-  StatusOr<int64_t> Put(const StrippedPartition& partition) override;
+  StatusOr<int64_t> Put(StrippedPartition partition) override;
   StatusOr<StrippedPartition> Get(int64_t handle) override;
   Status Release(int64_t handle) override;
+  void set_buffer_pool(PartitionBufferPool* pool) override {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    pool_ = pool;
+  }
   int64_t resident_bytes() const override { return 0; }
   int64_t bytes_written() const override {
     std::shared_lock<std::shared_mutex> lock(mu_);
@@ -162,6 +180,7 @@ class DiskPartitionStore : public PartitionStore {
   bool owns_directory_ = false;
   std::unordered_map<int64_t, Entry> entries_;
   std::vector<Segment> segments_;
+  PartitionBufferPool* pool_ = nullptr;
   int64_t next_handle_ = 0;
   int64_t bytes_written_ = 0;
   RetryPolicy retry_policy_;
@@ -179,10 +198,16 @@ class AutoPartitionStore : public PartitionStore {
       : budget_bytes_(budget_bytes),
         spill_directory_(std::move(spill_directory)) {}
 
-  StatusOr<int64_t> Put(const StrippedPartition& partition) override;
+  StatusOr<int64_t> Put(StrippedPartition partition) override;
   StatusOr<StrippedPartition> Get(int64_t handle) override;
   Status Release(int64_t handle) override;
   const StrippedPartition* Peek(int64_t handle) const override;
+  void set_buffer_pool(PartitionBufferPool* pool) override {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    memory_.set_buffer_pool(pool);
+    pool_ = pool;
+    if (disk_ != nullptr) disk_->set_buffer_pool(pool);
+  }
   int64_t resident_bytes() const override {
     std::shared_lock<std::shared_mutex> lock(mu_);
     return disk_ == nullptr ? memory_.resident_bytes() : 0;
@@ -206,6 +231,7 @@ class AutoPartitionStore : public PartitionStore {
   std::string spill_directory_;
   MemoryPartitionStore memory_;
   std::unique_ptr<DiskPartitionStore> disk_;
+  PartitionBufferPool* pool_ = nullptr;
   // This store's handle -> the active inner store's handle; every entry is
   // rewritten in place when the store migrates to disk.
   std::unordered_map<int64_t, int64_t> inner_handles_;

@@ -1,0 +1,110 @@
+#include "core/pli_cache.h"
+
+#include <string>
+#include <utility>
+
+namespace tane {
+
+namespace {
+
+// Deterministic byte measure for the cache counters: logical element counts
+// only. EstimatedBytes() reflects vector *capacity*, which depends on pool
+// history and would make bytes_saved vary across thread counts.
+int64_t LogicalBytes(const StrippedPartition& partition) {
+  return static_cast<int64_t>(
+      (partition.row_ids().size() + partition.class_offsets().size()) *
+      sizeof(int32_t));
+}
+
+}  // namespace
+
+StatusOr<int64_t> PliCache::Put(StrippedPartition partition) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  ++stats_.lookups;
+  const uint64_t hash = partition.StructuralHash();
+  const int64_t full_rank = partition.FullRank();
+
+  auto [begin, end] = by_hash_.equal_range(hash);
+  for (auto it = begin; it != end; ++it) {
+    const int64_t candidate = it->second;
+    const SharedEntry& entry = inner_entries_.at(candidate);
+    if (entry.full_rank != full_rank) continue;
+    // A hash match is not proof: confirm with a full structural compare
+    // before sharing storage. Peek serves memory-backed inner stores
+    // without a copy; a spilled store needs a Get.
+    bool equal = false;
+    if (const StrippedPartition* peeked = inner_->Peek(candidate)) {
+      equal = (*peeked == partition);
+    } else {
+      StatusOr<StrippedPartition> fetched = inner_->Get(candidate);
+      // An unreadable candidate is treated as a miss, not an error: the
+      // partition still gets stored normally below.
+      equal = fetched.ok() && (fetched.value() == partition);
+    }
+    if (!equal) continue;
+
+    ++stats_.hits;
+    stats_.bytes_saved += LogicalBytes(partition);
+    inner_entries_.at(candidate).refs++;
+    // The duplicate's buffers go back to the pool instead of the heap.
+    if (pool_ != nullptr) pool_->Recycle(std::move(partition));
+    const int64_t handle = next_handle_++;
+    outer_to_inner_[handle] = candidate;
+    return handle;
+  }
+
+  ++stats_.misses;
+  const int64_t bytes = LogicalBytes(partition);
+  TANE_ASSIGN_OR_RETURN(const int64_t inner_handle,
+                        inner_->Put(std::move(partition)));
+  inner_entries_[inner_handle] = SharedEntry{1, hash, full_rank, bytes};
+  by_hash_.emplace(hash, inner_handle);
+  const int64_t handle = next_handle_++;
+  outer_to_inner_[handle] = inner_handle;
+  return handle;
+}
+
+StatusOr<StrippedPartition> PliCache::Get(int64_t handle) {
+  int64_t inner_handle = 0;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = outer_to_inner_.find(handle);
+    if (it == outer_to_inner_.end()) {
+      return Status::NotFound("no partition with handle " +
+                              std::to_string(handle));
+    }
+    inner_handle = it->second;
+  }
+  return inner_->Get(inner_handle);
+}
+
+const StrippedPartition* PliCache::Peek(int64_t handle) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = outer_to_inner_.find(handle);
+  return it == outer_to_inner_.end() ? nullptr : inner_->Peek(it->second);
+}
+
+Status PliCache::Release(int64_t handle) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = outer_to_inner_.find(handle);
+  if (it == outer_to_inner_.end()) {
+    return Status::NotFound("release of unknown handle " +
+                            std::to_string(handle));
+  }
+  const int64_t inner_handle = it->second;
+  outer_to_inner_.erase(it);
+  SharedEntry& entry = inner_entries_.at(inner_handle);
+  if (--entry.refs > 0) return Status::OK();
+
+  auto [begin, end] = by_hash_.equal_range(entry.hash);
+  for (auto hash_it = begin; hash_it != end; ++hash_it) {
+    if (hash_it->second == inner_handle) {
+      by_hash_.erase(hash_it);
+      break;
+    }
+  }
+  inner_entries_.erase(inner_handle);
+  return inner_->Release(inner_handle);
+}
+
+}  // namespace tane

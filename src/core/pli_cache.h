@@ -1,0 +1,90 @@
+#ifndef TANE_CORE_PLI_CACHE_H_
+#define TANE_CORE_PLI_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "core/partition_store.h"
+#include "partition/buffer_pool.h"
+#include "partition/stripped_partition.h"
+#include "util/status.h"
+
+namespace tane {
+
+/// Counters for the interning PLI cache, surfaced in DiscoveryStats and
+/// printed by the CLI under --stats.
+struct PliCacheStats {
+  int64_t lookups = 0;      ///< Put calls examined for deduplication.
+  int64_t hits = 0;         ///< Puts that matched an already-stored partition.
+  int64_t misses = 0;       ///< Puts that stored a new partition.
+  int64_t bytes_saved = 0;  ///< Resident bytes avoided by sharing storage.
+};
+
+/// An interning decorator over any PartitionStore: structurally identical
+/// partitions are stored once and shared copy-on-write behind refcounted
+/// inner handles. TANE's lattice produces many identical PLIs — e.g. every
+/// superset of a key yields the empty stripped partition, and correlated
+/// attribute pairs repeat each other's refinement — so interning converts
+/// duplicate storage into a refcount bump.
+///
+/// Deduplication keys on (FullRank, structural hash) as a fast reject, then
+/// confirms with a full structural compare, so a hash collision can never
+/// alias two distinct partitions. Outer handles stay unique per Put —
+/// callers Release each handle exactly once, as with any store — and the
+/// inner partition is freed when its last reference goes away.
+///
+/// Determinism: the driver calls Put and Release only from the coordinator
+/// thread, in node order (workers produce partitions; the coordinator
+/// stores them while merging outcomes). Hits and handle assignment are
+/// therefore identical at every thread count, which keeps DiscoveryResult
+/// byte-identical across 1/2/8 threads. Get/Peek take a shared lock and
+/// stay safe for concurrent worker reads.
+class PliCache : public PartitionStore {
+ public:
+  explicit PliCache(std::unique_ptr<PartitionStore> inner)
+      : inner_(std::move(inner)) {}
+
+  StatusOr<int64_t> Put(StrippedPartition partition) override;
+  StatusOr<StrippedPartition> Get(int64_t handle) override;
+  Status Release(int64_t handle) override;
+  const StrippedPartition* Peek(int64_t handle) const override;
+  void set_buffer_pool(PartitionBufferPool* pool) override {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    pool_ = pool;
+    inner_->set_buffer_pool(pool);
+  }
+  int64_t resident_bytes() const override { return inner_->resident_bytes(); }
+  int64_t bytes_written() const override { return inner_->bytes_written(); }
+
+  PliCacheStats stats() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return stats_;
+  }
+
+  PartitionStore* inner() { return inner_.get(); }
+
+ private:
+  struct SharedEntry {
+    int64_t refs = 0;
+    uint64_t hash = 0;
+    int64_t full_rank = 0;
+    int64_t bytes = 0;  // EstimatedBytes of the stored partition
+  };
+
+  std::unique_ptr<PartitionStore> inner_;
+  mutable std::shared_mutex mu_;
+  // Outer handle (one per Put) -> inner handle (one per distinct partition).
+  std::unordered_map<int64_t, int64_t> outer_to_inner_;
+  std::unordered_map<int64_t, SharedEntry> inner_entries_;
+  // Structural hash -> inner handle, for candidate lookup on Put.
+  std::unordered_multimap<uint64_t, int64_t> by_hash_;
+  PartitionBufferPool* pool_ = nullptr;
+  PliCacheStats stats_;
+  int64_t next_handle_ = 0;
+};
+
+}  // namespace tane
+
+#endif  // TANE_CORE_PLI_CACHE_H_

@@ -44,6 +44,17 @@ struct DiscoveryStats {
   int64_t g3_scans_skipped = 0;
   /// Partition products computed.
   int64_t partition_products = 0;
+  /// Heap allocations performed inside PartitionProduct::Multiply across
+  /// all workers (scratch growth plus output buffers the pool could not
+  /// cover). 0 per product once pooling has warmed up.
+  int64_t product_allocations = 0;
+  /// Interning PLI cache counters (lookups == hits + misses). All zero when
+  /// the cache is disabled.
+  int64_t pli_cache_lookups = 0;
+  int64_t pli_cache_hits = 0;
+  int64_t pli_cache_misses = 0;
+  /// Resident partition bytes avoided by deduplicating identical PLIs.
+  int64_t pli_cache_bytes_saved = 0;
   /// Keys found (sets removed by key pruning).
   int64_t keys_found = 0;
   /// Peak bytes of partitions resident in memory at once.

@@ -11,7 +11,9 @@
 #include <vector>
 
 #include "core/partition_store.h"
+#include "core/pli_cache.h"
 #include "lattice/level.h"
+#include "partition/buffer_pool.h"
 #include "partition/error.h"
 #include "partition/partition_builder.h"
 #include "partition/product.h"
@@ -142,11 +144,17 @@ class TaneRun {
         max_pairs_(IntegerThreshold(
             config.epsilon, static_cast<double>(relation.num_rows()) *
                                 static_cast<double>(relation.num_rows()))),
-        pool_(config.num_threads) {
+        pool_(config.num_threads),
+        buffer_pool_(config.num_threads) {
+    // Close the allocation loop: the store recycles released partition
+    // buffers into the pool, and each worker's product scratch acquires
+    // from its own slot (lock-free off the refill path).
+    store_->set_buffer_pool(&buffer_pool_);
     workers_.reserve(config.num_threads);
     for (int worker = 0; worker < config.num_threads; ++worker) {
       workers_.push_back(
           std::make_unique<WorkerState>(store_.get(), num_rows_));
+      workers_.back()->product.set_buffer_pool(&buffer_pool_, worker);
     }
   }
 
@@ -195,6 +203,17 @@ class TaneRun {
     return total;
   }
 
+  // Bytes retained outside the store: pooled freelist buffers plus every
+  // worker's product scratch. Counted toward the memory budget so pooling
+  // cannot hide memory from --memory-budget-mb.
+  int64_t ScratchAndPoolBytes() const {
+    int64_t total = buffer_pool_.pooled_bytes();
+    for (const auto& worker : workers_) {
+      total += worker->product.ScratchBytes();
+    }
+    return total;
+  }
+
   void ClearAccessors() {
     for (const auto& worker : workers_) worker->accessor.Clear();
   }
@@ -208,6 +227,7 @@ class TaneRun {
       stats_.g3_scans += worker->g3_scans;
       stats_.g3_scans_skipped += worker->g3_scans_skipped;
       stats_.partition_products += worker->partition_products;
+      stats_.product_allocations += worker->product.TakeAllocations();
       worker->validity_tests = 0;
       worker->g3_scans = 0;
       worker->g3_scans_skipped = 0;
@@ -266,7 +286,8 @@ class TaneRun {
     }
     const int64_t budget = controller_->memory_budget_bytes();
     if (budget <= 0) return Status::OK();
-    const int64_t resident = store_->resident_bytes() + AccessorCacheBytes();
+    const int64_t resident = store_->resident_bytes() + AccessorCacheBytes() +
+                             ScratchAndPoolBytes();
     if (resident <= budget) return Status::OK();
     return Status::ResourceExhausted(
         "resident partitions (" + std::to_string(resident) +
@@ -327,6 +348,10 @@ class TaneRun {
   // ⌊ε·|r|²⌋: validity threshold for g1 ordered-pair counts.
   const int64_t max_pairs_;
   ThreadPool pool_;
+  // Shared buffer freelist: stores recycle released CSR arrays here and
+  // worker products acquire their output buffers from it. Declared after
+  // store_ but never touched by store destructors, so member order is safe.
+  PartitionBufferPool buffer_pool_;
   std::vector<std::unique_ptr<WorkerState>> workers_;
   DiscoveryStats stats_;
 
@@ -369,7 +394,8 @@ const StrippedPartition& TaneRun::EmptySetPartition() {
 void TaneRun::SamplePeakMemory() {
   stats_.peak_partition_bytes =
       std::max(stats_.peak_partition_bytes,
-               store_->resident_bytes() + AccessorCacheBytes());
+               store_->resident_bytes() + AccessorCacheBytes() +
+                   ScratchAndPoolBytes());
 }
 
 Status TaneRun::ReleaseHandles(std::vector<Node>* nodes) {
@@ -694,8 +720,12 @@ Status TaneRun::Run(DiscoveryResult* result) {
     Node node;
     node.set = AttributeSet::Singleton(attribute);
     node.error = partition.Error();
-    TANE_ASSIGN_OR_RETURN(node.handle, store_->Put(partition));
-    if (!config_.use_partition_products) {
+    if (config_.use_partition_products) {
+      TANE_ASSIGN_OR_RETURN(node.handle, store_->Put(std::move(partition)));
+    } else {
+      // The recomputation mode folds from resident singleton copies, so the
+      // store gets a copy and the original stays here.
+      TANE_ASSIGN_OR_RETURN(node.handle, store_->Put(partition));
       singleton_partitions_.push_back(std::move(partition));
     }
     current.push_back(node);
@@ -799,7 +829,7 @@ Status TaneRun::Run(DiscoveryResult* result) {
         Node node;
         node.set = candidates[begin + j].set;
         node.error = product.Error();
-        TANE_ASSIGN_OR_RETURN(node.handle, store_->Put(product));
+        TANE_ASSIGN_OR_RETURN(node.handle, store_->Put(std::move(product)));
         next.push_back(node);
         ++stats_.sets_generated;
         SamplePeakMemory();
@@ -876,11 +906,27 @@ StatusOr<DiscoveryResult> Tane::Discover(const Relation& relation,
     store = std::make_unique<MemoryPartitionStore>();
   }
 
+  // The interning PLI cache decorates whichever store was chosen; outer
+  // handles behave exactly like the raw store's, so the run is oblivious.
+  PliCache* pli_cache = nullptr;
+  if (config.use_pli_cache) {
+    auto cache = std::make_unique<PliCache>(std::move(store));
+    pli_cache = cache.get();
+    store = std::move(cache);
+  }
+
   DiscoveryResult result;
   TaneRun run(relation, config, std::move(store));
   TANE_RETURN_IF_ERROR(run.Run(&result));
   if (auto_store != nullptr) {
     result.stats.degraded_to_disk = auto_store->spilled();
+  }
+  if (pli_cache != nullptr) {
+    const PliCacheStats cache_stats = pli_cache->stats();
+    result.stats.pli_cache_lookups = cache_stats.lookups;
+    result.stats.pli_cache_hits = cache_stats.hits;
+    result.stats.pli_cache_misses = cache_stats.misses;
+    result.stats.pli_cache_bytes_saved = cache_stats.bytes_saved;
   }
   return result;
 }

@@ -1,0 +1,99 @@
+#ifndef TANE_PARTITION_BUFFER_POOL_H_
+#define TANE_PARTITION_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "partition/stripped_partition.h"
+
+namespace tane {
+
+/// Traffic counters for a PartitionBufferPool; snapshot via stats().
+struct BufferPoolStats {
+  /// Buffers handed out by Acquire.
+  int64_t acquires = 0;
+  /// Acquires served from a freelist (no fresh heap allocation).
+  int64_t reuses = 0;
+  /// Buffers returned by Recycle.
+  int64_t recycles = 0;
+  /// Recycled buffers dropped because the pool was at its byte cap.
+  int64_t dropped = 0;
+};
+
+/// A freelist of `std::vector<int32_t>` buffers shared between the partition
+/// store (which recycles the CSR arrays of released partitions) and the
+/// per-worker PartitionProduct scratch (which acquires them for product
+/// output). Once the pool has seen one level's worth of buffers, steady-state
+/// products run without touching the allocator at all.
+///
+/// Concurrency model: every worker owns a numbered slot with a private,
+/// lock-free cache of buffers; the shared freelist behind a mutex is touched
+/// only to refill an empty slot cache (in batches) and by Recycle. TANE only
+/// recycles between parallel regions (Release is coordinator-only), so the
+/// mutex is effectively uncontended — workers never take it except on the
+/// rare refill.
+///
+/// A byte cap bounds retained memory: recycling beyond `max_pooled_bytes`
+/// frees the buffer instead of hoarding it. Retained bytes are visible via
+/// pooled_bytes() so memory budgets can account for them.
+class PartitionBufferPool {
+ public:
+  static constexpr int64_t kDefaultMaxPooledBytes = 256ll << 20;
+
+  explicit PartitionBufferPool(int num_slots = 1,
+                               int64_t max_pooled_bytes = kDefaultMaxPooledBytes);
+
+  PartitionBufferPool(const PartitionBufferPool&) = delete;
+  PartitionBufferPool& operator=(const PartitionBufferPool&) = delete;
+
+  /// Hands out a buffer, preferring a pooled one whose capacity already
+  /// covers `capacity_hint`. The returned buffer keeps its recycled size
+  /// and contents (callers resize/clear as needed — a shrinking resize
+  /// costs nothing, where handing out cleared buffers would force a
+  /// zero-fill of memory about to be overwritten); its capacity is whatever
+  /// the freelist had — callers reserve the rest (and count the allocation)
+  /// themselves. `slot` must be in [0, num_slots).
+  std::vector<int32_t> Acquire(int slot, size_t capacity_hint);
+
+  /// Returns a buffer to the shared freelist (or frees it at the byte cap).
+  /// Thread-safe, but TANE only calls it between parallel regions.
+  void Recycle(std::vector<int32_t>&& buffer);
+
+  /// Recycles both CSR arrays of `partition`, leaving it empty but valid.
+  void Recycle(StrippedPartition&& partition);
+
+  /// Bytes currently retained across the shared freelist and every slot
+  /// cache. Meaningful between parallel regions (when no worker is
+  /// mutating its slot).
+  int64_t pooled_bytes() const;
+
+  BufferPoolStats stats() const;
+
+  int num_slots() const { return static_cast<int>(slots_.size()); }
+
+ private:
+  // Buffers moved from the shared freelist into a slot per refill.
+  static constexpr size_t kRefillBatch = 8;
+
+  struct Slot {
+    std::vector<std::vector<int32_t>> buffers;
+    int64_t bytes = 0;
+    // Counters accumulate lock-free per slot and are summed in stats().
+    int64_t acquires = 0;
+    int64_t reuses = 0;
+  };
+
+  const int64_t max_pooled_bytes_;
+  std::vector<Slot> slots_;
+
+  mutable std::mutex mu_;
+  std::vector<std::vector<int32_t>> shared_;
+  int64_t shared_bytes_ = 0;
+  int64_t recycles_ = 0;
+  int64_t dropped_ = 0;
+};
+
+}  // namespace tane
+
+#endif  // TANE_PARTITION_BUFFER_POOL_H_

@@ -25,49 +25,114 @@ StatusOr<StrippedPartition> PartitionProduct::Multiply(
     // fit rather than corrupt memory or abort.
     num_rows_ = a.num_rows();
     probe_.assign(num_rows_, -1);
+    probe_base_ = 0;
+    ++allocations_;
   }
   const int32_t min_size = a.stripped() ? 2 : 1;
-
-  if (groups_.size() < static_cast<size_t>(a.num_classes())) {
-    groups_.resize(a.num_classes());
+  const int64_t a_classes = a.num_classes();
+  if (probe_base_ + a_classes > INT32_MAX) {
+    // Epoch labels would overflow: re-initialize the table (amortized over
+    // ~2^31 product classes, effectively never in one run).
+    probe_.assign(probe_.size(), -1);
+    probe_base_ = 0;
   }
 
-  // Pass 1: label rows with their class index in `a`.
+  if (static_cast<int64_t>(group_size_.size()) < a_classes) {
+    group_size_.assign(a_classes, 0);
+    touched_.reserve(a_classes);
+    ++allocations_;
+  }
+  if (bucket_data_.size() < a.row_ids().size()) {
+    bucket_data_.resize(a.row_ids().size());
+    ++allocations_;
+  }
+
+  // Pass 1: label rows with base + class index in `a`. Entries from earlier
+  // calls sit below `base` and read as "unlabeled", so there is no reset
+  // pass anywhere.
   const std::vector<int32_t>& a_rows = a.row_ids();
-  for (int64_t cls = 0; cls < a.num_classes(); ++cls) {
+  const int32_t base = static_cast<int32_t>(probe_base_);
+  int32_t* const probe = probe_.data();
+  for (int64_t cls = 0; cls < a_classes; ++cls) {
+    const int32_t label = base + static_cast<int32_t>(cls);
     for (int32_t i = a.class_begin(cls); i < a.class_end(cls); ++i) {
-      probe_[a_rows[i]] = static_cast<int32_t>(cls);
+      probe[a_rows[i]] = label;
     }
   }
 
-  // Pass 2: for each class of `b`, bucket its rows by `a`-class; every
-  // bucket of size >= min_size is a class of the product.
-  StrippedPartition out(a.num_rows(), a.stripped());
-  out.row_ids_.reserve(std::min(a.row_ids().size(), b.row_ids().size()));
+  // Output bounds: every emitted row is a member row of both operands, and
+  // every emitted class holds at least min_size of them.
+  const size_t row_bound = std::min(a.row_ids().size(), b.row_ids().size());
+  const size_t offsets_bound =
+      row_bound / static_cast<size_t>(min_size) + 1;
+
+  std::vector<int32_t> out_rows;
+  std::vector<int32_t> out_offsets;
+  if (pool_ != nullptr) {
+    out_rows = pool_->Acquire(pool_slot_, row_bound);
+    out_offsets = pool_->Acquire(pool_slot_, offsets_bound);
+  }
+  if (out_rows.capacity() < row_bound) {
+    out_rows.clear();  // don't let reserve copy recycled contents
+    out_rows.reserve(row_bound);
+    ++allocations_;
+  }
+  if (out_offsets.capacity() < offsets_bound) {
+    out_offsets.clear();
+    out_offsets.reserve(offsets_bound);
+    ++allocations_;
+  }
+  // Expose the whole row bound up front (within the reserved capacity — no
+  // reallocation) and trim to size at the end. Pooled buffers arrive with
+  // their recycled size, so in steady state this resize shrinks or barely
+  // grows instead of zero-filling the full bound.
+  out_rows.resize(row_bound);
+  out_offsets.clear();
+  out_offsets.push_back(0);
+  int32_t out_size = 0;
+
+  // Pass 2: for each class of `b`, scatter its rows into flat buckets —
+  // bucket `g` lives at `a`'s own CSR offset for class `g`, whose size is
+  // an exact capacity bound (a bucket can never receive more rows than its
+  // `a` class holds). Qualifying buckets then stream into the output with
+  // a straight contiguous copy, in first-seen order, like the old
+  // per-class-vector scratch emitted them — but with no per-class vectors
+  // and no capacity checks anywhere.
   const std::vector<int32_t>& b_rows = b.row_ids();
+  const int32_t* const bucket_base = a.class_offsets().data();
+  int32_t* const group_size = group_size_.data();
+  int32_t* const bucket_data = bucket_data_.data();
+  int32_t* const out_rows_data = out_rows.data();
   for (int64_t cls = 0; cls < b.num_classes(); ++cls) {
+    const int32_t begin = b.class_begin(cls);
+    const int32_t end = b.class_end(cls);
     touched_.clear();
-    for (int32_t i = b.class_begin(cls); i < b.class_end(cls); ++i) {
+    for (int32_t i = begin; i < end; ++i) {
       const int32_t row = b_rows[i];
-      const int32_t group = probe_[row];
-      if (group < 0) continue;  // singleton in `a` (stripped mode only)
-      if (groups_[group].empty()) touched_.push_back(group);
-      groups_[group].push_back(row);
+      const int32_t group = probe[row] - base;
+      if (group < 0) continue;  // stale label or singleton in `a`
+      const int32_t count = group_size[group];
+      bucket_data[bucket_base[group] + count] = row;
+      group_size[group] = count + 1;
+      if (count == 0) touched_.push_back(group);
     }
     for (int32_t group : touched_) {
-      std::vector<int32_t>& bucket = groups_[group];
-      if (static_cast<int32_t>(bucket.size()) >= min_size) {
-        out.row_ids_.insert(out.row_ids_.end(), bucket.begin(), bucket.end());
-        out.class_offsets_.push_back(
-            static_cast<int32_t>(out.row_ids_.size()));
-      }
-      bucket.clear();
+      const int32_t count = group_size[group];
+      group_size[group] = 0;
+      if (count < min_size) continue;
+      const int32_t* const bucket = bucket_data + bucket_base[group];
+      std::copy(bucket, bucket + count, out_rows_data + out_size);
+      out_size += count;
+      out_offsets.push_back(out_size);
     }
   }
+  out_rows.resize(out_size);
 
-  // Reset the probe table for the next call.
-  for (int32_t row : a_rows) probe_[row] = -1;
-  return out;
+  // Labels written this call become stale the moment the base moves past
+  // them — the lazy equivalent of the old reset pass.
+  probe_base_ += a_classes;
+  return StrippedPartition(a.num_rows(), a.stripped(), std::move(out_rows),
+                           std::move(out_offsets));
 }
 
 }  // namespace tane

@@ -2,19 +2,33 @@
 #define TANE_PARTITION_PRODUCT_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "partition/buffer_pool.h"
 #include "partition/stripped_partition.h"
 #include "util/status.h"
 
 namespace tane {
 
 /// Computes partition products π' · π'' = π_{X∪Y} (Lemma 3) with the
-/// linear-time probe-table algorithm of the TANE paper. The scratch arrays
-/// (one O(|r|) probe table plus per-class accumulators) are owned by this
-/// object and reused across calls, which matters because TANE computes one
-/// product per lattice node. Instances are not thread-safe; parallel
-/// callers keep one PartitionProduct per worker (see core/tane.cc).
+/// linear-time probe-table algorithm of the TANE paper. All scratch is flat
+/// arrays — an O(|r|) epoch-labelled probe table (no reset pass between
+/// calls), a bucket arena laid out by `a`'s own CSR offsets (each bucket's
+/// capacity is exactly its `a` class size), and a per-class count array —
+/// owned by this object and reused across calls, which matters because
+/// TANE computes one product per lattice node. Surviving buckets stream
+/// into the output with contiguous copies, so Multiply performs no
+/// per-class heap allocations at all.
+///
+/// With a PartitionBufferPool attached (set_buffer_pool), the output arrays
+/// themselves come from recycled buffers of released partitions; once the
+/// pool has warmed up, steady-state products are allocation-free —
+/// allocations() counts the heap allocations Multiply did have to perform
+/// (scratch growth or an undersized pooled buffer) and reads 0 in steady
+/// state. Instances are not thread-safe; parallel callers keep one
+/// PartitionProduct per worker (see core/tane.cc), each acquiring from its
+/// own pool slot.
 ///
 /// Both operands must be over the same number of rows and use the same
 /// representation (stripped or unstripped); the result uses that
@@ -25,21 +39,60 @@ class PartitionProduct {
  public:
   explicit PartitionProduct(int64_t num_rows);
 
+  /// Output buffers are acquired from `pool` (slot `slot`) instead of the
+  /// heap. The pool must outlive this object; pass nullptr to detach.
+  void set_buffer_pool(PartitionBufferPool* pool, int slot = 0) {
+    pool_ = pool;
+    pool_slot_ = slot;
+  }
+
   /// The least refined common refinement of `a` and `b`. Fails with
   /// kInvalidArgument when the operands disagree on row count or
   /// representation.
   StatusOr<StrippedPartition> Multiply(const StrippedPartition& a,
                                        const StrippedPartition& b);
 
+  /// Heap allocations performed by Multiply since construction (scratch
+  /// growth plus output buffers the pool could not cover). 0 per product in
+  /// steady state.
+  int64_t allocations() const { return allocations_; }
+
+  /// Returns allocations() and resets the counter (for periodic merges
+  /// into run-wide stats).
+  int64_t TakeAllocations() { return std::exchange(allocations_, 0); }
+
+  /// Bytes retained by the reusable scratch arrays (probe table and
+  /// per-class size/cursor arrays), for memory-budget accounting.
+  int64_t ScratchBytes() const {
+    return static_cast<int64_t>(
+        (probe_.capacity() + group_size_.capacity() + touched_.capacity() +
+         bucket_data_.capacity()) *
+        sizeof(int32_t));
+  }
+
  private:
   int64_t num_rows_;
-  // probe_[row] = class index within `a`, or -1 when `row` is in no stored
-  // class of `a`. Reset after every Multiply.
+  // probe_[row] = probe_base_ + class index within `a`; entries below
+  // probe_base_ are stale labels from earlier calls (or the initial -1).
+  // Advancing probe_base_ past the labels just written invalidates them all
+  // at once, so no reset pass over `a`'s rows is needed between calls; the
+  // table is only re-initialized when the base nears INT32_MAX.
   std::vector<int32_t> probe_;
-  // groups_[i] accumulates rows of the current `b` class that fall in `a`
-  // class i; cleared as classes are emitted.
-  std::vector<std::vector<int32_t>> groups_;
+  int64_t probe_base_ = 0;
+  // Per-`a`-class scratch for the current `b` class: group_size_ counts the
+  // rows currently in each flat bucket (zeroed again before moving on).
+  std::vector<int32_t> group_size_;
+  // The `a` classes the current `b` class touched, in first-seen order —
+  // which is the emission order, matching the nested-scratch original.
   std::vector<int32_t> touched_;
+  // Flat bucket arena: bucket for `a` class g occupies the range that class
+  // g occupies in `a`'s own CSR layout (a.class_offsets()[g], exact
+  // capacity by construction), so buckets never need growth or checks.
+  std::vector<int32_t> bucket_data_;
+
+  PartitionBufferPool* pool_ = nullptr;
+  int pool_slot_ = 0;
+  int64_t allocations_ = 0;
 };
 
 }  // namespace tane

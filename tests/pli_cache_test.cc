@@ -1,0 +1,148 @@
+#include "core/pli_cache.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/partition_store.h"
+#include "gtest/gtest.h"
+
+namespace tane {
+namespace {
+
+StrippedPartition Make(int64_t num_rows, std::vector<int32_t> rows,
+                       std::vector<int32_t> offsets) {
+  StatusOr<StrippedPartition> partition = StrippedPartition::Create(
+      num_rows, std::move(rows), std::move(offsets), /*stripped=*/true);
+  EXPECT_TRUE(partition.ok()) << partition.status().ToString();
+  return std::move(partition).value();
+}
+
+std::unique_ptr<PliCache> MakeCache() {
+  return std::make_unique<PliCache>(std::make_unique<MemoryPartitionStore>());
+}
+
+TEST(PliCacheTest, DuplicatePutsShareStorage) {
+  auto cache = MakeCache();
+  const StrippedPartition partition = Make(6, {0, 1, 2, 3}, {0, 2, 4});
+
+  StatusOr<int64_t> first = cache->Put(partition);
+  ASSERT_TRUE(first.ok());
+  const int64_t resident_after_first = cache->resident_bytes();
+  EXPECT_GT(resident_after_first, 0);
+
+  StatusOr<int64_t> second = cache->Put(partition);
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(*first, *second);  // outer handles stay unique
+  // The duplicate costs no extra resident bytes.
+  EXPECT_EQ(cache->resident_bytes(), resident_after_first);
+
+  const PliCacheStats stats = cache->stats();
+  EXPECT_EQ(stats.lookups, 2);
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  // bytes_saved counts logical elements (deterministic), not capacity.
+  EXPECT_EQ(stats.bytes_saved,
+            static_cast<int64_t>((partition.row_ids().size() +
+                                  partition.class_offsets().size()) *
+                                 sizeof(int32_t)));
+}
+
+TEST(PliCacheTest, CountersAreConsistent) {
+  auto cache = MakeCache();
+  const StrippedPartition a = Make(6, {0, 1, 2, 3}, {0, 2, 4});
+  const StrippedPartition b = Make(6, {0, 1, 2, 3}, {0, 4});
+  ASSERT_TRUE(cache->Put(a).ok());
+  ASSERT_TRUE(cache->Put(b).ok());
+  ASSERT_TRUE(cache->Put(a).ok());
+  ASSERT_TRUE(cache->Put(b).ok());
+  ASSERT_TRUE(cache->Put(a).ok());
+  const PliCacheStats stats = cache->stats();
+  EXPECT_EQ(stats.lookups, stats.hits + stats.misses);
+  EXPECT_EQ(stats.lookups, 5);
+  EXPECT_EQ(stats.misses, 2);
+}
+
+TEST(PliCacheTest, GetReturnsTheStoredPartition) {
+  auto cache = MakeCache();
+  const StrippedPartition partition = Make(6, {0, 1, 2, 3}, {0, 2, 4});
+  StatusOr<int64_t> first = cache->Put(partition);
+  StatusOr<int64_t> second = cache->Put(partition);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  for (int64_t handle : {*first, *second}) {
+    StatusOr<StrippedPartition> fetched = cache->Get(handle);
+    ASSERT_TRUE(fetched.ok());
+    EXPECT_EQ(*fetched, partition);
+    const StrippedPartition* peeked = cache->Peek(handle);
+    ASSERT_NE(peeked, nullptr);
+    EXPECT_EQ(*peeked, partition);
+  }
+}
+
+TEST(PliCacheTest, DistinctPartitionsDoNotAlias) {
+  auto cache = MakeCache();
+  const StrippedPartition a = Make(6, {0, 1, 2, 3}, {0, 2, 4});
+  // Same FullRank and same arrays sizes, different rows: must NOT intern.
+  const StrippedPartition b = Make(6, {0, 1, 4, 5}, {0, 2, 4});
+  ASSERT_EQ(a.FullRank(), b.FullRank());
+  StatusOr<int64_t> ha = cache->Put(a);
+  StatusOr<int64_t> hb = cache->Put(b);
+  ASSERT_TRUE(ha.ok());
+  ASSERT_TRUE(hb.ok());
+  EXPECT_EQ(cache->stats().hits, 0);
+  EXPECT_EQ(*cache->Get(*ha), a);
+  EXPECT_EQ(*cache->Get(*hb), b);
+}
+
+TEST(PliCacheTest, ReleaseIsRefcounted) {
+  auto cache = MakeCache();
+  const StrippedPartition partition = Make(6, {0, 1, 2, 3}, {0, 2, 4});
+  StatusOr<int64_t> first = cache->Put(partition);
+  StatusOr<int64_t> second = cache->Put(partition);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+
+  // Releasing one of two references keeps the shared partition alive.
+  ASSERT_TRUE(cache->Release(*first).ok());
+  EXPECT_GT(cache->resident_bytes(), 0);
+  StatusOr<StrippedPartition> still_there = cache->Get(*second);
+  ASSERT_TRUE(still_there.ok());
+  EXPECT_EQ(*still_there, partition);
+  // A released outer handle is gone even though the partition survives.
+  EXPECT_FALSE(cache->Get(*first).ok());
+
+  // The last reference frees it.
+  ASSERT_TRUE(cache->Release(*second).ok());
+  EXPECT_EQ(cache->resident_bytes(), 0);
+  EXPECT_FALSE(cache->Release(*second).ok());  // double release is an error
+}
+
+TEST(PliCacheTest, ReleasedPartitionCanBeReinterned) {
+  auto cache = MakeCache();
+  const StrippedPartition partition = Make(6, {0, 1, 2, 3}, {0, 2, 4});
+  StatusOr<int64_t> first = cache->Put(partition);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(cache->Release(*first).ok());
+  // After the last reference died, the next Put is a miss, not a hit on a
+  // stale entry.
+  StatusOr<int64_t> second = cache->Put(partition);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(cache->stats().misses, 2);
+  EXPECT_EQ(cache->stats().hits, 0);
+  EXPECT_EQ(*cache->Get(*second), partition);
+}
+
+TEST(PliCacheTest, HitRecyclesDuplicateBuffersIntoPool) {
+  auto cache = MakeCache();
+  PartitionBufferPool pool(1);
+  cache->set_buffer_pool(&pool);
+  const StrippedPartition partition = Make(6, {0, 1, 2, 3}, {0, 2, 4});
+  ASSERT_TRUE(cache->Put(partition).ok());
+  ASSERT_TRUE(cache->Put(partition).ok());  // duplicate: buffers recycled
+  EXPECT_GE(pool.stats().recycles, 2);
+  EXPECT_GT(pool.pooled_bytes(), 0);
+}
+
+}  // namespace
+}  // namespace tane

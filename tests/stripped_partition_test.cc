@@ -111,5 +111,94 @@ TEST(StrippedPartitionTest, EstimatedBytesNonzeroForData) {
   EXPECT_GT(partition.EstimatedBytes(), 0);
 }
 
+TEST(StrippedPartitionTest, ZeroRowPartitionConversions) {
+  StrippedPartition empty(0);
+  EXPECT_EQ(empty.Stripped(), empty);
+  StrippedPartition unstripped = empty.Unstripped();
+  EXPECT_FALSE(unstripped.stripped());
+  EXPECT_EQ(unstripped.num_classes(), 0);
+  EXPECT_EQ(unstripped.Canonicalized().num_classes(), 0);
+  EXPECT_TRUE(empty.Refines(empty));
+  EXPECT_TRUE(empty.IsSuperkey());
+}
+
+TEST(StrippedPartitionTest, AllSingletonConversions) {
+  StrippedPartition all_singletons(4);  // stripped, no stored classes
+  EXPECT_EQ(all_singletons.Stripped(), all_singletons);
+  StrippedPartition unstripped = all_singletons.Unstripped();
+  EXPECT_FALSE(unstripped.stripped());
+  EXPECT_EQ(unstripped.num_classes(), 4);  // {0},{1},{2},{3}
+  EXPECT_EQ(unstripped.num_member_rows(), 4);
+  EXPECT_EQ(unstripped.Error(), 0);
+  EXPECT_EQ(unstripped.FullRank(), 4);
+  // Round-trip back to the stripped representation.
+  EXPECT_EQ(unstripped.Stripped().Canonicalized(),
+            all_singletons.Canonicalized());
+  // All-singletons refines everything; nothing with a >= 2 class refines it.
+  StrippedPartition pair = Make(4, {0, 1}, {0, 2});
+  EXPECT_TRUE(all_singletons.Refines(pair));
+  EXPECT_FALSE(pair.Refines(all_singletons));
+  EXPECT_TRUE(all_singletons.Refines(all_singletons));
+}
+
+TEST(StrippedPartitionTest, SingleClassConversions) {
+  // One class holding every row: the coarsest partition.
+  StrippedPartition single = Make(3, {0, 1, 2}, {0, 3});
+  EXPECT_EQ(single.Stripped(), single);
+  StrippedPartition unstripped = single.Unstripped();
+  EXPECT_EQ(unstripped.num_classes(), 1);
+  EXPECT_EQ(unstripped.num_member_rows(), 3);
+  EXPECT_EQ(unstripped.Error(), single.Error());
+  EXPECT_EQ(unstripped.Stripped().Canonicalized(), single.Canonicalized());
+  // Everything refines the coarsest partition; it refines only itself.
+  StrippedPartition finer = Make(3, {0, 1}, {0, 2});
+  EXPECT_TRUE(finer.Refines(single));
+  EXPECT_FALSE(single.Refines(finer));
+  EXPECT_TRUE(single.Refines(single));
+  EXPECT_EQ(single.Canonicalized(), single);
+}
+
+TEST(StrippedPartitionTest, UnstrippedStartRoundTrip) {
+  // Unstripped input with singleton classes {2},{3},{4} spelled out.
+  StrippedPartition unstripped =
+      Make(5, {0, 1, 2, 3, 4}, {0, 2, 3, 4, 5}, /*stripped=*/false);
+  EXPECT_EQ(unstripped.Unstripped(), unstripped);  // identity
+  StrippedPartition stripped = unstripped.Stripped();
+  EXPECT_TRUE(stripped.stripped());
+  EXPECT_EQ(stripped.num_classes(), 1);  // only {0,1} survives
+  EXPECT_EQ(stripped.Error(), unstripped.Error());
+  EXPECT_EQ(stripped.FullRank(), unstripped.FullRank());
+  EXPECT_EQ(stripped.Unstripped().Canonicalized(),
+            unstripped.Canonicalized());
+}
+
+TEST(StrippedPartitionTest, StructuralHashAgreesWithEquality) {
+  StrippedPartition a = Make(4, {0, 1}, {0, 2});
+  StrippedPartition b = Make(4, {0, 1}, {0, 2});
+  EXPECT_EQ(a.StructuralHash(), b.StructuralHash());
+  // Different rows, different representation flag, different row counts:
+  // each should (overwhelmingly) change the hash.
+  EXPECT_NE(a.StructuralHash(), Make(4, {2, 3}, {0, 2}).StructuralHash());
+  EXPECT_NE(a.StructuralHash(),
+            Make(4, {0, 1}, {0, 2}, /*stripped=*/false).StructuralHash());
+  EXPECT_NE(a.StructuralHash(), Make(5, {0, 1}, {0, 2}).StructuralHash());
+  EXPECT_NE(StrippedPartition(4).StructuralHash(),
+            StrippedPartition(5).StructuralHash());
+}
+
+TEST(StrippedPartitionTest, MoveBuffersIntoLeavesValidEmptyPartition) {
+  StrippedPartition partition = Make(4, {0, 1, 2, 3}, {0, 2, 4});
+  std::vector<int32_t> rows;
+  std::vector<int32_t> offsets;
+  partition.MoveBuffersInto(&rows, &offsets);
+  EXPECT_EQ(rows, (std::vector<int32_t>{0, 1, 2, 3}));
+  EXPECT_EQ(offsets, (std::vector<int32_t>{0, 2, 4}));
+  // The source is now the empty (all-singleton) partition and still valid.
+  EXPECT_EQ(partition.num_classes(), 0);
+  EXPECT_EQ(partition.num_member_rows(), 0);
+  EXPECT_EQ(partition.Error(), 0);
+  EXPECT_EQ(partition, StrippedPartition(4));
+}
+
 }  // namespace
 }  // namespace tane

@@ -25,3 +25,20 @@ for preset in "${presets[@]}"; do
 done
 
 echo "All presets green: ${presets[*]}"
+
+# Perf smoke: build the release preset's partition microbenchmark, run the
+# JSON measurement once, and check the artifact is valid JSON. Catches both
+# a broken release build and a malformed BENCH_micro_partition.json early.
+echo "==> perf smoke: release micro_partition"
+cmake --preset release
+cmake --build --preset release -j "${jobs}" --target micro_partition
+smoke_json="build-release/BENCH_micro_partition.json"
+build-release/bench/micro_partition \
+  --benchmark_filter='^$' --json="${smoke_json}"
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool "${smoke_json}" >/dev/null
+else
+  # No python3: settle for the file being non-empty.
+  [ -s "${smoke_json}" ]
+fi
+echo "perf smoke OK: ${smoke_json}"

@@ -40,6 +40,10 @@ commands:
                         to disk instead of failing
       --threads=N       worker threads for per-level parallel execution
                         (default 1; output is identical for any N)
+      --pli-cache=on|off
+                        intern structurally identical partitions behind
+                        shared storage (default on; results are identical
+                        either way)
       --format=F        text (default), json, or csv
       --stats           print search statistics
   keys <file.csv>       mine all minimal (approximate) keys
@@ -174,6 +178,15 @@ Status RunDiscover(const ParsedArgs& args, std::ostream& out,
                         FlagAsInt(args, "memory-budget-mb", 0));
   TANE_ASSIGN_OR_RETURN(int64_t threads, FlagAsInt(args, "threads", 1));
   config.num_threads = static_cast<int>(threads);
+  if (const std::string* pli_cache = args.Flag("pli-cache")) {
+    if (*pli_cache == "on") {
+      config.use_pli_cache = true;
+    } else if (*pli_cache == "off") {
+      config.use_pli_cache = false;
+    } else {
+      return Status::InvalidArgument("--pli-cache must be on or off");
+    }
+  }
   if (deadline_ms < 0) {
     return Status::InvalidArgument("--deadline-ms must be >= 0");
   }
@@ -266,6 +279,11 @@ Status RunDiscover(const ParsedArgs& args, std::ostream& out,
         << " products=" << stats.partition_products
         << " g3_scans=" << stats.g3_scans
         << " g3_scans_skipped=" << stats.g3_scans_skipped
+        << " product_allocations=" << stats.product_allocations
+        << " pli_cache_lookups=" << stats.pli_cache_lookups
+        << " pli_cache_hits=" << stats.pli_cache_hits
+        << " pli_cache_misses=" << stats.pli_cache_misses
+        << " pli_cache_bytes_saved=" << stats.pli_cache_bytes_saved
         << " peak_partition_bytes=" << stats.peak_partition_bytes
         << " spill_bytes=" << stats.spill_bytes_written
         << " degraded_to_disk=" << (stats.degraded_to_disk ? 1 : 0)
@@ -536,8 +554,8 @@ int Run(const std::vector<std::string>& args, std::ostream& out,
   if (command == "discover") {
     status = CheckKnownFlags(
         *parsed, {"epsilon", "max-lhs", "deadline-ms", "memory-budget-mb",
-                  "threads", "disk", "storage", "format", "stats",
-                  "no-header", "delimiter"});
+                  "threads", "pli-cache", "disk", "storage", "format",
+                  "stats", "no-header", "delimiter"});
     if (status.ok()) status = RunDiscover(*parsed, out, err);
   } else if (command == "keys") {
     status = CheckKnownFlags(*parsed, {"epsilon", "no-header", "delimiter"});
