@@ -10,6 +10,7 @@
 #include "baselines/fdep.h"
 #include "core/tane.h"
 #include "relation/relation.h"
+#include "util/json_writer.h"
 
 namespace tane {
 namespace bench {
@@ -26,42 +27,10 @@ struct BenchOptions {
   std::string json_path;
 };
 
-/// A minimal streaming JSON writer for the BENCH_*.json artifacts every
-/// harness emits. Call order mirrors the document structure; the writer
-/// inserts commas and escapes strings. No validation beyond comma handling —
-/// harness code is trusted to produce balanced containers.
-class JsonWriter {
- public:
-  JsonWriter& BeginObject();
-  JsonWriter& EndObject();
-  JsonWriter& BeginArray();
-  JsonWriter& EndArray();
-  JsonWriter& Key(std::string_view key);
-  JsonWriter& Value(std::string_view value);
-  JsonWriter& Value(const char* value) {
-    return Value(std::string_view(value));
-  }
-  JsonWriter& Value(double value);
-  JsonWriter& Value(int64_t value);
-  JsonWriter& Value(int value) { return Value(static_cast<int64_t>(value)); }
-  JsonWriter& Value(bool value);
-
-  const std::string& str() const { return out_; }
-
-  /// Writes str() plus a trailing newline to `path`. Returns false (after
-  /// printing to stderr) when the file cannot be written.
-  bool WriteFile(const std::string& path) const;
-
- private:
-  // Emits the separating comma (unless this value completes a key) and
-  // marks the enclosing container non-empty.
-  void Prefix();
-  void Escaped(std::string_view text);
-
-  std::string out_;
-  std::vector<bool> has_elements_;
-  bool pending_key_ = false;
-};
+/// The streaming JSON writer for BENCH_*.json artifacts now lives in
+/// src/util (shared with the run-report and trace exporters); the alias
+/// keeps existing harness code unchanged.
+using JsonWriter = ::tane::JsonWriter;
 
 /// Parses argv; unknown flags abort with a usage message.
 BenchOptions ParseBenchOptions(int argc, char** argv);
@@ -72,6 +41,9 @@ struct Cell {
   int64_t num_fds = -1;
   std::optional<double> seconds;
   DiscoveryStats stats;
+  /// Full registry aggregate of the run (counters, gauges, histograms);
+  /// emitted into BENCH_*.json next to the headline numbers.
+  obs::MetricsSnapshot metrics;
 };
 
 /// Runs TANE with `config` and wall-clocks it.

@@ -18,6 +18,9 @@ Status TaneConfig::Validate() const {
   if (run_controller != nullptr && run_controller->memory_budget_bytes() < 0) {
     return Status::InvalidArgument("memory budget must be >= 0 bytes");
   }
+  if (progress_period_seconds < 0.0) {
+    return Status::InvalidArgument("progress_period_seconds must be >= 0");
+  }
   return Status::OK();
 }
 

@@ -10,6 +10,10 @@
 
 namespace tane {
 
+namespace obs {
+class Tracer;
+}  // namespace obs
+
 /// Which approximation error decides validity in approximate mode. All
 /// three measures of Kivinen & Mannila are computable from the same two
 /// partitions; g3 is the paper's choice and the only one with the O(1)
@@ -131,6 +135,16 @@ struct TaneConfig {
   /// returns a *partial* DiscoveryResult (completion != kComplete) with
   /// every dependency already proven, instead of an error.
   RunController* run_controller = nullptr;
+
+  /// Optional tracer; when set, the run emits nested phase spans (run →
+  /// level → {generate, products, validity, prune, spill} → per-worker
+  /// slices) for Chrome/Perfetto export. Not owned; must outlive the run.
+  obs::Tracer* tracer = nullptr;
+
+  /// Heartbeat period for the progress monitor; 0 (the default) disables
+  /// it. When positive, a monitor thread logs one Info line per period
+  /// (remember to lower the log severity to see them).
+  double progress_period_seconds = 0.0;
 
   /// Validates field ranges (ε ∈ [0,1], positive max_lhs_size, ...).
   Status Validate() const;

@@ -12,6 +12,8 @@
 #include <shared_mutex>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/crc32.h"
 #include "util/failpoint.h"
 #include "util/logging.h"
@@ -297,6 +299,11 @@ StatusOr<int64_t> DiskPartitionStore::Put(StrippedPartition partition) {
   segment.bytes += static_cast<int64_t>(record.size());
   ++segment.live_partitions;
   bytes_written_ += static_cast<int64_t>(record.size());
+  if (metrics_ != nullptr) {
+    metrics_->AddShared(obs::kSpillWrites, 1);
+    metrics_->AddShared(obs::kSpillBytesWritten,
+                        static_cast<int64_t>(record.size()));
+  }
   // The partition now lives on disk; its in-memory buffers are free for
   // reuse by the next product.
   if (pool_ != nullptr) pool_->Recycle(std::move(partition));
@@ -340,6 +347,10 @@ StatusOr<StrippedPartition> DiskPartitionStore::Get(int64_t handle) {
     return Status::IoError("spill segment " + SegmentPath(entry.segment) +
                            " corrupt: checksum mismatch for handle " +
                            std::to_string(handle));
+  }
+  if (metrics_ != nullptr) {
+    metrics_->AddShared(obs::kSpillReads, 1);
+    metrics_->AddShared(obs::kSpillBytesRead, entry.size);
   }
   return DeserializePartition(view);
 }
@@ -395,8 +406,12 @@ StatusOr<int64_t> AutoPartitionStore::Put(StrippedPartition partition) {
 }
 
 Status AutoPartitionStore::SpillToDisk() {
+  // The span makes the migration visible in the trace timeline; its counter
+  // deltas show the spill writes it performed.
+  obs::SpanGuard span(tracer_, "spill", metrics_);
   TANE_ASSIGN_OR_RETURN(disk_, DiskPartitionStore::Open(spill_directory_));
   if (pool_ != nullptr) disk_->set_buffer_pool(pool_);
+  if (metrics_ != nullptr) disk_->set_metrics(metrics_);
   for (auto& [handle, inner] : inner_handles_) {
     TANE_ASSIGN_OR_RETURN(StrippedPartition partition, memory_.Get(inner));
     TANE_ASSIGN_OR_RETURN(const int64_t disk_handle,
@@ -404,6 +419,9 @@ Status AutoPartitionStore::SpillToDisk() {
     TANE_RETURN_IF_ERROR(memory_.Release(inner));
     inner = disk_handle;
   }
+  if (metrics_ != nullptr) metrics_->SetGauge(obs::kDegradedToDisk, 1);
+  span.AddArg("migrated_partitions",
+              static_cast<int64_t>(inner_handles_.size()));
   return Status::OK();
 }
 

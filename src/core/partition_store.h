@@ -14,6 +14,11 @@
 
 namespace tane {
 
+namespace obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace obs
+
 /// Storage abstraction for level partitions. TANE proper (the scalable
 /// version, §6) keeps partitions on disk and reads them back level by
 /// level; TANE/MEM keeps them in RAM. The driver is written against this
@@ -45,6 +50,17 @@ class PartitionStore {
   /// argument), closing the allocation loop with PartitionProduct. The pool
   /// must outlive the store; nullptr detaches. Default: no recycling.
   virtual void set_buffer_pool(PartitionBufferPool* pool) { (void)pool; }
+
+  /// Attaches the run's metrics registry: stores that perform spill I/O
+  /// count their records and bytes on the registry's shared lane
+  /// (kSpillWrites/kSpillReads/kSpillBytes*; kDegradedToDisk for the kAuto
+  /// migration). Not owned; nullptr detaches. Default: ignored.
+  virtual void set_metrics(obs::MetricsRegistry* metrics) { (void)metrics; }
+
+  /// Attaches a tracer so stores can mark rare, expensive transitions —
+  /// today only the kAuto mid-run spill migration, emitted as a "spill"
+  /// span. Not owned; nullptr detaches. Default: ignored.
+  virtual void set_tracer(obs::Tracer* tracer) { (void)tracer; }
 
   /// Borrowing accessor: returns a pointer to the resident partition when
   /// the store can serve one without I/O or copying, else nullptr (callers
@@ -127,6 +143,10 @@ class DiskPartitionStore : public PartitionStore {
     std::unique_lock<std::shared_mutex> lock(mu_);
     pool_ = pool;
   }
+  void set_metrics(obs::MetricsRegistry* metrics) override {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    metrics_ = metrics;
+  }
   int64_t resident_bytes() const override { return 0; }
   int64_t bytes_written() const override {
     std::shared_lock<std::shared_mutex> lock(mu_);
@@ -181,6 +201,7 @@ class DiskPartitionStore : public PartitionStore {
   std::unordered_map<int64_t, Entry> entries_;
   std::vector<Segment> segments_;
   PartitionBufferPool* pool_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
   int64_t next_handle_ = 0;
   int64_t bytes_written_ = 0;
   RetryPolicy retry_policy_;
@@ -208,6 +229,15 @@ class AutoPartitionStore : public PartitionStore {
     pool_ = pool;
     if (disk_ != nullptr) disk_->set_buffer_pool(pool);
   }
+  void set_metrics(obs::MetricsRegistry* metrics) override {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    metrics_ = metrics;
+    if (disk_ != nullptr) disk_->set_metrics(metrics);
+  }
+  void set_tracer(obs::Tracer* tracer) override {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    tracer_ = tracer;
+  }
   int64_t resident_bytes() const override {
     std::shared_lock<std::shared_mutex> lock(mu_);
     return disk_ == nullptr ? memory_.resident_bytes() : 0;
@@ -232,6 +262,8 @@ class AutoPartitionStore : public PartitionStore {
   MemoryPartitionStore memory_;
   std::unique_ptr<DiskPartitionStore> disk_;
   PartitionBufferPool* pool_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
   // This store's handle -> the active inner store's handle; every entry is
   // rewritten in place when the store migrates to disk.
   std::unordered_map<int64_t, int64_t> inner_handles_;

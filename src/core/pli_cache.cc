@@ -3,6 +3,8 @@
 #include <string>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace tane {
 
 namespace {
@@ -21,6 +23,7 @@ int64_t LogicalBytes(const StrippedPartition& partition) {
 StatusOr<int64_t> PliCache::Put(StrippedPartition partition) {
   std::unique_lock<std::shared_mutex> lock(mu_);
   ++stats_.lookups;
+  if (metrics_ != nullptr) metrics_->AddShared(obs::kPliCacheLookups, 1);
   const uint64_t hash = partition.StructuralHash();
   const int64_t full_rank = partition.FullRank();
 
@@ -45,6 +48,10 @@ StatusOr<int64_t> PliCache::Put(StrippedPartition partition) {
 
     ++stats_.hits;
     stats_.bytes_saved += LogicalBytes(partition);
+    if (metrics_ != nullptr) {
+      metrics_->AddShared(obs::kPliCacheHits, 1);
+      metrics_->SetGauge(obs::kPliCacheBytesSaved, stats_.bytes_saved);
+    }
     inner_entries_.at(candidate).refs++;
     // The duplicate's buffers go back to the pool instead of the heap.
     if (pool_ != nullptr) pool_->Recycle(std::move(partition));
@@ -54,6 +61,7 @@ StatusOr<int64_t> PliCache::Put(StrippedPartition partition) {
   }
 
   ++stats_.misses;
+  if (metrics_ != nullptr) metrics_->AddShared(obs::kPliCacheMisses, 1);
   const int64_t bytes = LogicalBytes(partition);
   TANE_ASSIGN_OR_RETURN(const int64_t inner_handle,
                         inner_->Put(std::move(partition)));

@@ -55,6 +55,14 @@ class PliCache : public PartitionStore {
     pool_ = pool;
     inner_->set_buffer_pool(pool);
   }
+  /// Mirrors the cache counters into `metrics` (kPliCache* on the shared
+  /// lane, kPliCacheBytesSaved as a gauge) and forwards to the inner store.
+  void set_metrics(obs::MetricsRegistry* metrics) override {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    metrics_ = metrics;
+    inner_->set_metrics(metrics);
+  }
+  void set_tracer(obs::Tracer* tracer) override { inner_->set_tracer(tracer); }
   int64_t resident_bytes() const override { return inner_->resident_bytes(); }
   int64_t bytes_written() const override { return inner_->bytes_written(); }
 
@@ -81,6 +89,7 @@ class PliCache : public PartitionStore {
   // Structural hash -> inner handle, for candidate lookup on Put.
   std::unordered_multimap<uint64_t, int64_t> by_hash_;
   PartitionBufferPool* pool_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
   PliCacheStats stats_;
   int64_t next_handle_ = 0;
 };

@@ -8,6 +8,7 @@
 
 #include "core/fd.h"
 #include "lattice/attribute_set.h"
+#include "obs/metrics.h"
 
 namespace tane {
 
@@ -17,6 +18,8 @@ namespace tane {
 /// nodes to keep every worker fed.
 struct LevelParallelStats {
   int level = 0;
+  /// Lattice nodes the level processed (its |L_ℓ|).
+  int64_t nodes = 0;
   double wall_seconds = 0.0;
   /// Busy time summed across all participating workers.
   double worker_seconds = 0.0;
@@ -66,6 +69,12 @@ struct DiscoveryStats {
   bool degraded_to_disk = false;
   /// Wall-clock seconds for the whole discovery.
   double wall_seconds = 0.0;
+  /// Seconds spent loading/encoding the input relation. Filled by drivers
+  /// (the CLI, the bench harness) — Discover itself never sees the file.
+  double read_seconds = 0.0;
+  /// Seconds spent rendering output (FDs, trace, run report). Also filled
+  /// by drivers.
+  double report_seconds = 0.0;
   /// Worker threads the run executed with (TaneConfig::num_threads).
   int num_threads = 1;
   /// Per-level timing of the parallelized phases, in level order.
@@ -91,6 +100,11 @@ struct DiscoveryResult {
   std::vector<FunctionalDependency> fds;
   std::vector<AttributeSet> keys;
   DiscoveryStats stats;
+
+  /// Full metric aggregate from the run's registry: every counter the
+  /// stats above are views over, plus gauges and size/cost histograms.
+  /// Consumed by the run report and the bench JSON emitters.
+  obs::MetricsSnapshot metrics;
 
   /// kComplete for a full run; otherwise why the run ended early. Partial
   /// results still satisfy the prefix-correctness guarantee above.

@@ -13,6 +13,9 @@
 #include "core/partition_store.h"
 #include "core/pli_cache.h"
 #include "lattice/level.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 #include "partition/buffer_pool.h"
 #include "partition/error.h"
 #include "partition/partition_builder.h"
@@ -94,21 +97,23 @@ class PartitionAccessor {
 // Scratch state owned by one worker thread. The G3Calculator and
 // PartitionProduct probe tables are O(|r|) and mutated on every call, so
 // they can never be shared between workers; the accessor keeps per-worker
-// LRU copies when the store is disk-backed. Stat counters accumulate here
-// and are merged into the run's totals at each region barrier, keeping the
-// hot loops free of shared atomics.
+// LRU copies when the store is disk-backed. Work counters go straight to
+// the run's MetricsRegistry on this worker's shard — single-writer relaxed
+// stores, so the hot loops stay free of shared atomics while the progress
+// monitor can still read exact totals at any moment.
 struct WorkerState {
-  WorkerState(PartitionStore* store, int64_t num_rows)
-      : accessor(store, /*capacity=*/8), g3(num_rows), product(num_rows) {}
+  WorkerState(PartitionStore* store, int64_t num_rows, int shard)
+      : accessor(store, /*capacity=*/8),
+        g3(num_rows),
+        product(num_rows),
+        shard(shard) {}
 
   PartitionAccessor accessor;
   G3Calculator g3;
   PartitionProduct product;
 
-  int64_t validity_tests = 0;
-  int64_t g3_scans = 0;
-  int64_t g3_scans_skipped = 0;
-  int64_t partition_products = 0;
+  // This worker's shard index in the run's MetricsRegistry.
+  int shard = 0;
   int64_t stop_poll_tick = 0;
 };
 
@@ -145,16 +150,38 @@ class TaneRun {
             config.epsilon, static_cast<double>(relation.num_rows()) *
                                 static_cast<double>(relation.num_rows()))),
         pool_(config.num_threads),
-        buffer_pool_(config.num_threads) {
+        buffer_pool_(config.num_threads),
+        metrics_(config.num_threads),
+        tracer_(config.tracer) {
     // Close the allocation loop: the store recycles released partition
     // buffers into the pool, and each worker's product scratch acquires
     // from its own slot (lock-free off the refill path).
     store_->set_buffer_pool(&buffer_pool_);
+    store_->set_metrics(&metrics_);
+    store_->set_tracer(tracer_);
+    buffer_pool_.set_metrics(&metrics_);
     workers_.reserve(config.num_threads);
     for (int worker = 0; worker < config.num_threads; ++worker) {
       workers_.push_back(
-          std::make_unique<WorkerState>(store_.get(), num_rows_));
+          std::make_unique<WorkerState>(store_.get(), num_rows_, worker));
       workers_.back()->product.set_buffer_pool(&buffer_pool_, worker);
+      workers_.back()->product.set_metrics(&metrics_, worker);
+    }
+    if (tracer_ != nullptr) {
+      // Per-worker drain slices nest under whichever phase span encloses
+      // the parallel region (worker 0 is the coordinator thread, so its
+      // slice shares tid 0 with the phase spans). Emit is thread-safe.
+      pool_.set_slice_hook([this](const ParallelForSlice& slice) {
+        obs::TraceEvent event;
+        event.name = "slice";
+        event.tid = slice.worker;
+        event.start_us = tracer_->ToUs(slice.start);
+        event.dur_us =
+            std::chrono::duration<double, std::micro>(slice.end - slice.start)
+                .count();
+        event.args.emplace_back("items", slice.items);
+        tracer_->Emit(std::move(event));
+      });
     }
   }
 
@@ -218,23 +245,6 @@ class TaneRun {
     for (const auto& worker : workers_) worker->accessor.Clear();
   }
 
-  // Folds the per-worker stat counters into the run totals. Called at
-  // region barriers only, so the totals are identical for every thread
-  // count (integer sums commute).
-  void MergeWorkerStats() {
-    for (const auto& worker : workers_) {
-      stats_.validity_tests += worker->validity_tests;
-      stats_.g3_scans += worker->g3_scans;
-      stats_.g3_scans_skipped += worker->g3_scans_skipped;
-      stats_.partition_products += worker->partition_products;
-      stats_.product_allocations += worker->product.TakeAllocations();
-      worker->validity_tests = 0;
-      worker->g3_scans = 0;
-      worker->g3_scans_skipped = 0;
-      worker->partition_products = 0;
-    }
-  }
-
   bool stopped() const { return stop_flag_.load(std::memory_order_relaxed); }
 
   // Records why the run stopped, once, after the controller latched a
@@ -246,6 +256,9 @@ class TaneRun {
     completion_ = reason == StopReason::kCancelled
                       ? Completion::kCancelled
                       : Completion::kDeadlineExpired;
+    // First transition only: the heartbeat announces why the run is winding
+    // down, even if the next periodic tick is seconds away.
+    if (monitor_ != nullptr) monitor_->EmitNow(StopReasonToString(reason));
   }
 
   // Consults the RunController; once it trips, the stop is latched and the
@@ -303,6 +316,7 @@ class TaneRun {
   void RecordFd(DiscoveryResult* result, AttributeSet lhs, int rhs,
                 double error) {
     result->fds.push_back({lhs, rhs, error});
+    metrics_.Add(0, obs::kFdsEmitted, 1);
     found_lhs_by_rhs_[rhs].push_back(lhs);
     if (lhs.empty()) {
       covered_by_empty_ = covered_by_empty_.With(rhs);
@@ -352,6 +366,13 @@ class TaneRun {
   // worker products acquire their output buffers from it. Declared after
   // store_ but never touched by store destructors, so member order is safe.
   PartitionBufferPool buffer_pool_;
+  // Run-wide metric shards (one per worker) plus gauges; always on. The
+  // DiscoveryStats counters become views over this registry at the end of
+  // Run. Declared before workers_ so products can bind to it in the ctor
+  // and after store_/buffer_pool_ so teardown order is safe.
+  obs::MetricsRegistry metrics_;
+  obs::Tracer* const tracer_;
+  std::unique_ptr<obs::ProgressMonitor> monitor_;
   std::vector<std::unique_ptr<WorkerState>> workers_;
   DiscoveryStats stats_;
 
@@ -392,10 +413,14 @@ const StrippedPartition& TaneRun::EmptySetPartition() {
 }
 
 void TaneRun::SamplePeakMemory() {
-  stats_.peak_partition_bytes =
-      std::max(stats_.peak_partition_bytes,
-               store_->resident_bytes() + AccessorCacheBytes() +
-                   ScratchAndPoolBytes());
+  // Coordinator-only, between parallel regions. The gauges feed the
+  // heartbeat line; stats_.peak_partition_bytes is read back from the peak
+  // gauge at the end of the run.
+  const int64_t resident = store_->resident_bytes() + AccessorCacheBytes() +
+                           ScratchAndPoolBytes();
+  metrics_.SetGauge(obs::kResidentBytes, resident);
+  metrics_.MaxGauge(obs::kPeakResidentBytes, resident);
+  metrics_.SetGauge(obs::kPooledBytes, buffer_pool_.pooled_bytes());
 }
 
 Status TaneRun::ReleaseHandles(std::vector<Node>* nodes) {
@@ -412,7 +437,7 @@ Status TaneRun::ReleaseHandles(std::vector<Node>* nodes) {
 Status TaneRun::TestValidity(WorkerState* w, int64_t prev_error,
                              int64_t prev_handle, const Node& node,
                              bool* valid, double* error, bool* exact_holds) {
-  ++w->validity_tests;
+  metrics_.Add(w->shard, obs::kValidityTests, 1);
   *exact_holds = (prev_error == node.error);
   *error = 0.0;
 
@@ -430,13 +455,13 @@ Status TaneRun::TestValidity(WorkerState* w, int64_t prev_error,
     const int64_t lower = std::max<int64_t>(0, prev_error - node.error);
     const int64_t upper = prev_error;
     if (config_.use_g3_bounds && lower > max_removals_) {
-      ++w->g3_scans_skipped;
+      metrics_.Add(w->shard, obs::kG3ScansSkipped, 1);
       *valid = false;
       return Status::OK();
     }
     if (config_.use_g3_bounds && !config_.compute_exact_errors &&
         upper <= max_removals_) {
-      ++w->g3_scans_skipped;
+      metrics_.Add(w->shard, obs::kG3ScansSkipped, 1);
       *valid = true;
       *error = num_rows_ == 0 ? 0.0
                               : static_cast<double>(upper) /
@@ -454,7 +479,11 @@ Status TaneRun::TestValidity(WorkerState* w, int64_t prev_error,
   }
   TANE_ASSIGN_OR_RETURN(const StrippedPartition* fine,
                         w->accessor.Acquire(node.handle));
-  ++w->g3_scans;
+  metrics_.Add(w->shard, obs::kG3Scans, 1);
+  // The scan walks both operands' member rows; the histogram captures the
+  // per-scan cost distribution for the run report.
+  metrics_.Record(w->shard, obs::kG3ScanMemberRows,
+                  coarse->num_member_rows() + fine->num_member_rows());
   switch (config_.measure) {
     case ErrorMeasure::kG3: {
       TANE_ASSIGN_OR_RETURN(const int64_t removals,
@@ -581,10 +610,10 @@ Status TaneRun::ComputeDependencies(int level_number, std::vector<Node>* level,
         out.status =
             ProcessNode(level_number, (*level)[i], prev, prev_index, w, &out);
         out.processed = true;
+        metrics_.Add(w->shard, obs::kNodesProcessed, 1);
       });
   lp->wall_seconds += region.wall_seconds;
   lp->worker_seconds += region.busy_seconds;
-  MergeWorkerStats();
   // Deliberately no controller poll here: like the serial strided loop, a
   // stop that no worker observed mid-level is only acted on at the level
   // boundary, after PRUNE has run against the fully merged C⁺ sets.
@@ -629,7 +658,7 @@ Status TaneRun::Prune(int level_number, std::vector<Node>* level,
     // e(X) = 0 is a key: superkeys that are not keys have a key as a proper
     // subset and were therefore never generated.
     if (config_.use_key_pruning && node.error == 0 && num_rows_ > 0) {
-      ++stats_.keys_found;
+      metrics_.Add(0, obs::kKeysFound, 1);
       result->keys.push_back(node.set);
       // Output X → A for rhs⁺ candidates outside X whose minimality is
       // certified by the C⁺ sets of this level (paper PRUNE, lines 5-7).
@@ -683,7 +712,7 @@ StatusOr<StrippedPartition> TaneRun::BuildCandidatePartition(
     TANE_ASSIGN_OR_RETURN(
         const StrippedPartition* b,
         w->accessor.Acquire(survivors[candidate.parent_b].handle));
-    ++w->partition_products;
+    metrics_.Add(w->shard, obs::kPartitionProducts, 1);
     return w->product.Multiply(*a, *b);
   }
   // Schlimmer-style recomputation: fold the candidate set's singleton
@@ -693,13 +722,21 @@ StatusOr<StrippedPartition> TaneRun::BuildCandidatePartition(
   for (size_t i = 1; i < members.size(); ++i) {
     TANE_ASSIGN_OR_RETURN(
         product, w->product.Multiply(product, singleton_partitions_[members[i]]));
-    ++w->partition_products;
+    metrics_.Add(w->shard, obs::kPartitionProducts, 1);
   }
   return product;
 }
 
 Status TaneRun::Run(DiscoveryResult* result) {
   WallTimer timer;
+  obs::SpanGuard run_span(tracer_, "run", &metrics_);
+  if (config_.progress_period_seconds > 0.0) {
+    obs::ProgressMonitor::Options options;
+    options.period_seconds = config_.progress_period_seconds;
+    options.controller = controller_;
+    monitor_ = std::make_unique<obs::ProgressMonitor>(&metrics_, options);
+    monitor_->Start();
+  }
   const int num_attributes = relation_.num_columns();
   empty_error_ = num_rows_ > 0 ? num_rows_ - 1 : 0;
   found_lhs_by_rhs_.assign(num_attributes, {});
@@ -714,22 +751,25 @@ Status TaneRun::Run(DiscoveryResult* result) {
   // L_1 := {{A} | A ∈ R}, with partitions computed from the database.
   std::vector<Node> current;
   current.reserve(num_attributes);
-  for (int attribute = 0; attribute < num_attributes; ++attribute) {
-    StrippedPartition partition = PartitionBuilder::ForAttribute(
-        relation_, attribute, config_.use_stripped_partitions);
-    Node node;
-    node.set = AttributeSet::Singleton(attribute);
-    node.error = partition.Error();
-    if (config_.use_partition_products) {
-      TANE_ASSIGN_OR_RETURN(node.handle, store_->Put(std::move(partition)));
-    } else {
-      // The recomputation mode folds from resident singleton copies, so the
-      // store gets a copy and the original stays here.
-      TANE_ASSIGN_OR_RETURN(node.handle, store_->Put(partition));
-      singleton_partitions_.push_back(std::move(partition));
+  {
+    obs::SpanGuard span(tracer_, "base-partitions", &metrics_);
+    for (int attribute = 0; attribute < num_attributes; ++attribute) {
+      StrippedPartition partition = PartitionBuilder::ForAttribute(
+          relation_, attribute, config_.use_stripped_partitions);
+      Node node;
+      node.set = AttributeSet::Singleton(attribute);
+      node.error = partition.Error();
+      if (config_.use_partition_products) {
+        TANE_ASSIGN_OR_RETURN(node.handle, store_->Put(std::move(partition)));
+      } else {
+        // The recomputation mode folds from resident singleton copies, so
+        // the store gets a copy and the original stays here.
+        TANE_ASSIGN_OR_RETURN(node.handle, store_->Put(partition));
+        singleton_partitions_.push_back(std::move(partition));
+      }
+      current.push_back(node);
+      metrics_.Add(0, obs::kSetsGenerated, 1);
     }
-    current.push_back(node);
-    ++stats_.sets_generated;
   }
   SamplePeakMemory();
   TANE_RETURN_IF_ERROR(CheckMemoryBudget());
@@ -744,14 +784,25 @@ Status TaneRun::Run(DiscoveryResult* result) {
   int level_number = 1;
   while (!current.empty()) {
     stats_.levels_processed = level_number;
-    stats_.max_level_size = std::max(
-        stats_.max_level_size, static_cast<int64_t>(current.size()));
+    metrics_.SetGauge(obs::kCurrentLevel, level_number);
+    metrics_.SetGauge(obs::kLevelNodesTotal,
+                      static_cast<int64_t>(current.size()));
+    metrics_.SetGauge(obs::kLevelNodesStart,
+                      metrics_.CounterTotal(obs::kNodesProcessed));
+    metrics_.MaxGauge(obs::kMaxLevelSize,
+                      static_cast<int64_t>(current.size()));
+    obs::SpanGuard level_span(
+        tracer_, "level " + std::to_string(level_number), &metrics_);
     LevelParallelStats level_stats;
     level_stats.level = level_number;
+    level_stats.nodes = static_cast<int64_t>(current.size());
 
-    TANE_RETURN_IF_ERROR(ComputeDependencies(level_number, &current, &prev,
-                                             &prev_index, result,
-                                             &level_stats));
+    {
+      obs::SpanGuard span(tracer_, "validity", &metrics_);
+      TANE_RETURN_IF_ERROR(ComputeDependencies(level_number, &current, &prev,
+                                               &prev_index, result,
+                                               &level_stats));
+    }
     TANE_RETURN_IF_ERROR(ReleaseHandles(&prev));
     if (stopped()) {
       // Stopped mid-level: the dependencies already emitted stand on their
@@ -761,7 +812,10 @@ Status TaneRun::Run(DiscoveryResult* result) {
       TANE_RETURN_IF_ERROR(ReleaseHandles(&current));
       break;
     }
-    TANE_RETURN_IF_ERROR(Prune(level_number, &current, result));
+    {
+      obs::SpanGuard span(tracer_, "prune", &metrics_);
+      TANE_RETURN_IF_ERROR(Prune(level_number, &current, result));
+    }
     result->completed_levels = level_number;
 
     std::vector<Node> survivors;
@@ -794,49 +848,54 @@ Status TaneRun::Run(DiscoveryResult* result) {
     std::vector<AttributeSet> survivor_sets;
     survivor_sets.reserve(survivors.size());
     for (const Node& node : survivors) survivor_sets.push_back(node.set);
-    const std::vector<LevelCandidate> candidates =
-        GenerateNextLevel(survivor_sets);
+    std::vector<LevelCandidate> candidates;
+    {
+      obs::SpanGuard span(tracer_, "generate", &metrics_);
+      candidates = GenerateNextLevel(survivor_sets);
+    }
 
     std::vector<Node> next;
     next.reserve(candidates.size());
     const size_t batch_size =
         static_cast<size_t>(pool_.num_threads()) * 8;
     Status generate_status = Status::OK();
-    for (size_t begin = 0; begin < candidates.size() && !stopped();
-         begin += batch_size) {
-      const size_t end = std::min(candidates.size(), begin + batch_size);
-      std::vector<std::optional<StatusOr<StrippedPartition>>> products(
-          end - begin);
-      const ParallelForStats region = pool_.ParallelFor(
-          static_cast<int64_t>(end - begin), [&](int worker, int64_t j) {
-            WorkerState* w = workers_[worker].get();
-            if (WorkerShouldStop(w)) return;
-            products[j] =
-                BuildCandidatePartition(w, candidates[begin + j], survivors);
-          });
-      level_stats.wall_seconds += region.wall_seconds;
-      level_stats.worker_seconds += region.busy_seconds;
-      MergeWorkerStats();
-      PollStop();
+    {
+      obs::SpanGuard span(tracer_, "products", &metrics_);
+      for (size_t begin = 0; begin < candidates.size() && !stopped();
+           begin += batch_size) {
+        const size_t end = std::min(candidates.size(), begin + batch_size);
+        std::vector<std::optional<StatusOr<StrippedPartition>>> products(
+            end - begin);
+        const ParallelForStats region = pool_.ParallelFor(
+            static_cast<int64_t>(end - begin), [&](int worker, int64_t j) {
+              WorkerState* w = workers_[worker].get();
+              if (WorkerShouldStop(w)) return;
+              products[j] =
+                  BuildCandidatePartition(w, candidates[begin + j], survivors);
+            });
+        level_stats.wall_seconds += region.wall_seconds;
+        level_stats.worker_seconds += region.busy_seconds;
+        PollStop();
 
-      for (size_t j = 0; j < products.size(); ++j) {
-        if (!products[j].has_value()) break;  // skipped by a stop
-        if (!products[j]->ok()) {
-          generate_status = products[j]->status();
-          break;
+        for (size_t j = 0; j < products.size(); ++j) {
+          if (!products[j].has_value()) break;  // skipped by a stop
+          if (!products[j]->ok()) {
+            generate_status = products[j]->status();
+            break;
+          }
+          StrippedPartition product = std::move(*products[j]).value();
+          Node node;
+          node.set = candidates[begin + j].set;
+          node.error = product.Error();
+          TANE_ASSIGN_OR_RETURN(node.handle, store_->Put(std::move(product)));
+          next.push_back(node);
+          metrics_.Add(0, obs::kSetsGenerated, 1);
+          SamplePeakMemory();
+          generate_status = CheckMemoryBudget();
+          if (!generate_status.ok()) break;
         }
-        StrippedPartition product = std::move(*products[j]).value();
-        Node node;
-        node.set = candidates[begin + j].set;
-        node.error = product.Error();
-        TANE_ASSIGN_OR_RETURN(node.handle, store_->Put(std::move(product)));
-        next.push_back(node);
-        ++stats_.sets_generated;
-        SamplePeakMemory();
-        generate_status = CheckMemoryBudget();
         if (!generate_status.ok()) break;
       }
-      if (!generate_status.ok()) break;
     }
     stats_.level_parallel.push_back(level_stats);
     if (!generate_status.ok()) {
@@ -873,9 +932,28 @@ Status TaneRun::Run(DiscoveryResult* result) {
   std::sort(result->keys.begin(), result->keys.end());
   LatchCompletion();
   result->completion = completion_;
+  if (monitor_ != nullptr) {
+    monitor_->Stop();  // emits the final heartbeat line
+    monitor_.reset();
+  }
   stats_.spill_bytes_written = store_->bytes_written();
   stats_.wall_seconds = timer.ElapsedSeconds();
+
+  // The legacy counters are views over the registry: one snapshot fills
+  // them all, and the same snapshot ships in the result for the run report
+  // and the bench emitters — the two can never disagree.
+  const obs::MetricsSnapshot snapshot = metrics_.Snapshot();
+  stats_.sets_generated = snapshot.counter(obs::kSetsGenerated);
+  stats_.max_level_size = snapshot.gauge(obs::kMaxLevelSize);
+  stats_.validity_tests = snapshot.counter(obs::kValidityTests);
+  stats_.g3_scans = snapshot.counter(obs::kG3Scans);
+  stats_.g3_scans_skipped = snapshot.counter(obs::kG3ScansSkipped);
+  stats_.partition_products = snapshot.counter(obs::kPartitionProducts);
+  stats_.product_allocations = snapshot.counter(obs::kProductAllocations);
+  stats_.keys_found = snapshot.counter(obs::kKeysFound);
+  stats_.peak_partition_bytes = snapshot.gauge(obs::kPeakResidentBytes);
   result->stats = stats_;
+  result->metrics = snapshot;
   return Status::OK();
 }
 

@@ -1,0 +1,134 @@
+#include "obs/progress.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace tane {
+namespace obs {
+
+namespace {
+
+void AppendF(std::string* out, const char* fmt, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), fmt, value);
+  *out += buffer;
+}
+
+}  // namespace
+
+ProgressMonitor::ProgressMonitor(const MetricsRegistry* registry,
+                                 Options options)
+    : registry_(registry),
+      options_(options),
+      start_(std::chrono::steady_clock::now()) {}
+
+ProgressMonitor::~ProgressMonitor() {
+  // Silent teardown: Stop() emits the "final" line, the destructor only
+  // guarantees the thread is joined if the owner forgot.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void ProgressMonitor::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (thread_.joinable()) return;
+  stop_requested_ = false;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void ProgressMonitor::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  EmitNow("final");
+}
+
+void ProgressMonitor::EmitNow(std::string_view reason) {
+  TANE_LOG(Info) << FormatLine(reason);
+}
+
+std::string ProgressMonitor::FormatLine(std::string_view reason) {
+  const MetricsSnapshot snap = registry_->Snapshot();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+
+  const int64_t nodes_total = snap.gauge(kLevelNodesTotal);
+  const int64_t nodes_done =
+      snap.counter(kNodesProcessed) - snap.gauge(kLevelNodesStart);
+
+  // Smooth the node rate across heartbeats so the ETA does not whipsaw on
+  // one fast or slow batch.
+  double eta_seconds = -1.0;
+  {
+    std::lock_guard<std::mutex> lock(rate_mu_);
+    const double dt = elapsed - last_elapsed_;
+    const int64_t dn = nodes_done - last_nodes_done_;
+    if (dt > 1e-6 && dn >= 0) {
+      const double instant = static_cast<double>(dn) / dt;
+      nodes_per_second_ = nodes_per_second_ <= 0.0
+                              ? instant
+                              : 0.5 * nodes_per_second_ + 0.5 * instant;
+    }
+    last_elapsed_ = elapsed;
+    last_nodes_done_ = nodes_done;
+    if (nodes_per_second_ > 0.0 && nodes_total > nodes_done) {
+      eta_seconds =
+          static_cast<double>(nodes_total - nodes_done) / nodes_per_second_;
+    }
+  }
+
+  std::string line = "progress";
+  if (!reason.empty()) {
+    line += " (";
+    line += reason;
+    line += ")";
+  }
+  AppendF(&line, " elapsed=%.1fs", elapsed);
+  line += " level=" + std::to_string(snap.gauge(kCurrentLevel));
+  line += " nodes=" + std::to_string(nodes_done) + "/" +
+          std::to_string(nodes_total);
+  line += " tests=" + std::to_string(snap.counter(kValidityTests));
+  line += " products=" + std::to_string(snap.counter(kPartitionProducts));
+  line += " fds=" + std::to_string(snap.counter(kFdsEmitted));
+  line += " cache_hits=" + std::to_string(snap.counter(kPliCacheHits));
+  AppendF(&line, " resident_mb=%.1f",
+          static_cast<double>(snap.gauge(kResidentBytes)) / (1024.0 * 1024.0));
+  AppendF(&line, " peak_mb=%.1f",
+          static_cast<double>(snap.gauge(kPeakResidentBytes)) /
+              (1024.0 * 1024.0));
+  line += " spilled=" +
+          std::to_string(snap.gauge(kDegradedToDisk) != 0 ? 1 : 0);
+  if (eta_seconds >= 0.0) AppendF(&line, " eta_level=%.1fs", eta_seconds);
+  if (options_.controller != nullptr && options_.controller->has_deadline()) {
+    AppendF(&line, " deadline_left=%.1fs",
+            options_.controller->deadline_remaining_seconds());
+  }
+  return line;
+}
+
+void ProgressMonitor::Loop() {
+  const auto period = std::chrono::duration<double>(
+      options_.period_seconds > 0.0 ? options_.period_seconds : 1.0);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_) {
+    if (cv_.wait_for(lock, period, [this] { return stop_requested_; })) {
+      break;
+    }
+    lock.unlock();
+    EmitNow("");
+    lock.lock();
+  }
+}
+
+}  // namespace obs
+}  // namespace tane

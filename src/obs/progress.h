@@ -1,0 +1,75 @@
+#ifndef TANE_OBS_PROGRESS_H_
+#define TANE_OBS_PROGRESS_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "util/run_control.h"
+
+namespace tane {
+namespace obs {
+
+/// Periodic progress heartbeat. A monitor thread snapshots the registry
+/// every `period_seconds` and emits one structured Info log line:
+///
+///   progress elapsed=2.0s level=3 nodes=412/1260 tests=48210 ...
+///
+/// The run also calls EmitNow() at terminal transitions (deadline, cancel,
+/// memory-budget breach), so the last heartbeat always describes the state
+/// the run ended in. Reads only relaxed atomics from the registry — the
+/// hot path never notices the monitor.
+class ProgressMonitor {
+ public:
+  struct Options {
+    double period_seconds = 1.0;
+    /// Optional: adds deadline_left=..s to the line while a deadline runs.
+    const RunController* controller = nullptr;
+  };
+
+  ProgressMonitor(const MetricsRegistry* registry, Options options);
+  ~ProgressMonitor();
+
+  ProgressMonitor(const ProgressMonitor&) = delete;
+  ProgressMonitor& operator=(const ProgressMonitor&) = delete;
+
+  /// Starts the heartbeat thread. Idempotent.
+  void Start();
+
+  /// Stops the thread and emits one final line tagged "final".
+  void Stop();
+
+  /// Emits one line immediately, tagged with `reason` (e.g. "deadline").
+  /// Thread-safe; callable whether or not the thread is running.
+  void EmitNow(std::string_view reason);
+
+  /// Builds the heartbeat line without logging it (exposed for tests).
+  std::string FormatLine(std::string_view reason);
+
+ private:
+  void Loop();
+
+  const MetricsRegistry* registry_;
+  const Options options_;
+  const std::chrono::steady_clock::time_point start_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  std::thread thread_;
+
+  // Previous snapshot, for the nodes/sec rate behind the ETA estimate.
+  std::mutex rate_mu_;
+  double last_elapsed_ = 0.0;
+  int64_t last_nodes_done_ = 0;
+  double nodes_per_second_ = 0.0;
+};
+
+}  // namespace obs
+}  // namespace tane
+
+#endif  // TANE_OBS_PROGRESS_H_

@@ -1,0 +1,120 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tane {
+namespace obs {
+
+Tracer::Tracer(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+void Tracer::Emit(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+    return;
+  }
+  ring_[next_] = std::move(event);
+  next_ = (next_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<TraceEvent> Tracer::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> events;
+  events.reserve(ring_.size());
+  // Once the ring wrapped, `next_` points at the oldest surviving event.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    events.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return events;
+}
+
+int64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+SpanGuard::SpanGuard(Tracer* tracer, std::string name,
+                     const MetricsRegistry* registry, int tid)
+    : tracer_(tracer),
+      registry_(tracer != nullptr ? registry : nullptr),
+      name_(std::move(name)),
+      tid_(tid) {
+  if (tracer_ == nullptr) return;
+  if (registry_ != nullptr) before_ = registry_->CounterTotals();
+  start_us_ = tracer_->NowUs();
+}
+
+SpanGuard::~SpanGuard() {
+  if (tracer_ == nullptr) return;
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.tid = tid_;
+  event.start_us = start_us_;
+  event.dur_us = tracer_->NowUs() - start_us_;
+  if (registry_ != nullptr) {
+    const std::array<int64_t, kCounterCount> after =
+        registry_->CounterTotals();
+    for (int id = 0; id < kCounterCount; ++id) {
+      const int64_t delta = after[id] - before_[id];
+      if (delta != 0) {
+        event.args.emplace_back(
+            std::string(CounterName(static_cast<CounterId>(id))), delta);
+      }
+    }
+  }
+  for (auto& arg : extra_args_) event.args.push_back(std::move(arg));
+  tracer_->Emit(std::move(event));
+}
+
+void SpanGuard::AddArg(std::string key, int64_t value) {
+  if (tracer_ == nullptr) return;
+  extra_args_.emplace_back(std::move(key), value);
+}
+
+void ExportChromeTrace(const std::vector<TraceEvent>& events,
+                       int64_t dropped_events, JsonWriter* json) {
+  json->BeginObject();
+  json->Key("displayTimeUnit").Value("ms");
+  json->Key("otherData").BeginObject();
+  json->Key("tool").Value("tane");
+  json->Key("dropped_events").Value(dropped_events);
+  json->EndObject();
+  json->Key("traceEvents").BeginArray();
+  for (const TraceEvent& event : events) {
+    json->BeginObject();
+    json->Key("name").Value(event.name);
+    json->Key("cat").Value("tane");
+    json->Key("ph").Value(event.instant ? "i" : "X");
+    json->Key("pid").Value(1);
+    json->Key("tid").Value(event.tid);
+    json->Key("ts").Value(event.start_us);
+    if (event.instant) {
+      json->Key("s").Value("t");  // instant scoped to its thread track
+    } else {
+      json->Key("dur").Value(event.dur_us);
+    }
+    if (!event.args.empty()) {
+      json->Key("args").BeginObject();
+      for (const auto& [key, value] : event.args) {
+        json->Key(key).Value(value);
+      }
+      json->EndObject();
+    }
+    json->EndObject();
+  }
+  json->EndArray();
+  json->EndObject();
+}
+
+bool WriteChromeTrace(const Tracer& tracer, const std::string& path) {
+  JsonWriter json;
+  ExportChromeTrace(tracer.Events(), tracer.dropped(), &json);
+  return json.WriteFile(path);
+}
+
+}  // namespace obs
+}  // namespace tane

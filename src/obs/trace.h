@@ -1,0 +1,109 @@
+#ifndef TANE_OBS_TRACE_H_
+#define TANE_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/json_writer.h"
+
+namespace tane {
+namespace obs {
+
+/// One trace slice or instant marker, timed in microseconds relative to the
+/// owning Tracer's epoch. `args` carries the registry counter deltas the
+/// span enclosed (and any extra key/value pairs), so a Perfetto slice shows
+/// e.g. the products and cache hits of exactly that phase.
+struct TraceEvent {
+  std::string name;
+  int tid = 0;            ///< 0 = coordinator thread, 1.. = pool workers
+  double start_us = 0.0;
+  double dur_us = 0.0;
+  bool instant = false;   ///< exported as a Chrome instant event (ph "i")
+  std::vector<std::pair<std::string, int64_t>> args;
+};
+
+/// Thread-safe fixed-capacity ring buffer of trace events. Spans are rare
+/// (per phase / per parallel region, not per node), so a mutex around the
+/// ring costs nothing measurable; when the ring fills, the oldest events
+/// are overwritten and counted in dropped().
+class Tracer {
+ public:
+  explicit Tracer(size_t capacity = 1 << 16);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Microseconds since this tracer was constructed.
+  double NowUs() const {
+    return ToUs(std::chrono::steady_clock::now());
+  }
+
+  /// Converts an externally captured time point to this tracer's timeline.
+  double ToUs(std::chrono::steady_clock::time_point t) const {
+    return std::chrono::duration<double, std::micro>(t - epoch_).count();
+  }
+
+  /// Appends one event (thread-safe).
+  void Emit(TraceEvent event);
+
+  /// Copies the buffered events, oldest first.
+  std::vector<TraceEvent> Events() const;
+
+  /// Events overwritten because the ring was full.
+  int64_t dropped() const;
+
+ private:
+  const size_t capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  size_t next_ = 0;        // insertion position once the ring is full
+  int64_t dropped_ = 0;
+};
+
+/// RAII span: construction captures the start time (and, when a registry is
+/// given, a counter snapshot); destruction emits a TraceEvent whose args
+/// are the nonzero counter deltas over the span's lifetime. A null tracer
+/// makes every operation a no-op, so call sites need no branches.
+class SpanGuard {
+ public:
+  SpanGuard(Tracer* tracer, std::string name,
+            const MetricsRegistry* registry = nullptr, int tid = 0);
+  ~SpanGuard();
+
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+  /// Adds an extra key/value pair to the emitted event.
+  void AddArg(std::string key, int64_t value);
+
+ private:
+  Tracer* tracer_;
+  const MetricsRegistry* registry_;
+  std::string name_;
+  int tid_;
+  double start_us_ = 0.0;
+  std::array<int64_t, kCounterCount> before_{};
+  std::vector<std::pair<std::string, int64_t>> extra_args_;
+};
+
+/// Serializes events into the Chrome trace-event JSON format understood by
+/// chrome://tracing and Perfetto: an object with a "traceEvents" array of
+/// complete ("ph":"X") and instant ("ph":"i") events.
+void ExportChromeTrace(const std::vector<TraceEvent>& events,
+                       int64_t dropped_events, JsonWriter* json);
+
+/// Convenience: exports `tracer`'s buffered events to `path`. Returns false
+/// when the file cannot be written.
+bool WriteChromeTrace(const Tracer& tracer, const std::string& path);
+
+}  // namespace obs
+}  // namespace tane
+
+#endif  // TANE_OBS_TRACE_H_

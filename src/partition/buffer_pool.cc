@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace tane {
 
 namespace {
@@ -22,6 +24,7 @@ std::vector<int32_t> PartitionBufferPool::Acquire(int slot,
                                                   size_t capacity_hint) {
   Slot& cache = slots_[slot];
   ++cache.acquires;
+  if (metrics_ != nullptr) metrics_->Add(slot, obs::kPoolAcquires, 1);
   if (cache.buffers.empty()) {
     std::lock_guard<std::mutex> lock(mu_);
     const size_t take = std::min(kRefillBatch, shared_.size());
@@ -52,6 +55,7 @@ std::vector<int32_t> PartitionBufferPool::Acquire(int slot,
   cache.buffers.pop_back();
   cache.bytes -= CapacityBytes(buffer);
   ++cache.reuses;
+  if (metrics_ != nullptr) metrics_->Add(slot, obs::kPoolReuses, 1);
   // Contents and size are left as recycled: a caller that resizes to a
   // smaller-or-equal size pays nothing, where a cleared buffer would force
   // it to zero-fill the whole range it is about to overwrite anyway.
@@ -62,8 +66,10 @@ void PartitionBufferPool::Recycle(std::vector<int32_t>&& buffer) {
   if (buffer.capacity() == 0) return;
   std::lock_guard<std::mutex> lock(mu_);
   ++recycles_;
+  if (metrics_ != nullptr) metrics_->AddShared(obs::kPoolRecycles, 1);
   if (shared_bytes_ + CapacityBytes(buffer) > max_pooled_bytes_) {
     ++dropped_;
+    if (metrics_ != nullptr) metrics_->AddShared(obs::kPoolDropped, 1);
     return;  // `buffer` frees on scope exit
   }
   shared_bytes_ += CapacityBytes(buffer);

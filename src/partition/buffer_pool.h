@@ -9,6 +9,10 @@
 
 namespace tane {
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 /// Traffic counters for a PartitionBufferPool; snapshot via stats().
 struct BufferPoolStats {
   /// Buffers handed out by Acquire.
@@ -70,6 +74,12 @@ class PartitionBufferPool {
 
   BufferPoolStats stats() const;
 
+  /// Mirrors the pool counters into `metrics` as they happen: acquire and
+  /// reuse counts land on the slot's shard (the registry must have at least
+  /// num_slots shards), recycle and drop counts on the shared lane. Not
+  /// owned; nullptr detaches.
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
   int num_slots() const { return static_cast<int>(slots_.size()); }
 
  private:
@@ -86,6 +96,7 @@ class PartitionBufferPool {
 
   const int64_t max_pooled_bytes_;
   std::vector<Slot> slots_;
+  obs::MetricsRegistry* metrics_ = nullptr;
 
   mutable std::mutex mu_;
   std::vector<std::vector<int32_t>> shared_;

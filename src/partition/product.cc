@@ -3,10 +3,19 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/metrics.h"
+
 namespace tane {
 
 PartitionProduct::PartitionProduct(int64_t num_rows)
     : num_rows_(num_rows), probe_(num_rows, -1) {}
+
+void PartitionProduct::CountAllocation() {
+  ++allocations_;
+  if (metrics_ != nullptr) {
+    metrics_->Add(metrics_shard_, obs::kProductAllocations, 1);
+  }
+}
 
 StatusOr<StrippedPartition> PartitionProduct::Multiply(
     const StrippedPartition& a, const StrippedPartition& b) {
@@ -26,7 +35,7 @@ StatusOr<StrippedPartition> PartitionProduct::Multiply(
     num_rows_ = a.num_rows();
     probe_.assign(num_rows_, -1);
     probe_base_ = 0;
-    ++allocations_;
+    CountAllocation();
   }
   const int32_t min_size = a.stripped() ? 2 : 1;
   const int64_t a_classes = a.num_classes();
@@ -40,11 +49,11 @@ StatusOr<StrippedPartition> PartitionProduct::Multiply(
   if (static_cast<int64_t>(group_size_.size()) < a_classes) {
     group_size_.assign(a_classes, 0);
     touched_.reserve(a_classes);
-    ++allocations_;
+    CountAllocation();
   }
   if (bucket_data_.size() < a.row_ids().size()) {
     bucket_data_.resize(a.row_ids().size());
-    ++allocations_;
+    CountAllocation();
   }
 
   // Pass 1: label rows with base + class index in `a`. Entries from earlier
@@ -75,12 +84,12 @@ StatusOr<StrippedPartition> PartitionProduct::Multiply(
   if (out_rows.capacity() < row_bound) {
     out_rows.clear();  // don't let reserve copy recycled contents
     out_rows.reserve(row_bound);
-    ++allocations_;
+    CountAllocation();
   }
   if (out_offsets.capacity() < offsets_bound) {
     out_offsets.clear();
     out_offsets.reserve(offsets_bound);
-    ++allocations_;
+    CountAllocation();
   }
   // Expose the whole row bound up front (within the reserved capacity — no
   // reallocation) and trim to size at the end. Pooled buffers arrive with
@@ -131,6 +140,11 @@ StatusOr<StrippedPartition> PartitionProduct::Multiply(
   // Labels written this call become stale the moment the base moves past
   // them — the lazy equivalent of the old reset pass.
   probe_base_ += a_classes;
+  if (metrics_ != nullptr) {
+    metrics_->Record(metrics_shard_, obs::kProductClasses,
+                     static_cast<int64_t>(out_offsets.size()) - 1);
+    metrics_->Record(metrics_shard_, obs::kProductMemberRows, out_size);
+  }
   return StrippedPartition(a.num_rows(), a.stripped(), std::move(out_rows),
                            std::move(out_offsets));
 }

@@ -11,6 +11,10 @@
 
 namespace tane {
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 /// Computes partition products π' · π'' = π_{X∪Y} (Lemma 3) with the
 /// linear-time probe-table algorithm of the TANE paper. All scratch is flat
 /// arrays — an O(|r|) epoch-labelled probe table (no reset pass between
@@ -46,6 +50,15 @@ class PartitionProduct {
     pool_slot_ = slot;
   }
 
+  /// Mirrors allocation counts (kProductAllocations) and records the class
+  /// count / member-row histograms of every successful product into
+  /// `metrics`, on shard `shard` (the caller's worker index). Not owned;
+  /// nullptr detaches.
+  void set_metrics(obs::MetricsRegistry* metrics, int shard = 0) {
+    metrics_ = metrics;
+    metrics_shard_ = shard;
+  }
+
   /// The least refined common refinement of `a` and `b`. Fails with
   /// kInvalidArgument when the operands disagree on row count or
   /// representation.
@@ -71,6 +84,10 @@ class PartitionProduct {
   }
 
  private:
+  // One heap allocation happened: bump the local counter and, when a
+  // registry is attached, the kProductAllocations shard counter with it.
+  void CountAllocation();
+
   int64_t num_rows_;
   // probe_[row] = probe_base_ + class index within `a`; entries below
   // probe_base_ are stale labels from earlier calls (or the initial -1).
@@ -92,6 +109,8 @@ class PartitionProduct {
 
   PartitionBufferPool* pool_ = nullptr;
   int pool_slot_ = 0;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  int metrics_shard_ = 0;
   int64_t allocations_ = 0;
 };
 

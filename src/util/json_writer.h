@@ -1,0 +1,51 @@
+#ifndef TANE_UTIL_JSON_WRITER_H_
+#define TANE_UTIL_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tane {
+
+/// A minimal streaming JSON writer, shared by the run-report / trace
+/// exporters in src/obs and the BENCH_*.json artifacts the bench harnesses
+/// emit. Call order mirrors the document structure; the writer inserts
+/// commas and escapes strings. No validation beyond comma handling —
+/// callers are trusted to produce balanced containers.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  JsonWriter& Key(std::string_view key);
+  JsonWriter& Value(std::string_view value);
+  JsonWriter& Value(const char* value) {
+    return Value(std::string_view(value));
+  }
+  JsonWriter& Value(double value);
+  JsonWriter& Value(int64_t value);
+  JsonWriter& Value(int value) { return Value(static_cast<int64_t>(value)); }
+  JsonWriter& Value(bool value);
+
+  const std::string& str() const { return out_; }
+
+  /// Writes str() plus a trailing newline to `path`. Returns false (after
+  /// printing to stderr) when the file cannot be written.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  // Emits the separating comma (unless this value completes a key) and
+  // marks the enclosing container non-empty.
+  void Prefix();
+  void Escaped(std::string_view text);
+
+  std::string out_;
+  std::vector<bool> has_elements_;
+  bool pending_key_ = false;
+};
+
+}  // namespace tane
+
+#endif  // TANE_UTIL_JSON_WRITER_H_

@@ -27,6 +27,53 @@ LogSeverity g_min_severity = LogSeverity::kWarning;
 void SetMinLogSeverity(LogSeverity severity) { g_min_severity = severity; }
 LogSeverity GetMinLogSeverity() { return g_min_severity; }
 
+bool ParseLogSeverity(std::string_view name, LogSeverity* severity) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower += static_cast<char>(c >= 'A' && c <= 'Z' ? c - 'A' + 'a' : c);
+  }
+  if (lower == "info") {
+    *severity = LogSeverity::kInfo;
+  } else if (lower == "warning" || lower == "warn") {
+    *severity = LogSeverity::kWarning;
+  } else if (lower == "error") {
+    *severity = LogSeverity::kError;
+  } else if (lower == "fatal") {
+    *severity = LogSeverity::kFatal;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* LogSeverityName(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kInfo:
+      return "info";
+    case LogSeverity::kWarning:
+      return "warning";
+    case LogSeverity::kError:
+      return "error";
+    case LogSeverity::kFatal:
+      return "fatal";
+  }
+  return "unknown";
+}
+
+bool InitLogSeverityFromEnv() {
+  const char* value = std::getenv("TANE_LOG_LEVEL");
+  if (value == nullptr || value[0] == '\0') return false;
+  LogSeverity severity;
+  if (!ParseLogSeverity(value, &severity)) {
+    TANE_LOG(Warning) << "ignoring invalid TANE_LOG_LEVEL=\"" << value
+                      << "\" (expected info|warning|error|fatal)";
+    return false;
+  }
+  SetMinLogSeverity(severity);
+  return true;
+}
+
 LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
     : severity_(severity) {
   stream_ << "[" << SeverityTag(severity) << " " << file << ":" << line

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace tane {
 namespace internal_logging {
@@ -31,6 +32,19 @@ class LogMessage {
 /// so library users are not spammed; benches/tests can lower it.
 void SetMinLogSeverity(LogSeverity severity);
 LogSeverity GetMinLogSeverity();
+
+/// Parses "info" / "warning" / "error" / "fatal" (any case; "warn" also
+/// accepted) into `*severity`. Returns false on anything else.
+bool ParseLogSeverity(std::string_view name, LogSeverity* severity);
+
+/// Lowercase name for a severity ("info", "warning", ...).
+const char* LogSeverityName(LogSeverity severity);
+
+/// Applies the TANE_LOG_LEVEL environment variable, if set and valid, to
+/// the minimum severity. Returns true when the variable took effect —
+/// callers treat that like an explicit user choice (the CLI's --log-level
+/// flag still wins over the environment).
+bool InitLogSeverityFromEnv();
 
 }  // namespace internal_logging
 }  // namespace tane

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <limits>
 #include <string_view>
 
 namespace tane {
@@ -62,6 +63,13 @@ class RunController {
 
   void ClearDeadline() { has_deadline_ = false; }
   bool has_deadline() const { return has_deadline_; }
+
+  /// Seconds until the deadline (negative once it passed); a large positive
+  /// value when no deadline is set. Readable while the run polls.
+  double deadline_remaining_seconds() const {
+    if (!has_deadline_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(deadline_ - Clock::now()).count();
+  }
 
   /// Requests cooperative cancellation. Thread-safe; idempotent.
   void RequestCancel() { cancel_requested_.store(true, std::memory_order_release); }

@@ -24,15 +24,21 @@ ThreadPool::~ThreadPool() {
 }
 
 double ThreadPool::Drain(int worker) {
-  WallTimer timer;
+  const auto start = std::chrono::steady_clock::now();
   const int64_t count = count_;
   const std::function<void(int, int64_t)>& fn = *fn_;
+  int64_t items = 0;
   for (int64_t index = next_.fetch_add(1, std::memory_order_relaxed);
        index < count;
        index = next_.fetch_add(1, std::memory_order_relaxed)) {
     fn(worker, index);
+    ++items;
   }
-  return timer.ElapsedSeconds();
+  const auto end = std::chrono::steady_clock::now();
+  if (slice_hook_ && items > 0) {
+    slice_hook_(ParallelForSlice{worker, start, end, items});
+  }
+  return std::chrono::duration<double>(end - start).count();
 }
 
 void ThreadPool::WorkerLoop(int worker) {
@@ -62,8 +68,11 @@ ParallelForStats ThreadPool::ParallelFor(
 
   if (num_threads_ == 1) {
     // Serial fast path: no locks, no atomics visible to the caller.
+    const auto start = std::chrono::steady_clock::now();
     for (int64_t index = 0; index < count; ++index) fn(0, index);
-    stats.wall_seconds = wall.ElapsedSeconds();
+    const auto end = std::chrono::steady_clock::now();
+    if (slice_hook_) slice_hook_(ParallelForSlice{0, start, end, count});
+    stats.wall_seconds = std::chrono::duration<double>(end - start).count();
     stats.busy_seconds = stats.wall_seconds;
     return stats;
   }

@@ -2,6 +2,7 @@
 #define TANE_UTIL_THREAD_POOL_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -17,6 +18,16 @@ namespace tane {
 struct ParallelForStats {
   double wall_seconds = 0.0;
   double busy_seconds = 0.0;
+};
+
+/// One worker's participation in one ParallelFor call: when it drained, for
+/// how long, and how many indices it processed. Reported through the slice
+/// hook so a tracer can draw per-worker utilization under each phase span.
+struct ParallelForSlice {
+  int worker = 0;
+  std::chrono::steady_clock::time_point start;
+  std::chrono::steady_clock::time_point end;
+  int64_t items = 0;
 };
 
 /// A fixed-size pool of worker threads for data-parallel loops. Built for
@@ -52,6 +63,15 @@ class ThreadPool {
   ParallelForStats ParallelFor(int64_t count,
                                const std::function<void(int, int64_t)>& fn);
 
+  /// Installs a callback invoked once per participating worker per
+  /// ParallelFor call (workers that drained zero indices are skipped). The
+  /// hook runs on the worker's own thread, concurrently with its peers, so
+  /// it must be thread-safe and cheap. Set/clear only while no ParallelFor
+  /// is in flight. Empty function disables.
+  void set_slice_hook(std::function<void(const ParallelForSlice&)> hook) {
+    slice_hook_ = std::move(hook);
+  }
+
  private:
   void WorkerLoop(int worker);
   // Drains indices from next_ until the current job is exhausted; returns
@@ -60,6 +80,7 @@ class ThreadPool {
 
   const int num_threads_;
   std::vector<std::thread> workers_;
+  std::function<void(const ParallelForSlice&)> slice_hook_;
 
   std::mutex mu_;
   std::condition_variable work_cv_;   // signals workers: a new job epoch

@@ -1,0 +1,503 @@
+// Tests for the observability layer: metrics registry exactness under
+// concurrency, histogram semantics, the tracer ring and span deltas, the
+// progress heartbeat, Chrome trace export, and the run report's agreement
+// with DiscoveryStats.
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/tane.h"
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "tests/test_util.h"
+#include "util/logging.h"
+#include "util/run_control.h"
+
+namespace tane {
+namespace obs {
+namespace {
+
+using testing_util::PaperFigure1Relation;
+
+// A validity-only JSON parser: accepts exactly the RFC 8259 grammar the
+// exporters are supposed to produce. No values are built — the tests only
+// need "this byte string is JSON a real parser would load".
+class JsonValidator {
+ public:
+  static bool Valid(std::string_view text) {
+    JsonValidator validator(text);
+    validator.SkipWs();
+    if (!validator.Value()) return false;
+    validator.SkipWs();
+    return validator.pos_ == text.size();
+  }
+
+ private:
+  explicit JsonValidator(std::string_view text) : text_(text) {}
+
+  bool Value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default:  return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char escape = text_[pos_];
+        if (escape == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() || !std::isxdigit(text_[pos_])) {
+              return false;
+            }
+          }
+        } else if (std::string_view("\"\\/bfnrt").find(escape) ==
+                   std::string_view::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    if (!DigitRun()) return false;
+    if (Peek() == '.') {
+      ++pos_;
+      if (!DigitRun()) return false;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      if (!DigitRun()) return false;
+    }
+    return pos_ > start;
+  }
+
+  bool DigitRun() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() && std::isdigit(text_[pos_])) ++pos_;
+    return pos_ > start;
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r' || text_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+TEST(JsonValidatorTest, AcceptsAndRejects) {
+  EXPECT_TRUE(JsonValidator::Valid(R"({"a":[1,2.5,-3e4],"b":"x\n","c":null})"));
+  EXPECT_FALSE(JsonValidator::Valid(R"({"a":1,})"));
+  EXPECT_FALSE(JsonValidator::Valid(R"({"a":1} extra)"));
+  EXPECT_FALSE(JsonValidator::Valid(R"(["unterminated)"));
+}
+
+TEST(MetricsRegistryTest, ShardAggregationIsExactUnderEightThreads) {
+  constexpr int kThreads = 8;
+  constexpr int64_t kIncrements = 100000;
+  MetricsRegistry registry(kThreads);
+
+  // A concurrent reader snapshotting while writers run: every snapshot must
+  // be untorn (each shard value read atomically), and the final aggregate
+  // exact.
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const MetricsSnapshot snapshot = registry.Snapshot();
+      EXPECT_GE(snapshot.counter(kValidityTests), 0);
+      EXPECT_LE(snapshot.counter(kValidityTests), kThreads * kIncrements);
+      // Every recorded value is 1, so count and sum track each other; a
+      // snapshot may catch each shard mid-Record (count and sum are separate
+      // atomics), so they can differ by at most one in-flight update per
+      // writer — but never tear.
+      const HistogramSnapshot h = snapshot.histogram(kProductClasses);
+      EXPECT_LE(std::abs(h.count - h.sum), kThreads);
+      EXPECT_LE(h.count, kThreads * kIncrements);
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int shard = 0; shard < kThreads; ++shard) {
+    writers.emplace_back([&, shard] {
+      for (int64_t i = 0; i < kIncrements; ++i) {
+        registry.Add(shard, kValidityTests, 1);
+        registry.AddShared(kSpillWrites, 1);
+        registry.Record(shard, kProductClasses, 1);
+      }
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  stop.store(true);
+  reader.join();
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counter(kValidityTests), kThreads * kIncrements);
+  EXPECT_EQ(snapshot.counter(kSpillWrites), kThreads * kIncrements);
+  EXPECT_EQ(snapshot.histogram(kProductClasses).count, kThreads * kIncrements);
+  EXPECT_EQ(registry.CounterTotal(kValidityTests), kThreads * kIncrements);
+  EXPECT_EQ(registry.CounterTotals()[kValidityTests], kThreads * kIncrements);
+}
+
+TEST(MetricsRegistryTest, GaugesSetAndMax) {
+  MetricsRegistry registry(1);
+  registry.SetGauge(kCurrentLevel, 3);
+  EXPECT_EQ(registry.gauge(kCurrentLevel), 3);
+  registry.MaxGauge(kPeakResidentBytes, 100);
+  registry.MaxGauge(kPeakResidentBytes, 50);
+  EXPECT_EQ(registry.gauge(kPeakResidentBytes), 100);
+  registry.MaxGauge(kPeakResidentBytes, 200);
+  EXPECT_EQ(registry.gauge(kPeakResidentBytes), 200);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketsPercentilesAndMax) {
+  MetricsRegistry registry(1);
+  registry.Record(0, kProductMemberRows, 0);     // bucket 0
+  registry.Record(0, kProductMemberRows, 1);     // bucket 1: [1,2)
+  registry.Record(0, kProductMemberRows, 7);     // bucket 3: [4,8)
+  registry.Record(0, kProductMemberRows, 1024);  // bucket 11: [1024,2048)
+
+  const HistogramSnapshot h =
+      registry.Snapshot().histogram(kProductMemberRows);
+  EXPECT_EQ(h.count, 4);
+  EXPECT_EQ(h.sum, 1032);
+  EXPECT_EQ(h.max, 1024);
+  EXPECT_EQ(h.buckets[0], 1);
+  EXPECT_EQ(h.buckets[1], 1);
+  EXPECT_EQ(h.buckets[3], 1);
+  EXPECT_EQ(h.buckets[11], 1);
+  EXPECT_DOUBLE_EQ(h.mean(), 1032 / 4.0);
+  // The median rank falls in the [1,2) or [4,8) region; the p100 clamp is
+  // the observed max, never the bucket's upper bound.
+  EXPECT_GE(h.Percentile(50.0), 1.0);
+  EXPECT_LE(h.Percentile(50.0), 8.0);
+  EXPECT_LE(h.Percentile(100.0), 1024.0);
+  EXPECT_EQ(HistogramSnapshot().Percentile(50.0), 0.0);
+}
+
+TEST(TracerTest, RingOverflowDropsOldestFirst) {
+  Tracer tracer(/*capacity=*/4);
+  for (int i = 0; i < 6; ++i) {
+    TraceEvent event;
+    event.name = "e" + std::to_string(i);
+    tracer.Emit(std::move(event));
+  }
+  EXPECT_EQ(tracer.dropped(), 2);
+  const std::vector<TraceEvent> events = tracer.Events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].name, "e2");
+  EXPECT_EQ(events[3].name, "e5");
+}
+
+TEST(TracerTest, SpanGuardEmitsCounterDeltas) {
+  Tracer tracer;
+  MetricsRegistry registry(2);
+  registry.Add(0, kPartitionProducts, 10);  // pre-span counts must not leak
+  {
+    SpanGuard span(&tracer, "phase", &registry);
+    registry.Add(0, kPartitionProducts, 3);
+    registry.Add(1, kValidityTests, 5);
+    registry.AddShared(kSpillWrites, 2);
+    span.AddArg("extra", 7);
+  }
+  const std::vector<TraceEvent> events = tracer.Events();
+  ASSERT_EQ(events.size(), 1u);
+  const TraceEvent& event = events[0];
+  EXPECT_EQ(event.name, "phase");
+  EXPECT_FALSE(event.instant);
+  EXPECT_GE(event.dur_us, 0.0);
+
+  const auto arg = [&](std::string_view key) -> int64_t {
+    for (const auto& [name, value] : event.args) {
+      if (name == key) return value;
+    }
+    return -1;
+  };
+  EXPECT_EQ(arg("partition_products"), 3);
+  EXPECT_EQ(arg("validity_tests"), 5);
+  EXPECT_EQ(arg("spill_writes"), 2);
+  EXPECT_EQ(arg("extra"), 7);
+  EXPECT_EQ(arg("g3_scans"), -1);  // zero deltas are elided
+}
+
+TEST(TracerTest, NullTracerSpanIsNoOp) {
+  MetricsRegistry registry(1);
+  SpanGuard span(nullptr, "ignored", &registry);
+  span.AddArg("extra", 1);  // must not crash
+}
+
+TEST(TracerTest, ChromeExportIsWellFormedJson) {
+  Tracer tracer;
+  TraceEvent complete;
+  complete.name = "level 1 \"quoted\"";
+  complete.tid = 2;
+  complete.start_us = 10.5;
+  complete.dur_us = 100.25;
+  complete.args = {{"products", 42}};
+  tracer.Emit(complete);
+  TraceEvent instant;
+  instant.name = "heartbeat";
+  instant.instant = true;
+  tracer.Emit(instant);
+
+  JsonWriter json;
+  ExportChromeTrace(tracer.Events(), tracer.dropped(), &json);
+  const std::string& text = json.str();
+  EXPECT_TRUE(JsonValidator::Valid(text)) << text;
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(text.find("\"products\":42"), std::string::npos);
+}
+
+TEST(ProgressMonitorTest, FormatLineCarriesRegistryState) {
+  MetricsRegistry registry(1);
+  registry.SetGauge(kCurrentLevel, 3);
+  registry.SetGauge(kLevelNodesTotal, 100);
+  registry.SetGauge(kLevelNodesStart, 10);
+  registry.Add(0, kNodesProcessed, 50);
+  registry.Add(0, kFdsEmitted, 7);
+  registry.SetGauge(kResidentBytes, 2 << 20);
+
+  ProgressMonitor monitor(&registry, {});
+  const std::string line = monitor.FormatLine("unit-test");
+  EXPECT_NE(line.find("(unit-test)"), std::string::npos) << line;
+  EXPECT_NE(line.find("level=3"), std::string::npos) << line;
+  EXPECT_NE(line.find("nodes=40/100"), std::string::npos) << line;
+  EXPECT_NE(line.find("fds=7"), std::string::npos) << line;
+  EXPECT_NE(line.find("spilled=0"), std::string::npos) << line;
+  EXPECT_EQ(line.find("deadline_left="), std::string::npos) << line;
+}
+
+TEST(ProgressMonitorTest, FormatLineShowsDeadline) {
+  MetricsRegistry registry(1);
+  RunController controller;
+  controller.SetDeadlineAfter(std::chrono::seconds(60));
+  ProgressMonitor::Options options;
+  options.controller = &controller;
+  ProgressMonitor monitor(&registry, options);
+  EXPECT_NE(monitor.FormatLine("").find("deadline_left="), std::string::npos);
+}
+
+TEST(ProgressMonitorTest, StartStopDoesNotHangOrCrash) {
+  MetricsRegistry registry(1);
+  ProgressMonitor::Options options;
+  options.period_seconds = 0.005;
+  ProgressMonitor monitor(&registry, options);
+  monitor.Start();
+  monitor.Start();  // idempotent
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  monitor.EmitNow("mid-run");
+  monitor.Stop();
+}
+
+TEST(LoggingTest, ParseLogSeverityAcceptsAnyCaseNames) {
+  using internal_logging::LogSeverity;
+  using internal_logging::ParseLogSeverity;
+  LogSeverity severity = LogSeverity::kFatal;
+  EXPECT_TRUE(ParseLogSeverity("info", &severity));
+  EXPECT_EQ(severity, LogSeverity::kInfo);
+  EXPECT_TRUE(ParseLogSeverity("WARNING", &severity));
+  EXPECT_EQ(severity, LogSeverity::kWarning);
+  EXPECT_TRUE(ParseLogSeverity("Warn", &severity));
+  EXPECT_EQ(severity, LogSeverity::kWarning);
+  EXPECT_TRUE(ParseLogSeverity("error", &severity));
+  EXPECT_EQ(severity, LogSeverity::kError);
+  EXPECT_TRUE(ParseLogSeverity("fatal", &severity));
+  EXPECT_EQ(severity, LogSeverity::kFatal);
+  EXPECT_FALSE(ParseLogSeverity("verbose", &severity));
+  EXPECT_FALSE(ParseLogSeverity("", &severity));
+}
+
+TEST(LoggingTest, InitLogSeverityFromEnvAppliesAndRestores) {
+  using internal_logging::GetMinLogSeverity;
+  using internal_logging::InitLogSeverityFromEnv;
+  using internal_logging::LogSeverity;
+  using internal_logging::SetMinLogSeverity;
+  const LogSeverity saved = GetMinLogSeverity();
+
+  ::setenv("TANE_LOG_LEVEL", "error", 1);
+  EXPECT_TRUE(InitLogSeverityFromEnv());
+  EXPECT_EQ(GetMinLogSeverity(), LogSeverity::kError);
+
+  ::unsetenv("TANE_LOG_LEVEL");
+  EXPECT_FALSE(InitLogSeverityFromEnv());
+  EXPECT_EQ(GetMinLogSeverity(), LogSeverity::kError);  // left untouched
+
+  ::setenv("TANE_LOG_LEVEL", "bogus", 1);
+  EXPECT_FALSE(InitLogSeverityFromEnv());
+
+  ::unsetenv("TANE_LOG_LEVEL");
+  SetMinLogSeverity(saved);
+}
+
+TEST(DiscoveryObservabilityTest, TracerSeesPhaseSpansAndMetricsMatchStats) {
+  const Relation relation = PaperFigure1Relation();
+  Tracer tracer;
+  TaneConfig config;
+  config.num_threads = 2;
+  config.tracer = &tracer;
+  TANE_ASSERT_OK_AND_ASSIGN(DiscoveryResult result,
+                            Tane::Discover(relation, config));
+
+  // The stats fields are views over the registry: both must agree exactly.
+  EXPECT_EQ(result.metrics.counter(kValidityTests),
+            result.stats.validity_tests);
+  EXPECT_EQ(result.metrics.counter(kPartitionProducts),
+            result.stats.partition_products);
+  EXPECT_EQ(result.metrics.counter(kSetsGenerated), result.stats.sets_generated);
+  EXPECT_EQ(result.metrics.counter(kKeysFound), result.stats.keys_found);
+  EXPECT_EQ(result.metrics.counter(kFdsEmitted), result.num_fds());
+  EXPECT_EQ(result.metrics.gauge(kMaxLevelSize), result.stats.max_level_size);
+  EXPECT_GT(result.metrics.histogram(kProductClasses).count, 0);
+
+  bool saw_run = false, saw_level = false, saw_validity = false,
+       saw_products = false, saw_prune = false, saw_generate = false;
+  for (const TraceEvent& event : tracer.Events()) {
+    const std::string phase = event.name.substr(0, event.name.find(' '));
+    saw_run |= phase == "run";
+    saw_level |= phase == "level";
+    saw_validity |= phase == "validity";
+    saw_products |= phase == "products";
+    saw_prune |= phase == "prune";
+    saw_generate |= phase == "generate";
+  }
+  EXPECT_TRUE(saw_run && saw_level && saw_validity && saw_products &&
+              saw_prune && saw_generate);
+
+  // Per-level rows carry the node counts the report mirrors.
+  ASSERT_FALSE(result.stats.level_parallel.empty());
+  EXPECT_GT(result.stats.level_parallel[0].nodes, 0);
+}
+
+TEST(DiscoveryObservabilityTest, OutputIdenticalAcrossThreadCounts) {
+  const Relation relation = PaperFigure1Relation();
+  TaneConfig serial;
+  TANE_ASSERT_OK_AND_ASSIGN(DiscoveryResult baseline,
+                            Tane::Discover(relation, serial));
+  for (int threads : {2, 8}) {
+    Tracer tracer;
+    TaneConfig config;
+    config.num_threads = threads;
+    config.tracer = &tracer;
+    TANE_ASSERT_OK_AND_ASSIGN(DiscoveryResult result,
+                              Tane::Discover(relation, config));
+    EXPECT_EQ(testing_util::FdStrings(result.fds),
+              testing_util::FdStrings(baseline.fds));
+    EXPECT_EQ(result.keys.size(), baseline.keys.size());
+  }
+}
+
+TEST(RunReportTest, IsWellFormedAndMirrorsStats) {
+  const Relation relation = PaperFigure1Relation();
+  TaneConfig config;
+  config.num_threads = 2;
+  TANE_ASSERT_OK_AND_ASSIGN(DiscoveryResult result,
+                            Tane::Discover(relation, config));
+
+  RunReportOptions options;
+  options.dataset_path = "figure1.csv";
+  options.dataset_fingerprint = "crc32:deadbeef";
+  options.dataset_rows = relation.num_rows();
+  options.dataset_columns = relation.num_columns();
+  options.read_seconds = 0.25;
+  options.report_seconds = 0.125;
+  options.total_seconds = result.stats.wall_seconds + 0.5;
+
+  JsonWriter json;
+  WriteRunReport(config, result, options, &json);
+  const std::string& text = json.str();
+  EXPECT_TRUE(JsonValidator::Valid(text)) << text;
+
+  const auto contains = [&](const std::string& needle) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  };
+  contains("\"schema_version\":1");
+  contains("\"fingerprint\":\"crc32:deadbeef\"");
+  contains("\"num_fds\":" + std::to_string(result.num_fds()));
+  contains("\"validity_tests\":" +
+           std::to_string(result.stats.validity_tests));
+  contains("\"partition_products\":" +
+           std::to_string(result.stats.partition_products));
+  contains("\"sets_generated\":" +
+           std::to_string(result.stats.sets_generated));
+  contains("\"levels\":[");
+  contains("\"nodes\":" +
+           std::to_string(result.stats.level_parallel[0].nodes));
+  contains("\"histograms\"");
+  contains("\"product_classes\"");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace tane

@@ -29,6 +29,8 @@ echo "All presets green: ${presets[*]}"
 # Perf smoke: build the release preset's partition microbenchmark, run the
 # JSON measurement once, and check the artifact is valid JSON. Catches both
 # a broken release build and a malformed BENCH_micro_partition.json early.
+# The same artifact carries the baseline-vs-instrumented measurement, so
+# the obs checker also asserts instrumentation overhead stays within 2%.
 echo "==> perf smoke: release micro_partition"
 cmake --preset release
 cmake --build --preset release -j "${jobs}" --target micro_partition
@@ -37,8 +39,32 @@ build-release/bench/micro_partition \
   --benchmark_filter='^$' --json="${smoke_json}"
 if command -v python3 >/dev/null 2>&1; then
   python3 -m json.tool "${smoke_json}" >/dev/null
+  python3 tools/check_obs.py micro "${smoke_json}"
 else
   # No python3: settle for the file being non-empty.
   [ -s "${smoke_json}" ]
 fi
 echo "perf smoke OK: ${smoke_json}"
+
+# Observability smoke: one release discovery with tracing, progress, and the
+# run report enabled; the checker validates the trace is loadable trace-event
+# JSON and that the report's counters and per-level table agree with the
+# --stats output of the same run.
+echo "==> obs smoke: release discover with --trace/--report/--progress"
+cmake --build --preset release -j "${jobs}" --target tane_cli
+obs_dir="build-release/obs-smoke"
+mkdir -p "${obs_dir}"
+build-release/tools/tane generate hepatitis --rows=3000 \
+  > "${obs_dir}/hepatitis.csv"
+build-release/tools/tane discover "${obs_dir}/hepatitis.csv" \
+  --threads=2 --epsilon=0.05 --max-lhs=4 --stats --progress=1 \
+  --trace="${obs_dir}/trace.json" --report="${obs_dir}/report.json" \
+  > "${obs_dir}/discover.txt"
+if command -v python3 >/dev/null 2>&1; then
+  python3 tools/check_obs.py trace "${obs_dir}/trace.json"
+  python3 tools/check_obs.py report "${obs_dir}/report.json" \
+    "${obs_dir}/discover.txt"
+else
+  [ -s "${obs_dir}/trace.json" ] && [ -s "${obs_dir}/report.json" ]
+fi
+echo "obs smoke OK: ${obs_dir}"

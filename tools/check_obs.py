@@ -1,0 +1,211 @@
+#!/usr/bin/env python3
+"""Validators for the observability artifacts, used by tools/check.sh.
+
+Usage:
+  check_obs.py micro  BENCH_micro_partition.json
+  check_obs.py trace  trace.json
+  check_obs.py report report.json discover_stats.txt
+
+`micro` asserts the instrumentation overhead measured by the partition
+microbenchmark stays within the 2% budget and that the registry metrics
+made it into the artifact. `trace` checks the file is structurally valid
+Chrome trace-event JSON (loadable by chrome://tracing and Perfetto) and
+names every expected phase span. `report` checks the run-report schema and
+that its counters and per-level table agree with what `tane discover
+--stats` printed for the same run.
+"""
+
+import json
+import re
+import sys
+
+OVERHEAD_BUDGET = 1.02
+
+# Spans the discovery driver always emits (per-worker "slice" and "spill"
+# are conditional on threading / storage, so not required here).
+REQUIRED_SPANS = ("run", "level", "base-partitions", "validity", "prune",
+                  "generate", "products")
+
+# --stats token -> (report object path). Every one of these must match the
+# report exactly: the stats line and the report are two views of the same
+# registry snapshot.
+STATS_TOKENS = {
+    "levels": ("result", "levels_processed"),
+    "sets": ("metrics", "counters", "sets_generated"),
+    "validity_tests": ("metrics", "counters", "validity_tests"),
+    "products": ("metrics", "counters", "partition_products"),
+    "g3_scans": ("metrics", "counters", "g3_scans"),
+    "g3_scans_skipped": ("metrics", "counters", "g3_scans_skipped"),
+    "product_allocations": ("metrics", "counters", "product_allocations"),
+    "pli_cache_lookups": ("metrics", "counters", "pli_cache_lookups"),
+    "pli_cache_hits": ("metrics", "counters", "pli_cache_hits"),
+    "pli_cache_misses": ("metrics", "counters", "pli_cache_misses"),
+    "pli_cache_bytes_saved": ("metrics", "gauges", "pli_cache_bytes_saved"),
+    "peak_partition_bytes": ("metrics", "gauges", "peak_resident_bytes"),
+    "threads": ("config", "num_threads"),
+}
+
+
+def fail(message):
+    print(f"check_obs: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"{path}: {error}")
+
+
+def dig(doc, path):
+    for key in path:
+        if not isinstance(doc, dict) or key not in doc:
+            fail(f"report is missing {'.'.join(path)}")
+        doc = doc[key]
+    return doc
+
+
+def close(a, b, rel=1e-3, abs_tol=1e-9):
+    return abs(a - b) <= max(abs_tol, rel * max(abs(a), abs(b)))
+
+
+def check_micro(path):
+    doc = load(path)
+    if doc.get("benchmark") != "micro_partition":
+        fail(f"{path}: not a micro_partition artifact")
+    datasets = doc.get("datasets")
+    if not datasets:
+        fail(f"{path}: empty datasets array")
+    worst = 0.0
+    for dataset in datasets:
+        name = dataset.get("name", "?")
+        ratio = dataset.get("obs_overhead_ratio")
+        if ratio is None:
+            fail(f"{name}: missing obs_overhead_ratio")
+        worst = max(worst, ratio)
+        if ratio > OVERHEAD_BUDGET:
+            fail(f"{name}: instrumentation overhead {ratio:.4f}x exceeds "
+                 f"the {OVERHEAD_BUDGET:.2f}x budget")
+        # partition_products is the driver's counter; the microbenchmark's
+        # registry sees the product/pool side: buffer acquires and the
+        # per-product size histograms.
+        counters = dataset.get("metrics", {}).get("counters", {})
+        if counters.get("pool_acquires", 0) <= 0:
+            fail(f"{name}: registry recorded no pool acquires")
+        classes = dataset.get("histograms", {}).get("product_classes", {})
+        if classes.get("count", 0) <= 0:
+            fail(f"{name}: product_classes histogram is empty")
+    print(f"check_obs: micro OK ({len(datasets)} datasets, "
+          f"worst overhead {worst:.4f}x)")
+
+
+def check_trace(path):
+    doc = load(path)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: missing or empty traceEvents")
+    names = set()
+    for index, event in enumerate(events):
+        for key in ("name", "cat", "ph", "pid", "tid", "ts"):
+            if key not in event:
+                fail(f"event {index}: missing {key}")
+        if event["ph"] not in ("X", "i"):
+            fail(f"event {index}: unexpected ph {event['ph']!r}")
+        if event["ph"] == "X":
+            if not isinstance(event.get("dur"), (int, float)):
+                fail(f"event {index}: complete event without numeric dur")
+            if event["dur"] < 0:
+                fail(f"event {index}: negative duration")
+        else:
+            if event.get("s") != "t":
+                fail(f"event {index}: instant event without scope 's':'t'")
+        if not isinstance(event["ts"], (int, float)):
+            fail(f"event {index}: non-numeric ts")
+        names.add(event["name"].split()[0])
+    for required in REQUIRED_SPANS:
+        if required not in names:
+            fail(f"no '{required}' span in trace (have: {sorted(names)})")
+    print(f"check_obs: trace OK ({len(events)} events, "
+          f"{doc.get('otherData', {}).get('dropped_events', 0)} dropped)")
+
+
+def check_report(path, stats_path):
+    doc = load(path)
+    if doc.get("schema_version") != 1:
+        fail(f"{path}: schema_version != 1")
+    for key in ("config", "dataset", "result", "timing", "metrics",
+                "histograms", "levels"):
+        if key not in doc:
+            fail(f"{path}: missing top-level '{key}'")
+    if not str(doc["dataset"].get("fingerprint", "")).startswith("crc32:"):
+        fail("dataset.fingerprint is not a crc32 fingerprint")
+
+    timing = doc["timing"]
+    parts = (timing["read_seconds"] + timing["discover_seconds"] +
+             timing["report_seconds"] + timing.get("other_seconds", 0.0))
+    if not close(parts, timing["total_seconds"], rel=1e-9, abs_tol=1e-9):
+        fail(f"timing does not sum: {parts} != {timing['total_seconds']}")
+
+    try:
+        with open(stats_path) as handle:
+            stats_text = handle.read()
+    except OSError as error:
+        fail(f"{stats_path}: {error}")
+    stats_line = next((line for line in stats_text.splitlines()
+                       if line.startswith("# levels=")), None)
+    if stats_line is None:
+        fail(f"{stats_path}: no '# levels=' stats line (run with --stats)")
+    tokens = dict(token.split("=", 1) for token in stats_line[2:].split()
+                  if "=" in token)
+    for token, path_keys in STATS_TOKENS.items():
+        if token not in tokens:
+            fail(f"stats line is missing {token}=")
+        stats_value = int(tokens[token])
+        report_value = int(dig(doc, path_keys))
+        if stats_value != report_value:
+            fail(f"{token}: --stats says {stats_value}, report "
+                 f"{'.'.join(path_keys)} says {report_value}")
+    degraded = int(tokens.get("degraded_to_disk", "0"))
+    if bool(degraded) != bool(dig(doc, ("result", "degraded_to_disk"))):
+        fail("degraded_to_disk mismatch between --stats and report")
+
+    level_lines = re.findall(
+        r"^# level (\d+): nodes=(\d+) wall=([\d.eE+-]+)s "
+        r"worker=([\d.eE+-]+)s speedup=([\d.eE+-]+)$",
+        stats_text, re.M)
+    levels = doc["levels"]
+    if len(level_lines) != len(levels):
+        fail(f"--stats prints {len(level_lines)} level lines, report has "
+             f"{len(levels)}")
+    for line, row in zip(level_lines, levels):
+        level, nodes = int(line[0]), int(line[1])
+        if level != row["level"] or nodes != row["nodes"]:
+            fail(f"level {level}: nodes {nodes} vs report "
+                 f"level {row['level']} nodes {row['nodes']}")
+        for text_value, key in zip(line[2:],
+                                   ("wall_seconds", "worker_seconds",
+                                    "speedup")):
+            if not close(float(text_value), row[key]):
+                fail(f"level {level} {key}: --stats {text_value} vs "
+                     f"report {row[key]}")
+    print(f"check_obs: report OK ({len(levels)} levels, "
+          f"{len(STATS_TOKENS)} counters matched)")
+
+
+def main(argv):
+    if len(argv) >= 3 and argv[1] == "micro":
+        check_micro(argv[2])
+    elif len(argv) >= 3 and argv[1] == "trace":
+        check_trace(argv[2])
+    elif len(argv) >= 4 and argv[1] == "report":
+        check_report(argv[2], argv[3])
+    else:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,6 +1,7 @@
 #include "tools/cli.h"
 
 #include <fstream>
+#include <optional>
 #include <ostream>
 #include <sstream>
 
@@ -11,11 +12,16 @@
 #include "analysis/violations.h"
 #include "core/tane.h"
 #include "datasets/paper_datasets.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "relation/csv.h"
 #include "relation/stats.h"
 #include "relation/transforms.h"
 #include "rules/association.h"
+#include "util/crc32.h"
+#include "util/logging.h"
 #include "util/strings.h"
+#include "util/timer.h"
 
 namespace tane {
 namespace cli {
@@ -45,7 +51,14 @@ commands:
                         shared storage (default on; results are identical
                         either way)
       --format=F        text (default), json, or csv
-      --stats           print search statistics
+      --stats           print search statistics and the phase breakdown
+      --trace=PATH      write a Chrome/Perfetto trace of the run's phases
+                        (open with https://ui.perfetto.dev)
+      --report=PATH     write a machine-readable JSON run report (config,
+                        dataset fingerprint, metrics, per-level table)
+      --progress[=SECONDS]
+                        log a progress heartbeat every SECONDS (default 1);
+                        implies --log-level=info unless set explicitly
   keys <file.csv>       mine all minimal (approximate) keys
       --epsilon=E       key error threshold (default 0)
   check <file.csv> --fd=LHS->RHS
@@ -66,6 +79,8 @@ commands:
   help                  show this message
 
 shared CSV options: --no-header, --delimiter=C
+global options: --log-level=info|warning|error|fatal (default warning; the
+  TANE_LOG_LEVEL environment variable sets the same thing, flag wins)
 
 exit codes: 0 ok (including partial results), 2 invalid argument,
   3 not found, 4 out of range, 5 I/O error, 6 failed precondition,
@@ -164,9 +179,31 @@ StatusOr<Relation> LoadCsv(const ParsedArgs& args) {
   return ReadCsvFile(args.positional[0], options);
 }
 
+// Content fingerprint of the encoded relation: schema names plus the
+// dictionary codes of every column. Two files that encode to the same
+// relation (whatever their formatting) fingerprint identically, which is
+// what makes run reports comparable across machines.
+std::string DatasetFingerprint(const Relation& relation) {
+  uint32_t crc = 0;
+  for (int c = 0; c < relation.num_columns(); ++c) {
+    crc = Crc32(relation.schema().name(c), crc);
+    const std::vector<int32_t>& codes = relation.column(c).codes;
+    crc = Crc32(
+        std::string_view(reinterpret_cast<const char*>(codes.data()),
+                         codes.size() * sizeof(int32_t)),
+        crc);
+  }
+  char text[16];
+  std::snprintf(text, sizeof(text), "crc32:%08x", crc);
+  return text;
+}
+
 Status RunDiscover(const ParsedArgs& args, std::ostream& out,
                    std::ostream& err) {
+  const WallTimer total_timer;
+  const WallTimer read_timer;
   TANE_ASSIGN_OR_RETURN(Relation relation, LoadCsv(args));
+  const double read_seconds = read_timer.ElapsedSeconds();
   TaneConfig config;
   TANE_ASSIGN_OR_RETURN(config.epsilon, FlagAsDouble(args, "epsilon", 0.0));
   TANE_ASSIGN_OR_RETURN(int64_t max_lhs,
@@ -218,8 +255,26 @@ Status RunDiscover(const ParsedArgs& args, std::ostream& out,
   if (budget_mb > 0) controller.set_memory_budget_bytes(budget_mb << 20);
   if (deadline_ms > 0 || budget_mb > 0) config.run_controller = &controller;
 
+  if (const std::string* progress = args.Flag("progress")) {
+    double period = 1.0;
+    if (!progress->empty() &&
+        (!ParseDouble(*progress, &period) || period <= 0)) {
+      return Status::InvalidArgument("--progress period must be > 0, got " +
+                                     *progress);
+    }
+    config.progress_period_seconds = period;
+  }
+
+  std::optional<obs::Tracer> tracer;
+  if (args.Flag("trace") != nullptr) {
+    tracer.emplace();
+    config.tracer = &*tracer;
+  }
+
   TANE_ASSIGN_OR_RETURN(DiscoveryResult result,
                         Tane::Discover(relation, config));
+  const WallTimer report_timer;
+  result.stats.read_seconds = read_seconds;
   if (!result.complete()) {
     err << "warning: partial result ("
         << CompletionToString(result.completion) << ") after "
@@ -272,7 +327,7 @@ Status RunDiscover(const ParsedArgs& args, std::ostream& out,
   }
 
   if (args.Flag("stats") != nullptr) {
-    const DiscoveryStats& stats = result.stats;
+    DiscoveryStats& stats = result.stats;
     out << "# levels=" << stats.levels_processed
         << " sets=" << stats.sets_generated
         << " validity_tests=" << stats.validity_tests
@@ -289,9 +344,43 @@ Status RunDiscover(const ParsedArgs& args, std::ostream& out,
         << " degraded_to_disk=" << (stats.degraded_to_disk ? 1 : 0)
         << " threads=" << stats.num_threads
         << " seconds=" << stats.wall_seconds << "\n";
+    // The phase breakdown sums exactly: "other" is defined as the remainder
+    // of the total after the measured phases, never clamped.
+    stats.report_seconds = report_timer.ElapsedSeconds();
+    const double total = total_timer.ElapsedSeconds();
+    const double other = total - stats.read_seconds - stats.wall_seconds -
+                         stats.report_seconds;
+    out << "# phases read=" << stats.read_seconds
+        << "s discover=" << stats.wall_seconds
+        << "s report=" << stats.report_seconds << "s other=" << other
+        << "s total=" << total << "s\n";
     for (const LevelParallelStats& level : stats.level_parallel) {
-      out << "# level " << level.level << ": parallel_wall="
-          << level.wall_seconds << "s speedup=" << level.speedup() << "\n";
+      out << "# level " << level.level << ": nodes=" << level.nodes
+          << " wall=" << level.wall_seconds
+          << "s worker=" << level.worker_seconds
+          << "s speedup=" << level.speedup() << "\n";
+    }
+  }
+
+  if (const std::string* trace_path = args.Flag("trace")) {
+    if (!WriteChromeTrace(*tracer, *trace_path)) {
+      return Status::IoError("cannot write trace to " + *trace_path);
+    }
+  }
+  if (const std::string* report_path = args.Flag("report")) {
+    obs::RunReportOptions report_options;
+    report_options.dataset_path = args.positional[0];
+    report_options.dataset_fingerprint = DatasetFingerprint(relation);
+    report_options.dataset_rows = relation.num_rows();
+    report_options.dataset_columns = relation.num_columns();
+    report_options.read_seconds = read_seconds;
+    report_options.report_seconds = report_timer.ElapsedSeconds();
+    report_options.total_seconds = total_timer.ElapsedSeconds();
+    result.stats.report_seconds = report_options.report_seconds;
+    JsonWriter json;
+    obs::WriteRunReport(config, result, report_options, &json);
+    if (!json.WriteFile(*report_path)) {
+      return Status::IoError("cannot write report to " + *report_path);
     }
   }
   return Status::OK();
@@ -549,36 +638,61 @@ int Run(const std::vector<std::string>& args, std::ostream& out,
     return ExitCodeForStatus(parsed.status());
   }
 
+  // Log severity: the environment applies first, an explicit --log-level
+  // wins over it, and --progress without either lowers to Info so the
+  // heartbeats it asks for are actually visible (the library default of
+  // kWarning would swallow them).
+  namespace logging = internal_logging;
+  bool log_level_chosen = logging::InitLogSeverityFromEnv();
+  if (const std::string* level = parsed->Flag("log-level")) {
+    logging::LogSeverity severity = logging::LogSeverity::kWarning;
+    if (!logging::ParseLogSeverity(*level, &severity)) {
+      err << "error: bad --log-level value: " << *level
+          << " (want info, warning, error, or fatal)\n";
+      return 2;
+    }
+    logging::SetMinLogSeverity(severity);
+    log_level_chosen = true;
+  }
+  if (!log_level_chosen && parsed->Flag("progress") != nullptr &&
+      logging::GetMinLogSeverity() > logging::LogSeverity::kInfo) {
+    logging::SetMinLogSeverity(logging::LogSeverity::kInfo);
+  }
+
   Status status = Status::OK();
   const std::string& command = parsed->command;
   if (command == "discover") {
     status = CheckKnownFlags(
         *parsed, {"epsilon", "max-lhs", "deadline-ms", "memory-budget-mb",
                   "threads", "pli-cache", "disk", "storage", "format",
-                  "stats", "no-header", "delimiter"});
+                  "stats", "trace", "report", "progress", "log-level",
+                  "no-header", "delimiter"});
     if (status.ok()) status = RunDiscover(*parsed, out, err);
   } else if (command == "keys") {
-    status = CheckKnownFlags(*parsed, {"epsilon", "no-header", "delimiter"});
+    status = CheckKnownFlags(
+        *parsed, {"epsilon", "log-level", "no-header", "delimiter"});
     if (status.ok()) status = RunKeys(*parsed, out);
   } else if (command == "check") {
-    status = CheckKnownFlags(*parsed, {"fd", "no-header", "delimiter"});
+    status = CheckKnownFlags(*parsed,
+                             {"fd", "log-level", "no-header", "delimiter"});
     if (status.ok()) status = RunCheck(*parsed, out);
   } else if (command == "violations") {
-    status =
-        CheckKnownFlags(*parsed, {"fd", "limit", "no-header", "delimiter"});
+    status = CheckKnownFlags(
+        *parsed, {"fd", "limit", "log-level", "no-header", "delimiter"});
     if (status.ok()) status = RunViolations(*parsed, out);
   } else if (command == "normalize") {
-    status = CheckKnownFlags(*parsed, {"no-header", "delimiter"});
+    status = CheckKnownFlags(*parsed, {"log-level", "no-header", "delimiter"});
     if (status.ok()) status = RunNormalize(*parsed, out);
   } else if (command == "profile") {
-    status = CheckKnownFlags(*parsed, {"no-header", "delimiter"});
+    status = CheckKnownFlags(*parsed, {"log-level", "no-header", "delimiter"});
     if (status.ok()) status = RunProfile(*parsed, out);
   } else if (command == "rules") {
-    status = CheckKnownFlags(*parsed, {"min-support", "min-confidence",
-                                       "limit", "no-header", "delimiter"});
+    status = CheckKnownFlags(
+        *parsed, {"min-support", "min-confidence", "limit", "log-level",
+                  "no-header", "delimiter"});
     if (status.ok()) status = RunRules(*parsed, out);
   } else if (command == "generate") {
-    status = CheckKnownFlags(*parsed, {"rows", "seed", "copies"});
+    status = CheckKnownFlags(*parsed, {"rows", "seed", "copies", "log-level"});
     if (status.ok()) status = RunGenerate(*parsed, out);
   } else if (command == "help" || command == "--help") {
     out << kUsage;
