@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "lattice/level.h"
+#include "partition/error.h"
 #include "partition/partition_builder.h"
 #include "partition/product.h"
 
@@ -18,9 +19,12 @@ StatusOr<std::vector<DiscoveredKey>> DiscoverKeys(
     return Status::InvalidArgument("max_key_size must be >= 0");
   }
   const int64_t rows = relation.num_rows();
-  const double eps_rows = options.epsilon * static_cast<double>(rows);
+  // Exact ⌊ε·|r|⌋ threshold; the old double comparison with 1e-9 slack
+  // misclassified borderline keys once ε·|r| outgrew the slack.
+  const int64_t max_error =
+      IntegerThreshold(options.epsilon, static_cast<double>(rows));
   const auto is_key = [&](const StrippedPartition& partition) {
-    return static_cast<double>(partition.Error()) <= eps_rows + 1e-9;
+    return partition.Error() <= max_error;
   };
 
   std::vector<DiscoveredKey> keys;

@@ -47,18 +47,28 @@ StatusOr<DiscoveryResult> BruteForce::Discover(const Relation& relation,
   const int n = relation.num_columns();
   const int64_t rows = relation.num_rows();
   G3Calculator g3(rows);
-  const auto measure_error = [&](const StrippedPartition& lhs,
-                                 const StrippedPartition& joint)
-      -> StatusOr<double> {
+  // Validity is decided on raw violation counts against the exact ⌊ε·scale⌋
+  // integer threshold, matching core/tane.cc; the old double comparison
+  // with 1e-9 slack could disagree with TANE on borderline dependencies.
+  // `scale` is |r| for g3/g2 (violating rows) and |r|² for g1 (ordered
+  // pairs); the reported error is count/scale.
+  const double scale =
+      measure == ErrorMeasure::kG1
+          ? static_cast<double>(rows) * static_cast<double>(rows)
+          : static_cast<double>(rows);
+  const int64_t max_violations = IntegerThreshold(epsilon, scale);
+  const auto count_violations = [&](const StrippedPartition& lhs,
+                                    const StrippedPartition& joint)
+      -> StatusOr<int64_t> {
     switch (measure) {
       case ErrorMeasure::kG2:
-        return g3.G2Error(lhs, joint);
+        return g3.ViolatingRowCount(lhs, joint);
       case ErrorMeasure::kG1:
-        return g3.G1Error(lhs, joint);
+        return g3.ViolatingPairCount(lhs, joint);
       case ErrorMeasure::kG3:
         break;
     }
-    return g3.Error(lhs, joint);
+    return g3.RemovalCount(lhs, joint);
   };
 
   DiscoveryResult result;
@@ -84,9 +94,11 @@ StatusOr<DiscoveryResult> BruteForce::Discover(const Relation& relation,
 
         const StrippedPartition joint =
             PartitionBuilder::ForAttributeSet(relation, lhs.With(rhs));
-        TANE_ASSIGN_OR_RETURN(const double error,
-                              measure_error(lhs_partition, joint));
-        if (error <= epsilon + 1e-9) {
+        TANE_ASSIGN_OR_RETURN(const int64_t violations,
+                              count_violations(lhs_partition, joint));
+        if (violations <= max_violations) {
+          const double error =
+              rows > 0 ? static_cast<double>(violations) / scale : 0.0;
           result.fds.push_back({lhs, rhs, error});
           minimal_lhs[rhs].push_back(lhs);
         }

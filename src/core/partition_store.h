@@ -3,14 +3,15 @@
 
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 
 #include "partition/buffer_pool.h"
 #include "partition/stripped_partition.h"
+#include "util/mutex.h"
 #include "util/retry.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace tane {
 
@@ -87,21 +88,22 @@ class MemoryPartitionStore : public PartitionStore {
   Status Release(int64_t handle) override;
   const StrippedPartition* Peek(int64_t handle) const override;
   int64_t resident_bytes() const override {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderMutexLock lock(&mu_);
     return resident_bytes_;
   }
   int64_t bytes_written() const override { return 0; }
   void set_buffer_pool(PartitionBufferPool* pool) override {
-    std::unique_lock<std::shared_mutex> lock(mu_);
+    WriterMutexLock lock(&mu_);
     pool_ = pool;
   }
 
  private:
-  mutable std::shared_mutex mu_;
-  std::unordered_map<int64_t, StrippedPartition> partitions_;
-  PartitionBufferPool* pool_ = nullptr;
-  int64_t next_handle_ = 0;
-  int64_t resident_bytes_ = 0;
+  mutable SharedMutex mu_;
+  std::unordered_map<int64_t, StrippedPartition> partitions_
+      TANE_GUARDED_BY(mu_);
+  PartitionBufferPool* pool_ TANE_GUARDED_BY(mu_) = nullptr;
+  int64_t next_handle_ TANE_GUARDED_BY(mu_) = 0;
+  int64_t resident_bytes_ TANE_GUARDED_BY(mu_) = 0;
 };
 
 /// Spills partitions to append-only segment files under a directory (the
@@ -140,16 +142,16 @@ class DiskPartitionStore : public PartitionStore {
   StatusOr<StrippedPartition> Get(int64_t handle) override;
   Status Release(int64_t handle) override;
   void set_buffer_pool(PartitionBufferPool* pool) override {
-    std::unique_lock<std::shared_mutex> lock(mu_);
+    WriterMutexLock lock(&mu_);
     pool_ = pool;
   }
   void set_metrics(obs::MetricsRegistry* metrics) override {
-    std::unique_lock<std::shared_mutex> lock(mu_);
+    WriterMutexLock lock(&mu_);
     metrics_ = metrics;
   }
   int64_t resident_bytes() const override { return 0; }
   int64_t bytes_written() const override {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderMutexLock lock(&mu_);
     return bytes_written_;
   }
 
@@ -184,8 +186,8 @@ class DiskPartitionStore : public PartitionStore {
       : directory_(std::move(directory)), owns_directory_(owns_directory) {}
 
   std::string SegmentPath(int32_t segment) const;
-  Status OpenNewSegment();
-  void DropSegmentIfDead(int32_t segment);
+  Status OpenNewSegment() TANE_REQUIRES(mu_);
+  void DropSegmentIfDead(int32_t segment) TANE_REQUIRES(mu_);
   // One write/read attempt of a whole record at a fixed offset, looping
   // over short transfers and EINTR; retried by Put/Get on transient errors.
   Status WriteRecordOnce(int fd, std::string_view record, int64_t offset);
@@ -193,17 +195,19 @@ class DiskPartitionStore : public PartitionStore {
   // Removes the partial record a permanently failed write left behind:
   // unlinks the segment when nothing else lives in it, else truncates it
   // back to its last durable byte.
-  void CleanupFailedWrite(int32_t segment);
+  void CleanupFailedWrite(int32_t segment) TANE_REQUIRES(mu_);
 
-  mutable std::shared_mutex mu_;
+  mutable SharedMutex mu_;
+  // Immutable after Open(); readable without the lock.
   std::string directory_;
   bool owns_directory_ = false;
-  std::unordered_map<int64_t, Entry> entries_;
-  std::vector<Segment> segments_;
-  PartitionBufferPool* pool_ = nullptr;
-  obs::MetricsRegistry* metrics_ = nullptr;
-  int64_t next_handle_ = 0;
-  int64_t bytes_written_ = 0;
+  std::unordered_map<int64_t, Entry> entries_ TANE_GUARDED_BY(mu_);
+  std::vector<Segment> segments_ TANE_GUARDED_BY(mu_);
+  PartitionBufferPool* pool_ TANE_GUARDED_BY(mu_) = nullptr;
+  obs::MetricsRegistry* metrics_ TANE_GUARDED_BY(mu_) = nullptr;
+  int64_t next_handle_ TANE_GUARDED_BY(mu_) = 0;
+  int64_t bytes_written_ TANE_GUARDED_BY(mu_) = 0;
+  // Installed before the store sees concurrent traffic (test-only setter).
   RetryPolicy retry_policy_;
 };
 
@@ -224,50 +228,52 @@ class AutoPartitionStore : public PartitionStore {
   Status Release(int64_t handle) override;
   const StrippedPartition* Peek(int64_t handle) const override;
   void set_buffer_pool(PartitionBufferPool* pool) override {
-    std::unique_lock<std::shared_mutex> lock(mu_);
+    WriterMutexLock lock(&mu_);
     memory_.set_buffer_pool(pool);
     pool_ = pool;
     if (disk_ != nullptr) disk_->set_buffer_pool(pool);
   }
   void set_metrics(obs::MetricsRegistry* metrics) override {
-    std::unique_lock<std::shared_mutex> lock(mu_);
+    WriterMutexLock lock(&mu_);
     metrics_ = metrics;
     if (disk_ != nullptr) disk_->set_metrics(metrics);
   }
   void set_tracer(obs::Tracer* tracer) override {
-    std::unique_lock<std::shared_mutex> lock(mu_);
+    WriterMutexLock lock(&mu_);
     tracer_ = tracer;
   }
   int64_t resident_bytes() const override {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderMutexLock lock(&mu_);
     return disk_ == nullptr ? memory_.resident_bytes() : 0;
   }
   int64_t bytes_written() const override {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderMutexLock lock(&mu_);
     return disk_ == nullptr ? 0 : disk_->bytes_written();
   }
 
   /// True once the memory budget was breached and the store moved to disk.
   bool spilled() const {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderMutexLock lock(&mu_);
     return disk_ != nullptr;
   }
 
  private:
-  Status SpillToDisk();
+  Status SpillToDisk() TANE_REQUIRES(mu_);
 
-  mutable std::shared_mutex mu_;
-  int64_t budget_bytes_;
-  std::string spill_directory_;
+  mutable SharedMutex mu_;
+  int64_t budget_bytes_;  // immutable after construction
+  const std::string spill_directory_;
+  // The inner stores guard their own state; mu_ guards which one is active
+  // (disk_ null vs. not) and the handle indirection around them.
   MemoryPartitionStore memory_;
-  std::unique_ptr<DiskPartitionStore> disk_;
-  PartitionBufferPool* pool_ = nullptr;
-  obs::MetricsRegistry* metrics_ = nullptr;
-  obs::Tracer* tracer_ = nullptr;
+  std::unique_ptr<DiskPartitionStore> disk_ TANE_GUARDED_BY(mu_);
+  PartitionBufferPool* pool_ TANE_GUARDED_BY(mu_) = nullptr;
+  obs::MetricsRegistry* metrics_ TANE_GUARDED_BY(mu_) = nullptr;
+  obs::Tracer* tracer_ TANE_GUARDED_BY(mu_) = nullptr;
   // This store's handle -> the active inner store's handle; every entry is
   // rewritten in place when the store migrates to disk.
-  std::unordered_map<int64_t, int64_t> inner_handles_;
-  int64_t next_handle_ = 0;
+  std::unordered_map<int64_t, int64_t> inner_handles_ TANE_GUARDED_BY(mu_);
+  int64_t next_handle_ TANE_GUARDED_BY(mu_) = 0;
 };
 
 /// Serializes `partition` into a compact binary image (used by the disk

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "util/mutex.h"
 
 namespace tane {
 
@@ -21,7 +22,7 @@ int64_t LogicalBytes(const StrippedPartition& partition) {
 }  // namespace
 
 StatusOr<int64_t> PliCache::Put(StrippedPartition partition) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(&mu_);
   ++stats_.lookups;
   if (metrics_ != nullptr) metrics_->AddShared(obs::kPliCacheLookups, 1);
   const uint64_t hash = partition.StructuralHash();
@@ -75,7 +76,7 @@ StatusOr<int64_t> PliCache::Put(StrippedPartition partition) {
 StatusOr<StrippedPartition> PliCache::Get(int64_t handle) {
   int64_t inner_handle = 0;
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderMutexLock lock(&mu_);
     auto it = outer_to_inner_.find(handle);
     if (it == outer_to_inner_.end()) {
       return Status::NotFound("no partition with handle " +
@@ -87,13 +88,13 @@ StatusOr<StrippedPartition> PliCache::Get(int64_t handle) {
 }
 
 const StrippedPartition* PliCache::Peek(int64_t handle) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   auto it = outer_to_inner_.find(handle);
   return it == outer_to_inner_.end() ? nullptr : inner_->Peek(it->second);
 }
 
 Status PliCache::Release(int64_t handle) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(&mu_);
   auto it = outer_to_inner_.find(handle);
   if (it == outer_to_inner_.end()) {
     return Status::NotFound("release of unknown handle " +

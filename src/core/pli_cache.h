@@ -3,13 +3,14 @@
 
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <unordered_map>
 
 #include "core/partition_store.h"
 #include "partition/buffer_pool.h"
 #include "partition/stripped_partition.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace tane {
 
@@ -51,14 +52,14 @@ class PliCache : public PartitionStore {
   Status Release(int64_t handle) override;
   const StrippedPartition* Peek(int64_t handle) const override;
   void set_buffer_pool(PartitionBufferPool* pool) override {
-    std::unique_lock<std::shared_mutex> lock(mu_);
+    WriterMutexLock lock(&mu_);
     pool_ = pool;
     inner_->set_buffer_pool(pool);
   }
   /// Mirrors the cache counters into `metrics` (kPliCache* on the shared
   /// lane, kPliCacheBytesSaved as a gauge) and forwards to the inner store.
   void set_metrics(obs::MetricsRegistry* metrics) override {
-    std::unique_lock<std::shared_mutex> lock(mu_);
+    WriterMutexLock lock(&mu_);
     metrics_ = metrics;
     inner_->set_metrics(metrics);
   }
@@ -67,7 +68,7 @@ class PliCache : public PartitionStore {
   int64_t bytes_written() const override { return inner_->bytes_written(); }
 
   PliCacheStats stats() const {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderMutexLock lock(&mu_);
     return stats_;
   }
 
@@ -81,17 +82,20 @@ class PliCache : public PartitionStore {
     int64_t bytes = 0;  // EstimatedBytes of the stored partition
   };
 
+  // The pointer is set once at construction and never reseated; the inner
+  // store guards its own state, so calls through it need no lock here.
   std::unique_ptr<PartitionStore> inner_;
-  mutable std::shared_mutex mu_;
+  mutable SharedMutex mu_;
   // Outer handle (one per Put) -> inner handle (one per distinct partition).
-  std::unordered_map<int64_t, int64_t> outer_to_inner_;
-  std::unordered_map<int64_t, SharedEntry> inner_entries_;
+  std::unordered_map<int64_t, int64_t> outer_to_inner_ TANE_GUARDED_BY(mu_);
+  std::unordered_map<int64_t, SharedEntry> inner_entries_
+      TANE_GUARDED_BY(mu_);
   // Structural hash -> inner handle, for candidate lookup on Put.
-  std::unordered_multimap<uint64_t, int64_t> by_hash_;
-  PartitionBufferPool* pool_ = nullptr;
-  obs::MetricsRegistry* metrics_ = nullptr;
-  PliCacheStats stats_;
-  int64_t next_handle_ = 0;
+  std::unordered_multimap<uint64_t, int64_t> by_hash_ TANE_GUARDED_BY(mu_);
+  PartitionBufferPool* pool_ TANE_GUARDED_BY(mu_) = nullptr;
+  obs::MetricsRegistry* metrics_ TANE_GUARDED_BY(mu_) = nullptr;
+  PliCacheStats stats_ TANE_GUARDED_BY(mu_);
+  int64_t next_handle_ TANE_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace tane

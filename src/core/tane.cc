@@ -27,18 +27,14 @@
 namespace tane {
 namespace {
 
-// The integer validity threshold ⌊ε·scale⌋: a dependency is valid iff its
-// violation count (g3 removals, g2 rows, or g1 pairs) is <= this value.
-// Computing the threshold once and comparing raw counts against it keeps
-// every validity decision in exact integer arithmetic — the old absolute
-// slack (1e-9) misclassified borderline dependencies once ε·scale grew past
-// the point where a double's ulp exceeds the slack.
-int64_t IntegerThreshold(double epsilon, double scale) {
-  const double product = epsilon * scale;
-  if (product >= static_cast<double>(std::numeric_limits<int64_t>::max())) {
-    return std::numeric_limits<int64_t>::max();
+// For cleanup paths where an earlier error must keep precedence: the
+// secondary failure is logged, never silently dropped (Status is
+// [[nodiscard]]; this is the sanctioned way to sideline one).
+void LogIgnoredStatus(const Status& status, const char* context) {
+  if (!status.ok()) {
+    TANE_LOG(Warning) << context << " failed during error unwind: "
+                      << status.ToString();
   }
-  return std::max<int64_t>(0, static_cast<int64_t>(std::floor(product)));
 }
 
 // One attribute set of the current level, with its rhs⁺ candidates C⁺(X),
@@ -475,6 +471,8 @@ Status TaneRun::TestValidity(WorkerState* w, int64_t prev_error,
     TANE_ASSIGN_OR_RETURN(coarse, w->accessor.Acquire(prev_handle));
   } else {
     coarse = empty_partition_.get();
+    // Invariant: the level driver prebuilds the empty-set partition.
+    // tane-lint: allow(tane-check)
     TANE_CHECK(coarse != nullptr) << "empty-set partition not prebuilt";
   }
   TANE_ASSIGN_OR_RETURN(const StrippedPartition* fine,
@@ -533,6 +531,9 @@ Status TaneRun::ProcessNode(int level_number, const Node& node,
     int64_t prev_handle = -1;
     if (level_number > 1) {
       const int prev_pos = prev_index->Find(lhs);
+      // Invariant: candidate generation only emits sets whose
+      // subsets survived the previous level.
+      // tane-lint: allow(tane-check)
       TANE_CHECK(prev_pos >= 0);
       prev_error = (*prev)[prev_pos].error;
       prev_handle = (*prev)[prev_pos].handle;
@@ -574,6 +575,8 @@ Status TaneRun::ComputeDependencies(int level_number, std::vector<Node>* level,
     if (level_number > 1) {
       for (int attribute : Members(node.set)) {
         const int prev_pos = prev_index->Find(node.set.Without(attribute));
+        // Invariant: same level invariant as above, per attribute.
+        // tane-lint: allow(tane-check)
         TANE_CHECK(prev_pos >= 0)
             << "level invariant broken: missing subset of "
             << node.set.ToString();
@@ -900,9 +903,11 @@ Status TaneRun::Run(DiscoveryResult* result) {
     stats_.level_parallel.push_back(level_stats);
     if (!generate_status.ok()) {
       // Hard error (store I/O, budget breach): release everything before
-      // surfacing it.
-      (void)ReleaseHandles(&next);
-      (void)ReleaseHandles(&survivors);
+      // surfacing it. The generate error takes precedence, but a failing
+      // cleanup is still worth a log line — a swallowed release error here
+      // previously hid leaked store handles behind the primary failure.
+      LogIgnoredStatus(ReleaseHandles(&next), "releasing next level");
+      LogIgnoredStatus(ReleaseHandles(&survivors), "releasing survivors");
       return generate_status;
     }
     if (stopped()) {

@@ -119,6 +119,8 @@ SyntheticSpec AdultSpec(int64_t rows, uint64_t seed) {
 }  // namespace
 
 const std::vector<PaperDatasetInfo>& AllPaperDatasets() {
+  // Leaked singleton so the table outlives static destruction of callers.
+  // tane-lint: allow(naked-new)
   static const std::vector<PaperDatasetInfo>* infos =
       new std::vector<PaperDatasetInfo>(std::begin(kInfos), std::end(kInfos));
   return *infos;
@@ -128,6 +130,8 @@ const PaperDatasetInfo& GetPaperDatasetInfo(PaperDataset dataset) {
   for (const PaperDatasetInfo& info : AllPaperDatasets()) {
     if (info.dataset == dataset) return info;
   }
+  // Invariant: every PaperDataset enumerator has a kInfos row.
+  // tane-lint: allow(tane-check)
   TANE_CHECK(false) << "unknown dataset enum";
   return kInfos[0];
 }

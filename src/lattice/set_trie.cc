@@ -1,6 +1,7 @@
 #include "lattice/set_trie.h"
 
 #include <algorithm>
+#include <memory>
 
 namespace tane {
 

@@ -17,7 +17,7 @@ namespace tane {
 /// they replace by orders of magnitude on large covers.
 class SetTrie {
  public:
-  SetTrie() : root_(new Node()) {}
+  SetTrie() : root_(std::make_unique<Node>()) {}
 
   SetTrie(const SetTrie&) = delete;
   SetTrie& operator=(const SetTrie&) = delete;

@@ -1,7 +1,9 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
+#include <memory>
 
 namespace tane {
 namespace obs {
@@ -107,7 +109,8 @@ double HistogramSnapshot::Percentile(double p) const {
 
 MetricsRegistry::MetricsRegistry(int num_shards)
     : num_shards_(std::max(1, num_shards)),
-      shards_(new Shard[static_cast<size_t>(std::max(1, num_shards))]) {}
+      shards_(std::make_unique<Shard[]>(
+          static_cast<size_t>(std::max(1, num_shards)))) {}
 
 void MetricsRegistry::Record(int shard, HistogramId id, int64_t value) {
   ShardHistogram& h = shards_[shard].histograms[id];

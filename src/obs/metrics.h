@@ -127,13 +127,27 @@ class MetricsRegistry {
   /// Adds `delta` to a counter on the caller-owned shard. Each shard must
   /// have exactly one writer thread at a time (TANE's worker index gives
   /// that for free); readers may run concurrently.
+  ///
+  /// Single-writer contract (deliberately unlocked): this is a plain
+  /// load+add+store on an atomic cell, NOT a fetch_add. Two threads writing
+  /// the same shard concurrently would lose increments. The contract is
+  /// structural — worker w only ever passes shard w, and the coordinator
+  /// uses shard 0 only outside parallel regions — and cannot be expressed
+  /// as a lock annotation; it is documented here, checked by the
+  /// shard-aggregation exactness tests in tests/obs_test.cc, and guarded
+  /// dynamically by the tsan preset. Code that cannot name a unique writer
+  /// must use AddShared() instead.
   void Add(int shard, CounterId id, int64_t delta) {
     std::atomic<int64_t>& cell = shards_[shard].counters[id];
     cell.store(cell.load(std::memory_order_relaxed) + delta,
                std::memory_order_relaxed);
   }
 
-  /// Adds `delta` from any thread (atomic read-modify-write).
+  /// Adds `delta` from any thread (atomic read-modify-write). This is the
+  /// shared lane for paths with no worker identity — spill I/O inside the
+  /// disk store, pool recycling, PLI-cache bookkeeping. The fetch_add *is*
+  /// the synchronization: no lock guards these cells, so the lane needs no
+  /// TANE_GUARDED_BY and stays safe from any thread.
   void AddShared(CounterId id, int64_t delta) {
     shared_counters_[id].fetch_add(delta, std::memory_order_relaxed);
   }

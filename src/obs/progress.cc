@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "util/logging.h"
+#include "util/mutex.h"
 
 namespace tane {
 namespace obs {
@@ -27,28 +28,32 @@ ProgressMonitor::ProgressMonitor(const MetricsRegistry* registry,
 ProgressMonitor::~ProgressMonitor() {
   // Silent teardown: Stop() emits the "final" line, the destructor only
   // guarantees the thread is joined if the owner forgot.
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stop_requested_ = true;
-  }
-  cv_.notify_all();
-  if (thread_.joinable()) thread_.join();
+  StopAndJoin();
 }
 
 void ProgressMonitor::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (thread_.joinable()) return;
   stop_requested_ = false;
   thread_ = std::thread([this] { Loop(); });
 }
 
-void ProgressMonitor::Stop() {
+void ProgressMonitor::StopAndJoin() {
+  // Move the handle out under the lock and join outside it: the Loop
+  // thread takes mu_ itself, and joining the moved-to local means two
+  // concurrent stops can never both call join() on the same thread.
+  std::thread to_join;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_requested_ = true;
+    to_join = std::move(thread_);
   }
-  cv_.notify_all();
-  if (thread_.joinable()) thread_.join();
+  cv_.NotifyAll();
+  if (to_join.joinable()) to_join.join();
+}
+
+void ProgressMonitor::Stop() {
+  StopAndJoin();
   EmitNow("final");
 }
 
@@ -70,7 +75,7 @@ std::string ProgressMonitor::FormatLine(std::string_view reason) {
   // one fast or slow batch.
   double eta_seconds = -1.0;
   {
-    std::lock_guard<std::mutex> lock(rate_mu_);
+    MutexLock lock(&rate_mu_);
     const double dt = elapsed - last_elapsed_;
     const int64_t dn = nodes_done - last_nodes_done_;
     if (dt > 1e-6 && dn >= 0) {
@@ -117,16 +122,23 @@ std::string ProgressMonitor::FormatLine(std::string_view reason) {
 }
 
 void ProgressMonitor::Loop() {
-  const auto period = std::chrono::duration<double>(
-      options_.period_seconds > 0.0 ? options_.period_seconds : 1.0);
-  std::unique_lock<std::mutex> lock(mu_);
-  while (!stop_requested_) {
-    if (cv_.wait_for(lock, period, [this] { return stop_requested_; })) {
-      break;
+  const auto period = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(std::chrono::duration<double>(
+      options_.period_seconds > 0.0 ? options_.period_seconds : 1.0));
+  for (;;) {
+    {
+      MutexLock lock(&mu_);
+      // Sleep one period, re-arming against spurious wakeups, unless a
+      // stop request arrives first.
+      const auto deadline = std::chrono::steady_clock::now() + period;
+      while (!stop_requested_) {
+        if (cv_.WaitUntil(&mu_, deadline)) break;
+      }
+      if (stop_requested_) return;
     }
-    lock.unlock();
+    // The heartbeat line is built and logged outside mu_ so a slow write
+    // never blocks Stop().
     EmitNow("");
-    lock.lock();
   }
 }
 

@@ -2,14 +2,14 @@
 #define TANE_OBS_PROGRESS_H_
 
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
 
 #include "obs/metrics.h"
+#include "util/mutex.h"
 #include "util/run_control.h"
+#include "util/thread_annotations.h"
 
 namespace tane {
 namespace obs {
@@ -51,22 +51,26 @@ class ProgressMonitor {
   std::string FormatLine(std::string_view reason);
 
  private:
-  void Loop();
+  void Loop() TANE_EXCLUDES(mu_);
+  // Signals the monitor thread to stop and joins it. Idempotent and safe
+  // against concurrent callers: the thread handle is moved out under mu_,
+  // so exactly one caller joins it.
+  void StopAndJoin() TANE_EXCLUDES(mu_);
 
   const MetricsRegistry* registry_;
   const Options options_;
   const std::chrono::steady_clock::time_point start_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_requested_ = false;
-  std::thread thread_;
+  Mutex mu_;
+  CondVar cv_;
+  bool stop_requested_ TANE_GUARDED_BY(mu_) = false;
+  std::thread thread_ TANE_GUARDED_BY(mu_);
 
   // Previous snapshot, for the nodes/sec rate behind the ETA estimate.
-  std::mutex rate_mu_;
-  double last_elapsed_ = 0.0;
-  int64_t last_nodes_done_ = 0;
-  double nodes_per_second_ = 0.0;
+  Mutex rate_mu_;
+  double last_elapsed_ TANE_GUARDED_BY(rate_mu_) = 0.0;
+  int64_t last_nodes_done_ TANE_GUARDED_BY(rate_mu_) = 0;
+  double nodes_per_second_ TANE_GUARDED_BY(rate_mu_) = 0.0;
 };
 
 }  // namespace obs

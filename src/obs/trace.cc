@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/mutex.h"
+
 namespace tane {
 namespace obs {
 
@@ -11,7 +13,7 @@ Tracer::Tracer(size_t capacity)
       epoch_(std::chrono::steady_clock::now()) {}
 
 void Tracer::Emit(TraceEvent event) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(event));
     return;
@@ -22,7 +24,7 @@ void Tracer::Emit(TraceEvent event) {
 }
 
 std::vector<TraceEvent> Tracer::Events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<TraceEvent> events;
   events.reserve(ring_.size());
   // Once the ring wrapped, `next_` points at the oldest surviving event.
@@ -33,7 +35,7 @@ std::vector<TraceEvent> Tracer::Events() const {
 }
 
 int64_t Tracer::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return dropped_;
 }
 

@@ -3,13 +3,14 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "util/json_writer.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace tane {
 namespace obs {
@@ -61,10 +62,11 @@ class Tracer {
   const size_t capacity_;
   const std::chrono::steady_clock::time_point epoch_;
 
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> ring_;
-  size_t next_ = 0;        // insertion position once the ring is full
-  int64_t dropped_ = 0;
+  mutable Mutex mu_;
+  std::vector<TraceEvent> ring_ TANE_GUARDED_BY(mu_);
+  size_t next_ TANE_GUARDED_BY(mu_) =
+      0;  // insertion position once the ring is full
+  int64_t dropped_ TANE_GUARDED_BY(mu_) = 0;
 };
 
 /// RAII span: construction captures the start time (and, when a registry is

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "util/mutex.h"
 
 namespace tane {
 
@@ -26,7 +27,7 @@ std::vector<int32_t> PartitionBufferPool::Acquire(int slot,
   ++cache.acquires;
   if (metrics_ != nullptr) metrics_->Add(slot, obs::kPoolAcquires, 1);
   if (cache.buffers.empty()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     const size_t take = std::min(kRefillBatch, shared_.size());
     for (size_t i = 0; i < take; ++i) {
       shared_bytes_ -= CapacityBytes(shared_.back());
@@ -64,7 +65,7 @@ std::vector<int32_t> PartitionBufferPool::Acquire(int slot,
 
 void PartitionBufferPool::Recycle(std::vector<int32_t>&& buffer) {
   if (buffer.capacity() == 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++recycles_;
   if (metrics_ != nullptr) metrics_->AddShared(obs::kPoolRecycles, 1);
   if (shared_bytes_ + CapacityBytes(buffer) > max_pooled_bytes_) {
@@ -87,7 +88,7 @@ void PartitionBufferPool::Recycle(StrippedPartition&& partition) {
 int64_t PartitionBufferPool::pooled_bytes() const {
   int64_t total = 0;
   for (const Slot& slot : slots_) total += slot.bytes;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return total + shared_bytes_;
 }
 
@@ -97,7 +98,7 @@ BufferPoolStats PartitionBufferPool::stats() const {
     stats.acquires += slot.acquires;
     stats.reuses += slot.reuses;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   stats.recycles = recycles_;
   stats.dropped = dropped_;
   return stats;

@@ -2,10 +2,11 @@
 #define TANE_PARTITION_BUFFER_POOL_H_
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "partition/stripped_partition.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace tane {
 
@@ -95,14 +96,18 @@ class PartitionBufferPool {
   };
 
   const int64_t max_pooled_bytes_;
+  // Each slot is owned by exactly one worker during a parallel region; the
+  // aggregate readers (stats/pooled_bytes) only run between regions, so the
+  // slots deliberately carry no lock. mu_ guards only the shared freelist.
   std::vector<Slot> slots_;
+  // Set before the run's parallel regions start; read-only afterwards.
   obs::MetricsRegistry* metrics_ = nullptr;
 
-  mutable std::mutex mu_;
-  std::vector<std::vector<int32_t>> shared_;
-  int64_t shared_bytes_ = 0;
-  int64_t recycles_ = 0;
-  int64_t dropped_ = 0;
+  mutable Mutex mu_;
+  std::vector<std::vector<int32_t>> shared_ TANE_GUARDED_BY(mu_);
+  int64_t shared_bytes_ TANE_GUARDED_BY(mu_) = 0;
+  int64_t recycles_ TANE_GUARDED_BY(mu_) = 0;
+  int64_t dropped_ TANE_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace tane

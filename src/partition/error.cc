@@ -1,9 +1,19 @@
 #include "partition/error.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <string>
 
 namespace tane {
+
+int64_t IntegerThreshold(double epsilon, double scale) {
+  const double product = epsilon * scale;
+  if (product >= static_cast<double>(std::numeric_limits<int64_t>::max())) {
+    return std::numeric_limits<int64_t>::max();
+  }
+  return std::max<int64_t>(0, static_cast<int64_t>(std::floor(product)));
+}
 
 G3Bounds BoundG3RemovalCount(const StrippedPartition& lhs,
                              const StrippedPartition& lhs_with_rhs) {

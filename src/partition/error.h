@@ -9,6 +9,17 @@
 
 namespace tane {
 
+/// ⌊ε·scale⌋: the exact integer validity threshold. A dependency is valid
+/// iff its violation count (g3 removals, g2 rows, or g1 ordered pairs) is
+/// <= this value, where `scale` is |r| (g3, g2) or |r|² (g1). Computing the
+/// threshold once and comparing raw counts against it keeps every validity
+/// decision in exact integer arithmetic — floating-point comparisons with
+/// absolute slack (the old `error <= ε + 1e-9`) misclassify borderline
+/// dependencies once ε·scale grows past the point where a double's ulp
+/// exceeds the slack. tools/tane_lint.py's float-threshold rule enforces
+/// that validity tests go through this helper.
+int64_t IntegerThreshold(double epsilon, double scale);
+
 /// Lower and upper bounds on the g3 removal count of X → A derived from the
 /// e(·) values alone (extended version [4], "a method to quickly bound the
 /// g3 error"):

@@ -10,6 +10,8 @@ namespace tane {
 StrippedPartition PartitionBuilder::ForAttribute(const Relation& relation,
                                                  int attribute,
                                                  bool stripped) {
+  // Invariant: callers iterate the schema, so the index is in range.
+  // tane-lint: allow(tane-check)
   TANE_CHECK(attribute >= 0 && attribute < relation.num_columns());
   const Column& column = relation.column(attribute);
   const int64_t rows = relation.num_rows();

@@ -1,8 +1,10 @@
 #include "util/failpoint.h"
 
 #include <atomic>
-#include <mutex>
 #include <unordered_map>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace tane {
 namespace failpoint {
@@ -16,51 +18,60 @@ struct ArmedPoint {
 // Fast path: sites are only consulted while at least one point is armed.
 std::atomic<int64_t> g_armed_count{0};
 
-std::mutex& Mutex() {
-  static std::mutex* mutex = new std::mutex;
-  return *mutex;
-}
+// The armed-point table and its lock, bundled so the annotations can name
+// the guard relationship on the shared state.
+struct PointRegistry {
+  Mutex mu;
+  std::unordered_map<std::string, ArmedPoint> points TANE_GUARDED_BY(mu);
+};
 
-std::unordered_map<std::string, ArmedPoint>& Registry() {
-  static auto* registry = new std::unordered_map<std::string, ArmedPoint>;
+PointRegistry& Registry() {
+  // Leaked deliberately: failpoints may be consulted from detached code
+  // running during static destruction. tane-lint: allow(naked-new)
+  static PointRegistry* registry = new PointRegistry;
   return *registry;
 }
 
 }  // namespace
 
 void Arm(const std::string& name, FailSpec spec) {
-  std::lock_guard<std::mutex> lock(Mutex());
-  auto [it, inserted] = Registry().insert_or_assign(
+  PointRegistry& registry = Registry();
+  MutexLock lock(&registry.mu);
+  auto [it, inserted] = registry.points.insert_or_assign(
       name, ArmedPoint{std::move(spec), /*hits=*/0});
   (void)it;
   if (inserted) g_armed_count.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Disarm(const std::string& name) {
-  std::lock_guard<std::mutex> lock(Mutex());
-  if (Registry().erase(name) > 0) {
+  PointRegistry& registry = Registry();
+  MutexLock lock(&registry.mu);
+  if (registry.points.erase(name) > 0) {
     g_armed_count.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
 void ClearAll() {
-  std::lock_guard<std::mutex> lock(Mutex());
-  g_armed_count.fetch_sub(static_cast<int64_t>(Registry().size()),
+  PointRegistry& registry = Registry();
+  MutexLock lock(&registry.mu);
+  g_armed_count.fetch_sub(static_cast<int64_t>(registry.points.size()),
                           std::memory_order_relaxed);
-  Registry().clear();
+  registry.points.clear();
 }
 
 int64_t HitCount(const std::string& name) {
-  std::lock_guard<std::mutex> lock(Mutex());
-  auto it = Registry().find(name);
-  return it == Registry().end() ? 0 : it->second.hits;
+  PointRegistry& registry = Registry();
+  MutexLock lock(&registry.mu);
+  auto it = registry.points.find(name);
+  return it == registry.points.end() ? 0 : it->second.hits;
 }
 
 Status Check(const char* name) {
   if (g_armed_count.load(std::memory_order_relaxed) == 0) return Status::OK();
-  std::lock_guard<std::mutex> lock(Mutex());
-  auto it = Registry().find(name);
-  if (it == Registry().end()) return Status::OK();
+  PointRegistry& registry = Registry();
+  MutexLock lock(&registry.mu);
+  auto it = registry.points.find(name);
+  if (it == registry.points.end()) return Status::OK();
   ArmedPoint& point = it->second;
   const int64_t hit = point.hits++;
   if (hit < point.spec.skip ||

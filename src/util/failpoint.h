@@ -49,11 +49,13 @@ void Disarm(const std::string& name);
 void ClearAll();
 
 /// Number of times the named site has been evaluated since it was armed.
-int64_t HitCount(const std::string& name);
+[[nodiscard]] int64_t HitCount(const std::string& name);
 
 /// Evaluates the named site: OK when unarmed or outside the failure window,
 /// else the armed error. Called via TANE_INJECT_FAILPOINT, not directly.
-Status Check(const char* name);
+/// (Status is itself [[nodiscard]]; the attribute here keeps the contract
+/// visible at the declaration.)
+[[nodiscard]] Status Check(const char* name);
 
 }  // namespace failpoint
 }  // namespace tane

@@ -29,13 +29,14 @@ struct RetryPolicy {
 /// The default `retriable` predicate: kIoError only. Checksum mismatches and
 /// argument errors are deterministic and must not be retried, so callers
 /// that can distinguish them should use a different code (kInvalidArgument).
-bool IsTransientIoError(const Status& status);
+[[nodiscard]] bool IsTransientIoError(const Status& status);
 
 /// Runs `fn` until it returns OK, a non-retriable error, or the policy's
 /// attempt budget is exhausted; returns the last status. `fn` must be safe
 /// to re-run after a failure (writes at a fixed offset, idempotent reads).
-Status RetryWithBackoff(const RetryPolicy& policy,
-                        const std::function<Status()>& fn);
+/// The returned Status is the whole point of the call — never discard it.
+[[nodiscard]] Status RetryWithBackoff(const RetryPolicy& policy,
+                                      const std::function<Status()>& fn);
 
 }  // namespace tane
 

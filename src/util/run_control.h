@@ -74,7 +74,7 @@ class RunController {
   /// Requests cooperative cancellation. Thread-safe; idempotent.
   void RequestCancel() { cancel_requested_.store(true, std::memory_order_release); }
 
-  bool cancel_requested() const {
+  [[nodiscard]] bool cancel_requested() const {
     return cancel_requested_.load(std::memory_order_acquire);
   }
 
@@ -86,7 +86,9 @@ class RunController {
   /// run should stop; the reason is latched and readable via stop_reason().
   /// Cancellation wins over the deadline when both trip in the same poll.
   /// Safe to call from multiple threads; the first reason latched wins.
-  bool ShouldStop();
+  /// [[nodiscard]]: polling and ignoring the verdict would latch a stop
+  /// reason while the caller keeps running.
+  [[nodiscard]] bool ShouldStop();
 
   /// The latched reason from the first ShouldStop() that returned true.
   StopReason stop_reason() const {
@@ -96,6 +98,10 @@ class RunController {
  private:
   using Clock = std::chrono::steady_clock;
 
+  // Deliberately unlocked: the setters run before the run starts polling
+  // (class contract above), after which these are read-only from any
+  // thread. The mutable cross-thread state (cancel_requested_,
+  // stop_reason_) is atomic and needs no lock.
   bool has_deadline_ = false;
   Clock::time_point deadline_{};
   std::atomic<bool> cancel_requested_{false};

@@ -28,7 +28,12 @@ std::string_view StatusCodeToString(StatusCode code);
 
 /// A lightweight success-or-error value. `Status::OK()` is cheap to copy;
 /// error statuses carry a code and a message.
-class Status {
+///
+/// [[nodiscard]]: a Status that is never examined is a swallowed error, so
+/// every build compiles with -Werror=unused-result. Call sites that truly
+/// cannot act on a failure must route it through a logging helper (see e.g.
+/// the release paths in core/tane.cc) rather than discarding it.
+class [[nodiscard]] Status {
  public:
   // Constructs an OK status.
   Status() = default;
@@ -84,9 +89,11 @@ class Status {
 };
 
 /// Either a value of type T or an error Status. Mirrors absl::StatusOr in
-/// spirit: check `ok()` before calling `value()`.
+/// spirit: check `ok()` before calling `value()`. [[nodiscard]] for the
+/// same reason as Status: an unexamined StatusOr hides both the error and
+/// the value.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   // Intentionally implicit so `return MakeThing();` and `return status;`
   // both work at call sites, matching the absl::StatusOr idiom.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/mutex.h"
 #include "util/timer.h"
 
 namespace tane {
@@ -16,17 +17,17 @@ ThreadPool::ThreadPool(int num_threads) : num_threads_(std::max(1, num_threads))
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
-double ThreadPool::Drain(int worker) {
+double ThreadPool::Drain(int worker,
+                         const std::function<void(int, int64_t)>& fn,
+                         int64_t count) {
   const auto start = std::chrono::steady_clock::now();
-  const int64_t count = count_;
-  const std::function<void(int, int64_t)>& fn = *fn_;
   int64_t items = 0;
   for (int64_t index = next_.fetch_add(1, std::memory_order_relaxed);
        index < count;
@@ -44,18 +45,24 @@ double ThreadPool::Drain(int worker) {
 void ThreadPool::WorkerLoop(int worker) {
   uint64_t seen_epoch = 0;
   while (true) {
+    const std::function<void(int, int64_t)>* fn = nullptr;
+    int64_t count = 0;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock,
-                    [&] { return shutdown_ || epoch_ != seen_epoch; });
+      MutexLock lock(&mu_);
+      while (!shutdown_ && epoch_ == seen_epoch) work_cv_.Wait(&mu_);
       if (shutdown_) return;
       seen_epoch = epoch_;
+      // Capture the job under the lock; Drain then runs lock-free. The
+      // pointees stay valid because ParallelFor cannot return (and so the
+      // job cannot be torn down) until running_ drops to zero below.
+      fn = fn_;
+      count = count_;
     }
-    const double busy = Drain(worker);
+    const double busy = Drain(worker, *fn, count);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       busy_seconds_ += busy;
-      if (--running_ == 0) done_cv_.notify_one();
+      if (--running_ == 0) done_cv_.NotifyOne();
     }
   }
 }
@@ -78,7 +85,9 @@ ParallelForStats ThreadPool::ParallelFor(
   }
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
+    // Invariant: ParallelFor is not reentrant from worker bodies.
+    // tane-lint: allow(tane-check)
     TANE_CHECK(running_ == 0) << "reentrant ParallelFor";
     fn_ = &fn;
     count_ = count;
@@ -87,13 +96,13 @@ ParallelForStats ThreadPool::ParallelFor(
     running_ = num_threads_ - 1;
     ++epoch_;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
 
-  // The caller participates as worker 0.
-  const double own_busy = Drain(0);
+  // The caller participates as worker 0, draining its own arguments.
+  const double own_busy = Drain(0, fn, count);
 
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] { return running_ == 0; });
+  MutexLock lock(&mu_);
+  while (running_ != 0) done_cv_.Wait(&mu_);
   fn_ = nullptr;
   stats.wall_seconds = wall.ElapsedSeconds();
   stats.busy_seconds = busy_seconds_ + own_busy;

@@ -3,12 +3,13 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace tane {
 
@@ -61,7 +62,8 @@ class ThreadPool {
   /// cancellation is the callback's job: a cancelled fn should return
   /// immediately, it cannot be interrupted.
   ParallelForStats ParallelFor(int64_t count,
-                               const std::function<void(int, int64_t)>& fn);
+                               const std::function<void(int, int64_t)>& fn)
+      TANE_EXCLUDES(mu_);
 
   /// Installs a callback invoked once per participating worker per
   /// ParallelFor call (workers that drained zero indices are skipped). The
@@ -73,25 +75,34 @@ class ThreadPool {
   }
 
  private:
-  void WorkerLoop(int worker);
-  // Drains indices from next_ until the current job is exhausted; returns
-  // this participant's busy seconds.
-  double Drain(int worker);
+  void WorkerLoop(int worker) TANE_EXCLUDES(mu_);
+  // Drains indices from next_ until `count` is exhausted, invoking `fn`;
+  // returns this participant's busy seconds. The job is passed by argument
+  // (captured from the guarded members under mu_) so the drain loop itself
+  // touches no lock-protected state.
+  double Drain(int worker, const std::function<void(int, int64_t)>& fn,
+               int64_t count);
 
   const int num_threads_;
   std::vector<std::thread> workers_;
+  // Set/cleared only while no ParallelFor is in flight (see setter docs),
+  // so the pool reads it without synchronization.
   std::function<void(const ParallelForSlice&)> slice_hook_;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;   // signals workers: a new job epoch
-  std::condition_variable done_cv_;   // signals the caller: workers drained
-  const std::function<void(int, int64_t)>* fn_ = nullptr;  // current job
-  int64_t count_ = 0;
+  Mutex mu_;
+  CondVar work_cv_;   // signals workers: a new job epoch
+  CondVar done_cv_;   // signals the caller: workers drained
+  const std::function<void(int, int64_t)>* fn_ TANE_GUARDED_BY(mu_) =
+      nullptr;  // current job
+  int64_t count_ TANE_GUARDED_BY(mu_) = 0;
   std::atomic<int64_t> next_{0};
-  uint64_t epoch_ = 0;      // bumped per job so workers see exactly one wake
-  int running_ = 0;         // background workers still draining this job
-  double busy_seconds_ = 0.0;  // accumulated by background workers
-  bool shutdown_ = false;
+  uint64_t epoch_ TANE_GUARDED_BY(mu_) =
+      0;  // bumped per job so workers see exactly one wake
+  int running_ TANE_GUARDED_BY(mu_) =
+      0;  // background workers still draining this job
+  double busy_seconds_ TANE_GUARDED_BY(mu_) =
+      0.0;  // accumulated by background workers
+  bool shutdown_ TANE_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace tane

@@ -1,0 +1,32 @@
+// Negative-compile case 1: reading a TANE_GUARDED_BY member without
+// holding its mutex. Under Clang -Wthread-safety -Werror this must FAIL to
+// compile ("reading variable 'value_' requires holding mutex 'mu_'");
+// tests/CMakeLists.txt asserts that it does.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    tane::MutexLock lock(&mu_);
+    ++value_;
+  }
+
+  // BUG (deliberate): reads guarded state with no lock held.
+  int Get() const { return value_; }
+
+ private:
+  mutable tane::Mutex mu_;
+  int value_ TANE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return counter.Get();
+}

@@ -1,0 +1,31 @@
+// Negative-compile case 2: calling a TANE_REQUIRES(mu_) function without
+// holding the mutex. Under Clang -Wthread-safety -Werror this must FAIL to
+// compile ("calling function 'InsertLocked' requires holding mutex 'mu_'
+// exclusively"); tests/CMakeLists.txt asserts that it does.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Table {
+ public:
+  void Insert() {
+    // BUG (deliberate): the REQUIRES contract demands mu_ be held here.
+    InsertLocked();
+  }
+
+ private:
+  void InsertLocked() TANE_REQUIRES(mu_) { ++size_; }
+
+  tane::Mutex mu_;
+  int size_ TANE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Table table;
+  table.Insert();
+  return 0;
+}

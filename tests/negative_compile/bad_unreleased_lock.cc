@@ -1,0 +1,26 @@
+// Negative-compile case 3: acquiring a mutex on one path and returning
+// without releasing it. Under Clang -Wthread-safety -Werror this must FAIL
+// to compile ("mutex 'mu' is still held at the end of function");
+// tests/CMakeLists.txt asserts that it does.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+int LeakLock(tane::Mutex* mu, int value) {
+  mu->Lock();
+  if (value > 0) {
+    // BUG (deliberate): early return leaks the acquired lock.
+    return value;
+  }
+  mu->Unlock();
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  tane::Mutex mu;
+  return LeakLock(&mu, 0);
+}

@@ -15,6 +15,12 @@ fi
 
 jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
 
+# Static analysis gate: project lint rules, clang-tidy, and the Clang
+# thread-safety `analysis` preset (the latter two self-skip when the tools
+# are absent). Runs first because it is by far the cheapest failure.
+echo "==> lint: tools/lint.sh"
+tools/lint.sh
+
 for preset in "${presets[@]}"; do
   echo "==> configure: ${preset}"
   cmake --preset "${preset}"

@@ -15,9 +15,10 @@ that its counters and per-level table agree with what `tane discover
 --stats` printed for the same run.
 """
 
-import json
 import re
 import sys
+
+import jsonio
 
 OVERHEAD_BUDGET = 1.02
 
@@ -52,11 +53,7 @@ def fail(message):
 
 
 def load(path):
-    try:
-        with open(path) as handle:
-            return json.load(handle)
-    except (OSError, json.JSONDecodeError) as error:
-        fail(f"{path}: {error}")
+    return jsonio.load_json(path, fail)
 
 
 def dig(doc, path):

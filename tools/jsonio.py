@@ -1,0 +1,31 @@
+"""Shared JSON-file loading for the tools/ scripts.
+
+Both tools/check_obs.py and tools/tane_lint.py consume JSON artifacts
+(benchmark output, run reports, the lint baseline) and previously each
+grew its own ad-hoc loader. This module is the single place that turns a
+path into a parsed document, with error messages that always name the
+offending file and say precisely what was wrong with it.
+"""
+
+import json
+
+
+def load_json(path, fail):
+    """Parse the JSON document at `path`.
+
+    `fail` is the caller's error reporter: it is invoked with a single
+    human-readable message that names the file, and it must not return
+    (the tools' implementations print and exit). On success the parsed
+    document is returned.
+    """
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+    except FileNotFoundError:
+        fail(f"{path}: file does not exist")
+    except OSError as error:
+        fail(f"{path}: cannot read: {error.strerror or error}")
+    except json.JSONDecodeError as error:
+        fail(f"{path}: invalid JSON at line {error.lineno}, "
+             f"column {error.colno}: {error.msg}")
+    raise AssertionError(f"fail() returned after a JSON error in {path}")
