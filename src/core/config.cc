@@ -21,6 +21,13 @@ Status TaneConfig::Validate() const {
   if (progress_period_seconds < 0.0) {
     return Status::InvalidArgument("progress_period_seconds must be >= 0");
   }
+  if (stop_after_level < 0) {
+    return Status::InvalidArgument("stop_after_level must be >= 0");
+  }
+  if (checkpoint_directory.empty() && (checkpoint_every_level || resume)) {
+    return Status::InvalidArgument(
+        "checkpoint_every_level/resume require a checkpoint_directory");
+  }
   return Status::OK();
 }
 

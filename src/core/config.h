@@ -146,6 +146,34 @@ struct TaneConfig {
   /// (remember to lower the log severity to see them).
   double progress_period_seconds = 0.0;
 
+  /// Directory for crash-safe run snapshots (core/run_snapshot.h). Empty
+  /// (the default) disables checkpointing entirely. When set, a snapshot is
+  /// written whenever the run winds down early at a level boundary
+  /// (deadline, cancellation, stop_after_level, memory-budget breach), so
+  /// an interrupted run is resumable instead of merely prefix-correct.
+  std::string checkpoint_directory;
+
+  /// Also write a snapshot after *every* completed level, making the run
+  /// robust to SIGKILL/crash at any point: at most one level of work is
+  /// ever lost. Costs one snapshot serialization + fsync per level.
+  /// Requires checkpoint_directory.
+  bool checkpoint_every_level = false;
+
+  /// Resume from the latest valid snapshot in checkpoint_directory instead
+  /// of starting from level 1. The snapshot's config and dataset
+  /// fingerprints must match this run (kFailedPrecondition otherwise); a
+  /// missing snapshot falls back to a fresh run so schedulers can always
+  /// pass the flag. Requires checkpoint_directory.
+  bool resume = false;
+
+  /// Suspend the run (Completion::kSuspended) after this many completed
+  /// levels, writing a final snapshot when checkpointing is enabled. 0 (the
+  /// default) never suspends. This is the cooperative half of
+  /// checkpoint/resume — a scheduler can slice a long discovery into
+  /// resumable level-sized steps — and what the resume-determinism tests
+  /// use to stop a run at an exact boundary.
+  int stop_after_level = 0;
+
   /// Validates field ranges (ε ∈ [0,1], positive max_lhs_size, ...).
   Status Validate() const;
 };

@@ -10,6 +10,8 @@ std::string_view CompletionToString(Completion completion) {
       return "deadline_expired";
     case Completion::kCancelled:
       return "cancelled";
+    case Completion::kSuspended:
+      return "suspended";
   }
   return "unknown";
 }

@@ -77,6 +77,14 @@ struct DiscoveryStats {
   double report_seconds = 0.0;
   /// Worker threads the run executed with (TaneConfig::num_threads).
   int num_threads = 1;
+  /// Snapshot files durably written by this run (checkpointing only).
+  int64_t checkpoint_writes = 0;
+  /// Total serialized snapshot bytes those writes published.
+  int64_t checkpoint_bytes = 0;
+  /// Wall-clock seconds spent serializing and fsyncing snapshots.
+  double checkpoint_seconds = 0.0;
+  /// Snapshot level this run resumed from; 0 for a fresh run.
+  int resumed_from_level = 0;
   /// Per-level timing of the parallelized phases, in level order.
   std::vector<LevelParallelStats> level_parallel;
 };
@@ -89,9 +97,12 @@ enum class Completion : int32_t {
   kComplete = 0,
   kDeadlineExpired = 1,
   kCancelled = 2,
+  /// The run stopped itself at TaneConfig::stop_after_level — a deliberate,
+  /// checkpointed pause rather than a resource-driven wind-down.
+  kSuspended = 3,
 };
 
-/// Returns "complete", "deadline_expired", or "cancelled".
+/// Returns "complete", "deadline_expired", "cancelled", or "suspended".
 std::string_view CompletionToString(Completion completion);
 
 /// The output of a discovery run: all minimal non-trivial dependencies with
@@ -113,6 +124,12 @@ struct DiscoveryResult {
   /// Number of lattice levels fully processed (dependencies computed and
   /// pruning applied). Equals stats.levels_processed on a complete run.
   int completed_levels = 0;
+
+  /// True when the run ended early AND left a durable snapshot behind, so
+  /// rerunning with TaneConfig::resume continues from completed_levels
+  /// instead of starting over. This is the retryable/fatal distinction a
+  /// job scheduler needs: resumable failures re-enqueue, the rest alert.
+  bool resumable = false;
 
   /// Number of dependencies found (the N column in the paper's tables).
   int64_t num_fds() const { return static_cast<int64_t>(fds.size()); }

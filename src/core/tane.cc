@@ -12,6 +12,7 @@
 
 #include "core/partition_store.h"
 #include "core/pli_cache.h"
+#include "core/run_snapshot.h"
 #include "lattice/level.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
@@ -133,9 +134,14 @@ struct NodeOutcome {
 
 class TaneRun {
  public:
+  /// `resume_snapshot` (optional, not owned, pre-validated by Discover)
+  /// restores the run to its checkpointed level boundary before the
+  /// levelwise loop continues.
   TaneRun(const Relation& relation, const TaneConfig& config,
-          std::unique_ptr<PartitionStore> store)
+          std::unique_ptr<PartitionStore> store,
+          const RunSnapshot* resume_snapshot)
       : relation_(relation),
+        resume_snapshot_(resume_snapshot),
         config_(config),
         controller_(config.run_controller),
         store_(std::move(store)),
@@ -216,6 +222,44 @@ class TaneRun {
   Status TestValidity(WorkerState* w, int64_t prev_error, int64_t prev_handle,
                       const Node& node, bool* valid, double* error,
                       bool* exact_holds);
+
+  // The boundary-to-boundary advance after PRUNE of `level_number`:
+  // checkpointing, the suspend/stop decision, and GENERATE-NEXT-LEVEL.
+  // Returns true when the run should continue with `current` holding the
+  // next level (prev/prev_index updated), false when it wound down (all
+  // handles released; the caller exits the loop). Shared by the level loop
+  // and the resume prologue, which is what lets a restored run re-enter
+  // the lattice mid-flight through the exact same code path.
+  StatusOr<bool> AdvanceLevel(int level_number, std::vector<Node>* survivors,
+                              std::vector<Node>* prev, LevelIndex* prev_index,
+                              std::vector<Node>* current,
+                              DiscoveryResult* result);
+
+  // Serializes the current run state (survivors of `level_number`, post-
+  // PRUNE) into a durable snapshot under config_.checkpoint_directory.
+  Status WriteCheckpoint(int level_number, const std::vector<Node>& survivors,
+                         DiscoveryResult* result);
+
+  // WriteCheckpoint unless the latest durable snapshot already covers
+  // `level_number` (per-level checkpointing got there first, or the run
+  // resumed from it and made no progress).
+  Status MaybeWindDownCheckpoint(int level_number,
+                                 const std::vector<Node>& survivors,
+                                 DiscoveryResult* result) {
+    if (!checkpointing() || last_checkpoint_level_ >= level_number) {
+      return Status::OK();
+    }
+    return WriteCheckpoint(level_number, survivors, result);
+  }
+
+  // Rehydrates the run from `snapshot`: dependencies and keys replayed in
+  // emission order (rebuilding every pruning index), carried counters
+  // restored, survivor partitions re-Put through the store chain.
+  Status RestoreFromSnapshot(const RunSnapshot& snapshot,
+                             DiscoveryResult* result,
+                             std::vector<Node>* survivors);
+
+  bool checkpointing() const { return !config_.checkpoint_directory.empty(); }
 
   Status ReleaseHandles(std::vector<Node>* nodes);
   void SamplePeakMemory();
@@ -309,10 +353,12 @@ class TaneRun {
   // Records an emitted dependency for the definitional C⁺ fallback and the
   // covered-rhs pruning masks below. Coordinator-only: workers buffer
   // emissions in NodeOutcome and the merge loop calls this in node order.
+  // The restore path passes count=false: its kFdsEmitted total is carried
+  // wholesale from the snapshot, so per-dependency increments would double.
   void RecordFd(DiscoveryResult* result, AttributeSet lhs, int rhs,
-                double error) {
+                double error, bool count = true) {
     result->fds.push_back({lhs, rhs, error});
-    metrics_.Add(0, obs::kFdsEmitted, 1);
+    if (count) metrics_.Add(0, obs::kFdsEmitted, 1);
     found_lhs_by_rhs_[rhs].push_back(lhs);
     if (lhs.empty()) {
       covered_by_empty_ = covered_by_empty_.With(rhs);
@@ -349,6 +395,8 @@ class TaneRun {
   static constexpr int64_t kStopPollStride = 64;
 
   const Relation& relation_;
+  // Snapshot to restore before the loop, or nullptr for a fresh run.
+  const RunSnapshot* const resume_snapshot_;
   const TaneConfig& config_;
   RunController* const controller_;
   std::unique_ptr<PartitionStore> store_;
@@ -377,6 +425,12 @@ class TaneRun {
   // coordinator-only.
   std::atomic<bool> stop_flag_{false};
   Completion completion_ = Completion::kComplete;
+
+  // Checkpoint bookkeeping (coordinator-only). last_checkpoint_level_ is
+  // the deepest level a durable snapshot covers — 0 when none exists.
+  int last_checkpoint_level_ = 0;
+  int resumed_from_level_ = 0;
+  double checkpoint_seconds_ = 0.0;
 
   // π_∅ and e(∅), needed when testing dependencies ∅ → A at level 1. Built
   // eagerly before the first parallel region (workers only read it).
@@ -730,6 +784,252 @@ StatusOr<StrippedPartition> TaneRun::BuildCandidatePartition(
   return product;
 }
 
+Status TaneRun::WriteCheckpoint(int level_number,
+                                const std::vector<Node>& survivors,
+                                DiscoveryResult* result) {
+  WallTimer timer;
+  obs::SpanGuard span(tracer_, "checkpoint", &metrics_);
+  RunSnapshot snapshot;
+  snapshot.config_fingerprint = ConfigFingerprint(config_);
+  snapshot.dataset_fingerprint = DatasetFingerprint(relation_);
+  snapshot.num_rows = num_rows_;
+  snapshot.num_columns = relation_.num_columns();
+  snapshot.completed_level = level_number;
+  // Emission order, not canonical order: CanonicalizeFds only runs at the
+  // end of Run, and the restore path replays these to rebuild the pruning
+  // indexes exactly as the interrupted run had them.
+  snapshot.fds = result->fds;
+  snapshot.keys = result->keys;
+  snapshot.counters.sets_generated = metrics_.CounterTotal(obs::kSetsGenerated);
+  snapshot.counters.validity_tests = metrics_.CounterTotal(obs::kValidityTests);
+  snapshot.counters.g3_scans = metrics_.CounterTotal(obs::kG3Scans);
+  snapshot.counters.g3_scans_skipped =
+      metrics_.CounterTotal(obs::kG3ScansSkipped);
+  snapshot.counters.partition_products =
+      metrics_.CounterTotal(obs::kPartitionProducts);
+  snapshot.counters.keys_found = metrics_.CounterTotal(obs::kKeysFound);
+  snapshot.counters.nodes_processed =
+      metrics_.CounterTotal(obs::kNodesProcessed);
+  snapshot.counters.fds_emitted = metrics_.CounterTotal(obs::kFdsEmitted);
+  snapshot.counters.max_level_size = metrics_.gauge(obs::kMaxLevelSize);
+  snapshot.level_parallel = stats_.level_parallel;
+  snapshot.survivors.reserve(survivors.size());
+  for (const Node& node : survivors) {
+    SnapshotNode stored;
+    stored.set = node.set;
+    stored.cplus = node.cplus;
+    stored.error = node.error;
+    const StrippedPartition* partition = store_->Peek(node.handle);
+    StrippedPartition owned;
+    if (partition == nullptr) {
+      TANE_ASSIGN_OR_RETURN(owned, store_->Get(node.handle));
+      partition = &owned;
+    }
+    stored.partition_bytes = SerializePartition(*partition);
+    snapshot.survivors.push_back(std::move(stored));
+    metrics_.Add(0, obs::kCheckpointNodesWritten, 1);
+  }
+  TANE_ASSIGN_OR_RETURN(
+      const int64_t bytes,
+      WriteSnapshot(config_.checkpoint_directory, snapshot));
+  metrics_.Add(0, obs::kCheckpointWrites, 1);
+  metrics_.Add(0, obs::kCheckpointBytesWritten, bytes);
+  metrics_.SetGauge(obs::kCheckpointLastLevel, level_number);
+  last_checkpoint_level_ = level_number;
+  checkpoint_seconds_ += timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+Status TaneRun::RestoreFromSnapshot(const RunSnapshot& snapshot,
+                                    DiscoveryResult* result,
+                                    std::vector<Node>* survivors) {
+  obs::SpanGuard span(tracer_, "restore", &metrics_);
+  // Replaying the dependencies in emission order rebuilds found_lhs_by_rhs_
+  // and the covered-rhs masks byte-for-byte; the carried counters restore
+  // the work totals those emissions represent.
+  for (const FunctionalDependency& fd : snapshot.fds) {
+    RecordFd(result, fd.lhs, fd.rhs, fd.error, /*count=*/false);
+  }
+  result->keys = snapshot.keys;
+  result->completed_levels = snapshot.completed_level;
+  stats_.levels_processed = snapshot.completed_level;
+  stats_.level_parallel = snapshot.level_parallel;
+  const SnapshotCounters& carried = snapshot.counters;
+  metrics_.Add(0, obs::kSetsGenerated, carried.sets_generated);
+  metrics_.Add(0, obs::kValidityTests, carried.validity_tests);
+  metrics_.Add(0, obs::kG3Scans, carried.g3_scans);
+  metrics_.Add(0, obs::kG3ScansSkipped, carried.g3_scans_skipped);
+  metrics_.Add(0, obs::kPartitionProducts, carried.partition_products);
+  metrics_.Add(0, obs::kKeysFound, carried.keys_found);
+  metrics_.Add(0, obs::kNodesProcessed, carried.nodes_processed);
+  metrics_.Add(0, obs::kFdsEmitted, carried.fds_emitted);
+  metrics_.MaxGauge(obs::kMaxLevelSize, carried.max_level_size);
+  metrics_.SetGauge(obs::kResumedFromLevel, snapshot.completed_level);
+  metrics_.SetGauge(obs::kCheckpointLastLevel, snapshot.completed_level);
+  resumed_from_level_ = snapshot.completed_level;
+  // The loaded file still covers this level; don't rewrite it on wind-down.
+  last_checkpoint_level_ = snapshot.completed_level;
+
+  // Survivor partitions rehydrate through the regular Put path, so the
+  // store chain (spill, budget accounting, PLI interning) treats them
+  // exactly like partitions the run computed itself.
+  survivors->reserve(snapshot.survivors.size());
+  for (const SnapshotNode& stored : snapshot.survivors) {
+    TANE_ASSIGN_OR_RETURN(StrippedPartition partition,
+                          DeserializePartition(stored.partition_bytes));
+    Node node;
+    node.set = stored.set;
+    node.cplus = stored.cplus;
+    node.error = stored.error;
+    TANE_ASSIGN_OR_RETURN(node.handle, store_->Put(std::move(partition)));
+    survivors->push_back(node);
+    metrics_.Add(0, obs::kCheckpointNodesRestored, 1);
+  }
+  SamplePeakMemory();
+  TANE_RETURN_IF_ERROR(CheckMemoryBudget());
+  // Relation-derived state the snapshot deliberately omits: the fold-mode
+  // singleton partitions are rebuilt from the input, bit-identical to the
+  // interrupted run's.
+  if (!config_.use_partition_products) {
+    singleton_partitions_.reserve(relation_.num_columns());
+    for (int attribute = 0; attribute < relation_.num_columns(); ++attribute) {
+      singleton_partitions_.push_back(PartitionBuilder::ForAttribute(
+          relation_, attribute, config_.use_stripped_partitions));
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<bool> TaneRun::AdvanceLevel(int level_number,
+                                     std::vector<Node>* survivors,
+                                     std::vector<Node>* prev,
+                                     LevelIndex* prev_index,
+                                     std::vector<Node>* current,
+                                     DiscoveryResult* result) {
+  if (checkpointing() && config_.checkpoint_every_level &&
+      last_checkpoint_level_ < level_number) {
+    TANE_RETURN_IF_ERROR(WriteCheckpoint(level_number, *survivors, result));
+  }
+  if (config_.stop_after_level > 0 &&
+      level_number >= config_.stop_after_level) {
+    completion_ = Completion::kSuspended;
+    TANE_RETURN_IF_ERROR(
+        MaybeWindDownCheckpoint(level_number, *survivors, result));
+    TANE_RETURN_IF_ERROR(ReleaseHandles(survivors));
+    return false;
+  }
+  // Level boundary: the controller is always consulted between a fully
+  // processed level and the generation of the next one. Survivor handles
+  // are still live here, which is what makes the wind-down snapshot
+  // possible at all — this is the last moment the level's partitions exist.
+  if (PollStop()) {
+    TANE_RETURN_IF_ERROR(
+        MaybeWindDownCheckpoint(level_number, *survivors, result));
+    TANE_RETURN_IF_ERROR(ReleaseHandles(survivors));
+    return false;
+  }
+
+  // GENERATE-NEXT-LEVEL with partitions as products of two parents
+  // (Lemma 3). Products are computed in parallel batches — candidates
+  // are independent given the survivor partitions — and stored serially
+  // in candidate order, so handles and e(·) values are deterministic.
+  // Batching bounds the partitions resident outside the store to
+  // O(threads) instead of O(level size).
+  std::vector<AttributeSet> survivor_sets;
+  survivor_sets.reserve(survivors->size());
+  for (const Node& node : *survivors) survivor_sets.push_back(node.set);
+  std::vector<LevelCandidate> candidates;
+  {
+    obs::SpanGuard span(tracer_, "generate", &metrics_);
+    candidates = GenerateNextLevel(survivor_sets);
+  }
+
+  LevelParallelStats& level_stats = stats_.level_parallel.back();
+  std::vector<Node> next;
+  next.reserve(candidates.size());
+  const size_t batch_size = static_cast<size_t>(pool_.num_threads()) * 8;
+  Status generate_status = Status::OK();
+  {
+    obs::SpanGuard span(tracer_, "products", &metrics_);
+    for (size_t begin = 0; begin < candidates.size() && !stopped();
+         begin += batch_size) {
+      const size_t end = std::min(candidates.size(), begin + batch_size);
+      std::vector<std::optional<StatusOr<StrippedPartition>>> products(
+          end - begin);
+      const ParallelForStats region = pool_.ParallelFor(
+          static_cast<int64_t>(end - begin), [&](int worker, int64_t j) {
+            WorkerState* w = workers_[worker].get();
+            if (WorkerShouldStop(w)) return;
+            products[j] =
+                BuildCandidatePartition(w, candidates[begin + j], *survivors);
+          });
+      level_stats.wall_seconds += region.wall_seconds;
+      level_stats.worker_seconds += region.busy_seconds;
+      PollStop();
+
+      for (size_t j = 0; j < products.size(); ++j) {
+        if (!products[j].has_value()) break;  // skipped by a stop
+        if (!products[j]->ok()) {
+          generate_status = products[j]->status();
+          break;
+        }
+        StrippedPartition product = std::move(*products[j]).value();
+        Node node;
+        node.set = candidates[begin + j].set;
+        node.error = product.Error();
+        TANE_ASSIGN_OR_RETURN(node.handle, store_->Put(std::move(product)));
+        next.push_back(node);
+        metrics_.Add(0, obs::kSetsGenerated, 1);
+        SamplePeakMemory();
+        generate_status = CheckMemoryBudget();
+        if (!generate_status.ok()) break;
+      }
+      if (!generate_status.ok()) break;
+    }
+  }
+  if (!generate_status.ok()) {
+    // Hard error (store I/O, budget breach): snapshot the level boundary
+    // while the survivors are still live — a budget breach under
+    // checkpointing becomes a resumable failure the caller can retry with
+    // a different storage plan — then release everything before surfacing
+    // it. The generate error takes precedence over cleanup failures, but
+    // those still get a log line each.
+    LogIgnoredStatus(
+        MaybeWindDownCheckpoint(level_number, *survivors, result),
+        "checkpoint during error wind-down");
+    LogIgnoredStatus(ReleaseHandles(&next), "releasing next level");
+    LogIgnoredStatus(ReleaseHandles(survivors), "releasing survivors");
+    return generate_status;
+  }
+  if (stopped()) {
+    // Stopped while generating the next level: its partial contents were
+    // never tested, so they contribute nothing — drop them. The survivor
+    // level is still a valid boundary, so it is snapshot for resume.
+    LatchCompletion();
+    TANE_RETURN_IF_ERROR(ReleaseHandles(&next));
+    TANE_RETURN_IF_ERROR(
+        MaybeWindDownCheckpoint(level_number, *survivors, result));
+    TANE_RETURN_IF_ERROR(ReleaseHandles(survivors));
+    return false;
+  }
+
+  // In exact mode validity tests read only the stored e(·) values, so the
+  // survivor partitions can be dropped now that the products exist; the
+  // approximate mode still needs them for g3 scans.
+  if (config_.epsilon == 0.0) {
+    TANE_RETURN_IF_ERROR(ReleaseHandles(survivors));
+  }
+  *prev = std::move(*survivors);
+  {
+    std::vector<AttributeSet> prev_sets;
+    prev_sets.reserve(prev->size());
+    for (const Node& node : *prev) prev_sets.push_back(node.set);
+    *prev_index = LevelIndex(prev_sets);
+  }
+  *current = std::move(next);
+  return true;
+}
+
 Status TaneRun::Run(DiscoveryResult* result) {
   WallTimer timer;
   obs::SpanGuard run_span(tracer_, "run", &metrics_);
@@ -751,40 +1051,58 @@ Status TaneRun::Run(DiscoveryResult* result) {
     (void)EmptySetPartition();
   }
 
-  // L_1 := {{A} | A ∈ R}, with partitions computed from the database.
   std::vector<Node> current;
-  current.reserve(num_attributes);
-  {
-    obs::SpanGuard span(tracer_, "base-partitions", &metrics_);
-    for (int attribute = 0; attribute < num_attributes; ++attribute) {
-      StrippedPartition partition = PartitionBuilder::ForAttribute(
-          relation_, attribute, config_.use_stripped_partitions);
-      Node node;
-      node.set = AttributeSet::Singleton(attribute);
-      node.error = partition.Error();
-      if (config_.use_partition_products) {
-        TANE_ASSIGN_OR_RETURN(node.handle, store_->Put(std::move(partition)));
-      } else {
-        // The recomputation mode folds from resident singleton copies, so
-        // the store gets a copy and the original stays here.
-        TANE_ASSIGN_OR_RETURN(node.handle, store_->Put(partition));
-        singleton_partitions_.push_back(std::move(partition));
-      }
-      current.push_back(node);
-      metrics_.Add(0, obs::kSetsGenerated, 1);
-    }
-  }
-  SamplePeakMemory();
-  TANE_RETURN_IF_ERROR(CheckMemoryBudget());
-
   std::vector<Node> prev;
   LevelIndex prev_index;
-  // In exact mode validity tests read only the stored e(·) values, so a
-  // level's partitions can be dropped as soon as the next level's products
-  // are computed; the approximate mode still needs them for g3 scans.
-  const bool prev_partitions_needed_in_compute = config_.epsilon > 0.0;
-
   int level_number = 1;
+
+  if (resume_snapshot_ != nullptr) {
+    // Resume: rebuild the boundary state of the checkpointed level and
+    // re-enter the lattice through the same advance path the loop uses.
+    std::vector<Node> survivors;
+    TANE_RETURN_IF_ERROR(
+        RestoreFromSnapshot(*resume_snapshot_, result, &survivors));
+    level_number = resume_snapshot_->completed_level;
+    if (stats_.level_parallel.empty()) {
+      // Defensive: a well-formed snapshot always carries its level rows.
+      LevelParallelStats row;
+      row.level = level_number;
+      row.nodes = static_cast<int64_t>(survivors.size());
+      stats_.level_parallel.push_back(row);
+    }
+    TANE_ASSIGN_OR_RETURN(const bool advanced,
+                          AdvanceLevel(level_number, &survivors, &prev,
+                                       &prev_index, &current, result));
+    if (advanced) ++level_number;
+    // !advanced leaves `current` empty, skipping the loop: the run wound
+    // down again (suspend, stop, ...) before making progress.
+  } else {
+    // L_1 := {{A} | A ∈ R}, with partitions computed from the database.
+    current.reserve(num_attributes);
+    {
+      obs::SpanGuard span(tracer_, "base-partitions", &metrics_);
+      for (int attribute = 0; attribute < num_attributes; ++attribute) {
+        StrippedPartition partition = PartitionBuilder::ForAttribute(
+            relation_, attribute, config_.use_stripped_partitions);
+        Node node;
+        node.set = AttributeSet::Singleton(attribute);
+        node.error = partition.Error();
+        if (config_.use_partition_products) {
+          TANE_ASSIGN_OR_RETURN(node.handle, store_->Put(std::move(partition)));
+        } else {
+          // The recomputation mode folds from resident singleton copies, so
+          // the store gets a copy and the original stays here.
+          TANE_ASSIGN_OR_RETURN(node.handle, store_->Put(partition));
+          singleton_partitions_.push_back(std::move(partition));
+        }
+        current.push_back(node);
+        metrics_.Add(0, obs::kSetsGenerated, 1);
+      }
+    }
+    SamplePeakMemory();
+    TANE_RETURN_IF_ERROR(CheckMemoryBudget());
+  }
+
   while (!current.empty()) {
     stats_.levels_processed = level_number;
     metrics_.SetGauge(obs::kCurrentLevel, level_number);
@@ -796,22 +1114,27 @@ Status TaneRun::Run(DiscoveryResult* result) {
                       static_cast<int64_t>(current.size()));
     obs::SpanGuard level_span(
         tracer_, "level " + std::to_string(level_number), &metrics_);
-    LevelParallelStats level_stats;
-    level_stats.level = level_number;
-    level_stats.nodes = static_cast<int64_t>(current.size());
+    // The level's timing row lives in stats_ from the start so the advance
+    // path (and a checkpoint taken mid-boundary) always sees it in place.
+    {
+      LevelParallelStats row;
+      row.level = level_number;
+      row.nodes = static_cast<int64_t>(current.size());
+      stats_.level_parallel.push_back(row);
+    }
 
     {
       obs::SpanGuard span(tracer_, "validity", &metrics_);
       TANE_RETURN_IF_ERROR(ComputeDependencies(level_number, &current, &prev,
                                                &prev_index, result,
-                                               &level_stats));
+                                               &stats_.level_parallel.back()));
     }
     TANE_RETURN_IF_ERROR(ReleaseHandles(&prev));
     if (stopped()) {
       // Stopped mid-level: the dependencies already emitted stand on their
       // own, but PRUNE must not run against half-updated C⁺ sets (it could
-      // certify a non-minimal key dependency). Wind down here.
-      stats_.level_parallel.push_back(level_stats);
+      // certify a non-minimal key dependency). Wind down here; the last
+      // per-level snapshot (if any) still covers the previous boundary.
       TANE_RETURN_IF_ERROR(ReleaseHandles(&current));
       break;
     }
@@ -829,106 +1152,15 @@ Status TaneRun::Run(DiscoveryResult* result) {
     current.clear();
 
     if (survivors.empty() || level_number >= config_.max_lhs_size + 1) {
-      stats_.level_parallel.push_back(level_stats);
+      // The search is finished — nothing above this level can be generated.
       TANE_RETURN_IF_ERROR(ReleaseHandles(&survivors));
       break;
     }
 
-    // Level boundary: the controller is always consulted between a fully
-    // processed level and the generation of the next one.
-    if (PollStop()) {
-      stats_.level_parallel.push_back(level_stats);
-      TANE_RETURN_IF_ERROR(ReleaseHandles(&survivors));
-      break;
-    }
-
-    // GENERATE-NEXT-LEVEL with partitions as products of two parents
-    // (Lemma 3). Products are computed in parallel batches — candidates
-    // are independent given the survivor partitions — and stored serially
-    // in candidate order, so handles and e(·) values are deterministic.
-    // Batching bounds the partitions resident outside the store to
-    // O(threads) instead of O(level size).
-    std::vector<AttributeSet> survivor_sets;
-    survivor_sets.reserve(survivors.size());
-    for (const Node& node : survivors) survivor_sets.push_back(node.set);
-    std::vector<LevelCandidate> candidates;
-    {
-      obs::SpanGuard span(tracer_, "generate", &metrics_);
-      candidates = GenerateNextLevel(survivor_sets);
-    }
-
-    std::vector<Node> next;
-    next.reserve(candidates.size());
-    const size_t batch_size =
-        static_cast<size_t>(pool_.num_threads()) * 8;
-    Status generate_status = Status::OK();
-    {
-      obs::SpanGuard span(tracer_, "products", &metrics_);
-      for (size_t begin = 0; begin < candidates.size() && !stopped();
-           begin += batch_size) {
-        const size_t end = std::min(candidates.size(), begin + batch_size);
-        std::vector<std::optional<StatusOr<StrippedPartition>>> products(
-            end - begin);
-        const ParallelForStats region = pool_.ParallelFor(
-            static_cast<int64_t>(end - begin), [&](int worker, int64_t j) {
-              WorkerState* w = workers_[worker].get();
-              if (WorkerShouldStop(w)) return;
-              products[j] =
-                  BuildCandidatePartition(w, candidates[begin + j], survivors);
-            });
-        level_stats.wall_seconds += region.wall_seconds;
-        level_stats.worker_seconds += region.busy_seconds;
-        PollStop();
-
-        for (size_t j = 0; j < products.size(); ++j) {
-          if (!products[j].has_value()) break;  // skipped by a stop
-          if (!products[j]->ok()) {
-            generate_status = products[j]->status();
-            break;
-          }
-          StrippedPartition product = std::move(*products[j]).value();
-          Node node;
-          node.set = candidates[begin + j].set;
-          node.error = product.Error();
-          TANE_ASSIGN_OR_RETURN(node.handle, store_->Put(std::move(product)));
-          next.push_back(node);
-          metrics_.Add(0, obs::kSetsGenerated, 1);
-          SamplePeakMemory();
-          generate_status = CheckMemoryBudget();
-          if (!generate_status.ok()) break;
-        }
-        if (!generate_status.ok()) break;
-      }
-    }
-    stats_.level_parallel.push_back(level_stats);
-    if (!generate_status.ok()) {
-      // Hard error (store I/O, budget breach): release everything before
-      // surfacing it. The generate error takes precedence, but a failing
-      // cleanup is still worth a log line — a swallowed release error here
-      // previously hid leaked store handles behind the primary failure.
-      LogIgnoredStatus(ReleaseHandles(&next), "releasing next level");
-      LogIgnoredStatus(ReleaseHandles(&survivors), "releasing survivors");
-      return generate_status;
-    }
-    if (stopped()) {
-      // Stopped while generating the next level: its partial contents were
-      // never tested, so they contribute nothing — drop them.
-      TANE_RETURN_IF_ERROR(ReleaseHandles(&next));
-      TANE_RETURN_IF_ERROR(ReleaseHandles(&survivors));
-      break;
-    }
-
-    if (!prev_partitions_needed_in_compute) {
-      TANE_RETURN_IF_ERROR(ReleaseHandles(&survivors));
-    }
-    prev = std::move(survivors);
-    {
-      std::vector<AttributeSet> prev_sets;
-      prev_sets.reserve(prev.size());
-      for (const Node& node : prev) prev_sets.push_back(node.set);
-      prev_index = LevelIndex(prev_sets);
-    }
-    current = std::move(next);
+    TANE_ASSIGN_OR_RETURN(const bool advanced,
+                          AdvanceLevel(level_number, &survivors, &prev,
+                                       &prev_index, &current, result));
+    if (!advanced) break;
     ++level_number;
   }
 
@@ -937,6 +1169,17 @@ Status TaneRun::Run(DiscoveryResult* result) {
   std::sort(result->keys.begin(), result->keys.end());
   LatchCompletion();
   result->completion = completion_;
+  if (checkpointing()) {
+    if (completion_ == Completion::kComplete) {
+      // The results are now the durable artifact; stale snapshots would
+      // only let a later --resume replay a finished search.
+      TANE_RETURN_IF_ERROR(RemoveSnapshots(config_.checkpoint_directory));
+      metrics_.SetGauge(obs::kCheckpointLastLevel, 0);
+      last_checkpoint_level_ = 0;
+    }
+    result->resumable =
+        completion_ != Completion::kComplete && last_checkpoint_level_ > 0;
+  }
   if (monitor_ != nullptr) {
     monitor_->Stop();  // emits the final heartbeat line
     monitor_.reset();
@@ -957,6 +1200,10 @@ Status TaneRun::Run(DiscoveryResult* result) {
   stats_.product_allocations = snapshot.counter(obs::kProductAllocations);
   stats_.keys_found = snapshot.counter(obs::kKeysFound);
   stats_.peak_partition_bytes = snapshot.gauge(obs::kPeakResidentBytes);
+  stats_.checkpoint_writes = snapshot.counter(obs::kCheckpointWrites);
+  stats_.checkpoint_bytes = snapshot.counter(obs::kCheckpointBytesWritten);
+  stats_.checkpoint_seconds = checkpoint_seconds_;
+  stats_.resumed_from_level = resumed_from_level_;
   result->stats = stats_;
   result->metrics = snapshot;
   return Status::OK();
@@ -969,6 +1216,35 @@ StatusOr<DiscoveryResult> Tane::Discover(const Relation& relation,
   TANE_RETURN_IF_ERROR(config.Validate());
   if (relation.num_columns() > kMaxAttributes) {
     return Status::InvalidArgument("relation has too many attributes");
+  }
+
+  // Resume loads the latest snapshot up front so fingerprint mismatches are
+  // rejected before any partition work starts. A missing snapshot falls
+  // back to a fresh run (schedulers can pass resume unconditionally);
+  // corruption and I/O failures surface as-is.
+  std::unique_ptr<RunSnapshot> resume_snapshot;
+  if (config.resume) {
+    StatusOr<RunSnapshot> loaded =
+        LoadLatestSnapshot(config.checkpoint_directory);
+    if (loaded.ok()) {
+      if (loaded->config_fingerprint != ConfigFingerprint(config)) {
+        return Status::FailedPrecondition(
+            "refusing to resume: the snapshot in '" +
+            config.checkpoint_directory +
+            "' was written under a different configuration");
+      }
+      if (loaded->dataset_fingerprint != DatasetFingerprint(relation) ||
+          loaded->num_rows != relation.num_rows() ||
+          loaded->num_columns != relation.num_columns()) {
+        return Status::FailedPrecondition(
+            "refusing to resume: the snapshot in '" +
+            config.checkpoint_directory +
+            "' was written for a different dataset");
+      }
+      resume_snapshot = std::make_unique<RunSnapshot>(std::move(*loaded));
+    } else if (loaded.status().code() != StatusCode::kNotFound) {
+      return loaded.status();
+    }
   }
 
   std::unique_ptr<PartitionStore> store;
@@ -999,7 +1275,7 @@ StatusOr<DiscoveryResult> Tane::Discover(const Relation& relation,
   }
 
   DiscoveryResult result;
-  TaneRun run(relation, config, std::move(store));
+  TaneRun run(relation, config, std::move(store), resume_snapshot.get());
   TANE_RETURN_IF_ERROR(run.Run(&result));
   if (auto_store != nullptr) {
     result.stats.degraded_to_disk = auto_store->spilled();

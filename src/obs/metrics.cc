@@ -30,6 +30,10 @@ std::string_view CounterName(CounterId id) {
     case kSpillReads:         return "spill_reads";
     case kSpillBytesWritten:  return "spill_bytes_written";
     case kSpillBytesRead:     return "spill_bytes_read";
+    case kCheckpointWrites:   return "checkpoint_writes";
+    case kCheckpointBytesWritten: return "checkpoint_bytes_written";
+    case kCheckpointNodesWritten: return "checkpoint_nodes_written";
+    case kCheckpointNodesRestored: return "checkpoint_nodes_restored";
     case kCounterCount:       break;
   }
   return "unknown_counter";
@@ -46,6 +50,8 @@ std::string_view GaugeName(GaugeId id) {
     case kPooledBytes:        return "pooled_bytes";
     case kPliCacheBytesSaved: return "pli_cache_bytes_saved";
     case kDegradedToDisk:     return "degraded_to_disk";
+    case kCheckpointLastLevel: return "checkpoint_last_level";
+    case kResumedFromLevel:   return "resumed_from_level";
     case kGaugeCount:         break;
   }
   return "unknown_gauge";

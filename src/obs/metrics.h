@@ -35,6 +35,10 @@ enum CounterId : int {
   kSpillReads,          ///< partition records read back from spill segments
   kSpillBytesWritten,
   kSpillBytesRead,
+  kCheckpointWrites,    ///< snapshot files durably written
+  kCheckpointBytesWritten,
+  kCheckpointNodesWritten,  ///< survivor nodes serialized into snapshots
+  kCheckpointNodesRestored,  ///< survivor nodes rehydrated on resume
   kCounterCount,
 };
 
@@ -50,6 +54,8 @@ enum GaugeId : int {
   kPooledBytes,         ///< bytes retained by the buffer-pool freelists
   kPliCacheBytesSaved,
   kDegradedToDisk,      ///< 1 once a kAuto store spilled mid-run
+  kCheckpointLastLevel,  ///< deepest level captured by a durable snapshot
+  kResumedFromLevel,    ///< snapshot level this run restarted from (0: fresh)
   kGaugeCount,
 };
 

@@ -86,7 +86,8 @@ void WriteRunReport(const TaneConfig& config, const DiscoveryResult& result,
   const DiscoveryStats& stats = result.stats;
 
   json->BeginObject();
-  json->Key("schema_version").Value(1);
+  // v2 added the "checkpoint" block and the "resumable" result field.
+  json->Key("schema_version").Value(2);
   json->Key("tool").Value("tane");
 
   json->Key("config").BeginObject();
@@ -118,6 +119,14 @@ void WriteRunReport(const TaneConfig& config, const DiscoveryResult& result,
   json->Key("completed_levels").Value(result.completed_levels);
   json->Key("levels_processed").Value(stats.levels_processed);
   json->Key("degraded_to_disk").Value(stats.degraded_to_disk);
+  json->Key("resumable").Value(result.resumable);
+  json->EndObject();
+
+  json->Key("checkpoint").BeginObject();
+  json->Key("writes").Value(stats.checkpoint_writes);
+  json->Key("bytes").Value(stats.checkpoint_bytes);
+  json->Key("seconds").Value(stats.checkpoint_seconds);
+  json->Key("resumed_from_level").Value(stats.resumed_from_level);
   json->EndObject();
 
   const double accounted =

@@ -1,0 +1,182 @@
+#include "util/checkpoint.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "util/crc32.h"
+#include "util/failpoint.h"
+
+namespace tane {
+namespace {
+
+std::string ErrnoText(const char* op, const std::string& path) {
+  return std::string(op) + " '" + path + "': " + std::strerror(errno);
+}
+
+// Directory component of `path`, or "." when it has none. The directory is
+// fsynced after the rename so the new directory entry is durable.
+std::string DirName(const std::string& path) {
+  const std::string::size_type slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status FsyncDirectory(const std::string& dir) {
+  TANE_INJECT_FAILPOINT("checkpoint.dir_fsync");
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Status::IoError(ErrnoText("open directory", dir));
+  Status status = Status::OK();
+  if (::fsync(fd) != 0) {
+    status = Status::IoError(ErrnoText("fsync directory", dir));
+  }
+  ::close(fd);
+  return status;
+}
+
+// Closes the owned descriptor on scope exit; `release()` transfers
+// ownership for the explicit, error-checked close on the success path.
+struct FdCloser {
+  int fd = -1;
+  int release() {
+    const int out = fd;
+    fd = -1;
+    return out;
+  }
+  ~FdCloser() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+// Creates the temp file, writes `contents`, fsyncs, and closes it. Failure
+// (injected or real) may leave the temp file behind; the caller unlinks.
+Status WriteAndSyncTemp(const std::string& tmp_path,
+                        std::string_view contents) {
+  TANE_INJECT_FAILPOINT("checkpoint.write_temp");
+  FdCloser file;
+  file.fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (file.fd < 0) return Status::IoError(ErrnoText("open", tmp_path));
+  const char* data = contents.data();
+  size_t remaining = contents.size();
+  while (remaining > 0) {
+    const ssize_t written = ::write(file.fd, data, remaining);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(ErrnoText("write", tmp_path));
+    }
+    data += written;
+    remaining -= static_cast<size_t>(written);
+  }
+  TANE_INJECT_FAILPOINT("checkpoint.fsync");
+  if (::fsync(file.fd) != 0) {
+    return Status::IoError(ErrnoText("fsync", tmp_path));
+  }
+  if (::close(file.release()) != 0) {
+    return Status::IoError(ErrnoText("close", tmp_path));
+  }
+  return Status::OK();
+}
+
+Status RenameIntoPlace(const std::string& tmp_path, const std::string& path) {
+  TANE_INJECT_FAILPOINT("checkpoint.rename");
+  if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    return Status::IoError(ErrnoText("rename", tmp_path));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status AtomicWriteFile(const std::string& path, std::string_view contents) {
+  const std::string tmp_path =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  Status status = WriteAndSyncTemp(tmp_path, contents);
+  if (status.ok()) status = RenameIntoPlace(tmp_path, path);
+  if (!status.ok()) {
+    // Best-effort: on an aborted publish nothing must remain but the old
+    // file. (After a successful rename the temp name no longer exists, so
+    // a directory-fsync failure below does not unlink the published file.)
+    ::unlink(tmp_path.c_str());
+    return status;
+  }
+  return FsyncDirectory(DirName(path));
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  TANE_INJECT_FAILPOINT("checkpoint.read");
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound(ErrnoText("open", path));
+    return Status::IoError(ErrnoText("open", path));
+  }
+  std::string contents;
+  char buffer[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status status = Status::IoError(ErrnoText("read", path));
+      ::close(fd);
+      return status;
+    }
+    if (n == 0) break;
+    contents.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return contents;
+}
+
+namespace {
+
+// Little-endian POD append/read, matching the partition serializer's layout
+// helpers so snapshot frames and disk-store records stay byte-compatible
+// across the codebase.
+template <typename T>
+void AppendPod(std::string* out, T value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::string_view* in, T* value) {
+  if (in->size() < sizeof(T)) return false;
+  std::memcpy(value, in->data(), sizeof(T));
+  in->remove_prefix(sizeof(T));
+  return true;
+}
+
+}  // namespace
+
+void AppendFrame(std::string* out, uint32_t tag, std::string_view payload) {
+  AppendPod(out, tag);
+  AppendPod(out, static_cast<uint64_t>(payload.size()));
+  AppendPod(out, Crc32(payload));
+  out->append(payload.data(), payload.size());
+}
+
+Status ReadFrame(std::string_view* in, uint32_t* tag,
+                 std::string_view* payload) {
+  uint64_t size = 0;
+  uint32_t crc = 0;
+  if (!ReadPod(in, tag) || !ReadPod(in, &size) || !ReadPod(in, &crc)) {
+    return Status::FailedPrecondition("snapshot corrupt: truncated frame header");
+  }
+  if (in->size() < size) {
+    return Status::FailedPrecondition("snapshot corrupt: truncated frame payload");
+  }
+  *payload = in->substr(0, size);
+  in->remove_prefix(size);
+  if (Crc32(*payload) != crc) {
+    return Status::FailedPrecondition("snapshot corrupt: frame checksum mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace tane

@@ -1,5 +1,8 @@
 #include "util/failpoint.h"
 
+#include <csignal>
+#include <cstdlib>
+
 #include <atomic>
 #include <unordered_map>
 
@@ -78,8 +81,31 @@ Status Check(const char* name) {
       hit >= point.spec.skip + point.spec.fail_times) {
     return Status::OK();
   }
+  if (point.spec.kill) {
+    // Die the way a crash does: no unwinding, no flushes. raise(SIGKILL)
+    // cannot be caught, so nothing after this line runs.
+    (void)std::raise(SIGKILL);
+  }
   return Status(point.spec.code,
                 point.spec.message + " (failpoint " + name + ")");
+}
+
+void ArmKillFromEnv() {
+  if (!kCompiledIn) return;
+  const char* value = std::getenv("TANE_FAILPOINT_KILL");
+  if (value == nullptr || *value == '\0') return;
+  std::string site(value);
+  int64_t skip = 0;
+  const std::string::size_type colon = site.find_last_of(':');
+  if (colon != std::string::npos) {
+    skip = std::strtoll(site.c_str() + colon + 1, nullptr, 10);
+    site.resize(colon);
+  }
+  FailSpec spec;
+  spec.skip = skip;
+  spec.fail_times = 1;
+  spec.kill = true;
+  Arm(site, std::move(spec));
 }
 
 }  // namespace failpoint

@@ -37,6 +37,11 @@ struct FailSpec {
   /// Status returned by the failing executions.
   StatusCode code = StatusCode::kIoError;
   std::string message = "injected fault";
+  /// When set, the failing execution raises SIGKILL instead of returning a
+  /// Status — the process dies exactly as an OOM-kill or eviction would,
+  /// with no destructors or atexit handlers. Used by the checkpoint chaos
+  /// harness to prove crash-safety of on-disk state.
+  bool kill = false;
 };
 
 /// Arms (or re-arms) the named site. Thread-safe.
@@ -56,6 +61,13 @@ void ClearAll();
 /// (Status is itself [[nodiscard]]; the attribute here keeps the contract
 /// visible at the declaration.)
 [[nodiscard]] Status Check(const char* name);
+
+/// Arms a kill-mode failpoint from the TANE_FAILPOINT_KILL environment
+/// variable, format "<site>" or "<site>:<skip>" (skip = executions that pass
+/// before the SIGKILL). A no-op when the variable is unset or failpoints are
+/// compiled out. Called once from the CLI entry so a child process spawned
+/// by the chaos harness can be killed at a precise site without any IPC.
+void ArmKillFromEnv();
 
 }  // namespace failpoint
 }  // namespace tane

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "util/checkpoint.h"
+
 namespace tane {
 
 void JsonWriter::Prefix() {
@@ -105,17 +107,16 @@ JsonWriter& JsonWriter::Value(bool value) {
 }
 
 bool JsonWriter::WriteFile(const std::string& path) const {
-  std::FILE* file = std::fopen(path.c_str(), "w");
-  if (file == nullptr) {
-    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+  // Temp-file + fsync + rename: a crash mid-write leaves either the old
+  // artifact or the new one, never a truncated JSON file that a downstream
+  // parser chokes on.
+  const Status status = AtomicWriteFile(path, out_ + '\n');
+  if (!status.ok()) {
+    std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(),
+                 status.ToString().c_str());
     return false;
   }
-  const bool ok = std::fwrite(out_.data(), 1, out_.size(), file) ==
-                      out_.size() &&
-                  std::fputc('\n', file) != EOF;
-  std::fclose(file);
-  if (!ok) std::fprintf(stderr, "short write to %s\n", path.c_str());
-  return ok;
+  return true;
 }
 
 }  // namespace tane

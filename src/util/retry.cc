@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <thread>
 
+#include "util/random.h"
+
 namespace tane {
 
 bool IsTransientIoError(const Status& status) {
@@ -19,14 +21,34 @@ Status RetryWithBackoff(const RetryPolicy& policy,
           : [](std::chrono::milliseconds d) { std::this_thread::sleep_for(d); };
   const int attempts = std::max(1, policy.max_attempts);
 
+  const double jitter = std::clamp(policy.jitter, 0.0, 1.0);
+  Rng rng(policy.jitter_seed);
+
   std::chrono::milliseconds backoff = policy.initial_backoff;
   Status status = Status::OK();
   for (int attempt = 1; attempt <= attempts; ++attempt) {
     status = fn();
     if (status.ok() || !retriable(status) || attempt == attempts) break;
-    if (backoff.count() > 0) sleep(std::min(backoff, policy.max_backoff));
-    backoff = std::chrono::milliseconds(static_cast<int64_t>(
-        static_cast<double>(backoff.count()) * policy.multiplier));
+    // Cap before growing: once the cap is reached the stored backoff stops
+    // changing, so an unbounded attempt budget can never overflow int64
+    // (the old grow-then-cap order kept multiplying the uncapped value).
+    backoff = std::min(backoff, policy.max_backoff);
+    if (backoff.count() > 0) {
+      std::chrono::milliseconds delay = backoff;
+      if (jitter > 0) {
+        // backoff * (1 - jitter + U[0, jitter]); full jitter draws from
+        // (0, backoff], never a zero sleep.
+        const double scale = 1.0 - jitter + jitter * rng.NextDouble();
+        const auto jittered = static_cast<int64_t>(
+            static_cast<double>(backoff.count()) * scale);
+        delay = std::chrono::milliseconds(std::max<int64_t>(1, jittered));
+      }
+      sleep(delay);
+    }
+    if (backoff < policy.max_backoff) {
+      backoff = std::chrono::milliseconds(static_cast<int64_t>(
+          static_cast<double>(backoff.count()) * policy.multiplier));
+    }
   }
   return status;
 }

@@ -18,6 +18,15 @@ struct RetryPolicy {
   std::chrono::milliseconds max_backoff{16};
   double multiplier = 2.0;
 
+  /// Fraction of each computed backoff replaced by a uniform random draw,
+  /// in [0, 1]: the actual sleep is backoff * (1 - jitter + U[0, jitter]).
+  /// 0 (the default) keeps sleeps exact and deterministic; positive values
+  /// de-synchronize retry storms when many workers hit the same transient
+  /// fault together. Draws come from the repo's deterministic Rng, seeded
+  /// with `jitter_seed`, so a test can predict the exact sleep sequence.
+  double jitter = 0.0;
+  uint64_t jitter_seed = 0;
+
   /// Which errors are worth retrying. Defaults to transient I/O errors.
   std::function<bool(const Status&)> retriable;
 

@@ -1,0 +1,228 @@
+// Kill-and-resume chaos harness for the checkpoint subsystem.
+//
+// Each case spawns the real `tane` binary (TANE_CLI_BINARY, injected by the
+// build) against a generated dataset with checkpointing on, arms a kill-mode
+// failpoint through the TANE_FAILPOINT_KILL environment variable, and lets
+// the child die by SIGKILL in the middle of checkpoint I/O — no destructors,
+// no atexit, exactly like an OOM-kill. The parent then reruns with --resume
+// and asserts the final output is byte-identical to an uninterrupted run.
+// Every kill site is exercised at every occurrence count until the run
+// outlives the failpoint, so a torn temp file, a missing fsync, an
+// interrupted rename and a crashed unlink-of-older-levels are all proven
+// recoverable.
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/run_snapshot.h"
+#include "datasets/generators.h"
+#include "gtest/gtest.h"
+#include "relation/csv.h"
+#include "util/failpoint.h"
+
+#ifndef TANE_CLI_BINARY
+#define TANE_CLI_BINARY ""
+#endif
+
+namespace tane {
+namespace {
+
+struct ChildResult {
+  bool signaled = false;
+  int signal = 0;
+  int exit_code = -1;
+};
+
+// Runs the CLI binary with `args`, stdout to `stdout_path` (or /dev/null),
+// optionally with TANE_FAILPOINT_KILL set. Returns how the child ended.
+ChildResult RunCli(const std::vector<std::string>& args,
+                   const std::string& stdout_path,
+                   const std::string& kill_env = "") {
+  const pid_t pid = fork();
+  if (pid == 0) {
+    const char* out_path =
+        stdout_path.empty() ? "/dev/null" : stdout_path.c_str();
+    const int out_fd = open(out_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    const int err_fd = open("/dev/null", O_WRONLY);
+    if (out_fd < 0 || err_fd < 0) _exit(127);
+    dup2(out_fd, STDOUT_FILENO);
+    dup2(err_fd, STDERR_FILENO);
+    if (!kill_env.empty()) {
+      setenv("TANE_FAILPOINT_KILL", kill_env.c_str(), 1);
+    } else {
+      unsetenv("TANE_FAILPOINT_KILL");
+    }
+    std::vector<char*> argv;
+    std::string binary = TANE_CLI_BINARY;
+    argv.push_back(binary.data());
+    std::vector<std::string> owned = args;
+    for (std::string& arg : owned) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+    execv(binary.c_str(), argv.data());
+    _exit(126);
+  }
+  ChildResult result;
+  int status = 0;
+  EXPECT_EQ(waitpid(pid, &status, 0), pid);
+  if (WIFSIGNALED(status)) {
+    result.signaled = true;
+    result.signal = WTERMSIG(status);
+  } else if (WIFEXITED(status)) {
+    result.exit_code = WEXITSTATUS(status);
+  }
+  return result;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+class CheckpointChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!failpoint::kCompiledIn) {
+      GTEST_SKIP() << "failpoints compiled out";
+    }
+    ASSERT_NE(std::string(TANE_CLI_BINARY), "");
+    // Unique per test: ctest runs the cases as parallel processes, and a
+    // shared root would let one SetUp wipe another's working files.
+    root_ = ::testing::TempDir() + "/tane_chaos_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(root_);
+    ASSERT_TRUE(std::filesystem::create_directories(root_));
+    csv_ = root_ + "/data.csv";
+    StatusOr<Relation> relation =
+        GenerateUniform(/*rows=*/300, /*cols=*/7, /*cardinality=*/3,
+                        /*seed=*/23);
+    ASSERT_TRUE(relation.ok()) << relation.status().ToString();
+    std::ofstream out(csv_);
+    WriteCsv(*relation, out);
+    ASSERT_TRUE(out.good());
+  }
+
+  void TearDown() override {
+    if (!root_.empty()) std::filesystem::remove_all(root_);
+  }
+
+  std::vector<std::string> DiscoverArgs(const std::string& checkpoint_dir,
+                                        bool resume, int threads,
+                                        double epsilon) const {
+    std::vector<std::string> args = {"discover", csv_, "--format=json",
+                                     "--threads=" + std::to_string(threads)};
+    if (epsilon > 0) args.push_back("--epsilon=" + std::to_string(epsilon));
+    if (!checkpoint_dir.empty()) {
+      args.push_back("--checkpoint-dir=" + checkpoint_dir);
+      args.push_back("--checkpoint-every-level");
+    }
+    if (resume) args.push_back("--resume");
+    return args;
+  }
+
+  // The uninterrupted reference output for this (threads, epsilon) point.
+  std::string Uninterrupted(int threads, double epsilon) {
+    const std::string path = root_ + "/full.json";
+    const ChildResult full =
+        RunCli(DiscoverArgs("", false, threads, epsilon), path);
+    EXPECT_FALSE(full.signaled);
+    EXPECT_EQ(full.exit_code, 0);
+    return ReadAll(path);
+  }
+
+  std::string root_;
+  std::string csv_;
+};
+
+TEST_F(CheckpointChaosTest, SigkillAtEveryWriteSiteThenResumeMatches) {
+  const std::string expected = Uninterrupted(/*threads=*/1, /*epsilon=*/0);
+  const char* kSites[] = {"checkpoint.write_temp", "checkpoint.fsync",
+                          "checkpoint.rename", "checkpoint.dir_fsync",
+                          "checkpoint.unlink_old"};
+  int kills = 0;
+  for (const char* site : kSites) {
+    // Kill at the 1st, 2nd, ... occurrence of the site until the run
+    // finishes without being killed (the site stopped firing).
+    for (int skip = 0; skip < 64; ++skip) {
+      const std::string dir = root_ + "/ckpt_" + site + std::to_string(skip);
+      const ChildResult crashed =
+          RunCli(DiscoverArgs(dir, false, 1, 0), "",
+                 std::string(site) + ":" + std::to_string(skip));
+      if (!crashed.signaled) {
+        // Outlived the failpoint: a complete run exits 0 and leaves no
+        // snapshots to resume from.
+        EXPECT_EQ(crashed.exit_code, 0) << site << " skip=" << skip;
+        EXPECT_GT(skip, 0) << site << " never fired";
+        break;
+      }
+      ASSERT_EQ(crashed.signal, SIGKILL);
+      ++kills;
+
+      const std::string resumed_path = dir + "_resumed.json";
+      const ChildResult resumed =
+          RunCli(DiscoverArgs(dir, true, 1, 0), resumed_path);
+      EXPECT_FALSE(resumed.signaled);
+      ASSERT_EQ(resumed.exit_code, 0) << site << " skip=" << skip;
+      EXPECT_EQ(ReadAll(resumed_path), expected)
+          << site << " skip=" << skip
+          << ": resume after SIGKILL diverged from the uninterrupted run";
+    }
+  }
+  EXPECT_GT(kills, 0) << "no kill site ever fired; harness is vacuous";
+}
+
+TEST_F(CheckpointChaosTest, ResumeAfterKillMatchesAcrossThreadsAndEpsilon) {
+  for (const double epsilon : {0.0, 0.1}) {
+    const std::string expected = Uninterrupted(/*threads=*/1, epsilon);
+    // The reference is thread-invariant to begin with.
+    EXPECT_EQ(Uninterrupted(/*threads=*/8, epsilon), expected);
+    for (const int threads : {1, 8}) {
+      const std::string dir =
+          root_ + "/ckpt_t" + std::to_string(threads) + "_e" +
+          std::to_string(static_cast<int>(epsilon * 10));
+      const ChildResult crashed =
+          RunCli(DiscoverArgs(dir, false, threads, epsilon), "",
+                 "checkpoint.rename:1");
+      ASSERT_TRUE(crashed.signaled);
+      ASSERT_EQ(crashed.signal, SIGKILL);
+      // Resume at a *different* thread count than the crashed run.
+      const int resume_threads = threads == 1 ? 8 : 1;
+      const std::string resumed_path = dir + "_resumed.json";
+      const ChildResult resumed =
+          RunCli(DiscoverArgs(dir, true, resume_threads, epsilon),
+                 resumed_path);
+      ASSERT_EQ(resumed.exit_code, 0);
+      EXPECT_EQ(ReadAll(resumed_path), expected)
+          << "threads=" << threads << " epsilon=" << epsilon;
+    }
+  }
+}
+
+TEST_F(CheckpointChaosTest, TruncatedSnapshotIsRejectedWithTheResumableCode) {
+  const std::string dir = root_ + "/ckpt_truncated";
+  std::vector<std::string> suspend = DiscoverArgs(dir, false, 1, 0);
+  suspend.push_back("--stop-after-level=2");
+  const ChildResult partial = RunCli(suspend, "");
+  ASSERT_EQ(partial.exit_code, 10);
+
+  StatusOr<RunSnapshot> snapshot = LoadLatestSnapshot(dir);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  const std::string path = SnapshotPath(dir, snapshot->completed_level);
+  std::string bytes = ReadAll(path);
+  bytes.resize(bytes.size() - bytes.size() / 3);
+  std::ofstream(path, std::ios::binary | std::ios::trunc) << bytes;
+
+  const ChildResult rejected = RunCli(DiscoverArgs(dir, true, 1, 0), "");
+  EXPECT_FALSE(rejected.signaled);
+  EXPECT_EQ(rejected.exit_code, 10);
+}
+
+}  // namespace
+}  // namespace tane

@@ -482,8 +482,11 @@ TEST(RunReportTest, IsWellFormedAndMirrorsStats) {
   const auto contains = [&](const std::string& needle) {
     EXPECT_NE(text.find(needle), std::string::npos) << needle;
   };
-  contains("\"schema_version\":1");
+  contains("\"schema_version\":2");
   contains("\"fingerprint\":\"crc32:deadbeef\"");
+  contains("\"checkpoint\":{");
+  contains("\"resumable\":false");
+  contains("\"resumed_from_level\":0");
   contains("\"num_fds\":" + std::to_string(result.num_fds()));
   contains("\"validity_tests\":" +
            std::to_string(result.stats.validity_tests));

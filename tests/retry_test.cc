@@ -57,6 +57,79 @@ TEST(RetryTest, BackoffGrowsExponentiallyAndIsCapped) {
   EXPECT_EQ(sleeps[4], std::chrono::milliseconds(4));
 }
 
+TEST(RetryTest, ManyAttemptsNeverOverflowTheBackoff) {
+  // Regression: the backoff used to grow past the cap internally (sleep
+  // clamped, stored value not), so enough attempts pushed the doubling
+  // through int64 range — undefined behaviour on the double→int64 cast and,
+  // in practice, negative sleeps. The stored value now saturates at the cap.
+  std::vector<std::chrono::milliseconds> sleeps;
+  RetryPolicy policy = CountingPolicy(&sleeps);
+  policy.max_attempts = 80;  // 2^80 ms would overflow a raw doubling
+  policy.initial_backoff = std::chrono::milliseconds(1);
+  policy.max_backoff = std::chrono::milliseconds(8);
+  const Status status =
+      RetryWithBackoff(policy, [] { return Status::IoError("always"); });
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  ASSERT_EQ(sleeps.size(), 79u);
+  for (const auto& sleep : sleeps) {
+    EXPECT_GT(sleep.count(), 0);
+    EXPECT_LE(sleep.count(), 8);
+  }
+  EXPECT_EQ(sleeps.back(), std::chrono::milliseconds(8));
+}
+
+TEST(RetryTest, JitterStaysWithinTheConfiguredBand) {
+  std::vector<std::chrono::milliseconds> sleeps;
+  RetryPolicy policy = CountingPolicy(&sleeps);
+  policy.max_attempts = 30;
+  policy.initial_backoff = std::chrono::milliseconds(100);
+  policy.max_backoff = std::chrono::milliseconds(100);
+  policy.jitter = 0.5;  // sleeps uniform in (50, 100]
+  policy.jitter_seed = 7;
+  const Status status =
+      RetryWithBackoff(policy, [] { return Status::IoError("always"); });
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  ASSERT_EQ(sleeps.size(), 29u);
+  bool saw_variation = false;
+  for (const auto& sleep : sleeps) {
+    EXPECT_GE(sleep.count(), 50);
+    EXPECT_LE(sleep.count(), 100);
+    if (sleep != sleeps.front()) saw_variation = true;
+  }
+  EXPECT_TRUE(saw_variation);  // jitter actually perturbs the sequence
+}
+
+TEST(RetryTest, JitterIsDeterministicPerSeed) {
+  auto run = [](uint64_t seed) {
+    std::vector<std::chrono::milliseconds> sleeps;
+    RetryPolicy policy = CountingPolicy(&sleeps);
+    policy.max_attempts = 10;
+    policy.initial_backoff = std::chrono::milliseconds(64);
+    policy.max_backoff = std::chrono::milliseconds(1024);
+    policy.jitter = 1.0;  // full jitter: (0, backoff]
+    policy.jitter_seed = seed;
+    (void)RetryWithBackoff(policy, [] { return Status::IoError("always"); });
+    return sleeps;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+  for (const auto& sleep : run(42)) EXPECT_GT(sleep.count(), 0);
+}
+
+TEST(RetryTest, ZeroJitterKeepsExactBackoffSequence) {
+  // jitter's default must not disturb callers that rely on exact sleeps.
+  std::vector<std::chrono::milliseconds> sleeps;
+  RetryPolicy policy = CountingPolicy(&sleeps);
+  policy.max_attempts = 4;
+  policy.initial_backoff = std::chrono::milliseconds(3);
+  policy.max_backoff = std::chrono::milliseconds(100);
+  (void)RetryWithBackoff(policy, [] { return Status::IoError("always"); });
+  ASSERT_EQ(sleeps.size(), 3u);
+  EXPECT_EQ(sleeps[0], std::chrono::milliseconds(3));
+  EXPECT_EQ(sleeps[1], std::chrono::milliseconds(6));
+  EXPECT_EQ(sleeps[2], std::chrono::milliseconds(12));
+}
+
 TEST(RetryTest, ExhaustsAttemptsAndReturnsLastError) {
   std::vector<std::chrono::milliseconds> sleeps;
   int calls = 0;

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Kill-and-resume chaos smoke for the checkpoint subsystem.
+#
+# Runs the given `tane` binary against a generated dataset with
+# checkpointing on, SIGKILLs it at each checkpoint-I/O failpoint (first and
+# second occurrence) via TANE_FAILPOINT_KILL, then reruns with --resume and
+# asserts the final --format=json output is byte-identical to an
+# uninterrupted run. This is the ctest chaos harness's scenario, but driven
+# against a sanitizer build's real binary from CI.
+#
+# Usage: tools/chaos_checkpoint.sh <tane-binary> [workdir]
+set -euo pipefail
+
+bin="$1"
+work="${2:-$(mktemp -d /tmp/tane_chaos.XXXXXX)}"
+mkdir -p "${work}"
+
+"${bin}" generate lymphography --rows=300 > "${work}/data.csv"
+"${bin}" discover "${work}/data.csv" --format=json > "${work}/full.json"
+
+sites=(checkpoint.write_temp checkpoint.fsync checkpoint.rename
+       checkpoint.dir_fsync checkpoint.unlink_old)
+kills=0
+runs=0
+for site in "${sites[@]}"; do
+  for skip in 0 1; do
+    ckpt="${work}/ckpt_${site}_${skip}"
+    rm -rf "${ckpt}"
+    runs=$((runs + 1))
+    set +e
+    TANE_FAILPOINT_KILL="${site}:${skip}" \
+      "${bin}" discover "${work}/data.csv" --format=json \
+      --checkpoint-dir="${ckpt}" --checkpoint-every-level \
+      > /dev/null 2>&1
+    status=$?
+    set -e
+    if [ "${status}" -eq 137 ]; then
+      # Killed by SIGKILL mid-checkpoint; the resume (which may find no
+      # snapshot at all if the very first publish died — then it starts
+      # fresh) must still reproduce the uninterrupted output exactly.
+      kills=$((kills + 1))
+      "${bin}" discover "${work}/data.csv" --format=json \
+        --checkpoint-dir="${ckpt}" --resume \
+        > "${work}/resumed.json" 2> /dev/null
+      if ! cmp -s "${work}/full.json" "${work}/resumed.json"; then
+        echo "chaos_checkpoint: FAIL: resume after SIGKILL at" \
+             "${site}:${skip} diverged from the uninterrupted run" >&2
+        exit 1
+      fi
+    elif [ "${status}" -ne 0 ]; then
+      echo "chaos_checkpoint: FAIL: unexpected exit ${status} at" \
+           "${site}:${skip}" >&2
+      exit 1
+    fi
+    rm -rf "${ckpt}"
+  done
+done
+
+if [ "${kills}" -eq 0 ]; then
+  echo "chaos_checkpoint: FAIL: no failpoint ever fired (${runs} runs);" \
+       "is TANE_ENABLE_FAILPOINTS off in this build?" >&2
+  exit 1
+fi
+
+# A truncated snapshot must be detected by its CRC and rejected with the
+# resumable exit code (10), never parsed into a bogus resume.
+ckpt="${work}/ckpt_truncated"
+rm -rf "${ckpt}"
+"${bin}" discover "${work}/data.csv" --checkpoint-dir="${ckpt}" \
+  --stop-after-level=2 > /dev/null 2>&1 || [ $? -eq 10 ]
+snapshot=$(ls "${ckpt}"/level-*.ckpt)
+size=$(wc -c < "${snapshot}")
+truncate -s $((size / 2)) "${snapshot}"
+set +e
+"${bin}" discover "${work}/data.csv" --format=json \
+  --checkpoint-dir="${ckpt}" --resume > /dev/null 2>&1
+status=$?
+set -e
+if [ "${status}" -ne 10 ]; then
+  echo "chaos_checkpoint: FAIL: truncated snapshot exited ${status}," \
+       "want 10" >&2
+  exit 1
+fi
+
+echo "chaos_checkpoint OK: ${kills} SIGKILLs across ${runs} runs," \
+     "every resume byte-identical"

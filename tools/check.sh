@@ -74,3 +74,16 @@ else
   [ -s "${obs_dir}/trace.json" ] && [ -s "${obs_dir}/report.json" ]
 fi
 echo "obs smoke OK: ${obs_dir}"
+
+# Checkpoint chaos smoke: SIGKILL a discovery run at every checkpoint-I/O
+# failpoint, resume, and require byte-identical output — under the
+# sanitizer build when it was part of this invocation, so torn-write
+# recovery runs with ASan/UBSan watching.
+chaos_bin="build/tools/tane"
+for preset in "${presets[@]}"; do
+  if [ "${preset}" = "asan-ubsan" ]; then
+    chaos_bin="build-asan-ubsan/tools/tane"
+  fi
+done
+echo "==> chaos smoke: kill-and-resume via ${chaos_bin}"
+tools/chaos_checkpoint.sh "${chaos_bin}" "$(mktemp -d)"

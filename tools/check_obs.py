@@ -43,6 +43,9 @@ STATS_TOKENS = {
     "pli_cache_misses": ("metrics", "counters", "pli_cache_misses"),
     "pli_cache_bytes_saved": ("metrics", "gauges", "pli_cache_bytes_saved"),
     "peak_partition_bytes": ("metrics", "gauges", "peak_resident_bytes"),
+    "checkpoint_writes": ("checkpoint", "writes"),
+    "checkpoint_bytes": ("checkpoint", "bytes"),
+    "resumed_from_level": ("checkpoint", "resumed_from_level"),
     "threads": ("config", "num_threads"),
 }
 
@@ -130,12 +133,21 @@ def check_trace(path):
 
 def check_report(path, stats_path):
     doc = load(path)
-    if doc.get("schema_version") != 1:
-        fail(f"{path}: schema_version != 1")
+    if doc.get("schema_version") != 2:
+        fail(f"{path}: schema_version != 2")
     for key in ("config", "dataset", "result", "timing", "metrics",
-                "histograms", "levels"):
+                "histograms", "levels", "checkpoint"):
         if key not in doc:
             fail(f"{path}: missing top-level '{key}'")
+    checkpoint = doc["checkpoint"]
+    for key in ("writes", "bytes", "seconds", "resumed_from_level"):
+        if not isinstance(checkpoint.get(key), (int, float)):
+            fail(f"checkpoint.{key} missing or non-numeric")
+    if (checkpoint["writes"] == 0) != (checkpoint["bytes"] == 0):
+        fail("checkpoint writes/bytes disagree about whether any "
+             "snapshot was written")
+    if not isinstance(dig(doc, ("result", "resumable")), bool):
+        fail("result.resumable missing or non-boolean")
     if not str(doc["dataset"].get("fingerprint", "")).startswith("crc32:"):
         fail("dataset.fingerprint is not a crc32 fingerprint")
 

@@ -10,6 +10,7 @@
 #include "analysis/keys.h"
 #include "analysis/normalization.h"
 #include "analysis/violations.h"
+#include "core/run_snapshot.h"
 #include "core/tane.h"
 #include "datasets/paper_datasets.h"
 #include "obs/report.h"
@@ -18,7 +19,7 @@
 #include "relation/stats.h"
 #include "relation/transforms.h"
 #include "rules/association.h"
-#include "util/crc32.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/strings.h"
 #include "util/timer.h"
@@ -59,6 +60,22 @@ commands:
       --progress[=SECONDS]
                         log a progress heartbeat every SECONDS (default 1);
                         implies --log-level=info unless set explicitly
+      --checkpoint-dir=DIR
+                        write crash-safe snapshots of the search into DIR;
+                        a run that stops early (deadline, cancel, memory
+                        budget) leaves its last level boundary on disk and
+                        exits 10 ("interrupted but resumable")
+      --checkpoint-every-level
+                        also snapshot after every completed level, not just
+                        on early exit (requires --checkpoint-dir)
+      --resume          continue from the latest snapshot in DIR; refuses a
+                        snapshot taken with a different dataset or a
+                        different output-affecting configuration; with no
+                        snapshot present the run simply starts fresh
+      --stop-after-level=N
+                        suspend the run at the level-N boundary (checkpoint
+                        and exit 10); a deliberate pause, used for cooperative
+                        time-slicing and by the resume tests
   keys <file.csv>       mine all minimal (approximate) keys
       --epsilon=E       key error threshold (default 0)
   check <file.csv> --fd=LHS->RHS
@@ -84,8 +101,11 @@ global options: --log-level=info|warning|error|fatal (default warning; the
 
 exit codes: 0 ok (including partial results), 2 invalid argument,
   3 not found, 4 out of range, 5 I/O error, 6 failed precondition,
-  7 resource exhausted, 8 unimplemented, 9 internal error
+  7 resource exhausted, 8 unimplemented, 9 internal error,
+  10 interrupted but resumable (a checkpoint on disk can continue the run)
 )";
+
+constexpr int kExitResumable = 10;
 
 struct ParsedArgs {
   std::string command;
@@ -179,27 +199,8 @@ StatusOr<Relation> LoadCsv(const ParsedArgs& args) {
   return ReadCsvFile(args.positional[0], options);
 }
 
-// Content fingerprint of the encoded relation: schema names plus the
-// dictionary codes of every column. Two files that encode to the same
-// relation (whatever their formatting) fingerprint identically, which is
-// what makes run reports comparable across machines.
-std::string DatasetFingerprint(const Relation& relation) {
-  uint32_t crc = 0;
-  for (int c = 0; c < relation.num_columns(); ++c) {
-    crc = Crc32(relation.schema().name(c), crc);
-    const std::vector<int32_t>& codes = relation.column(c).codes;
-    crc = Crc32(
-        std::string_view(reinterpret_cast<const char*>(codes.data()),
-                         codes.size() * sizeof(int32_t)),
-        crc);
-  }
-  char text[16];
-  std::snprintf(text, sizeof(text), "crc32:%08x", crc);
-  return text;
-}
-
 Status RunDiscover(const ParsedArgs& args, std::ostream& out,
-                   std::ostream& err) {
+                   std::ostream& err, bool* resumable) {
   const WallTimer total_timer;
   const WallTimer read_timer;
   TANE_ASSIGN_OR_RETURN(Relation relation, LoadCsv(args));
@@ -230,6 +231,19 @@ Status RunDiscover(const ParsedArgs& args, std::ostream& out,
   if (budget_mb < 0) {
     return Status::InvalidArgument("--memory-budget-mb must be >= 0");
   }
+  if (const std::string* dir = args.Flag("checkpoint-dir")) {
+    if (dir->empty()) {
+      return Status::InvalidArgument("--checkpoint-dir needs a path");
+    }
+    config.checkpoint_directory = *dir;
+  }
+  if (args.Flag("checkpoint-every-level") != nullptr) {
+    config.checkpoint_every_level = true;
+  }
+  if (args.Flag("resume") != nullptr) config.resume = true;
+  TANE_ASSIGN_OR_RETURN(int64_t stop_after_level,
+                        FlagAsInt(args, "stop-after-level", 0));
+  config.stop_after_level = static_cast<int>(stop_after_level);
 
   if (args.Flag("disk") != nullptr) config.storage = StorageMode::kDisk;
   if (const std::string* storage = args.Flag("storage")) {
@@ -279,6 +293,12 @@ Status RunDiscover(const ParsedArgs& args, std::ostream& out,
     err << "warning: partial result ("
         << CompletionToString(result.completion) << ") after "
         << result.completed_levels << " completed levels\n";
+  }
+  if (result.resumable) {
+    *resumable = true;
+    err << "note: checkpoint on disk covers " << result.stats.checkpoint_writes
+        << " write(s); rerun with --checkpoint-dir="
+        << config.checkpoint_directory << " --resume to continue\n";
   }
   const Schema& schema = relation.schema();
 
@@ -342,6 +362,9 @@ Status RunDiscover(const ParsedArgs& args, std::ostream& out,
         << " peak_partition_bytes=" << stats.peak_partition_bytes
         << " spill_bytes=" << stats.spill_bytes_written
         << " degraded_to_disk=" << (stats.degraded_to_disk ? 1 : 0)
+        << " checkpoint_writes=" << stats.checkpoint_writes
+        << " checkpoint_bytes=" << stats.checkpoint_bytes
+        << " resumed_from_level=" << stats.resumed_from_level
         << " threads=" << stats.num_threads
         << " seconds=" << stats.wall_seconds << "\n";
     // The phase breakdown sums exactly: "other" is defined as the remainder
@@ -632,6 +655,9 @@ int ExitCodeForStatus(const Status& status) {
 
 int Run(const std::vector<std::string>& args, std::ostream& out,
         std::ostream& err) {
+  // Chaos-harness hook: lets a spawned child die by SIGKILL at a precise
+  // checkpoint site (TANE_FAILPOINT_KILL=<site>[:skip]). No-op otherwise.
+  failpoint::ArmKillFromEnv();
   StatusOr<ParsedArgs> parsed = ParseArgs(args);
   if (!parsed.ok()) {
     err << "error: " << parsed.status().ToString() << "\n" << kUsage;
@@ -660,14 +686,16 @@ int Run(const std::vector<std::string>& args, std::ostream& out,
   }
 
   Status status = Status::OK();
+  bool resumable = false;
   const std::string& command = parsed->command;
   if (command == "discover") {
     status = CheckKnownFlags(
         *parsed, {"epsilon", "max-lhs", "deadline-ms", "memory-budget-mb",
                   "threads", "pli-cache", "disk", "storage", "format",
                   "stats", "trace", "report", "progress", "log-level",
-                  "no-header", "delimiter"});
-    if (status.ok()) status = RunDiscover(*parsed, out, err);
+                  "no-header", "delimiter", "checkpoint-dir",
+                  "checkpoint-every-level", "resume", "stop-after-level"});
+    if (status.ok()) status = RunDiscover(*parsed, out, err, &resumable);
   } else if (command == "keys") {
     status = CheckKnownFlags(
         *parsed, {"epsilon", "log-level", "no-header", "delimiter"});
@@ -704,8 +732,27 @@ int Run(const std::vector<std::string>& args, std::ostream& out,
 
   if (!status.ok()) {
     err << "error: " << status.ToString() << "\n";
+    if (command == "discover") {
+      // A corrupt snapshot means "clear the directory and start over", not
+      // "page someone" — the lost work is recomputable — so it shares the
+      // retryable exit code rather than the failed-precondition one that a
+      // genuine dataset/config mismatch gets.
+      if (IsSnapshotCorruptStatus(status)) return kExitResumable;
+      // A memory-budget breach surfaces as an error (there is no partial
+      // result to print), but the wind-down checkpoint may still have
+      // landed; if a loadable snapshot exists, the run is resumable.
+      if (status.code() == StatusCode::kResourceExhausted) {
+        const std::string* dir = parsed->Flag("checkpoint-dir");
+        if (dir != nullptr && !dir->empty() &&
+            LoadLatestSnapshot(*dir).ok()) {
+          err << "note: checkpoint on disk; rerun with --resume to continue\n";
+          return kExitResumable;
+        }
+      }
+    }
     return ExitCodeForStatus(status);
   }
+  if (resumable) return kExitResumable;
   return 0;
 }
 

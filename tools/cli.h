@@ -30,7 +30,13 @@ namespace cli {
 /// (including deadline-expired partial results, which print a warning to
 /// `err`), 2 invalid argument, 3 not found, 4 out of range, 5 I/O error,
 /// 6 failed precondition, 7 resource exhausted, 8 unimplemented,
-/// 9 internal error. Diagnostics always go to `err`, never `out`.
+/// 9 internal error, 10 interrupted but resumable. Exit 10 is the
+/// retry-me code: it covers an early-stopped discover run whose checkpoint
+/// landed on disk (rerun with --resume to continue) and a corrupt snapshot
+/// under --resume (clear the directory and rerun from scratch); schedulers
+/// should retry it, in contrast to 6 which marks a real mismatch between
+/// the snapshot and the dataset/configuration. Diagnostics always go to
+/// `err`, never `out`.
 int Run(const std::vector<std::string>& args, std::ostream& out,
         std::ostream& err);
 
