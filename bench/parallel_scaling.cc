@@ -7,6 +7,7 @@
 // Usage: parallel_scaling [--scale=quick|full] [--seed=N]
 
 #include <cstdio>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -132,6 +133,11 @@ int Main(int argc, char** argv) {
     json.Key("benchmark").Value("parallel_scaling");
     json.Key("rows").Value(rows);
     json.Key("columns").Value(relation->num_columns());
+    // Hardware context for the scaling gate: speedup floors only bind when
+    // the machine actually has the cores a thread count asks for (0 means
+    // the runtime could not tell).
+    json.Key("hardware_concurrency")
+        .Value(static_cast<int64_t>(std::thread::hardware_concurrency()));
     json.Key("sweeps").BeginArray();
   }
   RunSweep(*relation, 0.0, json_out);

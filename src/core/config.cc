@@ -15,6 +15,11 @@ Status TaneConfig::Validate() const {
         "num_threads must be in [1, " + std::to_string(kMaxNumThreads) +
         "], got " + std::to_string(num_threads));
   }
+  if (parallel_min_window_rows < -1) {
+    return Status::InvalidArgument(
+        "parallel_min_window_rows must be >= -1, got " +
+        std::to_string(parallel_min_window_rows));
+  }
   if (run_controller != nullptr && run_controller->memory_budget_bytes() < 0) {
     return Status::InvalidArgument("memory budget must be >= 0 bytes");
   }

@@ -100,12 +100,14 @@ struct TaneConfig {
   /// factor O(|R|)". Exposed for the ablation bench.
   bool use_partition_products = true;
 
-  /// Worker threads for per-level node processing (validity tests and
-  /// partition products). 1 (the default) runs fully serial with no thread
-  /// ever spawned; N > 1 shards each level's independent nodes across N
-  /// workers, each with its own probe-table scratch. Output is identical
-  /// for every thread count: per-worker emissions are merged in node order
-  /// before pruning, so every rhs⁺ update and key decision is
+  /// Worker threads for per-level node processing (partition products,
+  /// error scans, and validity tests). 1 (the default) runs fully serial
+  /// with no thread ever spawned; N > 1 runs each level as a task window:
+  /// every candidate node is one task (product + error + validity),
+  /// scheduled over work-stealing deques, with results committed through an
+  /// index-ordered frontier. Output is identical for every thread count:
+  /// the commit frontier stores partitions and merges emissions strictly in
+  /// node order, so every handle, rhs⁺ update, and key decision is
   /// deterministic. Must be in [1, kMaxNumThreads].
   int num_threads = 1;
 
@@ -113,11 +115,25 @@ struct TaneConfig {
   /// a typo like --threads=1000000 from exhausting the process.
   static constexpr int kMaxNumThreads = 256;
 
+  /// Small-level serial fallback for num_threads > 1. A level whose
+  /// estimated work (candidate count × mean parent partition size) is below
+  /// this many row-operations runs on the caller thread with no task
+  /// window, because fan-out/join overhead would exceed the work itself —
+  /// the pathology that made --threads=2 slower than --threads=1 on
+  /// shallow levels. -1 (the default) picks a calibrated threshold (and
+  /// always falls back when the machine has a single hardware thread);
+  /// 0 forces the parallel window for every level (used by tests to
+  /// exercise the scheduler on small datasets). Not part of the checkpoint
+  /// config fingerprint: like num_threads itself, it changes scheduling,
+  /// never results.
+  int64_t parallel_min_window_rows = -1;
+
   /// Intern structurally identical partitions behind shared storage (the
   /// PLI cache). Duplicate PLIs — common above the key level, where every
   /// product is the empty stripped partition — cost a refcount instead of a
   /// copy. Deduplication confirms candidates with a full structural compare
-  /// (never hash-only) and runs on the coordinator thread in node order, so
+  /// (never hash-only); insertions are issued by the commit frontier in
+  /// node order (workers pre-stage the expensive hash/compare work), so
   /// results stay byte-identical across thread counts. Counters appear in
   /// DiscoveryStats (pli_cache_*).
   bool use_pli_cache = true;

@@ -26,17 +26,19 @@ namespace fs = std::filesystem;
 // MemoryPartitionStore
 
 StatusOr<int64_t> MemoryPartitionStore::Put(StrippedPartition partition) {
-  WriterMutexLock lock(&mu_);
-  const int64_t handle = next_handle_++;
-  resident_bytes_ += partition.EstimatedBytes();
-  partitions_.emplace(handle, std::move(partition));
+  const int64_t handle = next_handle_.fetch_add(1, std::memory_order_relaxed);
+  Stripe& stripe = stripes_[handle & (kStripes - 1)];
+  WriterMutexLock lock(&stripe.mu);
+  stripe.resident_bytes += partition.EstimatedBytes();
+  stripe.partitions.emplace(handle, std::move(partition));
   return handle;
 }
 
 StatusOr<StrippedPartition> MemoryPartitionStore::Get(int64_t handle) {
-  ReaderMutexLock lock(&mu_);
-  auto it = partitions_.find(handle);
-  if (it == partitions_.end()) {
+  const Stripe& stripe = stripes_[handle & (kStripes - 1)];
+  ReaderMutexLock lock(&stripe.mu);
+  auto it = stripe.partitions.find(handle);
+  if (it == stripe.partitions.end()) {
     return Status::NotFound("no partition with handle " +
                             std::to_string(handle));
   }
@@ -44,25 +46,37 @@ StatusOr<StrippedPartition> MemoryPartitionStore::Get(int64_t handle) {
 }
 
 const StrippedPartition* MemoryPartitionStore::Peek(int64_t handle) const {
-  ReaderMutexLock lock(&mu_);
-  auto it = partitions_.find(handle);
+  const Stripe& stripe = stripes_[handle & (kStripes - 1)];
+  ReaderMutexLock lock(&stripe.mu);
+  auto it = stripe.partitions.find(handle);
   // The pointer outlives the lock: elements of an unordered_map are stable
-  // until erased, and Peek's contract already forbids holding the pointer
-  // across a Put/Release.
-  return it == partitions_.end() ? nullptr : &it->second;
+  // until erased, so concurrent Puts (this stripe or any other) never move
+  // the partition; only Release of this handle invalidates the pointer.
+  return it == stripe.partitions.end() ? nullptr : &it->second;
 }
 
 Status MemoryPartitionStore::Release(int64_t handle) {
-  WriterMutexLock lock(&mu_);
-  auto it = partitions_.find(handle);
-  if (it == partitions_.end()) {
+  Stripe& stripe = stripes_[handle & (kStripes - 1)];
+  WriterMutexLock lock(&stripe.mu);
+  auto it = stripe.partitions.find(handle);
+  if (it == stripe.partitions.end()) {
     return Status::NotFound("release of unknown handle " +
                             std::to_string(handle));
   }
-  resident_bytes_ -= it->second.EstimatedBytes();
-  if (pool_ != nullptr) pool_->Recycle(std::move(it->second));
-  partitions_.erase(it);
+  stripe.resident_bytes -= it->second.EstimatedBytes();
+  PartitionBufferPool* pool = pool_.load(std::memory_order_acquire);
+  if (pool != nullptr) pool->Recycle(std::move(it->second));
+  stripe.partitions.erase(it);
   return Status::OK();
+}
+
+int64_t MemoryPartitionStore::resident_bytes() const {
+  int64_t total = 0;
+  for (const Stripe& stripe : stripes_) {
+    ReaderMutexLock lock(&stripe.mu);
+    total += stripe.resident_bytes;
+  }
+  return total;
 }
 
 // ---------------------------------------------------------------------------
@@ -408,9 +422,31 @@ StatusOr<int64_t> AutoPartitionStore::Put(StrippedPartition partition) {
   inner_handles_[handle] = inner;
   if (disk_ == nullptr && budget_bytes_ > 0 &&
       memory_.resident_bytes() > budget_bytes_) {
-    TANE_RETURN_IF_ERROR(SpillToDisk());
+    if (in_window_) {
+      // Workers may hold Peek borrows into the memory store; migrating now
+      // would free the partitions under them. Spill at the window boundary.
+      pending_spill_ = true;
+    } else {
+      TANE_RETURN_IF_ERROR(SpillToDisk());
+    }
   }
   return handle;
+}
+
+void AutoPartitionStore::BeginTaskWindow() {
+  WriterMutexLock lock(&mu_);
+  in_window_ = true;
+}
+
+Status AutoPartitionStore::EndTaskWindow() {
+  WriterMutexLock lock(&mu_);
+  in_window_ = false;
+  if (!pending_spill_ || disk_ != nullptr) {
+    pending_spill_ = false;
+    return Status::OK();
+  }
+  pending_spill_ = false;
+  return SpillToDisk();
 }
 
 Status AutoPartitionStore::SpillToDisk() {

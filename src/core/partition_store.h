@@ -1,6 +1,7 @@
 #ifndef TANE_CORE_PARTITION_STORE_H_
 #define TANE_CORE_PARTITION_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -25,12 +26,14 @@ class Tracer;
 /// level; TANE/MEM keeps them in RAM. The driver is written against this
 /// interface so both variants share one code path.
 ///
-/// Thread-safety: every implementation below guards its state with a
-/// reader-writer lock, so the read path (Get/Peek, the parallel level
-/// executor's Acquire traffic) proceeds concurrently across workers while
-/// Put/Release serialize. Pointers returned by Peek are still invalidated
-/// by a subsequent Put or Release; the driver only calls those between
-/// parallel regions.
+/// Thread-safety: every implementation below guards its state with
+/// reader-writer locking (the memory store stripes it by handle), so the
+/// read path (Get/Peek, the parallel level executor's Acquire traffic)
+/// proceeds concurrently across workers while Put/Release serialize per
+/// stripe. A pointer returned by Peek stays valid across concurrent Puts
+/// of *other* handles inside a task window (see BeginTaskWindow); only
+/// Release of the peeked handle — or a store migration at a window
+/// boundary — invalidates it.
 class PartitionStore {
  public:
   virtual ~PartitionStore() = default;
@@ -65,11 +68,23 @@ class PartitionStore {
 
   /// Borrowing accessor: returns a pointer to the resident partition when
   /// the store can serve one without I/O or copying, else nullptr (callers
-  /// then fall back to Get). The pointer is invalidated by Put/Release.
+  /// then fall back to Get). The pointer is invalidated by Release of this
+  /// handle or by a window-boundary migration; inside a task window it
+  /// survives concurrent Puts of other handles.
   virtual const StrippedPartition* Peek(int64_t handle) const {
     (void)handle;
     return nullptr;
   }
+
+  /// Brackets a parallel task window. Between BeginTaskWindow and
+  /// EndTaskWindow the driver's workers hold Peek borrows while other
+  /// threads Put, so implementations must not relocate or evict resident
+  /// partitions mid-window — the kAuto store defers its memory-to-disk
+  /// spill migration to EndTaskWindow. The driver guarantees no Release
+  /// happens inside a window. Defaults are no-ops for stores that never
+  /// relocate resident data.
+  virtual void BeginTaskWindow() {}
+  virtual Status EndTaskWindow() { return Status::OK(); }
 
   /// Bytes currently resident in main memory on behalf of the store.
   virtual int64_t resident_bytes() const = 0;
@@ -79,6 +94,14 @@ class PartitionStore {
 };
 
 /// Keeps every partition in main memory (the TANE/MEM configuration).
+///
+/// The map is striped by handle across kStripes independent reader-writer
+/// locks, so a Put committing on one stripe never blocks worker Peek/Get
+/// traffic on the other stripes — the lock that used to serialize the
+/// whole store under the parallel executor's commit path. Handles come
+/// from a single atomic counter, so assignment order (and therefore every
+/// handle value) is decided purely by the order Put is called in, which
+/// the driver keeps deterministic via its commit frontier.
 class MemoryPartitionStore : public PartitionStore {
  public:
   MemoryPartitionStore() = default;
@@ -87,23 +110,25 @@ class MemoryPartitionStore : public PartitionStore {
   StatusOr<StrippedPartition> Get(int64_t handle) override;
   Status Release(int64_t handle) override;
   const StrippedPartition* Peek(int64_t handle) const override;
-  int64_t resident_bytes() const override {
-    ReaderMutexLock lock(&mu_);
-    return resident_bytes_;
-  }
+  int64_t resident_bytes() const override;
   int64_t bytes_written() const override { return 0; }
   void set_buffer_pool(PartitionBufferPool* pool) override {
-    WriterMutexLock lock(&mu_);
-    pool_ = pool;
+    pool_.store(pool, std::memory_order_release);
   }
 
  private:
-  mutable SharedMutex mu_;
-  std::unordered_map<int64_t, StrippedPartition> partitions_
-      TANE_GUARDED_BY(mu_);
-  PartitionBufferPool* pool_ TANE_GUARDED_BY(mu_) = nullptr;
-  int64_t next_handle_ TANE_GUARDED_BY(mu_) = 0;
-  int64_t resident_bytes_ TANE_GUARDED_BY(mu_) = 0;
+  static constexpr int kStripes = 8;  // power of two: stripe = handle & 7
+
+  struct Stripe {
+    mutable SharedMutex mu;
+    std::unordered_map<int64_t, StrippedPartition> partitions
+        TANE_GUARDED_BY(mu);
+    int64_t resident_bytes TANE_GUARDED_BY(mu) = 0;
+  };
+
+  Stripe stripes_[kStripes];
+  std::atomic<PartitionBufferPool*> pool_{nullptr};
+  std::atomic<int64_t> next_handle_{0};
 };
 
 /// Spills partitions to append-only segment files under a directory (the
@@ -217,6 +242,11 @@ class DiskPartitionStore : public PartitionStore {
 /// StorageMode::kAuto graceful-degradation policy. Handles issued before
 /// the migration remain valid throughout. With budget_bytes <= 0 the store
 /// never spills and is equivalent to MemoryPartitionStore.
+///
+/// Inside a task window (BeginTaskWindow/EndTaskWindow) a budget breach
+/// does not migrate immediately — workers hold Peek borrows into the
+/// memory store that a migration would free — it is recorded and performed
+/// at EndTaskWindow, after the driver's quiesce point.
 class AutoPartitionStore : public PartitionStore {
  public:
   AutoPartitionStore(int64_t budget_bytes, std::string spill_directory)
@@ -227,6 +257,8 @@ class AutoPartitionStore : public PartitionStore {
   StatusOr<StrippedPartition> Get(int64_t handle) override;
   Status Release(int64_t handle) override;
   const StrippedPartition* Peek(int64_t handle) const override;
+  void BeginTaskWindow() override;
+  Status EndTaskWindow() override;
   void set_buffer_pool(PartitionBufferPool* pool) override {
     WriterMutexLock lock(&mu_);
     memory_.set_buffer_pool(pool);
@@ -274,6 +306,10 @@ class AutoPartitionStore : public PartitionStore {
   // rewritten in place when the store migrates to disk.
   std::unordered_map<int64_t, int64_t> inner_handles_ TANE_GUARDED_BY(mu_);
   int64_t next_handle_ TANE_GUARDED_BY(mu_) = 0;
+  // True between BeginTaskWindow and EndTaskWindow: spills are deferred.
+  bool in_window_ TANE_GUARDED_BY(mu_) = false;
+  // A budget breach happened mid-window; EndTaskWindow performs the spill.
+  bool pending_spill_ TANE_GUARDED_BY(mu_) = false;
 };
 
 /// Serializes `partition` into a compact binary image (used by the disk

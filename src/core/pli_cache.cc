@@ -21,56 +21,109 @@ int64_t LogicalBytes(const StrippedPartition& partition) {
 
 }  // namespace
 
-StatusOr<int64_t> PliCache::Put(StrippedPartition partition) {
-  WriterMutexLock lock(&mu_);
-  ++stats_.lookups;
-  if (metrics_ != nullptr) metrics_->AddShared(obs::kPliCacheLookups, 1);
-  const uint64_t hash = partition.StructuralHash();
-  const int64_t full_rank = partition.FullRank();
+PliCache::StagedProbe PliCache::ProbeStaged(
+    const StrippedPartition& partition) const {
+  StagedProbe staged;
+  // The expensive scans run before any lock is taken.
+  staged.hash = partition.StructuralHash();
+  staged.full_rank = partition.FullRank();
+  staged.bytes = LogicalBytes(partition);
 
-  auto [begin, end] = by_hash_.equal_range(hash);
+  ReaderMutexLock lock(&mu_);
+  auto [begin, end] = by_hash_.equal_range(staged.hash);
   for (auto it = begin; it != end; ++it) {
     const int64_t candidate = it->second;
     const SharedEntry& entry = inner_entries_.at(candidate);
-    if (entry.full_rank != full_rank) continue;
-    // A hash match is not proof: confirm with a full structural compare
-    // before sharing storage. Peek serves memory-backed inner stores
-    // without a copy; a spilled store needs a Get.
-    bool equal = false;
-    if (const StrippedPartition* peeked = inner_->Peek(candidate)) {
-      equal = (*peeked == partition);
-    } else {
-      StatusOr<StrippedPartition> fetched = inner_->Get(candidate);
-      // An unreadable candidate is treated as a miss, not an error: the
-      // partition still gets stored normally below.
-      equal = fetched.ok() && (fetched.value() == partition);
+    if (entry.full_rank != staged.full_rank) continue;
+    // Resident candidates are verified here, off the commit path. A
+    // spilled candidate would need a Get; leave that (rare) case to the
+    // locked re-probe in PutStaged.
+    const StrippedPartition* peeked = inner_->Peek(candidate);
+    if (peeked != nullptr && *peeked == partition) {
+      staged.verified_inner = candidate;
+      break;
     }
-    if (!equal) continue;
+  }
+  return staged;
+}
 
+StatusOr<int64_t> PliCache::CommitLocked(StrippedPartition partition,
+                                         const StagedProbe& staged) {
+  ++stats_.lookups;
+  if (metrics_ != nullptr) metrics_->AddShared(obs::kPliCacheLookups, 1);
+
+  int64_t match = -1;
+  if (staged.verified_inner >= 0 &&
+      inner_entries_.count(staged.verified_inner) > 0) {
+    // The staged probe already did the structural compare, and the match
+    // cannot have been released since (releases happen only outside task
+    // windows), so the verdict still holds at commit time.
+    match = staged.verified_inner;
+  } else {
+    auto [begin, end] = by_hash_.equal_range(staged.hash);
+    for (auto it = begin; it != end; ++it) {
+      const int64_t candidate = it->second;
+      const SharedEntry& entry = inner_entries_.at(candidate);
+      if (entry.full_rank != staged.full_rank) continue;
+      // A hash match is not proof: confirm with a full structural compare
+      // before sharing storage. Peek serves memory-backed inner stores
+      // without a copy; a spilled store needs a Get.
+      bool equal = false;
+      if (const StrippedPartition* peeked = inner_->Peek(candidate)) {
+        equal = (*peeked == partition);
+      } else {
+        StatusOr<StrippedPartition> fetched = inner_->Get(candidate);
+        // An unreadable candidate is treated as a miss, not an error: the
+        // partition still gets stored normally below.
+        equal = fetched.ok() && (fetched.value() == partition);
+      }
+      if (equal) {
+        match = candidate;
+        break;
+      }
+    }
+  }
+
+  if (match >= 0) {
     ++stats_.hits;
-    stats_.bytes_saved += LogicalBytes(partition);
+    stats_.bytes_saved += staged.bytes;
     if (metrics_ != nullptr) {
       metrics_->AddShared(obs::kPliCacheHits, 1);
       metrics_->SetGauge(obs::kPliCacheBytesSaved, stats_.bytes_saved);
     }
-    inner_entries_.at(candidate).refs++;
+    inner_entries_.at(match).refs++;
     // The duplicate's buffers go back to the pool instead of the heap.
     if (pool_ != nullptr) pool_->Recycle(std::move(partition));
     const int64_t handle = next_handle_++;
-    outer_to_inner_[handle] = candidate;
+    outer_to_inner_[handle] = match;
     return handle;
   }
 
   ++stats_.misses;
   if (metrics_ != nullptr) metrics_->AddShared(obs::kPliCacheMisses, 1);
-  const int64_t bytes = LogicalBytes(partition);
   TANE_ASSIGN_OR_RETURN(const int64_t inner_handle,
                         inner_->Put(std::move(partition)));
-  inner_entries_[inner_handle] = SharedEntry{1, hash, full_rank, bytes};
-  by_hash_.emplace(hash, inner_handle);
+  inner_entries_[inner_handle] =
+      SharedEntry{1, staged.hash, staged.full_rank, staged.bytes};
+  by_hash_.emplace(staged.hash, inner_handle);
   const int64_t handle = next_handle_++;
   outer_to_inner_[handle] = inner_handle;
   return handle;
+}
+
+StatusOr<int64_t> PliCache::Put(StrippedPartition partition) {
+  StagedProbe staged;
+  staged.hash = partition.StructuralHash();
+  staged.full_rank = partition.FullRank();
+  staged.bytes = LogicalBytes(partition);
+  WriterMutexLock lock(&mu_);
+  return CommitLocked(std::move(partition), staged);
+}
+
+StatusOr<int64_t> PliCache::PutStaged(StrippedPartition partition,
+                                      const StagedProbe& staged) {
+  WriterMutexLock lock(&mu_);
+  return CommitLocked(std::move(partition), staged);
 }
 
 StatusOr<StrippedPartition> PliCache::Get(int64_t handle) {

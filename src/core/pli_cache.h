@@ -36,16 +36,49 @@ struct PliCacheStats {
 /// callers Release each handle exactly once, as with any store — and the
 /// inner partition is freed when its last reference goes away.
 ///
-/// Determinism: the driver calls Put and Release only from the coordinator
-/// thread, in node order (workers produce partitions; the coordinator
-/// stores them while merging outcomes). Hits and handle assignment are
-/// therefore identical at every thread count, which keeps DiscoveryResult
-/// byte-identical across 1/2/8 threads. Get/Peek take a shared lock and
+/// Determinism: Put/PutStaged calls are issued by the driver's commit
+/// frontier in node order (whichever thread happens to hold the frontier),
+/// and Release only at level boundaries, so the sequence of insertions the
+/// cache observes — and therefore every hit/miss verdict and handle value —
+/// is identical at every thread count, which keeps DiscoveryResult
+/// byte-identical across 1/2/8 threads. The expensive part of a lookup
+/// (StructuralHash + FullRank + the structural compare) can be precomputed
+/// on a worker thread via ProbeStaged under a shared lock; PutStaged then
+/// only validates the staged verdict under the exclusive lock, re-probing
+/// in full when the staged probe found no match (an equal partition may
+/// have committed between probe and commit — the re-probe keeps the
+/// verdict identical to a serial run's). Get/Peek take a shared lock and
 /// stay safe for concurrent worker reads.
 class PliCache : public PartitionStore {
  public:
+  /// Result of ProbeStaged: the hash/rank/bytes of the probed partition
+  /// (always valid) and, when the probe confirmed a structural match, the
+  /// inner handle of the matching resident partition (else -1).
+  struct StagedProbe {
+    uint64_t hash = 0;
+    int64_t full_rank = 0;
+    int64_t bytes = 0;
+    int64_t verified_inner = -1;
+  };
+
   explicit PliCache(std::unique_ptr<PartitionStore> inner)
       : inner_(std::move(inner)) {}
+
+  /// Worker-side half of a staged insertion: computes the dedup key off the
+  /// exclusive lock and probes the index under a shared lock. Only resident
+  /// (Peek-able) candidates are verified here; spilled candidates are left
+  /// to PutStaged's locked re-probe. Safe to call concurrently with
+  /// Put/PutStaged; requires that no Release runs concurrently (the driver
+  /// releases handles only at level boundaries, outside task windows).
+  StagedProbe ProbeStaged(const StrippedPartition& partition) const
+      TANE_EXCLUDES(mu_);
+
+  /// Commit-side half: stores `partition` using the staged verdict. A
+  /// verified staged hit short-circuits straight to a refcount bump (the
+  /// match cannot have been released mid-window); a staged miss is
+  /// re-probed in full under the lock before being stored as new.
+  StatusOr<int64_t> PutStaged(StrippedPartition partition,
+                              const StagedProbe& staged) TANE_EXCLUDES(mu_);
 
   StatusOr<int64_t> Put(StrippedPartition partition) override;
   StatusOr<StrippedPartition> Get(int64_t handle) override;
@@ -64,6 +97,8 @@ class PliCache : public PartitionStore {
     inner_->set_metrics(metrics);
   }
   void set_tracer(obs::Tracer* tracer) override { inner_->set_tracer(tracer); }
+  void BeginTaskWindow() override { inner_->BeginTaskWindow(); }
+  Status EndTaskWindow() override { return inner_->EndTaskWindow(); }
   int64_t resident_bytes() const override { return inner_->resident_bytes(); }
   int64_t bytes_written() const override { return inner_->bytes_written(); }
 
@@ -75,6 +110,13 @@ class PliCache : public PartitionStore {
   PartitionStore* inner() { return inner_.get(); }
 
  private:
+  // Shared implementation of Put/PutStaged: stores `partition` under the
+  // already-held exclusive lock using the precomputed dedup key, honoring
+  // a verified staged hit and fully re-probing otherwise.
+  StatusOr<int64_t> CommitLocked(StrippedPartition partition,
+                                 const StagedProbe& staged)
+      TANE_REQUIRES(mu_);
+
   struct SharedEntry {
     int64_t refs = 0;
     uint64_t hash = 0;

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <functional>
 #include <limits>
 #include <list>
+#include <map>
 #include <memory>
 #include <optional>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -22,6 +25,8 @@
 #include "partition/partition_builder.h"
 #include "partition/product.h"
 #include "util/logging.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -39,11 +44,14 @@ void LogIgnoredStatus(const Status& status, const char* context) {
 }
 
 // One attribute set of the current level, with its rhs⁺ candidates C⁺(X),
-// the partition error e(X), and the handle of π_X in the partition store.
+// the partition error e(X), the member-row count ‖π_X‖ (drives the next
+// window's output-buffer plan), and the handle of π_X in the partition
+// store.
 struct Node {
   AttributeSet set;
   AttributeSet cplus;
   int64_t error = 0;
+  int64_t member_rows = 0;
   int64_t handle = -1;
   bool deleted = false;
 };
@@ -52,7 +60,10 @@ struct Node {
 // memory-backed and maintaining a small LRU of deserialized partitions when
 // it is disk-backed. Pointers stay valid for at least the `capacity - 1`
 // following Acquire calls, which suffices for the two-operand uses here.
-// Not thread-safe; the parallel executor keeps one accessor per worker.
+// Borrowed pointers also survive concurrent Puts from the commit frontier
+// (the stores guarantee reference stability within a task window); the
+// driver never Releases a handle while a window is in flight. Not
+// thread-safe itself; the parallel executor keeps one accessor per worker.
 class PartitionAccessor {
  public:
   PartitionAccessor(PartitionStore* store, size_t capacity)
@@ -132,19 +143,91 @@ struct NodeOutcome {
   bool processed = false;
 };
 
+// One candidate's slot in a fused level window. The owning worker fills the
+// payload, then publishes it with a release store on `done`; the commit
+// frontier reads it back after an acquire load. No other synchronization
+// touches a slot, so the fields carry no lock annotations.
+struct WindowSlot {
+  std::optional<StatusOr<StrippedPartition>> partition;
+  NodeOutcome outcome;
+  PliCache::StagedProbe staged;
+  bool has_staged = false;
+  std::atomic<int> done{0};
+};
+
+// Immutable inputs of one fused level window: the candidates (in node
+// order) with their pre-seeded C⁺ sets, and the parent level backing the
+// validity tests.
+struct WindowInputs {
+  // The level being built (its nodes' |X|).
+  int level_number = 1;
+  const std::vector<AttributeSet>* sets = nullptr;
+  const std::vector<AttributeSet>* cplus = nullptr;
+  // Parent level (survivors of level_number - 1) and its index; nullptr at
+  // level 1, where the tests run against π_∅.
+  const std::vector<Node>* parents = nullptr;
+  const LevelIndex* parent_index = nullptr;
+  // Output-row bound per candidate (min of the parents' member rows);
+  // nullptr disables the deterministic buffer plan (level 1, fold mode).
+  const std::vector<int64_t>* row_bounds = nullptr;
+  // Fold mode at level 1: keep a resident copy of every singleton partition
+  // next to the stored one.
+  bool stash_singletons = false;
+  // Σ row_bounds (or an equivalent proxy): the serial-fallback estimate of
+  // the window's total row work.
+  int64_t est_row_work = 0;
+};
+
+// Shared mutable state of one fused level window. Workers coordinate
+// through the atomic commit `frontier`; everything whose order matters —
+// store inserts, PLI-cache verdicts, the committed node list, the first
+// failure — happens under `mu`, strictly in candidate order. That frontier
+// is the whole determinism argument: handle values, cache hit/miss
+// decisions, and e(·) bookkeeping are issued exactly as a serial run would
+// issue them, for every thread count.
+struct WindowContext {
+  int64_t count = 0;
+  // How far past the frontier a task may start; bounds the partitions that
+  // exist outside the store to O(threads), like the old batched generator.
+  int64_t gate = 0;
+  std::unique_ptr<WindowSlot[]> slots;
+  const WindowInputs* in = nullptr;
+  std::atomic<int64_t> frontier{0};
+  std::atomic<bool> failed{false};
+  Mutex mu;
+  Status status TANE_GUARDED_BY(mu) = Status::OK();
+  std::vector<Node> nodes TANE_GUARDED_BY(mu);
+};
+
+// Pops the smallest planned buffer whose capacity covers `bound`; an empty
+// vector when the free list cannot (the consumer then allocates and counts
+// it, exactly like a dry pool).
+std::vector<int32_t> TakePlannedBuffer(
+    std::multimap<size_t, std::vector<int32_t>>* free_buffers, size_t bound) {
+  if (free_buffers->empty()) return {};
+  auto it = free_buffers->lower_bound(bound);
+  if (it == free_buffers->end()) return {};
+  std::vector<int32_t> buffer = std::move(it->second);
+  free_buffers->erase(it);
+  return buffer;
+}
+
 class TaneRun {
  public:
   /// `resume_snapshot` (optional, not owned, pre-validated by Discover)
   /// restores the run to its checkpointed level boundary before the
-  /// levelwise loop continues.
+  /// levelwise loop continues. `pli_cache` (optional, not owned) is the
+  /// interning decorator inside `store`, exposed so the commit frontier can
+  /// pre-stage cache probes on worker threads.
   TaneRun(const Relation& relation, const TaneConfig& config,
-          std::unique_ptr<PartitionStore> store,
+          std::unique_ptr<PartitionStore> store, PliCache* pli_cache,
           const RunSnapshot* resume_snapshot)
       : relation_(relation),
         resume_snapshot_(resume_snapshot),
         config_(config),
         controller_(config.run_controller),
         store_(std::move(store)),
+        pli_cache_(pli_cache),
         num_rows_(relation.num_rows()),
         max_removals_(IntegerThreshold(
             config.epsilon, static_cast<double>(relation.num_rows()))),
@@ -190,20 +273,25 @@ class TaneRun {
   Status Run(DiscoveryResult* result);
 
  private:
-  // COMPUTE-DEPENDENCIES(L_ℓ), paper §5. Nodes are tested in parallel;
-  // emissions are merged in node order afterwards.
-  Status ComputeDependencies(int level_number, std::vector<Node>* level,
-                             const std::vector<Node>* prev,
-                             const LevelIndex* prev_index,
-                             DiscoveryResult* result, LevelParallelStats* lp);
+  using BuildFn = std::function<StatusOr<StrippedPartition>(WorkerState*,
+                                                            int64_t)>;
+
+  // The in-order half of COMPUTE-DEPENDENCIES (paper §5): the level window
+  // already ran every node's validity tests fused with its partition build;
+  // here the buffered emissions and C⁺ updates land in node order, exactly
+  // as the serial loop would have applied them, so pruning decisions
+  // downstream are deterministic for every thread count.
+  Status MergeOutcomes(std::vector<Node>* level, DiscoveryResult* result);
 
   // The per-node half of COMPUTE-DEPENDENCIES (lines 3-8): runs every
-  // validity test of `node` and collects emissions plus the final C⁺ into
-  // `out` without touching shared state. Safe to call concurrently for
-  // distinct nodes. The C⁺ updates of lines 7-8 commute (set differences
-  // and intersections), so applying them against a snapshot here and
-  // merging later reproduces the serial result exactly.
+  // validity test of `node` against its freshly built partition `fine` and
+  // collects emissions plus the final C⁺ into `out` without touching shared
+  // state. Safe to call concurrently for distinct nodes. The C⁺ updates of
+  // lines 7-8 commute (set differences and intersections), so applying them
+  // against a snapshot here and merging later reproduces the serial result
+  // exactly.
   Status ProcessNode(int level_number, const Node& node,
+                     const StrippedPartition* fine,
                      const std::vector<Node>* prev,
                      const LevelIndex* prev_index, WorkerState* w,
                      NodeOutcome* out);
@@ -217,21 +305,53 @@ class TaneRun {
       WorkerState* w, const LevelCandidate& candidate,
       const std::vector<Node>& survivors);
 
-  // Tests X\{A} → A given e(X\{A}), handles for both partitions, and e(X).
-  // Sets *valid and *error (the error value to report when valid).
+  // Tests X\{A} → A given e(X\{A}), the handle of π_X\{A}, e(X), and the
+  // node's own partition π_X (`fine`, owned by the window slot — level
+  // partitions are tested before they are stored). Sets *valid and *error
+  // (the error value to report when valid).
   Status TestValidity(WorkerState* w, int64_t prev_error, int64_t prev_handle,
-                      const Node& node, bool* valid, double* error,
-                      bool* exact_holds);
+                      int64_t node_error, const StrippedPartition* fine,
+                      bool* valid, double* error, bool* exact_holds);
+
+  // The fused task window that builds one level: every candidate is one
+  // task (partition build + error + validity tests + staged PLI probe),
+  // runnable as soon as its parents exist — the parents are the previous
+  // level, fully live for the whole window, so all tasks are immediately
+  // runnable and the pool's work-stealing deques schedule them with no
+  // intra-level barrier. Results are committed through the index-ordered
+  // frontier in WindowContext. On success *next holds the level's nodes and
+  // pending_outcomes_ their validity outcomes; on stop/failure both hold
+  // the committed prefix. Falls back to an inline serial loop when the
+  // window cannot pay for its scheduling (UseParallelWindow).
+  Status RunLevelWindow(const WindowInputs& in, const BuildFn& build,
+                        std::vector<Node>* next, LevelParallelStats* lp);
+
+  // Commits every consecutive ready slot at the frontier. blocking=false is
+  // the worker-side helper (TryLock: somebody else committing is progress
+  // already); blocking=true is the coordinator drain and the serial path.
+  void CommitReadySlots(WindowContext* ctx, bool blocking)
+      TANE_EXCLUDES(ctx->mu);
+
+  // Commits slot `i`: stores the partition (through the staged PLI-cache
+  // path when available), appends the node, and runs the strided resident-
+  // bytes budget check. Called only at the frontier, in candidate order.
+  Status CommitOneSlot(WindowContext* ctx, int64_t i)
+      TANE_REQUIRES(ctx->mu);
+
+  // Satellite of the scaling fix: decides between the parallel task window
+  // and the inline serial path. See TaneConfig::parallel_min_window_rows.
+  bool UseParallelWindow(int64_t count, int64_t est_row_work) const;
 
   // The boundary-to-boundary advance after PRUNE of `level_number`:
-  // checkpointing, the suspend/stop decision, and GENERATE-NEXT-LEVEL.
-  // Returns true when the run should continue with `current` holding the
-  // next level (prev/prev_index updated), false when it wound down (all
-  // handles released; the caller exits the loop). Shared by the level loop
-  // and the resume prologue, which is what lets a restored run re-enter
-  // the lattice mid-flight through the exact same code path.
+  // checkpointing, the suspend/stop decision, GENERATE-NEXT-LEVEL, and the
+  // fused build+validate window for the next level. Returns true when the
+  // run should continue with `current` holding the next level, false when
+  // it wound down (all handles released; the caller exits the loop). Shared
+  // by the level loop and the resume prologue, which is what lets a
+  // restored run re-enter the lattice mid-flight through the exact same
+  // code path. Survivor handles are released before returning in every
+  // case: the window already consumed them for products and validity tests.
   StatusOr<bool> AdvanceLevel(int level_number, std::vector<Node>* survivors,
-                              std::vector<Node>* prev, LevelIndex* prev_index,
                               std::vector<Node>* current,
                               DiscoveryResult* result);
 
@@ -332,7 +452,9 @@ class TaneRun {
 
   // Under StorageMode::kMemory a configured budget is a hard limit: the
   // run aborts rather than thrash. kAuto spills instead (in the store) and
-  // kDisk is already O(1)-resident.
+  // kDisk is already O(1)-resident. This is the full quiesce-point
+  // accounting; mid-window commits run the cheaper store-resident check in
+  // CommitOneSlot (worker scratch is in flux while a window runs).
   Status CheckMemoryBudget() {
     if (config_.storage != StorageMode::kMemory || controller_ == nullptr) {
       return Status::OK();
@@ -391,8 +513,48 @@ class TaneRun {
     return true;
   }
 
+  // Seeds C⁺ for one candidate of `level_number` (line 2 of
+  // COMPUTE-DEPENDENCIES: ∩ of the parents' C⁺, full set at level 1) and
+  // applies the covered-rhs pruning. Runs on the coordinator before the
+  // level window, so every task starts from its final seeded value.
+  AttributeSet SeedCplus(int level_number, AttributeSet set,
+                         const std::vector<Node>* parents,
+                         const LevelIndex* parent_index) {
+    AttributeSet cplus = AttributeSet::FullSet(relation_.num_columns());
+    if (level_number > 1) {
+      for (int attribute : Members(set)) {
+        const int pos = parent_index->Find(set.Without(attribute));
+        // Invariant: candidate generation only emits sets whose subsets
+        // survived the previous level.
+        // tane-lint: allow(tane-check)
+        TANE_CHECK(pos >= 0) << "level invariant broken: missing subset of "
+                             << set.ToString();
+        cplus = cplus.Intersect((*parents)[pos].cplus);
+        if (cplus.empty()) break;
+      }
+    }
+    // Covered-rhs pruning: a candidate A outside X is dead once some known
+    // dependency lhs' → A has lhs' ⊆ X — every dependency that could still
+    // use it would have a left-hand side ⊇ X ⊇ lhs' and thus not be
+    // minimal. Checking the ∅- and singleton-lhs dependencies costs O(|R|)
+    // per set and is what collapses the search at large ε.
+    if (config_.use_covered_rhs_pruning) {
+      for (int attribute : Members(cplus.Difference(set))) {
+        if (covered_by_empty_.Contains(attribute) ||
+            !covered_by_singleton_[attribute].Intersect(set).empty()) {
+          cplus = cplus.Without(attribute);
+        }
+      }
+    }
+    return cplus;
+  }
+
   // Stop polling cadence for the inner validity-test / product loops.
   static constexpr int64_t kStopPollStride = 64;
+
+  // Auto threshold for UseParallelWindow: below this many total row
+  // operations the fan-out/join of a window costs more than the level.
+  static constexpr int64_t kAutoParallelMinRowWork = 1 << 15;
 
   const Relation& relation_;
   // Snapshot to restore before the loop, or nullptr for a fresh run.
@@ -400,6 +562,9 @@ class TaneRun {
   const TaneConfig& config_;
   RunController* const controller_;
   std::unique_ptr<PartitionStore> store_;
+  // The interning cache inside store_ (nullptr when disabled); lets the
+  // window stage probes on workers and commit verdicts at the frontier.
+  PliCache* const pli_cache_;
   const int64_t num_rows_;
   // ⌊ε·|r|⌋: validity threshold for g3 removal and g2 row counts.
   const int64_t max_removals_;
@@ -419,6 +584,11 @@ class TaneRun {
   std::unique_ptr<obs::ProgressMonitor> monitor_;
   std::vector<std::unique_ptr<WorkerState>> workers_;
   DiscoveryStats stats_;
+
+  // Validity outcomes of the most recent level window, in node order,
+  // waiting for the coordinator's MergeOutcomes at the top of the level
+  // loop. Filled by RunLevelWindow after its workers quiesce.
+  std::vector<NodeOutcome> pending_outcomes_;
 
   // Cooperative stop state: the flag is written by any worker or the
   // coordinator (mirroring the controller's latched reason); completion_ is
@@ -449,7 +619,9 @@ class TaneRun {
 
   // Resident copies of the single-attribute partitions, kept only in the
   // Schlimmer-style recomputation mode (use_partition_products == false).
-  // Read-only once built, so workers share them without locking.
+  // Written by the level-1 window's commit frontier (serialized under its
+  // mutex, in attribute order); read-only once that window ends, so later
+  // windows' workers share them without locking.
   std::vector<StrippedPartition> singleton_partitions_;
 };
 
@@ -485,10 +657,11 @@ Status TaneRun::ReleaseHandles(std::vector<Node>* nodes) {
 }
 
 Status TaneRun::TestValidity(WorkerState* w, int64_t prev_error,
-                             int64_t prev_handle, const Node& node,
-                             bool* valid, double* error, bool* exact_holds) {
+                             int64_t prev_handle, int64_t node_error,
+                             const StrippedPartition* fine, bool* valid,
+                             double* error, bool* exact_holds) {
   metrics_.Add(w->shard, obs::kValidityTests, 1);
-  *exact_holds = (prev_error == node.error);
+  *exact_holds = (prev_error == node_error);
   *error = 0.0;
 
   if (config_.epsilon == 0.0) {
@@ -502,7 +675,7 @@ Status TaneRun::TestValidity(WorkerState* w, int64_t prev_error,
   // e(·)-based bounds run first (O(1)); the exact partition scan (O(|r|))
   // only when necessary. g1/g2 have no such bounds and always scan.
   if (config_.measure == ErrorMeasure::kG3) {
-    const int64_t lower = std::max<int64_t>(0, prev_error - node.error);
+    const int64_t lower = std::max<int64_t>(0, prev_error - node_error);
     const int64_t upper = prev_error;
     if (config_.use_g3_bounds && lower > max_removals_) {
       metrics_.Add(w->shard, obs::kG3ScansSkipped, 1);
@@ -529,8 +702,9 @@ Status TaneRun::TestValidity(WorkerState* w, int64_t prev_error,
     // tane-lint: allow(tane-check)
     TANE_CHECK(coarse != nullptr) << "empty-set partition not prebuilt";
   }
-  TANE_ASSIGN_OR_RETURN(const StrippedPartition* fine,
-                        w->accessor.Acquire(node.handle));
+  // Invariant: scan-path callers pass the node's own partition.
+  // tane-lint: allow(tane-check)
+  TANE_CHECK(fine != nullptr) << "validity scan without the node partition";
   metrics_.Add(w->shard, obs::kG3Scans, 1);
   // The scan walks both operands' member rows; the histogram captures the
   // per-scan cost distribution for the run report.
@@ -570,6 +744,7 @@ Status TaneRun::TestValidity(WorkerState* w, int64_t prev_error,
 }
 
 Status TaneRun::ProcessNode(int level_number, const Node& node,
+                            const StrippedPartition* fine,
                             const std::vector<Node>* prev,
                             const LevelIndex* prev_index, WorkerState* w,
                             NodeOutcome* out) {
@@ -596,8 +771,8 @@ Status TaneRun::ProcessNode(int level_number, const Node& node,
     bool valid = false;
     bool exact_holds = false;
     double error = 0.0;
-    TANE_RETURN_IF_ERROR(TestValidity(w, prev_error, prev_handle, node,
-                                      &valid, &error, &exact_holds));
+    TANE_RETURN_IF_ERROR(TestValidity(w, prev_error, prev_handle, node.error,
+                                      fine, &valid, &error, &exact_holds));
     if (!valid) continue;
 
     // Line 6: the minimal dependency, buffered for the in-order merge.
@@ -616,73 +791,19 @@ Status TaneRun::ProcessNode(int level_number, const Node& node,
   return Status::OK();
 }
 
-Status TaneRun::ComputeDependencies(int level_number, std::vector<Node>* level,
-                                    const std::vector<Node>* prev,
-                                    const LevelIndex* prev_index,
-                                    DiscoveryResult* result,
-                                    LevelParallelStats* lp) {
-  const AttributeSet full = AttributeSet::FullSet(relation_.num_columns());
-
-  // Line 2: C⁺(X) := ∩_{A∈X} C⁺(X\{A}).  At level 1, C⁺(∅) = R.
-  for (Node& node : *level) {
-    AttributeSet cplus = full;
-    if (level_number > 1) {
-      for (int attribute : Members(node.set)) {
-        const int prev_pos = prev_index->Find(node.set.Without(attribute));
-        // Invariant: same level invariant as above, per attribute.
-        // tane-lint: allow(tane-check)
-        TANE_CHECK(prev_pos >= 0)
-            << "level invariant broken: missing subset of "
-            << node.set.ToString();
-        cplus = cplus.Intersect((*prev)[prev_pos].cplus);
-        if (cplus.empty()) break;
-      }
-    }
-    // Covered-rhs pruning: a candidate A outside X is dead once some known
-    // dependency lhs' → A has lhs' ⊆ X — every dependency that could still
-    // use it would have a left-hand side ⊇ X ⊇ lhs' and thus not be
-    // minimal. Checking the ∅- and singleton-lhs dependencies costs O(|R|)
-    // per set and is what collapses the search at large ε.
-    if (config_.use_covered_rhs_pruning) {
-      for (int attribute : Members(cplus.Difference(node.set))) {
-        if (covered_by_empty_.Contains(attribute) ||
-            !covered_by_singleton_[attribute].Intersect(node.set).empty()) {
-          cplus = cplus.Without(attribute);
-        }
-      }
-    }
-    node.cplus = cplus;
-  }
-
-  // Lines 3-8, sharded across workers: every node's tests read only the
-  // previous level and the node itself, so nodes are independent. Workers
-  // buffer their findings per node; nothing shared is written until the
-  // merge below.
-  std::vector<NodeOutcome> outcomes(level->size());
-  const ParallelForStats region = pool_.ParallelFor(
-      static_cast<int64_t>(level->size()), [&](int worker, int64_t i) {
-        WorkerState* w = workers_[worker].get();
-        if (WorkerShouldStop(w)) return;
-        NodeOutcome& out = outcomes[i];
-        out.status =
-            ProcessNode(level_number, (*level)[i], prev, prev_index, w, &out);
-        out.processed = true;
-        metrics_.Add(w->shard, obs::kNodesProcessed, 1);
-      });
-  lp->wall_seconds += region.wall_seconds;
-  lp->worker_seconds += region.busy_seconds;
-  // Deliberately no controller poll here: like the serial strided loop, a
-  // stop that no worker observed mid-level is only acted on at the level
-  // boundary, after PRUNE has run against the fully merged C⁺ sets.
-
+Status TaneRun::MergeOutcomes(std::vector<Node>* level,
+                              DiscoveryResult* result) {
+  // Invariant: the window that built `level` filled one outcome per node.
+  // tane-lint: allow(tane-check)
+  TANE_CHECK(pending_outcomes_.size() == level->size())
+      << "window outcomes out of step with the level";
   // Merge in node order: the emissions and C⁺ updates land exactly as the
-  // serial loop would have applied them, so pruning decisions downstream
-  // are deterministic for every thread count. Aborting between nodes keeps
-  // the result prefix-correct: each emitted dependency passed its own
-  // validity test and its minimality rests only on fully completed lower
-  // levels, so it also appears in the complete run's output.
+  // serial loop would have applied them. Aborting between nodes keeps the
+  // result prefix-correct: each emitted dependency passed its own validity
+  // test and its minimality rests only on fully completed lower levels, so
+  // it also appears in the complete run's output.
   for (size_t i = 0; i < level->size(); ++i) {
-    NodeOutcome& out = outcomes[i];
+    NodeOutcome& out = pending_outcomes_[i];
     if (!out.processed) continue;  // a stop fired before this node ran
     TANE_RETURN_IF_ERROR(out.status);
     Node& node = (*level)[i];
@@ -692,6 +813,7 @@ Status TaneRun::ComputeDependencies(int level_number, std::vector<Node>* level,
     }
     node.cplus = out.cplus_after;
   }
+  pending_outcomes_.clear();
   return Status::OK();
 }
 
@@ -784,6 +906,249 @@ StatusOr<StrippedPartition> TaneRun::BuildCandidatePartition(
   return product;
 }
 
+bool TaneRun::UseParallelWindow(int64_t count, int64_t est_row_work) const {
+  if (pool_.num_threads() <= 1) return false;
+  if (count < 2) return false;
+  const int64_t configured = config_.parallel_min_window_rows;
+  if (configured == 0) return true;
+  if (configured > 0) return est_row_work >= configured;
+  // Auto: a lone hardware thread can never overlap the window's work (the
+  // deques would only add scheduling overhead on top of a serial
+  // execution), and a level whose total row work is tiny loses more to
+  // fan-out/join than it can win back. hardware_concurrency() == 0 means
+  // "unknown" and gets the benefit of the doubt.
+  if (std::thread::hardware_concurrency() == 1) return false;
+  return est_row_work >= kAutoParallelMinRowWork;
+}
+
+Status TaneRun::CommitOneSlot(WindowContext* ctx, int64_t i) {
+  WindowSlot& slot = ctx->slots[i];
+  // Invariant: the frontier only reaches published slots.
+  // tane-lint: allow(tane-check)
+  TANE_CHECK(slot.partition.has_value()) << "commit of an unpublished slot";
+  if (!slot.partition->ok()) return slot.partition->status();
+  TANE_RETURN_IF_ERROR(slot.outcome.status);
+  StrippedPartition partition = std::move(*slot.partition).value();
+  slot.partition.reset();
+
+  Node node;
+  node.set = (*ctx->in->sets)[i];
+  node.cplus = (*ctx->in->cplus)[i];
+  node.error = partition.Error();
+  node.member_rows = partition.num_member_rows();
+  if (ctx->in->stash_singletons) {
+    // Fold mode keeps a resident copy next to the stored one; the store
+    // gets the copy so the original can live in singleton_partitions_.
+    TANE_ASSIGN_OR_RETURN(node.handle, store_->Put(partition));
+    singleton_partitions_.push_back(std::move(partition));
+  } else if (pli_cache_ != nullptr && slot.has_staged) {
+    TANE_ASSIGN_OR_RETURN(
+        node.handle, pli_cache_->PutStaged(std::move(partition), slot.staged));
+  } else {
+    TANE_ASSIGN_OR_RETURN(node.handle, store_->Put(std::move(partition)));
+  }
+  ctx->nodes.push_back(node);
+  metrics_.AddShared(obs::kSetsGenerated, 1);
+
+  if ((i & 15) == 0) {
+    // Strided mid-window accounting: worker scratch and accessor caches are
+    // in flux, so only the store's resident bytes are sampled here; the
+    // full CheckMemoryBudget runs at the window's quiesce point.
+    const int64_t resident = store_->resident_bytes();
+    metrics_.MaxGauge(obs::kPeakResidentBytes, resident);
+    if (config_.storage == StorageMode::kMemory && controller_ != nullptr) {
+      const int64_t budget = controller_->memory_budget_bytes();
+      if (budget > 0 && resident > budget) {
+        return Status::ResourceExhausted(
+            "resident partitions (" + std::to_string(resident) +
+            " bytes) exceed the memory budget (" + std::to_string(budget) +
+            " bytes); use StorageMode::kAuto to degrade to disk instead");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void TaneRun::CommitReadySlots(WindowContext* ctx, bool blocking) {
+  if (blocking) {
+    ctx->mu.Lock();
+  } else if (!ctx->mu.TryLock()) {
+    // Somebody else is committing — that is already progress; the caller
+    // rechecks the frontier on its next spin.
+    return;
+  }
+  int64_t i = ctx->frontier.load(std::memory_order_relaxed);
+  while (i < ctx->count && !ctx->failed.load(std::memory_order_relaxed) &&
+         ctx->slots[i].done.load(std::memory_order_acquire) != 0) {
+    Status status = CommitOneSlot(ctx, i);
+    if (!status.ok()) {
+      ctx->status = std::move(status);
+      ctx->failed.store(true, std::memory_order_relaxed);
+      break;
+    }
+    ++i;
+    ctx->frontier.store(i, std::memory_order_seq_cst);
+  }
+  ctx->mu.Unlock();
+}
+
+Status TaneRun::RunLevelWindow(const WindowInputs& in, const BuildFn& build,
+                               std::vector<Node>* next,
+                               LevelParallelStats* lp) {
+  const int64_t count = static_cast<int64_t>(in.sets->size());
+  pending_outcomes_.clear();
+  next->clear();
+  if (count == 0) return Status::OK();
+
+  WindowContext ctx;
+  ctx.count = count;
+  ctx.gate = std::max<int64_t>(
+      16, static_cast<int64_t>(pool_.num_threads()) * 8);
+  ctx.slots = std::make_unique<WindowSlot[]>(count);
+  ctx.in = &in;
+  {
+    MutexLock lock(&ctx.mu);
+    ctx.nodes.reserve(count);
+  }
+
+  // The deterministic output-buffer plan (product mode): drain the pool
+  // once and assign each candidate, in node order, the smallest free buffer
+  // that covers its output bound. Unlike slot-local Acquire warm-up, the
+  // plan is a pure function of the candidate list — the run-wide allocation
+  // count cannot drift with the thread count.
+  const bool planned = in.row_bounds != nullptr;
+  std::vector<std::vector<int32_t>> planned_rows;
+  std::vector<std::vector<int32_t>> planned_offsets;
+  std::multimap<size_t, std::vector<int32_t>> free_buffers;
+  if (planned) {
+    for (std::vector<int32_t>& buffer : buffer_pool_.TakeAll()) {
+      const size_t capacity = buffer.capacity();
+      free_buffers.emplace(capacity, std::move(buffer));
+    }
+    planned_rows.resize(count);
+    planned_offsets.resize(count);
+    const size_t min_size = config_.use_stripped_partitions ? 2 : 1;
+    for (int64_t i = 0; i < count; ++i) {
+      const size_t row_bound = static_cast<size_t>((*in.row_bounds)[i]);
+      const size_t offsets_bound = row_bound / min_size + 1;
+      planned_rows[i] = TakePlannedBuffer(&free_buffers, row_bound);
+      planned_offsets[i] = TakePlannedBuffer(&free_buffers, offsets_bound);
+    }
+  }
+
+  // The per-task body, shared by the parallel window and the serial
+  // fallback: build the candidate's partition (with its planned buffers),
+  // fuse in the validity tests against the parent level, and pre-stage the
+  // PLI-cache probe so the commit frontier only has to issue the verdict.
+  auto run_task = [&](WorkerState* w, int64_t i) {
+    WindowSlot& slot = ctx.slots[i];
+    if (planned) {
+      w->product.ProvideOutputBuffers(std::move(planned_rows[i]),
+                                      std::move(planned_offsets[i]));
+    }
+    slot.partition.emplace(build(w, i));
+    if (!slot.partition->ok()) return;
+    const StrippedPartition& built = slot.partition->value();
+    Node node;
+    node.set = (*in.sets)[i];
+    node.cplus = (*in.cplus)[i];
+    node.error = built.Error();
+    slot.outcome.status = ProcessNode(in.level_number, node, &built,
+                                      in.parents, in.parent_index, w,
+                                      &slot.outcome);
+    slot.outcome.processed = true;
+    metrics_.Add(w->shard, obs::kNodesProcessed, 1);
+    if (slot.outcome.status.ok() && pli_cache_ != nullptr &&
+        !in.stash_singletons) {
+      slot.staged = pli_cache_->ProbeStaged(built);
+      slot.has_staged = true;
+    }
+  };
+
+  store_->BeginTaskWindow();
+  if (UseParallelWindow(count, in.est_row_work)) {
+    const ParallelForStats region = pool_.ParallelFor(
+        count, [&](int worker, int64_t i) {
+          WorkerState* w = workers_[worker].get();
+          if (ctx.failed.load(std::memory_order_relaxed) ||
+              WorkerShouldStop(w)) {
+            return;
+          }
+          // The commit-distance gate. A gated worker helps drain the
+          // frontier instead of blocking: the worker holding the minimum
+          // uncommitted task is never gated (its gate condition needs the
+          // frontier to pass that very task), and owners pop their deques
+          // in ascending index order, so the minimum unfinished task is
+          // always either running or next in line — the window cannot
+          // deadlock and the frontier always advances.
+          while (i >= ctx.frontier.load(std::memory_order_seq_cst) +
+                          ctx.gate) {
+            if (ctx.failed.load(std::memory_order_relaxed) ||
+                WorkerShouldStop(w)) {
+              return;
+            }
+            CommitReadySlots(&ctx, /*blocking=*/false);
+            std::this_thread::yield();
+          }
+          run_task(w, i);
+          ctx.slots[i].done.store(1, std::memory_order_release);
+          CommitReadySlots(&ctx, /*blocking=*/false);
+        });
+    lp->wall_seconds += region.wall_seconds;
+    lp->worker_seconds += region.busy_seconds;
+    // Workers have quiesced; drain whatever the last TryLock race left.
+    CommitReadySlots(&ctx, /*blocking=*/true);
+  } else {
+    // Serial fallback: same task and commit code on the caller thread, no
+    // deques, no gate — the frontier trivially follows the loop index.
+    WallTimer serial_timer;
+    WorkerState* w = workers_[0].get();
+    for (int64_t i = 0;
+         i < count && !ctx.failed.load(std::memory_order_relaxed); ++i) {
+      if (WorkerShouldStop(w)) break;
+      run_task(w, i);
+      ctx.slots[i].done.store(1, std::memory_order_release);
+      CommitReadySlots(&ctx, /*blocking=*/true);
+    }
+    const double elapsed = serial_timer.ElapsedSeconds();
+    lp->wall_seconds += elapsed;
+    lp->worker_seconds += elapsed;
+  }
+  const Status end_status = store_->EndTaskWindow();
+
+  // Return the plan's unconsumed buffers (never issued, or skipped by a
+  // stop) so the next window's planner sees them again.
+  if (planned) {
+    for (auto& [capacity, buffer] : free_buffers) {
+      buffer_pool_.Recycle(std::move(buffer));
+    }
+    for (std::vector<int32_t>& buffer : planned_rows) {
+      if (buffer.capacity() > 0) buffer_pool_.Recycle(std::move(buffer));
+    }
+    for (std::vector<int32_t>& buffer : planned_offsets) {
+      if (buffer.capacity() > 0) buffer_pool_.Recycle(std::move(buffer));
+    }
+  }
+
+  int64_t committed = 0;
+  Status window_status = Status::OK();
+  {
+    MutexLock lock(&ctx.mu);
+    committed = ctx.frontier.load(std::memory_order_relaxed);
+    *next = std::move(ctx.nodes);
+    window_status = ctx.status;
+  }
+  pending_outcomes_.reserve(committed);
+  for (int64_t i = 0; i < committed; ++i) {
+    pending_outcomes_.push_back(std::move(ctx.slots[i].outcome));
+  }
+  if (!window_status.ok()) {
+    LogIgnoredStatus(end_status, "ending the task window");
+    return window_status;
+  }
+  return end_status;
+}
+
 Status TaneRun::WriteCheckpoint(int level_number,
                                 const std::vector<Node>& survivors,
                                 DiscoveryResult* result) {
@@ -872,7 +1237,8 @@ Status TaneRun::RestoreFromSnapshot(const RunSnapshot& snapshot,
 
   // Survivor partitions rehydrate through the regular Put path, so the
   // store chain (spill, budget accounting, PLI interning) treats them
-  // exactly like partitions the run computed itself.
+  // exactly like partitions the run computed itself. member_rows is
+  // relation-derived state the snapshot format deliberately omits.
   survivors->reserve(snapshot.survivors.size());
   for (const SnapshotNode& stored : snapshot.survivors) {
     TANE_ASSIGN_OR_RETURN(StrippedPartition partition,
@@ -881,6 +1247,7 @@ Status TaneRun::RestoreFromSnapshot(const RunSnapshot& snapshot,
     node.set = stored.set;
     node.cplus = stored.cplus;
     node.error = stored.error;
+    node.member_rows = partition.num_member_rows();
     TANE_ASSIGN_OR_RETURN(node.handle, store_->Put(std::move(partition)));
     survivors->push_back(node);
     metrics_.Add(0, obs::kCheckpointNodesRestored, 1);
@@ -902,8 +1269,6 @@ Status TaneRun::RestoreFromSnapshot(const RunSnapshot& snapshot,
 
 StatusOr<bool> TaneRun::AdvanceLevel(int level_number,
                                      std::vector<Node>* survivors,
-                                     std::vector<Node>* prev,
-                                     LevelIndex* prev_index,
                                      std::vector<Node>* current,
                                      DiscoveryResult* result) {
   if (checkpointing() && config_.checkpoint_every_level &&
@@ -930,11 +1295,12 @@ StatusOr<bool> TaneRun::AdvanceLevel(int level_number,
   }
 
   // GENERATE-NEXT-LEVEL with partitions as products of two parents
-  // (Lemma 3). Products are computed in parallel batches — candidates
-  // are independent given the survivor partitions — and stored serially
-  // in candidate order, so handles and e(·) values are deterministic.
-  // Batching bounds the partitions resident outside the store to
-  // O(threads) instead of O(level size).
+  // (Lemma 3), fused with the next level's validity tests: each candidate
+  // becomes one task of a level window, runnable the moment its parent
+  // partitions exist (they all do — the parents are the survivors), and
+  // committed in candidate order so handles and e(·) values are
+  // deterministic. The commit-distance gate bounds partitions resident
+  // outside the store to O(threads), like the old batched generator.
   std::vector<AttributeSet> survivor_sets;
   survivor_sets.reserve(survivors->size());
   for (const Node& node : *survivors) survivor_sets.push_back(node.set);
@@ -943,69 +1309,87 @@ StatusOr<bool> TaneRun::AdvanceLevel(int level_number,
     obs::SpanGuard span(tracer_, "generate", &metrics_);
     candidates = GenerateNextLevel(survivor_sets);
   }
+  if (candidates.empty()) {
+    // Nothing above this level: the loop exits without entering a new
+    // level, so no timing row is pushed for one.
+    TANE_RETURN_IF_ERROR(ReleaseHandles(survivors));
+    current->clear();
+    return true;
+  }
+  const LevelIndex survivor_index(survivor_sets);
 
-  LevelParallelStats& level_stats = stats_.level_parallel.back();
+  const int next_level = level_number + 1;
+  std::vector<AttributeSet> sets(candidates.size());
+  std::vector<AttributeSet> cplus(candidates.size());
+  std::vector<int64_t> row_bounds(candidates.size());
+  int64_t est_row_work = 0;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    sets[i] = candidates[i].set;
+    cplus[i] = SeedCplus(next_level, sets[i], survivors, &survivor_index);
+    row_bounds[i] =
+        std::min((*survivors)[candidates[i].parent_a].member_rows,
+                 (*survivors)[candidates[i].parent_b].member_rows);
+    est_row_work += row_bounds[i];
+  }
+
+  // The next level's timing row is pushed before its window so the fused
+  // build+validate time lands on the level it creates; a wind-down below
+  // pops it again, keeping one row per entered level.
+  {
+    LevelParallelStats row;
+    row.level = next_level;
+    row.nodes = static_cast<int64_t>(candidates.size());
+    stats_.level_parallel.push_back(row);
+  }
+
+  WindowInputs in;
+  in.level_number = next_level;
+  in.sets = &sets;
+  in.cplus = &cplus;
+  in.parents = survivors;
+  in.parent_index = &survivor_index;
+  in.row_bounds = config_.use_partition_products ? &row_bounds : nullptr;
+  in.est_row_work = est_row_work;
   std::vector<Node> next;
-  next.reserve(candidates.size());
-  const size_t batch_size = static_cast<size_t>(pool_.num_threads()) * 8;
-  Status generate_status = Status::OK();
+  Status window_status;
   {
     obs::SpanGuard span(tracer_, "products", &metrics_);
-    for (size_t begin = 0; begin < candidates.size() && !stopped();
-         begin += batch_size) {
-      const size_t end = std::min(candidates.size(), begin + batch_size);
-      std::vector<std::optional<StatusOr<StrippedPartition>>> products(
-          end - begin);
-      const ParallelForStats region = pool_.ParallelFor(
-          static_cast<int64_t>(end - begin), [&](int worker, int64_t j) {
-            WorkerState* w = workers_[worker].get();
-            if (WorkerShouldStop(w)) return;
-            products[j] =
-                BuildCandidatePartition(w, candidates[begin + j], *survivors);
-          });
-      level_stats.wall_seconds += region.wall_seconds;
-      level_stats.worker_seconds += region.busy_seconds;
-      PollStop();
-
-      for (size_t j = 0; j < products.size(); ++j) {
-        if (!products[j].has_value()) break;  // skipped by a stop
-        if (!products[j]->ok()) {
-          generate_status = products[j]->status();
-          break;
-        }
-        StrippedPartition product = std::move(*products[j]).value();
-        Node node;
-        node.set = candidates[begin + j].set;
-        node.error = product.Error();
-        TANE_ASSIGN_OR_RETURN(node.handle, store_->Put(std::move(product)));
-        next.push_back(node);
-        metrics_.Add(0, obs::kSetsGenerated, 1);
-        SamplePeakMemory();
-        generate_status = CheckMemoryBudget();
-        if (!generate_status.ok()) break;
-      }
-      if (!generate_status.ok()) break;
-    }
+    window_status = RunLevelWindow(
+        in,
+        [&](WorkerState* w, int64_t i) {
+          return BuildCandidatePartition(w, candidates[i], *survivors);
+        },
+        &next, &stats_.level_parallel.back());
   }
-  if (!generate_status.ok()) {
+  if (window_status.ok() && !stopped()) {
+    // Quiesce point: full memory accounting now that worker scratch and
+    // accessor caches are stable again.
+    SamplePeakMemory();
+    window_status = CheckMemoryBudget();
+  }
+  if (!window_status.ok()) {
     // Hard error (store I/O, budget breach): snapshot the level boundary
     // while the survivors are still live — a budget breach under
     // checkpointing becomes a resumable failure the caller can retry with
     // a different storage plan — then release everything before surfacing
-    // it. The generate error takes precedence over cleanup failures, but
+    // it. The window error takes precedence over cleanup failures, but
     // those still get a log line each.
+    stats_.level_parallel.pop_back();
     LogIgnoredStatus(
         MaybeWindDownCheckpoint(level_number, *survivors, result),
         "checkpoint during error wind-down");
     LogIgnoredStatus(ReleaseHandles(&next), "releasing next level");
     LogIgnoredStatus(ReleaseHandles(survivors), "releasing survivors");
-    return generate_status;
+    return window_status;
   }
   if (stopped()) {
-    // Stopped while generating the next level: its partial contents were
-    // never tested, so they contribute nothing — drop them. The survivor
-    // level is still a valid boundary, so it is snapshot for resume.
+    // Stopped while building the next level: its committed prefix was
+    // validated but never merged or pruned, so it contributes nothing —
+    // drop it. The survivor level is still a valid boundary, so it is
+    // snapshot for resume.
     LatchCompletion();
+    stats_.level_parallel.pop_back();
+    pending_outcomes_.clear();
     TANE_RETURN_IF_ERROR(ReleaseHandles(&next));
     TANE_RETURN_IF_ERROR(
         MaybeWindDownCheckpoint(level_number, *survivors, result));
@@ -1013,19 +1397,9 @@ StatusOr<bool> TaneRun::AdvanceLevel(int level_number,
     return false;
   }
 
-  // In exact mode validity tests read only the stored e(·) values, so the
-  // survivor partitions can be dropped now that the products exist; the
-  // approximate mode still needs them for g3 scans.
-  if (config_.epsilon == 0.0) {
-    TANE_RETURN_IF_ERROR(ReleaseHandles(survivors));
-  }
-  *prev = std::move(*survivors);
-  {
-    std::vector<AttributeSet> prev_sets;
-    prev_sets.reserve(prev->size());
-    for (const Node& node : *prev) prev_sets.push_back(node.set);
-    *prev_index = LevelIndex(prev_sets);
-  }
+  // The window consumed the survivors completely — products and validity
+  // scans both ran inside it — so their partitions are dead in every mode.
+  TANE_RETURN_IF_ERROR(ReleaseHandles(survivors));
   *current = std::move(next);
   return true;
 }
@@ -1052,8 +1426,6 @@ Status TaneRun::Run(DiscoveryResult* result) {
   }
 
   std::vector<Node> current;
-  std::vector<Node> prev;
-  LevelIndex prev_index;
   int level_number = 1;
 
   if (resume_snapshot_ != nullptr) {
@@ -1070,34 +1442,58 @@ Status TaneRun::Run(DiscoveryResult* result) {
       row.nodes = static_cast<int64_t>(survivors.size());
       stats_.level_parallel.push_back(row);
     }
-    TANE_ASSIGN_OR_RETURN(const bool advanced,
-                          AdvanceLevel(level_number, &survivors, &prev,
-                                       &prev_index, &current, result));
+    TANE_ASSIGN_OR_RETURN(
+        const bool advanced,
+        AdvanceLevel(level_number, &survivors, &current, result));
     if (advanced) ++level_number;
     // !advanced leaves `current` empty, skipping the loop: the run wound
     // down again (suspend, stop, ...) before making progress.
-  } else {
-    // L_1 := {{A} | A ∈ R}, with partitions computed from the database.
-    current.reserve(num_attributes);
+  } else if (num_attributes > 0) {
+    // L_1 := {{A} | A ∈ R}, with partitions computed from the database
+    // through the same fused window as every later level: build + validity
+    // tests in one task per attribute. Its timing row is pushed first so
+    // the level-1 work lands on the level-1 row.
+    {
+      LevelParallelStats row;
+      row.level = 1;
+      row.nodes = num_attributes;
+      stats_.level_parallel.push_back(row);
+    }
+    std::vector<AttributeSet> sets(num_attributes);
+    std::vector<AttributeSet> cplus(num_attributes);
+    for (int attribute = 0; attribute < num_attributes; ++attribute) {
+      sets[attribute] = AttributeSet::Singleton(attribute);
+      cplus[attribute] = SeedCplus(1, sets[attribute], nullptr, nullptr);
+    }
+    WindowInputs in;
+    in.level_number = 1;
+    in.sets = &sets;
+    in.cplus = &cplus;
+    in.stash_singletons = !config_.use_partition_products;
+    in.est_row_work = static_cast<int64_t>(num_attributes) * num_rows_;
+    if (in.stash_singletons) singleton_partitions_.reserve(num_attributes);
+    Status seed_status;
     {
       obs::SpanGuard span(tracer_, "base-partitions", &metrics_);
-      for (int attribute = 0; attribute < num_attributes; ++attribute) {
-        StrippedPartition partition = PartitionBuilder::ForAttribute(
-            relation_, attribute, config_.use_stripped_partitions);
-        Node node;
-        node.set = AttributeSet::Singleton(attribute);
-        node.error = partition.Error();
-        if (config_.use_partition_products) {
-          TANE_ASSIGN_OR_RETURN(node.handle, store_->Put(std::move(partition)));
-        } else {
-          // The recomputation mode folds from resident singleton copies, so
-          // the store gets a copy and the original stays here.
-          TANE_ASSIGN_OR_RETURN(node.handle, store_->Put(partition));
-          singleton_partitions_.push_back(std::move(partition));
-        }
-        current.push_back(node);
-        metrics_.Add(0, obs::kSetsGenerated, 1);
-      }
+      seed_status = RunLevelWindow(
+          in,
+          [&](WorkerState*, int64_t i) {
+            return StatusOr<StrippedPartition>(PartitionBuilder::ForAttribute(
+                relation_, static_cast<int>(i),
+                config_.use_stripped_partitions));
+          },
+          &current, &stats_.level_parallel.back());
+    }
+    TANE_RETURN_IF_ERROR(seed_status);
+    if (stopped()) {
+      // Stopped during seeding: nothing was merged, so the partial level 1
+      // contributes nothing; drop it — including its timing row, since the
+      // level was never entered.
+      LatchCompletion();
+      stats_.level_parallel.pop_back();
+      pending_outcomes_.clear();
+      TANE_RETURN_IF_ERROR(ReleaseHandles(&current));
+      current.clear();
     }
     SamplePeakMemory();
     TANE_RETURN_IF_ERROR(CheckMemoryBudget());
@@ -1114,29 +1510,18 @@ Status TaneRun::Run(DiscoveryResult* result) {
                       static_cast<int64_t>(current.size()));
     obs::SpanGuard level_span(
         tracer_, "level " + std::to_string(level_number), &metrics_);
-    // The level's timing row lives in stats_ from the start so the advance
-    // path (and a checkpoint taken mid-boundary) always sees it in place.
-    {
-      LevelParallelStats row;
-      row.level = level_number;
-      row.nodes = static_cast<int64_t>(current.size());
-      stats_.level_parallel.push_back(row);
-    }
+    // The level's timing row was pushed by whichever window built it
+    // (AdvanceLevel, the seeding window, or the resume prologue).
+    // tane-lint: allow(tane-check)
+    TANE_CHECK(!stats_.level_parallel.empty() &&
+               stats_.level_parallel.back().level == level_number)
+        << "level timing row out of step with the loop";
 
     {
+      // The window already ran this level's validity tests; what remains is
+      // the serial in-node-order merge of emissions and C⁺ updates.
       obs::SpanGuard span(tracer_, "validity", &metrics_);
-      TANE_RETURN_IF_ERROR(ComputeDependencies(level_number, &current, &prev,
-                                               &prev_index, result,
-                                               &stats_.level_parallel.back()));
-    }
-    TANE_RETURN_IF_ERROR(ReleaseHandles(&prev));
-    if (stopped()) {
-      // Stopped mid-level: the dependencies already emitted stand on their
-      // own, but PRUNE must not run against half-updated C⁺ sets (it could
-      // certify a non-minimal key dependency). Wind down here; the last
-      // per-level snapshot (if any) still covers the previous boundary.
-      TANE_RETURN_IF_ERROR(ReleaseHandles(&current));
-      break;
+      TANE_RETURN_IF_ERROR(MergeOutcomes(&current, result));
     }
     {
       obs::SpanGuard span(tracer_, "prune", &metrics_);
@@ -1157,14 +1542,13 @@ Status TaneRun::Run(DiscoveryResult* result) {
       break;
     }
 
-    TANE_ASSIGN_OR_RETURN(const bool advanced,
-                          AdvanceLevel(level_number, &survivors, &prev,
-                                       &prev_index, &current, result));
+    TANE_ASSIGN_OR_RETURN(
+        const bool advanced,
+        AdvanceLevel(level_number, &survivors, &current, result));
     if (!advanced) break;
     ++level_number;
   }
 
-  TANE_RETURN_IF_ERROR(ReleaseHandles(&prev));
   CanonicalizeFds(&result->fds);
   std::sort(result->keys.begin(), result->keys.end());
   LatchCompletion();
@@ -1275,7 +1659,8 @@ StatusOr<DiscoveryResult> Tane::Discover(const Relation& relation,
   }
 
   DiscoveryResult result;
-  TaneRun run(relation, config, std::move(store), resume_snapshot.get());
+  TaneRun run(relation, config, std::move(store), pli_cache,
+              resume_snapshot.get());
   TANE_RETURN_IF_ERROR(run.Run(&result));
   if (auto_store != nullptr) {
     result.stats.degraded_to_disk = auto_store->spilled();

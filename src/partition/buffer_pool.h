@@ -68,6 +68,15 @@ class PartitionBufferPool {
   /// Recycles both CSR arrays of `partition`, leaving it empty but valid.
   void Recycle(StrippedPartition&& partition);
 
+  /// Drains every slot cache and the shared freelist into the returned
+  /// vector, leaving the pool empty. Used by the parallel executor's window
+  /// planner, which assigns the drained buffers to candidates in node order
+  /// (a thread-count-invariant plan, unlike slot-local Acquire warm-up) and
+  /// recycles the leftovers at the window boundary. Quiesce-only: no
+  /// concurrent Acquire/Recycle. Counts neither acquires nor reuses — the
+  /// planner's hand-offs are visible as product allocations staying zero.
+  std::vector<std::vector<int32_t>> TakeAll();
+
   /// Bytes currently retained across the shared freelist and every slot
   /// cache. Meaningful between parallel regions (when no worker is
   /// mutating its slot).

@@ -8,7 +8,17 @@
 namespace tane {
 
 PartitionProduct::PartitionProduct(int64_t num_rows)
-    : num_rows_(num_rows), probe_(num_rows, -1) {}
+    : num_rows_(num_rows), probe_(num_rows, -1) {
+  // Pre-warm the scratch arrays to their row-count bounds (a partition over
+  // |r| rows has at most |r| classes and |r| member rows). Lazy growth in
+  // Multiply would be counted as allocations, and since each worker owns
+  // its own PartitionProduct, lazy warm-up makes the run-wide allocation
+  // count scale with the worker count; paying it up front keeps
+  // allocations-per-product thread-count-invariant (and 0 in steady state).
+  group_size_.assign(num_rows, 0);
+  touched_.reserve(num_rows);
+  bucket_data_.resize(num_rows);
+}
 
 void PartitionProduct::CountAllocation() {
   ++allocations_;
@@ -77,7 +87,15 @@ StatusOr<StrippedPartition> PartitionProduct::Multiply(
 
   std::vector<int32_t> out_rows;
   std::vector<int32_t> out_offsets;
-  if (pool_ != nullptr) {
+  if (has_provided_) {
+    // Planner-assigned buffers (see ProvideOutputBuffers): consumed here so
+    // a later un-planned call falls back to the pool path.
+    out_rows = std::move(provided_rows_);
+    out_offsets = std::move(provided_offsets_);
+    provided_rows_ = {};
+    provided_offsets_ = {};
+    has_provided_ = false;
+  } else if (pool_ != nullptr) {
     out_rows = pool_->Acquire(pool_slot_, row_bound);
     out_offsets = pool_->Acquire(pool_slot_, offsets_bound);
   }

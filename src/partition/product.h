@@ -50,6 +50,21 @@ class PartitionProduct {
     pool_slot_ = slot;
   }
 
+  /// Hands the next Multiply its output buffers directly, bypassing the
+  /// pool. Used by the parallel executor's window planner, which assigns
+  /// pooled buffers to candidates in node order *before* the window starts —
+  /// per-worker pool slots warm up independently, so slot-local Acquire
+  /// would make the allocation count drift with the thread count, while a
+  /// coordinator-planned assignment is a pure function of the candidate
+  /// list. Consumed (and cleared) by the next Multiply call; undersized
+  /// buffers are still grown and counted as allocations, deterministically.
+  void ProvideOutputBuffers(std::vector<int32_t> rows,
+                            std::vector<int32_t> offsets) {
+    provided_rows_ = std::move(rows);
+    provided_offsets_ = std::move(offsets);
+    has_provided_ = true;
+  }
+
   /// Mirrors allocation counts (kProductAllocations) and records the class
   /// count / member-row histograms of every successful product into
   /// `metrics`, on shard `shard` (the caller's worker index). Not owned;
@@ -106,6 +121,11 @@ class PartitionProduct {
   // g occupies in `a`'s own CSR layout (a.class_offsets()[g], exact
   // capacity by construction), so buckets never need growth or checks.
   std::vector<int32_t> bucket_data_;
+
+  // Buffers staged by ProvideOutputBuffers for the next Multiply.
+  std::vector<int32_t> provided_rows_;
+  std::vector<int32_t> provided_offsets_;
+  bool has_provided_ = false;
 
   PartitionBufferPool* pool_ = nullptr;
   int pool_slot_ = 0;

@@ -1,14 +1,130 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 
 #include "util/logging.h"
 #include "util/mutex.h"
 #include "util/timer.h"
 
 namespace tane {
+namespace {
 
-ThreadPool::ThreadPool(int num_threads) : num_threads_(std::max(1, num_threads)) {
+int64_t RoundUpPow2(int64_t value) {
+  int64_t result = 1;
+  while (result < value) result <<= 1;
+  return result;
+}
+
+}  // namespace
+
+WorkStealingDeque::Ring::Ring(int64_t cap)
+    : capacity(cap),
+      mask(cap - 1),
+      slots(std::make_unique<std::atomic<int64_t>[]>(
+          static_cast<size_t>(cap))) {}
+
+WorkStealingDeque::WorkStealingDeque(int64_t capacity_hint) {
+  // The live ring is owned by ring_ (an atomic, so it cannot hold a
+  // unique_ptr); freed by Reset/Grow-retirement/destructor.
+  // tane-lint: allow(naked-new)
+  ring_.store(new Ring(RoundUpPow2(std::max<int64_t>(2, capacity_hint))),
+              std::memory_order_relaxed);
+}
+
+WorkStealingDeque::~WorkStealingDeque() {
+  delete ring_.load(std::memory_order_relaxed);
+}
+
+void WorkStealingDeque::Reset(int64_t capacity_hint) {
+  // Quiescent by contract: no concurrent Push/Pop/Steal, so plain stores
+  // and retired-ring reclamation are safe here.
+  retired_.clear();
+  Ring* ring = ring_.load(std::memory_order_relaxed);
+  if (capacity_hint > ring->capacity) {
+    delete ring;
+    // Ownership transfers to ring_ (see constructor note).
+    // tane-lint: allow(naked-new)
+    ring_.store(new Ring(RoundUpPow2(capacity_hint)),
+                std::memory_order_relaxed);
+  }
+  top_.store(0, std::memory_order_seq_cst);
+  bottom_.store(0, std::memory_order_seq_cst);
+}
+
+WorkStealingDeque::Ring* WorkStealingDeque::Grow(Ring* ring, int64_t top,
+                                                 int64_t bottom) {
+  // Published into ring_; the replaced ring moves to retired_ below.
+  // tane-lint: allow(naked-new)
+  Ring* bigger = new Ring(ring->capacity * 2);
+  for (int64_t i = top; i < bottom; ++i) {
+    bigger->slots[i & bigger->mask].store(
+        ring->slots[i & ring->mask].load(std::memory_order_seq_cst),
+        std::memory_order_seq_cst);
+  }
+  ring_.store(bigger, std::memory_order_seq_cst);
+  // The old ring may still be read by an in-flight Steal that loaded ring_
+  // before the publish above; keep it alive until the next quiesce point.
+  retired_.emplace_back(ring);
+  return bigger;
+}
+
+void WorkStealingDeque::Push(int64_t item) {
+  const int64_t bottom = bottom_.load(std::memory_order_seq_cst);
+  const int64_t top = top_.load(std::memory_order_seq_cst);
+  Ring* ring = ring_.load(std::memory_order_seq_cst);
+  if (bottom - top >= ring->capacity) ring = Grow(ring, top, bottom);
+  ring->slots[bottom & ring->mask].store(item, std::memory_order_seq_cst);
+  bottom_.store(bottom + 1, std::memory_order_seq_cst);
+}
+
+bool WorkStealingDeque::Pop(int64_t* item) {
+  const int64_t bottom = bottom_.load(std::memory_order_seq_cst) - 1;
+  Ring* ring = ring_.load(std::memory_order_seq_cst);
+  bottom_.store(bottom, std::memory_order_seq_cst);
+  int64_t top = top_.load(std::memory_order_seq_cst);
+  if (top > bottom) {
+    // Empty: restore bottom.
+    bottom_.store(bottom + 1, std::memory_order_seq_cst);
+    return false;
+  }
+  *item = ring->slots[bottom & ring->mask].load(std::memory_order_seq_cst);
+  if (top == bottom) {
+    // Last item: race the thieves for it via top.
+    const bool won = top_.compare_exchange_strong(
+        top, top + 1, std::memory_order_seq_cst, std::memory_order_seq_cst);
+    bottom_.store(bottom + 1, std::memory_order_seq_cst);
+    return won;
+  }
+  return true;
+}
+
+bool WorkStealingDeque::Steal(int64_t* item) {
+  int64_t top = top_.load(std::memory_order_seq_cst);
+  const int64_t bottom = bottom_.load(std::memory_order_seq_cst);
+  if (top >= bottom) return false;
+  // Read the slot before claiming it: the claim (CAS on top) only succeeds
+  // if no other thief or the owner's last-item Pop got there first, and the
+  // owner never overwrites slot `top & mask` while `top` is live (a Push
+  // that would wrap onto it grows the ring instead).
+  Ring* ring = ring_.load(std::memory_order_seq_cst);
+  const int64_t value =
+      ring->slots[top & ring->mask].load(std::memory_order_seq_cst);
+  if (!top_.compare_exchange_strong(top, top + 1, std::memory_order_seq_cst,
+                                    std::memory_order_seq_cst)) {
+    return false;
+  }
+  *item = value;
+  return true;
+}
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  deques_.reserve(num_threads_);
+  for (int worker = 0; worker < num_threads_; ++worker) {
+    deques_.emplace_back(std::make_unique<WorkStealingDeque>());
+  }
   workers_.reserve(num_threads_ - 1);
   for (int worker = 1; worker < num_threads_; ++worker) {
     workers_.emplace_back([this, worker] { WorkerLoop(worker); });
@@ -25,40 +141,56 @@ ThreadPool::~ThreadPool() {
 }
 
 double ThreadPool::Drain(int worker,
-                         const std::function<void(int, int64_t)>& fn,
-                         int64_t count) {
-  const auto start = std::chrono::steady_clock::now();
+                         const std::function<void(int, int64_t)>& fn) {
+  std::chrono::steady_clock::time_point start;
+  std::chrono::steady_clock::time_point last_end;
   int64_t items = 0;
-  for (int64_t index = next_.fetch_add(1, std::memory_order_relaxed);
-       index < count;
-       index = next_.fetch_add(1, std::memory_order_relaxed)) {
+  WorkStealingDeque& own = *deques_[worker];
+  int64_t index = 0;
+  while (remaining_.load(std::memory_order_seq_cst) > 0) {
+    bool found = own.Pop(&index);
+    if (!found) {
+      // Own deque dry: sweep the peers, starting just past this worker so
+      // thieves fan out instead of all hammering deque 0.
+      for (int step = 1; !found && step < num_threads_; ++step) {
+        found = deques_[(worker + step) % num_threads_]->Steal(&index);
+      }
+    }
+    if (!found) {
+      // Nothing visible anywhere, but indices are still in flight on other
+      // workers; yield and re-sweep until remaining_ hits zero.
+      std::this_thread::yield();
+      continue;
+    }
+    const auto begin = std::chrono::steady_clock::now();
+    if (items == 0) start = begin;
     fn(worker, index);
+    last_end = std::chrono::steady_clock::now();
     ++items;
+    remaining_.fetch_sub(1, std::memory_order_seq_cst);
   }
-  const auto end = std::chrono::steady_clock::now();
-  if (slice_hook_ && items > 0) {
-    slice_hook_(ParallelForSlice{worker, start, end, items});
+  if (items == 0) return 0.0;
+  if (slice_hook_) {
+    slice_hook_(ParallelForSlice{worker, start, last_end, items});
   }
-  return std::chrono::duration<double>(end - start).count();
+  return std::chrono::duration<double>(last_end - start).count();
 }
 
 void ThreadPool::WorkerLoop(int worker) {
   uint64_t seen_epoch = 0;
   while (true) {
     const std::function<void(int, int64_t)>* fn = nullptr;
-    int64_t count = 0;
     {
       MutexLock lock(&mu_);
       while (!shutdown_ && epoch_ == seen_epoch) work_cv_.Wait(&mu_);
       if (shutdown_) return;
       seen_epoch = epoch_;
       // Capture the job under the lock; Drain then runs lock-free. The
-      // pointees stay valid because ParallelFor cannot return (and so the
+      // pointee stays valid because ParallelFor cannot return (and so the
       // job cannot be torn down) until running_ drops to zero below.
       fn = fn_;
-      count = count_;
     }
-    const double busy = Drain(worker, *fn, count);
+    const double busy = Drain(worker, *fn);
     {
       MutexLock lock(&mu_);
       busy_seconds_ += busy;
@@ -84,22 +216,35 @@ ParallelForStats ThreadPool::ParallelFor(
     return stats;
   }
 
+  // Seed the deques before publishing the epoch: worker w owns the indices
+  // congruent to w mod num_threads, pushed in descending order so the
+  // owner's LIFO pops drain them ascending (thieves take from the other
+  // end, i.e. the highest of a victim's remaining indices). The mu_
+  // handshake below orders these pushes before any worker's first Pop.
+  const int64_t per_worker = (count + num_threads_ - 1) / num_threads_;
+  for (int worker = 0; worker < num_threads_; ++worker) {
+    WorkStealingDeque& deque = *deques_[worker];
+    deque.Reset(per_worker);
+    int64_t index = worker + (per_worker - 1) * num_threads_;
+    while (index >= count) index -= num_threads_;
+    for (; index >= 0; index -= num_threads_) deque.Push(index);
+  }
+  remaining_.store(count, std::memory_order_seq_cst);
+
   {
     MutexLock lock(&mu_);
     // Invariant: ParallelFor is not reentrant from worker bodies.
     // tane-lint: allow(tane-check)
     TANE_CHECK(running_ == 0) << "reentrant ParallelFor";
     fn_ = &fn;
-    count_ = count;
-    next_.store(0, std::memory_order_relaxed);
     busy_seconds_ = 0.0;
     running_ = num_threads_ - 1;
     ++epoch_;
   }
   work_cv_.NotifyAll();
 
-  // The caller participates as worker 0, draining its own arguments.
-  const double own_busy = Drain(0, fn, count);
+  // The caller participates as worker 0, draining its own deque first.
+  const double own_busy = Drain(0, fn);
 
   MutexLock lock(&mu_);
   while (running_ != 0) done_cv_.Wait(&mu_);

@@ -30,6 +30,9 @@ DiscoveryResult Discover(const Relation& relation, double epsilon,
   config.epsilon = epsilon;
   config.num_threads = num_threads;
   config.use_pli_cache = use_pli_cache;
+  // Force the parallel task window even on small levels and single-core CI
+  // machines: these tests exist to exercise the scheduler, not to go fast.
+  config.parallel_min_window_rows = 0;
   StatusOr<DiscoveryResult> result = Tane::Discover(relation, config);
   EXPECT_TRUE(result.ok()) << result.status().ToString();
   return std::move(result).value();
@@ -64,6 +67,12 @@ void ExpectIdenticalResults(const DiscoveryResult& expected,
   EXPECT_EQ(expected.stats.pli_cache_misses, actual.stats.pli_cache_misses);
   EXPECT_EQ(expected.stats.pli_cache_bytes_saved,
             actual.stats.pli_cache_bytes_saved);
+  // The window planner assigns pooled buffers to candidates in node order —
+  // a pure function of the candidate list — so the run-wide allocation
+  // count cannot drift with the thread count (it used to, when workers
+  // warmed their slot caches in arrival order).
+  EXPECT_EQ(expected.stats.product_allocations,
+            actual.stats.product_allocations);
 }
 
 struct DatasetCase {
@@ -94,6 +103,37 @@ TEST_P(TaneParallelDeterminismTest, ApproximateIdenticalAcrossThreadCounts) {
       ExpectIdenticalResults(serial, Discover(relation, epsilon, threads),
                              threads);
     }
+  }
+}
+
+// The issue's acceptance matrix: every thread count of {1, 2, 4, 8} at both
+// the exact and the approximate operating point must produce bit-identical
+// results, with the parallel window forced on for every level.
+TEST_P(TaneParallelDeterminismTest, FullThreadEpsilonMatrixIsBitIdentical) {
+  const Relation relation = Dataset(GetParam().dataset, GetParam().rows);
+  for (double epsilon : {0.0, 0.1}) {
+    const DiscoveryResult serial = Discover(relation, epsilon, 1);
+    for (int threads : {2, 4, 8}) {
+      ExpectIdenticalResults(serial, Discover(relation, epsilon, threads),
+                             threads);
+    }
+  }
+}
+
+TEST_P(TaneParallelDeterminismTest, SerialFallbackMatchesParallelWindow) {
+  // The small-batch fallback (parallel_min_window_rows) routes a level to
+  // the caller thread instead of the task window; both paths share the task
+  // and commit code, so flipping the threshold can change scheduling only,
+  // never results.
+  const Relation relation = Dataset(GetParam().dataset, GetParam().rows);
+  const DiscoveryResult windowed = Discover(relation, 0.0, 4);
+  for (int64_t threshold : {int64_t{-1}, int64_t{1} << 40}) {
+    TaneConfig config;
+    config.num_threads = 4;
+    config.parallel_min_window_rows = threshold;
+    StatusOr<DiscoveryResult> fallback = Tane::Discover(relation, config);
+    ASSERT_TRUE(fallback.ok()) << fallback.status().ToString();
+    ExpectIdenticalResults(windowed, *fallback, 4);
   }
 }
 

@@ -52,6 +52,22 @@ else
 fi
 echo "perf smoke OK: ${smoke_json}"
 
+# Scaling gate: run the thread-scaling sweep at quick scale and hard-fail
+# on regressions — any thread count whose output differs from serial, any
+# allocation-count drift, and (on machines with the cores to measure it)
+# speedups below the floors in check_obs.py. On single-core CI boxes the
+# floors self-skip but the determinism and allocation checks still bind.
+echo "==> scaling gate: release parallel_scaling"
+cmake --build --preset release -j "${jobs}" --target parallel_scaling
+scaling_json="build-release/BENCH_parallel_scaling.json"
+build-release/bench/parallel_scaling --scale=quick --json="${scaling_json}"
+if command -v python3 >/dev/null 2>&1; then
+  python3 tools/check_obs.py scaling "${scaling_json}"
+else
+  [ -s "${scaling_json}" ]
+fi
+echo "scaling gate OK: ${scaling_json}"
+
 # Observability smoke: one release discovery with tracing, progress, and the
 # run report enabled; the checker validates the trace is loadable trace-event
 # JSON and that the report's counters and per-level table agree with the

@@ -2,9 +2,10 @@
 """Validators for the observability artifacts, used by tools/check.sh.
 
 Usage:
-  check_obs.py micro  BENCH_micro_partition.json
-  check_obs.py trace  trace.json
-  check_obs.py report report.json discover_stats.txt
+  check_obs.py micro   BENCH_micro_partition.json
+  check_obs.py trace   trace.json
+  check_obs.py report  report.json discover_stats.txt
+  check_obs.py scaling BENCH_parallel_scaling.json
 
 `micro` asserts the instrumentation overhead measured by the partition
 microbenchmark stays within the 2% budget and that the registry metrics
@@ -12,7 +13,11 @@ made it into the artifact. `trace` checks the file is structurally valid
 Chrome trace-event JSON (loadable by chrome://tracing and Perfetto) and
 names every expected phase span. `report` checks the run-report schema and
 that its counters and per-level table agree with what `tane discover
---stats` printed for the same run.
+--stats` printed for the same run. `scaling` hard-fails on thread-scaling
+regressions in the parallel_scaling artifact: every run must match the
+serial output bit for bit, allocation counts must not drift with the thread
+count, and — on machines whose hardware_concurrency covers the thread count
+— speedups must clear the regression floors below.
 """
 
 import re
@@ -131,6 +136,72 @@ def check_trace(path):
           f"{doc.get('otherData', {}).get('dropped_events', 0)} dropped)")
 
 
+# Speedup floors for the exact (epsilon = 0) sweep, deliberately below the
+# target numbers in the issue (>=1.5x at 2T, >=6x at 8T) so CI noise does
+# not flap the gate, but far above the regression they guard against
+# (0.57x at 2T). Applied only when the machine has at least as many
+# hardware threads as the run asked for.
+EXACT_SPEEDUP_FLOORS = {2: 1.2, 4: 2.0, 8: 4.0}
+
+# At epsilon > 0 levels are small and the serial fallback should kick in:
+# no thread count may be materially slower than serial, on any hardware
+# that can actually run the threads.
+APPROX_SPEEDUP_FLOOR = 0.95
+
+
+def check_scaling(path):
+    doc = load(path)
+    if doc.get("benchmark") != "parallel_scaling":
+        fail(f"{path}: not a parallel_scaling artifact")
+    hardware = doc.get("hardware_concurrency")
+    if not isinstance(hardware, int) or hardware < 0:
+        fail(f"{path}: missing or invalid hardware_concurrency")
+    sweeps = doc.get("sweeps")
+    if not sweeps:
+        fail(f"{path}: empty sweeps array")
+    checked_floors = 0
+    for sweep in sweeps:
+        epsilon = sweep.get("epsilon")
+        runs = sweep.get("runs")
+        if epsilon is None or not runs:
+            fail(f"{path}: sweep without epsilon or runs")
+        allocations = None
+        for run in runs:
+            threads = run.get("threads")
+            speedup = run.get("speedup")
+            if not isinstance(threads, int) or threads < 1:
+                fail(f"eps={epsilon}: run without a valid thread count")
+            if not isinstance(speedup, (int, float)):
+                fail(f"eps={epsilon} t={threads}: missing speedup")
+            if run.get("matches_serial_output") is not True:
+                fail(f"eps={epsilon} t={threads}: output does not match "
+                     f"the serial run — determinism bug")
+            if allocations is None:
+                allocations = run.get("product_allocations")
+            elif run.get("product_allocations") != allocations:
+                fail(f"eps={epsilon} t={threads}: product_allocations "
+                     f"{run.get('product_allocations')} drifts from the "
+                     f"serial run's {allocations}")
+            # Floors only bind when the hardware can actually run the
+            # threads in parallel (hardware_concurrency 0 means unknown,
+            # which also skips: a floor that cannot be met on the machine
+            # is noise, not signal).
+            if threads == 1 or hardware < threads:
+                continue
+            floor = (EXACT_SPEEDUP_FLOORS.get(threads)
+                     if epsilon == 0 else APPROX_SPEEDUP_FLOOR)
+            if floor is None:
+                continue
+            checked_floors += 1
+            if speedup < floor:
+                fail(f"eps={epsilon} t={threads}: speedup {speedup:.2f}x "
+                     f"below the {floor:.2f}x regression floor")
+    skipped = " (floors skipped: insufficient cores)" if checked_floors == 0 \
+        else f" ({checked_floors} floors checked)"
+    print(f"check_obs: scaling OK ({len(sweeps)} sweeps, "
+          f"hardware_concurrency={hardware}){skipped}")
+
+
 def check_report(path, stats_path):
     doc = load(path)
     if doc.get("schema_version") != 2:
@@ -210,6 +281,8 @@ def main(argv):
         check_trace(argv[2])
     elif len(argv) >= 4 and argv[1] == "report":
         check_report(argv[2], argv[3])
+    elif len(argv) >= 3 and argv[1] == "scaling":
+        check_scaling(argv[2])
     else:
         print(__doc__.strip(), file=sys.stderr)
         return 2
