@@ -14,8 +14,10 @@
 #include "obs/report.h"
 #include "partition/buffer_pool.h"
 #include "partition/error.h"
+#include "partition/kernels/kernels.h"
 #include "partition/partition_builder.h"
 #include "partition/product.h"
+#include "relation/transforms.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -122,51 +124,91 @@ BENCHMARK(BM_StrippedVsUnstrippedProduct)->Arg(0)->Arg(1);
 // Product-throughput measurement over the paper's dataset stand-ins,
 // written as BENCH_micro_partition.json when --json=PATH is given. Every
 // attribute pair's product is computed with a pooled PartitionProduct —
-// exactly the steady-state configuration of a discovery run — and the
+// exactly the steady-state configuration of a discovery run, including the
+// left-parent label-reuse token the driver passes — and the
 // allocations-per-product counter in the artifact certifies the
 // zero-allocation claim. Each dataset is measured twice, best-of-N both
 // times: once with no metrics registry attached (the pre-instrumentation
 // configuration) and once with the registry wired to the product and pool
 // exactly as a discovery run wires it; their ratio (obs_overhead_ratio)
 // is what tools/check.sh asserts stays within the 2% overhead budget.
-int WriteMicroJson(const std::string& path) {
-  constexpr PaperDataset kDatasets[] = {
-      PaperDataset::kLymphography,
-      PaperDataset::kHepatitis,
-      PaperDataset::kWisconsinBreastCancer,
-  };
+//
+// Two throughput figures are emitted per dataset. rows_per_sec divides by
+// the member rows Multiply actually walked (TakeRowsScanned: the labeling
+// pass when not token-skipped plus the probe pass) — the honest bandwidth
+// figure. nominal_rows_per_sec divides by products × relation rows, the
+// figure earlier artifacts called rows_per_sec; it overstates throughput by
+// the singleton-stripped fraction and by every reused labeling, which is
+// how the old artifact claimed an implausible ~400M rows/sec. Both are kept
+// so the two accountings stay comparable across artifacts.
+int WriteMicroJson(const std::string& path, const std::string& kernel_name) {
+  const StatusOr<KernelKind> kind = ParseKernelKind(kernel_name);
+  if (!kind.ok()) {
+    TANE_LOG(Error) << "--kernel: " << kind.status().ToString();
+    return 1;
+  }
+  const KernelOps* const kernel = ResolveKernel(*kind);
   constexpr int64_t kRows = 5000;
-  constexpr int kRepeats = 100;
   constexpr int kMeasureReps = 5;
+
+  struct MicroDataset {
+    std::string name;
+    Relation relation;
+    int repeats;
+  };
+  std::vector<MicroDataset> datasets;
+  for (PaperDataset dataset :
+       {PaperDataset::kLymphography, PaperDataset::kHepatitis,
+        PaperDataset::kWisconsinBreastCancer}) {
+    const PaperDatasetInfo& info = GetPaperDatasetInfo(dataset);
+    StatusOr<Relation> relation = MakePaperDataset(dataset, kRows);
+    TANE_CHECK(relation.ok()) << relation.status().ToString();
+    datasets.push_back(
+        {std::string(info.name), std::move(relation).value(), /*repeats=*/100});
+  }
+  {
+    // The paper's ×n row-scaling construction (Figure 4): 20 suffixed
+    // copies of the Hepatitis stand-in give a 100k-row relation whose probe
+    // table outgrows the cache — the regime the prefetched/radix paths
+    // exist for. Fewer repeats bound the wall time; each sweep already
+    // walks ~40M member rows.
+    StatusOr<Relation> base = MakePaperDataset(PaperDataset::kHepatitis, kRows);
+    TANE_CHECK(base.ok()) << base.status().ToString();
+    StatusOr<Relation> scaled = ConcatenateCopies(*base, /*copies=*/20);
+    TANE_CHECK(scaled.ok()) << scaled.status().ToString();
+    datasets.push_back(
+        {"Hepatitis x20", std::move(scaled).value(), /*repeats=*/10});
+  }
 
   bench::JsonWriter json;
   json.BeginObject();
   json.Key("benchmark").Value("micro_partition");
-  json.Key("rows_per_dataset").Value(kRows);
+  json.Key("kernel").Value(kernel->name);
   json.Key("datasets").BeginArray();
-  for (PaperDataset dataset : kDatasets) {
-    const PaperDatasetInfo& info = GetPaperDatasetInfo(dataset);
-    StatusOr<Relation> relation = MakePaperDataset(dataset, kRows);
-    TANE_CHECK(relation.ok()) << relation.status().ToString();
+  for (const MicroDataset& micro : datasets) {
+    const Relation& relation = micro.relation;
 
     std::vector<StrippedPartition> partitions;
-    for (int attribute = 0; attribute < relation->num_columns(); ++attribute) {
-      partitions.push_back(
-          PartitionBuilder::ForAttribute(*relation, attribute));
+    for (int attribute = 0; attribute < relation.num_columns(); ++attribute) {
+      partitions.push_back(PartitionBuilder::ForAttribute(relation, attribute));
     }
 
     PartitionBufferPool pool(/*num_slots=*/1);
-    PartitionProduct product(relation->num_rows());
+    PartitionProduct product(relation.num_rows());
     product.set_buffer_pool(&pool, 0);
+    product.set_kernel(kernel);
     // One sweep of every attribute pair; results recycle into the pool so
     // later products reuse their buffers, as discovery runs do via the
-    // partition store.
+    // partition store. The left operand's token (i + 1, mirroring the
+    // driver's store-handle + 1) lets the inner loop skip re-labeling the
+    // shared left parent, again as discovery runs do on sorted candidate
+    // lists.
     const auto sweep = [&]() -> int64_t {
       int64_t products = 0;
       for (size_t i = 0; i < partitions.size(); ++i) {
         for (size_t j = i + 1; j < partitions.size(); ++j) {
-          StatusOr<StrippedPartition> result =
-              product.Multiply(partitions[i], partitions[j]);
+          StatusOr<StrippedPartition> result = product.Multiply(
+              partitions[i], partitions[j], static_cast<uint64_t>(i) + 1);
           TANE_CHECK(result.ok()) << result.status().ToString();
           pool.Recycle(std::move(result).value());
           ++products;
@@ -188,15 +230,21 @@ int WriteMicroJson(const std::string& path) {
     // so the overhead ratio compares steady-state floors.
     obs::MetricsRegistry registry(/*num_shards=*/1);
     int64_t products = 0;
+    int64_t rows_scanned = 0;
     int64_t allocations = 0;
     double seconds = 0.0;
     double instrumented_seconds = 0.0;
     const auto timed_sweeps = [&]() -> double {
+      product.TakeRowsScanned();
       WallTimer timer;
       int64_t swept = 0;
-      for (int repeat = 0; repeat < kRepeats; ++repeat) swept += sweep();
+      for (int repeat = 0; repeat < micro.repeats; ++repeat) swept += sweep();
+      const double elapsed = timer.ElapsedSeconds();
       products = swept;
-      return timer.ElapsedSeconds();
+      // Identical every repeat (same sweep, same token schedule), so the
+      // last capture is the per-measurement figure.
+      rows_scanned = product.TakeRowsScanned();
+      return elapsed;
     };
     for (int rep = 0; rep < kMeasureReps; ++rep) {
       product.set_metrics(nullptr, 0);
@@ -217,18 +265,24 @@ int WriteMicroJson(const std::string& path) {
     product.set_metrics(nullptr, 0);
     pool.set_metrics(nullptr);
 
-    const double rows_scanned =
-        static_cast<double>(products) * static_cast<double>(kRows);
+    const double nominal_rows =
+        static_cast<double>(products) * static_cast<double>(relation.num_rows());
 
     json.BeginObject();
-    json.Key("name").Value(info.name);
-    json.Key("rows").Value(kRows);
-    json.Key("columns").Value(info.columns);
+    json.Key("name").Value(micro.name);
+    json.Key("rows").Value(relation.num_rows());
+    json.Key("columns").Value(relation.num_columns());
+    json.Key("kernel").Value(kernel->name);
     json.Key("products").Value(products);
     json.Key("seconds").Value(seconds);
     json.Key("products_per_sec")
         .Value(seconds > 0 ? static_cast<double>(products) / seconds : 0.0);
-    json.Key("rows_per_sec").Value(seconds > 0 ? rows_scanned / seconds : 0.0);
+    json.Key("rows_scanned").Value(rows_scanned);
+    json.Key("rows_per_sec")
+        .Value(seconds > 0 ? static_cast<double>(rows_scanned) / seconds
+                           : 0.0);
+    json.Key("nominal_rows_per_sec")
+        .Value(seconds > 0 ? nominal_rows / seconds : 0.0);
     json.Key("steady_state_allocations").Value(allocations);
     json.Key("allocations_per_product")
         .Value(products > 0
@@ -255,9 +309,11 @@ int WriteMicroJson(const std::string& path) {
 
 // Custom main instead of BENCHMARK_MAIN so the harness-wide
 // --scale/--seed/--json flags are accepted (sizes are fixed; --json selects
-// the machine-readable product-throughput measurement).
+// the machine-readable product-throughput measurement, --kernel pins the
+// dispatch kernel it measures).
 int main(int argc, char** argv) {
   std::string json_path;
+  std::string kernel_name = "auto";
   std::vector<char*> kept;
   for (int i = 0; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -266,6 +322,10 @@ int main(int argc, char** argv) {
     }
     if (arg.rfind("--json=", 0) == 0) {
       json_path = std::string(arg.substr(7));
+      continue;
+    }
+    if (arg.rfind("--kernel=", 0) == 0) {
+      kernel_name = std::string(arg.substr(9));
       continue;
     }
     kept.push_back(argv[i]);
@@ -277,6 +337,6 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  if (!json_path.empty()) return tane::WriteMicroJson(json_path);
+  if (!json_path.empty()) return tane::WriteMicroJson(json_path, kernel_name);
   return 0;
 }

@@ -51,6 +51,16 @@ struct DiscoveryStats {
   /// all workers (scratch growth plus output buffers the pool could not
   /// cover). 0 per product once pooling has warmed up.
   int64_t product_allocations = 0;
+  /// Member rows actually walked by partition products (labeling + probe
+  /// passes) across all workers — the honest rows/sec denominator.
+  int64_t product_rows_scanned = 0;
+  /// Products whose labeling pass was skipped because consecutive products
+  /// shared their left parent (see PartitionProduct::Multiply's a_token).
+  int64_t product_label_reuses = 0;
+  /// Member rows walked by error-measure scans across all workers.
+  int64_t g3_rows_scanned = 0;
+  /// The dispatched data-parallel kernel ("scalar", "avx2", "neon").
+  std::string kernel;
   /// Interning PLI cache counters (lookups == hits + misses). All zero when
   /// the cache is disabled.
   int64_t pli_cache_lookups = 0;

@@ -245,12 +245,20 @@ class TaneRun {
     store_->set_metrics(&metrics_);
     store_->set_tracer(tracer_);
     buffer_pool_.set_metrics(&metrics_);
+    // Resolve the dispatch kernel once (config validation already vetted
+    // the name) and hand the same immutable ops table to every worker's
+    // product and error scratch.
+    kernel_ = ResolveKernel(ParseKernelKind(config.kernel).value());
+    metrics_.SetGauge(obs::kKernelKind, static_cast<int64_t>(kernel_->kind));
     workers_.reserve(config.num_threads);
     for (int worker = 0; worker < config.num_threads; ++worker) {
       workers_.push_back(
           std::make_unique<WorkerState>(store_.get(), num_rows_, worker));
       workers_.back()->product.set_buffer_pool(&buffer_pool_, worker);
       workers_.back()->product.set_metrics(&metrics_, worker);
+      workers_.back()->product.set_kernel(kernel_);
+      workers_.back()->g3.set_metrics(&metrics_, worker);
+      workers_.back()->g3.set_kernel(kernel_);
     }
     if (tracer_ != nullptr) {
       // Per-worker drain slices nest under whichever phase span encloses
@@ -582,6 +590,9 @@ class TaneRun {
   obs::MetricsRegistry metrics_;
   obs::Tracer* const tracer_;
   std::unique_ptr<obs::ProgressMonitor> monitor_;
+  // The dispatch kernel every worker's product and g3 scratch uses;
+  // resolved once from config.kernel in the ctor (process-lifetime table).
+  const KernelOps* kernel_ = nullptr;
   std::vector<std::unique_ptr<WorkerState>> workers_;
   DiscoveryStats stats_;
 
@@ -892,7 +903,11 @@ StatusOr<StrippedPartition> TaneRun::BuildCandidatePartition(
         const StrippedPartition* b,
         w->accessor.Acquire(survivors[candidate.parent_b].handle));
     metrics_.Add(w->shard, obs::kPartitionProducts, 1);
-    return w->product.Multiply(*a, *b);
+    // Handles are allocated monotonically and never reused, so handle+1 is
+    // a sound content token: consecutive candidates sharing their left
+    // parent (common — candidate lists are sorted) skip re-labeling.
+    return w->product.Multiply(
+        *a, *b, static_cast<uint64_t>(survivors[candidate.parent_a].handle) + 1);
   }
   // Schlimmer-style recomputation: fold the candidate set's singleton
   // partitions, |X|−1 products instead of one.
@@ -1582,6 +1597,10 @@ Status TaneRun::Run(DiscoveryResult* result) {
   stats_.g3_scans_skipped = snapshot.counter(obs::kG3ScansSkipped);
   stats_.partition_products = snapshot.counter(obs::kPartitionProducts);
   stats_.product_allocations = snapshot.counter(obs::kProductAllocations);
+  stats_.product_rows_scanned = snapshot.counter(obs::kProductRowsScanned);
+  stats_.product_label_reuses = snapshot.counter(obs::kProductLabelReuses);
+  stats_.g3_rows_scanned = snapshot.counter(obs::kG3RowsScanned);
+  stats_.kernel = std::string(KernelKindName(kernel_->kind));
   stats_.keys_found = snapshot.counter(obs::kKeysFound);
   stats_.peak_partition_bytes = snapshot.gauge(obs::kPeakResidentBytes);
   stats_.checkpoint_writes = snapshot.counter(obs::kCheckpointWrites);

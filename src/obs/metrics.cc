@@ -15,6 +15,9 @@ std::string_view CounterName(CounterId id) {
     case kG3ScansSkipped:     return "g3_scans_skipped";
     case kPartitionProducts:  return "partition_products";
     case kProductAllocations: return "product_allocations";
+    case kProductRowsScanned: return "product_rows_scanned";
+    case kProductLabelReuses: return "product_label_reuses";
+    case kG3RowsScanned:      return "g3_rows_scanned";
     case kSetsGenerated:      return "sets_generated";
     case kKeysFound:          return "keys_found";
     case kNodesProcessed:     return "nodes_processed";
@@ -52,6 +55,7 @@ std::string_view GaugeName(GaugeId id) {
     case kDegradedToDisk:     return "degraded_to_disk";
     case kCheckpointLastLevel: return "checkpoint_last_level";
     case kResumedFromLevel:   return "resumed_from_level";
+    case kKernelKind:         return "kernel_kind";
     case kGaugeCount:         break;
   }
   return "unknown_gauge";

@@ -20,6 +20,9 @@ enum CounterId : int {
   kG3ScansSkipped,      ///< scans the e(·) bounds made unnecessary
   kPartitionProducts,   ///< Lemma-3 products computed
   kProductAllocations,  ///< heap allocations inside Multiply
+  kProductRowsScanned,  ///< member rows walked by Multiply's label+probe
+  kProductLabelReuses,  ///< products whose labeling pass was token-skipped
+  kG3RowsScanned,       ///< member rows walked by error-measure scans
   kSetsGenerated,       ///< the paper's s
   kKeysFound,           ///< sets removed by key pruning
   kNodesProcessed,      ///< lattice nodes whose validity tests finished
@@ -56,6 +59,7 @@ enum GaugeId : int {
   kDegradedToDisk,      ///< 1 once a kAuto store spilled mid-run
   kCheckpointLastLevel,  ///< deepest level captured by a durable snapshot
   kResumedFromLevel,    ///< snapshot level this run restarted from (0: fresh)
+  kKernelKind,          ///< dispatched KernelKind (kernels.h enum value)
   kGaugeCount,
 };
 

@@ -95,6 +95,9 @@ void WriteRunReport(const TaneConfig& config, const DiscoveryResult& result,
   json->Key("measure").Value(MeasureName(config.measure));
   json->Key("max_lhs_size").Value(config.max_lhs_size);
   json->Key("num_threads").Value(config.num_threads);
+  // The requested kernel; the dispatched one (post-fallback) is
+  // result.stats.kernel, surfaced via the kernel_kind gauge.
+  json->Key("kernel").Value(config.kernel);
   json->Key("use_pli_cache").Value(config.use_pli_cache);
   json->Key("storage").Value(StorageName(config.storage));
   json->Key("use_rhs_plus_pruning").Value(config.use_rhs_plus_pruning);

@@ -5,6 +5,8 @@
 #include <limits>
 #include <string>
 
+#include "obs/metrics.h"
+
 namespace tane {
 
 int64_t IntegerThreshold(double epsilon, double scale) {
@@ -24,10 +26,19 @@ G3Bounds BoundG3RemovalCount(const StrippedPartition& lhs,
 }
 
 G3Calculator::G3Calculator(int64_t num_rows)
-    : num_rows_(num_rows), probe_(num_rows, -1) {}
+    : num_rows_(num_rows), probe_(num_rows, -1) {
+  // Sized to the row-count bounds up front (a partition over |r| rows has at
+  // most |r| classes and member rows); the +1 slots are the dummy counter
+  // (counts_) and the headroom for the unconditional branch-free append
+  // (touched_).
+  counts_.assign(num_rows + 1, 0);
+  touched_.assign(num_rows + 1, 0);
+  groups_.assign(num_rows, 0);
+}
 
-Status G3Calculator::Prepare(const StrippedPartition& lhs,
-                             const StrippedPartition& lhs_with_rhs) {
+Status G3Calculator::PrepareAndLabel(const StrippedPartition& lhs,
+                                     const StrippedPartition& lhs_with_rhs,
+                                     int32_t* base) {
   if (lhs.num_rows() != lhs_with_rhs.num_rows()) {
     return Status::InvalidArgument(
         "error-measure operands disagree on row count: " +
@@ -39,45 +50,79 @@ Status G3Calculator::Prepare(const StrippedPartition& lhs,
     // fit rather than corrupt memory or abort.
     num_rows_ = lhs.num_rows();
     probe_.assign(num_rows_, -1);
+    counts_.assign(num_rows_ + 1, 0);
+    touched_.assign(num_rows_ + 1, 0);
+    groups_.assign(num_rows_, 0);
+    probe_base_ = 0;
   }
+
+  // Epoch-tagged labeling: labels of earlier calls sit below the new base
+  // and read as "singleton", so there is no reset pass anywhere. The table
+  // is re-initialized only when the labels would overflow int32 (amortized
+  // over ~2^31 classes, effectively never in one run).
+  const int64_t fine_classes = lhs_with_rhs.num_classes();
+  if (probe_base_ + fine_classes > INT32_MAX) {
+    probe_.assign(probe_.size(), -1);
+    probe_base_ = 0;
+  }
+  *base = static_cast<int32_t>(probe_base_);
+  kernel_->label_rows(probe_.data(), lhs_with_rhs.row_ids().data(),
+                      lhs_with_rhs.class_offsets().data(), fine_classes,
+                      *base);
+  probe_base_ += fine_classes;
   return Status::OK();
+}
+
+void G3Calculator::RecordScan(const StrippedPartition& lhs,
+                              const StrippedPartition& lhs_with_rhs) {
+  const int64_t rows = static_cast<int64_t>(lhs.row_ids().size()) +
+                       static_cast<int64_t>(lhs_with_rhs.row_ids().size());
+  rows_scanned_ += rows;
+  if (metrics_ != nullptr) {
+    metrics_->Add(metrics_shard_, obs::kG3RowsScanned, rows);
+  }
 }
 
 StatusOr<int64_t> G3Calculator::RemovalCount(
     const StrippedPartition& lhs, const StrippedPartition& lhs_with_rhs) {
-  TANE_RETURN_IF_ERROR(Prepare(lhs, lhs_with_rhs));
-  if (counts_.size() < static_cast<size_t>(lhs_with_rhs.num_classes())) {
-    counts_.resize(lhs_with_rhs.num_classes(), 0);
-  }
+  int32_t base = 0;
+  TANE_RETURN_IF_ERROR(PrepareAndLabel(lhs, lhs_with_rhs, &base));
 
-  // Label rows with their class in π_{X∪A}. Rows in no stored class are
-  // singletons there and keep label -1.
-  const std::vector<int32_t>& fine_rows = lhs_with_rhs.row_ids();
-  for (int64_t cls = 0; cls < lhs_with_rhs.num_classes(); ++cls) {
-    for (int32_t i = lhs_with_rhs.class_begin(cls);
-         i < lhs_with_rhs.class_end(cls); ++i) {
-      probe_[fine_rows[i]] = static_cast<int32_t>(cls);
-    }
-  }
-
+  // Rows that are singletons in π_{X∪A} (negative group after the epoch
+  // subtraction) are predicated into the dummy counter slot past the real
+  // classes; its count never feeds `largest` (their effective subclass size
+  // is 1, the initial value), and the touched list resets it with the rest.
+  const int32_t dummy = static_cast<int32_t>(lhs_with_rhs.num_classes());
   int64_t removals = 0;
   const std::vector<int32_t>& coarse_rows = lhs.row_ids();
+  int32_t* const counts = counts_.data();
+  int32_t* const touched = touched_.data();
+  int32_t* const groups = groups_.data();
   for (int64_t cls = 0; cls < lhs.num_classes(); ++cls) {
+    const int32_t begin = lhs.class_begin(cls);
+    const int32_t class_rows = lhs.class_end(cls) - begin;
+    kernel_->gather_groups(probe_.data(), coarse_rows.data() + begin,
+                           class_rows, base, groups);
     // The largest subclass has size >= 1 even if every row of this class is
     // a singleton in π_{X∪A}.
     int32_t largest = 1;
-    touched_.clear();
-    for (int32_t i = lhs.class_begin(cls); i < lhs.class_end(cls); ++i) {
-      const int32_t fine_cls = probe_[coarse_rows[i]];
-      if (fine_cls < 0) continue;
-      if (counts_[fine_cls] == 0) touched_.push_back(fine_cls);
-      largest = std::max(largest, ++counts_[fine_cls]);
+    int64_t touched_count = 0;
+    for (int32_t i = 0; i < class_rows; ++i) {
+      const int32_t g = groups[i];
+      const int32_t valid = static_cast<int32_t>(g >= 0);
+      const int32_t idx = valid ? g : dummy;
+      const int32_t cnt = counts[idx] + 1;
+      counts[idx] = cnt;
+      touched[touched_count] = idx;
+      touched_count += static_cast<int64_t>(cnt == 1);
+      const int32_t effective = valid ? cnt : 1;
+      largest = std::max(largest, effective);
     }
-    for (int32_t fine_cls : touched_) counts_[fine_cls] = 0;
+    for (int64_t t = 0; t < touched_count; ++t) counts[touched[t]] = 0;
     removals += lhs.class_size(cls) - largest;
   }
 
-  for (int32_t row : fine_rows) probe_[row] = -1;
+  RecordScan(lhs, lhs_with_rhs);
   return removals;
 }
 
@@ -92,42 +137,44 @@ StatusOr<double> G3Calculator::Error(const StrippedPartition& lhs,
 
 StatusOr<int64_t> G3Calculator::ViolatingPairCount(
     const StrippedPartition& lhs, const StrippedPartition& lhs_with_rhs) {
-  TANE_RETURN_IF_ERROR(Prepare(lhs, lhs_with_rhs));
-  if (counts_.size() < static_cast<size_t>(lhs_with_rhs.num_classes())) {
-    counts_.resize(lhs_with_rhs.num_classes(), 0);
-  }
-  const std::vector<int32_t>& fine_rows = lhs_with_rhs.row_ids();
-  for (int64_t cls = 0; cls < lhs_with_rhs.num_classes(); ++cls) {
-    for (int32_t i = lhs_with_rhs.class_begin(cls);
-         i < lhs_with_rhs.class_end(cls); ++i) {
-      probe_[fine_rows[i]] = static_cast<int32_t>(cls);
-    }
-  }
+  int32_t base = 0;
+  TANE_RETURN_IF_ERROR(PrepareAndLabel(lhs, lhs_with_rhs, &base));
 
   // Ordered agreeing pairs within a class c: |c|·(|c|−1). Of those, pairs
   // also agreeing on A: Σ |c'|·(|c'|−1) over the subclasses c' ⊆ c. Rows
   // that are singletons in π_{X∪A} form subclasses of size 1 contributing
-  // zero, so only stored subclasses need counting.
+  // zero, so only stored subclasses need counting — the skip branch stays,
+  // since the correction sum must not see the dummy slot.
   int64_t violating = 0;
   const std::vector<int32_t>& coarse_rows = lhs.row_ids();
+  int32_t* const counts = counts_.data();
+  int32_t* const touched = touched_.data();
+  int32_t* const groups = groups_.data();
   for (int64_t cls = 0; cls < lhs.num_classes(); ++cls) {
     const int64_t size = lhs.class_size(cls);
     violating += size * (size - 1);
-    touched_.clear();
-    for (int32_t i = lhs.class_begin(cls); i < lhs.class_end(cls); ++i) {
-      const int32_t fine_cls = probe_[coarse_rows[i]];
+    const int32_t begin = lhs.class_begin(cls);
+    const int32_t class_rows = lhs.class_end(cls) - begin;
+    kernel_->gather_groups(probe_.data(), coarse_rows.data() + begin,
+                           class_rows, base, groups);
+    int64_t touched_count = 0;
+    for (int32_t i = 0; i < class_rows; ++i) {
+      const int32_t fine_cls = groups[i];
       if (fine_cls < 0) continue;
-      if (counts_[fine_cls] == 0) touched_.push_back(fine_cls);
-      ++counts_[fine_cls];
+      const int32_t cnt = counts[fine_cls] + 1;
+      counts[fine_cls] = cnt;
+      touched[touched_count] = fine_cls;
+      touched_count += static_cast<int64_t>(cnt == 1);
     }
-    for (int32_t fine_cls : touched_) {
-      const int64_t sub = counts_[fine_cls];
+    for (int64_t t = 0; t < touched_count; ++t) {
+      const int32_t fine_cls = touched[t];
+      const int64_t sub = counts[fine_cls];
       violating -= sub * (sub - 1);
-      counts_[fine_cls] = 0;
+      counts[fine_cls] = 0;
     }
   }
 
-  for (int32_t row : fine_rows) probe_[row] = -1;
+  RecordScan(lhs, lhs_with_rhs);
   return violating;
 }
 
@@ -143,39 +190,40 @@ StatusOr<double> G3Calculator::G1Error(const StrippedPartition& lhs,
 
 StatusOr<int64_t> G3Calculator::ViolatingRowCount(
     const StrippedPartition& lhs, const StrippedPartition& lhs_with_rhs) {
-  TANE_RETURN_IF_ERROR(Prepare(lhs, lhs_with_rhs));
-  if (counts_.size() < static_cast<size_t>(lhs_with_rhs.num_classes())) {
-    counts_.resize(lhs_with_rhs.num_classes(), 0);
-  }
-  const std::vector<int32_t>& fine_rows = lhs_with_rhs.row_ids();
-  for (int64_t cls = 0; cls < lhs_with_rhs.num_classes(); ++cls) {
-    for (int32_t i = lhs_with_rhs.class_begin(cls);
-         i < lhs_with_rhs.class_end(cls); ++i) {
-      probe_[fine_rows[i]] = static_cast<int32_t>(cls);
-    }
-  }
+  int32_t base = 0;
+  TANE_RETURN_IF_ERROR(PrepareAndLabel(lhs, lhs_with_rhs, &base));
 
   // Every row of a π_X class that splits under π_{X∪A} is in violation
   // with the rows of the other subclasses; classes that stay whole
   // contribute nothing.
   int64_t violating = 0;
   const std::vector<int32_t>& coarse_rows = lhs.row_ids();
+  int32_t* const counts = counts_.data();
+  int32_t* const touched = touched_.data();
+  int32_t* const groups = groups_.data();
   for (int64_t cls = 0; cls < lhs.num_classes(); ++cls) {
     const int64_t size = lhs.class_size(cls);
+    const int32_t begin = lhs.class_begin(cls);
+    const int32_t class_rows = lhs.class_end(cls) - begin;
+    kernel_->gather_groups(probe_.data(), coarse_rows.data() + begin,
+                           class_rows, base, groups);
     // The class stays whole iff some subclass has the full class size.
     bool whole = false;
-    touched_.clear();
-    for (int32_t i = lhs.class_begin(cls); i < lhs.class_end(cls); ++i) {
-      const int32_t fine_cls = probe_[coarse_rows[i]];
+    int64_t touched_count = 0;
+    for (int32_t i = 0; i < class_rows; ++i) {
+      const int32_t fine_cls = groups[i];
       if (fine_cls < 0) continue;
-      if (counts_[fine_cls] == 0) touched_.push_back(fine_cls);
-      if (++counts_[fine_cls] == size) whole = true;
+      const int32_t cnt = counts[fine_cls] + 1;
+      counts[fine_cls] = cnt;
+      touched[touched_count] = fine_cls;
+      touched_count += static_cast<int64_t>(cnt == 1);
+      whole = whole || (cnt == size);
     }
-    for (int32_t fine_cls : touched_) counts_[fine_cls] = 0;
+    for (int64_t t = 0; t < touched_count; ++t) counts[touched[t]] = 0;
     if (!whole) violating += size;
   }
 
-  for (int32_t row : fine_rows) probe_[row] = -1;
+  RecordScan(lhs, lhs_with_rhs);
   return violating;
 }
 

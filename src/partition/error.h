@@ -4,10 +4,15 @@
 #include <cstdint>
 #include <vector>
 
+#include "partition/kernels/kernels.h"
 #include "partition/stripped_partition.h"
 #include "util/status.h"
 
 namespace tane {
+
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
 
 /// ⌊ε·scale⌋: the exact integer validity threshold. A dependency is valid
 /// iff its violation count (g3 removals, g2 rows, or g1 ordered pairs) is
@@ -39,16 +44,38 @@ G3Bounds BoundG3RemovalCount(const StrippedPartition& lhs,
 
 /// Computes the exact g3 error of dependencies X → A from π_X and π_{X∪A}
 /// (paper §2): for every class c of π_X the rows outside the largest
-/// π_{X∪A}-subclass of c must be removed. The scratch arrays are reused
-/// across calls; construction takes the relation's row count, but
-/// partitions over more rows simply grow the scratch. Instances are not
-/// thread-safe; parallel callers keep one G3Calculator per worker.
+/// π_{X∪A}-subclass of c must be removed. Structurally a counting pass —
+/// and implemented as one: the labeling pass is an epoch-tagged scatter
+/// (no reset pass between calls, like PartitionProduct's probe table), the
+/// counting pass gathers labels through the dispatch kernel into a flat
+/// SoA stream (SIMD where available), and the per-class accumulation is
+/// branch-free — rows that are singletons in π_{X∪A} are predicated into a
+/// dummy counter slot instead of branching. Every kernel produces the same
+/// counts, so validity decisions are bit-identical across kernels.
+///
+/// The scratch arrays are reused across calls; construction takes the
+/// relation's row count, but partitions over more rows simply grow the
+/// scratch. Instances are not thread-safe; parallel callers keep one
+/// G3Calculator per worker.
 ///
 /// Every method fails with kInvalidArgument when the two partitions
 /// disagree on their row count.
 class G3Calculator {
  public:
   explicit G3Calculator(int64_t num_rows);
+
+  /// Selects the dispatch kernel for the gather pass. Defaults to
+  /// DefaultKernel(). Not owned.
+  void set_kernel(const KernelOps* kernel) { kernel_ = kernel; }
+
+  const KernelOps* kernel() const { return kernel_; }
+
+  /// Mirrors the member rows walked by every scan into `metrics`
+  /// (kG3RowsScanned), on shard `shard`. Not owned; nullptr detaches.
+  void set_metrics(obs::MetricsRegistry* metrics, int shard = 0) {
+    metrics_ = metrics;
+    metrics_shard_ = shard;
+  }
 
   /// The minimum number of rows to remove so that X → A holds.
   /// Both partitions may be stripped or unstripped.
@@ -80,18 +107,42 @@ class G3Calculator {
   StatusOr<double> G2Error(const StrippedPartition& lhs,
                            const StrippedPartition& lhs_with_rhs);
 
+  /// Member rows walked (labeling + counting passes) since construction.
+  int64_t rows_scanned() const { return rows_scanned_; }
+
  private:
-  // Validates that the operands agree and grows probe_ when they cover
-  // more rows than the constructed size.
-  Status Prepare(const StrippedPartition& lhs,
-                 const StrippedPartition& lhs_with_rhs);
+  // Validates the operands, grows the scratch when they cover more rows
+  // than the constructed size, and runs the epoch-tagged labeling pass over
+  // lhs_with_rhs. On success `*base` holds the epoch the labels were
+  // written at: probe_[row] - *base is the π_{X∪A} class of `row`, negative
+  // for singletons (and for stale labels of earlier calls — no reset pass
+  // is ever needed).
+  Status PrepareAndLabel(const StrippedPartition& lhs,
+                         const StrippedPartition& lhs_with_rhs,
+                         int32_t* base);
+
+  void RecordScan(const StrippedPartition& lhs,
+                  const StrippedPartition& lhs_with_rhs);
 
   int64_t num_rows_;
-  // probe_[row] = class index in π_{X∪A}, or -1. Reset after each call.
+  // probe_[row] = probe_base_ + class index in π_{X∪A}; entries below
+  // probe_base_ are stale (or the initial -1). Re-initialized only when the
+  // base nears INT32_MAX.
   std::vector<int32_t> probe_;
+  int64_t probe_base_ = 0;
   // counts_[cls] = rows of the current π_X class seen in π_{X∪A} class cls.
+  // One extra trailing slot absorbs the predicated counts of invalid rows.
   std::vector<int32_t> counts_;
+  // Touched counter slots of the current π_X class; written branch-free,
+  // so sized rather than push_back-grown.
   std::vector<int32_t> touched_;
+  // SoA class-label stream for the current π_X class (kernel gather).
+  std::vector<int32_t> groups_;
+
+  const KernelOps* kernel_ = DefaultKernel();
+  obs::MetricsRegistry* metrics_ = nullptr;
+  int metrics_shard_ = 0;
+  int64_t rows_scanned_ = 0;
 };
 
 }  // namespace tane

@@ -1,0 +1,70 @@
+// NEON kernel for aarch64. NEON has no gather instruction, so the probe
+// phase loads four probe entries through lane inserts and does the epoch
+// subtraction 4-wide; the useful parallelism is the four independent load
+// chains the out-of-order core can overlap. On non-ARM targets this TU
+// contributes the nullptr stub only.
+
+#include "partition/kernels/kernels.h"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+namespace tane {
+namespace {
+
+constexpr int64_t kPrefetchDistance = 16;
+
+void LabelRowsNeon(int32_t* probe, const int32_t* rows,
+                   const int32_t* offsets, int64_t num_classes,
+                   int32_t base) {
+  const int64_t member_rows = offsets[num_classes];
+  for (int64_t cls = 0; cls < num_classes; ++cls) {
+    const int32_t label = base + static_cast<int32_t>(cls);
+    const int32_t end = offsets[cls + 1];
+    for (int32_t i = offsets[cls]; i < end; ++i) {
+      if (i + kPrefetchDistance < member_rows) {
+        __builtin_prefetch(probe + rows[i + kPrefetchDistance], 1);
+      }
+      probe[rows[i]] = label;
+    }
+  }
+}
+
+void GatherGroupsNeon(const int32_t* probe, const int32_t* rows, int64_t n,
+                      int32_t base, int32_t* groups) {
+  const int32x4_t vbase = vdupq_n_s32(base);
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    if (i + kPrefetchDistance + 3 < n) {
+      __builtin_prefetch(probe + rows[i + kPrefetchDistance + 0]);
+      __builtin_prefetch(probe + rows[i + kPrefetchDistance + 1]);
+      __builtin_prefetch(probe + rows[i + kPrefetchDistance + 2]);
+      __builtin_prefetch(probe + rows[i + kPrefetchDistance + 3]);
+    }
+    int32x4_t labels = vdupq_n_s32(0);
+    labels = vld1q_lane_s32(probe + rows[i + 0], labels, 0);
+    labels = vld1q_lane_s32(probe + rows[i + 1], labels, 1);
+    labels = vld1q_lane_s32(probe + rows[i + 2], labels, 2);
+    labels = vld1q_lane_s32(probe + rows[i + 3], labels, 3);
+    vst1q_s32(groups + i, vsubq_s32(labels, vbase));
+  }
+  for (; i < n; ++i) groups[i] = probe[rows[i]] - base;
+}
+
+constexpr KernelOps kNeonOps = {KernelKind::kNeon, "neon", &LabelRowsNeon,
+                                &GatherGroupsNeon};
+
+}  // namespace
+
+const KernelOps* GetNeonKernelOps() { return &kNeonOps; }
+
+}  // namespace tane
+
+#else  // !aarch64
+
+namespace tane {
+const KernelOps* GetNeonKernelOps() { return nullptr; }
+}  // namespace tane
+
+#endif

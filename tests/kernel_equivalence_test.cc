@@ -1,0 +1,251 @@
+// Differential fuzz and determinism matrix for the runtime-dispatched
+// partition kernels (src/partition/kernels/): the scalar kernel is the
+// reference semantics, and every other kernel — plus every shape-dependent
+// strategy inside PartitionProduct (direct probe vs gathered SoA stream,
+// index-order vs touched-list emission, radix labeling) — must compute the
+// exact same integer stream. Comparisons here are EXACT (operator==, not
+// Canonicalized): emission order is part of the determinism contract.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/tane.h"
+#include "gtest/gtest.h"
+#include "partition/error.h"
+#include "partition/kernels/kernels.h"
+#include "partition/partition_builder.h"
+#include "partition/product.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace tane {
+namespace {
+
+using testing_util::MakeRelation;
+using testing_util::PaperFigure1Relation;
+
+// Random relation whose columns deliberately cover the kernels' edge
+// regimes: a constant column (one class covering every row), a near-key
+// column (heavy singleton stripping, tiny surviving classes), and mid-range
+// columns. Row counts are drawn odd-sized so SIMD lanes always see a
+// ragged tail.
+Relation FuzzRelation(Rng& rng, int64_t min_rows = 17) {
+  const int64_t rows = min_rows + static_cast<int64_t>(rng.NextBounded(150));
+  const int cols = 4;
+  std::vector<std::vector<std::string>> data;
+  data.reserve(rows);
+  for (int64_t i = 0; i < rows; ++i) {
+    std::vector<std::string> row;
+    row.push_back("const");                                     // 1 class
+    row.push_back(std::to_string(rng.NextBounded(2)));          // 2 classes
+    row.push_back(std::to_string(rng.NextBounded(1 + rows / 4)));
+    row.push_back(std::to_string(rng.NextBounded(rows)));       // near-key
+    data.push_back(std::move(row));
+  }
+  return MakeRelation(data, cols);
+}
+
+// All pairwise products of `relation`'s single-attribute partitions under
+// `product`, exactly as computed (no canonicalization), both stripped and
+// unstripped, with the second stripped sweep passing reuse tokens so the
+// label-reuse fast path is exercised too.
+std::vector<StrippedPartition> ProductSweep(const Relation& relation,
+                                            PartitionProduct& product) {
+  std::vector<StrippedPartition> out;
+  for (const bool stripped : {true, false}) {
+    for (int a = 0; a < relation.num_columns(); ++a) {
+      StrippedPartition pa =
+          PartitionBuilder::ForAttribute(relation, a, stripped);
+      for (int b = 0; b < relation.num_columns(); ++b) {
+        StrippedPartition pb =
+            PartitionBuilder::ForAttribute(relation, b, stripped);
+        // Same token for every `b`: after the first product the left
+        // operand's labels are reused, covering the skip-relabel path.
+        const uint64_t token = static_cast<uint64_t>(a) + 1;
+        out.push_back(product.Multiply(pa, pb, token).value());
+      }
+    }
+  }
+  // Degenerate operands: the empty stripped partition (superkey) yields an
+  // empty intersection with everything.
+  StrippedPartition superkey(relation.num_rows());
+  StrippedPartition p0 = PartitionBuilder::ForAttribute(relation, 0);
+  out.push_back(product.Multiply(p0, superkey).value());
+  out.push_back(product.Multiply(superkey, p0).value());
+  return out;
+}
+
+class KernelEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KernelEquivalenceTest, MultiplyMatchesScalarOnFuzzedRelations) {
+  Rng rng(GetParam());
+  Relation relation = FuzzRelation(rng);
+
+  PartitionProduct reference(relation.num_rows());
+  reference.set_kernel(ResolveKernel(KernelKind::kScalar));
+  const std::vector<StrippedPartition> expected =
+      ProductSweep(relation, reference);
+
+  for (const KernelOps* kernel : AvailableKernels()) {
+    PartitionProduct product(relation.num_rows());
+    product.set_kernel(kernel);
+    const std::vector<StrippedPartition> actual =
+        ProductSweep(relation, product);
+    ASSERT_EQ(expected.size(), actual.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      // Exact CSR equality: same rows, same class boundaries, same order.
+      EXPECT_EQ(expected[i], actual[i])
+          << "kernel " << kernel->name << ", product " << i;
+    }
+  }
+}
+
+TEST_P(KernelEquivalenceTest, RadixGatherPathMatchesDirectPath) {
+  Rng rng(1000 + GetParam());
+  // The radix labeler only engages for operands with >= 256 member rows (on
+  // top of the probe-size threshold forced to 0 below), so these relations
+  // need to clear that floor.
+  Relation relation = FuzzRelation(rng, /*min_rows=*/300);
+
+  // The direct-probe scalar path is the reference...
+  PartitionProduct reference(relation.num_rows());
+  reference.set_kernel(ResolveKernel(KernelKind::kScalar));
+  const std::vector<StrippedPartition> expected =
+      ProductSweep(relation, reference);
+
+  // ...and forcing the large-probe threshold to 0 routes every kernel
+  // through the radix labeling pass AND the gathered SoA probe stream,
+  // which normally only engage past the cache-size threshold.
+  for (const KernelOps* kernel : AvailableKernels()) {
+    PartitionProduct product(relation.num_rows());
+    product.set_kernel(kernel);
+    product.set_radix_min_probe_bytes_for_testing(0);
+    const std::vector<StrippedPartition> actual =
+        ProductSweep(relation, product);
+    ASSERT_GT(product.radix_labelings_for_testing(), 0);
+    ASSERT_EQ(expected.size(), actual.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(expected[i], actual[i])
+          << "kernel " << kernel->name << " (radix+gather), product " << i;
+    }
+  }
+}
+
+TEST_P(KernelEquivalenceTest, G3CountsMatchScalarOnFuzzedRelations) {
+  Rng rng(2000 + GetParam());
+  Relation relation = FuzzRelation(rng);
+  PartitionProduct product(relation.num_rows());
+
+  G3Calculator reference(relation.num_rows());
+  reference.set_kernel(ResolveKernel(KernelKind::kScalar));
+  for (const KernelOps* kernel : AvailableKernels()) {
+    G3Calculator g3(relation.num_rows());
+    g3.set_kernel(kernel);
+    for (int a = 0; a < relation.num_columns(); ++a) {
+      for (int b = 0; b < relation.num_columns(); ++b) {
+        if (a == b) continue;
+        StrippedPartition lhs = PartitionBuilder::ForAttribute(relation, a);
+        StrippedPartition both =
+            product
+                .Multiply(lhs, PartitionBuilder::ForAttribute(relation, b))
+                .value();
+        EXPECT_EQ(reference.RemovalCount(lhs, both).value(),
+                  g3.RemovalCount(lhs, both).value())
+            << "kernel " << kernel->name << ", " << a << " -> " << b;
+        EXPECT_EQ(reference.ViolatingPairCount(lhs, both).value(),
+                  g3.ViolatingPairCount(lhs, both).value())
+            << "kernel " << kernel->name << ", " << a << " -> " << b;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelEquivalenceTest,
+                         ::testing::Range(0, 8));
+
+// Full-pipeline determinism: discovery output must be bit-identical across
+// every available kernel × thread count × epsilon. The scalar single-thread
+// run is the reference; fds (with exact error values), keys, and the
+// work-counting stats must all match.
+TEST(KernelDeterminismTest, DiscoveryIsBitIdenticalAcrossKernelsAndThreads) {
+  Rng rng(99);
+  Relation relation = FuzzRelation(rng);
+  for (const double epsilon : {0.0, 0.05}) {
+    TaneConfig reference_config;
+    reference_config.epsilon = epsilon;
+    reference_config.kernel = "scalar";
+    reference_config.num_threads = 1;
+    reference_config.parallel_min_window_rows = 0;
+    const DiscoveryResult expected =
+        Tane::Discover(relation, reference_config).value();
+
+    for (const KernelOps* kernel : AvailableKernels()) {
+      for (const int threads : {1, 2, 8}) {
+        TaneConfig config;
+        config.epsilon = epsilon;
+        config.kernel = kernel->name;
+        config.num_threads = threads;
+        config.parallel_min_window_rows = 0;
+        const DiscoveryResult actual =
+            Tane::Discover(relation, config).value();
+        const std::string where = std::string("kernel ") + kernel->name +
+                                  ", threads " + std::to_string(threads) +
+                                  ", epsilon " + std::to_string(epsilon);
+        ASSERT_EQ(expected.fds.size(), actual.fds.size()) << where;
+        for (size_t i = 0; i < expected.fds.size(); ++i) {
+          EXPECT_EQ(expected.fds[i].lhs, actual.fds[i].lhs) << where;
+          EXPECT_EQ(expected.fds[i].rhs, actual.fds[i].rhs) << where;
+          EXPECT_EQ(expected.fds[i].error, actual.fds[i].error) << where;
+        }
+        EXPECT_EQ(expected.keys, actual.keys) << where;
+        // Kernels change how the integer streams are computed, never how
+        // much search the lattice does.
+        EXPECT_EQ(expected.stats.partition_products,
+                  actual.stats.partition_products)
+            << where;
+        EXPECT_EQ(expected.stats.g3_scans, actual.stats.g3_scans) << where;
+      }
+    }
+  }
+}
+
+TEST(KernelDispatchTest, ResolveFallsBackToScalarForUnavailableKernels) {
+  const KernelOps* scalar = ResolveKernel(KernelKind::kScalar);
+  ASSERT_NE(scalar, nullptr);
+  EXPECT_EQ(std::string(scalar->name), "scalar");
+  // Auto always resolves to something usable.
+  EXPECT_NE(ResolveKernel(KernelKind::kAuto), nullptr);
+  // Explicitly requesting an ISA this CPU lacks degrades to scalar instead
+  // of crashing; requesting an available one returns that kernel.
+  for (const KernelKind kind : {KernelKind::kAvx2, KernelKind::kNeon}) {
+    const KernelOps* resolved = ResolveKernel(kind);
+    ASSERT_NE(resolved, nullptr);
+    if (KernelIsAvailable(kind)) {
+      EXPECT_EQ(resolved->kind, kind);
+    } else {
+      EXPECT_EQ(resolved, scalar);
+    }
+  }
+  // The parser accepts exactly the documented names.
+  EXPECT_TRUE(ParseKernelKind("auto").ok());
+  EXPECT_TRUE(ParseKernelKind("scalar").ok());
+  EXPECT_TRUE(ParseKernelKind("avx2").ok());
+  EXPECT_TRUE(ParseKernelKind("neon").ok());
+  EXPECT_FALSE(ParseKernelKind("sse9").ok());
+  // The empty string means "not configured" and resolves to auto.
+  ASSERT_TRUE(ParseKernelKind("").ok());
+  EXPECT_EQ(ParseKernelKind("").value(), KernelKind::kAuto);
+}
+
+TEST(KernelDispatchTest, ConfigRejectsUnknownKernelName) {
+  Relation relation = PaperFigure1Relation();
+  TaneConfig config;
+  config.kernel = "warp-drive";
+  StatusOr<DiscoveryResult> result = Tane::Discover(relation, config);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace tane

@@ -236,6 +236,51 @@ TEST(PartitionProductTest, AllocationCounterWithoutPool) {
   EXPECT_EQ(product.allocations(), 0);
 }
 
+TEST(PartitionProductTest, EpochOverflowPastInt32MaxReinitializes) {
+  // The probe table is epoch-labelled: each product's labels live at
+  // [probe_base_, probe_base_ + classes) and the base only ever advances.
+  // When the next label range would not fit in int32, Multiply must
+  // re-initialize the table and wrap the base to 0 — and products straddling
+  // that wrap must not see the pre-wrap labels (which sit *above* the new
+  // base and would otherwise read as live).
+  Relation relation = PaperFigure1Relation();
+  PartitionProduct product(relation.num_rows());
+  StrippedPartition pa = PartitionBuilder::ForAttribute(relation, 1);
+  StrippedPartition pb = PartitionBuilder::ForAttribute(relation, 2);
+  const StrippedPartition expected =
+      PartitionBuilder::ForAttributeSet(relation, AttributeSet::Of({1, 2}))
+          .Canonicalized();
+
+  // Plant the base so the next product's labels end exactly at INT32_MAX:
+  // the highest base that does NOT trigger re-initialization.
+  product.set_probe_base_for_testing(INT32_MAX - pa.num_classes());
+  EXPECT_EQ(product.Multiply(pa, pb, /*a_token=*/7).value().Canonicalized(),
+            expected);
+  EXPECT_EQ(product.probe_base_for_testing(), INT32_MAX - pa.num_classes());
+
+  // Token reuse at the top of the label range: no relabeling, same result.
+  EXPECT_EQ(product.Multiply(pa, pb, /*a_token=*/7).value().Canonicalized(),
+            expected);
+  EXPECT_EQ(product.label_reuses(), 1);
+
+  // A different left operand forces a relabel; advancing the base past the
+  // previous labels overflows, so the table re-initializes and the base
+  // wraps to 0.
+  StrippedPartition pc = PartitionBuilder::ForAttribute(relation, 0);
+  EXPECT_EQ(product.Multiply(pc, pb, /*a_token=*/8).value().Canonicalized(),
+            PartitionBuilder::ForAttributeSet(relation, AttributeSet::Of({0, 2}))
+                .Canonicalized());
+  EXPECT_EQ(product.probe_base_for_testing(), 0);
+
+  // Post-wrap products keep working: the pre-wrap labels near INT32_MAX
+  // must have been wiped, not merely out-epoched.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(product.Multiply(pa, pb).value().Canonicalized(), expected)
+        << "post-wrap product " << i;
+  }
+  EXPECT_LE(product.probe_base_for_testing() + pa.num_classes(), INT32_MAX);
+}
+
 TEST(PartitionProductTest, GrowsBeyondConstructedSize) {
   // A product sized for 2 rows fed 8-row partitions must grow its scratch
   // and produce the correct result rather than abort.

@@ -2,8 +2,11 @@
 # Builds and tests every supported configuration: the default RelWithDebInfo
 # preset, the asan-ubsan preset (AddressSanitizer + UBSan), and the tsan
 # preset (ThreadSanitizer, which races the parallel level executor), running
-# the full ctest suite under each. Usage: tools/check.sh [preset ...]; with
-# no arguments all three presets run.
+# the full ctest suite under each. The suite includes the kernel-equivalence
+# fuzz tests, which sweep every available dispatch kernel (scalar, and
+# avx2/neon where the CPU has them) — so each kernel's gathers, prefetches,
+# and scatters run under both sanitizers on every invocation. Usage:
+# tools/check.sh [preset ...]; with no arguments all three presets run.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -36,7 +39,10 @@ echo "All presets green: ${presets[*]}"
 # JSON measurement once, and check the artifact is valid JSON. Catches both
 # a broken release build and a malformed BENCH_micro_partition.json early.
 # The same artifact carries the baseline-vs-instrumented measurement, so
-# the obs checker also asserts instrumentation overhead stays within 2%.
+# the obs checker also asserts instrumentation overhead stays within 2% —
+# and holds products/sec to the hard per-dataset throughput floors in
+# check_obs.py (1.5x the pre-kernel-rewrite baseline), so a regression in
+# the product hot path fails the gate outright.
 echo "==> perf smoke: release micro_partition"
 cmake --preset release
 cmake --build --preset release -j "${jobs}" --target micro_partition

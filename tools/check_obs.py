@@ -8,8 +8,11 @@ Usage:
   check_obs.py scaling BENCH_parallel_scaling.json
 
 `micro` asserts the instrumentation overhead measured by the partition
-microbenchmark stays within the 2% budget and that the registry metrics
-made it into the artifact. `trace` checks the file is structurally valid
+microbenchmark stays within the 2% budget, that the registry metrics made
+it into the artifact, that the artifact names the dispatched kernel, and
+that products/sec clears a hard per-dataset throughput floor (1.5x the
+pre-kernel-rewrite baseline) — a genuine perf regression in the product
+hot path fails the gate, it does not merely shift a number. `trace` checks the file is structurally valid
 Chrome trace-event JSON (loadable by chrome://tracing and Perfetto) and
 names every expected phase span. `report` checks the run-report schema and
 that its counters and per-level table agree with what `tane discover
@@ -26,6 +29,20 @@ import sys
 import jsonio
 
 OVERHEAD_BUDGET = 1.02
+
+# Hard products/sec floors: 1.5x the baseline committed in
+# BENCH_micro_partition.json before the vectorized-kernel rewrite
+# (84212 / 74709 / 55472), which that rewrite must beat. "Hepatitis x20"
+# is new with the rewrite (no prior baseline), so its floor is its first
+# measured artifact (~5500/s) with ~25% noise headroom.
+PRODUCTS_PER_SEC_FLOORS = {
+    "Lymphography": 126318.0,
+    "Hepatitis": 112064.0,
+    "Wisconsin breast cancer": 83207.0,
+    "Hepatitis x20": 4200.0,
+}
+
+KNOWN_KERNELS = ("scalar", "avx2", "neon")
 
 # Spans the discovery driver always emits (per-worker "slice" and "spill"
 # are conditional on threading / storage, so not required here).
@@ -80,12 +97,18 @@ def check_micro(path):
     doc = load(path)
     if doc.get("benchmark") != "micro_partition":
         fail(f"{path}: not a micro_partition artifact")
+    if doc.get("kernel") not in KNOWN_KERNELS:
+        fail(f"{path}: dispatched kernel {doc.get('kernel')!r} is not one "
+             f"of {KNOWN_KERNELS}")
     datasets = doc.get("datasets")
     if not datasets:
         fail(f"{path}: empty datasets array")
     worst = 0.0
+    floors_checked = 0
+    names = set()
     for dataset in datasets:
         name = dataset.get("name", "?")
+        names.add(name)
         ratio = dataset.get("obs_overhead_ratio")
         if ratio is None:
             fail(f"{name}: missing obs_overhead_ratio")
@@ -93,6 +116,23 @@ def check_micro(path):
         if ratio > OVERHEAD_BUDGET:
             fail(f"{name}: instrumentation overhead {ratio:.4f}x exceeds "
                  f"the {OVERHEAD_BUDGET:.2f}x budget")
+        if dataset.get("kernel") != doc["kernel"]:
+            fail(f"{name}: dataset kernel {dataset.get('kernel')!r} "
+                 f"disagrees with the artifact's {doc['kernel']!r}")
+        # The honest rows/sec denominator: member rows actually walked.
+        if dataset.get("rows_scanned", 0) <= 0:
+            fail(f"{name}: rows_scanned missing or zero")
+        for key in ("rows_per_sec", "nominal_rows_per_sec"):
+            if not isinstance(dataset.get(key), (int, float)):
+                fail(f"{name}: missing {key}")
+        floor = PRODUCTS_PER_SEC_FLOORS.get(name)
+        if floor is not None:
+            floors_checked += 1
+            throughput = dataset.get("products_per_sec", 0.0)
+            if throughput < floor:
+                fail(f"{name}: {throughput:.0f} products/sec is below the "
+                     f"{floor:.0f}/sec hard floor — the product hot path "
+                     f"regressed")
         # partition_products is the driver's counter; the microbenchmark's
         # registry sees the product/pool side: buffer acquires and the
         # per-product size histograms.
@@ -102,7 +142,12 @@ def check_micro(path):
         classes = dataset.get("histograms", {}).get("product_classes", {})
         if classes.get("count", 0) <= 0:
             fail(f"{name}: product_classes histogram is empty")
+    missing = sorted(set(PRODUCTS_PER_SEC_FLOORS) - names)
+    if missing:
+        fail(f"{path}: floor-gated datasets missing from the artifact: "
+             f"{missing}")
     print(f"check_obs: micro OK ({len(datasets)} datasets, "
+          f"{floors_checked} throughput floors, "
           f"worst overhead {worst:.4f}x)")
 
 

@@ -47,6 +47,11 @@ commands:
                         to disk instead of failing
       --threads=N       worker threads for per-level parallel execution
                         (default 1; output is identical for any N)
+      --kernel=K        data-parallel kernel for the partition-product and
+                        error-scan hot loops: auto (default; widest ISA the
+                        CPU supports), scalar, avx2, or neon; an unavailable
+                        kernel falls back to scalar with a warning (output
+                        is identical for every K)
       --pli-cache=on|off
                         intern structurally identical partitions behind
                         shared storage (default on; results are identical
@@ -216,6 +221,9 @@ Status RunDiscover(const ParsedArgs& args, std::ostream& out,
                         FlagAsInt(args, "memory-budget-mb", 0));
   TANE_ASSIGN_OR_RETURN(int64_t threads, FlagAsInt(args, "threads", 1));
   config.num_threads = static_cast<int>(threads);
+  if (const std::string* kernel = args.Flag("kernel")) {
+    config.kernel = *kernel;
+  }
   if (const std::string* pli_cache = args.Flag("pli-cache")) {
     if (*pli_cache == "on") {
       config.use_pli_cache = true;
@@ -355,6 +363,10 @@ Status RunDiscover(const ParsedArgs& args, std::ostream& out,
         << " g3_scans=" << stats.g3_scans
         << " g3_scans_skipped=" << stats.g3_scans_skipped
         << " product_allocations=" << stats.product_allocations
+        << " product_rows_scanned=" << stats.product_rows_scanned
+        << " product_label_reuses=" << stats.product_label_reuses
+        << " g3_rows_scanned=" << stats.g3_rows_scanned
+        << " kernel=" << stats.kernel
         << " pli_cache_lookups=" << stats.pli_cache_lookups
         << " pli_cache_hits=" << stats.pli_cache_hits
         << " pli_cache_misses=" << stats.pli_cache_misses
@@ -691,7 +703,8 @@ int Run(const std::vector<std::string>& args, std::ostream& out,
   if (command == "discover") {
     status = CheckKnownFlags(
         *parsed, {"epsilon", "max-lhs", "deadline-ms", "memory-budget-mb",
-                  "threads", "pli-cache", "disk", "storage", "format",
+                  "threads", "kernel", "pli-cache", "disk", "storage",
+                  "format",
                   "stats", "trace", "report", "progress", "log-level",
                   "no-header", "delimiter", "checkpoint-dir",
                   "checkpoint-every-level", "resume", "stop-after-level"});
