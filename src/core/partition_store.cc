@@ -11,6 +11,7 @@
 #include <memory>
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/crc32.h"
@@ -466,6 +467,13 @@ Status AutoPartitionStore::SpillToDisk() {
   if (metrics_ != nullptr) metrics_->SetGauge(obs::kDegradedToDisk, 1);
   span.AddArg("migrated_partitions",
               static_cast<int64_t>(inner_handles_.size()));
+  // A mid-run spill is exactly the kind of state transition a postmortem
+  // wants on the timeline: runs that died shortly after degrading to disk
+  // read very differently from runs that died in memory.
+  if (obs::FlightRecorder* recorder = obs::FlightRecorder::active()) {
+    recorder->Record(-1, obs::FlightEventType::kSpill, "spill-to-disk",
+                     static_cast<int64_t>(inner_handles_.size()));
+  }
   return Status::OK();
 }
 

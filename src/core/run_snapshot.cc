@@ -363,6 +363,7 @@ StatusOr<RunSnapshot> LoadLatestSnapshot(const std::string& directory) {
     return Status(snapshot.status().code(),
                   snapshot.status().message() + " (" + path + ")");
   }
+  snapshot->serialized_bytes = static_cast<int64_t>(bytes.size());
   return snapshot;
 }
 

@@ -83,6 +83,11 @@ struct RunSnapshot {
   /// Surviving nodes of `completed_level`, in node order.
   std::vector<SnapshotNode> survivors;
 
+  /// Size of the file this snapshot was loaded from. Not serialized —
+  /// filled by LoadLatestSnapshot so the restore path can account its
+  /// read I/O (checkpoint_reads / checkpoint_bytes_read counters).
+  int64_t serialized_bytes = 0;
+
   /// Encodes into the CRC32-framed container format (util/checkpoint.h).
   std::string Serialize() const;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <functional>
 #include <limits>
 #include <list>
@@ -17,6 +18,7 @@
 #include "core/pli_cache.h"
 #include "core/run_snapshot.h"
 #include "lattice/level.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
@@ -26,6 +28,7 @@
 #include "partition/product.h"
 #include "util/logging.h"
 #include "util/mutex.h"
+#include "util/span_stack.h"
 #include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -36,6 +39,24 @@ namespace {
 // For cleanup paths where an earlier error must keep precedence: the
 // secondary failure is logged, never silently dropped (Status is
 // [[nodiscard]]; this is the sanctioned way to sideline one).
+// Flight-recorder event, if one is armed (the CLI arms it whenever a
+// checkpoint directory is configured). One relaxed global load when idle.
+void RecordFlight(int tid, obs::FlightEventType type, std::string_view label,
+                  int64_t a = 0, int64_t b = 0) {
+  obs::FlightRecorder* recorder = obs::FlightRecorder::active();
+  if (recorder != nullptr) recorder->Record(tid, type, label, a, b);
+}
+
+// Budget breaches end the run with kResourceExhausted; the flight dump is
+// the postmortem of what the run was doing when memory ran out.
+void ReportBudgetBreach(int64_t resident, int64_t budget) {
+  obs::FlightRecorder* recorder = obs::FlightRecorder::active();
+  if (recorder == nullptr) return;
+  recorder->Record(-1, obs::FlightEventType::kBudget, "memory_budget",
+                   resident, budget);
+  recorder->DumpGraceful("memory_budget");
+}
+
 void LogIgnoredStatus(const Status& status, const char* context) {
   if (!status.ok()) {
     TANE_LOG(Warning) << context << " failed during error unwind: "
@@ -427,6 +448,15 @@ class TaneRun {
     // First transition only: the heartbeat announces why the run is winding
     // down, even if the next periodic tick is seconds away.
     if (monitor_ != nullptr) monitor_->EmitNow(StopReasonToString(reason));
+    // Same transition arms the postmortem: the dump captures the ring as
+    // it stood when the verdict landed, before wind-down noise overwrites
+    // the interesting tail.
+    obs::FlightRecorder* recorder = obs::FlightRecorder::active();
+    if (recorder != nullptr) {
+      const std::string_view verdict = StopReasonToString(reason);
+      recorder->Record(0, obs::FlightEventType::kVerdict, verdict);
+      recorder->DumpGraceful(verdict);
+    }
   }
 
   // Consults the RunController; once it trips, the stop is latched and the
@@ -472,6 +502,7 @@ class TaneRun {
     const int64_t resident = store_->resident_bytes() + AccessorCacheBytes() +
                              ScratchAndPoolBytes();
     if (resident <= budget) return Status::OK();
+    ReportBudgetBreach(resident, budget);
     return Status::ResourceExhausted(
         "resident partitions (" + std::to_string(resident) +
         " bytes) exceed the memory budget (" + std::to_string(budget) +
@@ -974,6 +1005,7 @@ Status TaneRun::CommitOneSlot(WindowContext* ctx, int64_t i) {
     if (config_.storage == StorageMode::kMemory && controller_ != nullptr) {
       const int64_t budget = controller_->memory_budget_bytes();
       if (budget > 0 && resident > budget) {
+        ReportBudgetBreach(resident, budget);
         return Status::ResourceExhausted(
             "resident partitions (" + std::to_string(resident) +
             " bytes) exceed the memory budget (" + std::to_string(budget) +
@@ -1082,6 +1114,13 @@ Status TaneRun::RunLevelWindow(const WindowInputs& in, const BuildFn& build,
 
   store_->BeginTaskWindow();
   if (UseParallelWindow(count, in.est_row_work)) {
+    if (SpanStack::recording()) {
+      // Names the parallel region for the sampling profiler: every worker
+      // pushes this label as its root frame for the window's duration.
+      char label[kSpanFrameChars];
+      std::snprintf(label, sizeof(label), "window level-%d", in.level_number);
+      SpanStack::SetCollectiveLabel(label);
+    }
     const ParallelForStats region = pool_.ParallelFor(
         count, [&](int worker, int64_t i) {
           WorkerState* w = workers_[worker].get();
@@ -1096,8 +1135,17 @@ Status TaneRun::RunLevelWindow(const WindowInputs& in, const BuildFn& build,
           // in ascending index order, so the minimum unfinished task is
           // always either running or next in line — the window cannot
           // deadlock and the frontier always advances.
+          bool stall_recorded = false;
           while (i >= ctx.frontier.load(std::memory_order_seq_cst) +
                           ctx.gate) {
+            if (!stall_recorded) {
+              // One event per gate entry, not per spin: the ring holds the
+              // *pattern* of stalls, and a spinning worker would otherwise
+              // flood its ring in microseconds.
+              stall_recorded = true;
+              RecordFlight(worker, obs::FlightEventType::kStall, "gate", i,
+                           ctx.frontier.load(std::memory_order_relaxed));
+            }
             if (ctx.failed.load(std::memory_order_relaxed) ||
                 WorkerShouldStop(w)) {
               return;
@@ -1194,29 +1242,46 @@ Status TaneRun::WriteCheckpoint(int level_number,
   snapshot.counters.max_level_size = metrics_.gauge(obs::kMaxLevelSize);
   snapshot.level_parallel = stats_.level_parallel;
   snapshot.survivors.reserve(survivors.size());
-  for (const Node& node : survivors) {
-    SnapshotNode stored;
-    stored.set = node.set;
-    stored.cplus = node.cplus;
-    stored.error = node.error;
-    const StrippedPartition* partition = store_->Peek(node.handle);
-    StrippedPartition owned;
-    if (partition == nullptr) {
-      TANE_ASSIGN_OR_RETURN(owned, store_->Get(node.handle));
-      partition = &owned;
+  {
+    obs::SpanGuard serialize_span(tracer_, "checkpoint-serialize", &metrics_);
+    for (const Node& node : survivors) {
+      SnapshotNode stored;
+      stored.set = node.set;
+      stored.cplus = node.cplus;
+      stored.error = node.error;
+      const StrippedPartition* partition = store_->Peek(node.handle);
+      StrippedPartition owned;
+      if (partition == nullptr) {
+        TANE_ASSIGN_OR_RETURN(owned, store_->Get(node.handle));
+        partition = &owned;
+      }
+      stored.partition_bytes = SerializePartition(*partition);
+      snapshot.survivors.push_back(std::move(stored));
+      metrics_.Add(0, obs::kCheckpointNodesWritten, 1);
     }
-    stored.partition_bytes = SerializePartition(*partition);
-    snapshot.survivors.push_back(std::move(stored));
-    metrics_.Add(0, obs::kCheckpointNodesWritten, 1);
+    serialize_span.AddArg("nodes",
+                          static_cast<int64_t>(snapshot.survivors.size()));
   }
-  TANE_ASSIGN_OR_RETURN(
-      const int64_t bytes,
-      WriteSnapshot(config_.checkpoint_directory, snapshot));
+  int64_t bytes = 0;
+  {
+    // The serialize loop above is CPU (partition encode); this is the
+    // durable write. Separating them in the trace tells fsync stalls
+    // apart from encode cost.
+    obs::SpanGuard write_span(tracer_, "checkpoint-write", &metrics_);
+    TANE_ASSIGN_OR_RETURN(
+        bytes, WriteSnapshot(config_.checkpoint_directory, snapshot));
+    write_span.AddArg("bytes", bytes);
+  }
   metrics_.Add(0, obs::kCheckpointWrites, 1);
   metrics_.Add(0, obs::kCheckpointBytesWritten, bytes);
   metrics_.SetGauge(obs::kCheckpointLastLevel, level_number);
   last_checkpoint_level_ = level_number;
   checkpoint_seconds_ += timer.ElapsedSeconds();
+  span.AddArg("level", level_number);
+  span.AddArg("nodes", static_cast<int64_t>(snapshot.survivors.size()));
+  span.AddArg("bytes", bytes);
+  RecordFlight(-1, obs::FlightEventType::kCheckpointWrite, "snapshot", bytes,
+               static_cast<int64_t>(snapshot.survivors.size()));
   return Status::OK();
 }
 
@@ -1224,6 +1289,14 @@ Status TaneRun::RestoreFromSnapshot(const RunSnapshot& snapshot,
                                     DiscoveryResult* result,
                                     std::vector<Node>* survivors) {
   obs::SpanGuard span(tracer_, "restore", &metrics_);
+  metrics_.Add(0, obs::kCheckpointReads, 1);
+  metrics_.Add(0, obs::kCheckpointBytesRead, snapshot.serialized_bytes);
+  span.AddArg("level", snapshot.completed_level);
+  span.AddArg("nodes", static_cast<int64_t>(snapshot.survivors.size()));
+  span.AddArg("bytes", snapshot.serialized_bytes);
+  RecordFlight(-1, obs::FlightEventType::kCheckpointRestore, "snapshot",
+               snapshot.serialized_bytes,
+               static_cast<int64_t>(snapshot.survivors.size()));
   // Replaying the dependencies in emission order rebuilds found_lhs_by_rhs_
   // and the covered-rhs masks byte-for-byte; the carried counters restore
   // the work totals those emissions represent.
@@ -1369,6 +1442,10 @@ StatusOr<bool> TaneRun::AdvanceLevel(int level_number,
   Status window_status;
   {
     obs::SpanGuard span(tracer_, "products", &metrics_);
+    // Kernel attribution is per-span, not per-dispatch: a counter read per
+    // product would cost two syscalls on the hottest path. The dispatched
+    // kernel is constant for the run, so the span arg loses nothing.
+    span.AddArg("kernel_kind", static_cast<int64_t>(kernel_->kind));
     window_status = RunLevelWindow(
         in,
         [&](WorkerState* w, int64_t i) {
@@ -1421,7 +1498,11 @@ StatusOr<bool> TaneRun::AdvanceLevel(int level_number,
 
 Status TaneRun::Run(DiscoveryResult* result) {
   WallTimer timer;
-  obs::SpanGuard run_span(tracer_, "run", &metrics_);
+  // Held in an optional so the wind-down below can close it before the
+  // final metrics snapshot — the "run" hw phase must be aggregated by the
+  // time the snapshot that feeds the report is taken.
+  std::optional<obs::SpanGuard> run_span;
+  run_span.emplace(tracer_, "run", &metrics_);
   if (config_.progress_period_seconds > 0.0) {
     obs::ProgressMonitor::Options options;
     options.period_seconds = config_.progress_period_seconds;
@@ -1525,6 +1606,8 @@ Status TaneRun::Run(DiscoveryResult* result) {
                       static_cast<int64_t>(current.size()));
     obs::SpanGuard level_span(
         tracer_, "level " + std::to_string(level_number), &metrics_);
+    RecordFlight(0, obs::FlightEventType::kLevel, "level", level_number,
+                 static_cast<int64_t>(current.size()));
     // The level's timing row was pushed by whichever window built it
     // (AdvanceLevel, the seeding window, or the resume prologue).
     // tane-lint: allow(tane-check)
@@ -1536,6 +1619,7 @@ Status TaneRun::Run(DiscoveryResult* result) {
       // The window already ran this level's validity tests; what remains is
       // the serial in-node-order merge of emissions and C⁺ updates.
       obs::SpanGuard span(tracer_, "validity", &metrics_);
+      span.AddArg("kernel_kind", static_cast<int64_t>(kernel_->kind));
       TANE_RETURN_IF_ERROR(MergeOutcomes(&current, result));
     }
     {
@@ -1588,7 +1672,9 @@ Status TaneRun::Run(DiscoveryResult* result) {
 
   // The legacy counters are views over the registry: one snapshot fills
   // them all, and the same snapshot ships in the result for the run report
-  // and the bench emitters — the two can never disagree.
+  // and the bench emitters — the two can never disagree. Close the run
+  // span first so its hw delta is part of that snapshot.
+  run_span.reset();
   const obs::MetricsSnapshot snapshot = metrics_.Snapshot();
   stats_.sets_generated = snapshot.counter(obs::kSetsGenerated);
   stats_.max_level_size = snapshot.gauge(obs::kMaxLevelSize);

@@ -5,6 +5,8 @@
 #include <bit>
 #include <memory>
 
+#include "util/mutex.h"
+
 namespace tane {
 namespace obs {
 
@@ -37,6 +39,8 @@ std::string_view CounterName(CounterId id) {
     case kCheckpointBytesWritten: return "checkpoint_bytes_written";
     case kCheckpointNodesWritten: return "checkpoint_nodes_written";
     case kCheckpointNodesRestored: return "checkpoint_nodes_restored";
+    case kCheckpointReads:    return "checkpoint_reads";
+    case kCheckpointBytesRead: return "checkpoint_bytes_read";
     case kCounterCount:       break;
   }
   return "unknown_counter";
@@ -137,6 +141,17 @@ void MetricsRegistry::Record(int shard, HistogramId id, int64_t value) {
   }
 }
 
+void MetricsRegistry::AddHwSpan(std::string_view phase,
+                                const HwCounters& delta) {
+  MutexLock lock(&hw_mu_);
+  auto it = hw_phases_.find(phase);
+  if (it == hw_phases_.end()) {
+    it = hw_phases_.emplace(std::string(phase), HwPhase{}).first;
+  }
+  ++it->second.spans;
+  it->second.hw += delta;
+}
+
 int64_t MetricsRegistry::CounterTotal(CounterId id) const {
   int64_t total = shared_counters_[id].load(std::memory_order_relaxed);
   for (int shard = 0; shard < num_shards_; ++shard) {
@@ -175,6 +190,18 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
       for (int b = 0; b < kHistogramBuckets; ++b) {
         out.buckets[b] += h.buckets[b].load(std::memory_order_relaxed);
       }
+    }
+  }
+  snapshot.hw_backend = std::string(PerfBackendName(PerfCounters::backend()));
+  {
+    MutexLock lock(&hw_mu_);
+    snapshot.hw_phases.reserve(hw_phases_.size());
+    for (const auto& [phase, agg] : hw_phases_) {
+      HwPhaseSnapshot row;
+      row.phase = phase;
+      row.spans = agg.spans;
+      row.hw = agg.hw;
+      snapshot.hw_phases.push_back(std::move(row));
     }
   }
   return snapshot;

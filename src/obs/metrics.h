@@ -4,8 +4,15 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <string>
 #include <string_view>
+#include <vector>
+
+#include "obs/perf_counters.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace tane {
 namespace obs {
@@ -42,6 +49,8 @@ enum CounterId : int {
   kCheckpointBytesWritten,
   kCheckpointNodesWritten,  ///< survivor nodes serialized into snapshots
   kCheckpointNodesRestored,  ///< survivor nodes rehydrated on resume
+  kCheckpointReads,     ///< snapshot files read back for resume
+  kCheckpointBytesRead,
   kCounterCount,
 };
 
@@ -96,6 +105,15 @@ struct HistogramSnapshot {
   }
 };
 
+/// Hardware-counter totals attributed to one span phase ("run", "level",
+/// "products", ...), summed over every span whose name starts with that
+/// phase key. spans counts the contributing spans.
+struct HwPhaseSnapshot {
+  std::string phase;
+  int64_t spans = 0;
+  HwCounters hw;
+};
+
 /// A consistent-enough aggregate of every metric: counter totals summed
 /// across shards, current gauge values, and merged histograms. Taken while
 /// workers run it may lag individual shards by a few increments, but each
@@ -104,6 +122,12 @@ struct MetricsSnapshot {
   std::array<int64_t, kCounterCount> counters{};
   std::array<int64_t, kGaugeCount> gauges{};
   std::array<HistogramSnapshot, kHistogramCount> histograms{};
+  /// Per-phase hardware-counter aggregates, sorted by phase name. Empty
+  /// when no span ran under an attached registry; zero-valued rows under
+  /// the noop backend (the *shape* never depends on the platform).
+  std::vector<HwPhaseSnapshot> hw_phases;
+  /// PerfBackendName of the backend live when the snapshot was taken.
+  std::string hw_backend = "noop";
 
   int64_t counter(CounterId id) const { return counters[id]; }
   int64_t gauge(GaugeId id) const { return gauges[id]; }
@@ -181,6 +205,13 @@ class MetricsRegistry {
   /// Records one histogram observation on the caller-owned shard.
   void Record(int shard, HistogramId id, int64_t value);
 
+  /// Accumulates one span's hardware-counter delta under `phase` (the span
+  /// name up to its first space, so "level 3" folds into "level"). Spans
+  /// are per-phase / per-level — a few dozen per run — so a mutex-guarded
+  /// map is plenty. Thread-safe.
+  void AddHwSpan(std::string_view phase, const HwCounters& delta)
+      TANE_EXCLUDES(hw_mu_);
+
   /// The current total of one counter across all shards.
   int64_t CounterTotal(CounterId id) const;
 
@@ -208,6 +239,14 @@ class MetricsRegistry {
   std::unique_ptr<Shard[]> shards_;
   std::array<std::atomic<int64_t>, kCounterCount> shared_counters_{};
   std::array<std::atomic<int64_t>, kGaugeCount> gauges_{};
+
+  struct HwPhase {
+    int64_t spans = 0;
+    HwCounters hw;
+  };
+  mutable Mutex hw_mu_;
+  std::map<std::string, HwPhase, std::less<>> hw_phases_
+      TANE_GUARDED_BY(hw_mu_);
 };
 
 }  // namespace obs

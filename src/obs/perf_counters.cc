@@ -1,0 +1,164 @@
+#include "obs/perf_counters.h"
+
+#include <atomic>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace tane {
+namespace obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+// 0 = undecided, 1 = kNoop, 2 = kLinuxPerf. Latched by the first thread
+// that attempts an open; forced values win over later attempts.
+std::atomic<int> g_backend{0};
+
+#if defined(__linux__)
+
+constexpr int kGroupSize = 5;
+
+// read(2) layout under PERF_FORMAT_GROUP: nr, then one value per member
+// in the order they were attached to the group leader.
+struct GroupReading {
+  uint64_t nr;
+  uint64_t values[kGroupSize];
+};
+
+int OpenOneEvent(uint64_t config, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = group_fd == -1 ? 1 : 0;  // leader starts disabled
+  attr.exclude_kernel = 1;                 // works at perf_event_paranoid=1
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP;
+  // pid=0, cpu=-1: this thread, on whichever CPU schedules it.
+  return static_cast<int>(syscall(SYS_perf_event_open, &attr, 0, -1,
+                                  group_fd, 0));
+}
+
+// Per-thread counter group. Opened lazily on first Read(); closed when the
+// thread exits (thread_local destructor). A failed open latches fd=-1 so
+// the thread never retries.
+class ThreadGroup {
+ public:
+  ~ThreadGroup() {
+    if (leader_fd_ >= 0) {
+      for (int fd : fds_) {
+        if (fd >= 0) close(fd);
+      }
+    }
+  }
+
+  HwCounters Read() {
+    if (!opened_) Open();
+    if (leader_fd_ < 0) return HwCounters{};
+    GroupReading reading;
+    std::memset(&reading, 0, sizeof(reading));
+    const ssize_t n = read(leader_fd_, &reading, sizeof(reading));
+    if (n < static_cast<ssize_t>(sizeof(uint64_t))) return HwCounters{};
+    HwCounters out;
+    // Members were attached in this order; a partially opened group (some
+    // events unsupported on this CPU) reports fewer values — the missing
+    // tail stays zero.
+    int64_t* slots[kGroupSize] = {&out.cycles, &out.instructions,
+                                  &out.cache_references, &out.cache_misses,
+                                  &out.branch_misses};
+    const uint64_t nr = reading.nr < kGroupSize ? reading.nr : kGroupSize;
+    for (uint64_t i = 0; i < nr; ++i) {
+      *slots[i] = static_cast<int64_t>(reading.values[i]);
+    }
+    return out;
+  }
+
+ private:
+  void Open() {
+    opened_ = true;
+    leader_fd_ = OpenOneEvent(PERF_COUNT_HW_CPU_CYCLES, -1);
+    if (leader_fd_ < 0) {
+      // EPERM/EACCES (paranoid), ENOENT (no PMU in this VM), ENOSYS:
+      // all mean "no hardware counters here" — latch the noop backend.
+      int expected = 0;
+      g_backend.compare_exchange_strong(expected, 1,
+                                        std::memory_order_relaxed);
+      return;
+    }
+    fds_[0] = leader_fd_;
+    const uint64_t members[kGroupSize - 1] = {
+        PERF_COUNT_HW_INSTRUCTIONS, PERF_COUNT_HW_CACHE_REFERENCES,
+        PERF_COUNT_HW_CACHE_MISSES, PERF_COUNT_HW_BRANCH_MISSES};
+    for (int i = 0; i < kGroupSize - 1; ++i) {
+      // A member the PMU cannot schedule is simply skipped; its slot in
+      // the reading stays zero and the derived ratios degrade gracefully.
+      fds_[i + 1] = OpenOneEvent(members[i], leader_fd_);
+    }
+    ioctl(leader_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    ioctl(leader_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+    int expected = 0;
+    g_backend.compare_exchange_strong(expected, 2,
+                                      std::memory_order_relaxed);
+  }
+
+  bool opened_ = false;
+  int leader_fd_ = -1;
+  int fds_[kGroupSize] = {-1, -1, -1, -1, -1};
+};
+
+ThreadGroup& LocalGroup() {
+  thread_local ThreadGroup group;
+  return group;
+}
+
+#endif  // defined(__linux__)
+
+}  // namespace
+
+std::string_view PerfBackendName(PerfBackend backend) {
+  switch (backend) {
+    case PerfBackend::kNoop:      return "noop";
+    case PerfBackend::kLinuxPerf: return "linux_perf";
+  }
+  return "unknown";
+}
+
+void PerfCounters::SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool PerfCounters::enabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+PerfBackend PerfCounters::backend() {
+  const int b = g_backend.load(std::memory_order_relaxed);
+  return b == 2 ? PerfBackend::kLinuxPerf : PerfBackend::kNoop;
+}
+
+HwCounters PerfCounters::Read() {
+  if (!enabled()) return HwCounters{};
+#if defined(__linux__)
+  if (g_backend.load(std::memory_order_relaxed) == 1) return HwCounters{};
+  return LocalGroup().Read();
+#else
+  int expected = 0;
+  g_backend.compare_exchange_strong(expected, 1, std::memory_order_relaxed);
+  return HwCounters{};
+#endif
+}
+
+void PerfCounters::ForceBackendForTest(PerfBackend backend) {
+  g_backend.store(backend == PerfBackend::kLinuxPerf ? 2 : 1,
+                  std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace tane

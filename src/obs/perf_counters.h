@@ -1,0 +1,100 @@
+#ifndef TANE_OBS_PERF_COUNTERS_H_
+#define TANE_OBS_PERF_COUNTERS_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace tane {
+namespace obs {
+
+/// One hardware-counter reading (or delta between two readings). All five
+/// events are scheduled as a single perf group, so the values are taken
+/// from the same scheduling intervals and ratios (IPC, miss rates) are
+/// internally consistent. Zero-initialized == "nothing measured".
+struct HwCounters {
+  int64_t cycles = 0;
+  int64_t instructions = 0;
+  int64_t cache_references = 0;
+  int64_t cache_misses = 0;
+  int64_t branch_misses = 0;
+
+  HwCounters operator-(const HwCounters& rhs) const {
+    HwCounters d;
+    d.cycles = cycles - rhs.cycles;
+    d.instructions = instructions - rhs.instructions;
+    d.cache_references = cache_references - rhs.cache_references;
+    d.cache_misses = cache_misses - rhs.cache_misses;
+    d.branch_misses = branch_misses - rhs.branch_misses;
+    return d;
+  }
+
+  HwCounters& operator+=(const HwCounters& rhs) {
+    cycles += rhs.cycles;
+    instructions += rhs.instructions;
+    cache_references += rhs.cache_references;
+    cache_misses += rhs.cache_misses;
+    branch_misses += rhs.branch_misses;
+    return *this;
+  }
+
+  bool any() const {
+    return cycles != 0 || instructions != 0 || cache_references != 0 ||
+           cache_misses != 0 || branch_misses != 0;
+  }
+
+  /// Instructions per cycle; 0 when cycles were not measured.
+  double ipc() const {
+    return cycles > 0 ? static_cast<double>(instructions) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+  }
+};
+
+/// Which measurement backend is live in this process.
+enum class PerfBackend : int {
+  kNoop = 0,      ///< non-Linux, EPERM / perf_event_paranoid, or disabled
+  kLinuxPerf = 1  ///< perf_event_open group counters
+};
+
+std::string_view PerfBackendName(PerfBackend backend);
+
+/// Process-wide hardware-counter access. perf_event_open file descriptors
+/// count events for the *calling thread*, so the facade keeps one lazily
+/// opened counter group per thread (thread_local) and reads the group of
+/// whichever thread calls Read().
+///
+/// The first open attempt decides the process backend: if the kernel
+/// refuses (ENOSYS on non-Linux builds, EPERM/EACCES under
+/// perf_event_paranoid >= 2 without CAP_PERFMON, ENOENT inside some VMs),
+/// the backend latches to kNoop and every subsequent Read() returns zeros
+/// at the cost of a single relaxed load — graceful degradation, never an
+/// error the caller has to handle.
+class PerfCounters {
+ public:
+  /// Globally enables/disables measurement. Disabling does not close fds
+  /// already open on other threads; it just makes Read() return zeros.
+  /// Default: enabled (the open path itself decides whether hardware is
+  /// available).
+  static void SetEnabled(bool enabled);
+  static bool enabled();
+
+  /// The backend decided by the first real open attempt on any thread, or
+  /// kNoop until one happens / when measurement is impossible.
+  static PerfBackend backend();
+
+  /// Reads the calling thread's counter group, opening it on first use.
+  /// Returns zeros under the noop backend. Cost on the Linux backend: one
+  /// read(2) of the whole group (~1 µs); intended for span enter/exit, not
+  /// per-row paths.
+  static HwCounters Read();
+
+  /// Test hook: forces the backend (and resets the "open attempted" latch
+  /// when forcing kNoop), so fallback behaviour is testable on machines
+  /// where perf events do work.
+  static void ForceBackendForTest(PerfBackend backend);
+};
+
+}  // namespace obs
+}  // namespace tane
+
+#endif  // TANE_OBS_PERF_COUNTERS_H_

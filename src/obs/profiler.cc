@@ -1,0 +1,90 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+
+#include "util/mutex.h"
+#include "util/span_stack.h"
+
+namespace tane {
+namespace obs {
+
+namespace {
+
+// Folded-frame sanitizer: flamegraph.pl splits "path count" on the last
+// space and frames on ';', so both characters must not appear in frames.
+void AppendFrame(std::string* path, const std::string& frame) {
+  if (!path->empty()) path->push_back(';');
+  for (char c : frame) {
+    path->push_back(c == ' ' || c == ';' ? '_' : c);
+  }
+}
+
+}  // namespace
+
+Profiler::~Profiler() { Stop(); }
+
+void Profiler::Start(int hz) {
+  if (running_.load(std::memory_order_relaxed)) return;
+  hz = std::clamp(hz, 1, 1000);
+  stop_requested_.store(false, std::memory_order_relaxed);
+  running_.store(true, std::memory_order_relaxed);
+  SpanStack::SetRecording(true);
+  sampler_ = std::thread([this, hz] { SamplerLoop(hz); });
+}
+
+void Profiler::Stop() {
+  if (!running_.load(std::memory_order_relaxed)) return;
+  stop_requested_.store(true, std::memory_order_relaxed);
+  if (sampler_.joinable()) sampler_.join();
+  SpanStack::SetRecording(false);
+  running_.store(false, std::memory_order_relaxed);
+}
+
+void Profiler::SamplerLoop(int hz) {
+  using Clock = std::chrono::steady_clock;
+  const auto period =
+      std::chrono::duration_cast<Clock::duration>(std::chrono::duration<
+          double>(1.0 / static_cast<double>(hz)));
+  // Absolute schedule: next = start + n * period. A slow tick borrows from
+  // the next interval instead of stretching the whole timeline, so the
+  // effective rate stays hz even when the fold map rehashes.
+  auto next = Clock::now() + period;
+  while (!stop_requested_.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_until(next);
+    next += period;
+    const std::vector<SpanStack::Sample> samples = SpanStack::SampleAll();
+    total_samples_.fetch_add(1, std::memory_order_relaxed);
+    MutexLock lock(&mu_);
+    for (const SpanStack::Sample& sample : samples) {
+      if (sample.skipped) continue;
+      std::string path = "tane";
+      AppendFrame(&path, sample.label);
+      if (sample.frames.empty()) {
+        // Registered but between spans (a parked worker, the reader phase
+        // on main). Kept visible so the flamegraph shows true wall shares.
+        AppendFrame(&path, "(idle)");
+      } else {
+        for (const std::string& frame : sample.frames) {
+          AppendFrame(&path, frame);
+        }
+      }
+      ++folded_[path];
+    }
+  }
+}
+
+bool Profiler::WriteFolded(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  MutexLock lock(&mu_);
+  for (const auto& [folded_path, count] : folded_) {
+    out << folded_path << ' ' << count << '\n';
+  }
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+}  // namespace obs
+}  // namespace tane

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "partition/kernels/kernels.h"
 #include "util/logging.h"
 #include "util/mutex.h"
 
@@ -72,20 +73,30 @@ std::string ProgressMonitor::FormatLine(std::string_view reason) {
       snap.counter(kNodesProcessed) - snap.gauge(kLevelNodesStart);
 
   // Smooth the node rate across heartbeats so the ETA does not whipsaw on
-  // one fast or slow batch.
+  // one fast or slow batch. The product rate is deliberately *not*
+  // smoothed: it is the live-throughput readout, and an operator watching
+  // a long run wants the last interval, stalls included.
   double eta_seconds = -1.0;
+  double products_per_second = 0.0;
   {
     MutexLock lock(&rate_mu_);
     const double dt = elapsed - last_elapsed_;
     const int64_t dn = nodes_done - last_nodes_done_;
+    const int64_t products = snap.counter(kPartitionProducts);
+    const int64_t dp = products - last_products_;
     if (dt > 1e-6 && dn >= 0) {
       const double instant = static_cast<double>(dn) / dt;
       nodes_per_second_ = nodes_per_second_ <= 0.0
                               ? instant
                               : 0.5 * nodes_per_second_ + 0.5 * instant;
     }
+    if (dt > 1e-6 && dp >= 0) {
+      products_per_second_ = static_cast<double>(dp) / dt;
+    }
     last_elapsed_ = elapsed;
     last_nodes_done_ = nodes_done;
+    last_products_ = products;
+    products_per_second = products_per_second_;
     if (nodes_per_second_ > 0.0 && nodes_total > nodes_done) {
       eta_seconds =
           static_cast<double>(nodes_total - nodes_done) / nodes_per_second_;
@@ -105,6 +116,10 @@ std::string ProgressMonitor::FormatLine(std::string_view reason) {
   line += " tests=" + std::to_string(snap.counter(kValidityTests));
   line += " products=" + std::to_string(snap.counter(kPartitionProducts));
   line += " fds=" + std::to_string(snap.counter(kFdsEmitted));
+  AppendF(&line, " products_per_sec=%.0f", products_per_second);
+  line += " kernel=";
+  line += KernelKindName(
+      static_cast<KernelKind>(snap.gauge(kKernelKind)));
   line += " cache_hits=" + std::to_string(snap.counter(kPliCacheHits));
   AppendF(&line, " resident_mb=%.1f",
           static_cast<double>(snap.gauge(kResidentBytes)) / (1024.0 * 1024.0));

@@ -71,6 +71,8 @@ class ProgressMonitor {
   double last_elapsed_ TANE_GUARDED_BY(rate_mu_) = 0.0;
   int64_t last_nodes_done_ TANE_GUARDED_BY(rate_mu_) = 0;
   double nodes_per_second_ TANE_GUARDED_BY(rate_mu_) = 0.0;
+  int64_t last_products_ TANE_GUARDED_BY(rate_mu_) = 0;
+  double products_per_second_ TANE_GUARDED_BY(rate_mu_) = 0.0;
 };
 
 }  // namespace obs

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace tane {
 namespace obs {
 
@@ -81,13 +83,63 @@ void WriteMetricsObject(const MetricsSnapshot& snapshot, JsonWriter* json) {
   json->EndObject();
 }
 
+void WriteHwObject(const MetricsSnapshot& snapshot,
+                   const std::string& kernel, JsonWriter* json) {
+  json->BeginObject();
+  json->Key("backend").Value(snapshot.hw_backend);
+  // One run dispatches one kernel; naming it here is what makes the phase
+  // rows per-kernel attributable across runs/artifacts.
+  json->Key("kernel").Value(kernel);
+  json->Key("phases").BeginArray();
+  const HwPhaseSnapshot* run_phase = nullptr;
+  const HwPhaseSnapshot* products_phase = nullptr;
+  const HwPhaseSnapshot* validity_phase = nullptr;
+  for (const HwPhaseSnapshot& phase : snapshot.hw_phases) {
+    if (phase.phase == "run") run_phase = &phase;
+    if (phase.phase == "products") products_phase = &phase;
+    if (phase.phase == "validity") validity_phase = &phase;
+    json->BeginObject();
+    json->Key("phase").Value(phase.phase);
+    json->Key("spans").Value(phase.spans);
+    json->Key("cycles").Value(phase.hw.cycles);
+    json->Key("instructions").Value(phase.hw.instructions);
+    json->Key("cache_references").Value(phase.hw.cache_references);
+    json->Key("cache_misses").Value(phase.hw.cache_misses);
+    json->Key("branch_misses").Value(phase.hw.branch_misses);
+    json->Key("ipc").Value(phase.hw.ipc());
+    json->EndObject();
+  }
+  json->EndArray();
+  // The ratios an optimization session starts from. Zero-valued under the
+  // noop backend — present either way so consumers never branch on shape.
+  const int64_t product_rows =
+      snapshot.counter(kProductRowsScanned);
+  const int64_t g3_rows = snapshot.counter(kG3RowsScanned);
+  json->Key("derived").BeginObject();
+  json->Key("run_ipc").Value(run_phase != nullptr ? run_phase->hw.ipc()
+                                                  : 0.0);
+  json->Key("products_cache_misses_per_row")
+      .Value(products_phase != nullptr && product_rows > 0
+                 ? static_cast<double>(products_phase->hw.cache_misses) /
+                       static_cast<double>(product_rows)
+                 : 0.0);
+  json->Key("validity_cache_misses_per_row")
+      .Value(validity_phase != nullptr && g3_rows > 0
+                 ? static_cast<double>(validity_phase->hw.cache_misses) /
+                       static_cast<double>(g3_rows)
+                 : 0.0);
+  json->EndObject();
+  json->EndObject();
+}
+
 void WriteRunReport(const TaneConfig& config, const DiscoveryResult& result,
                     const RunReportOptions& options, JsonWriter* json) {
   const DiscoveryStats& stats = result.stats;
 
   json->BeginObject();
-  // v2 added the "checkpoint" block and the "resumable" result field.
-  json->Key("schema_version").Value(2);
+  // v2 added the "checkpoint" block and the "resumable" result field; v3
+  // adds the "hw" hardware-counter block and the "trace" ring status.
+  json->Key("schema_version").Value(3);
   json->Key("tool").Value("tane");
 
   json->Key("config").BeginObject();
@@ -151,6 +203,22 @@ void WriteRunReport(const TaneConfig& config, const DiscoveryResult& result,
   WriteMetricsObject(result.metrics, json);
   json->Key("histograms");
   WriteHistogramsObject(result.metrics, json);
+
+  json->Key("hw");
+  WriteHwObject(result.metrics, stats.kernel, json);
+
+  // Ring-buffer status of the tracer this run used (if any): a nonzero
+  // dropped count means the trace file is a truncated window, and readers
+  // must not treat it as the whole story.
+  json->Key("trace").BeginObject();
+  json->Key("enabled").Value(config.tracer != nullptr);
+  json->Key("buffered_events")
+      .Value(config.tracer != nullptr ? config.tracer->buffered()
+                                      : int64_t{0});
+  json->Key("dropped_events")
+      .Value(config.tracer != nullptr ? config.tracer->dropped()
+                                      : int64_t{0});
+  json->EndObject();
 
   // Mirrors the CLI's "# level L: ..." lines value-for-value.
   json->Key("levels").BeginArray();

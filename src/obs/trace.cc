@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/flight_recorder.h"
+#include "obs/perf_counters.h"
 #include "util/mutex.h"
+#include "util/span_stack.h"
 
 namespace tane {
 namespace obs {
@@ -39,37 +42,108 @@ int64_t Tracer::dropped() const {
   return dropped_;
 }
 
+int64_t Tracer::buffered() const {
+  MutexLock lock(&mu_);
+  return static_cast<int64_t>(ring_.size());
+}
+
+namespace {
+
+// "level 3" and "level 7" aggregate under one "level" phase row; names
+// without a space are their own phase.
+std::string_view PhaseKey(const std::string& name) {
+  const size_t space = name.find(' ');
+  return space == std::string::npos
+             ? std::string_view(name)
+             : std::string_view(name.data(), space);
+}
+
+void AppendHwArgs(const HwCounters& hw,
+                  std::vector<std::pair<std::string, int64_t>>* args) {
+  if (hw.cycles != 0) args->emplace_back("hw_cycles", hw.cycles);
+  if (hw.instructions != 0) {
+    args->emplace_back("hw_instructions", hw.instructions);
+  }
+  if (hw.cache_references != 0) {
+    args->emplace_back("hw_cache_references", hw.cache_references);
+  }
+  if (hw.cache_misses != 0) {
+    args->emplace_back("hw_cache_misses", hw.cache_misses);
+  }
+  if (hw.branch_misses != 0) {
+    args->emplace_back("hw_branch_misses", hw.branch_misses);
+  }
+}
+
+}  // namespace
+
 SpanGuard::SpanGuard(Tracer* tracer, std::string name,
-                     const MetricsRegistry* registry, int tid)
-    : tracer_(tracer),
-      registry_(tracer != nullptr ? registry : nullptr),
-      name_(std::move(name)),
+                     MetricsRegistry* registry, int tid)
+    : tracer_(tracer), registry_(registry), name_(std::move(name)),
       tid_(tid) {
-  if (tracer_ == nullptr) return;
-  if (registry_ != nullptr) before_ = registry_->CounterTotals();
-  start_us_ = tracer_->NowUs();
+  // Each facet arms independently: tracing needs a tracer, hw attribution
+  // needs a registry, the profiler and flight recorder are global state.
+  hw_active_ = registry_ != nullptr && PerfCounters::enabled();
+  stack_active_ = SpanStack::recording();
+  recorder_active_ = FlightRecorder::active() != nullptr;
+  if (tracer_ == nullptr && !hw_active_ && !stack_active_ &&
+      !recorder_active_) {
+    return;
+  }
+  if (stack_active_) SpanStack::Local().Push(name_.c_str());
+  if (recorder_active_) {
+    FlightRecorder* recorder = FlightRecorder::active();
+    if (recorder != nullptr) {
+      recorder->Record(tid_, FlightEventType::kSpanBegin, name_);
+    }
+  }
+  if (tracer_ != nullptr) {
+    if (registry_ != nullptr) before_ = registry_->CounterTotals();
+    start_us_ = tracer_->NowUs();
+  }
+  start_tp_ = std::chrono::steady_clock::now();
+  // Last, so the hw delta excludes the setup above.
+  if (hw_active_) hw_before_ = PerfCounters::Read();
 }
 
 SpanGuard::~SpanGuard() {
-  if (tracer_ == nullptr) return;
-  TraceEvent event;
-  event.name = std::move(name_);
-  event.tid = tid_;
-  event.start_us = start_us_;
-  event.dur_us = tracer_->NowUs() - start_us_;
-  if (registry_ != nullptr) {
-    const std::array<int64_t, kCounterCount> after =
-        registry_->CounterTotals();
-    for (int id = 0; id < kCounterCount; ++id) {
-      const int64_t delta = after[id] - before_[id];
-      if (delta != 0) {
-        event.args.emplace_back(
-            std::string(CounterName(static_cast<CounterId>(id))), delta);
+  HwCounters hw_delta;
+  if (hw_active_) {
+    hw_delta = PerfCounters::Read() - hw_before_;
+    registry_->AddHwSpan(PhaseKey(name_), hw_delta);
+  }
+  if (tracer_ != nullptr) {
+    TraceEvent event;
+    event.name = name_;
+    event.tid = tid_;
+    event.start_us = start_us_;
+    event.dur_us = tracer_->NowUs() - start_us_;
+    if (registry_ != nullptr) {
+      const std::array<int64_t, kCounterCount> after =
+          registry_->CounterTotals();
+      for (int id = 0; id < kCounterCount; ++id) {
+        const int64_t delta = after[id] - before_[id];
+        if (delta != 0) {
+          event.args.emplace_back(
+              std::string(CounterName(static_cast<CounterId>(id))), delta);
+        }
       }
     }
+    if (hw_active_) AppendHwArgs(hw_delta, &event.args);
+    for (auto& arg : extra_args_) event.args.push_back(std::move(arg));
+    tracer_->Emit(std::move(event));
   }
-  for (auto& arg : extra_args_) event.args.push_back(std::move(arg));
-  tracer_->Emit(std::move(event));
+  if (recorder_active_) {
+    FlightRecorder* recorder = FlightRecorder::active();
+    if (recorder != nullptr) {
+      const auto dur = std::chrono::steady_clock::now() - start_tp_;
+      recorder->Record(
+          tid_, FlightEventType::kSpanEnd, name_,
+          std::chrono::duration_cast<std::chrono::microseconds>(dur)
+              .count());
+    }
+  }
+  if (stack_active_) SpanStack::Local().Pop();
 }
 
 void SpanGuard::AddArg(std::string key, int64_t value) {

@@ -1,6 +1,7 @@
 #ifndef TANE_OBS_TRACE_H_
 #define TANE_OBS_TRACE_H_
 
+#include <array>
 #include <chrono>
 #include <cstdint>
 #include <string>
@@ -58,6 +59,9 @@ class Tracer {
   /// Events overwritten because the ring was full.
   int64_t dropped() const;
 
+  /// Events currently buffered (== emitted - dropped, capped at capacity).
+  int64_t buffered() const;
+
  private:
   const size_t capacity_;
   const std::chrono::steady_clock::time_point epoch_;
@@ -69,14 +73,23 @@ class Tracer {
   int64_t dropped_ TANE_GUARDED_BY(mu_) = 0;
 };
 
-/// RAII span: construction captures the start time (and, when a registry is
-/// given, a counter snapshot); destruction emits a TraceEvent whose args
-/// are the nonzero counter deltas over the span's lifetime. A null tracer
-/// makes every operation a no-op, so call sites need no branches.
+/// RAII span, the single integration point of the observability stack:
+///
+///  * with a tracer: emits a TraceEvent whose args are the nonzero
+///    registry counter deltas plus hardware-counter deltas of the span;
+///  * with a registry (tracer or not): reads the thread's perf-counter
+///    group on entry/exit and folds the delta into the registry's
+///    per-phase hardware aggregates (the "hw" object of --report);
+///  * while the sampling profiler runs: pushes the span name onto the
+///    thread's SpanStack so samples unwind to it;
+///  * while a flight recorder is armed: records span begin/end events.
+///
+/// With none of those active every operation is a no-op, so call sites
+/// need no branches.
 class SpanGuard {
  public:
   SpanGuard(Tracer* tracer, std::string name,
-            const MetricsRegistry* registry = nullptr, int tid = 0);
+            MetricsRegistry* registry = nullptr, int tid = 0);
   ~SpanGuard();
 
   SpanGuard(const SpanGuard&) = delete;
@@ -87,10 +100,15 @@ class SpanGuard {
 
  private:
   Tracer* tracer_;
-  const MetricsRegistry* registry_;
+  MetricsRegistry* registry_;
   std::string name_;
   int tid_;
+  bool hw_active_ = false;
+  bool stack_active_ = false;
+  bool recorder_active_ = false;
   double start_us_ = 0.0;
+  std::chrono::steady_clock::time_point start_tp_{};
+  HwCounters hw_before_;
   std::array<int64_t, kCounterCount> before_{};
   std::vector<std::pair<std::string, int64_t>> extra_args_;
 };

@@ -1,5 +1,6 @@
 #include "util/logging.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace tane {
@@ -21,6 +22,7 @@ const char* SeverityTag(LogSeverity severity) {
 }
 
 LogSeverity g_min_severity = LogSeverity::kWarning;
+std::atomic<void (*)()> g_fatal_hook{nullptr};
 
 }  // namespace
 
@@ -87,7 +89,17 @@ LogMessage::~LogMessage() {
     std::fwrite(line.data(), 1, line.size(), stderr);
     std::fflush(stderr);
   }
-  if (severity_ == LogSeverity::kFatal) std::abort();
+  if (severity_ == LogSeverity::kFatal) {
+    // Give the flight recorder (or any other postmortem sink) its one
+    // chance to persist state before the abort tears the process down.
+    void (*hook)() = g_fatal_hook.load(std::memory_order_acquire);
+    if (hook != nullptr) hook();
+    std::abort();
+  }
+}
+
+void SetFatalHook(void (*hook)()) {
+  g_fatal_hook.store(hook, std::memory_order_release);
 }
 
 }  // namespace internal_logging

@@ -46,6 +46,11 @@ const char* LogSeverityName(LogSeverity severity);
 /// flag still wins over the environment).
 bool InitLogSeverityFromEnv();
 
+/// Installs a callback invoked after a kFatal message is written and
+/// before the process aborts — the flight recorder's TANE_CHECK dump
+/// hook. The hook must not log fatally itself. nullptr uninstalls.
+void SetFatalHook(void (*hook)());
+
 }  // namespace internal_logging
 }  // namespace tane
 

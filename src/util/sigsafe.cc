@@ -1,0 +1,101 @@
+#include "util/sigsafe.h"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(_WIN32)
+#include <io.h>
+#else
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace tane {
+
+void SigsafeWriter::Append(const char* s) {
+  if (s == nullptr) return;
+  Append(s, std::strlen(s));
+}
+
+void SigsafeWriter::Append(const char* s, size_t len) {
+  for (size_t i = 0; i < len; ++i) AppendChar(s[i]);
+}
+
+void SigsafeWriter::AppendChar(char c) {
+  if (size_ >= capacity_) {
+    truncated_ = true;
+    return;
+  }
+  data_[size_++] = c;
+}
+
+void SigsafeWriter::AppendInt(int64_t value) {
+  // Render into a local buffer backwards; 20 digits + sign covers int64.
+  char digits[24];
+  size_t n = 0;
+  uint64_t magnitude;
+  if (value < 0) {
+    AppendChar('-');
+    // Two's complement: -INT64_MIN overflows int64 but not uint64.
+    magnitude = ~static_cast<uint64_t>(value) + 1;
+  } else {
+    magnitude = static_cast<uint64_t>(value);
+  }
+  do {
+    digits[n++] = static_cast<char>('0' + magnitude % 10);
+    magnitude /= 10;
+  } while (magnitude != 0);
+  while (n > 0) AppendChar(digits[--n]);
+}
+
+void SigsafeWriter::AppendJsonEscaped(const char* s, size_t max_len) {
+  if (s == nullptr) return;
+  for (size_t i = 0; i < max_len && s[i] != '\0'; ++i) {
+    const unsigned char c = static_cast<unsigned char>(s[i]);
+    if (c == '"' || c == '\\') {
+      AppendChar('\\');
+      AppendChar(static_cast<char>(c));
+    } else if (c < 0x20) {
+      // \u00XX for control bytes; rare enough that unrolled hex is fine.
+      static const char* hex = "0123456789abcdef";
+      Append("\\u00", 4);
+      AppendChar(hex[c >> 4]);
+      AppendChar(hex[c & 0xf]);
+    } else {
+      AppendChar(static_cast<char>(c));
+    }
+  }
+}
+
+bool SigsafeWriteFile(const char* path, const char* tmp_path,
+                      const char* data, size_t size) {
+#if defined(_WIN32)
+  (void)path;
+  (void)tmp_path;
+  (void)data;
+  (void)size;
+  return false;
+#else
+  const int fd = open(tmp_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n = write(fd, data + written, size - written);
+    if (n < 0) {
+      close(fd);
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  // fsync before rename: the dump must never appear at its final name with
+  // torn contents — readers (the chaos harness) treat presence as validity.
+  if (fsync(fd) != 0) {
+    close(fd);
+    return false;
+  }
+  if (close(fd) != 0) return false;
+  return rename(tmp_path, path) == 0;
+#endif
+}
+
+}  // namespace tane

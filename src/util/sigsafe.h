@@ -1,0 +1,61 @@
+#ifndef TANE_UTIL_SIGSAFE_H_
+#define TANE_UTIL_SIGSAFE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tane {
+
+/// Async-signal-safe string builder over a caller-owned fixed buffer.
+/// Every operation is append-only, allocation-free, and lock-free, so the
+/// flight recorder can render its dump from a fatal-signal handler. On
+/// overflow the buffer stops growing and truncated() turns true — callers
+/// reserve enough headroom to close their JSON structure regardless.
+class SigsafeWriter {
+ public:
+  SigsafeWriter(char* data, size_t capacity)
+      : data_(data), capacity_(capacity) {}
+
+  void Append(const char* s);
+  void Append(const char* s, size_t len);
+  void AppendChar(char c);
+  /// Decimal, with '-' for negatives (INT64_MIN handled).
+  void AppendInt(int64_t value);
+  /// Appends `s` (NUL-terminated, at most `max_len` chars) with JSON string
+  /// escaping for quotes, backslashes, and control bytes.
+  void AppendJsonEscaped(const char* s, size_t max_len);
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool truncated() const { return truncated_; }
+
+  /// Rewinds to an earlier size() and clears the truncation flag, so a
+  /// renderer can drop a half-written trailing element and still close its
+  /// structure validly. `mark` must come from a previous size() call.
+  void ResetTo(size_t mark) {
+    if (mark <= size_) {
+      size_ = mark;
+      truncated_ = false;
+    }
+  }
+
+ private:
+  char* data_;
+  size_t capacity_;
+  size_t size_ = 0;
+  bool truncated_ = false;
+};
+
+/// Durably writes `data` to `path` using only async-signal-safe syscalls:
+/// open(tmp_path, O_CREAT|O_TRUNC) → write → fsync → rename(tmp, path).
+/// `tmp_path` must be a sibling of `path` (same directory) and both must
+/// be precomputed by the caller — no allocation happens here. Returns
+/// false on any syscall failure. This is the signal-context sibling of
+/// AtomicWriteFile (util/checkpoint.h), minus failpoints and directory
+/// fsync (rename durability is best-effort when the process is dying).
+bool SigsafeWriteFile(const char* path, const char* tmp_path,
+                      const char* data, size_t size);
+
+}  // namespace tane
+
+#endif  // TANE_UTIL_SIGSAFE_H_

@@ -1,0 +1,190 @@
+#include "util/span_stack.h"
+
+#include <atomic>
+#include <cstring>
+
+#include "util/mutex.h"
+
+namespace tane {
+
+namespace {
+
+// Registry of live stacks. A plain mutex is fine: it is taken on thread
+// first-use, thread exit, and sampler ticks (~100 Hz) — never on Push/Pop.
+Mutex* RegistryMutex() {
+  // Leaked deliberately: thread_local SpanStack destructors run during
+  // thread teardown, possibly after static destruction began.
+  // tane-lint: allow(naked-new)
+  static Mutex* mu = new Mutex;
+  return mu;
+}
+
+std::vector<SpanStack*>* RegistryList() {
+  // Leaked for the same teardown-ordering reason as the mutex above.
+  // tane-lint: allow(naked-new)
+  static std::vector<SpanStack*>* list = new std::vector<SpanStack*>;
+  return list;
+}
+
+int* RegistryNextId() {
+  static int next_id = 0;
+  return &next_id;
+}
+
+// Packs a NUL-padded char window into atomic words with relaxed stores.
+void StoreChars(std::atomic<uint64_t>* words, const char* s) {
+  char padded[kSpanFrameChars];
+  std::memset(padded, 0, sizeof(padded));
+  if (s != nullptr) {
+    // memcpy of the measured prefix, not strncpy: the buffer is already
+    // zeroed, and this keeps -Wstringop-truncation quiet about the
+    // deliberate cut at kSpanFrameChars - 1.
+    size_t n = 0;
+    while (n < kSpanFrameChars - 1 && s[n] != '\0') ++n;
+    std::memcpy(padded, s, n);
+  }
+  for (int w = 0; w < kSpanFrameWords; ++w) {
+    uint64_t word;
+    std::memcpy(&word, padded + w * 8, 8);
+    words[w].store(word, std::memory_order_relaxed);
+  }
+}
+
+void LoadChars(const std::atomic<uint64_t>* words, char* out) {
+  for (int w = 0; w < kSpanFrameWords; ++w) {
+    const uint64_t word = words[w].load(std::memory_order_relaxed);
+    std::memcpy(out + w * 8, &word, 8);
+  }
+  out[kSpanFrameChars - 1] = '\0';
+}
+
+}  // namespace
+
+namespace {
+std::atomic<uint64_t> g_collective_label[kSpanFrameWords] = {};
+}  // namespace
+
+void SpanStack::SetCollectiveLabel(const char* label) {
+  StoreChars(g_collective_label, label);
+}
+
+void SpanStack::GetCollectiveLabel(char out[kSpanFrameChars]) {
+  LoadChars(g_collective_label, out);
+}
+
+std::atomic<bool>& SpanStack::recording_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+void SpanStack::SetRecording(bool enabled) {
+  recording_flag().store(enabled, std::memory_order_relaxed);
+}
+
+SpanStack::SpanStack() {
+  MutexLock lock(RegistryMutex());
+  char label[kSpanFrameChars];
+  const int id = (*RegistryNextId())++;
+  if (id == 0) {
+    std::strncpy(label, "main", sizeof(label));
+  } else {
+    // "thread-N" until the owner names itself (the pool labels workers).
+    char digits[16];
+    int n = 0;
+    int v = id;
+    do {
+      digits[n++] = static_cast<char>('0' + v % 10);
+      v /= 10;
+    } while (v != 0);
+    char* p = label;
+    std::memcpy(p, "thread-", 7);
+    p += 7;
+    while (n > 0) *p++ = digits[--n];
+    *p = '\0';
+  }
+  StoreChars(label_, label);
+  RegistryList()->push_back(this);
+}
+
+SpanStack::~SpanStack() {
+  MutexLock lock(RegistryMutex());
+  std::vector<SpanStack*>* list = RegistryList();
+  for (size_t i = 0; i < list->size(); ++i) {
+    if ((*list)[i] == this) {
+      list->erase(list->begin() + static_cast<ptrdiff_t>(i));
+      break;
+    }
+  }
+}
+
+SpanStack& SpanStack::Local() {
+  thread_local SpanStack stack;
+  return stack;
+}
+
+void SpanStack::Push(const char* name) {
+  if (!recording()) return;
+  const int32_t depth = depth_.load(std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_release);  // odd: write in progress
+  if (depth < kSpanStackMaxDepth) {
+    StoreChars(frames_[depth], name);
+  }
+  depth_.store(depth + 1, std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_release);  // even: stable
+}
+
+void SpanStack::Pop() {
+  // No recording() check: a guard that pushed must pop even if sampling
+  // stopped mid-span, or the stale frame would haunt the next session.
+  const int32_t depth = depth_.load(std::memory_order_relaxed);
+  if (depth <= 0) return;
+  epoch_.fetch_add(1, std::memory_order_release);
+  depth_.store(depth - 1, std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_release);
+}
+
+void SpanStack::SetLabel(const char* label) {
+  StoreChars(label_, label);
+}
+
+SpanStack::Sample SpanStack::TakeSample() const {
+  Sample sample;
+  LoadChars(label_, sample.label);
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const uint32_t e1 = epoch_.load(std::memory_order_acquire);
+    if (e1 & 1) continue;  // writer mid-mutation
+    const int32_t depth = depth_.load(std::memory_order_relaxed);
+    const int32_t copy =
+        depth < kSpanStackMaxDepth ? depth : kSpanStackMaxDepth;
+    std::vector<std::string> frames;
+    frames.reserve(static_cast<size_t>(copy > 0 ? copy : 0));
+    for (int32_t d = 0; d < copy; ++d) {
+      char name[kSpanFrameChars];
+      LoadChars(frames_[d], name);
+      frames.emplace_back(name);
+    }
+    // The acquire fence orders the relaxed frame loads before the epoch
+    // re-read — the standard seqlock read-side recipe.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const uint32_t e2 = epoch_.load(std::memory_order_relaxed);
+    if (e1 == e2) {
+      sample.frames = std::move(frames);
+      return sample;
+    }
+  }
+  sample.skipped = true;
+  return sample;
+}
+
+std::vector<SpanStack::Sample> SpanStack::SampleAll() {
+  MutexLock lock(RegistryMutex());
+  std::vector<Sample> samples;
+  const std::vector<SpanStack*>* list = RegistryList();
+  samples.reserve(list->size());
+  for (const SpanStack* stack : *list) {
+    samples.push_back(stack->TakeSample());
+  }
+  return samples;
+}
+
+}  // namespace tane

@@ -1,0 +1,102 @@
+#ifndef TANE_UTIL_SPAN_STACK_H_
+#define TANE_UTIL_SPAN_STACK_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tane {
+
+/// Fixed geometry of one sampled span frame. 48 bytes of name storage per
+/// frame (stored as whole atomic words so a concurrent sampler never
+/// performs a non-atomic read of bytes a worker is writing).
+inline constexpr int kSpanStackMaxDepth = 16;
+inline constexpr int kSpanFrameChars = 48;
+inline constexpr int kSpanFrameWords = kSpanFrameChars / 8;
+
+/// A per-thread stack of human-readable span names that a *different*
+/// thread (the sampling profiler) can read at any moment without stopping
+/// the owner. This is the "unwind" the profiler uses instead of frame
+/// pointers: SpanGuard pushes phase names on the coordinator, the thread
+/// pool pushes a collective label on each worker drain, and the sampler
+/// copies whatever path is live at each tick.
+///
+/// Concurrency: a seqlock. The owning thread is the only writer; Push/Pop
+/// bump `epoch_` to an odd value, mutate, then bump back to even. The
+/// sampler copies frames between two even, equal epoch reads and retries
+/// (bounded) otherwise. All shared words are std::atomic with relaxed
+/// element access ordered by the epoch's acquire/release pair, so the
+/// protocol is clean under ThreadSanitizer; a sample that loses every
+/// retry is simply skipped — never torn, never blocking the owner.
+///
+/// Push/Pop cost when sampling is inactive: one relaxed global load (the
+/// enabled flag) — cheap enough to leave in per-window worker paths.
+class SpanStack {
+ public:
+  /// The calling thread's stack, registered on first use and unregistered
+  /// (thread-safely vs. a live sampler) at thread exit.
+  static SpanStack& Local();
+
+  /// Globally enables frame recording. Off (the default) makes Push/Pop a
+  /// single relaxed load; the profiler flips it on for the sampled window.
+  static void SetRecording(bool enabled);
+  static bool recording() {
+    return recording_flag().load(std::memory_order_relaxed);
+  }
+
+  /// Pushes `name` (truncated to kSpanFrameChars-1). No-op when recording
+  /// is off or the stack is full (depth still tracked so Pop balances).
+  void Push(const char* name);
+  /// Pops one frame. Callers invoke Pop only if their matching Push ran
+  /// with recording on (Pop itself does not re-check, so a session ending
+  /// mid-span cannot strand a stale frame).
+  void Pop();
+
+  /// Sets this thread's track label in folded output ("main", "worker-3").
+  void SetLabel(const char* label);
+
+  /// A process-wide label naming the parallel work currently fanned out
+  /// ("window level-3"); the thread pool pushes it as each worker's drain
+  /// frame so samples on workers attribute to the phase that spawned them.
+  /// Coordinator-set between parallel regions; readers may see a torn
+  /// label for one sample during the (rare) store — cosmetic only.
+  static void SetCollectiveLabel(const char* label);
+  /// Copies the collective label (NUL-terminated) into `out`.
+  static void GetCollectiveLabel(char out[kSpanFrameChars]);
+
+  /// One sampled stack: the owner's label plus its live frame path,
+  /// oldest-first. `skipped` is true when the seqlock retries ran out.
+  struct Sample {
+    char label[kSpanFrameChars];
+    std::vector<std::string> frames;
+    bool skipped = false;
+  };
+
+  /// Copies one consistent snapshot of this stack (sampler-side).
+  Sample TakeSample() const;
+
+  /// Samples every live registered stack. Thread registration and exit
+  /// serialize against this through the registry mutex, so a stack is
+  /// never sampled after its owner destroyed it.
+  static std::vector<Sample> SampleAll();
+
+  SpanStack(const SpanStack&) = delete;
+  SpanStack& operator=(const SpanStack&) = delete;
+
+ private:
+  SpanStack();
+  ~SpanStack();
+
+  static std::atomic<bool>& recording_flag();
+
+  std::atomic<uint32_t> epoch_{0};
+  std::atomic<int32_t> depth_{0};  ///< logical depth (may exceed MaxDepth)
+  std::atomic<uint64_t> frames_[kSpanStackMaxDepth][kSpanFrameWords] = {};
+  std::atomic<uint64_t> label_[kSpanFrameWords] = {};
+};
+
+}  // namespace tane
+
+#endif  // TANE_UTIL_SPAN_STACK_H_

@@ -4,19 +4,27 @@
 // with DiscoveryStats.
 
 #include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/tane.h"
 #include "gtest/gtest.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
+#include "obs/profiler.h"
 #include "obs/progress.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "tests/test_util.h"
 #include "util/logging.h"
 #include "util/run_control.h"
+#include "util/span_stack.h"
+#include "util/thread_pool.h"
 
 namespace tane {
 namespace obs {
@@ -482,7 +490,7 @@ TEST(RunReportTest, IsWellFormedAndMirrorsStats) {
   const auto contains = [&](const std::string& needle) {
     EXPECT_NE(text.find(needle), std::string::npos) << needle;
   };
-  contains("\"schema_version\":2");
+  contains("\"schema_version\":3");
   contains("\"fingerprint\":\"crc32:deadbeef\"");
   contains("\"checkpoint\":{");
   contains("\"resumable\":false");
@@ -499,6 +507,276 @@ TEST(RunReportTest, IsWellFormedAndMirrorsStats) {
            std::to_string(result.stats.level_parallel[0].nodes));
   contains("\"histograms\"");
   contains("\"product_classes\"");
+
+  // Schema 3: the hardware-counter block and the tracer ring status are
+  // always present — zero-valued under the noop backend, "enabled":false
+  // when no tracer was attached — so consumers never branch on shape.
+  contains("\"hw\":{");
+  contains("\"backend\":\"" +
+           std::string(PerfBackendName(PerfCounters::backend())) + "\"");
+  contains("\"phase\":\"run\"");
+  contains("\"derived\":{");
+  contains("\"run_ipc\":");
+  contains("\"products_cache_misses_per_row\":");
+  contains("\"trace\":{");
+  contains("\"enabled\":false");
+  contains("\"dropped_events\":0");
+}
+
+TEST(PerfCountersTest, NoopBackendReadsZeros) {
+  PerfCounters::ForceBackendForTest(PerfBackend::kNoop);
+  EXPECT_EQ(PerfCounters::backend(), PerfBackend::kNoop);
+  EXPECT_EQ(PerfBackendName(PerfCounters::backend()), "noop");
+  EXPECT_EQ(PerfBackendName(PerfBackend::kLinuxPerf), "linux_perf");
+  const HwCounters counters = PerfCounters::Read();
+  EXPECT_FALSE(counters.any());
+  EXPECT_EQ(counters.ipc(), 0.0);
+}
+
+TEST(PerfCountersTest, CounterArithmetic) {
+  HwCounters after;
+  after.cycles = 100;
+  after.instructions = 250;
+  after.cache_misses = 8;
+  HwCounters before;
+  before.cycles = 40;
+  before.instructions = 50;
+  before.cache_misses = 3;
+
+  HwCounters delta = after - before;
+  EXPECT_EQ(delta.cycles, 60);
+  EXPECT_EQ(delta.instructions, 200);
+  EXPECT_EQ(delta.cache_misses, 5);
+  EXPECT_TRUE(delta.any());
+  EXPECT_DOUBLE_EQ(delta.ipc(), 200.0 / 60.0);
+
+  delta += before;
+  EXPECT_EQ(delta.cycles, 100);
+  EXPECT_EQ(delta.instructions, 250);
+  EXPECT_FALSE(HwCounters().any());
+}
+
+TEST(MetricsRegistryTest, HwSpanAggregatesAndSnapshotSortsPhases) {
+  MetricsRegistry registry(1);
+  HwCounters delta;
+  delta.cycles = 10;
+  delta.instructions = 25;
+  registry.AddHwSpan("validity", delta);
+  registry.AddHwSpan("level", delta);
+  registry.AddHwSpan("level", delta);
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.hw_phases.size(), 2u);
+  EXPECT_EQ(snapshot.hw_phases[0].phase, "level");  // map order: sorted
+  EXPECT_EQ(snapshot.hw_phases[0].spans, 2);
+  EXPECT_EQ(snapshot.hw_phases[0].hw.cycles, 20);
+  EXPECT_EQ(snapshot.hw_phases[0].hw.instructions, 50);
+  EXPECT_EQ(snapshot.hw_phases[1].phase, "validity");
+  EXPECT_EQ(snapshot.hw_phases[1].spans, 1);
+  EXPECT_EQ(snapshot.hw_backend, PerfBackendName(PerfCounters::backend()));
+}
+
+TEST(SpanStackTest, RecordingGatePushPopAndTruncation) {
+  SpanStack& stack = SpanStack::Local();
+  SpanStack::SetRecording(false);
+  stack.Push("invisible");  // recording off: full no-op, no Pop owed
+  EXPECT_TRUE(stack.TakeSample().frames.empty());
+
+  SpanStack::SetRecording(true);
+  stack.SetLabel("main");
+  stack.Push("run");
+  stack.Push("level 3");
+  const std::string long_name(2 * kSpanFrameChars, 'x');
+  stack.Push(long_name.c_str());
+
+  SpanStack::Sample sample = stack.TakeSample();
+  EXPECT_FALSE(sample.skipped);
+  EXPECT_STREQ(sample.label, "main");
+  ASSERT_EQ(sample.frames.size(), 3u);
+  EXPECT_EQ(sample.frames[0], "run");
+  EXPECT_EQ(sample.frames[1], "level 3");
+  EXPECT_EQ(sample.frames[2], std::string(kSpanFrameChars - 1, 'x'));
+
+  stack.Pop();
+  stack.Pop();
+  stack.Pop();
+  EXPECT_TRUE(stack.TakeSample().frames.empty());
+  SpanStack::SetRecording(false);
+}
+
+TEST(SpanStackTest, DepthOverflowStaysBalanced) {
+  SpanStack::SetRecording(true);
+  SpanStack& stack = SpanStack::Local();
+  for (int i = 0; i < kSpanStackMaxDepth + 4; ++i) stack.Push("deep");
+  SpanStack::Sample sample = stack.TakeSample();
+  EXPECT_EQ(sample.frames.size(),
+            static_cast<size_t>(kSpanStackMaxDepth));
+  for (int i = 0; i < kSpanStackMaxDepth + 4; ++i) stack.Pop();
+  EXPECT_TRUE(stack.TakeSample().frames.empty());
+  SpanStack::SetRecording(false);
+}
+
+TEST(SpanStackTest, WorkerDrainsCarryTheCollectiveLabel) {
+  // The thread pool pushes the coordinator-set collective label as each
+  // participant's drain frame, so samples on workers attribute to the
+  // parallel region that fanned them out. Every fn invocation — caller
+  // or background worker — must see that frame on its own stack.
+  SpanStack::SetRecording(true);
+  SpanStack::SetCollectiveLabel("window level-9");
+  ThreadPool pool(4);
+  std::atomic<int> labeled{0};
+  std::atomic<int> sampled_threads_min{0};
+  pool.ParallelFor(64, [&](int worker, int64_t) {
+    const SpanStack::Sample sample = SpanStack::Local().TakeSample();
+    for (const std::string& frame : sample.frames) {
+      if (frame == "window level-9") {
+        labeled.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+    }
+    if (worker == 0) {
+      // The registry sees at least the calling thread; background workers
+      // appear as they register. (Exact count is scheduling-dependent.)
+      const int n = static_cast<int>(SpanStack::SampleAll().size());
+      sampled_threads_min.store(n, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(labeled.load(), 64);
+  EXPECT_GE(sampled_threads_min.load(), 1);
+  SpanStack::SetCollectiveLabel("");
+  SpanStack::SetRecording(false);
+}
+
+TEST(ProfilerTest, SamplesLiveSpansIntoValidFoldedOutput) {
+  Profiler profiler;
+  profiler.Start(/*hz=*/500);
+  EXPECT_TRUE(profiler.running());
+  EXPECT_TRUE(SpanStack::recording());
+
+  SpanStack& stack = SpanStack::Local();
+  stack.SetLabel("main");
+  stack.Push("run");
+  stack.Push("unit test phase");
+  // Hold the spans open until the sampler has observed this stack at
+  // least once (bounded: 500 Hz means one tick every 2 ms).
+  const int64_t target = profiler.total_samples() + 2;
+  for (int i = 0; i < 2000 && profiler.total_samples() < target; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stack.Pop();
+  stack.Pop();
+  profiler.Stop();
+  EXPECT_FALSE(profiler.running());
+  EXPECT_FALSE(SpanStack::recording());
+  EXPECT_GE(profiler.total_samples(), target);
+
+  const std::string path =
+      ::testing::TempDir() + "/tane_profiler_test.folded";
+  ASSERT_TRUE(profiler.WriteFolded(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int lines = 0;
+  bool saw_phase = false;
+  while (std::getline(in, line)) {
+    ++lines;
+    // Folded format: "tane;label;frame;... count" — root always "tane",
+    // frames never contain ' ' or ';', count strictly positive.
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string frames = line.substr(0, space);
+    EXPECT_EQ(frames.rfind("tane;", 0), 0u) << line;
+    EXPECT_GT(std::stoll(line.substr(space + 1)), 0) << line;
+    EXPECT_EQ(frames.find(";;"), std::string::npos) << line;
+    if (frames.find("unit_test_phase") != std::string::npos) {
+      saw_phase = true;
+      EXPECT_NE(frames.find("main;run;unit_test_phase"),
+                std::string::npos) << line;
+    }
+  }
+  EXPECT_GT(lines, 0);
+  EXPECT_TRUE(saw_phase);
+  std::filesystem::remove(path);
+}
+
+TEST(FlightRecorderTest, GracefulDumpIsValidJsonAndFirstWins) {
+  const std::string dir =
+      ::testing::TempDir() + "/tane_flightrec_graceful";
+  std::filesystem::remove_all(dir);
+  const std::string path = dir + "/flightrec.json";
+  FlightRecorder::Arm(path, /*rings=*/3);  // creates the parent directory
+  FlightRecorder* recorder = FlightRecorder::active();
+  ASSERT_NE(recorder, nullptr);
+  EXPECT_EQ(recorder->dump_path(), path);
+  EXPECT_FALSE(recorder->dumped());
+
+  recorder->Record(0, FlightEventType::kLevel, "level", 2, 40);
+  recorder->Record(1, FlightEventType::kStall, "gate", 7, 3);
+  // Out-of-range tid clamps to the last ring; over-long labels truncate.
+  recorder->Record(99, FlightEventType::kVerdict,
+                   "deadline-with-a-very-long-suffix");
+
+  EXPECT_TRUE(recorder->DumpGraceful("deadline"));
+  EXPECT_TRUE(recorder->dumped());
+  EXPECT_FALSE(recorder->DumpGraceful("cancelled"));  // first dump wins
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  EXPECT_TRUE(JsonValidator::Valid(text)) << text;
+  const auto contains = [&](const std::string& needle) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  };
+  contains("\"tool\":\"tane-flightrec\"");
+  contains("\"schema_version\":1");
+  contains("\"reason\":\"deadline\"");
+  contains("\"type\":\"level\"");
+  contains("\"type\":\"stall\"");
+  contains("\"type\":\"verdict\"");
+  contains("\"label\":\"gate\"");
+  contains("\"a\":7");
+  EXPECT_EQ(text.find("cancelled"), std::string::npos) << text;
+  EXPECT_EQ(text.find("deadline-with-a-very-long-suffix"),
+            std::string::npos)
+      << "labels must truncate to the fixed slot width";
+
+  FlightRecorder::Disarm();
+  EXPECT_EQ(FlightRecorder::active(), nullptr);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FlightRecorderTest, DiscoveryCancelDumpsPostmortem) {
+  const std::string dir =
+      ::testing::TempDir() + "/tane_flightrec_cancel";
+  std::filesystem::remove_all(dir);
+  FlightRecorder::Arm(dir + "/flightrec.json", /*rings=*/3);
+
+  RunController controller;
+  controller.RequestCancel();
+  TaneConfig config;
+  config.run_controller = &controller;
+  // A pre-cancelled run winds down at the first poll; the verdict latch
+  // must still leave a postmortem behind. The discovery status itself is
+  // not under test here.
+  (void)Tane::Discover(PaperFigure1Relation(), config);
+
+  FlightRecorder* recorder = FlightRecorder::active();
+  ASSERT_NE(recorder, nullptr);
+  EXPECT_TRUE(recorder->dumped());
+  std::ifstream in(dir + "/flightrec.json");
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  EXPECT_TRUE(JsonValidator::Valid(text)) << text;
+  EXPECT_NE(text.find("\"reason\":\"cancelled\""), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("\"type\":\"verdict\""), std::string::npos) << text;
+
+  FlightRecorder::Disarm();
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

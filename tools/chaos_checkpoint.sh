@@ -82,5 +82,89 @@ if [ "${status}" -ne 10 ]; then
   exit 1
 fi
 
+# Flight-recorder postmortems: every early-exit class must leave a valid
+# flightrec.json next to the checkpoints — deadline expiry and memory-
+# budget breach through the graceful path, SIGTERM through the async-
+# signal-safe path. SIGKILL itself is uncatchable by design; SIGTERM is
+# its closest observable stand-in.
+flightrec_assert() {
+  local file="$1" want_reason="$2"
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "${file}" "${want_reason}" <<'EOF'
+import json, sys
+path, want = sys.argv[1], sys.argv[2]
+doc = json.load(open(path))
+assert doc["schema_version"] == 1, doc
+assert doc["tool"] == "tane-flightrec", doc
+assert doc["reason"] == want, (doc["reason"], want)
+assert isinstance(doc["events"], list) and doc["events"], "no events"
+for event in doc["events"]:
+    for key in ("seq", "t_us", "tid", "type", "label", "a", "b"):
+        assert key in event, (key, event)
+if want == "signal":
+    assert doc["signal"] == 15, doc["signal"]
+EOF
+  else
+    [ -s "${file}" ]
+  fi
+}
+
+"${bin}" generate lymphography --rows=5000 > "${work}/slow.csv"
+
+ckpt="${work}/ckpt_deadline"
+rm -rf "${ckpt}"
+set +e
+"${bin}" discover "${work}/slow.csv" --deadline-ms=200 \
+  --checkpoint-dir="${ckpt}" > /dev/null 2>&1
+status=$?
+set -e
+if [ "${status}" -ne 0 ] && [ "${status}" -ne 10 ]; then
+  echo "chaos_checkpoint: FAIL: deadline run exited ${status}" >&2
+  exit 1
+fi
+flightrec_assert "${ckpt}/flightrec.json" deadline || {
+  echo "chaos_checkpoint: FAIL: invalid flightrec after deadline" >&2
+  exit 1
+}
+
+ckpt="${work}/ckpt_budget"
+rm -rf "${ckpt}"
+set +e
+"${bin}" discover "${work}/slow.csv" --memory-budget-mb=8 \
+  --storage=memory --checkpoint-dir="${ckpt}" > /dev/null 2>&1
+status=$?
+set -e
+if [ "${status}" -ne 7 ] && [ "${status}" -ne 10 ]; then
+  echo "chaos_checkpoint: FAIL: budget run exited ${status}, want 7/10" >&2
+  exit 1
+fi
+flightrec_assert "${ckpt}/flightrec.json" memory_budget || {
+  echo "chaos_checkpoint: FAIL: invalid flightrec after budget breach" >&2
+  exit 1
+}
+
+ckpt="${work}/ckpt_sigterm"
+rm -rf "${ckpt}"
+set +e
+"${bin}" discover "${work}/slow.csv" --checkpoint-dir="${ckpt}" \
+  > /dev/null 2>&1 &
+victim=$!
+sleep 0.3
+kill -TERM "${victim}" 2>/dev/null
+wait "${victim}"
+status=$?
+set -e
+if [ "${status}" -ne 143 ] && [ "${status}" -ne 0 ]; then
+  echo "chaos_checkpoint: FAIL: SIGTERM run exited ${status}" >&2
+  exit 1
+fi
+if [ "${status}" -eq 143 ]; then
+  flightrec_assert "${ckpt}/flightrec.json" signal || {
+    echo "chaos_checkpoint: FAIL: invalid flightrec after SIGTERM" >&2
+    exit 1
+  }
+fi
+
 echo "chaos_checkpoint OK: ${kills} SIGKILLs across ${runs} runs," \
-     "every resume byte-identical"
+     "every resume byte-identical; flight recorder dumped on deadline," \
+     "budget breach, and SIGTERM"

@@ -97,6 +97,42 @@ else
 fi
 echo "obs smoke OK: ${obs_dir}"
 
+# Profiler overhead gate: the same discovery twice without and twice with
+# the 97 Hz sampler; check_obs.py validates the folded-stack artifact and
+# holds min-profiled/min-baseline to the 1.05x budget.
+echo "==> profile gate: release discover with --profile"
+base_flags=(--threads=2 --epsilon=0.05 --max-lhs=4 --stats)
+for i in 1 2; do
+  build-release/tools/tane discover "${obs_dir}/hepatitis.csv" \
+    "${base_flags[@]}" > "${obs_dir}/base${i}.txt"
+  build-release/tools/tane discover "${obs_dir}/hepatitis.csv" \
+    "${base_flags[@]}" --profile \
+    --profile-out="${obs_dir}/profile${i}.folded" > "${obs_dir}/prof${i}.txt"
+done
+if command -v python3 >/dev/null 2>&1; then
+  python3 tools/check_obs.py profile "${obs_dir}/profile1.folded" \
+    --base "${obs_dir}/base1.txt" "${obs_dir}/base2.txt" \
+    --prof "${obs_dir}/prof1.txt" "${obs_dir}/prof2.txt"
+else
+  [ -s "${obs_dir}/profile1.folded" ]
+fi
+echo "profile gate OK: ${obs_dir}/profile1.folded"
+
+# Report drift (soft gate): a second identical instrumented run must agree
+# with the first — deterministic fields exactly, measurements within the
+# band. A nonzero exit here warns instead of failing: wall-clock bands on
+# a loaded box are judgement, not law.
+echo "==> insight diff (soft): back-to-back run reports"
+build-release/tools/tane discover "${obs_dir}/hepatitis.csv" \
+  --threads=2 --epsilon=0.05 --max-lhs=4 --stats --progress=1 \
+  --trace="${obs_dir}/trace2.json" --report="${obs_dir}/report2.json" \
+  > "${obs_dir}/discover2.txt"
+if command -v python3 >/dev/null 2>&1; then
+  python3 tools/tane_insight.py diff \
+    "${obs_dir}/report.json" "${obs_dir}/report2.json" \
+    || echo "WARNING: run reports drifted (soft gate, not failing)"
+fi
+
 # Checkpoint chaos smoke: SIGKILL a discovery run at every checkpoint-I/O
 # failpoint, resume, and require byte-identical output — under the
 # sanitizer build when it was part of this invocation, so torn-write

@@ -6,6 +6,7 @@ Usage:
   check_obs.py trace   trace.json
   check_obs.py report  report.json discover_stats.txt
   check_obs.py scaling BENCH_parallel_scaling.json
+  check_obs.py profile folded.txt --base STATS... --prof STATS...
 
 `micro` asserts the instrumentation overhead measured by the partition
 microbenchmark stays within the 2% budget, that the registry metrics made
@@ -20,7 +21,12 @@ that its counters and per-level table agree with what `tane discover
 regressions in the parallel_scaling artifact: every run must match the
 serial output bit for bit, allocation counts must not drift with the thread
 count, and — on machines whose hardware_concurrency covers the thread count
-— speedups must clear the regression floors below.
+— speedups must clear the regression floors below. `profile` gates the
+sampling profiler: the folded-stack artifact must be structurally valid
+(semicolon-joined frames rooted at "tane", integer sample counts) and
+carry real samples, and the profiled run's discover time may not exceed
+the unprofiled baseline by more than 5% (min-of-N on both sides so one
+noisy run does not flap the gate).
 """
 
 import re
@@ -29,6 +35,16 @@ import sys
 import jsonio
 
 OVERHEAD_BUDGET = 1.02
+
+# The sampling profiler's budget at its default 97 Hz: spans push/pop a
+# seqlock-protected frame and the sampler reads them from another thread,
+# all off the per-product hot path — 5% is generous, not tight.
+PROFILE_OVERHEAD_BUDGET = 1.05
+
+HW_BACKENDS = ("noop", "linux_perf")
+
+HW_PHASE_KEYS = ("phase", "spans", "cycles", "instructions",
+                 "cache_references", "cache_misses", "branch_misses", "ipc")
 
 # Hard products/sec floors: 1.5x the baseline committed in
 # BENCH_micro_partition.json before the vectorized-kernel rewrite
@@ -247,14 +263,61 @@ def check_scaling(path):
           f"hardware_concurrency={hardware}){skipped}")
 
 
+def check_hw_object(doc):
+    """The hw object must be shape-stable across platforms: the noop
+    backend still reports every phase and every counter key, just zeroed —
+    a dashboard never has to branch on the platform."""
+    hw = doc["hw"]
+    if hw.get("backend") not in HW_BACKENDS:
+        fail(f"hw.backend {hw.get('backend')!r} is not one of {HW_BACKENDS}")
+    if hw.get("kernel") not in KNOWN_KERNELS:
+        fail(f"hw.kernel {hw.get('kernel')!r} is not one of {KNOWN_KERNELS}")
+    phases = hw.get("phases")
+    if not isinstance(phases, list) or not phases:
+        fail("hw.phases missing or empty — spans stopped aggregating")
+    names = []
+    for phase in phases:
+        for key in HW_PHASE_KEYS:
+            if key not in phase:
+                fail(f"hw phase {phase.get('phase', '?')}: missing {key}")
+        names.append(phase["phase"])
+        if phase["spans"] <= 0:
+            fail(f"hw phase {phase['phase']}: spans must be positive")
+        if hw["backend"] == "noop" and phase["cycles"] != 0:
+            fail(f"hw phase {phase['phase']}: nonzero cycles under the "
+                 f"noop backend")
+        if hw["backend"] == "linux_perf" and phase["phase"] == "run" and \
+                phase["instructions"] <= 0:
+            fail("hw run phase has no instructions despite linux_perf")
+    if names != sorted(names):
+        fail(f"hw.phases not sorted by phase name: {names}")
+    for required in ("run", "products", "validity"):
+        if required not in names:
+            fail(f"hw.phases missing the '{required}' phase (have {names})")
+    derived = hw.get("derived")
+    for key in ("run_ipc", "products_cache_misses_per_row",
+                "validity_cache_misses_per_row"):
+        if not isinstance(derived.get(key) if derived else None, (int, float)):
+            fail(f"hw.derived.{key} missing or non-numeric")
+
+
 def check_report(path, stats_path):
     doc = load(path)
-    if doc.get("schema_version") != 2:
-        fail(f"{path}: schema_version != 2")
+    if doc.get("schema_version") != 3:
+        fail(f"{path}: schema_version != 3")
     for key in ("config", "dataset", "result", "timing", "metrics",
-                "histograms", "levels", "checkpoint"):
+                "histograms", "levels", "checkpoint", "hw", "trace"):
         if key not in doc:
             fail(f"{path}: missing top-level '{key}'")
+    check_hw_object(doc)
+    trace = doc["trace"]
+    if not isinstance(trace.get("enabled"), bool):
+        fail("trace.enabled missing or non-boolean")
+    for key in ("buffered_events", "dropped_events"):
+        if not isinstance(trace.get(key), int) or trace[key] < 0:
+            fail(f"trace.{key} missing or negative")
+    if trace["enabled"] and trace["buffered_events"] <= 0:
+        fail("trace enabled but buffered_events is zero")
     checkpoint = doc["checkpoint"]
     for key in ("writes", "bytes", "seconds", "resumed_from_level"):
         if not isinstance(checkpoint.get(key), (int, float)):
@@ -295,6 +358,19 @@ def check_report(path, stats_path):
     degraded = int(tokens.get("degraded_to_disk", "0"))
     if bool(degraded) != bool(dig(doc, ("result", "degraded_to_disk"))):
         fail("degraded_to_disk mismatch between --stats and report")
+    # trace_dropped only appears when the run traced; when it does, it and
+    # the report describe the same ring.
+    if "trace_dropped" in tokens:
+        if int(tokens["trace_dropped"]) != int(
+                dig(doc, ("trace", "dropped_events"))):
+            fail("trace_dropped mismatch between --stats and report")
+    hw_backend_line = next(
+        (line for line in stats_text.splitlines()
+         if line.startswith("# hw backend=")), None)
+    if hw_backend_line is None:
+        fail(f"{stats_path}: no '# hw backend=' line (run with --stats)")
+    if hw_backend_line.split("=", 1)[1] != dig(doc, ("hw", "backend")):
+        fail("hw backend mismatch between --stats and report")
 
     level_lines = re.findall(
         r"^# level (\d+): nodes=(\d+) wall=([\d.eE+-]+)s "
@@ -319,6 +395,77 @@ def check_report(path, stats_path):
           f"{len(STATS_TOKENS)} counters matched)")
 
 
+# Frames are sanitized at emission (' ' and ';' become '_'), so the line
+# grammar really is this simple: one space, splitting frames from count.
+FOLDED_LINE = re.compile(r"^(\S+) (\d+)$")
+
+
+def discover_seconds(stats_path):
+    """The discover-phase wall time from a --stats capture: the profiler
+    only runs during discovery, so this is the honest numerator — CSV read
+    and report writing would dilute the ratio."""
+    try:
+        with open(stats_path) as handle:
+            text = handle.read()
+    except OSError as error:
+        fail(f"{stats_path}: {error}")
+    match = re.search(r"^# phases .*\bdiscover=([\d.eE+-]+)s", text, re.M)
+    if match is None:
+        fail(f"{stats_path}: no '# phases ... discover=' line "
+             f"(run with --stats)")
+    return float(match.group(1))
+
+
+def check_profile(argv):
+    folded_path = argv[0]
+    try:
+        split = argv.index("--prof")
+    except ValueError:
+        fail("profile: missing --prof STATS...")
+    if argv[1] != "--base" or split < 3 or split == len(argv) - 1:
+        fail("usage: profile folded.txt --base STATS... --prof STATS...")
+    base = [discover_seconds(p) for p in argv[2:split]]
+    prof = [discover_seconds(p) for p in argv[split + 1:]]
+
+    try:
+        with open(folded_path) as handle:
+            lines = handle.read().splitlines()
+    except OSError as error:
+        fail(f"{folded_path}: {error}")
+    if not lines:
+        fail(f"{folded_path}: empty folded-stack file")
+    total = 0
+    working = 0
+    for index, line in enumerate(lines):
+        match = FOLDED_LINE.match(line)
+        if match is None:
+            fail(f"{folded_path}:{index + 1}: not 'frames count': {line!r}")
+        frames = match.group(1).split(";")
+        count = int(match.group(2))
+        if frames[0] != "tane":
+            fail(f"{folded_path}:{index + 1}: stack not rooted at 'tane'")
+        if count <= 0:
+            fail(f"{folded_path}:{index + 1}: non-positive sample count")
+        if any(not frame for frame in frames):
+            fail(f"{folded_path}:{index + 1}: empty frame")
+        total += count
+        if "(idle)" not in frames:
+            working += count
+    if working == 0:
+        fail(f"{folded_path}: every sample is idle — the span stack never "
+             f"saw a frame")
+
+    # min-of-N on both sides: scheduling noise only ever adds time, so the
+    # minimum is the least-contaminated estimate of each mode's true cost.
+    ratio = min(prof) / min(base)
+    if ratio > PROFILE_OVERHEAD_BUDGET:
+        fail(f"profiling overhead {ratio:.4f}x exceeds the "
+             f"{PROFILE_OVERHEAD_BUDGET:.2f}x budget "
+             f"(base min {min(base):.4f}s, profiled min {min(prof):.4f}s)")
+    print(f"check_obs: profile OK ({total} samples, {working} working, "
+          f"overhead {ratio:.4f}x <= {PROFILE_OVERHEAD_BUDGET:.2f}x)")
+
+
 def main(argv):
     if len(argv) >= 3 and argv[1] == "micro":
         check_micro(argv[2])
@@ -328,6 +475,8 @@ def main(argv):
         check_report(argv[2], argv[3])
     elif len(argv) >= 3 and argv[1] == "scaling":
         check_scaling(argv[2])
+    elif len(argv) >= 6 and argv[1] == "profile":
+        check_profile(argv[2:])
     else:
         print(__doc__.strip(), file=sys.stderr)
         return 2

@@ -13,6 +13,9 @@
 #include "core/run_snapshot.h"
 #include "core/tane.h"
 #include "datasets/paper_datasets.h"
+#include "obs/flight_recorder.h"
+#include "obs/perf_counters.h"
+#include "obs/profiler.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "relation/csv.h"
@@ -61,7 +64,14 @@ commands:
       --trace=PATH      write a Chrome/Perfetto trace of the run's phases
                         (open with https://ui.perfetto.dev)
       --report=PATH     write a machine-readable JSON run report (config,
-                        dataset fingerprint, metrics, per-level table)
+                        dataset fingerprint, metrics, per-level table,
+                        hardware-counter phase aggregates)
+      --profile[=HZ]    sample the span stack HZ times per second (default
+                        97) and write a folded-stack profile; feed it to
+                        flamegraph.pl or speedscope
+      --profile-out=PATH
+                        folded-stack output path (default
+                        tane-profile.folded)
       --progress[=SECONDS]
                         log a progress heartbeat every SECONDS (default 1);
                         implies --log-level=info unless set explicitly
@@ -69,7 +79,9 @@ commands:
                         write crash-safe snapshots of the search into DIR;
                         a run that stops early (deadline, cancel, memory
                         budget) leaves its last level boundary on disk and
-                        exits 10 ("interrupted but resumable")
+                        exits 10 ("interrupted but resumable"); also arms
+                        the flight recorder: any early exit dumps the last
+                        seconds of structured events to DIR/flightrec.json
       --checkpoint-every-level
                         also snapshot after every completed level, not just
                         on early exit (requires --checkpoint-dir)
@@ -293,8 +305,42 @@ Status RunDiscover(const ParsedArgs& args, std::ostream& out,
     config.tracer = &*tracer;
   }
 
+  // The flight recorder rides the checkpoint directory: a run durable
+  // enough to checkpoint is a run whose early exits deserve a postmortem.
+  // Armed before discovery so the rings cover the whole run, including
+  // restore.
+  if (!config.checkpoint_directory.empty()) {
+    obs::FlightRecorder::Arm(config.checkpoint_directory + "/flightrec.json",
+                             config.num_threads + 1);
+    obs::FlightRecorder::InstallSignalHandlers();
+  }
+
+  obs::Profiler profiler;
+  const std::string* profile = args.Flag("profile");
+  // --profile-out alone implies profiling at the default rate.
+  if (profile != nullptr || args.Flag("profile-out") != nullptr) {
+    int64_t hz = obs::Profiler::kDefaultHz;
+    if (profile != nullptr && !profile->empty() &&
+        (!ParseInt64(*profile, &hz) || hz <= 0)) {
+      return Status::InvalidArgument("--profile rate must be > 0, got " +
+                                     *profile);
+    }
+    profiler.Start(static_cast<int>(hz));
+  }
+
   TANE_ASSIGN_OR_RETURN(DiscoveryResult result,
                         Tane::Discover(relation, config));
+  if (profiler.running()) {
+    profiler.Stop();
+    const std::string* out_path = args.Flag("profile-out");
+    const std::string folded_path =
+        out_path != nullptr ? *out_path : std::string("tane-profile.folded");
+    if (!profiler.WriteFolded(folded_path)) {
+      return Status::IoError("cannot write profile to " + folded_path);
+    }
+    err << "note: wrote " << profiler.total_samples() << " samples to "
+        << folded_path << "\n";
+  }
   const WallTimer report_timer;
   result.stats.read_seconds = read_seconds;
   if (!result.complete()) {
@@ -377,8 +423,26 @@ Status RunDiscover(const ParsedArgs& args, std::ostream& out,
         << " checkpoint_writes=" << stats.checkpoint_writes
         << " checkpoint_bytes=" << stats.checkpoint_bytes
         << " resumed_from_level=" << stats.resumed_from_level
-        << " threads=" << stats.num_threads
-        << " seconds=" << stats.wall_seconds << "\n";
+        << " threads=" << stats.num_threads;
+    if (tracer.has_value()) out << " trace_dropped=" << tracer->dropped();
+    out << " seconds=" << stats.wall_seconds << "\n";
+    // Hardware-counter phase aggregates, one line per phase. Under the
+    // noop backend the spans are still counted, the counters read zero.
+    out << "# hw backend=" << obs::PerfBackendName(obs::PerfCounters::backend())
+        << "\n";
+    for (const obs::HwPhaseSnapshot& phase : result.metrics.hw_phases) {
+      out << "# hw " << phase.phase << ": spans=" << phase.spans
+          << " cycles=" << phase.hw.cycles
+          << " instructions=" << phase.hw.instructions
+          << " cache_misses=" << phase.hw.cache_misses
+          << " branch_misses=" << phase.hw.branch_misses;
+      if (phase.hw.cycles > 0) {
+        char ipc[32];
+        std::snprintf(ipc, sizeof(ipc), " ipc=%.2f", phase.hw.ipc());
+        out << ipc;
+      }
+      out << "\n";
+    }
     // The phase breakdown sums exactly: "other" is defined as the remainder
     // of the total after the measured phases, never clamped.
     stats.report_seconds = report_timer.ElapsedSeconds();
@@ -398,6 +462,12 @@ Status RunDiscover(const ParsedArgs& args, std::ostream& out,
   }
 
   if (const std::string* trace_path = args.Flag("trace")) {
+    // One-shot, not per-event: the ring already absorbed the loss; the
+    // operator only needs to know the trace is a suffix, not the whole run.
+    if (tracer->dropped() > 0) {
+      err << "warning: trace ring overflowed; dropped " << tracer->dropped()
+          << " oldest event(s) — the trace covers the tail of the run\n";
+    }
     if (!WriteChromeTrace(*tracer, *trace_path)) {
       return Status::IoError("cannot write trace to " + *trace_path);
     }
@@ -705,7 +775,8 @@ int Run(const std::vector<std::string>& args, std::ostream& out,
         *parsed, {"epsilon", "max-lhs", "deadline-ms", "memory-budget-mb",
                   "threads", "kernel", "pli-cache", "disk", "storage",
                   "format",
-                  "stats", "trace", "report", "progress", "log-level",
+                  "stats", "trace", "report", "progress", "profile",
+                  "profile-out", "log-level",
                   "no-header", "delimiter", "checkpoint-dir",
                   "checkpoint-every-level", "resume", "stop-after-level"});
     if (status.ok()) status = RunDiscover(*parsed, out, err, &resumable);

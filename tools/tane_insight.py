@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Comparison tooling over TANE JSON artifacts.
+
+Usage:
+  tane_insight.py diff A.json B.json [--rel-tol=R]
+
+`diff` compares two artifacts of the same kind — two run reports
+(--report), two BENCH_micro_partition.json files, or two
+BENCH_parallel_scaling.json files — and classifies every difference:
+
+  * structural differences (a key present on one side only, or a type
+    change) are always reported;
+  * numeric leaves that describe *measurements* — timings, rates,
+    hardware counters, overhead ratios — must agree within the relative
+    tolerance band (default 0.5, i.e. 50%: wall-clock noise between two
+    runs on a shared CI box is real);
+  * every other leaf — search counters, configuration, results, level
+    tables — must match exactly: two runs of the same configuration are
+    deterministic by design, and a drift in partition_products between
+    them is a bug, not noise.
+
+Exit status: 0 when the artifacts agree (within band), 1 when any
+difference is found, 2 on usage errors. tools/check.sh runs this as a
+soft gate over back-to-back obs-smoke reports; CI treats a nonzero exit
+as a warning, not a failure, because the band on a loaded machine is a
+judgement call, not a law.
+"""
+
+import re
+import sys
+
+import jsonio
+
+# A numeric leaf is "noisy" (banded, not exact) when its dotted path
+# matches any of these. Everything here is a measurement of *this
+# process on this machine right now*; everything else in the artifacts
+# is a deterministic function of (dataset, config).
+NOISY_PATH = re.compile(
+    r"seconds|_us\b|per_sec|ratio|speedup|overhead|ipc"
+    r"|cycles|instructions|cache_references|cache_misses|branch_misses"
+    r"|resident|wall|worker|elapsed|dropped_events|buffered_events")
+
+# Paths ignored outright: environment identity, not run behaviour.
+IGNORED_PATH = re.compile(r"\bpath\b|hostname|timestamp")
+
+
+def fail_usage(message):
+    print(f"tane_insight: {message}", file=sys.stderr)
+    print(__doc__.strip(), file=sys.stderr)
+    sys.exit(2)
+
+
+def load(path):
+    def fail(message):
+        print(f"tane_insight: FAIL: {message}", file=sys.stderr)
+        sys.exit(2)
+    return jsonio.load_json(path, fail)
+
+
+def classify(path_text):
+    if IGNORED_PATH.search(path_text):
+        return "ignored"
+    if NOISY_PATH.search(path_text):
+        return "noisy"
+    return "exact"
+
+
+def within_band(a, b, rel_tol):
+    if a == b:
+        return True
+    scale = max(abs(a), abs(b))
+    return abs(a - b) <= rel_tol * scale
+
+
+def diff_docs(a, b, rel_tol, path="", problems=None):
+    if problems is None:
+        problems = []
+    where = path or "<root>"
+    if isinstance(a, dict) and isinstance(b, dict):
+        for key in sorted(set(a) | set(b)):
+            child = f"{path}.{key}" if path else str(key)
+            if key not in a:
+                problems.append(f"{child}: only in B")
+            elif key not in b:
+                problems.append(f"{child}: only in A")
+            else:
+                diff_docs(a[key], b[key], rel_tol, child, problems)
+        return problems
+    if isinstance(a, list) and isinstance(b, list):
+        if len(a) != len(b):
+            problems.append(f"{where}: length {len(a)} vs {len(b)}")
+            return problems
+        for index, (item_a, item_b) in enumerate(zip(a, b)):
+            diff_docs(item_a, item_b, rel_tol, f"{path}[{index}]", problems)
+        return problems
+    # bool is an int in Python; compare it as an exact value, never banded.
+    a_num = isinstance(a, (int, float)) and not isinstance(a, bool)
+    b_num = isinstance(b, (int, float)) and not isinstance(b, bool)
+    if a_num and b_num:
+        kind = classify(where)
+        if kind == "ignored":
+            return problems
+        if kind == "noisy":
+            if not within_band(a, b, rel_tol):
+                problems.append(
+                    f"{where}: {a} vs {b} outside the ±{rel_tol:.0%} band")
+        elif a != b:
+            problems.append(f"{where}: {a} != {b} (deterministic field)")
+        return problems
+    if type(a) is not type(b):
+        problems.append(f"{where}: type {type(a).__name__} vs "
+                        f"{type(b).__name__}")
+        return problems
+    if a != b and classify(where) != "ignored":
+        problems.append(f"{where}: {a!r} != {b!r}")
+    return problems
+
+
+def artifact_kind(doc):
+    if "schema_version" in doc and "metrics" in doc:
+        return f"run report (schema {doc['schema_version']})"
+    if doc.get("benchmark"):
+        return f"benchmark {doc['benchmark']!r}"
+    return "unknown artifact"
+
+
+def run_diff(argv):
+    rel_tol = 0.5
+    paths = []
+    for arg in argv:
+        if arg.startswith("--rel-tol="):
+            try:
+                rel_tol = float(arg.split("=", 1)[1])
+            except ValueError:
+                fail_usage(f"bad --rel-tol value: {arg}")
+            if rel_tol < 0:
+                fail_usage("--rel-tol must be >= 0")
+        elif arg.startswith("--"):
+            fail_usage(f"unknown flag {arg}")
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        fail_usage("diff needs exactly two artifact paths")
+    doc_a, doc_b = load(paths[0]), load(paths[1])
+    kind_a, kind_b = artifact_kind(doc_a), artifact_kind(doc_b)
+    if kind_a != kind_b:
+        print(f"tane_insight: comparing different kinds: {kind_a} vs "
+              f"{kind_b}", file=sys.stderr)
+        return 1
+    problems = diff_docs(doc_a, doc_b, rel_tol)
+    if problems:
+        print(f"tane_insight: {len(problems)} difference(s) between "
+              f"{paths[0]} and {paths[1]} ({kind_a}):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"tane_insight: diff OK — {paths[0]} and {paths[1]} agree "
+          f"({kind_a}, noisy fields within ±{rel_tol:.0%})")
+    return 0
+
+
+def main(argv):
+    if len(argv) >= 2 and argv[1] == "diff":
+        return run_diff(argv[2:])
+    print(__doc__.strip(), file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
