@@ -127,7 +127,10 @@ class MemoryPartitionStore : public PartitionStore {
   };
 
   Stripe stripes_[kStripes];
+  // Set-once publication pointer and a monotonic id counter: each cell's
+  // explicit orders are its whole contract. tane-lint: allow(naked-atomic)
   std::atomic<PartitionBufferPool*> pool_{nullptr};
+  // tane-lint: allow(naked-atomic)
   std::atomic<int64_t> next_handle_{0};
 };
 

@@ -173,6 +173,8 @@ struct WindowSlot {
   NodeOutcome outcome;
   PliCache::StagedProbe staged;
   bool has_staged = false;
+  // Per-slot completion latch, release-published / acquire-consumed by the
+  // window executor; no multi-word protocol. tane-lint: allow(naked-atomic)
   std::atomic<int> done{0};
 };
 
@@ -213,7 +215,10 @@ struct WindowContext {
   int64_t gate = 0;
   std::unique_ptr<WindowSlot[]> slots;
   const WindowInputs* in = nullptr;
+  // Independent claim counter and sticky error flag; their explicit orders
+  // are the contract. tane-lint: allow(naked-atomic)
   std::atomic<int64_t> frontier{0};
+  // tane-lint: allow(naked-atomic)
   std::atomic<bool> failed{false};
   Mutex mu;
   Status status TANE_GUARDED_BY(mu) = Status::OK();
@@ -634,7 +639,8 @@ class TaneRun {
 
   // Cooperative stop state: the flag is written by any worker or the
   // coordinator (mirroring the controller's latched reason); completion_ is
-  // coordinator-only.
+  // coordinator-only. A lone sticky flag needs no multi-word protocol.
+  // tane-lint: allow(naked-atomic)
   std::atomic<bool> stop_flag_{false};
   Completion completion_ = Completion::kComplete;
 
@@ -737,6 +743,9 @@ Status TaneRun::TestValidity(WorkerState* w, int64_t prev_error,
 
   const StrippedPartition* coarse = nullptr;
   if (prev_handle >= 0) {
+    // Borrowed via the worker's accessor LRU; the level driver releases
+    // every worker's borrows with ReleaseHandles at the level boundary.
+    // tane-analyzer: allow(handle-discipline)
     TANE_ASSIGN_OR_RETURN(coarse, w->accessor.Acquire(prev_handle));
   } else {
     coarse = empty_partition_.get();
@@ -927,9 +936,13 @@ StatusOr<StrippedPartition> TaneRun::BuildCandidatePartition(
     WorkerState* w, const LevelCandidate& candidate,
     const std::vector<Node>& survivors) {
   if (config_.use_partition_products) {
+    // Both parents are borrows through the worker's accessor LRU, released
+    // in bulk by ReleaseHandles at the level boundary (see RunLevel).
+    // tane-analyzer: allow(handle-discipline)
     TANE_ASSIGN_OR_RETURN(
         const StrippedPartition* a,
         w->accessor.Acquire(survivors[candidate.parent_a].handle));
+    // tane-analyzer: allow(handle-discipline)
     TANE_ASSIGN_OR_RETURN(
         const StrippedPartition* b,
         w->accessor.Acquire(survivors[candidate.parent_b].handle));

@@ -1,5 +1,11 @@
 #include "obs/flight_recorder.h"
 
+// tane-atomics: seqlock(seq)
+// Each ring slot is published under its own per-slot seqlock: `seq` is 0
+// while a writer owns the slot and (event sequence + 1) once the payload
+// is complete. Readers (Render, possibly inside a signal handler) copy
+// the payload between two reads of `seq` and drop the slot on mismatch.
+
 #include <algorithm>
 #include <atomic>
 #include <csignal>
@@ -89,7 +95,9 @@ struct FlightRecorder::Ring {
 };
 
 std::atomic<FlightRecorder*>& FlightRecorder::active_ptr() {
-  static std::atomic<FlightRecorder*> ptr{nullptr};
+  // constinit: the signal path reads this; a guarded magic static would
+  // take a lock on first use inside the handler.
+  static constinit std::atomic<FlightRecorder*> ptr{nullptr};
   return ptr;
 }
 
@@ -171,7 +179,11 @@ void FlightRecorder::Record(int tid, FlightEventType type,
   // kRingSlots events later — far longer than one Record call.
   const uint64_t seq = ring.next.fetch_add(1, std::memory_order_relaxed);
   Slot& slot = ring.slots[seq % kRingSlots];
-  slot.seq.store(0, std::memory_order_release);  // invalidate while writing
+  // Invalidate while writing. acq_rel RMW, not a release store: release
+  // only orders the stores *before* it, so the payload stores below could
+  // be hoisted above a plain store and land in a slot readers still see
+  // as valid.
+  slot.seq.exchange(0, std::memory_order_acq_rel);
   slot.t_us.store(NowUs(), std::memory_order_relaxed);
   slot.a.store(a, std::memory_order_relaxed);
   slot.b.store(b, std::memory_order_relaxed);
@@ -252,7 +264,11 @@ size_t FlightRecorder::Render(std::string_view reason, int signo) {
       std::memcpy(label + w * 8, &word, 8);
     }
     label[kLabelChars - 1] = '\0';
-    if (slot.seq.load(std::memory_order_acquire) != seq_before) continue;
+    // The fence, not the acquire on the re-read, is what orders the
+    // relaxed payload loads above: an acquire load only orders the
+    // accesses that come *after* it.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != seq_before) continue;
 
     if (!first) out.AppendChar(',');
     first = false;

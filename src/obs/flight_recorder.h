@@ -101,7 +101,8 @@ class FlightRecorder {
   bool ClaimDump() {
     bool expected = false;
     return dumped_.compare_exchange_strong(expected, true,
-                                           std::memory_order_acq_rel);
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire);
   }
 
   struct Slot;
@@ -109,6 +110,9 @@ class FlightRecorder {
 
   int rings_count_;
   std::unique_ptr<Ring[]> rings_;
+  // One-shot dump latch (CAS in ClaimDump); the slot seqlock protocol
+  // lives with the Slot definition in the .cc.
+  // tane-lint: allow(naked-atomic)
   std::atomic<bool> dumped_{false};
 
   std::string dump_path_str_;

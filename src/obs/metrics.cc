@@ -1,5 +1,8 @@
 #include "obs/metrics.h"
 
+// tane-atomics: single-writer
+// See metrics.h: value-only cells, relaxed by contract.
+
 #include <algorithm>
 #include <atomic>
 #include <bit>

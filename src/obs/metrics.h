@@ -1,6 +1,12 @@
 #ifndef TANE_OBS_METRICS_H_
 #define TANE_OBS_METRICS_H_
 
+// tane-atomics: single-writer
+// Declared with no published words on purpose: every cell is an
+// independent monotonic value (sharded counters, histogram fields) that
+// readers only aggregate into a snapshot. Relaxed is the contract — no
+// cell's value is ever used to order a read of another cell.
+
 #include <array>
 #include <atomic>
 #include <cstdint>

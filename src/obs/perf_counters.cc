@@ -15,9 +15,13 @@ namespace obs {
 
 namespace {
 
+// Independent control cells (a kill switch and a first-writer-wins
+// backend latch); no cross-word ordering to declare.
+// tane-lint: allow(naked-atomic)
 std::atomic<bool> g_enabled{true};
 // 0 = undecided, 1 = kNoop, 2 = kLinuxPerf. Latched by the first thread
 // that attempts an open; forced values win over later attempts.
+// tane-lint: allow(naked-atomic)
 std::atomic<int> g_backend{0};
 
 #if defined(__linux__)
@@ -89,6 +93,7 @@ class ThreadGroup {
       // all mean "no hardware counters here" — latch the noop backend.
       int expected = 0;
       g_backend.compare_exchange_strong(expected, 1,
+                                        std::memory_order_relaxed,
                                         std::memory_order_relaxed);
       return;
     }
@@ -105,6 +110,7 @@ class ThreadGroup {
     ioctl(leader_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
     int expected = 0;
     g_backend.compare_exchange_strong(expected, 2,
+                                      std::memory_order_relaxed,
                                       std::memory_order_relaxed);
   }
 
@@ -150,7 +156,8 @@ HwCounters PerfCounters::Read() {
   return LocalGroup().Read();
 #else
   int expected = 0;
-  g_backend.compare_exchange_strong(expected, 1, std::memory_order_relaxed);
+  g_backend.compare_exchange_strong(expected, 1, std::memory_order_relaxed,
+                                    std::memory_order_relaxed);
   return HwCounters{};
 #endif
 }

@@ -54,8 +54,12 @@ class Profiler {
  private:
   void SamplerLoop(int hz);
 
+  // Start/stop handshake flags and a statistics counter — three
+  // independent cells, no protocol. tane-lint: allow(naked-atomic)
   std::atomic<bool> running_{false};
+  // tane-lint: allow(naked-atomic)
   std::atomic<bool> stop_requested_{false};
+  // tane-lint: allow(naked-atomic)
   std::atomic<int64_t> total_samples_{0};
   std::thread sampler_;
 

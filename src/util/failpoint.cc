@@ -19,6 +19,8 @@ struct ArmedPoint {
 };
 
 // Fast path: sites are only consulted while at least one point is armed.
+// A lone gate counter; its explicit orders are the whole contract.
+// tane-lint: allow(naked-atomic)
 std::atomic<int64_t> g_armed_count{0};
 
 // The armed-point table and its lock, bundled so the annotations can name

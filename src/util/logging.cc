@@ -22,6 +22,8 @@ const char* SeverityTag(LogSeverity severity) {
 }
 
 LogSeverity g_min_severity = LogSeverity::kWarning;
+// Set-once hook pointer, published release / read acquire; no protocol.
+// tane-lint: allow(naked-atomic)
 std::atomic<void (*)()> g_fatal_hook{nullptr};
 
 }  // namespace

@@ -29,7 +29,8 @@ bool RunController::ShouldStop() {
   // the loser keeps reporting the winner's reason.
   StopReason expected = StopReason::kNone;
   stop_reason_.compare_exchange_strong(expected, reason,
-                                       std::memory_order_acq_rel);
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire);
   return true;
 }
 

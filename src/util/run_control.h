@@ -104,8 +104,12 @@ class RunController {
   // stop_reason_) is atomic and needs no lock.
   bool has_deadline_ = false;
   Clock::time_point deadline_{};
+  // A sticky cancel flag and a first-writer-wins reason latch —
+  // independent cells whose explicit orders are the contract.
+  // tane-lint: allow(naked-atomic)
   std::atomic<bool> cancel_requested_{false};
   int64_t memory_budget_bytes_ = 0;
+  // tane-lint: allow(naked-atomic)
   std::atomic<StopReason> stop_reason_{StopReason::kNone};
 };
 

@@ -57,7 +57,9 @@ void SigsafeWriter::AppendJsonEscaped(const char* s, size_t max_len) {
       AppendChar(static_cast<char>(c));
     } else if (c < 0x20) {
       // \u00XX for control bytes; rare enough that unrolled hex is fine.
-      static const char* hex = "0123456789abcdef";
+      // constexpr array: constant-initialized, so no magic-static guard
+      // lock on the signal path (a `const char*` static would take one).
+      static constexpr char hex[] = "0123456789abcdef";
       Append("\\u00", 4);
       AppendChar(hex[c >> 4]);
       AppendChar(hex[c & 0xf]);

@@ -1,5 +1,10 @@
 #include "util/span_stack.h"
 
+// tane-atomics: seqlock(epoch_)
+// Per-thread span stacks publish frames under `epoch_`: the owning thread
+// bumps it odd before mutating and even after; the sampler thread copies
+// frames between two even reads and retries on mismatch.
+
 #include <atomic>
 #include <cstring>
 
@@ -125,7 +130,10 @@ SpanStack& SpanStack::Local() {
 void SpanStack::Push(const char* name) {
   if (!recording()) return;
   const int32_t depth = depth_.load(std::memory_order_relaxed);
-  epoch_.fetch_add(1, std::memory_order_release);  // odd: write in progress
+  // odd: write in progress. acq_rel, not release — a release RMW does not
+  // stop the relaxed payload stores *after* it from being reordered above
+  // it, which would let a sampler read torn frames under an even epoch.
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
   if (depth < kSpanStackMaxDepth) {
     StoreChars(frames_[depth], name);
   }
@@ -138,7 +146,9 @@ void SpanStack::Pop() {
   // stopped mid-span, or the stale frame would haunt the next session.
   const int32_t depth = depth_.load(std::memory_order_relaxed);
   if (depth <= 0) return;
-  epoch_.fetch_add(1, std::memory_order_release);
+  // acq_rel begin-bump for the same reason as Push: the depth store below
+  // must not float above the odd epoch.
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
   depth_.store(depth - 1, std::memory_order_relaxed);
   epoch_.fetch_add(1, std::memory_order_release);
 }

@@ -1,6 +1,8 @@
 #ifndef TANE_UTIL_SPAN_STACK_H_
 #define TANE_UTIL_SPAN_STACK_H_
 
+// tane-atomics: seqlock(epoch_)
+
 #include <atomic>
 #include <cstddef>
 #include <cstdint>

@@ -1,5 +1,10 @@
 #include "util/thread_pool.h"
 
+// tane-atomics: chase-lev(top_,bottom_,ring_,slots)
+// The deque runs the fully seq_cst Chase-Lev variant on purpose (see the
+// class comment): TSan models seq_cst atomics natively, so the whole
+// protocol is machine-checkable. Quiescent paths relax with waivers.
+
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -29,13 +34,16 @@ WorkStealingDeque::Ring::Ring(int64_t cap)
 
 WorkStealingDeque::WorkStealingDeque(int64_t capacity_hint) {
   // The live ring is owned by ring_ (an atomic, so it cannot hold a
-  // unique_ptr); freed by Reset/Grow-retirement/destructor.
-  // tane-lint: allow(naked-new)
+  // unique_ptr); freed by Reset/Grow-retirement/destructor. Relaxed is
+  // fine pre-publication: no other thread can see the deque yet.
+  // tane-lint: allow(naked-new) tane-analyzer: allow(atomics-contract)
   ring_.store(new Ring(RoundUpPow2(std::max<int64_t>(2, capacity_hint))),
               std::memory_order_relaxed);
 }
 
 WorkStealingDeque::~WorkStealingDeque() {
+  // Destruction is quiescent by contract: the pool joined its workers.
+  // tane-analyzer: allow(atomics-contract)
   delete ring_.load(std::memory_order_relaxed);
 }
 
@@ -43,11 +51,12 @@ void WorkStealingDeque::Reset(int64_t capacity_hint) {
   // Quiescent by contract: no concurrent Push/Pop/Steal, so plain stores
   // and retired-ring reclamation are safe here.
   retired_.clear();
+  // tane-analyzer: allow(atomics-contract)
   Ring* ring = ring_.load(std::memory_order_relaxed);
   if (capacity_hint > ring->capacity) {
     delete ring;
     // Ownership transfers to ring_ (see constructor note).
-    // tane-lint: allow(naked-new)
+    // tane-lint: allow(naked-new) tane-analyzer: allow(atomics-contract)
     ring_.store(new Ring(RoundUpPow2(capacity_hint)),
                 std::memory_order_relaxed);
   }

@@ -1,6 +1,8 @@
 #ifndef TANE_UTIL_THREAD_POOL_H_
 #define TANE_UTIL_THREAD_POOL_H_
 
+// tane-atomics: chase-lev(top_,bottom_,ring_,slots)
+
 #include <atomic>
 #include <chrono>
 #include <cstdint>

@@ -1,0 +1,27 @@
+// Fixture: base atomics-contract checks, failing variants.
+//   1. load with a defaulted (silent seq_cst) order
+//   2. compare_exchange naming only the success order
+//   3. operator-form access to a declared atomic (implicit seq_cst)
+// analyzer-expect: atomics-contract=3
+#include <atomic>
+
+class Counter {
+ public:
+  int Read() {
+    return hits_.load();  // missing memory_order
+  }
+
+  bool Latch() {
+    int expected = 0;
+    // single-order CAS: the failure order is silently derived
+    return hits_.compare_exchange_strong(expected, 1,
+                                         std::memory_order_acq_rel);
+  }
+
+  void Bump() {
+    hits_++;  // operator form: seq_cst by definition
+  }
+
+ private:
+  std::atomic<int> hits_{0};
+};

@@ -1,0 +1,26 @@
+// Fixture: base atomics-contract checks, conforming variants. Every op
+// names its order (seq_cst included — named is the contract, not weak),
+// the CAS spells both orders, and no operator forms appear.
+// analyzer-expect: clean
+#include <atomic>
+
+class Counter {
+ public:
+  int Read() {
+    return hits_.load(std::memory_order_acquire);
+  }
+
+  bool Latch() {
+    int expected = 0;
+    return hits_.compare_exchange_strong(expected, 1,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire);
+  }
+
+  void Bump() {
+    hits_.fetch_add(1, std::memory_order_seq_cst);
+  }
+
+ private:
+  std::atomic<int> hits_{0};
+};

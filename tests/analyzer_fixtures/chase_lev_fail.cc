@@ -1,0 +1,25 @@
+// Fixture: chase-lev demands seq_cst on every deque-word op; a relaxed
+// bottom_ load on the hot Pop path is exactly the "clever" relaxation the
+// protocol forbids (this repo runs the TSan-verifiable seq_cst variant).
+// analyzer-expect: atomics-contract=1
+// tane-atomics: chase-lev(top_,bottom_)
+#include <atomic>
+#include <cstdint>
+
+class Deque {
+ public:
+  void Push(int64_t) {
+    bottom_.store(bottom_.load(std::memory_order_seq_cst) + 1,
+                  std::memory_order_seq_cst);
+  }
+
+  bool Pop() {
+    const int64_t b = bottom_.load(std::memory_order_relaxed) - 1;  // weak
+    const int64_t t = top_.load(std::memory_order_seq_cst);
+    return t < b;
+  }
+
+ private:
+  std::atomic<int64_t> top_{0};
+  std::atomic<int64_t> bottom_{0};
+};

@@ -1,0 +1,35 @@
+// Fixture: conforming chase-lev (all seq_cst) plus one deliberately
+// relaxed quiescent op carrying a waiver — exercising the waiver
+// mechanism inside a protocol check.
+// analyzer-expect: clean
+// tane-atomics: chase-lev(top_,bottom_)
+#include <atomic>
+#include <cstdint>
+
+class Deque {
+ public:
+  void Push(int64_t) {
+    bottom_.store(bottom_.load(std::memory_order_seq_cst) + 1,
+                  std::memory_order_seq_cst);
+  }
+
+  bool Steal() {
+    int64_t t = top_.load(std::memory_order_seq_cst);
+    const int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return false;
+    return top_.compare_exchange_strong(t, t + 1,
+                                        std::memory_order_seq_cst,
+                                        std::memory_order_seq_cst);
+  }
+
+  void Reset() {
+    // Quiescent by contract: no concurrent Push/Steal during Reset.
+    // tane-analyzer: allow(atomics-contract)
+    top_.store(0, std::memory_order_relaxed);
+    bottom_.store(0, std::memory_order_seq_cst);
+  }
+
+ private:
+  std::atomic<int64_t> top_{0};
+  std::atomic<int64_t> bottom_{0};
+};

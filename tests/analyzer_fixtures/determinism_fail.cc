@@ -1,0 +1,21 @@
+// Fixture: hash-order iteration in an output-affecting TU. The range-for
+// over the unordered_map appends straight to the result vector with no
+// re-sort, so the output order is the hash seed's whim.
+// analyzer-path: src/core/determinism_fixture.cc
+// analyzer-expect: determinism=1
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace tane {
+
+std::vector<std::string> CollectNames(
+    const std::unordered_map<int, std::string>& index) {
+  std::vector<std::string> names;
+  for (const auto& [id, name] : index) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace tane

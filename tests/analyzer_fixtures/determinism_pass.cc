@@ -1,0 +1,33 @@
+// Fixture: the two sanctioned ways through a hash container in an
+// output-affecting TU — wash the order out with a visible sort after the
+// loop, or waive with the reason the order cannot reach the output.
+// analyzer-path: src/core/determinism_fixture.cc
+// analyzer-expect: clean
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace tane {
+
+std::vector<std::string> CollectNamesSorted(
+    const std::unordered_map<int, std::string>& index) {
+  std::vector<std::string> names;
+  for (const auto& [id, name] : index) {
+    names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+int64_t TotalLength(const std::unordered_map<int, std::string>& index) {
+  int64_t total = 0;
+  // Commutative fold: the visit order cannot reach the sum.
+  // tane-analyzer: allow(determinism)
+  for (const auto& [id, name] : index) {
+    total += static_cast<int64_t>(name.size());
+  }
+  return total;
+}
+
+}  // namespace tane

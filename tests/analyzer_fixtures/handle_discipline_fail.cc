@@ -1,0 +1,17 @@
+// Fixture: a function in the scoped TU (mapped to src/core/tane.cc by the
+// analyzer-path header) that acquires a partition handle and never
+// releases it — the forgot-to-release-entirely class the rule exists for.
+// analyzer-path: src/core/tane.cc
+// analyzer-expect: handle-discipline=1
+#include <cstdint>
+
+class PartitionStore {
+ public:
+  const int* Acquire(int64_t handle);
+  void Release(int64_t handle);
+};
+
+int SumFirst(PartitionStore* store, int64_t handle) {
+  const int* partition = store->Acquire(handle);
+  return partition != nullptr ? *partition : 0;  // handle leaks
+}

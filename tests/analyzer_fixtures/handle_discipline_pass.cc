@@ -1,0 +1,28 @@
+// Fixture: conforming handle discipline — one function pairs Acquire with
+// Release in place, the other carries a waiver naming the releasing owner
+// (the accessor-LRU pattern the real tane.cc uses).
+// analyzer-path: src/core/tane.cc
+// analyzer-expect: clean
+#include <cstdint>
+
+class PartitionStore {
+ public:
+  const int* Acquire(int64_t handle);
+  void Release(int64_t handle);
+  void ReleaseHandles();
+};
+
+int SumFirst(PartitionStore* store, int64_t handle) {
+  const int* partition = store->Acquire(handle);
+  const int value = partition != nullptr ? *partition : 0;
+  store->Release(handle);
+  return value;
+}
+
+int SumBorrowed(PartitionStore* store, int64_t handle) {
+  // Borrowed via the level driver's accessor LRU; released in bulk by
+  // ReleaseHandles at the level boundary.
+  // tane-analyzer: allow(handle-discipline)
+  const int* partition = store->Acquire(handle);
+  return partition != nullptr ? *partition : 0;
+}

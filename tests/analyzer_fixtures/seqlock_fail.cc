@@ -1,0 +1,35 @@
+// Fixture: seqlock protocol violations.
+//   1. writer's begin-bump is release (payload stores can hoist above it)
+//   2. one reader loads the sequence word only once (torn reads pass)
+//   3. another reader re-reads but has no acquire fence before the
+//      re-read (the acquire on the re-read does not order prior loads)
+// analyzer-expect: atomics-contract=3
+// tane-atomics: seqlock(seq_)
+#include <atomic>
+#include <cstdint>
+
+class Cell {
+ public:
+  void Write(int64_t v) {
+    seq_.fetch_add(1, std::memory_order_release);  // begin-bump too weak
+    value_.store(v, std::memory_order_relaxed);
+    seq_.fetch_add(1, std::memory_order_release);
+  }
+
+  int64_t ReadOnce() {
+    seq_.load(std::memory_order_acquire);  // never re-read
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  int64_t ReadNoFence() {
+    for (;;) {
+      const uint64_t before = seq_.load(std::memory_order_acquire);
+      const int64_t v = value_.load(std::memory_order_relaxed);
+      if (seq_.load(std::memory_order_acquire) == before) return v;
+    }
+  }
+
+ private:
+  std::atomic<uint64_t> seq_{0};
+  std::atomic<int64_t> value_{0};
+};

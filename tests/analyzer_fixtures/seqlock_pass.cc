@@ -1,0 +1,29 @@
+// Fixture: the full seqlock recipe. acq_rel begin-bump, release end-bump,
+// acquire first read, acquire fence between the payload loads and the
+// relaxed re-read.
+// analyzer-expect: clean
+// tane-atomics: seqlock(seq_)
+#include <atomic>
+#include <cstdint>
+
+class Cell {
+ public:
+  void Write(int64_t v) {
+    seq_.fetch_add(1, std::memory_order_acq_rel);
+    value_.store(v, std::memory_order_relaxed);
+    seq_.fetch_add(1, std::memory_order_release);
+  }
+
+  int64_t Read() {
+    for (;;) {
+      const uint64_t before = seq_.load(std::memory_order_acquire);
+      const int64_t v = value_.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (seq_.load(std::memory_order_relaxed) == before) return v;
+    }
+  }
+
+ private:
+  std::atomic<uint64_t> seq_{0};
+  std::atomic<int64_t> value_{0};
+};

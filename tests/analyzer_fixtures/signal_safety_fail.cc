@@ -1,0 +1,36 @@
+// Fixture: signal-safety violations inside a registered handler's call
+// graph.
+//   1. snprintf on the signal path (glibc locale machinery may allocate)
+//   2. malloc via a helper the walk must follow (transitive edge)
+//   3. a non-constinit function-local static (magic-static guard lock)
+//   4. `new` on the signal path
+// analyzer-expect: signal-safety=4
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+
+namespace {
+
+int* FormatCrash(int signo) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "sig %d", signo);        // stdio: unsafe
+  return static_cast<int*>(malloc(sizeof(int)));      // allocates
+}
+
+const char* CrashLabel() {
+  static const char* label = "crash";  // guarded magic static
+  return label;
+}
+
+void CrashHandler(int signo) {
+  FormatCrash(signo);
+  CrashLabel();
+  int* leak = new int(signo);  // allocates on the signal path
+  (void)leak;
+}
+
+}  // namespace
+
+void InstallCrashHandler() {
+  signal(SIGSEGV, &CrashHandler);
+}

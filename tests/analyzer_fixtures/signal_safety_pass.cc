@@ -1,0 +1,32 @@
+// Fixture: a conforming handler — raw syscall wrappers, mem routines, a
+// constinit static, and lock-free atomics (exempt by construction: they
+// are the one async-signal-safe synchronization tool).
+// analyzer-expect: clean
+#include <atomic>
+#include <csignal>
+#include <cstring>
+#include <unistd.h>
+
+namespace {
+
+std::atomic<int> g_last_signal{0};
+
+const char* CrashLabel() {
+  static constinit const char* label = "crash";  // constant-initialized
+  return label;
+}
+
+void CrashHandler(int signo) {
+  g_last_signal.store(signo, std::memory_order_relaxed);
+  char buf[8];
+  std::memset(buf, 0, sizeof(buf));
+  std::memcpy(buf, CrashLabel(), 5);
+  write(2, buf, std::strlen(buf));
+  raise(signo);
+}
+
+}  // namespace
+
+void InstallCrashHandler() {
+  signal(SIGSEGV, &CrashHandler);
+}

@@ -1,0 +1,24 @@
+// Fixture: single-writer protocol — a cross-thread reader (a function
+// that stores no atomic) taking the published word relaxed misses the
+// writes that preceded publication.
+// analyzer-expect: atomics-contract=1
+// tane-atomics: single-writer(published_)
+#include <atomic>
+#include <cstdint>
+
+class Stats {
+ public:
+  void Publish(int64_t v) {
+    payload_.store(v, std::memory_order_relaxed);
+    published_.store(1, std::memory_order_release);
+  }
+
+  int64_t ReadPublished() {
+    if (published_.load(std::memory_order_relaxed) == 0) return 0;  // weak
+    return payload_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> published_{0};
+  std::atomic<int64_t> payload_{0};
+};

@@ -1,0 +1,24 @@
+// Fixture: conforming single-writer — the writer side relaxes freely
+// (one thread cannot race itself), the cross-thread reader acquires the
+// published word.
+// analyzer-expect: clean
+// tane-atomics: single-writer(published_)
+#include <atomic>
+#include <cstdint>
+
+class Stats {
+ public:
+  void Publish(int64_t v) {
+    payload_.store(v, std::memory_order_relaxed);
+    published_.store(1, std::memory_order_release);
+  }
+
+  int64_t ReadPublished() {
+    if (published_.load(std::memory_order_acquire) == 0) return 0;
+    return payload_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> published_{0};
+  std::atomic<int64_t> payload_{0};
+};

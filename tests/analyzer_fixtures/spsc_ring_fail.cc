@@ -1,0 +1,32 @@
+// Fixture: spsc-ring protocol violations.
+//   1. producer publishes the head index with a relaxed store (slots
+//      written before it are not published with it)
+//   2. consumer reads the producer's head index relaxed (only the owner
+//      of a word may re-read it relaxed)
+// analyzer-expect: atomics-contract=2
+// tane-atomics: spsc-ring(head_,tail_)
+#include <atomic>
+#include <cstdint>
+
+class Ring {
+ public:
+  void Produce(int64_t v) {
+    const uint64_t h = head_.load(std::memory_order_relaxed);  // own word
+    slot_[h & 7] = v;
+    head_.store(h + 1, std::memory_order_relaxed);  // must be release
+  }
+
+  bool Consume(int64_t* out) {
+    const uint64_t t = tail_.load(std::memory_order_relaxed);  // own word
+    const uint64_t h = head_.load(std::memory_order_relaxed);  // other side
+    if (t == h) return false;
+    *out = slot_[t & 7];
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+ private:
+  std::atomic<uint64_t> head_{0};
+  std::atomic<uint64_t> tail_{0};
+  int64_t slot_[8] = {};
+};

@@ -1,0 +1,30 @@
+// Fixture: conforming spsc-ring — each side re-reads its own index
+// relaxed, reads the other side's index acquire, and publishes its own
+// index with release.
+// analyzer-expect: clean
+// tane-atomics: spsc-ring(head_,tail_)
+#include <atomic>
+#include <cstdint>
+
+class Ring {
+ public:
+  void Produce(int64_t v) {
+    const uint64_t h = head_.load(std::memory_order_relaxed);  // own word
+    slot_[h & 7] = v;
+    head_.store(h + 1, std::memory_order_release);
+  }
+
+  bool Consume(int64_t* out) {
+    const uint64_t t = tail_.load(std::memory_order_relaxed);  // own word
+    const uint64_t h = head_.load(std::memory_order_acquire);
+    if (t == h) return false;
+    *out = slot_[t & 7];
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+ private:
+  std::atomic<uint64_t> head_{0};
+  std::atomic<uint64_t> tail_{0};
+  int64_t slot_[8] = {};
+};

@@ -18,11 +18,17 @@ fi
 
 jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
 
-# Static analysis gate: project lint rules, clang-tidy, and the Clang
-# thread-safety `analysis` preset (the latter two self-skip when the tools
-# are absent). Runs first because it is by far the cheapest failure.
+# Static analysis gates, cheapest failures first: the regex-tier project
+# lint (plus clang-tidy and the Clang thread-safety `analysis` preset,
+# which self-skip when the tools are absent), then the semantic tier —
+# tools/tane_analyzer's lock-free protocol, signal-safety, determinism,
+# and handle-discipline contracts. The analyzer runs as its own step so
+# its per-rule counts and runtime land in the check log; lint.sh is told
+# to skip its copy.
 echo "==> lint: tools/lint.sh"
-tools/lint.sh
+tools/lint.sh --skip-analyzer
+echo "==> analyze: tools/tane_analyzer (semantic contracts)"
+python3 tools/tane_analyzer
 
 for preset in "${presets[@]}"; do
   echo "==> configure: ${preset}"

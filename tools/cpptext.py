@@ -1,0 +1,114 @@
+"""Shared C++ text utilities for the tools/ linters and analyzers.
+
+`tane_lint.py` (regex tier) and `tane_analyzer/` (semantic tier) both need
+comment/string-aware views of a translation unit.  The routines here are
+deliberately dumb — a character state machine, not a preprocessor — but they
+are the single source of truth for both tools, so a fixed stripper bug fixes
+every rule at once.
+"""
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals, preserving line breaks
+    (and character offsets: the output is exactly as long as the input, so
+    positions computed on the stripped text index into the original).
+    Waiver comments are read from the original text by callers."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+            elif c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        else:  # string or char literal
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif (state == "string" and c == '"') or \
+                 (state == "char" and c == "'"):
+                state = "code"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def line_of_offset(text, offset):
+    """1-based line number of a character offset."""
+    return text.count("\n", 0, offset) + 1
+
+
+def matching_paren(text, open_index):
+    """Offset of the `)` matching the `(` at open_index, or -1 if the text
+    runs out first. Assumes comment/string-stripped input."""
+    depth = 0
+    for i in range(open_index, len(text)):
+        c = text[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def split_top_level_args(argtext):
+    """Split an argument list on commas that sit at paren/bracket/brace depth
+    zero. `argtext` is the text between the outer parens (stripped input).
+    Angle brackets are deliberately not tracked: `->` and comparison
+    operators would unbalance them, and memory_order argument lists never
+    carry commas inside template arguments."""
+    args = []
+    depth = 0
+    current = []
+    for c in argtext:
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+        if c == "," and depth == 0:
+            args.append("".join(current).strip())
+            current = []
+        else:
+            current.append(c)
+    tail = "".join(current).strip()
+    if tail or args:
+        args.append(tail)
+    return [a for a in args if a]

@@ -2,9 +2,15 @@
 # tane-lint driver: every static check the repository defines, in one gate.
 #
 #   1. tools/tane_lint.py      project rules (always runs; pure python)
-#   2. clang-tidy              .clang-tidy checks over compile_commands.json
+#   2. tools/tane_analyzer     semantic tier: lock-free protocol, signal-
+#                              safety, determinism, and handle-discipline
+#                              contracts (always runs; the libclang
+#                              frontend self-selects when available and
+#                              the token-level micro frontend otherwise;
+#                              --skip-analyzer to omit)
+#   3. clang-tidy              .clang-tidy checks over compile_commands.json
 #                              (skipped when clang-tidy is not installed)
-#   3. `analysis` preset       Clang build with -Wthread-safety -Werror,
+#   4. `analysis` preset       Clang build with -Wthread-safety -Werror,
 #                              which also drives the negative-compile
 #                              harness in tests/negative_compile/
 #                              (skipped when clang++ is not installed)
@@ -15,11 +21,26 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+run_analyzer=1
+for arg in "$@"; do
+  case "${arg}" in
+    --skip-analyzer) run_analyzer=0 ;;
+    *) echo "lint.sh: unknown argument: ${arg}" >&2; exit 2 ;;
+  esac
+done
+
 jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
 started=$(date +%s)
 
 echo "==> lint: tane_lint.py (project rules)"
 python3 tools/tane_lint.py
+
+if [ "${run_analyzer}" -eq 1 ]; then
+  echo "==> lint: tane_analyzer (semantic contracts)"
+  python3 tools/tane_analyzer
+else
+  echo "==> lint: tane_analyzer skipped (--skip-analyzer)"
+fi
 
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "==> lint: clang-tidy"

@@ -1,0 +1,13 @@
+"""Entry point so `python3 tools/tane_analyzer` works directly."""
+
+import os
+import sys
+
+PACKAGE_PARENT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if PACKAGE_PARENT not in sys.path:
+    sys.path.insert(0, PACKAGE_PARENT)
+
+from tane_analyzer import driver  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(driver.main(sys.argv))

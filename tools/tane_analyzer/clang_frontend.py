@@ -1,0 +1,320 @@
+"""libclang (clang.cindex) frontend for tane-analyzer.
+
+Lowers translation units to the same `model.SourceFile` IR as the micro
+frontend, but from a real AST: receivers are resolved through the type
+system, calls through referenced declarations, and memory_order arguments
+through the enum itself. Used automatically when the `clang` Python
+bindings, a loadable libclang, and the exported compile_commands.json are
+all present; `probe()` reports the first missing piece so the driver can
+fall back to the micro frontend without guessing.
+
+Only definitions inside the analyzed root are lowered — system headers
+contribute nothing, which keeps the IR congruent with what the micro
+frontend sees.
+"""
+
+import json
+import os
+
+from . import model
+
+_ATOMIC_CLASS_NAMES = ("atomic", "atomic_flag", "__atomic_base")
+_UNORDERED_CLASS_NAMES = ("unordered_map", "unordered_set",
+                          "unordered_multimap", "unordered_multiset")
+
+
+def probe(root, compdb_path):
+    """Returns None when the clang frontend can run, else a reason."""
+    try:
+        import clang.cindex as cindex
+    except Exception as error:
+        return f"python clang bindings not importable ({error})"
+    if not compdb_path or not os.path.exists(compdb_path):
+        return (f"no compilation database at {compdb_path}; configure the "
+                "default preset (CMAKE_EXPORT_COMPILE_COMMANDS=ON)")
+    try:
+        cindex.Index.create()
+    except Exception as error:
+        return f"libclang not loadable ({error})"
+    return None
+
+
+def _load_compile_commands(compdb_path):
+    with open(compdb_path, encoding="utf-8") as handle:
+        entries = json.load(handle)
+    commands = {}
+    for entry in entries:
+        path = os.path.normpath(
+            os.path.join(entry.get("directory", "."), entry["file"]))
+        args = entry.get("arguments")
+        if args is None:
+            args = entry.get("command", "").split()
+        # Drop the compiler, the input file, and -o pairs.
+        cleaned = []
+        skip_next = False
+        for arg in args[1:]:
+            if skip_next:
+                skip_next = False
+                continue
+            if arg in ("-o", "-c"):
+                skip_next = arg == "-o"
+                continue
+            if os.path.normpath(os.path.join(
+                    entry.get("directory", "."), arg)) == path:
+                continue
+            cleaned.append(arg)
+        commands[path] = (entry.get("directory", "."), cleaned)
+    return commands
+
+
+def _spelling_chain(cursor):
+    parts = []
+    parent = cursor.semantic_parent
+    import clang.cindex as cindex
+    while parent is not None and parent.kind in (
+            cindex.CursorKind.CLASS_DECL, cindex.CursorKind.STRUCT_DECL,
+            cindex.CursorKind.CLASS_TEMPLATE):
+        parts.append(parent.spelling)
+        parent = parent.semantic_parent
+    return "::".join(reversed(parts))
+
+
+def _type_names(ctype):
+    spelling = ctype.spelling if ctype is not None else ""
+    return spelling
+
+
+def _order_names_in(cursor):
+    """Normalized memory_order enumerators referenced under a cursor."""
+    import clang.cindex as cindex
+    found = []
+    for node in cursor.walk_preorder():
+        if node.kind == cindex.CursorKind.DECL_REF_EXPR and \
+                "memory_order" in node.spelling:
+            name = node.spelling.replace("memory_order_", "")
+            found.append(name)
+        elif node.kind == cindex.CursorKind.DECL_REF_EXPR and \
+                node.type is not None and \
+                "memory_order" in node.type.spelling:
+            found.append(node.spelling)
+    return found
+
+
+def _expr_text(cursor):
+    tokens = [t.spelling for t in cursor.get_tokens()]
+    return "".join(tokens)[:120]
+
+
+def _lower_function(cindex, cursor, source, root):
+    extent = cursor.extent
+    func_cls = _spelling_chain(cursor)
+    name = cursor.spelling.lstrip("~")
+    func = model.FunctionInfo(
+        name=name,
+        qual=(func_cls + "::" + name) if func_cls else name,
+        cls=func_cls,
+        line=extent.start.line,
+        start=extent.start.offset,
+        end=extent.end.offset)
+
+    for node in cursor.walk_preorder():
+        kind = node.kind
+        if kind == cindex.CursorKind.CALL_EXPR:
+            callee = node.referenced
+            callee_name = node.spelling or (
+                callee.spelling if callee is not None else "")
+            if not callee_name:
+                continue
+            callee_cls = ""
+            receiver_words = ()
+            is_atomic_member = False
+            if callee is not None:
+                callee_cls = _spelling_chain(callee)
+                parent = callee.semantic_parent
+                if parent is not None and parent.spelling and \
+                        parent.spelling.startswith(_ATOMIC_CLASS_NAMES):
+                    is_atomic_member = True
+            if callee_name in model.ATOMIC_OPS and is_atomic_member:
+                children = list(node.get_children())
+                obj = _expr_text(children[0]) if children else ""
+                orders = tuple(_order_names_in(node))
+                args = list(node.get_arguments())
+                func.atomic_ops.append(model.AtomicOp(
+                    op=callee_name, obj=obj,
+                    words=tuple(w for w in obj.replace("->", ".")
+                                .replace("[", ".").replace("]", "")
+                                .split(".") if w.isidentifier()),
+                    orders=orders, n_args=len(args),
+                    line=node.location.line,
+                    offset=node.location.offset))
+                continue
+            if callee_name in ("atomic_thread_fence",
+                               "atomic_signal_fence"):
+                orders = _order_names_in(node)
+                func.fences.append(model.Fence(
+                    order=orders[0] if orders else "",
+                    line=node.location.line,
+                    offset=node.location.offset))
+                continue
+            func.calls.append(model.Call(
+                name=callee_name.split("::")[-1],
+                scope=callee_cls, receiver="",
+                receiver_type=callee_cls,
+                line=node.location.line,
+                offset=node.location.offset,
+                receiver_words=receiver_words))
+        elif kind == cindex.CursorKind.CXX_FOR_RANGE_STMT:
+            children = list(node.get_children())
+            container = children[-2] if len(children) >= 2 else None
+            text = _expr_text(container) if container is not None else ""
+            type_spelling = _type_names(
+                container.type if container is not None else None)
+            is_unordered = any(u in type_spelling
+                               for u in _UNORDERED_CLASS_NAMES)
+            words = tuple(w for w in text.replace("->", ".").split(".")
+                          if w.isidentifier())
+            loop = model.RangeLoop(
+                container=text or type_spelling,
+                words=words,
+                line=node.location.line,
+                offset=node.location.offset)
+            if is_unordered:
+                # Make the unordered-ness visible to the rule even when
+                # the variable was declared in an unanalyzed header.
+                loop.container = (text or "expr") + \
+                    f" /*{type_spelling.split('<')[0].split('::')[-1]}*/"
+                for w in words:
+                    source.unordered_decls.setdefault(
+                        w, ("unordered", node.location.line))
+            func.range_loops.append(loop)
+        elif kind == cindex.CursorKind.VAR_DECL:
+            if node.storage_class == cindex.StorageClass.STATIC and \
+                    node.semantic_parent == cursor:
+                tokens = " ".join(
+                    t.spelling for t in node.get_tokens())[:80]
+                func.local_statics.append(model.LocalStatic(
+                    line=node.location.line,
+                    offset=node.location.offset,
+                    constinit="constinit" in tokens,
+                    text=tokens))
+            type_spelling = _type_names(node.type)
+            base = type_spelling.split("<")[0].split("::")[-1].strip(" &*")
+            if base:
+                func.local_types.setdefault(node.spelling, base)
+            if "atomic" in type_spelling:
+                source.atomic_decls.setdefault(node.spelling,
+                                               node.location.line)
+            if any(u in type_spelling for u in _UNORDERED_CLASS_NAMES):
+                source.unordered_decls.setdefault(
+                    node.spelling, ("unordered", node.location.line))
+        elif kind == cindex.CursorKind.CXX_NEW_EXPR:
+            func.uses_new.append(node.location.line)
+    return func
+
+
+def load_program(root, rel_paths, compdb_path):
+    import clang.cindex as cindex
+
+    commands = _load_compile_commands(compdb_path)
+    index = cindex.Index.create()
+    wanted = {os.path.normpath(os.path.join(root, p)): p
+              for p in rel_paths}
+    files = {}
+    for rel_path in rel_paths:
+        with open(os.path.join(root, rel_path), encoding="utf-8") as fh:
+            raw = fh.read()
+        source = model.SourceFile(rel_path=rel_path,
+                                  raw_lines=raw.splitlines())
+        _scan_text_facts(raw, source)
+        files[rel_path] = source
+
+    parsed = set()
+    for abs_path, (directory, args) in sorted(commands.items()):
+        rel = wanted.get(os.path.normpath(abs_path))
+        if rel is None:
+            continue
+        cwd = os.getcwd()
+        try:
+            os.chdir(directory)
+            tu = index.parse(abs_path, args=args)
+        except Exception:
+            continue
+        finally:
+            os.chdir(cwd)
+        parsed.add(rel)
+        _lower_tu(cindex, tu, root, wanted, files)
+
+    # Headers and TUs the compilation database does not cover fall back
+    # to the micro frontend so the IR stays complete.
+    from . import micro_frontend
+    for rel_path in rel_paths:
+        if rel_path not in parsed and not files[rel_path].functions:
+            files[rel_path] = micro_frontend.parse_file(root, rel_path)
+    return model.Program(files)
+
+
+def _scan_text_facts(raw, source):
+    """Facts cheaper to read from text even with an AST in hand: the
+    protocol directive and signal-handler registrations."""
+    from . import micro_frontend as mf
+    import cpptext
+    code = cpptext.strip_comments_and_strings(raw)
+    proto = mf.PROTOCOL_RE.search(raw)
+    if proto:
+        words = tuple(w.strip() for w in (proto.group(2) or "").split(",")
+                      if w.strip())
+        source.protocol = model.Protocol(
+            kind=proto.group(1), words=words,
+            line=raw.count("\n", 0, proto.start()) + 1)
+    for pattern in mf.HANDLER_REG_RES:
+        for match in pattern.finditer(code):
+            name = match.group(1).split("::")[-1]
+            if name not in ("SIG_DFL", "SIG_IGN"):
+                source.handler_regs.append(
+                    (name, code.count("\n", 0, match.start()) + 1))
+
+
+def _lower_tu(cindex, tu, root, wanted, files):
+    for cursor in tu.cursor.walk_preorder():
+        if cursor.kind not in (cindex.CursorKind.FUNCTION_DECL,
+                               cindex.CursorKind.CXX_METHOD,
+                               cindex.CursorKind.CONSTRUCTOR,
+                               cindex.CursorKind.DESTRUCTOR):
+            continue
+        if not cursor.is_definition():
+            continue
+        location_file = cursor.location.file
+        if location_file is None:
+            continue
+        rel = wanted.get(os.path.normpath(location_file.name))
+        if rel is None:
+            continue
+        source = files[rel]
+        if any(f.qual == (_spelling_chain(cursor) + "::" +
+                          cursor.spelling.lstrip("~")
+                          if _spelling_chain(cursor)
+                          else cursor.spelling.lstrip("~")) and
+               f.line == cursor.extent.start.line
+               for f in source.functions):
+            continue  # already lowered from another TU including this header
+        func = _lower_function(cindex, cursor, source, root)
+        source.functions.append(func)
+    # Field declarations (atomic members, unordered members) from class
+    # definitions in covered files:
+    for cursor in tu.cursor.walk_preorder():
+        if cursor.kind != cindex.CursorKind.FIELD_DECL:
+            continue
+        location_file = cursor.location.file
+        if location_file is None:
+            continue
+        rel = wanted.get(os.path.normpath(location_file.name))
+        if rel is None:
+            continue
+        source = files[rel]
+        type_spelling = _type_names(cursor.type)
+        if "atomic" in type_spelling:
+            source.atomic_decls.setdefault(cursor.spelling,
+                                           cursor.location.line)
+        if any(u in type_spelling for u in _UNORDERED_CLASS_NAMES):
+            source.unordered_decls.setdefault(
+                cursor.spelling, ("unordered", cursor.location.line))

@@ -1,0 +1,59 @@
+"""determinism: no hash-order iteration in output-affecting TUs.
+
+The repo's contract is byte-identical output for the same input and
+flags, across thread counts (DESIGN.md §7). `unordered_map`/
+`unordered_set` iteration order is implementation- and seed-defined, so a
+range-for (or an explicit `.begin()` iterator walk) over one inside the
+TUs that shape results — `src/core`, `src/partition`, `src/lattice`,
+`src/analysis` — silently breaks that contract the day someone appends to
+a vector inside the loop.
+
+A loop passes if the enclosing function visibly re-sorts at or after the
+loop (any `sort`/`stable_sort`/`partial_sort`/`nth_element` call whose
+position is not before the loop), because then the hash order is washed
+out before anything observable. Everything else needs a
+`tane-analyzer: allow(determinism)` waiver explaining why the order
+cannot reach the output.
+"""
+
+RULE = "determinism"
+
+SCOPED_DIR_PREFIXES = (
+    "src/core/", "src/partition/", "src/lattice/", "src/analysis/")
+
+SORT_CALL_NAMES = {"sort", "stable_sort", "partial_sort", "nth_element"}
+
+
+def _is_unordered(program, source, loop):
+    if "unordered_map" in loop.container or \
+            "unordered_set" in loop.container:
+        return True
+    words = set(loop.words)
+    if words & set(source.unordered_decls):
+        return True
+    return bool(words & program.unordered_names)
+
+
+def run(program, emit):
+    for source in program.files.values():
+        path = source.rel_path.replace("\\", "/")
+        if not path.startswith(SCOPED_DIR_PREFIXES):
+            continue
+        for func, loop in source.all_range_loops():
+            if not _is_unordered(program, source, loop):
+                continue
+            if func is not None:
+                sorted_after = any(
+                    call.name in SORT_CALL_NAMES and
+                    call.offset >= loop.offset
+                    for call in func.calls)
+                if sorted_after:
+                    continue
+            shape = ("iterator loop" if loop.is_iterator_loop
+                     else "range-for")
+            emit(RULE, source, loop.line,
+                 f"{shape} over unordered container `{loop.container}` in "
+                 "an output-affecting TU: hash iteration order is "
+                 "implementation-defined and breaks the byte-identical "
+                 "contract — sort what this loop feeds, or waive with the "
+                 "reason the order cannot reach the output")

@@ -1,0 +1,210 @@
+"""signal-safety: static call graph of the postmortem path.
+
+Roots: every definition of `DumpFromSignal` plus every function installed
+as a signal handler (`sa_handler = ...`, `sa_sigaction = ...`,
+`signal(SIG, ...)`). From the roots we walk the resolvable call graph;
+the walk must stay inside:
+
+  * repo-internal functions listed in SIGNAL_PATH_MANIFEST — the
+    reviewed, exact reachable set (both directions are checked: a newly
+    reachable function and a stale manifest entry are each findings, so
+    the manifest never drifts from reality);
+  * the async-signal-safe externals in SAFE_EXTERNALS (raw syscall
+    wrappers, mem* routines, header-only helpers that cannot allocate).
+
+Additionally, every reachable function must not contain a non-constinit
+function-local static (first use would take the C++ magic-static guard
+lock inside the handler) and must not allocate (`new`).
+
+Atomic member operations are exempt by construction: lock-free atomics
+are the one synchronization tool that is async-signal-safe.
+
+The manifest only applies when the analyzed tree actually defines
+`FlightRecorder::DumpFromSignal` — fixture trees bring their own roots
+and are judged on SAFE_EXTERNALS alone.
+"""
+
+from . import model
+
+RULE = "signal-safety"
+
+# The reviewed reachable set for the real repo, keyed by FunctionInfo.qual.
+# Kept sorted; update deliberately when the postmortem path changes — the
+# rule fails in BOTH directions (new reachable function, stale entry).
+SIGNAL_PATH_MANIFEST = {
+    "FatalSignalHandler",
+    "FlightEventTypeName",
+    "FlightRecorder::ClaimDump",
+    "FlightRecorder::DumpFromSignal",
+    "FlightRecorder::Render",
+    "FlightRecorder::active",
+    "FlightRecorder::active_ptr",
+    "FlightRecorder::NowUs",
+    "MonotonicNs",
+    "SigsafeWriteFile",
+    "SigsafeWriter::Append",
+    "SigsafeWriter::AppendChar",
+    "SigsafeWriter::AppendInt",
+    "SigsafeWriter::AppendJsonEscaped",
+    "SigsafeWriter::ResetTo",
+    "SigsafeWriter::SigsafeWriter",
+    "SigsafeWriter::size",
+    "SigsafeWriter::truncated",
+}
+
+# Async-signal-safe externals (POSIX table plus compiler builtins that
+# cannot allocate or lock). Matched on the call's last name component.
+SAFE_EXTERNALS = {
+    # raw syscall wrappers
+    "open", "close", "write", "read", "fsync", "rename", "unlink",
+    "clock_gettime", "raise", "signal", "kill", "_exit", "sigaction",
+    "sigemptyset", "sigfillset", "sigaddset",
+    # mem/str routines (no allocation, no locks)
+    "memcpy", "memmove", "memset", "strlen", "strncpy", "strcmp",
+    "strncmp",
+    # header-only helpers that compile to arithmetic
+    "min", "max", "clamp", "move", "forward", "bit_cast",
+    "static_cast", "size", "data", "count_if", "get", "empty",
+    "begin", "end",
+    # fences compile to a barrier instruction (or nothing); no locks
+    "atomic_thread_fence", "atomic_signal_fence",
+}
+
+# Known-dangerous callees get a message that says why, not just "not on
+# the allowlist".
+DENY_REASONS = {
+    "malloc": "allocates; the allocator's internal lock deadlocks if the "
+              "signal interrupted another allocation",
+    "calloc": "allocates (see malloc)",
+    "realloc": "allocates (see malloc)",
+    "free": "takes the allocator lock (see malloc)",
+    "printf": "stdio buffers and locks are not async-signal-safe",
+    "fprintf": "stdio buffers and locks are not async-signal-safe",
+    "snprintf": "not async-signal-safe on glibc (locale machinery may "
+                "allocate); use SigsafeWriter::AppendInt",
+    "vsnprintf": "not async-signal-safe (see snprintf)",
+    "puts": "stdio (see printf)",
+    "fwrite": "stdio (see printf)",
+    "lock": "takes a lock; if the interrupted thread holds it, the "
+            "handler deadlocks",
+    "unlock": "mutex operation on the signal path",
+    "Lock": "takes a lock (see lock)",
+    "Unlock": "mutex operation on the signal path",
+    "MutexLock": "takes a lock; if the interrupted thread holds it, the "
+                 "handler deadlocks",
+    "TANE_LOG": "logging allocates and locks",
+    "TANE_CHECK": "aborts through logging, which allocates and locks",
+    "exit": "runs atexit handlers, which may do anything",
+    "sort": "std::sort may allocate (introsort's heap fallback is fine, "
+            "but the comparator and iterator machinery are unaudited); "
+            "hand-roll the ordering on the signal path",
+}
+
+
+def _is_atomic_member_op(program, call):
+    if call.name not in model.ATOMIC_OPS:
+        return False
+    if not call.receiver_words:
+        return False
+    return bool(set(call.receiver_words) & program.atomic_names)
+
+
+def _chain(parents, visited, key):
+    names = []
+    while key is not None:
+        names.append(visited[key][1].name)
+        key = parents.get(key)
+    return " -> ".join(reversed(names))
+
+
+def run(program, emit):
+    roots = []
+    for source in program.files.values():
+        for func in source.functions:
+            if func.name == "DumpFromSignal":
+                roots.append((source, func))
+        for handler_name, _line in source.handler_regs:
+            for cand_source, cand_func in program.functions_by_name.get(
+                    handler_name, []):
+                roots.append((cand_source, cand_func))
+
+    visited = {}
+    parents = {}
+    queue = []
+    for source, func in roots:
+        key = (source.rel_path, func.qual, func.start)
+        if key not in visited:
+            visited[key] = (source, func)
+            parents[key] = None
+            queue.append(key)
+
+    while queue:
+        key = queue.pop(0)
+        source, func = visited[key]
+
+        for static in func.local_statics:
+            # constinit and constexpr statics are constant-initialized
+            # at load time: no magic-static guard is ever taken.
+            if not static.constinit and "constexpr" not in static.text:
+                emit(RULE, source, static.line,
+                     f"function-local static in `{func.qual}` (reachable "
+                     f"via {_chain(parents, visited, key)}) takes the magic-static "
+                     "guard lock on first use; declare it constinit so "
+                     "initialization happens at load time")
+        for line in func.uses_new:
+            emit(RULE, source, line,
+                 f"`new` in `{func.qual}` (reachable via "
+                 f"{_chain(parents, visited, key)}) allocates on the signal path")
+
+        for call in func.calls:
+            if _is_atomic_member_op(program, call):
+                continue
+            candidates = program.resolve_call(source, func, call)
+            if candidates:
+                for cand_source, cand_func in candidates:
+                    child_key = (cand_source.rel_path, cand_func.qual,
+                                 cand_func.start)
+                    if child_key not in visited:
+                        visited[child_key] = (cand_source, cand_func)
+                        parents[child_key] = key
+                        queue.append(child_key)
+                continue
+            if call.name in SAFE_EXTERNALS:
+                continue
+            reason = DENY_REASONS.get(call.name)
+            if reason is None and call.scope not in ("", "std"):
+                # Qualified call into a type we know nothing about
+                # (e.g. Foo::Bar with no Foo in the tree): unknown.
+                reason = "unknown qualified callee"
+            if reason:
+                emit(RULE, source, call.line,
+                     f"`{call.name}` on the signal path "
+                     f"({_chain(parents, visited, key)} -> {call.name}): {reason}")
+            else:
+                emit(RULE, source, call.line,
+                     f"`{call.name}` on the signal path "
+                     f"({_chain(parents, visited, key)} -> {call.name}) is not on "
+                     "the async-signal-safe allowlist; add a sigsafe "
+                     "wrapper or keep it off the postmortem path")
+
+    # Manifest check: only when the real postmortem path is in the tree.
+    has_real_root = any(func.qual == "FlightRecorder::DumpFromSignal"
+                        for _s, func in visited.values())
+    if not has_real_root:
+        return
+    reached = {func.qual: (src, func) for src, func in visited.values()}
+    for qual in sorted(set(reached) - SIGNAL_PATH_MANIFEST):
+        src, func = reached[qual]
+        emit(RULE, src, func.line,
+             f"`{qual}` is now reachable from the signal path but is not "
+             "in SIGNAL_PATH_MANIFEST (tools/tane_analyzer/"
+             "rule_signal.py); audit it for async-signal-safety and add "
+             "it deliberately")
+    for qual in sorted(SIGNAL_PATH_MANIFEST - set(reached)):
+        root_src, root_func = roots[0] if roots else (None, None)
+        if root_src is None:
+            break
+        emit(RULE, root_src, root_func.line,
+             f"SIGNAL_PATH_MANIFEST entry `{qual}` is no longer reachable "
+             "from the signal path; drop the stale entry so the manifest "
+             "stays exactly the reachable set")

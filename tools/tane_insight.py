@@ -5,8 +5,11 @@ Usage:
   tane_insight.py diff A.json B.json [--rel-tol=R]
 
 `diff` compares two artifacts of the same kind — two run reports
-(--report), two BENCH_micro_partition.json files, or two
-BENCH_parallel_scaling.json files — and classifies every difference:
+(--report), two BENCH_micro_partition.json files, two
+BENCH_parallel_scaling.json files, or two static-analysis baselines
+(tools/lint_baseline.json / tools/analyzer_baseline.json, whose
+content-addressed finding ids make the diff a findings changelog:
+fixed on one side, new on the other) — and classifies every difference:
 
   * structural differences (a key present on one side only, or a type
     change) are always reported;
@@ -121,7 +124,38 @@ def artifact_kind(doc):
         return f"run report (schema {doc['schema_version']})"
     if doc.get("benchmark"):
         return f"benchmark {doc['benchmark']!r}"
+    if isinstance(doc.get("findings"), list):
+        return f"static-analysis baseline ({doc.get('tool', 'tane-lint')})"
     return "unknown artifact"
+
+
+def diff_baselines(doc_a, doc_b, paths):
+    """Set-diff two lint/analyzer baselines. Finding ids are content-
+    addressed (`rule:path:normalized-line`), so this reads as a findings
+    changelog: entries only in A were fixed, entries only in B are new."""
+    set_a = set(doc_a["findings"])
+    set_b = set(doc_b["findings"])
+    fixed = sorted(set_a - set_b)
+    new = sorted(set_b - set_a)
+    by_rule = {}
+    for identity in set_b:
+        by_rule[identity.split(":", 1)[0]] = \
+            by_rule.get(identity.split(":", 1)[0], 0) + 1
+    if not fixed and not new:
+        print(f"tane_insight: baseline diff OK — {paths[0]} and "
+              f"{paths[1]} carry the same {len(set_a)} finding(s)")
+        return 0
+    print(f"tane_insight: baselines differ: {len(fixed)} fixed, "
+          f"{len(new)} new ({paths[0]} -> {paths[1]})")
+    for identity in fixed:
+        print(f"  fixed: {identity}")
+    for identity in new:
+        print(f"  new:   {identity}")
+    if by_rule:
+        summary = ", ".join(f"{rule}={count}"
+                            for rule, count in sorted(by_rule.items()))
+        print(f"  remaining in {paths[1]}: {summary}")
+    return 1
 
 
 def run_diff(argv):
@@ -147,6 +181,8 @@ def run_diff(argv):
         print(f"tane_insight: comparing different kinds: {kind_a} vs "
               f"{kind_b}", file=sys.stderr)
         return 1
+    if kind_a.startswith("static-analysis baseline"):
+        return diff_baselines(doc_a, doc_b, paths)
     problems = diff_docs(doc_a, doc_b, rel_tol)
     if problems:
         print(f"tane_insight: {len(problems)} difference(s) between "

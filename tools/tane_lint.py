@@ -28,6 +28,13 @@ Checks src/ for rules that generic tooling does not know about:
   iwyu             Curated include-what-you-use list: files using the
                    symbols below must include the named header directly
                    instead of leaning on transitive includes.
+  naked-atomic     A std::atomic member in a file with no
+                   `// tane-atomics: <protocol>` header is concurrency
+                   whose contract nobody wrote down — the semantic tier
+                   (tools/tane_analyzer) can only check protocols that are
+                   declared. Declare the protocol, or waive with the
+                   reason this atomic needs none (e.g. an independent
+                   flag whose explicit orders are the whole contract).
 
 A finding may be waived with a comment `tane-lint: allow(<rule>)` on the
 finding line or the lines just above it. Known findings live in
@@ -47,6 +54,7 @@ import sys
 import time
 
 import jsonio
+from cpptext import strip_comments_and_strings
 
 # Files whose whole purpose exempts them from specific rules.
 RULE_EXEMPT_FILES = {
@@ -88,6 +96,12 @@ STD_SYNC_RE = re.compile(
     r"\bstd::(mutex|shared_mutex|recursive_mutex|condition_variable"
     r"(?:_any)?)\b")
 NAKED_NEW_RE = re.compile(r"(?<!\w)new\b(?!\s*\()")  # `new (ptr)` placement ok
+# A std::atomic variable/member declaration (not a function returning a
+# reference to one: the `\s+` after the template rejects `...>&`).
+NAKED_ATOMIC_RE = re.compile(
+    r"^\s*(?:static\s+|mutable\s+|constinit\s+|inline\s+)*"
+    r"std::atomic(?:<[^;]*?>)?\s+\w+\s*(?:\{[^}]*\}|=[^;]*)?\s*(?:;|\[)")
+PROTOCOL_HEADER_RE = re.compile(r"//\s*tane-atomics:")
 ALLOC_CALL_RE = re.compile(r"\b(malloc|calloc|realloc|free)\s*\(")
 TANE_CHECK_RE = re.compile(r"\bTANE_CHECK\b")
 # A violation measure compared against an ε-scaled double, in either order.
@@ -97,66 +111,6 @@ FLOAT_THRESHOLD_RES = (
     re.compile(r"\bepsilon\b\s*\*[^;]*(<=|<|>=|>)", re.IGNORECASE),
     re.compile(r"\b\w*(g3|g1|error)\w*\s*(==|!=)\s*0?\.\d*[1-9]"),
 )
-
-
-def strip_comments_and_strings(text):
-    """Blank out comments and string/char literals, preserving line breaks
-    (and the bodies of comments that carry tane-lint waivers, which the
-    waiver scan reads from the original text anyway)."""
-    out = []
-    i, n = 0, len(text)
-    state = "code"
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if state == "code":
-            if c == "/" and nxt == "/":
-                state = "line_comment"
-                out.append("  ")
-                i += 2
-            elif c == "/" and nxt == "*":
-                state = "block_comment"
-                out.append("  ")
-                i += 2
-            elif c == '"':
-                state = "string"
-                out.append(" ")
-                i += 1
-            elif c == "'":
-                state = "char"
-                out.append(" ")
-                i += 1
-            else:
-                out.append(c)
-                i += 1
-        elif state == "line_comment":
-            if c == "\n":
-                state = "code"
-                out.append(c)
-            else:
-                out.append(" ")
-            i += 1
-        elif state == "block_comment":
-            if c == "*" and nxt == "/":
-                state = "code"
-                out.append("  ")
-                i += 2
-            else:
-                out.append(c if c == "\n" else " ")
-                i += 1
-        else:  # string or char literal
-            if c == "\\":
-                out.append("  ")
-                i += 2
-            elif (state == "string" and c == '"') or \
-                 (state == "char" and c == "'"):
-                state = "code"
-                out.append(" ")
-                i += 1
-            else:
-                out.append(c if c == "\n" else " ")
-                i += 1
-    return "".join(out)
 
 
 class Finding:
@@ -198,8 +152,16 @@ def lint_file(root, rel_path, findings):
         findings.append(Finding(rule, rel_path, line_number,
                                 raw_lines[line_number - 1], message))
 
+    has_protocol_header = bool(PROTOCOL_HEADER_RE.search(raw))
+
     mutex_members = []  # (line_number, member_name)
     for number, line in enumerate(code_lines, start=1):
+        if not has_protocol_header and NAKED_ATOMIC_RE.match(line):
+            emit("naked-atomic", number,
+                 "std::atomic member in a file with no `// tane-atomics: "
+                 "<protocol>` header; declare the lock-free protocol so "
+                 "tane-analyzer can check it, or waive with the reason "
+                 "this atomic needs none")
         if TANE_CHECK_RE.search(line) and "#define" not in line:
             emit("tane-check", number,
                  "TANE_CHECK aborts; library code must return Status "
